@@ -1,0 +1,73 @@
+//! Criterion benchmarks for constraint-graph construction and analysis:
+//! static-spec building, per-execution observation, edge diffing, and the
+//! k-medoids limit study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mtracecheck::graph::{k_medoids, CheckOptions, TestGraphSpec};
+use mtracecheck::isa::{IsaKind, Mcm, Program, ReadsFrom};
+use mtracecheck::sim::{Simulator, SystemConfig};
+use mtracecheck::testgen::{generate, TestConfig};
+
+fn executions(test: &TestConfig, runs: u64) -> (Program, Vec<ReadsFrom>) {
+    let program = generate(test);
+    let mut sim = Simulator::new(&program, SystemConfig::sc_reference());
+    let rfs = (0..runs)
+        .map(|s| sim.run(s).expect("SC runs never crash").reads_from)
+        .collect();
+    (program, rfs)
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let cases = [
+        (
+            "ARM-2-50-32",
+            TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(6),
+        ),
+        (
+            "ARM-7-200-64",
+            TestConfig::new(IsaKind::Arm, 7, 200, 64).with_seed(6),
+        ),
+    ];
+    let mut group = c.benchmark_group("graphs");
+    for (name, test) in &cases {
+        let program = generate(test);
+        group.bench_with_input(BenchmarkId::new("build_spec", name), &program, |b, p| {
+            b.iter(|| TestGraphSpec::new(p, Mcm::Weak))
+        });
+        let (program, rfs) = executions(test, 64);
+        let spec = TestGraphSpec::new(&program, test.mcm);
+        group.throughput(Throughput::Elements(rfs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("observe", name), &rfs, |b, rfs| {
+            b.iter(|| {
+                rfs.iter()
+                    .map(|rf| spec.observe(&program, rf, &CheckOptions::default()).len())
+                    .sum::<usize>()
+            })
+        });
+        let observations: Vec<_> = rfs
+            .iter()
+            .map(|rf| spec.observe(&program, rf, &CheckOptions::default()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("diff", name), &observations, |b, obs| {
+            b.iter(|| {
+                obs.windows(2)
+                    .map(|w| w[1].difference(&w[0]).count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    // k-medoids on the §4.1 limit-study population.
+    let (_, rfs) = executions(&TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(61), 200);
+    let mut group = c.benchmark_group("kmedoids");
+    for k in [3usize, 10, 30] {
+        group.bench_with_input(BenchmarkId::new("cluster", k), &rfs, |b, rfs| {
+            b.iter(|| k_medoids(rfs, k, 2017, 20).total_distance)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphs);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the signature machinery: runtime encoding
+//! (what the instrumented branch chains do), Algorithm-1 decoding, and the
+//! ascending signature sort that feeds collective checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mtracecheck::instr::{analyze, ExecutionSignature, SignatureSchema, SourcePruning};
+use mtracecheck::isa::{IsaKind, ReadsFrom};
+use mtracecheck::sim::Simulator;
+use mtracecheck::testgen::{generate, TestConfig};
+use mtracecheck::CampaignConfig;
+
+fn materials(
+    test: &TestConfig,
+    runs: u64,
+) -> (SignatureSchema, Vec<ReadsFrom>, Vec<ExecutionSignature>) {
+    let program = generate(test);
+    let analysis = analyze(&program, &SourcePruning::none());
+    let schema = SignatureSchema::build(&program, &analysis, test.isa.register_bits());
+    let campaign = CampaignConfig::new(test.clone(), runs);
+    let mut sim = Simulator::new(&program, campaign.system.clone());
+    let rfs: Vec<ReadsFrom> = (0..runs)
+        .map(|s| sim.run(s).expect("correct hardware").reads_from)
+        .collect();
+    let sigs = rfs
+        .iter()
+        .map(|rf| schema.encode(rf).expect("legal execution"))
+        .collect();
+    (schema, rfs, sigs)
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let cases = [
+        (
+            "ARM-2-50-32",
+            TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(3),
+        ),
+        (
+            "ARM-7-200-64",
+            TestConfig::new(IsaKind::Arm, 7, 200, 64).with_seed(3),
+        ),
+    ];
+    let mut group = c.benchmark_group("signatures");
+    for (name, test) in cases {
+        let (schema, rfs, sigs) = materials(&test, 512);
+        group.throughput(Throughput::Elements(rfs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", name), &rfs, |b, rfs| {
+            b.iter(|| {
+                for rf in rfs {
+                    criterion::black_box(schema.encode(rf).expect("legal"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &sigs, |b, sigs| {
+            b.iter(|| {
+                for sig in sigs {
+                    criterion::black_box(schema.decode(sig).expect("own signature"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sort", name), &sigs, |b, sigs| {
+            b.iter(|| {
+                let mut copy = sigs.clone();
+                copy.sort_unstable();
+                copy.dedup();
+                copy.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scheduler calibration tool: sweeps the lockstep scheduler's jitter /
+//! stall / contention knobs over representative configurations and prints
+//! unique-interleaving counts, for tuning the simulator's non-determinism
+//! model against Figure 8's trends.
+//!
+//! Usage: `cargo run -p mtc-bench --bin calibrate --release -- [--iters N]`
+
+use mtc_bench::parse_scale;
+use mtracecheck::isa::IsaKind;
+use mtracecheck::sim::SystemConfig;
+use mtracecheck::{Campaign, CampaignConfig, TestConfig};
+
+fn unique(test: &TestConfig, iters: u64, tune: impl Fn(&mut SystemConfig)) -> f64 {
+    let mut config = CampaignConfig::new(test.clone(), iters).with_tests(2);
+    tune(&mut config.system);
+    Campaign::new(config).run().mean_unique_signatures()
+}
+
+fn main() {
+    let scale = parse_scale(2048, 2);
+    println!("iterations per test: {}\n", scale.iterations);
+
+    // (label, jitter, stall_prob, backoff_cycles); negative = defaults.
+    let sweeps: [(&str, f64, f64, u32); 4] = [
+        ("j0 s0 b0", 0.0, 0.0, 0),
+        ("j0 s.0002 b0", 0.0, 0.0002, 0),
+        ("j0 s.0002 b30", 0.0, 0.0002, 30),
+        ("j.01 s.0005 b30", 0.01, 0.0005, 30),
+    ];
+
+    let cases = [
+        ("ARM-2-50-32", TestConfig::new(IsaKind::Arm, 2, 50, 32)),
+        ("ARM-2-200-32", TestConfig::new(IsaKind::Arm, 2, 200, 32)),
+        ("ARM-2-200-64", TestConfig::new(IsaKind::Arm, 2, 200, 64)),
+        ("ARM-4-50-64", TestConfig::new(IsaKind::Arm, 4, 50, 64)),
+        ("ARM-7-50-64", TestConfig::new(IsaKind::Arm, 7, 50, 64)),
+        ("x86-2-50-32", TestConfig::new(IsaKind::X86, 2, 50, 32)),
+        ("x86-4-50-64", TestConfig::new(IsaKind::X86, 4, 50, 64)),
+        (
+            "x86-4-50-64w16",
+            TestConfig::new(IsaKind::X86, 4, 50, 64).with_words_per_line(16),
+        ),
+    ];
+
+    print!("{:<16}", "config");
+    for (label, ..) in &sweeps {
+        print!(" {label:>18}");
+    }
+    println!();
+    for (name, test) in cases {
+        print!("{name:<16}");
+        for &(_, jitter, stall, backoff) in &sweeps {
+            let u = unique(&test.clone().with_seed(1), scale.iterations, |sys| {
+                if jitter >= 0.0 {
+                    sys.scheduler.jitter = jitter;
+                    sys.scheduler.stall_prob = stall;
+                    sys.scheduler.contention_backoff_cycles = backoff;
+                }
+            });
+            print!(" {u:>18.1}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 6: the k-medoids clustering limit study (§4.1).
+//!
+//! 1 000 executions of two tests on the uniformly-random SC reference
+//! simulator; cluster the observed reads-from sets with k-medoids and
+//! report the total number of differing reads-from relationships to the
+//! closest medoid, for growing k. Test 1 (2 threads) repeats often and
+//! clusters well; test 2 (4 threads) is almost all-unique and stays
+//! distant — the result that steers the paper away from clustering.
+//!
+//! Run with: `cargo run -p mtc-bench --bin fig06 --release -- [--iters N]`
+
+use mtc_bench::{parse_scale, progress, write_json, Table};
+use mtracecheck::graph::k_medoids;
+use mtracecheck::isa::{IsaKind, ReadsFrom};
+use mtracecheck::sim::{Simulator, SystemConfig};
+use mtracecheck::testgen::{generate, TestConfig};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct Fig6Row {
+    test: String,
+    unique: usize,
+    k: usize,
+    total_diff: u64,
+}
+
+fn main() {
+    let scale = parse_scale(1000, 1);
+    let runs = scale.iterations;
+    println!("Figure 6: k-medoids clustering of {runs} SC executions (paper: 1000)\n");
+    let cases = [
+        (
+            "test 1 (2-50-32)",
+            TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(61),
+        ),
+        (
+            "test 2 (4-50-32)",
+            TestConfig::new(IsaKind::Arm, 4, 50, 32).with_seed(62),
+        ),
+    ];
+    let ks = [1usize, 2, 3, 5, 10, 30, 100];
+    let mut table = Table::new(
+        ["test", "unique"]
+            .into_iter()
+            .map(String::from)
+            .chain(ks.iter().map(|k| format!("k={k}"))),
+    );
+    let mut rows = Vec::new();
+    for (name, test) in cases {
+        progress(name);
+        let program = generate(&test);
+        let mut sim = Simulator::new(&program, SystemConfig::sc_reference());
+        let executions: Vec<ReadsFrom> = (0..runs)
+            .map(|s| sim.run(s).expect("SC runs never crash").reads_from)
+            .collect();
+        let unique: BTreeSet<_> = executions.iter().cloned().collect();
+        let mut cells = vec![name.to_owned(), unique.len().to_string()];
+        for &k in &ks {
+            let k = k.min(executions.len());
+            let result = k_medoids(&executions, k, 2017, 30);
+            cells.push(result.total_distance.to_string());
+            rows.push(Fig6Row {
+                test: name.to_owned(),
+                unique: unique.len(),
+                k,
+                total_diff: result.total_distance,
+            });
+        }
+        table.row(cells);
+    }
+    table.print();
+    write_json("fig06", &rows);
+    println!(
+        "\nExpected shapes (paper): test 1 (172/1000 unique) drops fast with k;\n\
+         test 2 (all unique) keeps many differing reads-from relationships at high k."
+    );
+}

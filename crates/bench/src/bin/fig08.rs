@@ -1,0 +1,80 @@
+//! Figure 8: number of unique memory-access interleavings per test
+//! configuration, with false-sharing layouts (4 and 16 shared words per
+//! cache line) and the OS-perturbation variant.
+//!
+//! Paper scale: 65 536 iterations × 10 tests per configuration. Default
+//! here: scaled down for simulator speed; raise with
+//! `--iters 65536 --tests 10`.
+//!
+//! Run with: `cargo run -p mtc-bench --bin fig08 --release -- [--iters N] [--tests N]`
+
+use mtc_bench::{parse_scale, progress, write_json, Table};
+use mtracecheck::{paper_configs, Campaign, CampaignConfig, TestConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Row {
+    config: String,
+    bare_metal: f64,
+    words4: f64,
+    words16: f64,
+    os: f64,
+}
+
+fn mean_unique(test: TestConfig, iters: u64, tests: u64, os: bool) -> f64 {
+    let mut config = CampaignConfig::new(test, iters)
+        .with_tests(tests)
+        .with_parallel();
+    if os {
+        config.system.scheduler.os = Some(mtracecheck::sim::OsConfig::default());
+    }
+    Campaign::new(config).run().mean_unique_signatures()
+}
+
+fn main() {
+    let scale = parse_scale(2048, 3);
+    println!(
+        "Figure 8: unique memory-access interleavings ({} iterations x {} tests; paper: 65536 x 10)\n",
+        scale.iterations, scale.tests
+    );
+    let mut table = Table::new(["config", "bare-metal", "4 w/line", "16 w/line", "Linux/OS"]);
+    let mut rows = Vec::new();
+    for base in paper_configs() {
+        progress(&base.name());
+        let bare = mean_unique(base.clone(), scale.iterations, scale.tests, false);
+        let words4 = mean_unique(
+            base.clone().with_words_per_line(4),
+            scale.iterations,
+            scale.tests,
+            false,
+        );
+        let words16 = mean_unique(
+            base.clone().with_words_per_line(16),
+            scale.iterations,
+            scale.tests,
+            false,
+        );
+        let os = mean_unique(base.clone(), scale.iterations, scale.tests, true);
+        table.row([
+            base.name(),
+            format!("{bare:.1}"),
+            format!("{words4:.1}"),
+            format!("{words16:.1}"),
+            format!("{os:.1}"),
+        ]);
+        rows.push(Fig8Row {
+            config: base.name(),
+            bare_metal: bare,
+            words4,
+            words16,
+            os,
+        });
+    }
+    table.print();
+    write_json("fig08", &rows);
+    println!(
+        "\nExpected shapes (paper): threads dominate diversity; more ops raise it; more\n\
+         addresses lower it; false sharing raises it; the OS raises it for 2-threaded\n\
+         tests and lowers it for 4/7-threaded ones."
+    );
+}

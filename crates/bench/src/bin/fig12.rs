@@ -1,0 +1,79 @@
+//! Figure 12: code-size comparison — instrumented vs original test
+//! routines.
+//!
+//! Paper: instrumented code is 1.95×–8.16× the original (3.7× mean), still
+//! fitting each core's 32 kB L1 instruction cache (ARM-7-200-64 peaks at
+//! 189 kB total, ~27 kB per thread).
+//!
+//! Run with: `cargo run -p mtc-bench --bin fig12 --release -- [--tests N]`
+
+use mtc_bench::{parse_scale, write_json, Table};
+use mtracecheck::instr::{analyze, CodeSizeModel, SignatureSchema, SourcePruning};
+use mtracecheck::paper_configs;
+use mtracecheck::testgen::generate_suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig12Row {
+    config: String,
+    original_kb: f64,
+    instrumented_kb: f64,
+    ratio: f64,
+    fits_l1: bool,
+}
+
+fn main() {
+    let scale = parse_scale(0, 10);
+    println!(
+        "Figure 12: code size, original vs instrumented ({} tests per configuration)\n",
+        scale.tests
+    );
+    let mut table = Table::new([
+        "config",
+        "original kB",
+        "instrumented kB",
+        "ratio",
+        "fits 32kB L1",
+    ]);
+    let mut rows = Vec::new();
+    let mut ratio_sum = 0.0;
+    for test in paper_configs() {
+        let programs = generate_suite(&test, scale.tests);
+        let model = CodeSizeModel::new(test.isa);
+        let mut original = 0.0;
+        let mut instrumented = 0.0;
+        let mut fits = true;
+        for program in &programs {
+            let analysis = analyze(program, &SourcePruning::none());
+            let schema = SignatureSchema::build(program, &analysis, test.isa.register_bits());
+            let size = model.measure(program, &schema);
+            original += size.original_bytes as f64;
+            instrumented += size.instrumented_bytes as f64;
+            fits &= size.fits_in_l1(32 * 1024);
+        }
+        original /= programs.len() as f64;
+        instrumented /= programs.len() as f64;
+        let ratio = instrumented / original;
+        ratio_sum += ratio;
+        table.row([
+            test.name(),
+            format!("{:.1}", original / 1024.0),
+            format!("{:.1}", instrumented / 1024.0),
+            format!("{ratio:.2}x"),
+            (if fits { "yes" } else { "NO" }).to_owned(),
+        ]);
+        rows.push(Fig12Row {
+            config: test.name(),
+            original_kb: original / 1024.0,
+            instrumented_kb: instrumented / 1024.0,
+            ratio,
+            fits_l1: fits,
+        });
+    }
+    table.print();
+    println!(
+        "\nmean ratio: {:.2}x (paper: 3.7x, range 1.95x-8.16x, all fitting L1)",
+        ratio_sum / rows.len() as f64
+    );
+    write_json("fig12", &rows);
+}

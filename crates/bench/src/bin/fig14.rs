@@ -1,0 +1,88 @@
+//! Figure 14: breakdown of collective graph checking — how many graphs
+//! needed a complete sort, no re-sorting, or incremental re-sorting, and
+//! what fraction of vertices the incremental windows touched.
+//!
+//! Paper: ARM graphs mostly skip re-sorting entirely (the tsort-like
+//! store-first order is robust when the weak MCM contributes few static
+//! edges); on x86, 82 %–100 % of graphs re-sort incrementally, touching
+//! 21 %–78 % of vertices — which is why Figure 9's win is smaller there.
+//!
+//! Run with: `cargo run -p mtc-bench --bin fig14 --release -- [--iters N] [--tests N]`
+
+use mtc_bench::{parse_scale, progress, write_json, Table};
+use mtracecheck::{paper_configs, Campaign, CampaignConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig14Row {
+    config: String,
+    graphs: usize,
+    complete_pct: f64,
+    no_resort_pct: f64,
+    incremental_pct: f64,
+    affected_vertices_pct: f64,
+}
+
+fn main() {
+    let scale = parse_scale(4096, 2);
+    println!(
+        "Figure 14: collective-checking breakdown ({} iterations x {} tests)\n",
+        scale.iterations, scale.tests
+    );
+    let mut table = Table::new([
+        "config",
+        "graphs",
+        "complete",
+        "no re-sort",
+        "incremental",
+        "affected vertices",
+    ]);
+    let mut rows = Vec::new();
+    for test in paper_configs() {
+        progress(&test.name());
+        let report = Campaign::new(
+            CampaignConfig::new(test.clone(), scale.iterations)
+                .with_tests(scale.tests)
+                .with_parallel(),
+        )
+        .run();
+        let mut graphs = 0usize;
+        let (mut complete, mut no_resort, mut incremental) = (0usize, 0usize, 0usize);
+        let (mut resorted, mut incr_vertices) = (0u64, 0u64);
+        for t in &report.tests {
+            graphs += t.collective.graphs;
+            complete += t.collective.complete;
+            no_resort += t.collective.no_resort;
+            incremental += t.collective.incremental;
+            resorted += t.collective.resorted_vertices;
+            incr_vertices += t.collective.incremental_vertices;
+        }
+        let pct = |x: usize| 100.0 * x as f64 / graphs.max(1) as f64;
+        let affected = 100.0 * resorted as f64 / incr_vertices.max(1) as f64;
+        table.row([
+            test.name(),
+            graphs.to_string(),
+            format!("{:.1}%", pct(complete)),
+            format!("{:.1}%", pct(no_resort)),
+            format!("{:.1}%", pct(incremental)),
+            format!("{affected:.1}%"),
+        ]);
+        rows.push(Fig14Row {
+            config: test.name(),
+            graphs,
+            complete_pct: pct(complete),
+            no_resort_pct: pct(no_resort),
+            incremental_pct: pct(incremental),
+            affected_vertices_pct: affected,
+        });
+    }
+    table.print();
+    write_json("fig14", &rows);
+    println!(
+        "\nExpected shapes (paper): x86 configurations re-sort 82-100% of graphs\n\
+         incrementally, touching 21-78% of vertices, and the fraction grows with\n\
+         diversity. (The paper's ARM no-re-sort shortcut does not reproduce here:\n\
+         our decoded graphs always carry from-read edges, so incremental windows —\n\
+         not skipped sorts — carry the collective win; see EXPERIMENTS.md.)"
+    );
+}

@@ -1,0 +1,144 @@
+//! Shared plumbing for the MTraceCheck figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). The paper runs 65 536 iterations × 10
+//! tests per configuration on native silicon; on a simulator that scale is
+//! hours, so the binaries default to scaled-down runs and accept
+//! `--iters N` / `--tests N` to approach paper scale. All binaries print a
+//! human-readable table and drop a machine-readable JSON copy under
+//! `experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::io::Write as _;
+
+/// Scaled-run parameters parsed from the command line.
+#[derive(Copy, Clone, Debug)]
+pub struct RunScale {
+    /// Loop iterations per test (`--iters`, paper: 65 536).
+    pub iterations: u64,
+    /// Distinct tests per configuration (`--tests`, paper: 10).
+    pub tests: u64,
+}
+
+/// Parses `--iters N` and `--tests N` from `std::env::args`, with
+/// binary-specific defaults.
+pub fn parse_scale(default_iters: u64, default_tests: u64) -> RunScale {
+    let args: Vec<String> = std::env::args().collect();
+    let grab = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    RunScale {
+        iterations: grab("--iters", default_iters),
+        tests: grab("--tests", default_tests),
+    }
+}
+
+/// A simple fixed-width table printer for figure rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let render = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        println!("{}", render(&self.headers));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            println!("{}", render(row));
+        }
+    }
+}
+
+/// Writes `value` as pretty JSON to `experiments/<name>.json` (best
+/// effort — the experiment still succeeds if the directory is not
+/// writable).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let Ok(json) = serde_json::to_string_pretty(value) else {
+        return;
+    };
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(json.as_bytes());
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Progress note to stderr (keeps stdout clean for the table).
+pub fn progress(msg: &str) {
+    eprintln!("... {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["config", "value"]);
+        t.row(["ARM-2-50-32", "11"]);
+        t.row(["x86-4-200-64-longer", "4600"]);
+        t.print(); // smoke: no panic on ragged widths
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_scale_defaults() {
+        let s = parse_scale(1234, 5);
+        assert_eq!(s.iterations, 1234);
+        assert_eq!(s.tests, 5);
+    }
+}

@@ -1,0 +1,360 @@
+//! `mtracecheck` — command-line front end for the validation framework.
+//!
+//! ```text
+//! mtracecheck campaign --isa arm --threads 4 --ops 50 --addrs 64 [--iters N]
+//!     [--tests N] [--words-per-line W] [--seed S] [--os] [--bug 1|2|3]
+//!     [--split-windows] [--compare]
+//! mtracecheck litmus [NAME]
+//! mtracecheck render --isa arm|x86 [--threads T --ops O --addrs A --seed S]
+//! mtracecheck configs
+//! ```
+
+use mtracecheck::graph::{check_conventional, explain_violation, CheckOptions, TestGraphSpec};
+use mtracecheck::instr::{analyze, render_instrumented, SignatureSchema, SourcePruning};
+use mtracecheck::isa::{litmus, parse_program, IsaKind, Mcm};
+use mtracecheck::sim::{enumerate_outcomes, BugKind, CacheConfig};
+use mtracecheck::sim::{Simulator, SystemConfig};
+use mtracecheck::testgen::{generate, generate_suite};
+use mtracecheck::{paper_configs, Campaign, CampaignConfig, SignatureLog, TestConfig};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .inspect(|_| {
+                        iter.next();
+                    });
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "mtracecheck — post-silicon memory consistency validation (MTraceCheck, ISCA'17)\n\
+     \n\
+     USAGE:\n\
+       mtracecheck campaign --isa <arm|x86> --threads T --ops O --addrs A\n\
+                   [--iters N] [--tests N] [--words-per-line W] [--seed S]\n\
+                   [--os] [--bug <1|2|3>] [--split-windows] [--compare]\n\
+       mtracecheck collect  (campaign flags) --out DIR\n\
+                                      device side only: write signature logs as JSON\n\
+       mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
+       mtracecheck litmus [NAME]      explore litmus outcomes under SC/TSO/Weak\n\
+       mtracecheck program FILE [--mcm <sc|tso|weak>] [--iters N] [--enumerate]\n\
+                                      run and check a hand-written test (see mtc_isa::parse_program)\n\
+       mtracecheck render --isa <arm|x86> [--threads T --ops O --addrs A --seed S]\n\
+       mtracecheck configs            list the paper's 21 configurations\n"
+}
+
+fn build_test(args: &Args) -> Result<TestConfig, String> {
+    let isa: IsaKind = args
+        .get("isa")
+        .unwrap_or("arm")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let test = TestConfig::new(
+        isa,
+        args.num("threads", 2u32)?,
+        args.num("ops", 50u32)?,
+        args.num("addrs", 32u32)?,
+    )
+    .with_seed(args.num("seed", 0u64)?)
+    .with_words_per_line(args.num("words-per-line", 1u32)?);
+    Ok(test)
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let test = build_test(args)?;
+    let iterations = args.num("iters", 4096u64)?;
+    let tests = args.num("tests", 10u64)?;
+    let mut config = CampaignConfig::new(test, iterations).with_tests(tests);
+    if args.has("compare") {
+        config = config.with_conventional_comparison();
+    }
+    if args.has("split-windows") {
+        config = config.with_split_windows();
+    }
+    if args.has("os") {
+        config.system.scheduler.os = Some(mtracecheck::sim::OsConfig::default());
+    }
+    if let Some(bug) = args.get("bug") {
+        let bug = match bug {
+            "1" => BugKind::LoadLoadCoherence,
+            "2" => BugKind::LoadLoadLsq,
+            "3" => BugKind::ProtocolRace { prob: 0.02 },
+            other => return Err(format!("--bug: unknown bug `{other}` (1, 2 or 3)")),
+        };
+        config.system = config.system.with_bug(bug);
+        if matches!(
+            bug,
+            BugKind::LoadLoadCoherence | BugKind::ProtocolRace { .. }
+        ) {
+            config.system = config.system.with_cache(CacheConfig::l1_1k());
+        }
+    }
+    println!(
+        "validating {} on `{}` ({iterations} iterations x {tests} tests)...\n",
+        config.test.name(),
+        config.system.name
+    );
+    let report = Campaign::new(config).run();
+    println!("{report}");
+    if report.failing_tests() == 0 {
+        println!("RESULT: no memory consistency violations observed");
+        Ok(())
+    } else {
+        Err(format!(
+            "RESULT: {} of {} tests exposed violations",
+            report.failing_tests(),
+            report.tests.len()
+        ))
+    }
+}
+
+fn cmd_collect(args: &Args) -> Result<(), String> {
+    let test = build_test(args)?;
+    let iterations = args.num("iters", 4096u64)?;
+    let tests = args.num("tests", 10u64)?;
+    let out = args.get("out").unwrap_or("signature-logs");
+    std::fs::create_dir_all(out).map_err(|e| format!("--out {out}: {e}"))?;
+    let campaign = Campaign::new(CampaignConfig::new(test.clone(), iterations).with_tests(tests));
+    for (i, program) in generate_suite(&test, tests).iter().enumerate() {
+        let log = campaign.collect(program);
+        let path = format!("{out}/{}-test{i}.json", test.name().replace(' ', "_"));
+        log.save_json(&path).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {log}");
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for arg in &args.positional[1..] {
+        let p = std::path::Path::new(arg);
+        if p.is_dir() {
+            let entries = std::fs::read_dir(p).map_err(|e| format!("{arg}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("{arg}: {e}"))?;
+                if entry.path().extension().is_some_and(|e| e == "json") {
+                    paths.push(entry.path());
+                }
+            }
+        } else {
+            paths.push(p.to_owned());
+        }
+    }
+    if paths.is_empty() {
+        return Err("check: no signature logs given (directory or .json files)".to_owned());
+    }
+    paths.sort();
+    let mut failing = 0usize;
+    for path in &paths {
+        let log = SignatureLog::load_json(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        // Host-side checking needs the MCM and checker options; take them
+        // from the CLI flags with the usual defaults.
+        let test = build_test(args)?;
+        let mut config = CampaignConfig::new(test, log.iterations);
+        if args.has("split-windows") {
+            config = config.with_split_windows();
+        }
+        let report = Campaign::new(config).check_log(&log);
+        println!("=== {} ===", path.display());
+        print!("{report}");
+        if !report.is_clean() {
+            failing += 1;
+        }
+    }
+    if failing == 0 {
+        println!("RESULT: all {} logs check clean", paths.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "RESULT: {failing} of {} logs contain violations",
+            paths.len()
+        ))
+    }
+}
+
+fn cmd_litmus(args: &Args) -> Result<(), String> {
+    let filter = args.positional.get(1).map(String::as_str);
+    let mut shown = 0;
+    for test in litmus::all() {
+        if let Some(f) = filter {
+            if !test.name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        shown += 1;
+        println!(
+            "=== {} ===\n{}\n{}",
+            test.name, test.description, test.program
+        );
+        for mcm in Mcm::ALL {
+            let outcomes = enumerate_outcomes(&test.program, mcm, 5_000_000)
+                .map_err(|e| format!("{}: {e}", test.name))?;
+            println!("  {mcm:>4}: {} allowed outcomes", outcomes.len());
+        }
+        println!();
+    }
+    if shown == 0 {
+        return Err(format!(
+            "no litmus test named `{}`; try: {}",
+            filter.unwrap_or(""),
+            litmus::all()
+                .iter()
+                .map(|t| t.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_program(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("program: missing FILE argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mcm = match args.get("mcm").unwrap_or("weak") {
+        "sc" => Mcm::Sc,
+        "tso" => Mcm::Tso,
+        "weak" => Mcm::Weak,
+        other => return Err(format!("--mcm: unknown model `{other}` (sc, tso or weak)")),
+    };
+    let iterations = args.num("iters", 4096u64)?;
+    println!("{program}");
+
+    if args.has("enumerate") {
+        match enumerate_outcomes(&program, mcm, 5_000_000) {
+            Ok(outcomes) => println!("{mcm}: {} allowed outcomes (exhaustive)", outcomes.len()),
+            Err(e) => println!("{mcm}: exhaustive enumeration unavailable ({e})"),
+        }
+    }
+
+    let system = match mcm {
+        Mcm::Sc => SystemConfig::sc_reference(),
+        Mcm::Tso => SystemConfig::x86_desktop().with_aggressive_interleaving(),
+        Mcm::Weak => SystemConfig::arm_soc().with_aggressive_interleaving(),
+    }
+    .with_mcm(mcm);
+    let mut sim = Simulator::new(&program, system);
+    let spec = TestGraphSpec::new(&program, mcm);
+    let mut unique = std::collections::BTreeSet::new();
+    for seed in 0..iterations {
+        unique.insert(
+            sim.run(seed)
+                .map_err(|e| format!("simulation: {e}"))?
+                .reads_from,
+        );
+    }
+    let observations: Vec<_> = unique
+        .iter()
+        .map(|rf| spec.observe(&program, rf, &CheckOptions::default()))
+        .collect();
+    let outcome = check_conventional(&spec, &observations);
+    println!(
+        "{iterations} iterations -> {} unique interleavings, {} violations under {mcm}",
+        unique.len(),
+        outcome.violation_count()
+    );
+    for (rf, result) in unique.iter().zip(outcome.results.iter()) {
+        if let Err(violation) = result {
+            print!("{}", explain_violation(&program, &spec, rf, violation));
+        }
+    }
+    if outcome.violation_count() == 0 {
+        Ok(())
+    } else {
+        Err("RESULT: violations detected".to_owned())
+    }
+}
+
+fn cmd_render(args: &Args) -> Result<(), String> {
+    let test = build_test(args)?;
+    let program = generate(&test);
+    let analysis = analyze(&program, &SourcePruning::none());
+    let schema = SignatureSchema::build(&program, &analysis, test.isa.register_bits());
+    println!("; {} — instrumented test", test.name());
+    println!("{}", render_instrumented(&program, &schema, test.isa));
+    Ok(())
+}
+
+fn cmd_configs() {
+    println!("the paper's 21 test configurations (Figure 8):");
+    for c in paper_configs() {
+        println!(
+            "  {:<16} {} threads x {} ops over {} addresses ({})",
+            c.name(),
+            c.threads,
+            c.ops_per_thread,
+            c.num_addrs,
+            c.mcm
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let result = match args.positional.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args),
+        Some("collect") => cmd_collect(&args),
+        Some("check") => cmd_check(&args),
+        Some("litmus") => cmd_litmus(&args),
+        Some("program") => cmd_program(&args),
+        Some("render") => cmd_render(&args),
+        Some("configs") => {
+            cmd_configs();
+            Ok(())
+        }
+        _ => {
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

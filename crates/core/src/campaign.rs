@@ -1,0 +1,579 @@
+//! The end-to-end MTraceCheck validation pipeline (Figure 1).
+//!
+//! One *campaign* takes a test configuration and walks the paper's four
+//! steps for each generated test: instrument the test (static candidate
+//! analysis + signature schema), execute it for many iterations on the
+//! simulated platform, collect and sort the execution signatures, and
+//! collectively check the unique signatures' constraint graphs.
+
+use crate::{CoverageTracker, SignatureLog};
+use mtc_gen::{generate_suite, TestConfig};
+use mtc_graph::{
+    check_collective, check_collective_split, check_conventional, CheckOptions, CheckStats,
+    CollectiveStats, TestGraphSpec, Violation,
+};
+use mtc_instr::{
+    analyze, CodeSize, CodeSizeModel, EncodeError, ExecutionSignature, IntrusivenessReport,
+    SignatureSchema, SourcePruning,
+};
+use mtc_isa::Program;
+use mtc_sim::{SimError, Simulator, SystemConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything a validation campaign needs to run.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Test-generation parameters (also names the campaign).
+    pub test: TestConfig,
+    /// The simulated platform under validation.
+    pub system: SystemConfig,
+    /// Loop iterations per test (65 536 in the paper's native runs; scale
+    /// down for simulation-speed studies, as the paper itself does for
+    /// gem5).
+    pub iterations: u64,
+    /// Distinct tests to generate (10 per configuration in §5).
+    pub tests: u64,
+    /// Static candidate pruning (§8 extension).
+    pub pruning: SourcePruning,
+    /// Constraint-graph options.
+    pub check: CheckOptions,
+    /// Also run the conventional per-graph checker for comparison
+    /// (Figure 9's baseline).
+    pub compare_conventional: bool,
+    /// Use the split-window collective checker (the beyond-the-paper
+    /// optimization; see `mtc_graph::check_collective_split`) instead of
+    /// the paper-faithful single window.
+    pub split_windows: bool,
+    /// Run the configuration's tests on parallel host threads. Each test's
+    /// simulation and checking are independent; results are identical to a
+    /// sequential run.
+    pub parallel: bool,
+}
+
+impl CampaignConfig {
+    /// A campaign with the paper's §5 defaults on the platform matching the
+    /// test's ISA, scaled to `iterations`.
+    pub fn new(test: TestConfig, iterations: u64) -> Self {
+        let system = match test.isa {
+            mtc_isa::IsaKind::X86 => SystemConfig::x86_desktop(),
+            mtc_isa::IsaKind::Arm => SystemConfig::arm_soc(),
+        }
+        .with_mcm(test.mcm);
+        CampaignConfig {
+            test,
+            system,
+            iterations,
+            tests: 10,
+            pruning: SourcePruning::none(),
+            check: CheckOptions::default(),
+            compare_conventional: false,
+            split_windows: false,
+            parallel: false,
+        }
+    }
+
+    /// Returns the configuration with a different simulated system.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Returns the configuration with `tests` generated tests.
+    pub fn with_tests(mut self, tests: u64) -> Self {
+        self.tests = tests;
+        self
+    }
+
+    /// Returns the configuration with conventional-checker comparison
+    /// enabled.
+    pub fn with_conventional_comparison(mut self) -> Self {
+        self.compare_conventional = true;
+        self
+    }
+
+    /// Returns the configuration with static candidate pruning (§8).
+    pub fn with_pruning(mut self, pruning: SourcePruning) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Returns the configuration using split-window collective checking.
+    pub fn with_split_windows(mut self) -> Self {
+        self.split_windows = true;
+        self
+    }
+
+    /// Returns the configuration running its tests on parallel host
+    /// threads.
+    pub fn with_parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+}
+
+/// Device-side cycle breakdown per test — the Figure 10 components.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Cycles of the original test across all iterations (including the
+    /// per-iteration synchronization barrier and memory re-initialization).
+    pub test_cycles: u64,
+    /// Cycles of signature computation (instrumented branch chains +
+    /// signature stores).
+    pub signature_cycles: u64,
+    /// Cycles of on-device signature sorting (balanced-tree insertion of
+    /// each iteration's signature).
+    pub sort_cycles: u64,
+}
+
+impl TimingBreakdown {
+    /// Signature computation as a fraction of original test time.
+    pub fn signature_overhead(&self) -> f64 {
+        if self.test_cycles == 0 {
+            return 0.0;
+        }
+        self.signature_cycles as f64 / self.test_cycles as f64
+    }
+
+    /// Signature sorting as a fraction of original test time.
+    pub fn sort_overhead(&self) -> f64 {
+        if self.test_cycles == 0 {
+            return 0.0;
+        }
+        self.sort_cycles as f64 / self.test_cycles as f64
+    }
+}
+
+/// A consistency violation found by a campaign, with the signature that
+/// exposed it and how often that signature occurred.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// The violating execution's signature.
+    pub signature: ExecutionSignature,
+    /// Times the signature was observed.
+    pub occurrences: u64,
+    /// The dependency cycle (empty when the violation was caught by the
+    /// instrumented assertion before graph checking).
+    pub violation: Option<Violation>,
+    /// The decoded reads-from observation, for diagnostics
+    /// ([`mtc_graph::explain_violation`]).
+    pub reads_from: mtc_isa::ReadsFrom,
+}
+
+/// Results of validating one test program.
+#[derive(Clone, Debug, Default)]
+pub struct TestReport {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Iterations that crashed the platform (injected bug 3).
+    pub crashes: u64,
+    /// Iterations whose observed value failed the instrumented assertion
+    /// (impossible value; caught without any graph checking).
+    pub assertion_failures: u64,
+    /// Unique execution signatures observed — the Figure 8 metric.
+    pub unique_signatures: usize,
+    /// Violations, one record per violating unique signature.
+    pub violations: Vec<ViolationRecord>,
+    /// Collective-checker breakdown (Figures 9 and 14).
+    pub collective: CollectiveStats,
+    /// Conventional-checker counters, when comparison was enabled.
+    pub conventional: Option<CheckStats>,
+    /// Device-side timing (Figure 10).
+    pub timing: TimingBreakdown,
+    /// Memory-traffic intrusiveness (Figure 11).
+    pub intrusiveness: IntrusivenessReport,
+    /// Code-size comparison (Figure 12).
+    pub code_size: CodeSize,
+    /// Execution-signature size in bytes (annotated inside Figure 11's
+    /// bars).
+    pub signature_bytes: usize,
+    /// Discovery curve and saturation estimate (§6.1).
+    pub coverage: crate::CoverageCurve,
+}
+
+impl TestReport {
+    /// Returns `true` when the test exposed no violation, assertion
+    /// failure, or crash.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.assertion_failures == 0 && self.crashes == 0
+    }
+
+    /// Collective-vs-conventional work ratio, when comparison was enabled.
+    pub fn checking_work_ratio(&self) -> Option<f64> {
+        let conventional = self.conventional.as_ref()?;
+        if conventional.work == 0 {
+            return None;
+        }
+        Some(self.collective.work as f64 / conventional.work as f64)
+    }
+}
+
+/// Aggregated results over all tests of one configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigReport {
+    /// The configuration's paper-style name.
+    pub name: String,
+    /// Per-test reports.
+    pub tests: Vec<TestReport>,
+}
+
+impl ConfigReport {
+    /// Mean unique signatures per test.
+    pub fn mean_unique_signatures(&self) -> f64 {
+        if self.tests.is_empty() {
+            return 0.0;
+        }
+        self.tests
+            .iter()
+            .map(|t| t.unique_signatures as f64)
+            .sum::<f64>()
+            / self.tests.len() as f64
+    }
+
+    /// Tests that found at least one violation, assertion failure or crash.
+    pub fn failing_tests(&self) -> usize {
+        self.tests.iter().filter(|t| !t.is_clean()).count()
+    }
+
+    /// Total violating unique signatures across tests.
+    pub fn total_violations(&self) -> usize {
+        self.tests.iter().map(|t| t.violations.len()).sum()
+    }
+
+    /// Mean signature-computation overhead over tests.
+    pub fn mean_signature_overhead(&self) -> f64 {
+        if self.tests.is_empty() {
+            return 0.0;
+        }
+        self.tests
+            .iter()
+            .map(|t| t.timing.signature_overhead())
+            .sum::<f64>()
+            / self.tests.len() as f64
+    }
+}
+
+/// One full validation campaign.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign { config }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Generates the configured number of tests and validates each,
+    /// mirroring the paper's per-configuration runs.
+    pub fn run(&self) -> ConfigReport {
+        let programs = generate_suite(&self.config.test, self.config.tests);
+        let tests = if self.config.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = programs
+                    .iter()
+                    .map(|p| scope.spawn(move || self.run_test(p)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        } else {
+            programs.iter().map(|p| self.run_test(p)).collect()
+        };
+        ConfigReport {
+            name: self.config.test.name(),
+            tests,
+        }
+    }
+
+    /// Validates one (externally supplied) test program end to end —
+    /// device-side collection followed by host-side checking.
+    pub fn run_test(&self, program: &Program) -> TestReport {
+        self.check_log(&self.collect(program))
+    }
+
+    /// The device side of the pipeline (Figure 1 steps 2–3): instrument the
+    /// test, execute it for the configured iterations, and return the
+    /// compact signature log a silicon run would ship to the host.
+    ///
+    /// ```
+    /// use mtracecheck::{Campaign, CampaignConfig, TestConfig};
+    /// use mtracecheck::isa::IsaKind;
+    ///
+    /// let campaign = Campaign::new(CampaignConfig::new(
+    ///     TestConfig::new(IsaKind::Arm, 2, 15, 8),
+    ///     100,
+    /// ));
+    /// let program = mtracecheck::testgen::generate(&campaign.config().test);
+    /// let log = campaign.collect(&program);          // on the device
+    /// let report = campaign.check_log(&log);         // on the host
+    /// assert!(report.is_clean());
+    /// ```
+    pub fn collect(&self, program: &Program) -> SignatureLog {
+        let config = &self.config;
+        let analysis = analyze(program, &config.pruning);
+        let schema = SignatureSchema::build(program, &analysis, config.test.isa.register_bits());
+        let mut sim = Simulator::new(program, config.system.clone());
+        sim.instrument(&schema);
+        let mut signatures: BTreeMap<ExecutionSignature, u64> = BTreeMap::new();
+        let mut log = SignatureLog {
+            program: program.clone(),
+            register_bits: config.test.isa.register_bits(),
+            pruning: config.pruning,
+            iterations: config.iterations,
+            crashes: 0,
+            assertion_failures: 0,
+            timing: TimingBreakdown::default(),
+            coverage: crate::CoverageCurve::default(),
+            signatures: Vec::new(),
+        };
+        // Per-iteration fixed costs the paper's loop body pays besides the
+        // generated accesses: the sense-reversal barrier and the shared-
+        // memory re-initialization (§5).
+        let barrier_cycles = 150u64;
+        let init_cycles = 2 * program.num_addrs() as u64;
+        let mut sort_comparisons = 0u64;
+        let mut coverage = CoverageTracker::new();
+        for iter in 0..config.iterations {
+            let seed = config
+                .test
+                .seed
+                .wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            match sim.run(seed) {
+                Err(SimError::ProtocolDeadlock { .. }) | Err(SimError::Livelock { .. }) => {
+                    log.crashes += 1;
+                }
+                Ok(exec) => {
+                    log.timing.test_cycles += exec.test_cycles + barrier_cycles + init_cycles;
+                    log.timing.signature_cycles += exec.instr_cycles;
+                    match schema.encode(&exec.reads_from) {
+                        Ok(sig) => {
+                            // Balanced-tree insertion cost of on-device
+                            // signature sorting: ~log2 of the current
+                            // unique-set size comparisons.
+                            sort_comparisons +=
+                                (signatures.len().max(1) as f64).log2().ceil() as u64 + 1;
+                            let count = signatures.entry(sig).or_insert(0);
+                            coverage.record(*count == 0);
+                            *count += 1;
+                        }
+                        Err(EncodeError::UnexpectedValue { .. }) => {
+                            log.assertion_failures += 1;
+                        }
+                        Err(EncodeError::MissingLoad { .. }) => {
+                            unreachable!("complete executions observe every load")
+                        }
+                    }
+                }
+            }
+        }
+        let words = schema.total_words() as u64;
+        log.timing.sort_cycles = sort_comparisons * (6 + 2 * words);
+        let singletons = signatures.values().filter(|&&c| c == 1).count() as u64;
+        log.coverage = coverage.finish(singletons);
+        log.signatures = signatures.into_iter().collect();
+        log
+    }
+
+    /// The host side of the pipeline (Figure 1 step 4): rebuild the
+    /// instrumentation schema, decode the unique signatures, and check the
+    /// constraint graphs collectively.
+    pub fn check_log(&self, log: &SignatureLog) -> TestReport {
+        let config = &self.config;
+        let program = &log.program;
+        let analysis = analyze(program, &log.pruning);
+        let schema = SignatureSchema::build(program, &analysis, log.register_bits);
+        let mut report = TestReport {
+            iterations: log.iterations,
+            crashes: log.crashes,
+            assertion_failures: log.assertion_failures,
+            timing: log.timing,
+            code_size: CodeSizeModel::new(config.test.isa).measure(program, &schema),
+            intrusiveness: IntrusivenessReport::measure(program, &schema),
+            signature_bytes: schema.signature_bytes(),
+            unique_signatures: log.signatures.len(),
+            coverage: log.coverage.clone(),
+            ..TestReport::default()
+        };
+
+        let spec = TestGraphSpec::new(program, config.system.mcm);
+        let mut decoded = Vec::with_capacity(log.signatures.len());
+        let observations: Vec<_> = log
+            .signatures
+            .iter()
+            .map(|(sig, _)| {
+                let rf = schema
+                    .decode(sig)
+                    .expect("signature logs carry schema-valid signatures");
+                let obs = spec.observe(program, &rf, &config.check);
+                decoded.push(rf);
+                obs
+            })
+            .collect();
+        let collective = if config.split_windows {
+            check_collective_split(&spec, &observations)
+        } else {
+            check_collective(&spec, &observations)
+        };
+        for (((sig, count), rf), result) in log
+            .signatures
+            .iter()
+            .zip(decoded.iter())
+            .zip(collective.results.iter())
+        {
+            if let Err(violation) = result {
+                report.violations.push(ViolationRecord {
+                    signature: sig.clone(),
+                    occurrences: *count,
+                    violation: Some(violation.clone()),
+                    reads_from: rf.clone(),
+                });
+            }
+        }
+        report.collective = collective.stats;
+        if config.compare_conventional {
+            report.conventional = Some(check_conventional(&spec, &observations).stats);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::IsaKind;
+
+    fn small_campaign(isa: IsaKind) -> Campaign {
+        Campaign::new(
+            CampaignConfig::new(TestConfig::new(isa, 2, 20, 8).with_seed(1), 200)
+                .with_tests(2)
+                .with_conventional_comparison(),
+        )
+    }
+
+    #[test]
+    fn clean_hardware_validates_clean() {
+        for isa in [IsaKind::Arm, IsaKind::X86] {
+            let report = small_campaign(isa).run();
+            assert_eq!(report.tests.len(), 2);
+            for t in &report.tests {
+                assert!(t.is_clean(), "{isa:?} reported spurious violations");
+                assert!(t.unique_signatures >= 1);
+                assert_eq!(t.crashes, 0);
+                assert_eq!(
+                    t.collective.graphs, t.unique_signatures,
+                    "every unique signature is checked exactly once"
+                );
+            }
+            assert!(report.mean_unique_signatures() >= 1.0);
+            assert_eq!(report.failing_tests(), 0);
+        }
+    }
+
+    #[test]
+    fn collective_work_does_not_exceed_conventional() {
+        let report = small_campaign(IsaKind::Arm).run();
+        for t in &report.tests {
+            let ratio = t.checking_work_ratio().expect("comparison enabled");
+            assert!(ratio <= 1.0, "collective ratio {ratio} > 1");
+        }
+    }
+
+    #[test]
+    fn weak_systems_show_more_diversity_than_tso() {
+        let arm = Campaign::new(
+            CampaignConfig::new(TestConfig::new(IsaKind::Arm, 4, 30, 8).with_seed(3), 400)
+                .with_tests(1),
+        )
+        .run();
+        let x86 = Campaign::new(
+            CampaignConfig::new(TestConfig::new(IsaKind::X86, 4, 30, 8).with_seed(3), 400)
+                .with_tests(1),
+        )
+        .run();
+        assert!(
+            arm.mean_unique_signatures() >= x86.mean_unique_signatures(),
+            "ARM {} < x86 {}",
+            arm.mean_unique_signatures(),
+            x86.mean_unique_signatures()
+        );
+    }
+
+    #[test]
+    fn timing_components_are_populated() {
+        let report = small_campaign(IsaKind::Arm).run();
+        let t = &report.tests[0];
+        assert!(t.timing.test_cycles > 0);
+        assert!(t.timing.signature_cycles > 0);
+        assert!(t.timing.sort_cycles > 0);
+        assert!(t.timing.signature_overhead() > 0.0);
+        assert!(t.timing.sort_overhead() > 0.0);
+        assert!(t.intrusiveness.normalized() > 0.0);
+        assert!(t.code_size.ratio() > 1.0);
+        assert!(t.signature_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let test = TestConfig::new(IsaKind::Arm, 3, 20, 8).with_seed(9);
+        let sequential = Campaign::new(CampaignConfig::new(test.clone(), 150).with_tests(3)).run();
+        let parallel =
+            Campaign::new(CampaignConfig::new(test, 150).with_tests(3).with_parallel()).run();
+        assert_eq!(sequential.tests.len(), parallel.tests.len());
+        for (a, b) in sequential.tests.iter().zip(parallel.tests.iter()) {
+            assert_eq!(a.unique_signatures, b.unique_signatures);
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.timing, b.timing);
+        }
+    }
+
+    #[test]
+    fn split_window_campaign_agrees_on_verdicts() {
+        let test = TestConfig::new(IsaKind::Arm, 4, 30, 8).with_seed(10);
+        let single = Campaign::new(CampaignConfig::new(test.clone(), 400).with_tests(2)).run();
+        let split = Campaign::new(
+            CampaignConfig::new(test, 400)
+                .with_tests(2)
+                .with_split_windows(),
+        )
+        .run();
+        assert_eq!(single.failing_tests(), split.failing_tests());
+        for (a, b) in single.tests.iter().zip(split.tests.iter()) {
+            assert_eq!(a.unique_signatures, b.unique_signatures);
+            assert!(b.collective.resorted_vertices <= a.collective.resorted_vertices);
+        }
+    }
+
+    #[test]
+    fn bug_injection_is_detected() {
+        use mtc_sim::BugKind;
+        let test = TestConfig::new(IsaKind::X86, 4, 50, 4)
+            .with_words_per_line(4)
+            .with_seed(7);
+        let system = mtc_sim::SystemConfig::gem5_x86()
+            .with_bug(BugKind::LoadLoadLsq)
+            .with_aggressive_interleaving();
+        let campaign = Campaign::new(
+            CampaignConfig::new(test, 2000)
+                .with_system(system)
+                .with_tests(3),
+        );
+        let report = campaign.run();
+        assert!(
+            report.failing_tests() > 0,
+            "LSQ bug escaped a 3-test campaign"
+        );
+        // Violations are cyclic-graph detections, not crashes.
+        for t in &report.tests {
+            assert_eq!(t.crashes, 0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Interleaving-coverage tracking: how fast does a test stop discovering
+//! new unique interleavings?
+//!
+//! §6.1 of the paper studies exactly this — ARM-2-200-32 yields 54 % unique
+//! signatures at 65 536 iterations but only 30 % at 1 048 576, i.e. the
+//! discovery rate decays — and post-silicon validation needs to know when
+//! re-running a test stops buying coverage. [`CoverageCurve`] records the
+//! unique-signature count at exponentially spaced checkpoints, and the
+//! Good–Turing estimator (the fraction of signatures seen exactly once)
+//! estimates the probability that the *next* iteration reveals a new
+//! interleaving.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One checkpoint of the discovery curve.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CoveragePoint {
+    /// Iterations executed so far.
+    pub iterations: u64,
+    /// Unique signatures observed so far.
+    pub unique: u64,
+}
+
+/// The discovery curve of one test run, with checkpoints at powers of two
+/// plus the final count.
+#[derive(Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CoverageCurve {
+    points: Vec<CoveragePoint>,
+    /// Signatures observed exactly once (Good–Turing `N₁`).
+    singletons: u64,
+    /// Total successful iterations (`N`).
+    iterations: u64,
+    /// Final unique count.
+    unique: u64,
+}
+
+impl CoverageCurve {
+    /// The exponentially spaced checkpoints (last point = final state).
+    pub fn points(&self) -> &[CoveragePoint] {
+        &self.points
+    }
+
+    /// Total iterations tracked.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Final unique-signature count.
+    pub fn unique(&self) -> u64 {
+        self.unique
+    }
+
+    /// Fraction of iterations that produced a unique signature — the
+    /// percentage the paper quotes ("54 %" for ARM-2-200-32 at 65 536).
+    pub fn unique_fraction(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.unique as f64 / self.iterations as f64
+    }
+
+    /// Good–Turing estimate of the probability that the next iteration
+    /// observes a *new* interleaving (`N₁ / N`). Near 1.0 the test is still
+    /// discovering on almost every run; near 0.0 more iterations are mostly
+    /// wasted.
+    pub fn discovery_probability(&self) -> f64 {
+        if self.iterations == 0 {
+            return 1.0;
+        }
+        self.singletons as f64 / self.iterations as f64
+    }
+
+    /// Returns `true` once the estimated discovery probability has fallen
+    /// below `threshold` — a stopping criterion for test repetition.
+    pub fn saturated(&self, threshold: f64) -> bool {
+        self.iterations > 0 && self.discovery_probability() < threshold
+    }
+}
+
+impl fmt::Display for CoverageCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} unique / {} iterations ({:.1}% unique, {:.1}% discovery probability)",
+            self.unique,
+            self.iterations,
+            100.0 * self.unique_fraction(),
+            100.0 * self.discovery_probability()
+        )
+    }
+}
+
+/// Incremental builder for a [`CoverageCurve`]; feed it one observation per
+/// iteration.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageTracker {
+    points: Vec<CoveragePoint>,
+    iterations: u64,
+    unique: u64,
+    next_checkpoint: u64,
+}
+
+impl CoverageTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CoverageTracker {
+            points: Vec::new(),
+            iterations: 0,
+            unique: 0,
+            next_checkpoint: 1,
+        }
+    }
+
+    /// Records one iteration; `new_signature` says whether its signature
+    /// had not been seen before.
+    pub fn record(&mut self, new_signature: bool) {
+        self.iterations += 1;
+        if new_signature {
+            self.unique += 1;
+        }
+        if self.iterations == self.next_checkpoint {
+            self.points.push(CoveragePoint {
+                iterations: self.iterations,
+                unique: self.unique,
+            });
+            self.next_checkpoint *= 2;
+        }
+    }
+
+    /// Finalizes the curve; `singletons` is the number of signatures whose
+    /// final occurrence count is exactly one.
+    pub fn finish(mut self, singletons: u64) -> CoverageCurve {
+        if self
+            .points
+            .last()
+            .is_none_or(|p| p.iterations != self.iterations)
+        {
+            self.points.push(CoveragePoint {
+                iterations: self.iterations,
+                unique: self.unique,
+            });
+        }
+        CoverageCurve {
+            points: self.points,
+            singletons,
+            iterations: self.iterations,
+            unique: self.unique,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_are_powers_of_two_plus_final() {
+        let mut t = CoverageTracker::new();
+        for i in 0..10u64 {
+            t.record(i % 2 == 0);
+        }
+        let curve = t.finish(3);
+        let iters: Vec<u64> = curve.points().iter().map(|p| p.iterations).collect();
+        assert_eq!(iters, vec![1, 2, 4, 8, 10]);
+        assert_eq!(curve.unique(), 5);
+        assert_eq!(curve.iterations(), 10);
+        assert_eq!(curve.unique_fraction(), 0.5);
+        assert_eq!(curve.discovery_probability(), 0.3);
+    }
+
+    #[test]
+    fn final_checkpoint_not_duplicated_at_power_of_two() {
+        let mut t = CoverageTracker::new();
+        for _ in 0..8 {
+            t.record(true);
+        }
+        let curve = t.finish(8);
+        let iters: Vec<u64> = curve.points().iter().map(|p| p.iterations).collect();
+        assert_eq!(iters, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn saturation_threshold() {
+        let mut t = CoverageTracker::new();
+        for i in 0..100u64 {
+            t.record(i < 5);
+        }
+        // 5 unique, none repeated... say 1 singleton remains.
+        let curve = t.finish(1);
+        assert!(curve.saturated(0.05));
+        assert!(!curve.saturated(0.005));
+    }
+
+    #[test]
+    fn empty_curve_is_unsaturated() {
+        let curve = CoverageTracker::new().finish(0);
+        assert_eq!(curve.discovery_probability(), 1.0);
+        assert!(!curve.saturated(0.5));
+        assert_eq!(curve.unique_fraction(), 0.0);
+        assert_eq!(curve.points().len(), 1, "final (empty) checkpoint");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut t = CoverageTracker::new();
+        t.record(true);
+        let c = t.finish(1);
+        assert!(c.to_string().contains("unique"));
+    }
+}

@@ -1,0 +1,66 @@
+//! **MTraceCheck** — a post-silicon validation framework for memory
+//! consistency models, reproducing Lee & Bertacco, ISCA 2017.
+//!
+//! MTraceCheck validates the non-deterministic memory-access interleavings
+//! a multi-core system exhibits while running constrained-random tests. Its
+//! two contributions, both implemented here:
+//!
+//! 1. **Memory-access interleaving signatures** (§3): instead of logging
+//!    every loaded value, the instrumented test folds each load's observed
+//!    producer into a per-thread mixed-radix accumulator. One signature per
+//!    execution, bijective with the observed reads-from set, cutting
+//!    test-unrelated memory traffic by ~93 % vs register flushing.
+//! 2. **Collective graph checking** (§4): unique signatures are sorted so
+//!    neighbouring constraint graphs are similar, and each graph is
+//!    validated by incrementally re-sorting only the window of the previous
+//!    topological order disturbed by new backward edges — ~81 % less
+//!    checking work than sorting every graph from scratch.
+//!
+//! The paper's silicon platforms are replaced by the [`mtc_sim`] simulator
+//! substrate (see `DESIGN.md` for the substitution argument); everything
+//! else — generation, instrumentation, decoding, checking — is the real
+//! algorithmic pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mtracecheck::{Campaign, CampaignConfig, TestConfig};
+//! use mtracecheck::isa::IsaKind;
+//!
+//! // Validate a small ARM-flavoured configuration for 100 iterations.
+//! let test = TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(42);
+//! let report = Campaign::new(CampaignConfig::new(test, 100)).run();
+//! assert_eq!(report.failing_tests(), 0, "correct hardware validates clean");
+//! ```
+//!
+//! The crate re-exports its building blocks as modules: [`isa`]
+//! (programs/MCMs), [`testgen`] (constrained-random generation), [`instr`]
+//! (signatures), [`sim`] (the platform simulator), and [`graph`]
+//! (constraint-graph checking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod coverage;
+mod log;
+mod report;
+
+pub use campaign::{
+    Campaign, CampaignConfig, ConfigReport, TestReport, TimingBreakdown, ViolationRecord,
+};
+pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
+pub use log::{LogError, SignatureLog};
+
+pub use mtc_gen::{paper_configs, TestConfig};
+
+/// Constrained-random test generation ([`mtc_gen`]).
+pub use mtc_gen as testgen;
+/// Constraint graphs and collective checking ([`mtc_graph`]).
+pub use mtc_graph as graph;
+/// Signature instrumentation, encoding and decoding ([`mtc_instr`]).
+pub use mtc_instr as instr;
+/// Abstract ISA, programs, MCMs and litmus tests ([`mtc_isa`]).
+pub use mtc_isa as isa;
+/// The multi-core platform simulator substrate ([`mtc_sim`]).
+pub use mtc_sim as sim;

@@ -1,0 +1,158 @@
+//! Signature logs: the artifact a post-silicon run ships to the host.
+//!
+//! In the paper's deployment, the device executes the instrumented test for
+//! thousands of iterations and stores one compact signature per iteration;
+//! the host later decodes and checks them — the whole point of signatures
+//! is that this transfer is tiny (Figure 11). [`SignatureLog`] is that
+//! artifact: the test program, the instrumentation parameters, and the
+//! sorted unique signatures with their occurrence counts. Collection
+//! ([`Campaign::collect`](crate::Campaign::collect)) and checking
+//! ([`Campaign::check_log`](crate::Campaign::check_log)) can run in
+//! different processes, machines, or sessions via the JSON round-trip.
+
+use crate::{CoverageCurve, TimingBreakdown};
+use mtc_instr::ExecutionSignature;
+use mtc_isa::Program;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Everything a host needs to check one device run: the test, the
+/// instrumentation width, and the observed signature multiset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SignatureLog {
+    /// The (uninstrumented) test program the signatures describe.
+    pub program: Program,
+    /// Register width the signature schema was built for.
+    pub register_bits: u32,
+    /// Static pruning used at instrumentation time (the host must rebuild
+    /// the identical schema).
+    pub pruning: mtc_instr::SourcePruning,
+    /// Loop iterations executed on the device.
+    pub iterations: u64,
+    /// Iterations that crashed the platform.
+    pub crashes: u64,
+    /// Iterations whose instrumented assertion fired on the device.
+    pub assertion_failures: u64,
+    /// Device-side timing, for the Figure 10 accounting.
+    pub timing: TimingBreakdown,
+    /// The discovery curve: unique signatures vs iterations, with the
+    /// Good–Turing saturation estimate (§6.1's sensitivity analysis).
+    pub coverage: CoverageCurve,
+    /// Unique signatures in ascending order with occurrence counts.
+    pub signatures: Vec<(ExecutionSignature, u64)>,
+}
+
+impl SignatureLog {
+    /// Number of unique signatures (= unique memory-access interleavings).
+    pub fn unique_signatures(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Writes the log as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), LogError> {
+        let file = std::fs::File::create(path.as_ref())?;
+        serde_json::to_writer(BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Reads a log written by [`SignatureLog::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization errors.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        let file = std::fs::File::open(path.as_ref())?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+}
+
+impl fmt::Display for SignatureLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signature log: {} iterations, {} unique signatures, {} crashes, {} assertion failures",
+            self.iterations,
+            self.unique_signatures(),
+            self.crashes,
+            self.assertion_failures
+        )
+    }
+}
+
+/// Error saving or loading a [`SignatureLog`].
+#[derive(Debug)]
+pub enum LogError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid signature log.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "signature log I/O error: {e}"),
+            LogError::Format(e) => write!(f, "signature log format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            LogError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LogError {
+    fn from(e: serde_json::Error) -> Self {
+        LogError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Campaign, CampaignConfig, TestConfig};
+    use mtc_isa::IsaKind;
+
+    #[test]
+    fn collect_check_roundtrips_through_json() {
+        let test = TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(5);
+        let campaign = Campaign::new(CampaignConfig::new(test, 200).with_tests(1));
+        let program = mtc_gen::generate(&campaign.config().test);
+        let log = campaign.collect(&program);
+        assert!(log.unique_signatures() >= 1);
+        assert_eq!(log.iterations, 200);
+
+        let dir = std::env::temp_dir().join("mtracecheck-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        log.save_json(&path).unwrap();
+        let loaded = super::SignatureLog::load_json(&path).unwrap();
+        assert_eq!(loaded, log);
+        std::fs::remove_file(&path).ok();
+
+        // Host-side checking of the loaded log matches direct validation.
+        let direct = campaign.run_test(&program);
+        let from_log = campaign.check_log(&loaded);
+        assert_eq!(direct.unique_signatures, from_log.unique_signatures);
+        assert_eq!(direct.violations, from_log.violations);
+        assert_eq!(direct.timing, from_log.timing);
+        assert!(from_log.is_clean());
+        assert!(loaded.to_string().contains("unique signatures"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Human-readable rendering of campaign results.
+
+use crate::{ConfigReport, TestReport};
+use std::fmt;
+
+impl fmt::Display for TestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "iterations {}  unique signatures {}  crashes {}  assertion failures {}",
+            self.iterations, self.unique_signatures, self.crashes, self.assertion_failures
+        )?;
+        writeln!(
+            f,
+            "checking: {} graphs ({} complete / {} no-resort / {} incremental), {} violations",
+            self.collective.graphs,
+            self.collective.complete,
+            self.collective.no_resort,
+            self.collective.incremental,
+            self.violations.len()
+        )?;
+        if let Some(ratio) = self.checking_work_ratio() {
+            writeln!(f, "collective/conventional work ratio: {:.3}", ratio)?;
+        }
+        writeln!(
+            f,
+            "timing: test {} cyc, signatures {} cyc ({:.1}%), sorting {} cyc ({:.1}%)",
+            self.timing.test_cycles,
+            self.timing.signature_cycles,
+            100.0 * self.timing.signature_overhead(),
+            self.timing.sort_cycles,
+            100.0 * self.timing.sort_overhead()
+        )?;
+        writeln!(f, "coverage: {}", self.coverage)?;
+        writeln!(
+            f,
+            "intrusiveness: {:.1}% of register flushing ({} B signature); code {:.2}x",
+            100.0 * self.intrusiveness.normalized(),
+            self.signature_bytes,
+            self.code_size.ratio()
+        )?;
+        for v in &self.violations {
+            write!(
+                f,
+                "VIOLATION (signature {}, seen {}x)",
+                v.signature, v.occurrences
+            )?;
+            match &v.violation {
+                Some(violation) => writeln!(f, ": {violation}")?,
+                None => writeln!(f, ": caught by instrumented assertion")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConfigReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ({} tests) ===", self.name, self.tests.len())?;
+        writeln!(
+            f,
+            "mean unique signatures {:.1}; {} failing tests; {} violating signatures",
+            self.mean_unique_signatures(),
+            self.failing_tests(),
+            self.total_violations()
+        )?;
+        for (i, t) in self.tests.iter().enumerate() {
+            writeln!(f, "--- test {i} ---")?;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Campaign, CampaignConfig};
+    use mtc_gen::TestConfig;
+    use mtc_isa::IsaKind;
+
+    #[test]
+    fn reports_render() {
+        let campaign = Campaign::new(
+            CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 10, 4).with_seed(2), 50)
+                .with_tests(1)
+                .with_conventional_comparison(),
+        );
+        let report = campaign.run();
+        let text = report.to_string();
+        assert!(text.contains("unique signatures"));
+        assert!(text.contains("work ratio"));
+        assert!(text.contains("intrusiveness"));
+        let _ = format!("{}", report.tests[0]);
+    }
+}

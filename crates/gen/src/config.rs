@@ -1,0 +1,209 @@
+//! Test-generation configuration and the paper's 21 named configurations.
+
+use mtc_isa::{IsaKind, Mcm, MemoryLayout};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of one constrained-random test configuration (Table 2 of the
+/// paper, plus the data-layout and OS knobs of Figure 8).
+///
+/// The paper's naming convention is
+/// `[ISA]-[test threads]-[memory operations per thread]-[distinct shared
+/// addresses]`, e.g. `ARM-2-50-32`; [`TestConfig::name`] reproduces it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TestConfig {
+    /// Instruction-set flavour (controls register width, code-size model and
+    /// the default MCM).
+    pub isa: IsaKind,
+    /// Memory consistency model under validation. Defaults to
+    /// [`IsaKind::default_mcm`].
+    pub mcm: Mcm,
+    /// Number of test threads (2, 4 or 7 in the paper).
+    pub threads: u32,
+    /// Static memory operations per thread (50, 100 or 200 in the paper).
+    pub ops_per_thread: u32,
+    /// Distinct shared word addresses (32, 64 or 128 in the paper).
+    pub num_addrs: u32,
+    /// Probability that a generated operation is a load (0.5 in the paper).
+    pub load_fraction: f64,
+    /// Probability of inserting a memory barrier after each operation
+    /// (0 in the paper's generated tests — their only barrier sits at the
+    /// iteration boundary; an extension knob for studying how fences
+    /// suppress observable reorderings).
+    pub fence_fraction: f64,
+    /// Shared words packed per cache line (1 = no false sharing; the paper
+    /// also evaluates 4 and 16).
+    pub words_per_line: u32,
+    /// RNG seed; tests are fully reproducible given the seed.
+    pub seed: u64,
+}
+
+impl TestConfig {
+    /// Creates a configuration with the paper's defaults: 50 % loads, no
+    /// false sharing, the ISA's native MCM, seed 0.
+    pub fn new(isa: IsaKind, threads: u32, ops_per_thread: u32, num_addrs: u32) -> Self {
+        TestConfig {
+            isa,
+            mcm: isa.default_mcm(),
+            threads,
+            ops_per_thread,
+            num_addrs,
+            load_fraction: 0.5,
+            fence_fraction: 0.0,
+            words_per_line: 1,
+            seed: 0,
+        }
+    }
+
+    /// Returns the configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with `words_per_line` shared words per
+    /// cache line (false sharing when > 1).
+    pub fn with_words_per_line(mut self, words_per_line: u32) -> Self {
+        self.words_per_line = words_per_line;
+        self
+    }
+
+    /// Returns the configuration with an explicit MCM override (e.g. running
+    /// the SC limit-study simulator over an ARM-shaped test).
+    pub fn with_mcm(mut self, mcm: Mcm) -> Self {
+        self.mcm = mcm;
+        self
+    }
+
+    /// Returns the configuration with a different load probability.
+    pub fn with_load_fraction(mut self, load_fraction: f64) -> Self {
+        self.load_fraction = load_fraction;
+        self
+    }
+
+    /// Returns the configuration with barriers injected after operations
+    /// with probability `fence_fraction` (full / store-store / load-load
+    /// kinds, equally likely).
+    pub fn with_fence_fraction(mut self, fence_fraction: f64) -> Self {
+        self.fence_fraction = fence_fraction;
+        self
+    }
+
+    /// The paper's configuration name, e.g. `ARM-7-200-64`; a
+    /// `(4 words/line)` suffix is appended for false-sharing layouts.
+    pub fn name(&self) -> String {
+        let base = format!(
+            "{}-{}-{}-{}",
+            self.isa.prefix(),
+            self.threads,
+            self.ops_per_thread,
+            self.num_addrs
+        );
+        if self.words_per_line > 1 {
+            format!("{base} ({} words/line)", self.words_per_line)
+        } else {
+            base
+        }
+    }
+
+    /// The shared-memory layout implied by `words_per_line`.
+    pub fn layout(&self) -> MemoryLayout {
+        MemoryLayout::with_words_per_line(self.words_per_line)
+    }
+
+    /// Total static memory operations across all threads.
+    pub fn total_ops(&self) -> u32 {
+        self.threads * self.ops_per_thread
+    }
+}
+
+impl fmt::Display for TestConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The 21 representative test configurations of Figure 8, in the figure's
+/// x-axis order: 15 ARM configurations followed by 6 x86 configurations.
+pub fn paper_configs() -> Vec<TestConfig> {
+    let arm = [
+        (2, 50, 32),
+        (2, 50, 64),
+        (2, 100, 32),
+        (2, 100, 64),
+        (2, 200, 32),
+        (2, 200, 64),
+        (4, 50, 64),
+        (4, 100, 64),
+        (4, 200, 64),
+        (7, 50, 64),
+        (7, 50, 128),
+        (7, 100, 64),
+        (7, 100, 128),
+        (7, 200, 64),
+        (7, 200, 128),
+    ];
+    let x86 = [
+        (2, 50, 32),
+        (2, 100, 32),
+        (2, 200, 32),
+        (4, 50, 64),
+        (4, 100, 64),
+        (4, 200, 64),
+    ];
+    arm.iter()
+        .map(|&(t, o, a)| TestConfig::new(IsaKind::Arm, t, o, a))
+        .chain(
+            x86.iter()
+                .map(|&(t, o, a)| TestConfig::new(IsaKind::X86, t, o, a)),
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_matches_paper_convention() {
+        let c = TestConfig::new(IsaKind::Arm, 2, 50, 32);
+        assert_eq!(c.name(), "ARM-2-50-32");
+        let c = TestConfig::new(IsaKind::X86, 4, 100, 64).with_words_per_line(16);
+        assert_eq!(c.name(), "x86-4-100-64 (16 words/line)");
+        assert_eq!(c.to_string(), c.name());
+    }
+
+    #[test]
+    fn there_are_21_paper_configs() {
+        let configs = paper_configs();
+        assert_eq!(configs.len(), 21);
+        assert_eq!(configs.iter().filter(|c| c.isa == IsaKind::Arm).count(), 15);
+        assert_eq!(configs.iter().filter(|c| c.isa == IsaKind::X86).count(), 6);
+        // All names unique.
+        let mut names: Vec<_> = configs.iter().map(TestConfig::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+        // Defaults per §5.
+        for c in &configs {
+            assert_eq!(c.load_fraction, 0.5);
+            assert_eq!(c.fence_fraction, 0.0);
+            assert_eq!(c.words_per_line, 1);
+            assert_eq!(c.mcm, c.isa.default_mcm());
+        }
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = TestConfig::new(IsaKind::Arm, 7, 200, 64)
+            .with_seed(42)
+            .with_mcm(Mcm::Sc)
+            .with_load_fraction(0.25)
+            .with_words_per_line(4);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.mcm, Mcm::Sc);
+        assert_eq!(c.load_fraction, 0.25);
+        assert_eq!(c.layout().words_per_line(), 4);
+        assert_eq!(c.total_ops(), 1400);
+    }
+}

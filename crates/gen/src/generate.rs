@@ -1,0 +1,160 @@
+//! The seeded constrained-random generator.
+
+use crate::TestConfig;
+use mtc_isa::{Addr, FenceKind, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one constrained-random test program from `config`.
+///
+/// Each thread receives exactly `config.ops_per_thread` memory operations;
+/// every operation is a load with probability `config.load_fraction`
+/// (otherwise a store), targeting a uniformly random shared address. The
+/// generator is deterministic in `config` (including its seed).
+///
+/// Memory disambiguation is perfect by construction — every access names a
+/// literal shared-word address — which is the property §3.1 relies on for
+/// static candidate analysis.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero threads or zero
+/// addresses); campaign code always passes the validated paper
+/// configurations.
+pub fn generate(config: &TestConfig) -> Program {
+    assert!(
+        config.threads > 0,
+        "configuration must have at least one thread"
+    );
+    assert!(
+        config.num_addrs > 0,
+        "configuration must have at least one shared address"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = ProgramBuilder::new(config.num_addrs, config.layout());
+    for t in 0..config.threads {
+        let mut thread = builder.thread(t as usize);
+        for _ in 0..config.ops_per_thread {
+            let addr = Addr(rng.gen_range(0..config.num_addrs));
+            thread = if rng.gen_bool(config.load_fraction) {
+                thread.load(addr)
+            } else {
+                thread.store(addr)
+            };
+            if config.fence_fraction > 0.0 && rng.gen_bool(config.fence_fraction) {
+                let kind = match rng.gen_range(0..3) {
+                    0 => FenceKind::Full,
+                    1 => FenceKind::StoreStore,
+                    _ => FenceKind::LoadLoad,
+                };
+                thread = thread.fence_of(kind);
+            }
+        }
+    }
+    builder
+        .build()
+        .expect("generated programs are well-formed by construction")
+}
+
+/// Generates `count` distinct tests for one configuration, seeding test `i`
+/// with `config.seed + i` — the paper generates 10 distinct tests per
+/// configuration (§5).
+pub fn generate_suite(config: &TestConfig, count: u64) -> Vec<Program> {
+    (0..count)
+        .map(|i| generate(&config.clone().with_seed(config.seed.wrapping_add(i))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::IsaKind;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generates_exact_op_counts() {
+        let config = TestConfig::new(IsaKind::X86, 4, 100, 64).with_seed(3);
+        let p = generate(&config);
+        assert_eq!(p.num_threads(), 4);
+        assert_eq!(p.num_memory_ops(), 400);
+        assert_eq!(p.num_instrs(), 400, "generator emits no fences");
+        for t in p.threads() {
+            assert_eq!(t.len(), 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let config = TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(11);
+        assert_eq!(generate(&config), generate(&config));
+        let other = generate(&config.clone().with_seed(12));
+        assert_ne!(generate(&config), other);
+    }
+
+    #[test]
+    fn load_fraction_extremes() {
+        let all_loads = TestConfig::new(IsaKind::Arm, 2, 50, 32).with_load_fraction(1.0);
+        let p = generate(&all_loads);
+        assert_eq!(p.num_loads(), 100);
+        assert_eq!(p.num_stores(), 0);
+        let all_stores = TestConfig::new(IsaKind::Arm, 2, 50, 32).with_load_fraction(0.0);
+        let p = generate(&all_stores);
+        assert_eq!(p.num_stores(), 100);
+    }
+
+    #[test]
+    fn fence_fraction_injects_barriers() {
+        let config = TestConfig::new(IsaKind::Arm, 2, 100, 16)
+            .with_seed(4)
+            .with_fence_fraction(0.25);
+        let p = generate(&config);
+        let fences = p.iter_ops().filter(|(_, i)| i.is_fence()).count();
+        assert!(fences > 20, "expected ~50 fences, found {fences}");
+        assert_eq!(p.num_memory_ops(), 200, "fences are extra instructions");
+        let none = generate(&TestConfig::new(IsaKind::Arm, 2, 100, 16).with_seed(4));
+        assert_eq!(none.iter_ops().filter(|(_, i)| i.is_fence()).count(), 0);
+    }
+
+    #[test]
+    fn suite_tests_are_distinct() {
+        let config = TestConfig::new(IsaKind::Arm, 2, 50, 32);
+        let suite = generate_suite(&config, 10);
+        assert_eq!(suite.len(), 10);
+        for i in 0..suite.len() {
+            for j in (i + 1)..suite.len() {
+                assert_ne!(suite[i], suite[j], "tests {i} and {j} identical");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn generated_addresses_in_range(
+            threads in 1u32..8,
+            ops in 1u32..64,
+            addrs in 1u32..128,
+            seed in any::<u64>(),
+        ) {
+            let config = TestConfig::new(IsaKind::Arm, threads, ops, addrs).with_seed(seed);
+            let p = generate(&config);
+            prop_assert_eq!(p.num_memory_ops() as u32, threads * ops);
+            for (_, instr) in p.iter_ops() {
+                let addr = instr.addr().expect("generator emits memory ops only");
+                prop_assert!(addr.0 < addrs);
+            }
+        }
+
+        #[test]
+        fn load_fraction_respected_statistically(seed in any::<u64>()) {
+            let config = TestConfig::new(IsaKind::Arm, 4, 200, 32)
+                .with_seed(seed)
+                .with_load_fraction(0.5);
+            let p = generate(&config);
+            let loads = p.num_loads() as f64;
+            let total = p.num_memory_ops() as f64;
+            // 800 Bernoulli(0.5) trials: stay within ±6 sigma of the mean.
+            let sigma = (total * 0.25).sqrt();
+            prop_assert!((loads - total * 0.5).abs() < 6.0 * sigma);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Constrained-random test generation for MTraceCheck.
+//!
+//! The paper stimulates rare memory-access interleavings with
+//! constrained-random multi-threaded tests (§5, Table 2): each thread issues
+//! a fixed number of loads and stores (equal probability by default, 4 bytes
+//! per access) over a small pool of shared addresses. This crate provides:
+//!
+//! * [`TestConfig`] — the generation parameter space, with the paper's
+//!   `[ISA]-[threads]-[ops]-[addrs]` naming convention;
+//! * [`generate`] — a seeded, reproducible generator producing
+//!   [`mtc_isa::Program`]s;
+//! * [`paper_configs`] — the 21 representative configurations evaluated in
+//!   Figure 8;
+//! * [`merge_programs`] — the §8 scalability extension that fuses multiple
+//!   independent tests so their address pools only ever false-share.
+//!
+//! # Example
+//!
+//! ```
+//! use mtc_gen::{generate, TestConfig};
+//! use mtc_isa::IsaKind;
+//!
+//! let config = TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(7);
+//! assert_eq!(config.name(), "ARM-2-50-32");
+//! let program = generate(&config);
+//! assert_eq!(program.num_threads(), 2);
+//! assert_eq!(program.num_memory_ops(), 100);
+//! // Same seed, same program:
+//! assert_eq!(program, generate(&config));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod generate;
+mod merge;
+
+pub mod patterns;
+
+pub use config::{paper_configs, TestConfig};
+pub use generate::{generate, generate_suite};
+pub use merge::{merge_programs, MergeError};

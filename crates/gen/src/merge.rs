@@ -1,0 +1,197 @@
+//! Program merging — the §8 scalability extension.
+//!
+//! "Even larger test-cases can be obtained by merging multiple independent
+//! code segments, where memory addresses are assigned in a way that leads
+//! only to false sharing across the segments." Merging keeps per-thread
+//! signature sizes bounded (each segment's loads only ever observe stores of
+//! the same segment) while still exercising cache-line contention between
+//! segments.
+
+use mtc_isa::{Addr, Instr, MemoryLayout, Program, ProgramBuilder};
+use std::fmt;
+
+/// Error returned by [`merge_programs`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum MergeError {
+    /// No programs were supplied.
+    Empty,
+    /// Input programs must share the same address-pool size.
+    MismatchedAddressPools {
+        /// Address-pool size of the first program.
+        expected: u32,
+        /// The differing pool size encountered.
+        found: u32,
+    },
+    /// Merged segments would not fit in one cache line slot-wise.
+    TooManySegments {
+        /// Number of programs supplied.
+        segments: usize,
+        /// Maximum segments a cache line can interleave.
+        max: u32,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => f.write_str("no programs to merge"),
+            MergeError::MismatchedAddressPools { expected, found } => write!(
+                f,
+                "programs declare different address pools ({expected} vs {found})"
+            ),
+            MergeError::TooManySegments { segments, max } => write!(
+                f,
+                "{segments} segments exceed the {max} words available per cache line"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges independent test programs into one larger test whose segments
+/// interact only through false sharing.
+///
+/// Segment `j`'s shared word `a` is remapped to merged word `a * k + j`
+/// (with `k` segments) under a `words_per_line = k` layout, so word `a` of
+/// every segment lands in cache line `a`: segments contend for lines but
+/// never alias true data. Thread `t` of the merged program runs the
+/// concatenation of thread `t` of every segment, separated by a full fence
+/// (mirroring the paper's iteration barrier between independent sections).
+///
+/// ```
+/// use mtc_gen::{generate, merge_programs, TestConfig};
+/// use mtc_isa::IsaKind;
+///
+/// let segments: Vec<_> = (0..4)
+///     .map(|i| generate(&TestConfig::new(IsaKind::Arm, 2, 25, 8).with_seed(i)))
+///     .collect();
+/// let merged = merge_programs(&segments)?;
+/// assert_eq!(merged.num_memory_ops(), 4 * 50);
+/// assert_eq!(merged.layout().words_per_line(), 4); // segments false-share lines
+/// # Ok::<(), mtc_gen::MergeError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MergeError`] when `programs` is empty, the address-pool sizes
+/// differ, or more segments are supplied than words fit in a cache line.
+pub fn merge_programs(programs: &[Program]) -> Result<Program, MergeError> {
+    let first = programs.first().ok_or(MergeError::Empty)?;
+    let num_addrs = first.num_addrs();
+    for p in programs {
+        if p.num_addrs() != num_addrs {
+            return Err(MergeError::MismatchedAddressPools {
+                expected: num_addrs,
+                found: p.num_addrs(),
+            });
+        }
+    }
+    let k = programs.len() as u32;
+    let max = MemoryLayout::DEFAULT_LINE_BYTES / MemoryLayout::DEFAULT_WORD_BYTES;
+    if k > max {
+        return Err(MergeError::TooManySegments {
+            segments: programs.len(),
+            max,
+        });
+    }
+    let layout = MemoryLayout::with_words_per_line(k);
+    let threads = programs.iter().map(Program::num_threads).max().unwrap_or(0);
+    let mut builder = ProgramBuilder::new(num_addrs * k, layout);
+    for t in 0..threads {
+        let mut thread = builder.thread(t);
+        for (j, p) in programs.iter().enumerate() {
+            let Some(code) = p.threads().get(t) else {
+                continue;
+            };
+            if j > 0 && !code.is_empty() {
+                thread = thread.fence();
+            }
+            for instr in code {
+                let remap = |addr: Addr| Addr(addr.0 * k + j as u32);
+                thread = match *instr {
+                    Instr::Load { addr } => thread.load(remap(addr)),
+                    Instr::Store { addr, .. } => thread.store(remap(addr)),
+                    Instr::Fence(_) => thread.fence(),
+                };
+            }
+        }
+    }
+    Ok(builder
+        .build()
+        .expect("merged programs are well-formed by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TestConfig};
+    use mtc_isa::IsaKind;
+
+    fn small(seed: u64) -> Program {
+        generate(&TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(seed))
+    }
+
+    #[test]
+    fn merge_preserves_per_segment_ops_and_adds_fences() {
+        let a = small(1);
+        let b = small(2);
+        let merged = merge_programs(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.num_threads(), 2);
+        assert_eq!(
+            merged.num_memory_ops(),
+            a.num_memory_ops() + b.num_memory_ops()
+        );
+        // One separating fence per thread.
+        assert_eq!(merged.num_instrs(), a.num_instrs() + b.num_instrs() + 2);
+        assert_eq!(merged.num_addrs(), 16);
+        assert_eq!(merged.layout().words_per_line(), 2);
+    }
+
+    #[test]
+    fn segments_only_false_share() {
+        let merged = merge_programs(&[small(1), small(2), small(3)]).unwrap();
+        let layout = merged.layout();
+        // Segment of a merged address = addr % 3; same line across segments,
+        // never the same word.
+        for (_, i1) in merged.iter_ops() {
+            for (_, i2) in merged.iter_ops() {
+                if let (Some(a), Some(b)) = (i1.addr(), i2.addr()) {
+                    if a.0 % 3 != b.0 % 3 && layout.line_of(a) == layout.line_of(b) {
+                        assert_ne!(a, b, "cross-segment true sharing");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_error_cases() {
+        assert_eq!(merge_programs(&[]).unwrap_err(), MergeError::Empty);
+        let a = small(1);
+        let b = generate(&TestConfig::new(IsaKind::Arm, 2, 20, 16).with_seed(4));
+        assert!(matches!(
+            merge_programs(&[a, b]).unwrap_err(),
+            MergeError::MismatchedAddressPools {
+                expected: 8,
+                found: 16
+            }
+        ));
+        let many: Vec<_> = (0..17).map(small).collect();
+        assert!(matches!(
+            merge_programs(&many).unwrap_err(),
+            MergeError::TooManySegments {
+                segments: 17,
+                max: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn single_program_merge_is_line_identity() {
+        let a = small(9);
+        let merged = merge_programs(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(merged.num_memory_ops(), a.num_memory_ops());
+        assert_eq!(merged.num_addrs(), a.num_addrs());
+    }
+}

@@ -1,0 +1,184 @@
+//! Structured sharing patterns — workload shapes beyond uniform random.
+//!
+//! The paper's generator draws addresses uniformly (§5); real parallel
+//! software concentrates its sharing. These generators produce the
+//! communication shapes that motivate multi-core validation in the paper's
+//! introduction — producer/consumer pipelines, hot-spot contention, ring
+//! communication — while keeping the properties the instrumentation relies
+//! on (literal addresses, unique store values).
+
+use mtc_isa::{Addr, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A producer/consumer pipeline: thread 0 only stores, the remaining
+/// threads mostly load, everyone sharing one small buffer region.
+///
+/// High rf diversity with a single writer: every consumer load races the
+/// producer's progress.
+///
+/// # Panics
+///
+/// Panics if `threads < 2`, `ops_per_thread == 0` or `buffer_addrs == 0`.
+pub fn producer_consumer(
+    threads: u32,
+    ops_per_thread: u32,
+    buffer_addrs: u32,
+    seed: u64,
+) -> Program {
+    assert!(threads >= 2, "a pipeline needs a producer and a consumer");
+    assert!(ops_per_thread > 0 && buffer_addrs > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(buffer_addrs, Default::default());
+    let mut producer = b.thread(0);
+    for _ in 0..ops_per_thread {
+        producer = producer.store(Addr(rng.gen_range(0..buffer_addrs)));
+    }
+    for t in 1..threads {
+        let mut consumer = b.thread(t as usize);
+        for _ in 0..ops_per_thread {
+            let addr = Addr(rng.gen_range(0..buffer_addrs));
+            // Consumers occasionally write back (an ack/claim), which gives
+            // the checker write-serialization structure to work with.
+            consumer = if rng.gen_bool(0.9) {
+                consumer.load(addr)
+            } else {
+                consumer.store(addr)
+            };
+        }
+    }
+    b.build().expect("pattern programs are well-formed")
+}
+
+/// Hot-spot contention: every thread hammers one shared word with mixed
+/// loads and stores, plus occasional accesses to a private spill area.
+///
+/// The highest-candidate-cardinality shape per load — worst case for
+/// signature size, best case for exposing coherence races.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `ops_per_thread == 0`.
+pub fn hotspot(threads: u32, ops_per_thread: u32, seed: u64) -> Program {
+    assert!(threads > 0 && ops_per_thread > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Address 0 is the hot word; each thread also owns one private word.
+    let num_addrs = 1 + threads;
+    let mut b = ProgramBuilder::new(num_addrs, Default::default());
+    for t in 0..threads {
+        let mut thread = b.thread(t as usize);
+        for _ in 0..ops_per_thread {
+            let addr = if rng.gen_bool(0.8) {
+                Addr(0)
+            } else {
+                Addr(1 + t)
+            };
+            thread = if rng.gen_bool(0.5) {
+                thread.load(addr)
+            } else {
+                thread.store(addr)
+            };
+        }
+    }
+    b.build().expect("pattern programs are well-formed")
+}
+
+/// Ring communication: thread `t` writes its outbox word and reads thread
+/// `t-1`'s — nearest-neighbour sharing with no global hot spot.
+///
+/// # Panics
+///
+/// Panics if `threads < 2` or `ops_per_thread == 0`.
+pub fn ring(threads: u32, ops_per_thread: u32, seed: u64) -> Program {
+    assert!(threads >= 2, "a ring needs at least two threads");
+    assert!(ops_per_thread > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(threads, Default::default());
+    for t in 0..threads {
+        let own = Addr(t);
+        let left = Addr((t + threads - 1) % threads);
+        let mut thread = b.thread(t as usize);
+        for _ in 0..ops_per_thread {
+            thread = if rng.gen_bool(0.5) {
+                thread.store(own)
+            } else {
+                thread.load(left)
+            };
+        }
+    }
+    b.build().expect("pattern programs are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::Instr;
+
+    #[test]
+    fn producer_consumer_shape() {
+        let p = producer_consumer(4, 30, 8, 1);
+        assert_eq!(p.num_threads(), 4);
+        // Thread 0 is all stores.
+        assert!(p.threads()[0].iter().all(Instr::is_store));
+        // Consumers are mostly loads.
+        let consumer_loads = p.threads()[1].iter().filter(|i| i.is_load()).count();
+        assert!(consumer_loads > 20, "consumer had {consumer_loads} loads");
+        assert_eq!(p.num_addrs(), 8);
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_address_zero() {
+        let p = hotspot(4, 50, 2);
+        let hot = p
+            .iter_ops()
+            .filter(|(_, i)| i.addr() == Some(Addr(0)))
+            .count();
+        assert!(hot > 120, "only {hot}/200 ops hit the hot word");
+        // Private words are truly private: each is touched by one thread.
+        for t in 0..4u32 {
+            let private = Addr(1 + t);
+            assert!(p
+                .iter_ops()
+                .filter(|(_, i)| i.addr() == Some(private))
+                .all(|(op, _)| op.tid.0 == t));
+        }
+    }
+
+    #[test]
+    fn ring_touches_only_neighbours() {
+        let p = ring(5, 40, 3);
+        for (op, instr) in p.iter_ops() {
+            let addr = instr.addr().expect("memory ops only");
+            if instr.is_store() {
+                assert_eq!(addr.0, op.tid.0, "stores go to the own outbox");
+            } else {
+                assert_eq!(addr.0, (op.tid.0 + 4) % 5, "loads read the left neighbour");
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_are_deterministic_in_seed() {
+        assert_eq!(
+            producer_consumer(3, 20, 4, 9),
+            producer_consumer(3, 20, 4, 9)
+        );
+        assert_eq!(hotspot(3, 20, 9), hotspot(3, 20, 9));
+        assert_eq!(ring(3, 20, 9), ring(3, 20, 9));
+        assert_ne!(ring(3, 20, 9), ring(3, 20, 10));
+    }
+
+    #[test]
+    fn patterns_validate_clean_end_to_end() {
+        use mtc_instr::{analyze, SignatureSchema, SourcePruning};
+        for p in [
+            producer_consumer(3, 15, 4, 5),
+            hotspot(3, 15, 5),
+            ring(3, 15, 5),
+        ] {
+            let analysis = analyze(&p, &SourcePruning::none());
+            let schema = SignatureSchema::build(&p, &analysis, 64);
+            assert!(schema.signature_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Collective constraint-graph checking (§4.2) — the paper's second
+//! contribution.
+//!
+//! Executions are presented in ascending signature order, so consecutive
+//! graphs differ in few observed edges. The checker keeps the topological
+//! order of the last *valid* graph; for each next graph it diffs the
+//! observed edges, finds the new edges that point backwards under the
+//! current order, and re-sorts only the window of positions between the
+//! leading and trailing boundary (the first and last vertex adjacent to a
+//! new backward edge). No new backward edges means the graph is valid with
+//! zero sorting work. The window re-sort is exactly as precise as a full
+//! sort: every cycle must contain a new backward edge, and any path closing
+//! a cycle moves strictly forward in the old order, so it cannot leave the
+//! window.
+
+use crate::topo::{extract_cycle, full_sort, violation_from_cycle};
+use crate::{ObservedEdges, TestGraphSpec, Violation};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Breakdown of how much re-sorting the collective checker performed —
+/// the data behind Figure 14.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveStats {
+    /// Graphs checked in total.
+    pub graphs: usize,
+    /// Graphs requiring a complete sort (the first graph, and recovery
+    /// after a violating graph).
+    pub complete: usize,
+    /// Graphs accepted with no re-sorting (no new backward edges).
+    pub no_resort: usize,
+    /// Graphs checked by incremental window re-sorting.
+    pub incremental: usize,
+    /// Vertices re-sorted across all incremental checks.
+    pub resorted_vertices: u64,
+    /// Total vertices across incremental graphs (denominator for the
+    /// affected-vertex percentage of Figure 14).
+    pub incremental_vertices: u64,
+    /// Violating graphs.
+    pub violations: usize,
+    /// Vertices visited plus edges traversed (comparable with
+    /// [`CheckStats::work`](crate::CheckStats)).
+    pub work: u64,
+}
+
+impl CollectiveStats {
+    /// Fraction of incremental graphs' vertices that needed re-sorting.
+    pub fn affected_vertex_fraction(&self) -> f64 {
+        if self.incremental_vertices == 0 {
+            return 0.0;
+        }
+        self.resorted_vertices as f64 / self.incremental_vertices as f64
+    }
+
+    /// Fraction of graphs accepted without any re-sorting.
+    pub fn no_resort_fraction(&self) -> f64 {
+        if self.graphs == 0 {
+            return 0.0;
+        }
+        self.no_resort as f64 / self.graphs as f64
+    }
+}
+
+/// Outcome of a collective checking pass.
+#[derive(Clone, Debug, Default)]
+pub struct CollectiveOutcome {
+    /// Per-graph results, in input order.
+    pub results: Vec<Result<(), Violation>>,
+    /// Re-sorting breakdown and work counters.
+    pub stats: CollectiveStats,
+}
+
+impl CollectiveOutcome {
+    /// Number of violating graphs.
+    pub fn violation_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Checks a sequence of executions collectively.
+///
+/// `observations` must be ordered so that neighbours are similar — in
+/// MTraceCheck, ascending execution-signature order (§4.1); the checker is
+/// correct for any order but fast only for a similarity-preserving one.
+///
+/// This is the paper-faithful variant: one re-sorting window from the
+/// leading to the trailing boundary. See [`check_collective_split`] for the
+/// interval-splitting optimization.
+pub fn check_collective(spec: &TestGraphSpec, observations: &[ObservedEdges]) -> CollectiveOutcome {
+    check_collective_with(spec, observations, false)
+}
+
+/// Collective checking with split re-sorting windows — an optimization
+/// beyond §4.2.
+///
+/// The paper re-sorts the single span from the first to the last vertex
+/// adjacent to a new backward edge; when backward edges cluster in distant
+/// regions, that one window covers mostly-untouched vertices. Merging each
+/// backward edge's position interval and re-sorting the resulting disjoint
+/// intervals independently is equally precise: every cycle contains a new
+/// backward edge, forward edges only increase positions, and any backward
+/// edge bridging two intervals would have merged them — so a cycle can
+/// never span disjoint intervals.
+pub fn check_collective_split(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+) -> CollectiveOutcome {
+    check_collective_with(spec, observations, true)
+}
+
+fn check_collective_with(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    split_windows: bool,
+) -> CollectiveOutcome {
+    let mut checker = CollectiveChecker::new(spec);
+    if split_windows {
+        checker = checker.with_split_windows();
+    }
+    let mut outcome = CollectiveOutcome::default();
+    for obs in observations {
+        outcome.results.push(checker.push(obs));
+    }
+    outcome.stats = *checker.stats();
+    outcome
+}
+
+/// Streaming collective checker: feed one observation at a time.
+///
+/// This is the online form of [`check_collective`], suitable for checking
+/// signatures as they arrive from a device instead of materializing the
+/// whole sequence first. Push observations in ascending-signature order for
+/// the §4.1 similarity benefit; correctness does not depend on the order.
+///
+/// # Example
+///
+/// ```
+/// use mtc_graph::{CheckOptions, CollectiveChecker, TestGraphSpec};
+/// use mtc_isa::{litmus, Mcm, OpId, ReadsFrom, Tid, Value};
+///
+/// let t = litmus::corr();
+/// let spec = TestGraphSpec::new(&t.program, Mcm::Tso);
+/// let mut checker = CollectiveChecker::new(&spec);
+/// let mut rf = ReadsFrom::new();
+/// rf.record(OpId::new(Tid(1), 0), Value(1));
+/// rf.record(OpId::new(Tid(1), 1), Value(1));
+/// let obs = spec.observe(&t.program, &rf, &CheckOptions::default());
+/// assert!(checker.push(&obs).is_ok());
+/// assert_eq!(checker.stats().graphs, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CollectiveChecker<'s> {
+    spec: &'s TestGraphSpec,
+    split_windows: bool,
+    /// Current topological order and its inverse, valid for `base`.
+    order: Vec<u32>,
+    pos: Vec<u32>,
+    /// The last observation the current order validates.
+    base: Option<ObservedEdges>,
+    stats: CollectiveStats,
+}
+
+impl<'s> CollectiveChecker<'s> {
+    /// Creates a checker with the paper-faithful single re-sorting window.
+    pub fn new(spec: &'s TestGraphSpec) -> Self {
+        CollectiveChecker {
+            spec,
+            split_windows: false,
+            order: Vec::new(),
+            pos: vec![0; spec.num_vertices()],
+            base: None,
+            stats: CollectiveStats::default(),
+        }
+    }
+
+    /// Returns the checker using split re-sorting windows (see
+    /// [`check_collective_split`]).
+    pub fn with_split_windows(mut self) -> Self {
+        self.split_windows = true;
+        self
+    }
+
+    /// Work counters and the Figure 14 breakdown so far.
+    pub fn stats(&self) -> &CollectiveStats {
+        &self.stats
+    }
+
+    /// Checks one more execution's observed edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dependency [`Violation`] when the execution's constraint
+    /// graph is cyclic; the checker recovers on the next push with a
+    /// complete sort.
+    pub fn push(&mut self, obs: &ObservedEdges) -> Result<(), Violation> {
+        self.stats.graphs += 1;
+        match self.base.take() {
+            None => {
+                // First graph (or recovery): complete conventional sort.
+                self.stats.complete += 1;
+                match full_sort(self.spec, obs, &mut self.stats.work) {
+                    Ok(order) => {
+                        for (p, &v) in order.iter().enumerate() {
+                            self.pos[v as usize] = p as u32;
+                        }
+                        self.order = order;
+                        self.base = Some(obs.clone());
+                        Ok(())
+                    }
+                    Err(cycle) => {
+                        self.stats.violations += 1;
+                        Err(violation_from_cycle(self.spec, cycle))
+                    }
+                }
+            }
+            Some(prev) => {
+                // Diff against the last valid observation; only new edges
+                // can point backwards under a valid order.
+                let mut intervals: Vec<(u32, u32)> = Vec::new();
+                for (u, v) in obs.difference(&prev) {
+                    self.stats.work += 1;
+                    if self.pos[u as usize] > self.pos[v as usize] {
+                        intervals.push((self.pos[v as usize], self.pos[u as usize]));
+                    }
+                }
+                if intervals.is_empty() {
+                    self.stats.no_resort += 1;
+                    self.base = Some(obs.clone());
+                    return Ok(());
+                }
+                self.stats.incremental += 1;
+                self.stats.incremental_vertices += self.spec.num_vertices() as u64;
+                if self.split_windows {
+                    intervals.sort_unstable();
+                    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
+                    for (lo, hi) in intervals {
+                        match merged.last_mut() {
+                            Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+                            _ => merged.push((lo, hi)),
+                        }
+                    }
+                    intervals = merged;
+                } else {
+                    // Paper-faithful: one window from the leading to the
+                    // trailing boundary.
+                    let lead = intervals
+                        .iter()
+                        .map(|&(lo, _)| lo)
+                        .min()
+                        .expect("non-empty");
+                    let trail = intervals
+                        .iter()
+                        .map(|&(_, hi)| hi)
+                        .max()
+                        .expect("non-empty");
+                    intervals = vec![(lead, trail)];
+                }
+                for (lead, trail) in intervals {
+                    if let Err(violation) = resort_window(
+                        self.spec,
+                        obs,
+                        &mut self.order,
+                        &mut self.pos,
+                        lead as usize,
+                        trail as usize,
+                        &mut self.stats,
+                    ) {
+                        self.stats.violations += 1;
+                        // The order no longer matches any valid graph;
+                        // recover with a complete sort on the next push
+                        // (base stays empty).
+                        return Err(violation);
+                    }
+                }
+                self.base = Some(obs.clone());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Re-sorts `order[lead..=trail]` against all current edges among the
+/// window's vertices. On success the window is spliced back and `pos`
+/// updated; on failure the containing cycle is extracted.
+#[allow(clippy::too_many_arguments)]
+fn resort_window(
+    spec: &TestGraphSpec,
+    obs: &ObservedEdges,
+    order: &mut [u32],
+    pos: &mut [u32],
+    lead: usize,
+    trail: usize,
+    stats: &mut CollectiveStats,
+) -> Result<(), Violation> {
+    let window = &order[lead..=trail];
+    let w = window.len();
+    stats.resorted_vertices += w as u64;
+    // The window is contiguous in positions, so membership is a range check
+    // on `pos` (still valid for the pre-splice order) and the local index
+    // of vertex v is `pos[v] - lead`.
+    let in_window = |v: u32| -> Option<usize> {
+        let p = pos[v as usize] as usize;
+        (lead..=trail).contains(&p).then(|| p - lead)
+    };
+    let mut indegree = vec![0u32; w];
+    for &v in window {
+        for wv in successors(spec, obs, v) {
+            if let Some(j) = in_window(wv) {
+                indegree[j] += 1;
+            }
+        }
+    }
+    // Store-first tie-break on the old position (= local index), keeping
+    // the new suborder close to the old one.
+    let mut ready_stores = BinaryHeap::new();
+    let mut ready_others = BinaryHeap::new();
+    for (i, &v) in window.iter().enumerate() {
+        if indegree[i] == 0 {
+            if spec.is_store(v) {
+                ready_stores.push(Reverse(i));
+            } else {
+                ready_others.push(Reverse(i));
+            }
+        }
+    }
+    let mut sub_order: Vec<u32> = Vec::with_capacity(w);
+    while let Some(Reverse(i)) = ready_stores.pop().or_else(|| ready_others.pop()) {
+        let v = window[i];
+        sub_order.push(v);
+        stats.work += 1;
+        for wv in successors(spec, obs, v) {
+            if let Some(j) = in_window(wv) {
+                stats.work += 1;
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    if spec.is_store(wv) {
+                        ready_stores.push(Reverse(j));
+                    } else {
+                        ready_others.push(Reverse(j));
+                    }
+                }
+            }
+        }
+    }
+    if sub_order.len() < w {
+        let remaining: Vec<u32> = window
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| indegree[i] > 0)
+            .map(|(_, &v)| v)
+            .collect();
+        // Restrict cycle extraction to the window by keeping only window
+        // vertices in `remaining` (cycles never leave the window).
+        let cycle = extract_cycle(spec, obs, &remaining);
+        return Err(violation_from_cycle(spec, cycle));
+    }
+    for (offset, &v) in sub_order.iter().enumerate() {
+        order[lead + offset] = v;
+        pos[v as usize] = (lead + offset) as u32;
+    }
+    Ok(())
+}
+
+fn successors<'a>(
+    spec: &'a TestGraphSpec,
+    obs: &'a ObservedEdges,
+    v: u32,
+) -> impl Iterator<Item = u32> + 'a {
+    spec.static_successors(v)
+        .iter()
+        .copied()
+        .chain(obs.successors(v))
+}
+
+/// Convenience: checks the same observations both ways and reports the
+/// work ratio (collective / conventional), the Figure 9 metric.
+pub fn compare_checkers(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+) -> (CollectiveOutcome, crate::CheckOutcome, f64) {
+    let collective = check_collective(spec, observations);
+    let conventional = crate::check_conventional(spec, observations);
+    let ratio = if conventional.stats.work == 0 {
+        0.0
+    } else {
+        collective.stats.work as f64 / conventional.stats.work as f64
+    };
+    (collective, conventional, ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckOptions;
+    use mtc_isa::{litmus, Mcm, OpId, Program, ReadsFrom, Tid, Value};
+
+    fn corr() -> (Program, TestGraphSpec) {
+        let t = litmus::corr();
+        let spec = TestGraphSpec::new(&t.program, Mcm::Tso);
+        (t.program, spec)
+    }
+
+    fn obs(p: &Program, spec: &TestGraphSpec, reads: &[(u32, u32, u32)]) -> ObservedEdges {
+        let mut rf = ReadsFrom::new();
+        for &(t, i, v) in reads {
+            rf.record(OpId::new(Tid(t), i), Value(v));
+        }
+        spec.observe(p, &rf, &CheckOptions::default())
+    }
+
+    #[test]
+    fn agrees_with_conventional_on_valid_sequences() {
+        let (p, spec) = corr();
+        let seq = vec![
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 0)]),
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 1)]),
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]),
+        ];
+        let (collective, conventional, ratio) = compare_checkers(&spec, &seq);
+        assert_eq!(collective.violation_count(), 0);
+        assert_eq!(conventional.violation_count(), 0);
+        assert!(ratio <= 1.0, "collective must not do more work ({ratio})");
+        assert_eq!(collective.stats.complete, 1);
+        assert_eq!(collective.stats.no_resort + collective.stats.incremental, 2);
+    }
+
+    #[test]
+    fn detects_the_violating_graph_in_a_sequence() {
+        let (p, spec) = corr();
+        let seq = vec![
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]), // fine
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 0)]), // anti-coherent
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 1)]), // fine again
+        ];
+        let outcome = check_collective(&spec, &seq);
+        assert!(outcome.results[0].is_ok());
+        assert!(outcome.results[1].is_err());
+        assert!(outcome.results[2].is_ok());
+        // After a violation the checker recovers with a complete sort.
+        assert_eq!(outcome.stats.complete, 2);
+    }
+
+    #[test]
+    fn no_resort_when_graphs_repeat() {
+        let (p, spec) = corr();
+        let o = obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]);
+        let seq = vec![o.clone(), o.clone(), o];
+        let outcome = check_collective(&spec, &seq);
+        assert_eq!(outcome.stats.no_resort, 2);
+        assert_eq!(outcome.stats.resorted_vertices, 0);
+    }
+
+    #[test]
+    fn empty_sequence_is_trivially_fine() {
+        let (_, spec) = corr();
+        let outcome = check_collective(&spec, &[]);
+        assert_eq!(outcome.stats.graphs, 0);
+        assert_eq!(outcome.violation_count(), 0);
+    }
+
+    #[test]
+    fn streaming_checker_matches_batch() {
+        let (p, spec) = corr();
+        let seq = vec![
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 0)]),
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 0)]), // violating
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]),
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 1)]),
+        ];
+        let batch = check_collective(&spec, &seq);
+        let mut streaming = CollectiveChecker::new(&spec);
+        for (i, o) in seq.iter().enumerate() {
+            assert_eq!(
+                streaming.push(o).is_ok(),
+                batch.results[i].is_ok(),
+                "graph {i} verdict differs"
+            );
+        }
+        assert_eq!(*streaming.stats(), batch.stats);
+    }
+
+    #[test]
+    fn split_windows_agree_with_single_window() {
+        let (p, spec) = corr();
+        let seq = vec![
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 0)]),
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]),
+            obs(&p, &spec, &[(1, 0, 1), (1, 1, 0)]), // violating
+            obs(&p, &spec, &[(1, 0, 0), (1, 1, 1)]),
+        ];
+        let single = check_collective(&spec, &seq);
+        let split = check_collective_split(&spec, &seq);
+        for (a, b) in single.results.iter().zip(split.results.iter()) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        assert!(split.stats.resorted_vertices <= single.stats.resorted_vertices);
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let mut s = CollectiveStats::default();
+        assert_eq!(s.affected_vertex_fraction(), 0.0);
+        assert_eq!(s.no_resort_fraction(), 0.0);
+        s.graphs = 10;
+        s.no_resort = 5;
+        s.incremental = 4;
+        s.incremental_vertices = 40;
+        s.resorted_vertices = 10;
+        assert_eq!(s.no_resort_fraction(), 0.5);
+        assert_eq!(s.affected_vertex_fraction(), 0.25);
+    }
+}

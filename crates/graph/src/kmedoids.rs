@@ -1,0 +1,195 @@
+//! k-medoids clustering over execution observations — the §4.1 limit study
+//! (Figure 6).
+//!
+//! Before settling on signature sorting, the paper measured how well a
+//! handful of representative executions could stand in for the full set:
+//! cluster the executions with k-medoids under the "number of differing
+//! reads-from relationships" distance and report the total distance to the
+//! closest medoid for varying k. The conclusion — clustering is
+//! computationally prohibitive and degrades on diverse tests — motivates
+//! the lightweight signature sort.
+
+use mtc_isa::ReadsFrom;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Result of one k-medoids clustering run.
+#[derive(Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct KMedoidsResult {
+    /// Indices (into the input slice) of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// For each input item, the index of its closest medoid (into
+    /// `medoids`).
+    pub assignment: Vec<usize>,
+    /// Σ over items of the distance to the closest medoid — Figure 6's
+    /// y-axis ("number of different reads-from relationships").
+    pub total_distance: u64,
+}
+
+/// Clusters `items` into `k` medoids with the classic alternating
+/// (Voronoi-iteration) heuristic: random initialization, then repeatedly
+/// (1) assign items to the nearest medoid and (2) re-pick each cluster's
+/// medoid as its distance-sum minimizer, until stable or `max_iters`.
+///
+/// Distances are [`ReadsFrom::diff_count`]. The distance matrix is
+/// precomputed, so memory is `O(n²)` — ample for the paper's 1 000-run
+/// studies, and exactly why the paper rejects clustering for production
+/// checking.
+///
+/// ```
+/// use mtc_graph::k_medoids;
+/// use mtc_isa::{OpId, ReadsFrom, Tid, Value};
+///
+/// let items: Vec<ReadsFrom> = (0..6u32)
+///     .map(|i| [(OpId::new(Tid(0), 0), Value(i / 3))].into_iter().collect())
+///     .collect();
+/// // Two natural clusters (values 0 and 1): two medoids cover them fully.
+/// assert_eq!(k_medoids(&items, 2, 7, 20).total_distance, 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `items.len()`.
+pub fn k_medoids(items: &[ReadsFrom], k: usize, seed: u64, max_iters: usize) -> KMedoidsResult {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        k <= items.len(),
+        "k ({k}) exceeds item count ({})",
+        items.len()
+    );
+    let n = items.len();
+    let mut dist = vec![0u32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = items[i].diff_count(&items[j]) as u32;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let d = |a: usize, b: usize| dist[a * n + b];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut medoids: Vec<usize> = indices[..k].to_vec();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..max_iters {
+        // Assignment step.
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = medoids
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &m)| d(i, m))
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+        }
+        // Update step.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..k {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by_key(|&cand| members.iter().map(|&m| d(cand, m) as u64).sum::<u64>())
+                .expect("non-empty cluster");
+            if best != medoids[c] {
+                medoids[c] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final assignment against the settled medoids.
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        *slot = medoids
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &m)| d(i, m))
+            .map(|(c, _)| c)
+            .expect("k >= 1");
+    }
+    let total_distance = (0..n).map(|i| d(i, medoids[assignment[i]]) as u64).sum();
+    KMedoidsResult {
+        medoids,
+        assignment,
+        total_distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::{OpId, Tid, Value};
+
+    fn rf(vals: &[u32]) -> ReadsFrom {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (OpId::new(Tid(0), i as u32), Value(v)))
+            .collect()
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_distance() {
+        let items = vec![rf(&[1, 2]), rf(&[1, 3]), rf(&[4, 4])];
+        let r = k_medoids(&items, 3, 0, 20);
+        assert_eq!(r.total_distance, 0);
+        let mut meds = r.medoids.clone();
+        meds.sort_unstable();
+        meds.dedup();
+        assert_eq!(meds.len(), 3);
+    }
+
+    #[test]
+    fn distance_decreases_with_k() {
+        // Two tight clusters plus noise.
+        let mut items = Vec::new();
+        for v in 0..10 {
+            items.push(rf(&[1, 1, v]));
+            items.push(rf(&[9, 9, v]));
+        }
+        let d1 = k_medoids(&items, 1, 7, 50).total_distance;
+        let d2 = k_medoids(&items, 2, 7, 50).total_distance;
+        let d10 = k_medoids(&items, 10, 7, 50).total_distance;
+        assert!(d2 <= d1, "k=2 ({d2}) should beat k=1 ({d1})");
+        assert!(d10 <= d2);
+    }
+
+    #[test]
+    fn two_obvious_clusters_are_found() {
+        let items = vec![
+            rf(&[0, 0, 0]),
+            rf(&[0, 0, 0]),
+            rf(&[0, 0, 1]),
+            rf(&[5, 5, 5]),
+            rf(&[5, 5, 5]),
+            rf(&[5, 5, 6]),
+        ];
+        let r = k_medoids(&items, 2, 3, 50);
+        // Perfect clustering leaves only the two outliers' single diffs.
+        assert_eq!(r.total_distance, 2);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        k_medoids(&[rf(&[0])], 0, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds item count")]
+    fn oversized_k_panics() {
+        k_medoids(&[rf(&[0])], 2, 0, 10);
+    }
+}

@@ -1,0 +1,300 @@
+//! Kahn topological sorting with a store-first tie-break, cycle extraction,
+//! and the conventional per-graph checker MTraceCheck is compared against.
+//!
+//! The tie-break mirrors the behaviour of GNU `tsort` the paper leans on in
+//! §8: "tsort unwittingly places store operations prior to load operations
+//! since stores do not depend on any load operations in absence of memory
+//! barriers". Preferring stores keeps successive sorts structurally similar,
+//! which is what lets most ARM graphs re-sort for free (Figure 14).
+
+use crate::{ObservedEdges, TestGraphSpec};
+use mtc_isa::OpId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A detected memory-consistency violation: a dependency cycle in the
+/// constraint graph.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The operations forming the cycle, in order (the last edge returns to
+    /// the first element).
+    pub cycle: Vec<OpId>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("cycle: ")?;
+        for (i, op) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        if !self.cycle.is_empty() {
+            write!(f, " -> {}", self.cycle[0])?;
+        }
+        Ok(())
+    }
+}
+
+/// Work counters for a checking pass. `work` counts visited vertices plus
+/// traversed edges — the Θ(V+E) currency of topological sorting, used to
+/// report the Figure 9 computation reduction independently of wall clock.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Graphs checked.
+    pub graphs: usize,
+    /// Graphs found to violate the MCM.
+    pub violations: usize,
+    /// Vertices visited plus edges traversed.
+    pub work: u64,
+}
+
+/// Outcome of checking a sequence of executions' graphs.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOutcome {
+    /// Per-graph result, in input order.
+    pub results: Vec<Result<(), Violation>>,
+    /// Aggregate work counters.
+    pub stats: CheckStats,
+}
+
+impl CheckOutcome {
+    /// Number of graphs that violated the MCM.
+    pub fn violation_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Performs a complete Kahn sort of static + observed edges.
+///
+/// Returns the topological order, or the vertices of a dependency cycle.
+/// `work` is incremented by the vertices visited and edges traversed.
+pub(crate) fn full_sort(
+    spec: &TestGraphSpec,
+    obs: &ObservedEdges,
+    work: &mut u64,
+) -> Result<Vec<u32>, Vec<u32>> {
+    let n = spec.num_vertices();
+    let mut indegree = vec![0u32; n];
+    for v in 0..n as u32 {
+        for &w in spec.static_successors(v) {
+            indegree[w as usize] += 1;
+        }
+    }
+    for &(_, w) in obs.edges() {
+        indegree[w as usize] += 1;
+    }
+    // Store-first tie-break, then lowest vertex id: two min-heaps.
+    let mut ready_stores = BinaryHeap::new();
+    let mut ready_others = BinaryHeap::new();
+    for v in 0..n as u32 {
+        if indegree[v as usize] == 0 {
+            if spec.is_store(v) {
+                ready_stores.push(Reverse(v));
+            } else {
+                ready_others.push(Reverse(v));
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(v)) = ready_stores.pop().or_else(|| ready_others.pop()) {
+        order.push(v);
+        *work += 1;
+        let mut relax = |w: u32| {
+            *work += 1;
+            indegree[w as usize] -= 1;
+            if indegree[w as usize] == 0 {
+                if spec.is_store(w) {
+                    ready_stores.push(Reverse(w));
+                } else {
+                    ready_others.push(Reverse(w));
+                }
+            }
+        };
+        for &w in spec.static_successors(v) {
+            relax(w);
+        }
+        for w in obs.successors(v) {
+            relax(w);
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let remaining: Vec<u32> = (0..n as u32)
+            .filter(|&v| indegree[v as usize] > 0)
+            .collect();
+        Err(extract_cycle(spec, obs, &remaining))
+    }
+}
+
+/// Finds one cycle within `remaining` (vertices that Kahn could not place;
+/// every such vertex lies on or leads into a cycle).
+pub(crate) fn extract_cycle(
+    spec: &TestGraphSpec,
+    obs: &ObservedEdges,
+    remaining: &[u32],
+) -> Vec<u32> {
+    debug_assert!(!remaining.is_empty());
+    use std::collections::{HashMap, HashSet};
+    let in_remaining: HashSet<u32> = remaining.iter().copied().collect();
+    let succs = |v: u32| -> Vec<u32> {
+        spec.static_successors(v)
+            .iter()
+            .copied()
+            .chain(obs.successors(v))
+            .filter(|w| in_remaining.contains(w))
+            .collect()
+    };
+    // Iterative three-colour DFS: a back edge to a grey vertex closes the
+    // cycle. The unplaced subgraph always contains one.
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut colour: HashMap<u32, u8> = HashMap::new();
+    for &start in remaining {
+        if colour.contains_key(&start) {
+            continue;
+        }
+        let mut stack: Vec<(u32, Vec<u32>, usize)> = vec![(start, succs(start), 0)];
+        colour.insert(start, GREY);
+        let mut path = vec![start];
+        while let Some((_, children, next)) = stack.last_mut() {
+            if *next >= children.len() {
+                let (v, _, _) = stack.pop().expect("stack is non-empty");
+                colour.insert(v, BLACK);
+                path.pop();
+                continue;
+            }
+            let w = children[*next];
+            *next += 1;
+            match colour.get(&w) {
+                Some(&GREY) => {
+                    let at = path
+                        .iter()
+                        .position(|&u| u == w)
+                        .expect("grey vertices are on the path");
+                    return path[at..].to_vec();
+                }
+                Some(_) => {}
+                None => {
+                    colour.insert(w, GREY);
+                    path.push(w);
+                    stack.push((w, succs(w), 0));
+                }
+            }
+        }
+    }
+    unreachable!("unplaced Kahn vertices always contain a cycle")
+}
+
+pub(crate) fn violation_from_cycle(spec: &TestGraphSpec, cycle: Vec<u32>) -> Violation {
+    Violation {
+        cycle: cycle.into_iter().map(|v| spec.op(v)).collect(),
+    }
+}
+
+/// The conventional checker: every constraint graph is topologically sorted
+/// from scratch, independently — the baseline MTraceCheck's collective
+/// checking is measured against (Figure 9).
+pub fn check_conventional(spec: &TestGraphSpec, observations: &[ObservedEdges]) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    for obs in observations {
+        let result = match full_sort(spec, obs, &mut outcome.stats.work) {
+            Ok(_) => Ok(()),
+            Err(cycle) => {
+                outcome.stats.violations += 1;
+                Err(violation_from_cycle(spec, cycle))
+            }
+        };
+        outcome.results.push(result);
+        outcome.stats.graphs += 1;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckOptions;
+    use mtc_isa::{litmus, Mcm, OpId, ReadsFrom, Tid, Value};
+
+    fn corr_spec() -> (mtc_isa::Program, TestGraphSpec) {
+        let t = litmus::corr();
+        let spec = TestGraphSpec::new(&t.program, Mcm::Tso);
+        (t.program, spec)
+    }
+
+    fn obs(p: &mtc_isa::Program, spec: &TestGraphSpec, reads: &[(u32, u32, u32)]) -> ObservedEdges {
+        let mut rf = ReadsFrom::new();
+        for &(t, i, v) in reads {
+            rf.record(OpId::new(Tid(t), i), Value(v));
+        }
+        spec.observe(p, &rf, &CheckOptions::default())
+    }
+
+    #[test]
+    fn valid_execution_sorts() {
+        let (p, spec) = corr_spec();
+        // Both loads read the store: fine.
+        let o = obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]);
+        let outcome = check_conventional(&spec, &[o]);
+        assert_eq!(outcome.results, vec![Ok(())]);
+        assert_eq!(outcome.stats.graphs, 1);
+        assert!(outcome.stats.work > 0);
+    }
+
+    #[test]
+    fn anti_coherent_reads_cycle() {
+        let (p, spec) = corr_spec();
+        // First load reads the store, second reads init: rf(st,l1),
+        // po(l1,l2), fr(l2,st) — the Figure 13 shape.
+        let o = obs(&p, &spec, &[(1, 0, 1), (1, 1, 0)]);
+        let outcome = check_conventional(&spec, &[o]);
+        assert_eq!(outcome.violation_count(), 1);
+        let violation = outcome.results[0].as_ref().unwrap_err();
+        assert_eq!(violation.cycle.len(), 3);
+        let display = violation.to_string();
+        assert!(display.contains("->"), "{display}");
+    }
+
+    #[test]
+    fn store_first_tie_break() {
+        let t = litmus::store_buffering();
+        let spec = TestGraphSpec::new(&t.program, Mcm::Tso);
+        // Each load reads the other thread's store: only rf edges, so both
+        // stores start with zero indegree and the tie-break emits them
+        // first (the tsort-like behaviour §8 relies on).
+        let o = obs(&t.program, &spec, &[(0, 1, 2), (1, 1, 1)]);
+        let mut work = 0;
+        let order = full_sort(&spec, &o, &mut work).unwrap();
+        assert!(spec.is_store(order[0]));
+        assert!(spec.is_store(order[1]));
+    }
+
+    #[test]
+    fn sb_relaxed_is_cyclic_under_sc_but_fine_under_tso() {
+        let t = litmus::store_buffering();
+        for (mcm, expect_violation) in [(Mcm::Sc, true), (Mcm::Tso, false)] {
+            let spec = TestGraphSpec::new(&t.program, mcm);
+            let o = obs(&t.program, &spec, &[(0, 1, 0), (1, 1, 0)]);
+            let outcome = check_conventional(&spec, &[o]);
+            assert_eq!(
+                outcome.violation_count() == 1,
+                expect_violation,
+                "mcm {mcm}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_scales_with_graph_count() {
+        let (p, spec) = corr_spec();
+        let o = obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]);
+        let one = check_conventional(&spec, std::slice::from_ref(&o));
+        let three = check_conventional(&spec, &[o.clone(), o.clone(), o]);
+        assert_eq!(three.stats.work, 3 * one.stats.work);
+    }
+}

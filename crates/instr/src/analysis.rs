@@ -1,0 +1,234 @@
+//! Static per-load candidate-source analysis (§3.1, step 1).
+//!
+//! For every load the analysis collects all values the load could legally
+//! observe: the latest program-order-earlier store of its own thread to the
+//! same address (or the initial value when there is none — per-location
+//! coherence forbids reading anything older than an own earlier store), plus
+//! every store to that address from any other thread. Constrained-random
+//! tests use literal addresses, so disambiguation is perfect and the
+//! analysis is exact.
+
+use mtc_isa::{OpId, Program, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static pruning of candidate sets (§8, "Pruning invalid memory-access
+/// interleavings").
+///
+/// The default (no pruning) mirrors the paper's conservative assumption that
+/// every operation may be reordered arbitrarily far. With microarchitectural
+/// information — outstanding operations are bounded by load/store-queue
+/// capacity, and threads are re-synchronized at every iteration barrier —
+/// the skew between threads is bounded, so a load at program-order index `i`
+/// cannot observe another thread's store too far past index `i`. Pruning
+/// shrinks candidate sets, and therefore signature and instrumented-code
+/// size, at the risk of runtime assertion misses when the bound is violated.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub struct SourcePruning {
+    /// Maximum forward skew: another thread's store at index `j` is a
+    /// candidate for a load at index `i` only when `j <= i + window`.
+    /// `None` disables pruning.
+    pub lsq_window: Option<u32>,
+}
+
+impl SourcePruning {
+    /// No pruning: the paper's conservative default.
+    pub fn none() -> Self {
+        SourcePruning { lsq_window: None }
+    }
+
+    /// Prune with a forward-skew window of `window` operations.
+    pub fn with_lsq_window(window: u32) -> Self {
+        SourcePruning {
+            lsq_window: Some(window),
+        }
+    }
+
+    fn admits(&self, load_idx: u32, store_idx: u32) -> bool {
+        match self.lsq_window {
+            None => true,
+            Some(w) => store_idx <= load_idx.saturating_add(w),
+        }
+    }
+}
+
+/// Result of the static analysis: for each load, the ordered list of values
+/// it may observe.
+///
+/// Candidate order is canonical and deterministic — the own-thread candidate
+/// (initial value or latest earlier own store) first, then other threads'
+/// stores in `(thread, program-order)` order — because the weight assignment
+/// of [`SignatureSchema`](crate::SignatureSchema) keys off candidate
+/// *positions*.
+#[derive(Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CandidateAnalysis {
+    per_load: BTreeMap<OpId, Vec<Value>>,
+}
+
+impl CandidateAnalysis {
+    /// The candidate values of `load`, or `None` when `load` is not a load
+    /// of the analyzed program.
+    pub fn candidates(&self, load: OpId) -> Option<&[Value]> {
+        self.per_load.get(&load).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(load, candidates)` in `(thread, program-order)`
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &[Value])> + '_ {
+        self.per_load.iter().map(|(&op, c)| (op, c.as_slice()))
+    }
+
+    /// Number of analyzed loads.
+    pub fn len(&self) -> usize {
+        self.per_load.len()
+    }
+
+    /// Returns `true` when the program has no loads.
+    pub fn is_empty(&self) -> bool {
+        self.per_load.is_empty()
+    }
+
+    /// Mean candidate-set size — the paper's `1 + (S/A)(T-1)` estimate in
+    /// measured form.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.per_load.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.per_load.values().map(Vec::len).sum();
+        total as f64 / self.per_load.len() as f64
+    }
+}
+
+/// Runs the static candidate analysis over `program`.
+///
+/// Every load receives at least one candidate (its own-thread value), so the
+/// result is total over the program's loads.
+pub fn analyze(program: &Program, pruning: &SourcePruning) -> CandidateAnalysis {
+    let mut per_load = BTreeMap::new();
+    for load in program.loads() {
+        let addr = program
+            .instr(load)
+            .and_then(|i| i.addr())
+            .expect("loads always carry an address");
+        let mut candidates = Vec::new();
+        // Own-thread candidate: latest earlier same-address store, else the
+        // initial value. Per-location coherence makes older own values
+        // unobservable.
+        match program.last_own_store_before(load) {
+            Some((_, id)) => candidates.push(Value::from(id)),
+            None => candidates.push(Value::INIT),
+        }
+        // Every other thread's stores to the same address, in canonical
+        // order.
+        for (op, id) in program.stores_to(addr) {
+            if op.tid != load.tid && pruning.admits(load.idx, op.idx) {
+                candidates.push(Value::from(id));
+            }
+        }
+        per_load.insert(load, candidates);
+    }
+    CandidateAnalysis { per_load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::{Addr, MemoryLayout, ProgramBuilder, StoreId, Tid};
+
+    /// The Figure 3 program: three threads over two addresses.
+    ///
+    /// thread 0: st 0x100; ld 0x100; ld 0x104; st 0x100
+    /// thread 1: st 0x104; st 0x100; ld 0x100
+    /// thread 2: st 0x104
+    ///
+    /// We map 0x100 -> Addr(0), 0x104 -> Addr(1).
+    fn figure3() -> Program {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0)
+            .store(Addr(0))
+            .load(Addr(0))
+            .load(Addr(1))
+            .store(Addr(0));
+        b.thread(1).store(Addr(1)).store(Addr(0)).load(Addr(0));
+        b.thread(2).store(Addr(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure3_candidate_sets_match_paper() {
+        let p = figure3();
+        let a = analyze(&p, &SourcePruning::none());
+        // Store ids: T0.0 -> 1, T0.3 -> 2, T1.0 -> 3, T1.1 -> 4, T2.0 -> 5.
+        // Load T0.1 (0x100): own store #1, or T1's #4. Paper: {1, 6, 9} = 3
+        // candidates; ours differs only because the paper's thread 1 second
+        // store is to 0x100 and we number differently — check the set shape.
+        let c = a.candidates(OpId::new(Tid(0), 1)).unwrap();
+        assert_eq!(c, &[Value(1), Value(4)]);
+        // Load T0.2 (0x104): no own store -> init, plus T1's #3, T2's #5.
+        let c = a.candidates(OpId::new(Tid(0), 2)).unwrap();
+        assert_eq!(c, &[Value(0), Value(3), Value(5)]);
+        // Load T1.2 (0x100): own store #4, plus T0's #1 and #2.
+        let c = a.candidates(OpId::new(Tid(1), 2)).unwrap();
+        assert_eq!(c, &[Value(4), Value(1), Value(2)]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn every_load_has_at_least_one_candidate() {
+        let p = figure3();
+        let a = analyze(&p, &SourcePruning::none());
+        for (_, c) in a.iter() {
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn own_candidate_is_init_without_earlier_store() {
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0)).store(Addr(0)).load(Addr(0));
+        let p = b.build().unwrap();
+        let a = analyze(&p, &SourcePruning::none());
+        assert_eq!(a.candidates(OpId::new(Tid(0), 0)).unwrap(), &[Value::INIT]);
+        assert_eq!(
+            a.candidates(OpId::new(Tid(0), 2)).unwrap(),
+            &[Value::from(StoreId(1))]
+        );
+    }
+
+    #[test]
+    fn pruning_drops_far_future_stores() {
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0));
+        b.thread(1)
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0));
+        let p = b.build().unwrap();
+        let unpruned = analyze(&p, &SourcePruning::none());
+        assert_eq!(unpruned.candidates(OpId::new(Tid(0), 0)).unwrap().len(), 5);
+        let pruned = analyze(&p, &SourcePruning::with_lsq_window(1));
+        // Load index 0 admits stores at index <= 1: init + stores 0 and 1.
+        assert_eq!(pruned.candidates(OpId::new(Tid(0), 0)).unwrap().len(), 3);
+        assert!(pruned.mean_candidates() < unpruned.mean_candidates());
+    }
+
+    #[test]
+    fn mean_candidates_tracks_contention() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let sparse = analyze(
+            &generate(&TestConfig::new(IsaKind::Arm, 2, 50, 64).with_seed(5)),
+            &SourcePruning::none(),
+        );
+        let dense = analyze(
+            &generate(&TestConfig::new(IsaKind::Arm, 7, 200, 64).with_seed(5)),
+            &SourcePruning::none(),
+        );
+        assert!(dense.mean_candidates() > sparse.mean_candidates());
+        // §3.2 estimate: 1 + (S/A)(T-1); S ~ ops/2.
+        let expect_sparse = 1.0 + (25.0 / 64.0) * 1.0;
+        assert!((sparse.mean_candidates() - expect_sparse).abs() < 0.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Pseudo-assembly rendering of instrumented tests (the Figure 4 view).
+//!
+//! MTraceCheck's instrumented tests are ordinary machine code: each load is
+//! followed by a compare/accumulate chain over its candidate values, a tail
+//! assertion, and a per-thread epilogue that stores the signature words.
+//! [`render_instrumented`] produces a human-readable listing of that code —
+//! invaluable when debugging weight assignment, and a concrete record of
+//! what the code-size and timing models are pricing.
+
+use crate::SignatureSchema;
+use mtc_isa::{FenceKind, Instr, IsaKind, Program};
+use std::fmt::Write as _;
+
+/// Renders the instrumented test as ISA-flavoured pseudo-assembly.
+///
+/// The listing is stable (deterministic in its inputs) and shows, for every
+/// load, the exact weights the signature schema assigned.
+///
+/// # Panics
+///
+/// Panics if `schema` was not built for `program` (mismatched loads).
+pub fn render_instrumented(program: &Program, schema: &SignatureSchema, isa: IsaKind) -> String {
+    let mut out = String::new();
+    let acc = match isa {
+        IsaKind::X86 => "add",
+        IsaKind::Arm => "addeq",
+    };
+    for (t, code) in program.threads().iter().enumerate() {
+        let thread_schema = &schema.threads()[t];
+        let _ = writeln!(
+            out,
+            "; ---- thread {t}: {} instruction(s), {} signature word(s) ----",
+            code.len(),
+            thread_schema.num_words
+        );
+        for w in 0..thread_schema.num_words {
+            let _ = match isa {
+                IsaKind::X86 => writeln!(out, "  xor   sig{w}, sig{w}"),
+                IsaKind::Arm => writeln!(out, "  mov   sig{w}, #0"),
+            };
+        }
+        let mut slot_iter = thread_schema.loads.iter().peekable();
+        for (i, instr) in code.iter().enumerate() {
+            match *instr {
+                Instr::Store { addr, value } => {
+                    let _ = match isa {
+                        IsaKind::X86 => {
+                            writeln!(out, "  mov   dword [{addr}], {}", value.0)
+                        }
+                        IsaKind::Arm => {
+                            writeln!(out, "  movw  r1, #{}\n  str   r1, [{addr}]", value.0)
+                        }
+                    };
+                }
+                Instr::Fence(kind) => {
+                    let _ = match (isa, kind) {
+                        (IsaKind::X86, _) => writeln!(out, "  mfence"),
+                        (IsaKind::Arm, FenceKind::Full) => writeln!(out, "  dmb   sy"),
+                        (IsaKind::Arm, FenceKind::StoreStore) => writeln!(out, "  dmb   st"),
+                        (IsaKind::Arm, FenceKind::LoadLoad) => writeln!(out, "  dmb   ld"),
+                    };
+                }
+                Instr::Load { addr } => {
+                    let _ = match isa {
+                        IsaKind::X86 => writeln!(out, "  mov   eax, [{addr}]"),
+                        IsaKind::Arm => writeln!(out, "  ldr   r0, [{addr}]"),
+                    };
+                    let slot = slot_iter.next().expect("schema has a slot for every load");
+                    assert_eq!(
+                        slot.op.idx as usize, i,
+                        "schema slot order must match program order"
+                    );
+                    for (k, cand) in slot.candidates.iter().enumerate() {
+                        let weight = k as u64 * slot.multiplier;
+                        let _ = match isa {
+                            IsaKind::X86 => writeln!(
+                                out,
+                                "    cmp   eax, {}\n    jne   1f\n    {acc}   sig{}, {weight}\n    jmp   2f\n  1:",
+                                cand.0, slot.word
+                            ),
+                            IsaKind::Arm => writeln!(
+                                out,
+                                "    cmp   r0, #{}\n    {acc} sig{}, sig{}, #{weight}",
+                                cand.0, slot.word, slot.word
+                            ),
+                        };
+                    }
+                    let _ = match isa {
+                        IsaKind::X86 => {
+                            writeln!(out, "    ud2         ; assert: impossible value\n  2:")
+                        }
+                        IsaKind::Arm => writeln!(out, "    bne   .assert_fail ; impossible value"),
+                    };
+                }
+            }
+        }
+        for w in 0..thread_schema.num_words {
+            let _ = match isa {
+                IsaKind::X86 => writeln!(out, "  mov   [results+{t}*W+{w}*8], sig{w}"),
+                IsaKind::Arm => writeln!(out, "  str   sig{w}, [results, #{t}*W+{w}*4]"),
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, SourcePruning};
+    use mtc_isa::{litmus, Addr, MemoryLayout, ProgramBuilder};
+
+    fn render(isa: IsaKind, program: &Program) -> String {
+        let analysis = analyze(program, &SourcePruning::none());
+        let schema = SignatureSchema::build(program, &analysis, isa.register_bits());
+        render_instrumented(program, &schema, isa)
+    }
+
+    #[test]
+    fn arm_listing_shows_chains_and_weights() {
+        let t = litmus::message_passing();
+        let listing = render(IsaKind::Arm, &t.program);
+        assert!(listing.contains("ldr   r0"));
+        assert!(listing.contains("addeq sig0"));
+        assert!(listing.contains("bne   .assert_fail"));
+        assert!(listing.contains("str   sig0"));
+        // Two threads, one signature word each.
+        assert_eq!(listing.matches("---- thread").count(), 2);
+    }
+
+    #[test]
+    fn x86_listing_uses_x86_mnemonics() {
+        let t = litmus::store_buffering();
+        let listing = render(IsaKind::X86, &t.program);
+        assert!(listing.contains("mov   eax"));
+        assert!(listing.contains("xor   sig0, sig0"));
+        assert!(listing.contains("ud2"));
+    }
+
+    #[test]
+    fn fences_render_by_kind() {
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0)
+            .store(Addr(0))
+            .fence()
+            .fence_of(FenceKind::StoreStore)
+            .fence_of(FenceKind::LoadLoad)
+            .load(Addr(0));
+        let p = b.build().unwrap();
+        let listing = render(IsaKind::Arm, &p);
+        assert!(listing.contains("dmb   sy"));
+        assert!(listing.contains("dmb   st"));
+        assert!(listing.contains("dmb   ld"));
+    }
+
+    #[test]
+    fn weights_match_schema_multipliers() {
+        // Fig 3 shape: the second load's weights are multiples of the
+        // first's cardinality.
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0)).load(Addr(1));
+        b.thread(1).store(Addr(0)).store(Addr(1)).store(Addr(1));
+        let p = b.build().unwrap();
+        let listing = render(IsaKind::Arm, &p);
+        // First load: candidates {init, #1} -> weights 0, 1.
+        assert!(listing.contains("sig0, sig0, #1"));
+        // Second load: 3 candidates, multiplier 2 -> weights 0, 2, 4.
+        assert!(listing.contains("sig0, sig0, #4"));
+    }
+}

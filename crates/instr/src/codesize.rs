@@ -1,0 +1,219 @@
+//! Per-ISA code-size and instruction-count models (Figure 12).
+//!
+//! The paper measures the binary size of original vs instrumented test
+//! routines on real toolchains; we model the same with per-instruction byte
+//! costs typical of each ISA. Absolute bytes are approximations, but the
+//! *ratio* — driven by the per-load branch-chain length, i.e. the candidate
+//! cardinality — reproduces the paper's 1.95×–8.16× range and its growth
+//! with contention.
+
+use crate::SignatureSchema;
+use mtc_isa::{Instr, IsaKind, Program};
+use serde::{Deserialize, Serialize};
+
+/// Byte and instruction costs of a test routine, original and instrumented.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CodeSize {
+    /// Bytes of the uninstrumented test routine (all threads).
+    pub original_bytes: u64,
+    /// Bytes of the instrumented test routine (all threads).
+    pub instrumented_bytes: u64,
+    /// Largest single-thread instrumented routine, for the L1-fit check.
+    pub max_thread_instrumented_bytes: u64,
+    /// Dynamic instruction count added per run by the instrumentation
+    /// (compare/branch/add chains plus signature prologue/epilogue).
+    pub added_instructions: u64,
+}
+
+impl CodeSize {
+    /// Instrumented-to-original size ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.original_bytes == 0 {
+            return 0.0;
+        }
+        self.instrumented_bytes as f64 / self.original_bytes as f64
+    }
+
+    /// Returns `true` when every thread's instrumented routine fits in an
+    /// L1 instruction cache of `l1_bytes` (32 kB on both paper platforms).
+    pub fn fits_in_l1(&self, l1_bytes: u64) -> bool {
+        self.max_thread_instrumented_bytes <= l1_bytes
+    }
+}
+
+/// Instruction-encoding cost model for one ISA.
+///
+/// x86 uses variable-length encodings (moves with memory operands and
+/// 32-bit immediates); ARMv7 pays a fixed 4 bytes per instruction but needs
+/// `movw`/`movt` pairs to materialize 32-bit immediates.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub struct CodeSizeModel {
+    isa: IsaKind,
+}
+
+impl CodeSizeModel {
+    /// Creates the model for `isa`.
+    pub fn new(isa: IsaKind) -> Self {
+        CodeSizeModel { isa }
+    }
+
+    /// The modelled ISA.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Bytes of one uninstrumented instruction.
+    pub fn instr_bytes(&self, instr: &Instr) -> u64 {
+        match self.isa {
+            IsaKind::X86 => match instr {
+                // mov reg, [mem]
+                Instr::Load { .. } => 6,
+                // mov dword [mem], imm32 (the unique store id)
+                Instr::Store { .. } => 10,
+                // mfence
+                Instr::Fence(_) => 3,
+            },
+            IsaKind::Arm => match instr {
+                // ldr rd, [rb, #off]
+                Instr::Load { .. } => 4,
+                // movw + str (unique id fits 16 bits for our test sizes)
+                Instr::Store { .. } => 8,
+                // dmb
+                Instr::Fence(_) => 4,
+            },
+        }
+    }
+
+    /// Bytes of one compare/branch/add link in an instrumented branch chain
+    /// (Figure 4: `if (value==X) sig += w`).
+    pub fn chain_link_bytes(&self) -> u64 {
+        match self.isa {
+            // cmp eax, imm32 (5) + jne (2) + add reg, imm32 (6)
+            IsaKind::X86 => 13,
+            // cmp (4) + addeq (4): ARM conditional execution needs no branch
+            IsaKind::Arm => 8,
+        }
+    }
+
+    /// Bytes of the assertion at the tail of each branch chain.
+    pub fn assert_bytes(&self) -> u64 {
+        match self.isa {
+            IsaKind::X86 => 7, // jmp past + ud2 + pad
+            IsaKind::Arm => 8, // b past + udf
+        }
+    }
+
+    /// Bytes of per-signature-word bookkeeping (init at test entry, store
+    /// to the result area at test exit).
+    pub fn word_bookkeeping_bytes(&self) -> u64 {
+        match self.isa {
+            IsaKind::X86 => 3 + 7, // xor reg,reg + mov [mem], reg
+            IsaKind::Arm => 4 + 8, // mov #0 + (adr + str)
+        }
+    }
+
+    /// Computes original and instrumented sizes for `program` under
+    /// `schema`.
+    pub fn measure(&self, program: &Program, schema: &SignatureSchema) -> CodeSize {
+        let mut original = 0u64;
+        let mut instrumented = 0u64;
+        let mut max_thread = 0u64;
+        let mut added_insns = 0u64;
+        for (tid, code) in program.threads().iter().enumerate() {
+            let base: u64 = code.iter().map(|i| self.instr_bytes(i)).sum();
+            let thread_schema = &schema.threads()[tid];
+            let mut extra = 0u64;
+            for slot in &thread_schema.loads {
+                let links = slot.cardinality() as u64;
+                extra += links * self.chain_link_bytes() + self.assert_bytes();
+                // Chain: cmp+branch+add per candidate, plus the assert.
+                added_insns += links * 3 + 1;
+            }
+            extra += thread_schema.num_words as u64 * self.word_bookkeeping_bytes();
+            added_insns += thread_schema.num_words as u64 * 3;
+            original += base;
+            instrumented += base + extra;
+            max_thread = max_thread.max(base + extra);
+        }
+        CodeSize {
+            original_bytes: original,
+            instrumented_bytes: instrumented,
+            max_thread_instrumented_bytes: max_thread,
+            added_instructions: added_insns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, SignatureSchema, SourcePruning};
+    use mtc_gen::{generate, TestConfig};
+
+    fn measure(isa: IsaKind, threads: u32, ops: u32, addrs: u32) -> CodeSize {
+        let p = generate(&TestConfig::new(isa, threads, ops, addrs).with_seed(1));
+        let analysis = analyze(&p, &SourcePruning::none());
+        let schema = SignatureSchema::build(&p, &analysis, isa.register_bits());
+        CodeSizeModel::new(isa).measure(&p, &schema)
+    }
+
+    #[test]
+    fn ratio_grows_with_contention() {
+        let low = measure(IsaKind::Arm, 2, 50, 64);
+        let high = measure(IsaKind::Arm, 7, 200, 64);
+        assert!(low.ratio() > 1.5, "low-contention ratio {}", low.ratio());
+        assert!(low.ratio() < 4.0);
+        assert!(high.ratio() > low.ratio());
+        assert!(
+            high.ratio() < 10.0,
+            "high-contention ratio {}",
+            high.ratio()
+        );
+    }
+
+    #[test]
+    fn instrumented_tests_fit_in_l1() {
+        // §6.3: even ARM-7-200-64's 189 kB total splits to ~27 kB per core,
+        // fitting the 32 kB L1 I-cache.
+        let big = measure(IsaKind::Arm, 7, 200, 64);
+        assert!(big.fits_in_l1(32 * 1024));
+        assert!(
+            big.instrumented_bytes > 100 * 1024 / 2,
+            "total should be large"
+        );
+    }
+
+    #[test]
+    fn x86_and_arm_models_differ() {
+        let x86 = measure(IsaKind::X86, 4, 100, 64);
+        let arm = measure(IsaKind::Arm, 4, 100, 64);
+        assert_ne!(x86.original_bytes, arm.original_bytes);
+        assert!(x86.ratio() > 1.0 && arm.ratio() > 1.0);
+    }
+
+    #[test]
+    fn zero_programs_have_zero_ratio() {
+        let cs = CodeSize::default();
+        assert_eq!(cs.ratio(), 0.0);
+    }
+
+    #[test]
+    fn added_instructions_track_candidates() {
+        let p = generate(&TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(2));
+        let analysis = analyze(&p, &SourcePruning::none());
+        let schema = SignatureSchema::build(&p, &analysis, 32);
+        let cs = CodeSizeModel::new(IsaKind::Arm).measure(&p, &schema);
+        let expected_chain: u64 = schema
+            .threads()
+            .iter()
+            .flat_map(|t| t.loads.iter())
+            .map(|s| s.cardinality() as u64 * 3 + 1)
+            .sum();
+        let expected_words: u64 = schema
+            .threads()
+            .iter()
+            .map(|t| t.num_words as u64 * 3)
+            .sum();
+        assert_eq!(cs.added_instructions, expected_chain + expected_words);
+    }
+}

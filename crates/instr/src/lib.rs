@@ -1,0 +1,59 @@
+//! Observability-enhancing code instrumentation for MTraceCheck (§3 of the
+//! paper).
+//!
+//! Instead of flushing every loaded value to memory (the intrusive TSOtool
+//! approach), MTraceCheck computes a compact *memory-access interleaving
+//! signature* while the test runs: each load is followed by a chain of
+//! compare-and-add instructions that folds the identity of the observed
+//! store into a per-thread accumulator using Ball–Larus-style mixed-radix
+//! weights. The mapping between signatures and reads-from outcomes is 1:1,
+//! so one integer per thread replaces a full value log.
+//!
+//! This crate implements the *static* half of that scheme plus bit-exact
+//! models of the runtime half:
+//!
+//! * [`analyze`] — static per-load candidate analysis (which stores could
+//!   each load observe), with the §8 static-pruning extension;
+//! * [`SignatureSchema`] — weight/multiplier assignment with multi-word
+//!   overflow handling (§3.2), signature [`encoding`](SignatureSchema::encode)
+//!   (what the instrumented branch chains compute at runtime, including the
+//!   tail assertion that flags impossible values instantly) and Algorithm-1
+//!   [`decoding`](SignatureSchema::decode);
+//! * [`CodeSizeModel`] — per-ISA instruction/byte models reproducing the
+//!   Figure 12 code-size comparison;
+//! * [`RegisterFlushing`] — the baseline instrumentation MTraceCheck is
+//!   measured against, and the Figure 11 intrusiveness comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use mtc_gen::{generate, TestConfig};
+//! use mtc_instr::{analyze, SignatureSchema, SourcePruning};
+//! use mtc_isa::IsaKind;
+//!
+//! let program = generate(&TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(1));
+//! let analysis = analyze(&program, &SourcePruning::none());
+//! let schema = SignatureSchema::build(&program, &analysis, IsaKind::Arm.register_bits());
+//!
+//! // The paper's §3.2 size estimate holds: each signature is a handful of
+//! // machine words, not a 50-entry value log.
+//! assert!(schema.signature_bytes() <= 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod asm;
+mod codesize;
+mod flush;
+mod schema;
+
+pub use analysis::{analyze, CandidateAnalysis, SourcePruning};
+pub use asm::render_instrumented;
+pub use codesize::{CodeSize, CodeSizeModel};
+pub use flush::{IntrusivenessReport, RegisterFlushing};
+pub use schema::{
+    estimated_signature_bits, DecodeError, EncodeError, ExecutionSignature, LoadSlot,
+    SignatureSchema, ThreadSchema,
+};

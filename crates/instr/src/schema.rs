@@ -1,0 +1,643 @@
+//! Signature weight assignment, encoding, and Algorithm-1 decoding.
+//!
+//! The schema assigns each load a *multiplier* (the running product of the
+//! candidate cardinalities of all earlier loads in the thread, §3.1 step 2)
+//! so the per-thread signature `Σ indexᵢ · multiplierᵢ` is a mixed-radix
+//! number with a 1:1 mapping to observed reads-from sets. When the running
+//! product would overflow the target register width, a fresh signature word
+//! is started and the multipliers reset (§3.2), yielding multi-word
+//! signatures for high-contention tests.
+
+use crate::CandidateAnalysis;
+use mtc_isa::{OpId, Program, ReadsFrom, Tid, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-load encoding slot: which signature word the load contributes to,
+/// with what weight multiplier, over which candidate list.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct LoadSlot {
+    /// The load instruction.
+    pub op: OpId,
+    /// Values this load may observe, in canonical candidate order; the
+    /// observed value's *position* in this list is what gets encoded.
+    pub candidates: Vec<Value>,
+    /// Index of the signature word (within the thread) this load updates.
+    pub word: usize,
+    /// Weight multiplier: the observed candidate index is scaled by this
+    /// before accumulation.
+    pub multiplier: u64,
+}
+
+impl LoadSlot {
+    /// Number of distinct values the load may observe.
+    pub fn cardinality(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// The signature layout of one thread.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSchema {
+    /// The thread this schema instruments.
+    pub tid: Tid,
+    /// One slot per load, in program order.
+    pub loads: Vec<LoadSlot>,
+    /// Number of signature words the thread needs (≥ 1; a thread with no
+    /// loads still stores a constant-zero signature word, like thread 2 of
+    /// the paper's Figure 4).
+    pub num_words: usize,
+}
+
+/// Complete signature schema for an instrumented program.
+///
+/// Built by [`SignatureSchema::build`]; provides bit-exact
+/// [`encode`](SignatureSchema::encode) (what the instrumented branch chains
+/// compute at runtime) and [`decode`](SignatureSchema::decode)
+/// (Algorithm 1).
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct SignatureSchema {
+    threads: Vec<ThreadSchema>,
+    register_bits: u32,
+}
+
+/// Error raised while encoding an observation — the runtime equivalent is
+/// the assertion at the tail of each instrumented branch chain (§3.1),
+/// which catches impossible values "instantly without running a
+/// constraint-graph checking".
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum EncodeError {
+    /// A load observed a value outside its static candidate set. Either the
+    /// hardware violated per-location coherence/program order outright, or
+    /// static pruning was too aggressive.
+    UnexpectedValue {
+        /// The load whose assertion fired.
+        load: OpId,
+        /// The impossible value it observed.
+        value: Value,
+    },
+    /// The observation is missing a value for an instrumented load.
+    MissingLoad {
+        /// The unobserved load.
+        load: OpId,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::UnexpectedValue { load, value } => write!(
+                f,
+                "assertion: load {load} observed {value}, which no interleaving allows"
+            ),
+            EncodeError::MissingLoad { load } => {
+                write!(f, "observation records no value for load {load}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error raised while decoding a signature that no execution could have
+/// produced (corruption or schema mismatch).
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum DecodeError {
+    /// The signature has the wrong number of words for this schema.
+    WrongLength {
+        /// Words the schema expects.
+        expected: usize,
+        /// Words the signature carries.
+        found: usize,
+    },
+    /// A decoded candidate index exceeded the load's cardinality.
+    IndexOutOfRange {
+        /// The load being decoded.
+        load: OpId,
+        /// The out-of-range index.
+        index: u64,
+    },
+    /// Bits remained in a signature word after all its loads were decoded.
+    ResidualBits {
+        /// Thread whose word was corrupt.
+        tid: Tid,
+        /// Word index within the thread.
+        word: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::WrongLength { expected, found } => {
+                write!(f, "signature has {found} words, schema expects {expected}")
+            }
+            DecodeError::IndexOutOfRange { load, index } => {
+                write!(f, "decoded index {index} out of range for load {load}")
+            }
+            DecodeError::ResidualBits { tid, word } => {
+                write!(f, "residual bits left in word {word} of {tid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl SignatureSchema {
+    /// Builds the schema for `program` from its candidate `analysis`,
+    /// targeting `register_bits`-wide signature words (32 for ARMv7, 64 for
+    /// x86-64; §3.2).
+    ///
+    /// ```
+    /// use mtc_gen::{generate, TestConfig};
+    /// use mtc_instr::{analyze, SignatureSchema, SourcePruning};
+    /// use mtc_isa::IsaKind;
+    ///
+    /// let program = generate(&TestConfig::new(IsaKind::Arm, 2, 30, 16));
+    /// let analysis = analyze(&program, &SourcePruning::none());
+    /// let schema = SignatureSchema::build(&program, &analysis, 32);
+    /// // One slot per load, each with its mixed-radix multiplier.
+    /// assert_eq!(
+    ///     schema.threads().iter().map(|t| t.loads.len()).sum::<usize>(),
+    ///     program.num_loads()
+    /// );
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `register_bits` is 0 or exceeds 64, or if the analysis is
+    /// missing a load of the program.
+    pub fn build(program: &Program, analysis: &CandidateAnalysis, register_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&register_bits),
+            "register width must be 1..=64 bits"
+        );
+        let capacity: u128 = 1u128 << register_bits;
+        let mut threads = Vec::with_capacity(program.num_threads());
+        for t in 0..program.num_threads() {
+            let tid = Tid(t as u32);
+            let mut loads = Vec::new();
+            let mut word = 0usize;
+            let mut product: u128 = 1;
+            for (op, instr) in program.iter_ops() {
+                if op.tid != tid || !instr.is_load() {
+                    continue;
+                }
+                let candidates = analysis
+                    .candidates(op)
+                    .expect("analysis covers every load of the program")
+                    .to_vec();
+                let n = candidates.len() as u128;
+                assert!(n >= 1, "loads always have at least one candidate");
+                if product.saturating_mul(n) > capacity {
+                    // §3.2: overflow detected statically — start a fresh
+                    // signature word and reset the weight multipliers.
+                    word += 1;
+                    product = 1;
+                }
+                loads.push(LoadSlot {
+                    op,
+                    candidates,
+                    word,
+                    multiplier: product as u64,
+                });
+                product *= n;
+            }
+            threads.push(ThreadSchema {
+                tid,
+                loads,
+                num_words: word + 1,
+            });
+        }
+        SignatureSchema {
+            threads,
+            register_bits,
+        }
+    }
+
+    /// Per-thread schemas, indexed by thread id.
+    pub fn threads(&self) -> &[ThreadSchema] {
+        &self.threads
+    }
+
+    /// Register width the schema was built for.
+    pub fn register_bits(&self) -> u32 {
+        self.register_bits
+    }
+
+    /// Total signature words across all threads.
+    pub fn total_words(&self) -> usize {
+        self.threads.iter().map(|t| t.num_words).sum()
+    }
+
+    /// Execution-signature size in bytes: every word occupies a full
+    /// register ("the instrumented code uses the entire 64 bits of a
+    /// register, even when fewer are needed", §6.3).
+    pub fn signature_bytes(&self) -> usize {
+        self.total_words() * (self.register_bits as usize / 8).max(1)
+    }
+
+    /// Encodes an observed reads-from outcome into an execution signature —
+    /// bit-exactly what the instrumented test computes at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::UnexpectedValue`] when a load observed a value outside
+    /// its candidate set (the instrumented assertion fires);
+    /// [`EncodeError::MissingLoad`] when the observation is incomplete.
+    pub fn encode(&self, observed: &ReadsFrom) -> Result<ExecutionSignature, EncodeError> {
+        let mut words = Vec::with_capacity(self.total_words());
+        for thread in &self.threads {
+            let base = words.len();
+            words.resize(base + thread.num_words, 0u64);
+            for slot in &thread.loads {
+                let value = observed
+                    .value_of(slot.op)
+                    .ok_or(EncodeError::MissingLoad { load: slot.op })?;
+                let index = slot.candidates.iter().position(|&c| c == value).ok_or(
+                    EncodeError::UnexpectedValue {
+                        load: slot.op,
+                        value,
+                    },
+                )?;
+                words[base + slot.word] += index as u64 * slot.multiplier;
+            }
+        }
+        Ok(ExecutionSignature { words })
+    }
+
+    /// Decodes an execution signature back into the reads-from outcome it
+    /// encodes (Algorithm 1: walk loads last-to-first, divide by the
+    /// multiplier, keep the remainder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the signature could not have been
+    /// produced under this schema.
+    pub fn decode(&self, signature: &ExecutionSignature) -> Result<ReadsFrom, DecodeError> {
+        if signature.words.len() != self.total_words() {
+            return Err(DecodeError::WrongLength {
+                expected: self.total_words(),
+                found: signature.words.len(),
+            });
+        }
+        let mut observed = ReadsFrom::new();
+        let mut base = 0usize;
+        for thread in &self.threads {
+            let mut words = signature.words[base..base + thread.num_words].to_vec();
+            for slot in thread.loads.iter().rev() {
+                let word = &mut words[slot.word];
+                let index = *word / slot.multiplier;
+                *word %= slot.multiplier;
+                if index >= slot.candidates.len() as u64 {
+                    return Err(DecodeError::IndexOutOfRange {
+                        load: slot.op,
+                        index,
+                    });
+                }
+                observed.record(slot.op, slot.candidates[index as usize]);
+            }
+            for (w, &word) in words.iter().enumerate() {
+                if word != 0 {
+                    return Err(DecodeError::ResidualBits {
+                        tid: thread.tid,
+                        word: w,
+                    });
+                }
+            }
+            base += thread.num_words;
+        }
+        Ok(observed)
+    }
+}
+
+/// A compact execution signature: the concatenated per-thread signature
+/// words, thread 0 first and each thread's first word most significant
+/// (§4.1's sort layout). `Ord` is therefore the paper's ascending signature
+/// order.
+#[derive(Clone, Debug, Default, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub struct ExecutionSignature {
+    words: Vec<u64>,
+}
+
+impl ExecutionSignature {
+    /// Creates a signature from raw words (thread 0 first,
+    /// most-significant word first within each thread).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        ExecutionSignature { words }
+    }
+
+    /// The raw signature words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` for the empty signature.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl fmt::Display for ExecutionSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("0x")?;
+        if self.words.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, w) in self.words.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{w:x}")?;
+            } else {
+                write!(f, "_{w:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The §3.2 closed-form estimate of per-thread signature size in bits:
+/// `L · log₂(1 + (S/A)(T-1))` for `T` threads, `S` stores and `L` loads per
+/// thread, and `A` shared addresses.
+///
+/// ```
+/// use mtc_instr::estimated_signature_bits;
+/// // The paper's worked example: S=L=50, A=32, T=2 ≈ 2.7e20 ≈ 2^68.
+/// let bits = estimated_signature_bits(2, 50.0, 50.0, 32.0);
+/// assert!((bits - 68.0).abs() < 1.0);
+/// ```
+pub fn estimated_signature_bits(threads: u32, stores: f64, loads: f64, addrs: f64) -> f64 {
+    let per_load = 1.0 + (stores / addrs) * (threads as f64 - 1.0);
+    loads * per_load.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, SourcePruning};
+    use mtc_isa::{Addr, MemoryLayout, ProgramBuilder};
+    use proptest::prelude::*;
+
+    fn figure3_program() -> Program {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0)
+            .store(Addr(0))
+            .load(Addr(0))
+            .load(Addr(1))
+            .store(Addr(0));
+        b.thread(1).store(Addr(1)).store(Addr(0)).load(Addr(0));
+        b.thread(2).store(Addr(1));
+        b.build().unwrap()
+    }
+
+    fn schema_for(p: &Program, bits: u32) -> SignatureSchema {
+        SignatureSchema::build(p, &analyze(p, &SourcePruning::none()), bits)
+    }
+
+    #[test]
+    fn figure3_weights_are_mixed_radix() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        let t0 = &s.threads()[0];
+        assert_eq!(t0.loads.len(), 2);
+        // First load: multiplier 1; second load: multiplier = cardinality of
+        // the first (2 candidates -> weights 0,1 then multiples of 2).
+        assert_eq!(t0.loads[0].multiplier, 1);
+        assert_eq!(t0.loads[1].multiplier, t0.loads[0].cardinality() as u64);
+        // Thread 2 has no loads but still owns one constant-zero word.
+        assert_eq!(s.threads()[2].num_words, 1);
+        assert_eq!(s.total_words(), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_figure3() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        // Observation: T0.1 reads own store #1; T0.2 reads T2's #5;
+        // T1.2 reads T0's #2.
+        let mut rf = ReadsFrom::new();
+        rf.record(OpId::new(Tid(0), 1), Value(1));
+        rf.record(OpId::new(Tid(0), 2), Value(5));
+        rf.record(OpId::new(Tid(1), 2), Value(2));
+        let sig = s.encode(&rf).unwrap();
+        assert_eq!(s.decode(&sig).unwrap(), rf);
+        // T0: idx 0 * 1 + idx 2 * 2 = 4; T1: idx 2 * 1 = 2; T2: 0.
+        assert_eq!(sig.words(), &[4, 2, 0]);
+    }
+
+    #[test]
+    fn assertion_fires_on_impossible_value() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        let mut rf = ReadsFrom::new();
+        // Load T0.1 of Addr(0) cannot observe init: its own store #1
+        // precedes it.
+        rf.record(OpId::new(Tid(0), 1), Value::INIT);
+        rf.record(OpId::new(Tid(0), 2), Value(3));
+        rf.record(OpId::new(Tid(1), 2), Value(4));
+        assert_eq!(
+            s.encode(&rf),
+            Err(EncodeError::UnexpectedValue {
+                load: OpId::new(Tid(0), 1),
+                value: Value::INIT
+            })
+        );
+    }
+
+    #[test]
+    fn missing_load_is_reported() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        let rf = ReadsFrom::new();
+        assert!(matches!(
+            s.encode(&rf),
+            Err(EncodeError::MissingLoad { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_signatures() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        assert!(matches!(
+            s.decode(&ExecutionSignature::from_words(vec![0])),
+            Err(DecodeError::WrongLength {
+                expected: 3,
+                found: 1
+            })
+        ));
+        // T0 word capacity is 2*3 = 6 combinations (values 0..=5); 600 is
+        // out of range.
+        assert!(s
+            .decode(&ExecutionSignature::from_words(vec![600, 0, 0]))
+            .is_err());
+        // Thread 2 (no loads) must have a zero word.
+        assert!(matches!(
+            s.decode(&ExecutionSignature::from_words(vec![0, 0, 7])),
+            Err(DecodeError::ResidualBits {
+                tid: Tid(2),
+                word: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn narrow_registers_split_words() {
+        // 8 loads each with 4 candidates need 16 bits; with 8-bit words the
+        // schema must split (4 loads per word).
+        let mut b = ProgramBuilder::new(4, MemoryLayout::no_false_sharing());
+        let mut t1 = b.thread(1);
+        for a in 0..4 {
+            t1 = t1.store(Addr(a)).store(Addr(a)).store(Addr(a));
+        }
+        let mut t0 = b.thread(0);
+        for a in [0u32, 1, 2, 3, 0, 1, 2, 3] {
+            t0 = t0.load(Addr(a));
+        }
+        let p = b.build().unwrap();
+        let wide = schema_for(&p, 64);
+        assert_eq!(wide.threads()[0].num_words, 1);
+        let narrow = schema_for(&p, 8);
+        assert_eq!(narrow.threads()[0].num_words, 2);
+        // Multipliers reset at the word boundary.
+        let slots = &narrow.threads()[0].loads;
+        assert_eq!(slots[4].multiplier, 1);
+        assert_eq!(slots[4].word, 1);
+        // Round-trips still hold across the split.
+        let mut rf = ReadsFrom::new();
+        for (i, &(a, v)) in [
+            (0u32, 1u32),
+            (1, 0),
+            (2, 7),
+            (3, 10),
+            (0, 2),
+            (1, 4),
+            (2, 8),
+            (3, 12),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let _ = a;
+            rf.record(OpId::new(Tid(0), i as u32), Value(v));
+        }
+        let sig = narrow.encode(&rf).unwrap();
+        assert_eq!(narrow.decode(&sig).unwrap(), rf);
+        assert_eq!(wide.decode(&wide.encode(&rf).unwrap()).unwrap(), rf);
+    }
+
+    #[test]
+    fn signature_bytes_accounts_for_register_width() {
+        let p = figure3_program();
+        assert_eq!(schema_for(&p, 64).signature_bytes(), 3 * 8);
+        assert_eq!(schema_for(&p, 32).signature_bytes(), 3 * 4);
+    }
+
+    #[test]
+    fn estimate_matches_paper_example() {
+        let bits = estimated_signature_bits(2, 50.0, 50.0, 32.0);
+        assert!((67.0..69.0).contains(&bits), "estimate {bits}");
+    }
+
+    #[test]
+    fn signature_display_is_hex() {
+        let sig = ExecutionSignature::from_words(vec![0x20, 0x84]);
+        assert_eq!(sig.to_string(), "0x20_0000000000000084");
+        assert_eq!(ExecutionSignature::default().to_string(), "0x0");
+    }
+
+    #[test]
+    fn estimate_tracks_actual_schema_size() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        // §3.2's closed form should land within ~2x of the measured bit
+        // count across the paper's parameter space.
+        for (threads, ops, addrs) in [(2u32, 50u32, 32u32), (4, 100, 64), (7, 200, 64)] {
+            let test = TestConfig::new(IsaKind::Arm, threads, ops, addrs).with_seed(9);
+            let p = generate(&test);
+            let analysis = analyze(&p, &SourcePruning::none());
+            let schema = SignatureSchema::build(&p, &analysis, 64);
+            let actual_bits: f64 = analysis.iter().map(|(_, c)| (c.len() as f64).log2()).sum();
+            let loads_per_thread = p.num_loads() as f64 / threads as f64;
+            let stores_per_thread = p.num_stores() as f64 / threads as f64;
+            let estimate = threads as f64
+                * estimated_signature_bits(
+                    threads,
+                    stores_per_thread,
+                    loads_per_thread,
+                    addrs as f64,
+                );
+            assert!(
+                (0.5..2.0).contains(&(estimate / actual_bits)),
+                "{threads}-{ops}-{addrs}: estimate {estimate:.0} vs actual {actual_bits:.0}"
+            );
+            // And the built schema's capacity covers the actual bits.
+            let capacity_bits = schema.total_words() as f64 * 64.0;
+            assert!(capacity_bits >= actual_bits);
+        }
+    }
+
+    proptest! {
+        /// Decoding never panics on arbitrary word vectors: anything that
+        /// is not a schema-valid signature returns a structured error.
+        #[test]
+        fn decode_is_total_over_arbitrary_words(
+            seed in any::<u64>(),
+            words in prop::collection::vec(any::<u64>(), 0..8),
+        ) {
+            use mtc_gen::{generate, TestConfig};
+            use mtc_isa::IsaKind;
+            let p = generate(&TestConfig::new(IsaKind::Arm, 2, 12, 4).with_seed(seed));
+            let schema = SignatureSchema::build(&p, &analyze(&p, &SourcePruning::none()), 32);
+            let sig = ExecutionSignature::from_words(words);
+            if let Ok(rf) = schema.decode(&sig) {
+                // A lucky valid decode must re-encode to the same
+                // signature (bijectivity on the valid subset).
+                prop_assert_eq!(schema.encode(&rf).expect("decoded rf is valid"), sig);
+            }
+        }
+
+        /// The core §3.1 guarantee: signatures and interleavings are 1:1 —
+        /// encode/decode round-trips for arbitrary candidate choices, and
+        /// distinct choices yield distinct signatures.
+        #[test]
+        fn roundtrip_and_injectivity(
+            seed in any::<u64>(),
+            bits in prop::sample::select(vec![16u32, 32, 64]),
+            picks in prop::collection::vec(any::<u32>(), 64),
+        ) {
+            use mtc_gen::{generate, TestConfig};
+            use mtc_isa::IsaKind;
+            let config = TestConfig::new(IsaKind::Arm, 3, 16, 4).with_seed(seed);
+            let p = generate(&config);
+            let analysis = analyze(&p, &SourcePruning::none());
+            let schema = SignatureSchema::build(&p, &analysis, bits);
+
+            let mut rf = ReadsFrom::new();
+            let mut alt = ReadsFrom::new();
+            let mut differs = false;
+            for (i, (op, cands)) in analysis.iter().enumerate() {
+                let pick = picks[i % picks.len()] as usize % cands.len();
+                rf.record(op, cands[pick]);
+                // A second observation differing (when possible) in the
+                // first multi-candidate load.
+                let alt_pick = if !differs && cands.len() > 1 {
+                    differs = true;
+                    (pick + 1) % cands.len()
+                } else {
+                    pick
+                };
+                alt.record(op, cands[alt_pick]);
+            }
+            let sig = schema.encode(&rf).unwrap();
+            prop_assert_eq!(schema.decode(&sig).unwrap(), rf.clone());
+            let alt_sig = schema.encode(&alt).unwrap();
+            prop_assert_eq!(alt_sig == sig, alt == rf);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Observable outcome of one test execution: the reads-from relation.
+//!
+//! Because every store writes a globally unique value, the complete
+//! memory-ordering observation of a test run is captured by which value each
+//! load returned (§2 of the paper: "two executions have experienced distinct
+//! memory access interleavings when they exhibit at least one different
+//! reads-from relationship"). [`ReadsFrom`] is that record, and it is the
+//! currency every MTraceCheck stage trades in: the simulator produces it,
+//! the instrumentation encodes it into a signature, the decoder recovers it,
+//! and the constraint-graph builder consumes it.
+
+use crate::{OpId, Program, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The value observed by every load of one test execution.
+///
+/// Keys are load [`OpId`]s; values are the loaded [`Value`]s
+/// ([`Value::INIT`] or a unique store value).
+///
+/// ```
+/// use mtc_isa::{OpId, ReadsFrom, StoreId, Tid, Value};
+///
+/// let mut rf = ReadsFrom::new();
+/// rf.record(OpId::new(Tid(0), 1), Value::from(StoreId(3)));
+/// rf.record(OpId::new(Tid(1), 0), Value::INIT);
+/// assert_eq!(rf.len(), 2);
+/// assert_eq!(rf.value_of(OpId::new(Tid(0), 1)), Some(Value(3)));
+/// ```
+#[derive(Clone, Debug, Default, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub struct ReadsFrom {
+    observed: BTreeMap<OpId, Value>,
+}
+
+impl ReadsFrom {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `load` observed `value`. Returns the previously recorded
+    /// value if the load was already present.
+    pub fn record(&mut self, load: OpId, value: Value) -> Option<Value> {
+        self.observed.insert(load, value)
+    }
+
+    /// The value observed by `load`, if recorded.
+    pub fn value_of(&self, load: OpId) -> Option<Value> {
+        self.observed.get(&load).copied()
+    }
+
+    /// The store op that `load` read from, or `None` when the load is
+    /// unrecorded or read the initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded value does not belong to `program`.
+    pub fn source_op(&self, program: &Program, load: OpId) -> Option<OpId> {
+        self.value_of(load)?
+            .store_id()
+            .map(|id| program.store_op(id))
+    }
+
+    /// Number of recorded loads.
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Returns `true` when no loads are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+
+    /// Iterates over `(load, observed value)` pairs in `(thread,
+    /// program-order)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, Value)> + '_ {
+        self.observed.iter().map(|(&op, &v)| (op, v))
+    }
+
+    /// Number of `(load, value)` entries on which `self` and `other`
+    /// disagree (entries present in exactly one count as differing) — the
+    /// k-medoids distance metric of §4.1.
+    pub fn diff_count(&self, other: &ReadsFrom) -> usize {
+        let mut diff = 0;
+        for (op, v) in self.iter() {
+            if other.value_of(op) != Some(v) {
+                diff += 1;
+            }
+        }
+        for (op, _) in other.iter() {
+            if self.value_of(op).is_none() {
+                diff += 1;
+            }
+        }
+        diff
+    }
+}
+
+impl FromIterator<(OpId, Value)> for ReadsFrom {
+    fn from_iter<I: IntoIterator<Item = (OpId, Value)>>(iter: I) -> Self {
+        ReadsFrom {
+            observed: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(OpId, Value)> for ReadsFrom {
+    fn extend<I: IntoIterator<Item = (OpId, Value)>>(&mut self, iter: I) {
+        self.observed.extend(iter);
+    }
+}
+
+impl fmt::Display for ReadsFrom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (op, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{op}<-{v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, MemoryLayout, ProgramBuilder, StoreId, Tid};
+
+    #[test]
+    fn record_and_query() {
+        let mut rf = ReadsFrom::new();
+        let op = OpId::new(Tid(0), 0);
+        assert_eq!(rf.record(op, Value(1)), None);
+        assert_eq!(rf.record(op, Value(2)), Some(Value(1)));
+        assert_eq!(rf.value_of(op), Some(Value(2)));
+        assert_eq!(rf.len(), 1);
+        assert!(!rf.is_empty());
+    }
+
+    #[test]
+    fn source_op_resolves_store() {
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0));
+        b.thread(1).load(Addr(0));
+        let p = b.build().unwrap();
+        let load = OpId::new(Tid(1), 0);
+        let mut rf = ReadsFrom::new();
+        rf.record(load, Value::from(StoreId(1)));
+        assert_eq!(rf.source_op(&p, load), Some(OpId::new(Tid(0), 0)));
+        rf.record(load, Value::INIT);
+        assert_eq!(rf.source_op(&p, load), None);
+    }
+
+    #[test]
+    fn diff_count_is_symmetric_and_zero_on_equal() {
+        let a: ReadsFrom = [
+            (OpId::new(Tid(0), 0), Value(1)),
+            (OpId::new(Tid(0), 1), Value(0)),
+        ]
+        .into_iter()
+        .collect();
+        let mut b = a.clone();
+        assert_eq!(a.diff_count(&b), 0);
+        b.record(OpId::new(Tid(0), 1), Value(2));
+        assert_eq!(a.diff_count(&b), 1);
+        assert_eq!(b.diff_count(&a), 1);
+        b.record(OpId::new(Tid(1), 0), Value(1));
+        assert_eq!(a.diff_count(&b), 2);
+        assert_eq!(b.diff_count(&a), 2);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let rf: ReadsFrom = [(OpId::new(Tid(0), 3), Value(0))].into_iter().collect();
+        assert_eq!(rf.to_string(), "{T0.3<-init}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared-memory layout: mapping word addresses onto cache lines.
+//!
+//! The paper evaluates three data layouts — 1, 4 and 16 shared words per
+//! 64-byte cache line — to quantify the impact of false sharing on the
+//! diversity of memory-access interleavings (Figure 8).
+
+use crate::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Mapping from shared word indices to byte addresses and cache lines.
+///
+/// Shared words are packed `words_per_line` to a cache line; the remaining
+/// space in each line is padding. `words_per_line == 1` means every shared
+/// word owns a full line (no false sharing).
+///
+/// ```
+/// use mtc_isa::{Addr, MemoryLayout};
+///
+/// let layout = MemoryLayout::with_words_per_line(4);
+/// assert_eq!(layout.line_of(Addr(0)), layout.line_of(Addr(3)));
+/// assert_ne!(layout.line_of(Addr(3)), layout.line_of(Addr(4)));
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    words_per_line: u32,
+    line_bytes: u32,
+    word_bytes: u32,
+}
+
+impl MemoryLayout {
+    /// Cache-line size used throughout the paper's evaluation platforms.
+    pub const DEFAULT_LINE_BYTES: u32 = 64;
+    /// Tests transfer 4 bytes per operation (§5 of the paper).
+    pub const DEFAULT_WORD_BYTES: u32 = 4;
+
+    /// Creates a layout with `words_per_line` shared words in each line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line` is zero or does not fit in a line
+    /// (`words_per_line * 4 > 64`).
+    pub fn with_words_per_line(words_per_line: u32) -> Self {
+        assert!(words_per_line > 0, "words_per_line must be positive");
+        assert!(
+            words_per_line * Self::DEFAULT_WORD_BYTES <= Self::DEFAULT_LINE_BYTES,
+            "words_per_line {words_per_line} does not fit in a {}-byte line",
+            Self::DEFAULT_LINE_BYTES
+        );
+        MemoryLayout {
+            words_per_line,
+            line_bytes: Self::DEFAULT_LINE_BYTES,
+            word_bytes: Self::DEFAULT_WORD_BYTES,
+        }
+    }
+
+    /// The layout with one shared word per cache line: no false sharing.
+    /// This is the paper's default (dark-blue bars of Figure 8).
+    pub fn no_false_sharing() -> Self {
+        Self::with_words_per_line(1)
+    }
+
+    /// Number of shared words packed into each cache line.
+    pub fn words_per_line(&self) -> u32 {
+        self.words_per_line
+    }
+
+    /// Size of a cache line in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Size of each shared word in bytes.
+    pub fn word_bytes(&self) -> u32 {
+        self.word_bytes
+    }
+
+    /// Returns the cache-line index holding shared word `addr`.
+    pub fn line_of(&self, addr: Addr) -> u32 {
+        addr.0 / self.words_per_line
+    }
+
+    /// Returns `true` when two shared words share a cache line without being
+    /// the same word — the definition of false sharing.
+    pub fn false_shares(&self, a: Addr, b: Addr) -> bool {
+        a != b && self.line_of(a) == self.line_of(b)
+    }
+
+    /// Returns the simulated byte address of shared word `addr`.
+    pub fn byte_addr(&self, addr: Addr) -> u64 {
+        let line = self.line_of(addr) as u64;
+        let slot = (addr.0 % self.words_per_line) as u64;
+        line * self.line_bytes as u64 + slot * self.word_bytes as u64
+    }
+
+    /// Number of cache lines needed for `num_addrs` shared words.
+    pub fn lines_for(&self, num_addrs: u32) -> u32 {
+        num_addrs.div_ceil(self.words_per_line)
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        Self::no_false_sharing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_sharing_gives_one_line_per_word() {
+        let l = MemoryLayout::no_false_sharing();
+        for a in 0..32 {
+            assert_eq!(l.line_of(Addr(a)), a);
+            assert_eq!(l.byte_addr(Addr(a)), a as u64 * 64);
+        }
+        assert!(!l.false_shares(Addr(0), Addr(1)));
+    }
+
+    #[test]
+    fn packed_layout_shares_lines() {
+        let l = MemoryLayout::with_words_per_line(16);
+        assert_eq!(l.line_of(Addr(0)), 0);
+        assert_eq!(l.line_of(Addr(15)), 0);
+        assert_eq!(l.line_of(Addr(16)), 1);
+        assert!(l.false_shares(Addr(0), Addr(15)));
+        assert!(!l.false_shares(Addr(15), Addr(16)));
+        assert!(!l.false_shares(Addr(3), Addr(3)));
+        assert_eq!(l.byte_addr(Addr(17)), 64 + 4);
+    }
+
+    #[test]
+    fn lines_for_rounds_up() {
+        let l = MemoryLayout::with_words_per_line(4);
+        assert_eq!(l.lines_for(32), 8);
+        assert_eq!(l.lines_for(33), 9);
+        assert_eq!(l.lines_for(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_words_per_line_panics() {
+        MemoryLayout::with_words_per_line(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_words_per_line_panics() {
+        MemoryLayout::with_words_per_line(17);
+    }
+}

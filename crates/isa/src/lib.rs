@@ -1,0 +1,56 @@
+//! Abstract ISA, test-program representation, and memory consistency models
+//! for the MTraceCheck post-silicon validation framework.
+//!
+//! This crate defines the vocabulary shared by every other MTraceCheck crate:
+//!
+//! * [`Program`] — a multi-threaded test program made of word-sized loads,
+//!   stores and fences over a small set of shared memory locations. Every
+//!   store writes a globally unique value ([`StoreId`]) so that the store
+//!   observed by any load can be identified from the loaded value alone
+//!   (the classic TSOtool/MTraceCheck trick).
+//! * [`Mcm`] — the memory consistency model under validation (SC, TSO, or a
+//!   weakly-ordered ARM-like model), expressed as a pairwise program-order
+//!   rule that both the simulator and the constraint-graph checker consume,
+//!   so the two can never disagree about which reorderings are legal.
+//! * [`MemoryLayout`] — the mapping from shared words to cache lines, used to
+//!   model false sharing (1, 4 or 16 shared words per 64-byte line in the
+//!   paper's evaluation).
+//! * [`litmus`] — a library of classic litmus tests (SB, MP, LB, IRIW, …)
+//!   used by examples and conformance tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mtc_isa::{Addr, Mcm, MemoryLayout, ProgramBuilder};
+//!
+//! // The two-threaded store-buffering (SB) shape from Figure 2 of the paper.
+//! let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+//! b.thread(0).load(Addr(0)).store(Addr(1));
+//! b.thread(1).load(Addr(1)).store(Addr(0));
+//! let program = b.build()?;
+//!
+//! assert_eq!(program.num_threads(), 2);
+//! assert_eq!(program.num_loads(), 2);
+//! // Under TSO the only relaxation is store->load; load->store stays ordered.
+//! assert!(Mcm::Tso.orders(&program.threads()[0][0], &program.threads()[0][1]));
+//! # Ok::<(), mtc_isa::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod layout;
+mod mcm;
+mod op;
+mod parse;
+mod program;
+
+pub mod litmus;
+
+pub use exec::ReadsFrom;
+pub use layout::MemoryLayout;
+pub use mcm::{IsaKind, IsaKindParseError, Mcm};
+pub use op::{Addr, FenceKind, Instr, OpId, StoreId, Tid, Value};
+pub use parse::{parse_program, ParseProgramError};
+pub use program::{Program, ProgramBuilder, ProgramError, ThreadBuilder};

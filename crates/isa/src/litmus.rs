@@ -1,0 +1,307 @@
+//! Classic litmus tests expressed as [`Program`]s.
+//!
+//! These small, named shapes are the standard vocabulary of memory-model
+//! validation (§9 of the paper cites several litmus suites). MTraceCheck's
+//! contribution is validating much larger constrained-random tests, but the
+//! litmus library is invaluable for conformance-testing the simulator and
+//! the checker: each test has well-known allowed/forbidden outcomes under
+//! SC, TSO and weak models.
+//!
+//! Addresses: `X = Addr(0)`, `Y = Addr(1)` (and `Z = Addr(2)` where used).
+//!
+//! ```
+//! use mtc_isa::litmus;
+//!
+//! let sb = litmus::store_buffering();
+//! assert_eq!(sb.program.num_threads(), 2);
+//! assert!(litmus::all().iter().any(|t| t.name == "SB"));
+//! ```
+
+use crate::{Addr, MemoryLayout, Program, ProgramBuilder};
+
+/// A named litmus test with its program and a human-readable description of
+/// the interesting (relaxed) outcome.
+#[derive(Clone, Debug)]
+pub struct LitmusTest {
+    /// Conventional short name (SB, MP, LB, …).
+    pub name: &'static str,
+    /// What the relaxed outcome is and where it is allowed.
+    pub description: &'static str,
+    /// The test program.
+    pub program: Program,
+}
+
+const X: Addr = Addr(0);
+const Y: Addr = Addr(1);
+const Z: Addr = Addr(2);
+
+fn builder(num_addrs: u32) -> ProgramBuilder {
+    ProgramBuilder::new(num_addrs, MemoryLayout::no_false_sharing())
+}
+
+/// SB (store buffering), the Figure 2 shape: each thread stores to one
+/// location then loads the other. Both loads reading the initial value is
+/// forbidden under SC, allowed under TSO and weaker models.
+pub fn store_buffering() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X).load(Y);
+    b.thread(1).store(Y).load(X);
+    LitmusTest {
+        name: "SB",
+        description: "both loads read init: forbidden under SC, allowed under TSO/Weak",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// SB with a full fence between the store and the load in each thread;
+/// the relaxed outcome becomes forbidden everywhere.
+pub fn store_buffering_fenced() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X).fence().load(Y);
+    b.thread(1).store(Y).fence().load(X);
+    LitmusTest {
+        name: "SB+fences",
+        description: "both loads read init: forbidden under every model",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// MP (message passing): thread 0 writes data then flag; thread 1 reads flag
+/// then data. Seeing the flag but stale data is forbidden under SC and TSO,
+/// allowed under weak models.
+pub fn message_passing() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X).store(Y);
+    b.thread(1).load(Y).load(X);
+    LitmusTest {
+        name: "MP",
+        description: "flag seen but data stale: forbidden under SC/TSO, allowed under Weak",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// MP with fences between the two accesses of each thread; the stale-data
+/// outcome becomes forbidden everywhere.
+pub fn message_passing_fenced() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X).fence().store(Y);
+    b.thread(1).load(Y).fence().load(X);
+    LitmusTest {
+        name: "MP+fences",
+        description: "flag seen but data stale: forbidden under every model",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// LB (load buffering): each thread loads one location then stores the
+/// other. Both loads observing the other thread's store is forbidden under
+/// SC and TSO (loads do not pass later stores), allowed under weak models.
+pub fn load_buffering() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).load(X).store(Y);
+    b.thread(1).load(Y).store(X);
+    LitmusTest {
+        name: "LB",
+        description: "both loads read the other store: forbidden under SC/TSO, allowed under Weak",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// IRIW (independent reads of independent writes): two writer threads, two
+/// reader threads observing the writes in opposite orders — forbidden under
+/// multi-copy-atomic models like SC/TSO.
+pub fn iriw() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X);
+    b.thread(1).store(Y);
+    b.thread(2).load(X).load(Y);
+    b.thread(3).load(Y).load(X);
+    LitmusTest {
+        name: "IRIW",
+        description: "readers disagree on write order: forbidden under SC/TSO",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// IRIW with full fences between each reader's loads: the readers'
+/// observations are now ordered, so disagreement on the order of the two
+/// independent writes requires non-multiple-copy-atomic stores — forbidden
+/// under SC/TSO and under any multiple-copy-atomic weak machine, yet
+/// allowed on real (non-MCA) ARMv7.
+pub fn iriw_fenced() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X);
+    b.thread(1).store(Y);
+    b.thread(2).load(X).fence().load(Y);
+    b.thread(3).load(Y).fence().load(X);
+    LitmusTest {
+        name: "IRIW+fences",
+        description: "fenced readers disagree on write order: requires non-MCA stores",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// CoRR (coherence of read-read): two program-ordered loads of the same
+/// location must not observe values in anti-coherence order. Forbidden under
+/// every model; the manifestation of the paper's injected bugs 1 and 2
+/// (Figure 13).
+pub fn corr() -> LitmusTest {
+    let mut b = builder(1);
+    b.thread(0).store(X);
+    b.thread(1).load(X).load(X);
+    LitmusTest {
+        name: "CoRR",
+        description: "second same-address load reads older value: forbidden everywhere",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// WRC (write-to-read causality): T0 writes X; T1 reads X then writes Y;
+/// T2 reads Y then X. Seeing Y's write but missing X's is forbidden under
+/// SC/TSO.
+pub fn wrc() -> LitmusTest {
+    let mut b = builder(3);
+    b.thread(0).store(X);
+    b.thread(1).load(X).store(Y);
+    b.thread(2).load(Y).load(X);
+    let _ = Z; // Z reserved for future three-address shapes.
+    LitmusTest {
+        name: "WRC",
+        description: "causality chain broken: forbidden under SC/TSO",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// MP with *partial* barriers: the writer uses a store-store barrier
+/// (`dmb st`) and the reader a load-load barrier (`dmb ld`) — exactly the
+/// pairing needed to forbid the stale-data outcome under weak models, at
+/// lower cost than full barriers.
+pub fn message_passing_partial_fences() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0)
+        .store(X)
+        .fence_of(crate::FenceKind::StoreStore)
+        .store(Y);
+    b.thread(1)
+        .load(Y)
+        .fence_of(crate::FenceKind::LoadLoad)
+        .load(X);
+    LitmusTest {
+        name: "MP+dmb.st/dmb.ld",
+        description:
+            "flag seen but data stale: forbidden under every model (partial barriers suffice)",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// SB with store-store barriers only: `dmb st` does not order a store
+/// before a later load, so the relaxed outcome remains observable under
+/// TSO and weak models — the canonical example of an *insufficient*
+/// barrier.
+pub fn store_buffering_partial_fences() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0)
+        .store(X)
+        .fence_of(crate::FenceKind::StoreStore)
+        .load(Y);
+    b.thread(1)
+        .store(Y)
+        .fence_of(crate::FenceKind::StoreStore)
+        .load(X);
+    LitmusTest {
+        name: "SB+dmb.st",
+        description:
+            "store-store barriers do not fix SB: relaxed outcome still allowed under TSO/Weak",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// LB with full fences between the load and the store of each thread: the
+/// relaxed outcome becomes forbidden under every model.
+pub fn load_buffering_fenced() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).load(X).fence().store(Y);
+    b.thread(1).load(Y).fence().store(X);
+    LitmusTest {
+        name: "LB+fences",
+        description: "both loads read the other store: forbidden under every model",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// MP where only the *reader* is fenced: without the writer-side barrier
+/// the stale-data outcome remains allowed under weak models — one-sided
+/// fencing is insufficient.
+pub fn message_passing_reader_fence_only() -> LitmusTest {
+    let mut b = builder(2);
+    b.thread(0).store(X).store(Y);
+    b.thread(1).load(Y).fence().load(X);
+    LitmusTest {
+        name: "MP+reader-fence",
+        description: "one-sided fencing: stale data still allowed under Weak",
+        program: b.build().expect("litmus programs are well-formed"),
+    }
+}
+
+/// All litmus tests in this library.
+pub fn all() -> Vec<LitmusTest> {
+    vec![
+        store_buffering(),
+        store_buffering_fenced(),
+        store_buffering_partial_fences(),
+        message_passing(),
+        message_passing_fenced(),
+        message_passing_partial_fences(),
+        load_buffering(),
+        load_buffering_fenced(),
+        message_passing_reader_fence_only(),
+        iriw(),
+        iriw_fenced(),
+        corr(),
+        wrc(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tests_are_well_formed_and_uniquely_named() {
+        let tests = all();
+        assert_eq!(tests.len(), 13);
+        let mut names: Vec<_> = tests.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tests.len(), "duplicate litmus names");
+        for t in &tests {
+            assert!(t.program.num_threads() >= 1, "{}", t.name);
+            assert!(!t.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn sb_shape() {
+        let t = store_buffering();
+        assert_eq!(t.program.num_loads(), 2);
+        assert_eq!(t.program.num_stores(), 2);
+        assert_eq!(t.program.num_addrs(), 2);
+    }
+
+    #[test]
+    fn fenced_variants_contain_fences() {
+        assert_eq!(
+            store_buffering_fenced().program.num_instrs() - store_buffering().program.num_instrs(),
+            2
+        );
+        assert!(message_passing_fenced()
+            .program
+            .iter_ops()
+            .any(|(_, i)| i.is_fence()));
+    }
+
+    #[test]
+    fn iriw_has_four_threads() {
+        assert_eq!(iriw().program.num_threads(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Memory consistency models and their program-order rules.
+//!
+//! Both the simulator (`mtc-sim`) and the constraint-graph checker
+//! (`mtc-graph`) consume the *same* pairwise ordering predicate
+//! [`Mcm::orders`], so the executions the simulator can produce and the
+//! executions the checker accepts are derived from one definition — a checker
+//! bug cannot hide behind a divergent model.
+
+use crate::Instr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The instruction-set flavour of a test, used for code-size and encoding
+/// models and for the paper's configuration naming (`ARM-2-50-32`,
+/// `x86-4-100-64`, …).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+pub enum IsaKind {
+    /// 64-bit x86 (the paper's Core 2 Quad desktop). Variable-length
+    /// encoding, 64-bit registers, TSO.
+    X86,
+    /// 32-bit ARMv7 (the paper's Exynos 5422 SoC). Fixed 4-byte encoding,
+    /// 32-bit registers, weakly ordered.
+    Arm,
+}
+
+impl IsaKind {
+    /// The register width in bits, which bounds each signature word (§3.2).
+    pub fn register_bits(self) -> u32 {
+        match self {
+            IsaKind::X86 => 64,
+            IsaKind::Arm => 32,
+        }
+    }
+
+    /// The memory consistency model this ISA mandates.
+    pub fn default_mcm(self) -> Mcm {
+        match self {
+            IsaKind::X86 => Mcm::Tso,
+            IsaKind::Arm => Mcm::Weak,
+        }
+    }
+
+    /// The configuration-name prefix used by the paper (`x86` / `ARM`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            IsaKind::X86 => "x86",
+            IsaKind::Arm => "ARM",
+        }
+    }
+}
+
+impl fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+impl FromStr for IsaKind {
+    type Err = IsaKindParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "x86" | "x86-64" | "x86_64" => Ok(IsaKind::X86),
+            "arm" | "armv7" => Ok(IsaKind::Arm),
+            _ => Err(IsaKindParseError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+mod parse_error {
+    use std::fmt;
+
+    /// Error returned when parsing an [`IsaKind`](super::IsaKind) from a
+    /// string fails.
+    #[derive(Clone, Debug, Eq, PartialEq)]
+    pub struct IsaKindParseError {
+        pub(crate) input: String,
+    }
+
+    impl fmt::Display for IsaKindParseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "unknown ISA name `{}` (expected `x86` or `ARM`)",
+                self.input
+            )
+        }
+    }
+
+    impl std::error::Error for IsaKindParseError {}
+}
+
+pub use parse_error::IsaKindParseError;
+
+/// A memory consistency model, defined by which program-order pairs of
+/// instructions must appear in order in the global commit order.
+///
+/// The models match §2 of the paper:
+///
+/// * [`Mcm::Sc`] — sequential consistency; no reordering at all. Used by the
+///   limit-study simulator of §4.1.
+/// * [`Mcm::Tso`] — total store order (x86, SPARC): the only relaxation is
+///   that a load may complete before a program-order-earlier store (store
+///   buffering with forwarding).
+/// * [`Mcm::Weak`] — an ARMv7/RMO-like weakly ordered model: accesses to
+///   *different* addresses reorder freely; per-location coherence keeps
+///   same-address `load->load`, `load->store` and `store->store` ordered,
+///   and a same-address `store->load` may still be satisfied early by
+///   forwarding. Fences restore full order.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+pub enum Mcm {
+    /// Sequential consistency.
+    Sc,
+    /// Total store order (x86-TSO).
+    Tso,
+    /// Weakly-ordered, ARM-like model.
+    Weak,
+}
+
+impl Mcm {
+    /// All models, strongest first.
+    pub const ALL: [Mcm; 3] = [Mcm::Sc, Mcm::Tso, Mcm::Weak];
+
+    /// Returns `true` if the model requires `earlier` (program order) to be
+    /// globally ordered before `later`.
+    ///
+    /// Fences order against the access kinds they cover on both sides
+    /// (everything for [`FenceKind::Full`](crate::FenceKind::Full), stores
+    /// for store-store barriers, loads for load-load barriers); ordering
+    /// *across* a fence follows transitively (a covered access after the
+    /// fence may not commit before it, and the fence may not commit before
+    /// covered accesses preceding it), so a pairwise predicate is
+    /// sufficient for both the simulator's ready-set rule and the checker's
+    /// program-order edges.
+    pub fn orders(self, earlier: &Instr, later: &Instr) -> bool {
+        // Fence ordering is kind-based and model-independent.
+        match (earlier, later) {
+            (Instr::Fence(k), other) | (other, Instr::Fence(k)) => {
+                return k.orders_with(other);
+            }
+            _ => {}
+        }
+        match self {
+            Mcm::Sc => true,
+            Mcm::Tso => {
+                // The sole TSO relaxation: store followed by load (to any
+                // address — same-address pairs are satisfied by forwarding).
+                !(earlier.is_store() && later.is_load())
+            }
+            Mcm::Weak => {
+                match (earlier.addr(), later.addr()) {
+                    (Some(a), Some(b)) if a == b => {
+                        // Per-location coherence: only store->load may pass
+                        // (satisfied early out of the store buffer).
+                        !(earlier.is_store() && later.is_load())
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the model allows *some* reordering for at least one
+    /// pair of memory operations (i.e. the model is weaker than SC).
+    pub fn is_relaxed(self) -> bool {
+        !matches!(self, Mcm::Sc)
+    }
+}
+
+impl fmt::Display for Mcm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mcm::Sc => f.write_str("SC"),
+            Mcm::Tso => f.write_str("TSO"),
+            Mcm::Weak => f.write_str("Weak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, FenceKind, StoreId};
+
+    fn ld(a: u32) -> Instr {
+        Instr::Load { addr: Addr(a) }
+    }
+    fn st(a: u32) -> Instr {
+        Instr::Store {
+            addr: Addr(a),
+            value: StoreId(1),
+        }
+    }
+    fn fence() -> Instr {
+        Instr::Fence(FenceKind::Full)
+    }
+
+    #[test]
+    fn sc_orders_everything() {
+        for x in [ld(0), st(1)] {
+            for y in [ld(2), st(3)] {
+                assert!(Mcm::Sc.orders(&x, &y));
+            }
+        }
+    }
+
+    #[test]
+    fn tso_relaxes_only_store_load() {
+        assert!(!Mcm::Tso.orders(&st(0), &ld(1)));
+        assert!(!Mcm::Tso.orders(&st(0), &ld(0)), "same-address forwards");
+        assert!(Mcm::Tso.orders(&ld(0), &ld(1)));
+        assert!(Mcm::Tso.orders(&ld(0), &st(1)));
+        assert!(Mcm::Tso.orders(&st(0), &st(1)));
+    }
+
+    #[test]
+    fn weak_orders_same_address_only() {
+        assert!(!Mcm::Weak.orders(&ld(0), &ld(1)));
+        assert!(!Mcm::Weak.orders(&st(0), &st(1)));
+        assert!(!Mcm::Weak.orders(&ld(0), &st(1)));
+        assert!(!Mcm::Weak.orders(&st(0), &ld(1)));
+        // Per-location coherence:
+        assert!(Mcm::Weak.orders(&ld(0), &ld(0)));
+        assert!(Mcm::Weak.orders(&st(0), &st(0)));
+        assert!(Mcm::Weak.orders(&ld(0), &st(0)));
+        assert!(!Mcm::Weak.orders(&st(0), &ld(0)), "forwarding passes");
+    }
+
+    #[test]
+    fn fences_order_in_every_model() {
+        for mcm in Mcm::ALL {
+            assert!(mcm.orders(&fence(), &ld(0)));
+            assert!(mcm.orders(&st(0), &fence()));
+        }
+    }
+
+    #[test]
+    fn isa_kind_properties() {
+        assert_eq!(IsaKind::X86.register_bits(), 64);
+        assert_eq!(IsaKind::Arm.register_bits(), 32);
+        assert_eq!(IsaKind::X86.default_mcm(), Mcm::Tso);
+        assert_eq!(IsaKind::Arm.default_mcm(), Mcm::Weak);
+        assert_eq!("x86".parse::<IsaKind>().unwrap(), IsaKind::X86);
+        assert_eq!("ARM".parse::<IsaKind>().unwrap(), IsaKind::Arm);
+        assert!("mips".parse::<IsaKind>().is_err());
+    }
+
+    #[test]
+    fn stronger_models_order_more() {
+        // Every pair ordered by TSO is ordered by SC; every pair ordered by
+        // Weak is ordered by TSO (on the instruction shapes we generate).
+        let instrs = [ld(0), ld(1), st(0), st(1)];
+        for x in &instrs {
+            for y in &instrs {
+                if Mcm::Weak.orders(x, y) {
+                    assert!(Mcm::Tso.orders(x, y), "{x} -> {y}");
+                }
+                if Mcm::Tso.orders(x, y) {
+                    assert!(Mcm::Sc.orders(x, y) || (x.is_store() && y.is_load()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Core operation-level types: thread ids, addresses, store ids and
+//! instructions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a test thread, numbered densely from zero.
+///
+/// The paper runs 2-, 4- and 7-threaded tests; nothing in this crate limits
+/// the thread count other than memory.
+///
+/// ```
+/// use mtc_isa::Tid;
+/// assert!(Tid(0) < Tid(3));
+/// ```
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// Returns the thread id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A word-granular shared-memory address.
+///
+/// Tests address a small pool of shared words (`0..num_addrs`); the mapping
+/// to byte addresses and cache lines is the job of
+/// [`MemoryLayout`](crate::MemoryLayout).
+///
+/// ```
+/// use mtc_isa::Addr;
+/// assert_eq!(Addr(5).index(), 5);
+/// ```
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// The globally-unique, non-zero value written by a store operation.
+///
+/// Store values are assigned densely starting at 1 when a
+/// [`Program`](crate::Program) is built; the value 0 is reserved for the
+/// initial contents of every shared location (see [`Value::INIT`]).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+pub struct StoreId(pub u32);
+
+impl StoreId {
+    /// Returns the value a store with this id writes to memory.
+    pub fn value(self) -> Value {
+        Value(self.0)
+    }
+}
+
+impl fmt::Display for StoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A value held in a shared-memory word: either the initial value or the
+/// unique value written by some store.
+///
+/// ```
+/// use mtc_isa::{StoreId, Value};
+/// assert!(Value::INIT.is_init());
+/// assert_eq!(Value::from(StoreId(3)).store_id(), Some(StoreId(3)));
+/// ```
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The initial value of every shared memory word.
+    pub const INIT: Value = Value(0);
+
+    /// Returns `true` if this is the initial (pre-test) memory value.
+    pub fn is_init(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the id of the store that produced this value, or `None` for
+    /// the initial value.
+    pub fn store_id(self) -> Option<StoreId> {
+        if self.is_init() {
+            None
+        } else {
+            Some(StoreId(self.0))
+        }
+    }
+}
+
+impl From<StoreId> for Value {
+    fn from(id: StoreId) -> Self {
+        id.value()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.store_id() {
+            None => f.write_str("init"),
+            Some(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// Identifies one static instruction in a test program: thread `tid`,
+/// position `idx` within that thread's instruction list.
+///
+/// `OpId` orders first by thread, then by program order, which makes it
+/// convenient as a dense constraint-graph vertex key.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+pub struct OpId {
+    /// The thread executing the instruction.
+    pub tid: Tid,
+    /// Index of the instruction within the thread's program order.
+    pub idx: u32,
+}
+
+impl OpId {
+    /// Creates an op id from a thread id and a program-order index.
+    pub fn new(tid: Tid, idx: u32) -> Self {
+        OpId { tid, idx }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.tid, self.idx)
+    }
+}
+
+/// Kinds of memory barrier supported by the test ISA.
+///
+/// The paper's generated tests only use full barriers (`mfence` on x86,
+/// `dmb` on ARM) at iteration boundaries; litmus tests and extension
+/// workloads also place partial barriers (ARM `dmb st` / `dmb ld` flavours)
+/// between arbitrary operations.
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub enum FenceKind {
+    /// A full barrier ordering every earlier access before every later one
+    /// (`mfence` / `dmb sy`).
+    #[default]
+    Full,
+    /// A store-store barrier ordering earlier stores before later stores
+    /// (`dmb st`); loads pass freely.
+    StoreStore,
+    /// A load-load barrier ordering earlier loads before later loads
+    /// (`dmb ld` restricted to its load-ordering role); stores pass freely.
+    LoadLoad,
+}
+
+impl FenceKind {
+    /// Returns `true` when the barrier orders against `instr` (on either
+    /// side).
+    pub fn orders_with(self, instr: &Instr) -> bool {
+        match self {
+            FenceKind::Full => true,
+            FenceKind::StoreStore => instr.is_store() || instr.is_fence(),
+            FenceKind::LoadLoad => instr.is_load() || instr.is_fence(),
+        }
+    }
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FenceKind::Full => f.write_str("fence"),
+            FenceKind::StoreStore => f.write_str("fence.st"),
+            FenceKind::LoadLoad => f.write_str("fence.ld"),
+        }
+    }
+}
+
+/// One instruction of a test program.
+///
+/// Stores carry the unique [`StoreId`] assigned at program-build time; loads
+/// destinations are implicit (the instrumentation, not the ISA, decides what
+/// happens to a loaded value).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load a word from `addr`.
+    Load {
+        /// Source address.
+        addr: Addr,
+    },
+    /// Store the unique value `value` to `addr`.
+    Store {
+        /// Destination address.
+        addr: Addr,
+        /// Unique value written by this store.
+        value: StoreId,
+    },
+    /// A memory barrier.
+    Fence(FenceKind),
+}
+
+impl Instr {
+    /// Returns the address accessed, or `None` for fences.
+    pub fn addr(&self) -> Option<Addr> {
+        match *self {
+            Instr::Load { addr } | Instr::Store { addr, .. } => Some(addr),
+            Instr::Fence(_) => None,
+        }
+    }
+
+    /// Returns `true` for load instructions.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Returns `true` for store instructions.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Returns `true` for fences.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Instr::Fence(_))
+    }
+
+    /// Returns `true` for loads and stores (anything that touches memory).
+    pub fn is_memory(&self) -> bool {
+        !self.is_fence()
+    }
+
+    /// Returns the store id for store instructions.
+    pub fn store_id(&self) -> Option<StoreId> {
+        match *self {
+            Instr::Store { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Load { addr } => write!(f, "ld {addr}"),
+            Instr::Store { addr, value } => write!(f, "st {addr} <- {value}"),
+            Instr::Fence(kind) => write!(f, "{kind}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_init_roundtrip() {
+        assert!(Value::INIT.is_init());
+        assert_eq!(Value::INIT.store_id(), None);
+        let v = Value::from(StoreId(7));
+        assert!(!v.is_init());
+        assert_eq!(v.store_id(), Some(StoreId(7)));
+    }
+
+    #[test]
+    fn opid_orders_by_thread_then_index() {
+        let a = OpId::new(Tid(0), 5);
+        let b = OpId::new(Tid(1), 0);
+        let c = OpId::new(Tid(1), 2);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn instr_classification() {
+        let ld = Instr::Load { addr: Addr(3) };
+        let st = Instr::Store {
+            addr: Addr(3),
+            value: StoreId(1),
+        };
+        let fence = Instr::Fence(FenceKind::Full);
+        assert!(ld.is_load() && !ld.is_store() && ld.is_memory());
+        assert!(st.is_store() && st.store_id() == Some(StoreId(1)));
+        assert!(fence.is_fence() && fence.addr().is_none() && !fence.is_memory());
+        assert_eq!(ld.addr(), Some(Addr(3)));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable() {
+        assert_eq!(format!("{}", Instr::Load { addr: Addr(4) }), "ld 0x4");
+        assert_eq!(
+            format!(
+                "{}",
+                Instr::Store {
+                    addr: Addr(1),
+                    value: StoreId(9)
+                }
+            ),
+            "st 0x1 <- #9"
+        );
+        assert_eq!(format!("{}", OpId::new(Tid(2), 11)), "T2.11");
+        assert_eq!(format!("{}", Value::INIT), "init");
+    }
+}

@@ -1,0 +1,233 @@
+//! A tiny text format for test programs — hand-written litmus shapes
+//! without touching Rust.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! addrs 2
+//! words_per_line 1        # optional, default 1
+//! thread 0: st 0; ld 1
+//! thread 1: st 1; fence; ld 0
+//! ```
+//!
+//! Operations: `ld A`, `st A` (A = shared-word index), `fence`
+//! (full barrier), `fence.st` (store-store), `fence.ld` (load-load).
+//!
+//! ```
+//! use mtc_isa::parse_program;
+//!
+//! let program = parse_program("addrs 2\nthread 0: st 0; ld 1\nthread 1: st 1; ld 0\n")?;
+//! assert_eq!(program.num_threads(), 2);
+//! assert_eq!(program.num_loads(), 2);
+//! # Ok::<(), mtc_isa::ParseProgramError>(())
+//! ```
+
+use crate::{Addr, FenceKind, MemoryLayout, Program, ProgramBuilder, ProgramError};
+use std::fmt;
+
+/// Error parsing the program text format.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ParseProgramError {
+    /// 1-based line number of the offending line, if known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseProgramError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ParseProgramError {
+            line: Some(line + 1),
+            message: message.into(),
+        }
+    }
+
+    fn general(message: impl Into<String>) -> Self {
+        ParseProgramError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+impl From<ProgramError> for ParseProgramError {
+    fn from(e: ProgramError) -> Self {
+        ParseProgramError::general(e.to_string())
+    }
+}
+
+/// Parses the text format described in the module documentation above.
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] with the offending line on malformed
+/// input, unknown operations, missing `addrs`, or invalid addresses.
+pub fn parse_program(text: &str) -> Result<Program, ParseProgramError> {
+    let mut num_addrs: Option<u32> = None;
+    let mut words_per_line = 1u32;
+    let mut threads: Vec<(usize, Vec<(usize, String)>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("addrs") {
+            num_addrs = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| ParseProgramError::at(lineno, "addrs: expected a number"))?,
+            );
+        } else if let Some(rest) = line.strip_prefix("words_per_line") {
+            words_per_line = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseProgramError::at(lineno, "words_per_line: expected a number"))?;
+        } else if let Some(rest) = line.strip_prefix("thread") {
+            let (tid_str, ops_str) = rest.split_once(':').ok_or_else(|| {
+                ParseProgramError::at(lineno, "thread line needs `thread N: op; op; ...`")
+            })?;
+            let tid: usize = tid_str
+                .trim()
+                .parse()
+                .map_err(|_| ParseProgramError::at(lineno, "thread: expected a thread number"))?;
+            let ops = ops_str
+                .split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| (lineno, s.to_owned()))
+                .collect();
+            threads.push((tid, ops));
+        } else {
+            return Err(ParseProgramError::at(
+                lineno,
+                format!("unrecognized directive `{line}`"),
+            ));
+        }
+    }
+
+    let num_addrs =
+        num_addrs.ok_or_else(|| ParseProgramError::general("missing `addrs N` directive"))?;
+    if words_per_line == 0
+        || words_per_line * MemoryLayout::DEFAULT_WORD_BYTES > MemoryLayout::DEFAULT_LINE_BYTES
+    {
+        return Err(ParseProgramError::general(format!(
+            "words_per_line {words_per_line} does not fit a cache line"
+        )));
+    }
+    let mut builder =
+        ProgramBuilder::new(num_addrs, MemoryLayout::with_words_per_line(words_per_line));
+    for (tid, ops) in threads {
+        let mut thread = builder.thread(tid);
+        for (lineno, op) in ops {
+            thread = match op.split_once(char::is_whitespace) {
+                Some(("ld", a)) => thread.load(parse_addr(lineno, a)?),
+                Some(("st", a)) => thread.store(parse_addr(lineno, a)?),
+                None if op == "fence" => thread.fence(),
+                None if op == "fence.st" => thread.fence_of(FenceKind::StoreStore),
+                None if op == "fence.ld" => thread.fence_of(FenceKind::LoadLoad),
+                _ => {
+                    return Err(ParseProgramError::at(
+                        lineno,
+                        format!("unknown operation `{op}` (ld A | st A | fence[.st|.ld])"),
+                    ))
+                }
+            };
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn parse_addr(lineno: usize, s: &str) -> Result<Addr, ParseProgramError> {
+    let s = s.trim();
+    let value = if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    value
+        .map(Addr)
+        .map_err(|_| ParseProgramError::at(lineno, format!("bad address `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{litmus, Instr};
+
+    #[test]
+    fn parses_the_sb_shape() {
+        let text = "addrs 2\nthread 0: st 0; ld 1\nthread 1: st 1; ld 0\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p, litmus::store_buffering().program);
+    }
+
+    #[test]
+    fn parses_fences_comments_and_hex() {
+        let text = "\
+            # message passing with partial fences\n\
+            addrs 2\n\
+            words_per_line 1\n\
+            thread 0: st 0x0; fence.st; st 0x1\n\
+            \n\
+            thread 1: ld 1; fence.ld; ld 0  # reader\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p, litmus::message_passing_partial_fences().program);
+        assert!(p
+            .iter_ops()
+            .any(|(_, i)| matches!(i, Instr::Fence(FenceKind::StoreStore))));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse_program("addrs 2\nthread 0: frobnicate 3\n").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.to_string().contains("unknown operation"));
+
+        let e = parse_program("thread 0: ld 0\n").unwrap_err();
+        assert!(e.to_string().contains("missing `addrs"));
+
+        let e = parse_program("addrs 1\nthread 0: ld 5\n").unwrap_err();
+        assert!(e.to_string().contains("outside"), "{e}");
+
+        let e = parse_program("addrs 2\nbanana\n").unwrap_err();
+        assert!(e.to_string().contains("unrecognized directive"));
+
+        let e = parse_program("addrs 2\nwords_per_line 99\n").unwrap_err();
+        assert!(e.to_string().contains("cache line"));
+    }
+
+    #[test]
+    fn roundtrips_every_litmus_test_through_display_like_text() {
+        // Build the text form from the program and re-parse it.
+        for t in litmus::all() {
+            let mut text = format!("addrs {}\n", t.program.num_addrs());
+            for (tid, code) in t.program.threads().iter().enumerate() {
+                let ops: Vec<String> = code
+                    .iter()
+                    .map(|i| match *i {
+                        Instr::Load { addr } => format!("ld {}", addr.0),
+                        Instr::Store { addr, .. } => format!("st {}", addr.0),
+                        Instr::Fence(FenceKind::Full) => "fence".to_owned(),
+                        Instr::Fence(FenceKind::StoreStore) => "fence.st".to_owned(),
+                        Instr::Fence(FenceKind::LoadLoad) => "fence.ld".to_owned(),
+                    })
+                    .collect();
+                text.push_str(&format!("thread {tid}: {}\n", ops.join("; ")));
+            }
+            let reparsed =
+                parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name));
+            assert_eq!(reparsed, t.program, "{}", t.name);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Multi-threaded test programs and their builder.
+
+use crate::{Addr, FenceKind, Instr, MemoryLayout, OpId, StoreId, Tid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when building an invalid [`Program`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum ProgramError {
+    /// The program has no threads at all.
+    NoThreads,
+    /// The program declares zero shared addresses.
+    NoAddresses,
+    /// An instruction references an address outside `0..num_addrs`.
+    AddressOutOfRange {
+        /// The offending instruction.
+        op: OpId,
+        /// The out-of-range address.
+        addr: Addr,
+        /// The number of shared addresses the program declared.
+        num_addrs: u32,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NoThreads => f.write_str("program has no threads"),
+            ProgramError::NoAddresses => f.write_str("program declares zero shared addresses"),
+            ProgramError::AddressOutOfRange {
+                op,
+                addr,
+                num_addrs,
+            } => write!(
+                f,
+                "instruction {op} references address {addr} outside 0..{num_addrs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A proto-instruction recorded by [`ProgramBuilder`] before unique store
+/// values are assigned.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+enum ProtoOp {
+    Load(Addr),
+    Store(Addr),
+    Fence(FenceKind),
+}
+
+/// Builder for [`Program`] values.
+///
+/// Threads are added or extended with [`ProgramBuilder::thread`]; unique
+/// store ids are assigned in `(thread, program-order)` sequence when
+/// [`ProgramBuilder::build`] is called.
+///
+/// ```
+/// use mtc_isa::{Addr, MemoryLayout, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new(4, MemoryLayout::no_false_sharing());
+/// b.thread(0).store(Addr(0)).load(Addr(1)).fence().load(Addr(2));
+/// b.thread(1).store(Addr(1)).store(Addr(2));
+/// let program = b.build()?;
+/// assert_eq!(program.num_threads(), 2);
+/// assert_eq!(program.num_stores(), 3);
+/// # Ok::<(), mtc_isa::ProgramError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    threads: Vec<Vec<ProtoOp>>,
+    num_addrs: u32,
+    layout: MemoryLayout,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program over `num_addrs` shared words laid
+    /// out according to `layout`.
+    pub fn new(num_addrs: u32, layout: MemoryLayout) -> Self {
+        ProgramBuilder {
+            threads: Vec::new(),
+            num_addrs,
+            layout,
+        }
+    }
+
+    /// Returns a [`ThreadBuilder`] appending instructions to thread `tid`,
+    /// creating it (and any lower-numbered empty threads) if absent.
+    pub fn thread(&mut self, tid: usize) -> ThreadBuilder<'_> {
+        if self.threads.len() <= tid {
+            self.threads.resize_with(tid + 1, Vec::new);
+        }
+        ThreadBuilder {
+            ops: &mut self.threads[tid],
+        }
+    }
+
+    /// Number of threads added so far.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Validates the program and assigns dense, unique store ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the program has no threads, declares no
+    /// shared addresses, or references an out-of-range address.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        if self.threads.is_empty() {
+            return Err(ProgramError::NoThreads);
+        }
+        if self.num_addrs == 0 {
+            return Err(ProgramError::NoAddresses);
+        }
+        let mut next_store = 1u32;
+        let mut threads = Vec::with_capacity(self.threads.len());
+        let mut store_ops = Vec::new();
+        for (t, ops) in self.threads.iter().enumerate() {
+            let tid = Tid(t as u32);
+            let mut code = Vec::with_capacity(ops.len());
+            for (i, proto) in ops.iter().enumerate() {
+                let op = OpId::new(tid, i as u32);
+                let instr = match *proto {
+                    ProtoOp::Load(addr) => Instr::Load { addr },
+                    ProtoOp::Store(addr) => {
+                        let value = StoreId(next_store);
+                        next_store += 1;
+                        store_ops.push(op);
+                        Instr::Store { addr, value }
+                    }
+                    ProtoOp::Fence(kind) => Instr::Fence(kind),
+                };
+                if let Some(addr) = instr.addr() {
+                    if addr.0 >= self.num_addrs {
+                        return Err(ProgramError::AddressOutOfRange {
+                            op,
+                            addr,
+                            num_addrs: self.num_addrs,
+                        });
+                    }
+                }
+                code.push(instr);
+            }
+            threads.push(code);
+        }
+        Ok(Program {
+            threads,
+            num_addrs: self.num_addrs,
+            layout: self.layout,
+            store_ops,
+        })
+    }
+}
+
+/// Appends instructions to one thread of a [`ProgramBuilder`].
+///
+/// Returned by [`ProgramBuilder::thread`]; methods chain by value.
+#[derive(Debug)]
+pub struct ThreadBuilder<'a> {
+    ops: &'a mut Vec<ProtoOp>,
+}
+
+impl ThreadBuilder<'_> {
+    /// Appends a load from `addr`.
+    pub fn load(self, addr: Addr) -> Self {
+        self.ops.push(ProtoOp::Load(addr));
+        self
+    }
+
+    /// Appends a store to `addr`; its unique value is assigned at build time.
+    pub fn store(self, addr: Addr) -> Self {
+        self.ops.push(ProtoOp::Store(addr));
+        self
+    }
+
+    /// Appends a full memory barrier.
+    pub fn fence(self) -> Self {
+        self.fence_of(FenceKind::Full)
+    }
+
+    /// Appends a barrier of the given kind (e.g. a store-store `dmb st`).
+    pub fn fence_of(self, kind: FenceKind) -> Self {
+        self.ops.push(ProtoOp::Fence(kind));
+        self
+    }
+
+    /// Number of instructions in this thread so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the thread has no instructions yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// An immutable, validated multi-threaded test program.
+///
+/// Every store carries a globally unique [`StoreId`] (assigned densely from
+/// 1 in `(thread, program-order)` sequence) so the producing store of any
+/// loaded value is identifiable from the value alone.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    threads: Vec<Vec<Instr>>,
+    num_addrs: u32,
+    layout: MemoryLayout,
+    /// `store_ops[id - 1]` is the op that writes `StoreId(id)`.
+    store_ops: Vec<OpId>,
+}
+
+impl Program {
+    /// The per-thread instruction lists, indexed by thread id.
+    pub fn threads(&self) -> &[Vec<Instr>] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of shared word addresses (`0..num_addrs`).
+    pub fn num_addrs(&self) -> u32 {
+        self.num_addrs
+    }
+
+    /// The shared-memory layout (words per cache line).
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Returns the instruction at `op`, or `None` if out of range.
+    pub fn instr(&self, op: OpId) -> Option<&Instr> {
+        self.threads.get(op.tid.index())?.get(op.idx as usize)
+    }
+
+    /// Length (instruction count) of thread `tid`.
+    pub fn thread_len(&self, tid: Tid) -> usize {
+        self.threads.get(tid.index()).map_or(0, Vec::len)
+    }
+
+    /// Total instruction count across all threads, including fences.
+    pub fn num_instrs(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of memory operations (loads + stores).
+    pub fn num_memory_ops(&self) -> usize {
+        self.iter_ops().filter(|(_, i)| i.is_memory()).count()
+    }
+
+    /// Total number of loads.
+    pub fn num_loads(&self) -> usize {
+        self.iter_ops().filter(|(_, i)| i.is_load()).count()
+    }
+
+    /// Total number of stores.
+    pub fn num_stores(&self) -> usize {
+        self.store_ops.len()
+    }
+
+    /// Iterates over all instructions in `(thread, program-order)` order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (OpId, &Instr)> + '_ {
+        self.threads.iter().enumerate().flat_map(|(t, ops)| {
+            ops.iter()
+                .enumerate()
+                .map(move |(i, instr)| (OpId::new(Tid(t as u32), i as u32), instr))
+        })
+    }
+
+    /// Iterates over the op ids of all loads, in `(thread, program-order)`
+    /// order.
+    pub fn loads(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.iter_ops()
+            .filter(|(_, i)| i.is_load())
+            .map(|(op, _)| op)
+    }
+
+    /// Iterates over `(op, store_id)` for all stores.
+    pub fn stores(&self) -> impl Iterator<Item = (OpId, StoreId)> + '_ {
+        self.iter_ops()
+            .filter_map(|(op, i)| i.store_id().map(|id| (op, id)))
+    }
+
+    /// Iterates over `(op, store_id)` for all stores to `addr`.
+    pub fn stores_to(&self, addr: Addr) -> impl Iterator<Item = (OpId, StoreId)> + '_ {
+        self.iter_ops().filter_map(move |(op, i)| match *i {
+            Instr::Store { addr: a, value } if a == addr => Some((op, value)),
+            _ => None,
+        })
+    }
+
+    /// Returns the op that writes `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not assigned by this program.
+    pub fn store_op(&self, id: StoreId) -> OpId {
+        self.store_ops[(id.0 - 1) as usize]
+    }
+
+    /// Returns the op that writes `id`, or `None` if `id` does not belong to
+    /// this program.
+    pub fn try_store_op(&self, id: StoreId) -> Option<OpId> {
+        let idx = id.0.checked_sub(1)? as usize;
+        self.store_ops.get(idx).copied()
+    }
+
+    /// Returns the latest program-order-earlier store to the same address as
+    /// `load`, if any — the intra-thread reads-from candidate of §3.1.
+    pub fn last_own_store_before(&self, load: OpId) -> Option<(OpId, StoreId)> {
+        let addr = self.instr(load)?.addr()?;
+        let code = &self.threads[load.tid.index()];
+        code[..load.idx as usize]
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, instr)| match *instr {
+                Instr::Store { addr: a, value } if a == addr => {
+                    Some((OpId::new(load.tid, i as u32), value))
+                }
+                _ => None,
+            })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} threads, {} addrs, {} words/line",
+            self.num_threads(),
+            self.num_addrs,
+            self.layout.words_per_line()
+        )?;
+        for (t, ops) in self.threads.iter().enumerate() {
+            writeln!(f, "thread {t}:")?;
+            for (i, instr) in ops.iter().enumerate() {
+                writeln!(f, "  {i:>3}: {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new(4, MemoryLayout::no_false_sharing());
+        b.thread(0)
+            .store(Addr(0))
+            .load(Addr(1))
+            .fence()
+            .load(Addr(0));
+        b.thread(1).store(Addr(1)).store(Addr(0)).load(Addr(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_assigns_dense_store_ids() {
+        let p = sample();
+        let stores: Vec<_> = p.stores().collect();
+        assert_eq!(
+            stores,
+            vec![
+                (OpId::new(Tid(0), 0), StoreId(1)),
+                (OpId::new(Tid(1), 0), StoreId(2)),
+                (OpId::new(Tid(1), 1), StoreId(3)),
+            ]
+        );
+        for (op, id) in stores {
+            assert_eq!(p.store_op(id), op);
+            assert_eq!(p.try_store_op(id), Some(op));
+        }
+        assert_eq!(p.try_store_op(StoreId(0)), None);
+        assert_eq!(p.try_store_op(StoreId(99)), None);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let p = sample();
+        assert_eq!(p.num_instrs(), 7);
+        assert_eq!(p.num_memory_ops(), 6);
+        assert_eq!(p.num_loads(), 3);
+        assert_eq!(p.num_stores(), 3);
+        assert_eq!(p.thread_len(Tid(0)), 4);
+        assert_eq!(p.thread_len(Tid(9)), 0);
+        assert_eq!(p.loads().count(), 3);
+    }
+
+    #[test]
+    fn stores_to_filters_by_address() {
+        let p = sample();
+        let to0: Vec<_> = p.stores_to(Addr(0)).map(|(_, id)| id).collect();
+        assert_eq!(to0, vec![StoreId(1), StoreId(3)]);
+    }
+
+    #[test]
+    fn last_own_store_before_finds_latest_same_address() {
+        let p = sample();
+        // T0.3 loads addr 0; T0.0 stored addr 0.
+        assert_eq!(
+            p.last_own_store_before(OpId::new(Tid(0), 3)),
+            Some((OpId::new(Tid(0), 0), StoreId(1)))
+        );
+        // T0.1 loads addr 1; no earlier own store to addr 1.
+        assert_eq!(p.last_own_store_before(OpId::new(Tid(0), 1)), None);
+        // T1.2 loads addr 1; T1.0 stored addr 1.
+        assert_eq!(
+            p.last_own_store_before(OpId::new(Tid(1), 2)),
+            Some((OpId::new(Tid(1), 0), StoreId(2)))
+        );
+    }
+
+    #[test]
+    fn build_rejects_invalid_programs() {
+        let b = ProgramBuilder::new(4, MemoryLayout::no_false_sharing());
+        assert_eq!(b.build().unwrap_err(), ProgramError::NoThreads);
+
+        let mut b = ProgramBuilder::new(0, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0));
+        assert_eq!(b.build().unwrap_err(), ProgramError::NoAddresses);
+
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(5));
+        match b.build().unwrap_err() {
+            ProgramError::AddressOutOfRange {
+                addr, num_addrs, ..
+            } => {
+                assert_eq!(addr, Addr(5));
+                assert_eq!(num_addrs, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_builder_creates_intermediate_threads() {
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(2).store(Addr(0));
+        assert_eq!(b.num_threads(), 3);
+        let p = b.build().unwrap();
+        assert_eq!(p.thread_len(Tid(0)), 0);
+        assert_eq!(p.thread_len(Tid(2)), 1);
+    }
+
+    #[test]
+    fn display_lists_all_instructions() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains("thread 0"));
+        assert!(rendered.contains("st 0x0 <- #1"));
+        assert!(rendered.contains("fence"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,94 @@
+//! Injectable hardware bugs (§7 of the paper).
+//!
+//! The paper recreates three real, historically-fixed gem5 bugs and checks
+//! that MTraceCheck exposes them. We model the same three failure modes in
+//! the simulator substrate:
+//!
+//! * **Bug 1** — `load->load` violation, coherence-protocol flavour
+//!   ("MESI,LQ+SM,Inv" / Peekaboo): when an invalidation hits a line that is
+//!   transitioning from shared to modified (the receiving core has a pending
+//!   store to the line), speculatively-performed younger loads are not
+//!   squashed and retire with stale values.
+//! * **Bug 2** — `load->load` violation, LSQ flavour: the load queue simply
+//!   fails to squash speculative loads on any received invalidation.
+//! * **Bug 3** — coherence-protocol race ("MESI bug 1"): a dirty-writeback
+//!   (`PUTX`) racing a remote write request (`GETX`) drives the protocol
+//!   into an invalid transition; the simulation crashes, as all the paper's
+//!   bug-3 runs did.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which bug, if any, is injected into a simulated system.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// Correct hardware.
+    #[default]
+    None,
+    /// Bug 1: unsquashed speculative loads during a shared-to-modified line
+    /// transition (invalidation races an upgrade).
+    LoadLoadCoherence,
+    /// Bug 2: the LSQ misses invalidations entirely; every speculative load
+    /// hit by a remote store keeps its stale value.
+    LoadLoadLsq,
+    /// Bug 3: dirty-writeback / write-request protocol race; `prob` is the
+    /// chance a concurrent eviction-vs-access collision corrupts the
+    /// protocol state.
+    ProtocolRace {
+        /// Probability that one racy collision deadlocks the protocol.
+        prob: f64,
+    },
+}
+
+impl BugKind {
+    /// Returns `true` when any bug is injected.
+    pub fn is_injected(&self) -> bool {
+        !matches!(self, BugKind::None)
+    }
+
+    /// Returns `true` for the two load->load bugs, which need speculative
+    /// load modelling in the engine.
+    pub fn needs_speculation(&self) -> bool {
+        matches!(self, BugKind::LoadLoadCoherence | BugKind::LoadLoadLsq)
+    }
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::None => f.write_str("none"),
+            BugKind::LoadLoadCoherence => f.write_str("bug1: load->load (coherence S->M race)"),
+            BugKind::LoadLoadLsq => f.write_str("bug2: load->load (LSQ misses invalidations)"),
+            BugKind::ProtocolRace { prob } => {
+                write!(f, "bug3: PUTX/GETX protocol race (p={prob})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(!BugKind::None.is_injected());
+        assert!(BugKind::LoadLoadCoherence.is_injected());
+        assert!(BugKind::LoadLoadCoherence.needs_speculation());
+        assert!(BugKind::LoadLoadLsq.needs_speculation());
+        assert!(!BugKind::ProtocolRace { prob: 0.5 }.needs_speculation());
+        assert!(BugKind::ProtocolRace { prob: 0.5 }.is_injected());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for bug in [
+            BugKind::None,
+            BugKind::LoadLoadCoherence,
+            BugKind::LoadLoadLsq,
+            BugKind::ProtocolRace { prob: 0.1 },
+        ] {
+            assert!(!bug.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,1047 @@
+//! The operational multi-core simulator.
+//!
+//! The engine executes a test program as a sequence of *commit* events: at
+//! every step one thread commits one memory operation, and an operation may
+//! commit only when every program-order-earlier operation that the MCM
+//! orders before it has already committed (the ready-set rule, driven by
+//! [`Mcm::orders`](mtc_isa::Mcm::orders)). Loads forward from the youngest
+//! program-order-earlier uncommitted store to the same address — the store
+//! buffer — and otherwise read memory at commit time. Under multiple-copy
+//! atomicity this produces exactly the executions the configured MCM allows.
+//!
+//! All cores race through the test in parallel from the iteration barrier:
+//! the next commit belongs to the core with the smallest *virtual time*,
+//! and each commit advances that core by its operation's latency perturbed
+//! by jitter, rare long stalls, randomized coherence backoff on contended
+//! lines, and optional OS preemption. Most loads therefore have a dominant
+//! outcome and diversity concentrates at genuine data races — the
+//! population structure the paper observes on silicon, and the property
+//! that makes signature-sorted neighbours similar enough for collective
+//! checking to win. Out-of-order commit within an LSQ-like window supplies
+//! the MCM-specific relaxations. A private-cache model provides latencies
+//! and the eviction/upgrade events the §7 injected bugs race against, and
+//! a 2-bit branch predictor prices the instrumented signature chains
+//! (Figure 10).
+
+use crate::memory::SimMemory;
+use crate::{BranchPredictor, BugKind, CacheModel, SchedulerKind, SimError, SystemConfig};
+use mtc_instr::SignatureSchema;
+use mtc_isa::{Instr, OpId, Program, ReadsFrom, Tid, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Counters describing one execution.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Operations committed (loads + stores + fences).
+    pub commits: u64,
+    /// Thread switches taken by the scheduler.
+    pub switches: u64,
+    /// Commits that hit cache-line contention with another core.
+    pub contention_events: u64,
+    /// OS preemption events (OS mode only).
+    pub preemptions: u64,
+    /// Speculative early load performs.
+    pub spec_performed: u64,
+    /// Speculative loads correctly squashed by invalidations.
+    pub spec_squashed: u64,
+    /// Speculative loads that kept stale values (injected bugs only).
+    pub spec_stale: u64,
+    /// L1 hits.
+    pub cache_hits: u64,
+    /// L1 misses.
+    pub cache_misses: u64,
+    /// Register-flushing log stores (flush overlay only).
+    pub flush_stores: u64,
+}
+
+/// The observable result of one test execution.
+#[derive(Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Which value every load observed — the whole memory-ordering story.
+    pub reads_from: ReadsFrom,
+    /// Cycles of the original test (the slowest thread's tally).
+    pub test_cycles: u64,
+    /// Extra cycles spent in instrumented signature computation (zero when
+    /// the simulator runs an uninstrumented test).
+    pub instr_cycles: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// The global commit order (one entry per instruction, fences
+    /// included), recorded only when [`Simulator::set_trace`] is enabled.
+    /// For a correct platform this sequence is a topological witness of the
+    /// execution's constraint graph.
+    pub trace: Vec<OpId>,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct SpecEntry {
+    idx: u32,
+    value: Value,
+    /// Kept a stale value after an invalidation (bug manifestation).
+    stale: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct LoadMeta {
+    dense: usize,
+}
+
+/// A simulated multi-core system executing one test program.
+///
+/// Microarchitectural state — caches and branch predictors — persists across
+/// [`Simulator::run`] calls, mirroring the paper's setup where one *test
+/// run* iterates the test loop 65 536 times on warm hardware;
+/// [`Simulator::reset_microarch`] models the hard reset applied between
+/// test runs. Shared memory is re-initialized at the start of every
+/// iteration, like the paper's per-iteration initialization barrier.
+///
+/// # Example
+///
+/// ```
+/// use mtc_isa::litmus;
+/// use mtc_sim::{Simulator, SystemConfig};
+///
+/// let test = litmus::store_buffering();
+/// let mut sim = Simulator::new(&test.program, SystemConfig::x86_desktop());
+/// let exec = sim.run(42)?;
+/// assert_eq!(exec.reads_from.len(), 2); // both loads observed
+/// # Ok::<(), mtc_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    config: SystemConfig,
+    cache: CacheModel,
+    predictor: Option<BranchPredictor>,
+    /// `load_meta[tid][idx]` for instrumented loads.
+    load_meta: Vec<Vec<Option<LoadMeta>>>,
+    /// Candidate lists per dense load (schema order).
+    candidates: Vec<Vec<Value>>,
+    /// Signature words per thread (for epilogue timing).
+    words_per_thread: Vec<usize>,
+    /// Model the register-flushing baseline: one extra store per load on
+    /// the committing core's critical path.
+    flush_overlay: bool,
+    /// Record the commit order into [`Execution::trace`].
+    record_trace: bool,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `program` on a system described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no threads.
+    pub fn new(program: &'p Program, config: SystemConfig) -> Self {
+        assert!(program.num_threads() > 0, "program must have threads");
+        let cache = CacheModel::new(config.cache, program.num_threads());
+        Simulator {
+            program,
+            config,
+            cache,
+            predictor: None,
+            load_meta: program
+                .threads()
+                .iter()
+                .map(|code| vec![None; code.len()])
+                .collect(),
+            candidates: Vec::new(),
+            words_per_thread: Vec::new(),
+            flush_overlay: false,
+            record_trace: false,
+        }
+    }
+
+    /// Attaches an instrumentation schema: subsequent runs also account the
+    /// cycles of signature computation (branch chains, predictor effects,
+    /// signature stores).
+    pub fn instrument(&mut self, schema: &SignatureSchema) {
+        let mut chain_lengths = Vec::new();
+        self.candidates.clear();
+        self.words_per_thread.clear();
+        for thread in schema.threads() {
+            self.words_per_thread.push(thread.num_words);
+            for slot in &thread.loads {
+                let dense = chain_lengths.len();
+                chain_lengths.push(slot.cardinality());
+                self.candidates.push(slot.candidates.clone());
+                self.load_meta[slot.op.tid.index()][slot.op.idx as usize] =
+                    Some(LoadMeta { dense });
+            }
+        }
+        self.predictor = Some(BranchPredictor::new(&chain_lengths));
+    }
+
+    /// Enables or disables the register-flushing overlay (\[24\] in the
+    /// paper: TSOtool): every load is followed by a store of its value to a
+    /// per-thread log, *on the core's critical path*. Unlike signature
+    /// instrumentation — whose compare/add chains stay off the memory race
+    /// (§3.1: "this instrumentation does not perturb the sequence of memory
+    /// accesses") — flushing displaces the core in virtual time at every
+    /// load and thereby perturbs the very interleavings under validation.
+    /// The `ablation` bench binary quantifies the shift.
+    pub fn set_flush_overlay(&mut self, on: bool) {
+        self.flush_overlay = on;
+    }
+
+    /// Enables or disables commit-trace recording (off by default: traces
+    /// are exactly the per-operation logging MTraceCheck exists to avoid,
+    /// but they are invaluable for debugging and for witness-based
+    /// soundness tests).
+    pub fn set_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The branch predictor, when the test is instrumented.
+    pub fn predictor(&self) -> Option<&BranchPredictor> {
+        self.predictor.as_ref()
+    }
+
+    /// Hard reset: cold caches and predictors (applied between *test runs*
+    /// in the paper, not between loop iterations).
+    pub fn reset_microarch(&mut self) {
+        self.cache = CacheModel::new(self.config.cache, self.program.num_threads());
+        if self.predictor.is_some() {
+            let chain_lengths: Vec<usize> = self.candidates.iter().map(Vec::len).collect();
+            self.predictor = Some(BranchPredictor::new(&chain_lengths));
+        }
+    }
+
+    /// Executes one iteration of the test and returns its observation.
+    ///
+    /// Deterministic in `seed` *given* the accumulated microarchitectural
+    /// state: cache warmth shapes latencies, latencies shape the race, so
+    /// (exactly as on silicon) outcomes depend on the history of prior
+    /// iterations as well as the seed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ProtocolDeadlock`] when injected bug 3 corrupts the
+    /// coherence protocol; [`SimError::Livelock`] if the engine fails to
+    /// make progress (a simulator defect, not a test outcome).
+    pub fn run(&mut self, seed: u64) -> Result<Execution, SimError> {
+        let program = self.program;
+        let sched = self.config.scheduler;
+        let mcm = self.config.mcm;
+        let timing = self.config.timing;
+        let bug = self.config.bug;
+        let layout = program.layout();
+        let t_count = program.num_threads();
+        let lens: Vec<usize> = program.threads().iter().map(Vec::len).collect();
+        let total: usize = lens.iter().sum();
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut committed: Vec<Vec<bool>> = lens.iter().map(|&n| vec![false; n]).collect();
+        let mut oldest = vec![0usize; t_count];
+        let mut memory = match self.config.store_atomicity {
+            crate::StoreAtomicity::MultipleCopy => {
+                SimMemory::multiple_copy(program.num_addrs() as usize)
+            }
+            crate::StoreAtomicity::NonMultipleCopy {
+                max_propagation_cycles,
+            } => SimMemory::non_multiple_copy(program.num_addrs() as usize, max_propagation_cycles),
+        };
+        let mut spec: Vec<Vec<SpecEntry>> = vec![Vec::new(); t_count];
+        // Barrier-release skew: each core gets a random head start, which
+        // selects this run's racing access pairs.
+        let mut vtime: Vec<u64> = (0..t_count)
+            .map(|_| rng.gen_range(0..=sched.barrier_skew_cycles) as u64)
+            .collect();
+        let mut instr_cycles = vec![0u64; t_count];
+        let mut stats = ExecStats::default();
+        let mut exec = ReadsFrom::new();
+        let mut trace = Vec::new();
+        if self.record_trace {
+            trace.reserve(total);
+        }
+        let mut last_thread = usize::MAX;
+        let mut step = 0u64;
+        let mut done = 0usize;
+        let max_steps = (total as u64 + 1) * 1_000;
+
+        while done < total {
+            step += 1;
+            if step > max_steps {
+                return Err(SimError::Livelock { step });
+            }
+
+            // Thread choice: the core with the smallest virtual time commits
+            // next (all cores run in parallel); the SC reference machine
+            // picks uniformly instead.
+            let t = match sched.kind {
+                SchedulerKind::UniformRandom => {
+                    let runnable: Vec<usize> =
+                        (0..t_count).filter(|&t| oldest[t] < lens[t]).collect();
+                    runnable[rng.gen_range(0..runnable.len())]
+                }
+                SchedulerKind::Lockstep => (0..t_count)
+                    .filter(|&t| oldest[t] < lens[t])
+                    .min_by_key(|&t| vtime[t])
+                    .expect("some thread is unfinished while done < total"),
+            };
+            if t != last_thread {
+                if last_thread != usize::MAX {
+                    stats.switches += 1;
+                }
+                last_thread = t;
+            }
+            let code = &program.threads()[t];
+
+            // Operation choice within the LSQ-like window.
+            let window_end = (oldest[t] + sched.reorder_window.max(1)).min(lens[t]);
+            let mut ready: Vec<usize> = Vec::with_capacity(4);
+            for i in oldest[t]..window_end {
+                if committed[t][i] {
+                    continue;
+                }
+                let blocked =
+                    (oldest[t]..i).any(|j| !committed[t][j] && mcm.orders(&code[j], &code[i]));
+                if !blocked {
+                    ready.push(i);
+                }
+            }
+            debug_assert!(!ready.is_empty(), "oldest uncommitted op is always ready");
+            // Out-of-order commit within the ready window. The primary
+            // policy is latency-driven and deterministic — a younger ready
+            // L1 hit overtakes an older miss, exactly how an OoO core hides
+            // miss latency — with `reorder_prob` adding occasional
+            // speculative free choice on top.
+            let i = if ready.len() > 1
+                && sched.reorder_prob > 0.0
+                && rng.gen_bool(sched.reorder_prob)
+            {
+                ready[rng.gen_range(0..ready.len())]
+            } else if ready.len() > 1 {
+                let mut best = ready[0];
+                let mut best_latency = u32::MAX;
+                for &j in &ready {
+                    let latency = match code[j].addr() {
+                        Some(addr) => self.cache.peek_latency(t, layout.line_of(addr)),
+                        None => 0,
+                    };
+                    if latency < best_latency {
+                        best = j;
+                        best_latency = latency;
+                    }
+                }
+                best
+            } else {
+                ready[0]
+            };
+
+            // Commit.
+            committed[t][i] = true;
+            while oldest[t] < lens[t] && committed[t][oldest[t]] {
+                oldest[t] += 1;
+            }
+            done += 1;
+            stats.commits += 1;
+            if self.record_trace {
+                trace.push(OpId::new(Tid(t as u32), i as u32));
+            }
+
+            let mut dt = timing.base_cycles as u64;
+            match code[i] {
+                Instr::Fence(_) => {}
+                Instr::Load { addr } => {
+                    let spec_hit = spec[t]
+                        .iter()
+                        .position(|e| e.idx == i as u32)
+                        .map(|pos| spec[t].remove(pos));
+                    let value = match spec_hit {
+                        Some(e) if e.stale => {
+                            stats.spec_stale += 1;
+                            e.value
+                        }
+                        _ => {
+                            // Store-buffer forwarding, else memory.
+                            let fwd = (oldest[t].min(i)..i).rev().find_map(|j| match code[j] {
+                                Instr::Store { addr: a, value }
+                                    if a == addr && !committed[t][j] =>
+                                {
+                                    Some(Value::from(value))
+                                }
+                                _ => None,
+                            });
+                            fwd.unwrap_or_else(|| memory.read(addr.index(), t, vtime[t]))
+                        }
+                    };
+                    exec.record(OpId::new(Tid(t as u32), i as u32), value);
+
+                    let line = layout.line_of(addr);
+                    let out = self.cache.access(t, line, false, step);
+                    if out.hit {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.cache_misses += 1;
+                    }
+                    dt += self.cache.latency(&out) as u64;
+                    if line_conflict(
+                        program,
+                        &committed,
+                        &oldest,
+                        &lens,
+                        sched.conflict_lookahead,
+                        t,
+                        line,
+                    ) {
+                        stats.contention_events += 1;
+                        if sched.contention_backoff_cycles > 0 {
+                            dt += rng.gen_range(0..=sched.contention_backoff_cycles) as u64;
+                        }
+                    }
+                    self.bug3_check(&mut rng, &out, t, &oldest, step)?;
+
+                    if self.flush_overlay {
+                        // The flushed value's store: base cost plus an L1
+                        // hit in the private log region.
+                        dt += timing.base_cycles as u64 + self.cache.config().hit_cycles as u64;
+                        stats.flush_stores += 1;
+                    }
+
+                    // Instrumented chain timing.
+                    if let (Some(meta), Some(pred)) =
+                        (self.load_meta[t][i], self.predictor.as_mut())
+                    {
+                        let cands = &self.candidates[meta.dense];
+                        match cands.iter().position(|&c| c == value) {
+                            Some(idx) => {
+                                instr_cycles[t] += pred.chain_cost(meta.dense, idx, &timing);
+                            }
+                            None => {
+                                // Assertion path: the whole chain runs and
+                                // the tail assertion fires.
+                                instr_cycles[t] += cands.len() as u64
+                                    * timing.chain_link_cycles as u64
+                                    + timing.mispredict_cycles as u64;
+                            }
+                        }
+                    }
+                }
+                Instr::Store { addr, value } => {
+                    memory.write(
+                        addr.index(),
+                        Value::from(value),
+                        t,
+                        vtime[t],
+                        t_count,
+                        &mut rng,
+                    );
+                    let line = layout.line_of(addr);
+
+                    // Invalidation traffic vs speculative loads.
+                    for (u, entries) in spec.iter_mut().enumerate() {
+                        if u == t {
+                            // Own same-address stores force re-execution at
+                            // commit (forwarding handles the value).
+                            let before = entries.len();
+                            entries.retain(|e| {
+                                code_addr(&program.threads()[u][e.idx as usize]) != Some(addr)
+                            });
+                            stats.spec_squashed += (before - entries.len()) as u64;
+                            continue;
+                        }
+                        let u_code = &program.threads()[u];
+                        let u_oldest = oldest[u];
+                        // Bug 1's race window is only open while the S->M
+                        // upgrade is in flight: the victim's *head* op is an
+                        // uncommitted store to the invalidated line.
+                        let pending_store_to_line = u_oldest < lens[u]
+                            && matches!(u_code[u_oldest], Instr::Store { addr: a, .. }
+                                if layout.line_of(a) == line);
+                        let mut squashed = 0u64;
+                        let mut stale = 0u64;
+                        for e in entries.iter_mut() {
+                            if e.stale {
+                                continue;
+                            }
+                            let e_addr = code_addr(&u_code[e.idx as usize])
+                                .expect("speculative entries are loads");
+                            if layout.line_of(e_addr) != line {
+                                continue;
+                            }
+                            let keep_stale = match bug {
+                                BugKind::LoadLoadLsq => true,
+                                // The invalidation must land within the
+                                // few-cycle window while the upgrade request
+                                // is outstanding.
+                                BugKind::LoadLoadCoherence => {
+                                    pending_store_to_line && rng.gen_bool(0.1)
+                                }
+                                _ => false,
+                            };
+                            if keep_stale {
+                                e.stale = true;
+                                stale += 1;
+                            } else {
+                                e.idx = u32::MAX; // mark for removal
+                                squashed += 1;
+                            }
+                        }
+                        if squashed > 0 {
+                            entries.retain(|e| e.idx != u32::MAX);
+                        }
+                        stats.spec_squashed += squashed;
+                        let _ = stale; // counted at commit via spec_stale
+                    }
+
+                    let out = self.cache.access(t, line, true, step);
+                    if out.hit {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.cache_misses += 1;
+                    }
+                    dt += self.cache.latency(&out) as u64;
+                    if line_conflict(
+                        program,
+                        &committed,
+                        &oldest,
+                        &lens,
+                        sched.conflict_lookahead,
+                        t,
+                        line,
+                    ) {
+                        stats.contention_events += 1;
+                        if sched.contention_backoff_cycles > 0 {
+                            dt += rng.gen_range(0..=sched.contention_backoff_cycles) as u64;
+                        }
+                    }
+                    self.bug3_check(&mut rng, &out, t, &oldest, step)?;
+                }
+            }
+
+            // Core speed asymmetry (big.LITTLE): slow-cluster cores pay a
+            // fixed factor on every operation.
+            if !self.config.core_speed_percent.is_empty() {
+                let speed =
+                    self.config.core_speed_percent[t % self.config.core_speed_percent.len()] as u64;
+                dt = (dt * speed).div_ceil(100);
+            }
+
+            // Timing perturbations: per-op jitter, rare long stalls, OS
+            // preemption. These displace this core in virtual time, which
+            // is what shifts the race against the other cores.
+            if sched.jitter > 0.0 {
+                let factor = rng.gen_range(1.0 - sched.jitter..1.0 + sched.jitter);
+                dt = ((dt as f64) * factor).round().max(1.0) as u64;
+            }
+            if sched.stall_prob > 0.0 && rng.gen_bool(sched.stall_prob) {
+                dt += sched.stall_cycles as u64;
+            }
+            if let Some(os) = sched.os {
+                if rng.gen_bool(os.preempt_prob) {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    dt += (-os.mean_slice_cycles * (1.0 - u).ln()).ceil() as u64;
+                    stats.preemptions += 1;
+                }
+            }
+            vtime[t] += dt;
+
+            // Speculative early performs (only modelled when a load->load
+            // bug needs them; correct squashing makes them invisible
+            // otherwise).
+            if bug.needs_speculation() && rng.gen_bool(sched.spec_prob) {
+                let window_end = (oldest[t] + sched.reorder_window.max(1)).min(lens[t]);
+                for j in oldest[t]..window_end {
+                    if committed[t][j] {
+                        continue;
+                    }
+                    let Instr::Load { addr } = code[j] else {
+                        continue;
+                    };
+                    if spec[t].iter().any(|e| e.idx == j as u32) {
+                        continue;
+                    }
+                    // Loads that would forward from the store buffer cannot
+                    // be invalidated; skip them.
+                    let forwards = (oldest[t]..j).any(|k| {
+                        !committed[t][k]
+                            && matches!(code[k], Instr::Store { addr: a, .. } if a == addr)
+                    });
+                    if forwards {
+                        continue;
+                    }
+                    spec[t].push(SpecEntry {
+                        idx: j as u32,
+                        value: memory.read(addr.index(), t, vtime[t]),
+                        stale: false,
+                    });
+                    stats.spec_performed += 1;
+                    break;
+                }
+            }
+        }
+
+        // Signature epilogue: initialize + store each signature word.
+        for (t, &words) in self.words_per_thread.iter().enumerate() {
+            instr_cycles[t] += words as u64 * timing.sig_store_cycles as u64;
+        }
+
+        Ok(Execution {
+            reads_from: exec,
+            test_cycles: vtime.iter().copied().max().unwrap_or(0),
+            instr_cycles: instr_cycles.iter().copied().max().unwrap_or(0),
+            stats,
+            trace,
+        })
+    }
+
+    fn bug3_check(
+        &self,
+        rng: &mut SmallRng,
+        out: &crate::AccessOutcome,
+        committer: usize,
+        oldest: &[usize],
+        step: u64,
+    ) -> Result<(), SimError> {
+        let BugKind::ProtocolRace { prob } = self.config.bug else {
+            return Ok(());
+        };
+        let Some(evicted) = out.evicted_dirty else {
+            return Ok(());
+        };
+        let layout = self.program.layout();
+        // A writeback (PUTX) is in flight; does any other core have an
+        // imminent request (GETX/GETS) for the same line?
+        let racing = self.program.threads().iter().enumerate().any(|(u, code)| {
+            u != committer
+                && oldest[u] < code.len()
+                && code_addr(&code[oldest[u]]).is_some_and(|a| layout.line_of(a) == evicted)
+        });
+        if racing && rng.gen_bool(prob) {
+            return Err(SimError::ProtocolDeadlock {
+                step,
+                line: evicted,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn code_addr(instr: &Instr) -> Option<mtc_isa::Addr> {
+    instr.addr()
+}
+
+/// Returns `true` when another thread's imminent (next `lookahead`
+/// uncommitted) operations also target `line` — two cores are pulling on
+/// the same cache line concurrently, the coherence-contention condition
+/// that boosts scheduler randomness.
+fn line_conflict(
+    program: &Program,
+    committed: &[Vec<bool>],
+    oldest: &[usize],
+    lens: &[usize],
+    lookahead: usize,
+    t: usize,
+    line: u32,
+) -> bool {
+    if lookahead == 0 {
+        return false;
+    }
+    let layout = program.layout();
+    (0..lens.len()).any(|u| {
+        if u == t {
+            return false;
+        }
+        let code = &program.threads()[u];
+        let end = (oldest[u] + lookahead).min(lens[u]);
+        (oldest[u]..end)
+            .any(|j| !committed[u][j] && code[j].addr().is_some_and(|a| layout.line_of(a) == line))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::{litmus, Addr};
+
+    fn aggressive(config: SystemConfig) -> SystemConfig {
+        config.with_aggressive_interleaving()
+    }
+
+    fn outcomes(
+        program: &Program,
+        config: SystemConfig,
+        runs: u64,
+    ) -> std::collections::BTreeSet<ReadsFrom> {
+        let mut sim = Simulator::new(program, config);
+        (0..runs)
+            .map(|s| sim.run(s).expect("bug-free runs succeed").reads_from)
+            .collect()
+    }
+
+    fn sb_relaxed_seen(program: &Program, config: SystemConfig, runs: u64) -> bool {
+        // SB relaxed outcome: both loads read init.
+        outcomes(program, config, runs)
+            .iter()
+            .any(|rf| rf.iter().all(|(_, v)| v.is_init()))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = litmus::message_passing();
+        let mut a = Simulator::new(&t.program, SystemConfig::arm_soc());
+        let mut b = Simulator::new(&t.program, SystemConfig::arm_soc());
+        for seed in 0..50 {
+            assert_eq!(
+                a.run(seed).unwrap().reads_from,
+                b.run(seed).unwrap().reads_from
+            );
+        }
+    }
+
+    #[test]
+    fn sc_forbids_sb_relaxed_outcome() {
+        let t = litmus::store_buffering();
+        assert!(!sb_relaxed_seen(
+            &t.program,
+            SystemConfig::sc_reference(),
+            2000
+        ));
+    }
+
+    #[test]
+    fn tso_allows_sb_relaxed_outcome() {
+        let t = litmus::store_buffering();
+        assert!(sb_relaxed_seen(
+            &t.program,
+            aggressive(SystemConfig::x86_desktop()),
+            2000
+        ));
+    }
+
+    #[test]
+    fn fences_restore_order_under_tso_and_weak() {
+        let t = litmus::store_buffering_fenced();
+        assert!(!sb_relaxed_seen(
+            &t.program,
+            aggressive(SystemConfig::x86_desktop()),
+            2000
+        ));
+        assert!(!sb_relaxed_seen(
+            &t.program,
+            aggressive(SystemConfig::arm_soc()),
+            2000
+        ));
+    }
+
+    #[test]
+    fn weak_allows_mp_stale_data_but_tso_does_not() {
+        let t = litmus::message_passing();
+        let stale = |config| {
+            outcomes(&t.program, config, 3000).iter().any(|rf| {
+                let flag = rf.value_of(OpId::new(Tid(1), 0)).unwrap();
+                let data = rf.value_of(OpId::new(Tid(1), 1)).unwrap();
+                !flag.is_init() && data.is_init()
+            })
+        };
+        assert!(
+            stale(SystemConfig::arm_soc()),
+            "weak model should show MP relaxation"
+        );
+        assert!(!stale(SystemConfig::x86_desktop()), "TSO must order ld->ld");
+    }
+
+    #[test]
+    fn every_loaded_value_is_a_static_candidate() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_instr::{analyze, SourcePruning};
+        use mtc_isa::IsaKind;
+        for (isa, config) in [
+            (IsaKind::X86, SystemConfig::x86_desktop()),
+            (IsaKind::Arm, SystemConfig::arm_soc()),
+        ] {
+            let p = generate(&TestConfig::new(isa, 4, 40, 8).with_seed(9));
+            let analysis = analyze(&p, &SourcePruning::none());
+            let mut sim = Simulator::new(&p, config);
+            for seed in 0..200 {
+                let exec = sim.run(seed).unwrap();
+                for (load, v) in exec.reads_from.iter() {
+                    let cands = analysis.candidates(load).unwrap();
+                    assert!(
+                        cands.contains(&v),
+                        "{isa:?}: load {load} observed non-candidate {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bug2_produces_stale_coherence_violations() {
+        // Writer thread hammers one address; reader loads it repeatedly.
+        // With the LSQ bug, some pair of same-address loads must read
+        // anti-coherent values eventually.
+        let mut b = mtc_isa::ProgramBuilder::new(1, mtc_isa::MemoryLayout::no_false_sharing());
+        let mut t0 = b.thread(0);
+        for _ in 0..10 {
+            t0 = t0.store(Addr(0));
+        }
+        let mut t1 = b.thread(1);
+        for _ in 0..10 {
+            t1 = t1.load(Addr(0));
+        }
+        let p = b.build().unwrap();
+        let config = aggressive(SystemConfig::gem5_x86()).with_bug(BugKind::LoadLoadLsq);
+        let mut sim = Simulator::new(&p, config);
+        let mut stale_seen = 0u64;
+        for seed in 0..2000 {
+            let exec = sim.run(seed).unwrap();
+            stale_seen += exec.stats.spec_stale;
+        }
+        assert!(stale_seen > 0, "bug 2 never manifested in 2000 iterations");
+    }
+
+    #[test]
+    fn bug3_crashes_under_tiny_cache() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(
+            &TestConfig::new(IsaKind::X86, 7, 200, 64)
+                .with_words_per_line(4)
+                .with_seed(3),
+        );
+        let config = SystemConfig::gem5_x86()
+            .with_cache(crate::CacheConfig::l1_1k())
+            .with_bug(BugKind::ProtocolRace { prob: 0.02 });
+        let mut sim = Simulator::new(&p, config);
+        let crashed = (0..200).any(|seed| sim.run(seed).is_err());
+        assert!(crashed, "bug 3 never deadlocked the protocol");
+    }
+
+    #[test]
+    fn correct_system_never_crashes() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(
+            &TestConfig::new(IsaKind::X86, 4, 100, 16)
+                .with_words_per_line(4)
+                .with_seed(5),
+        );
+        let mut sim = Simulator::new(
+            &p,
+            SystemConfig::gem5_x86().with_cache(crate::CacheConfig::l1_1k()),
+        );
+        for seed in 0..300 {
+            sim.run(seed).expect("correct hardware must not crash");
+        }
+    }
+
+    #[test]
+    fn slow_cluster_cores_fall_behind() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        // 7 threads on the big.LITTLE ARM SoC: threads 4-6 land on the slow
+        // A7 cluster and commit later on average.
+        let p = generate(&TestConfig::new(IsaKind::Arm, 7, 40, 32).with_seed(3));
+        let mut sim = Simulator::new(&p, SystemConfig::arm_soc());
+        sim.set_trace(true);
+        let mut fast_mean = 0.0;
+        let mut slow_mean = 0.0;
+        for seed in 0..50 {
+            let exec = sim.run(seed).unwrap();
+            let mut sums = [0usize; 7];
+            let mut counts = [0usize; 7];
+            for (at, op) in exec.trace.iter().enumerate() {
+                sums[op.tid.index()] += at;
+                counts[op.tid.index()] += 1;
+            }
+            fast_mean += (0..4)
+                .map(|t| sums[t] as f64 / counts[t] as f64)
+                .sum::<f64>()
+                / 4.0;
+            slow_mean += (4..7)
+                .map(|t| sums[t] as f64 / counts[t] as f64)
+                .sum::<f64>()
+                / 3.0;
+        }
+        assert!(
+            slow_mean > fast_mean * 1.1,
+            "A7 threads should trail: fast {fast_mean:.0} vs slow {slow_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn os_mode_preempts() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 4, 100, 32).with_seed(1));
+        let mut sim = Simulator::new(&p, SystemConfig::arm_soc().with_os());
+        let mut preemptions = 0;
+        for seed in 0..50 {
+            preemptions += sim.run(seed).unwrap().stats.preemptions;
+        }
+        assert!(preemptions > 0, "OS mode never preempted");
+    }
+
+    #[test]
+    fn trace_records_every_commit_in_a_legal_order() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 3, 20, 8).with_seed(4));
+        let mut sim = Simulator::new(&p, SystemConfig::arm_soc());
+        sim.set_trace(true);
+        for seed in 0..50 {
+            let exec = sim.run(seed).unwrap();
+            assert_eq!(exec.trace.len(), p.num_instrs());
+            // Every instruction appears exactly once, and program-order
+            // positions respect the MCM's ordering rule.
+            let mut position = std::collections::HashMap::new();
+            for (at, &op) in exec.trace.iter().enumerate() {
+                assert!(position.insert(op, at).is_none(), "duplicate {op}");
+            }
+            for (op, instr) in p.iter_ops() {
+                for later_idx in (op.idx + 1)..p.thread_len(op.tid) as u32 {
+                    let later = OpId::new(op.tid, later_idx);
+                    let later_instr = p.instr(later).unwrap();
+                    if sim.config().mcm.orders(instr, later_instr) {
+                        assert!(
+                            position[&op] < position[&later],
+                            "{op} must commit before {later}"
+                        );
+                    }
+                }
+            }
+        }
+        // Tracing off: empty trace.
+        sim.set_trace(false);
+        assert!(sim.run(99).unwrap().trace.is_empty());
+    }
+
+    #[test]
+    fn nmca_allows_fenced_iriw_relaxation_mca_does_not() {
+        // With fenced readers (loads ordered), disagreeing on the order of
+        // the two independent writes requires non-MCA stores.
+        let t = litmus::iriw_fenced();
+        let relaxed = |rf: &ReadsFrom| {
+            rf.value_of(OpId::new(Tid(2), 0)) == Some(Value(1))
+                && rf.value_of(OpId::new(Tid(2), 2)) == Some(Value::INIT)
+                && rf.value_of(OpId::new(Tid(3), 0)) == Some(Value(2))
+                && rf.value_of(OpId::new(Tid(3), 2)) == Some(Value::INIT)
+        };
+        let seen = |config: SystemConfig, runs: u64| {
+            let mut sim = Simulator::new(&t.program, config);
+            (0..runs).any(|s| relaxed(&sim.run(s).unwrap().reads_from))
+        };
+        assert!(
+            seen(
+                SystemConfig::arm_soc_nmca().with_aggressive_interleaving(),
+                6000
+            ),
+            "nMCA must expose the fenced-IRIW relaxation"
+        );
+        assert!(
+            !seen(SystemConfig::arm_soc().with_aggressive_interleaving(), 6000),
+            "MCA must never show fenced-IRIW relaxation"
+        );
+    }
+
+    #[test]
+    fn nmca_with_fences_exceeds_the_mca_checkers_model() {
+        // KNOWN LIMITATION (the §8 store-atomicity caveat): the checker's
+        // rf/fr edge set assumes multiple-copy atomicity, so a *legal*
+        // fenced-IRIW relaxation on nMCA hardware is flagged as a cycle.
+        // Validating fenced tests on non-MCA silicon needs the additional
+        // dependency-edge machinery the paper cites ([10, 33]). Fence-free
+        // generated tests — the paper's workload — stay sound (see
+        // `nmca_executions_check_clean_under_weak`).
+        use mtc_graph::{check_conventional, CheckOptions, TestGraphSpec};
+        let t = litmus::iriw_fenced();
+        let mut rf = ReadsFrom::new();
+        rf.record(OpId::new(Tid(2), 0), Value(1));
+        rf.record(OpId::new(Tid(2), 2), Value::INIT);
+        rf.record(OpId::new(Tid(3), 0), Value(2));
+        rf.record(OpId::new(Tid(3), 2), Value::INIT);
+        let spec = TestGraphSpec::new(&t.program, mtc_isa::Mcm::Weak);
+        let obs = spec.observe(&t.program, &rf, &CheckOptions::default());
+        assert_eq!(
+            check_conventional(&spec, &[obs]).violation_count(),
+            1,
+            "the MCA checker flags the nMCA-legal fenced-IRIW outcome"
+        );
+    }
+
+    #[test]
+    fn nmca_executions_check_clean_under_weak() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_graph::{check_conventional, CheckOptions, TestGraphSpec};
+        use mtc_isa::IsaKind;
+        // The checker's edge set (no cross-thread ws, no intra-thread rf)
+        // must stay sound for non-MCA weak hardware — exactly footnote 4's
+        // concern, generalized.
+        let test = TestConfig::new(IsaKind::Arm, 4, 30, 4).with_seed(11);
+        let p = generate(&test);
+        let spec = TestGraphSpec::new(&p, mtc_isa::Mcm::Weak);
+        let mut sim = Simulator::new(
+            &p,
+            SystemConfig::arm_soc_nmca().with_aggressive_interleaving(),
+        );
+        let observations: Vec<_> = (0..400u64)
+            .map(|s| {
+                let rf = sim.run(s).unwrap().reads_from;
+                spec.observe(&p, &rf, &CheckOptions::default())
+            })
+            .collect();
+        let outcome = check_conventional(&spec, &observations);
+        assert_eq!(
+            outcome.violation_count(),
+            0,
+            "checker flagged a legal nMCA execution"
+        );
+    }
+
+    #[test]
+    fn flush_overlay_perturbs_interleavings() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        use std::collections::BTreeSet;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 4, 50, 16).with_seed(6));
+        let mut plain = Simulator::new(&p, SystemConfig::arm_soc());
+        let mut flushing = Simulator::new(&p, SystemConfig::arm_soc());
+        flushing.set_flush_overlay(true);
+        let mut differs = false;
+        let mut plain_set = BTreeSet::new();
+        let mut flush_set = BTreeSet::new();
+        for seed in 0..300 {
+            let a = plain.run(seed).unwrap();
+            let b = flushing.run(seed).unwrap();
+            assert_eq!(b.stats.flush_stores, p.num_loads() as u64);
+            assert_eq!(a.stats.flush_stores, 0);
+            differs |= a.reads_from != b.reads_from;
+            plain_set.insert(a.reads_from);
+            flush_set.insert(b.reads_from);
+        }
+        assert!(differs, "flushing must perturb at least one interleaving");
+        assert_ne!(plain_set, flush_set, "flushing shifts the population");
+    }
+
+    #[test]
+    fn instrumentation_costs_cycles_but_not_outcomes() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_instr::{analyze, SignatureSchema, SourcePruning};
+        use mtc_isa::IsaKind;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 2, 50, 32).with_seed(2));
+        let schema = SignatureSchema::build(&p, &analyze(&p, &SourcePruning::none()), 32);
+        let mut plain = Simulator::new(&p, SystemConfig::arm_soc());
+        let mut instrumented = Simulator::new(&p, SystemConfig::arm_soc());
+        instrumented.instrument(&schema);
+        for seed in 0..100 {
+            let a = plain.run(seed).unwrap();
+            let b = instrumented.run(seed).unwrap();
+            assert_eq!(
+                a.reads_from, b.reads_from,
+                "instrumentation must not perturb rf"
+            );
+            assert_eq!(a.instr_cycles, 0);
+            assert!(b.instr_cycles > 0);
+        }
+        assert!(instrumented.predictor().unwrap().executed_links() > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulation failure modes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a simulated execution did not complete.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The coherence protocol reached an invalid state — the manifestation
+    /// of injected bug 3, matching the paper's observation that all bug-3
+    /// gem5 runs crashed with "protocol deadlock / invalid transition"
+    /// messages.
+    ProtocolDeadlock {
+        /// Scheduler step at which the protocol wedged.
+        step: u64,
+        /// Cache line whose writeback raced a remote request.
+        line: u32,
+    },
+    /// The engine stopped making progress — a simulator defect guard, never
+    /// an expected test outcome.
+    Livelock {
+        /// Step at which the guard fired.
+        step: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ProtocolDeadlock { step, line } => {
+                write!(
+                    f,
+                    "coherence protocol deadlock at step {step} (line {line})"
+                )
+            }
+            SimError::Livelock { step } => write!(f, "engine livelock guard at step {step}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::ProtocolDeadlock { step: 10, line: 3 };
+        assert!(e.to_string().contains("deadlock"));
+        assert!(SimError::Livelock { step: 1 }
+            .to_string()
+            .contains("livelock"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Exhaustive enumeration of all MCM-allowed executions of small programs.
+//!
+//! For litmus-sized tests it is feasible to enumerate *every* execution the
+//! operational model admits (every interleaved choice of ready operations,
+//! with store-buffer forwarding). The result is the ground-truth outcome set
+//! used by conformance and property tests: the randomized engine must only
+//! ever produce outcomes in this set, and the constraint-graph checker must
+//! accept all of them while rejecting known-forbidden outcomes.
+
+use mtc_isa::{Instr, Mcm, OpId, Program, ReadsFrom, Tid, Value};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// Error returned by [`enumerate_outcomes`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum ExhaustError {
+    /// A thread has more operations than the 64-bit commit masks support.
+    ThreadTooLong {
+        /// The oversized thread.
+        tid: Tid,
+        /// Its instruction count.
+        len: usize,
+    },
+    /// The search exceeded `max_states` distinct states.
+    StateSpaceTooLarge {
+        /// The configured bound that was hit.
+        max_states: usize,
+    },
+}
+
+impl fmt::Display for ExhaustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustError::ThreadTooLong { tid, len } => {
+                write!(
+                    f,
+                    "thread {tid} has {len} ops; exhaustive search supports up to 64"
+                )
+            }
+            ExhaustError::StateSpaceTooLarge { max_states } => {
+                write!(f, "exhaustive search exceeded {max_states} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExhaustError {}
+
+#[derive(Clone, Eq, PartialEq, Hash)]
+struct State {
+    /// Per-thread commit bitmask.
+    masks: Vec<u64>,
+    memory: Vec<Value>,
+    rf: ReadsFrom,
+}
+
+/// Enumerates the set of reads-from outcomes reachable under `mcm`,
+/// exploring at most `max_states` distinct states.
+///
+/// ```
+/// use mtc_isa::{litmus, Mcm};
+/// use mtc_sim::enumerate_outcomes;
+///
+/// let sb = litmus::store_buffering();
+/// let sc = enumerate_outcomes(&sb.program, Mcm::Sc, 100_000)?;
+/// let tso = enumerate_outcomes(&sb.program, Mcm::Tso, 100_000)?;
+/// assert_eq!((sc.len(), tso.len()), (3, 4)); // TSO adds the relaxed outcome
+/// # Ok::<(), mtc_sim::ExhaustError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ExhaustError::ThreadTooLong`] for threads over 64 instructions;
+/// [`ExhaustError::StateSpaceTooLarge`] when the bound is exceeded (raise it
+/// or shrink the program).
+pub fn enumerate_outcomes(
+    program: &Program,
+    mcm: Mcm,
+    max_states: usize,
+) -> Result<BTreeSet<ReadsFrom>, ExhaustError> {
+    for (t, code) in program.threads().iter().enumerate() {
+        if code.len() > 64 {
+            return Err(ExhaustError::ThreadTooLong {
+                tid: Tid(t as u32),
+                len: code.len(),
+            });
+        }
+    }
+    let lens: Vec<usize> = program.threads().iter().map(Vec::len).collect();
+    let full: Vec<u64> = lens
+        .iter()
+        .map(|&n| if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
+        .collect();
+
+    let initial = State {
+        masks: vec![0; lens.len()],
+        memory: vec![Value::INIT; program.num_addrs() as usize],
+        rf: ReadsFrom::new(),
+    };
+    let mut outcomes = BTreeSet::new();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(state) = stack.pop() {
+        if visited.len() > max_states {
+            return Err(ExhaustError::StateSpaceTooLarge { max_states });
+        }
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        if state.masks == full {
+            outcomes.insert(state.rf.clone());
+            continue;
+        }
+        for (t, code) in program.threads().iter().enumerate() {
+            let mask = state.masks[t];
+            for i in 0..lens[t] {
+                if mask & (1 << i) != 0 {
+                    continue;
+                }
+                let blocked =
+                    (0..i).any(|j| mask & (1 << j) == 0 && mcm.orders(&code[j], &code[i]));
+                if blocked {
+                    continue;
+                }
+                stack.push(commit(program, &state, t, i));
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+fn commit(program: &Program, state: &State, t: usize, i: usize) -> State {
+    let code = &program.threads()[t];
+    let mut next = state.clone();
+    next.masks[t] |= 1 << i;
+    match code[i] {
+        Instr::Fence(_) => {}
+        Instr::Store { addr, value } => {
+            next.memory[addr.index()] = Value::from(value);
+        }
+        Instr::Load { addr } => {
+            // Store-buffer forwarding: youngest earlier uncommitted
+            // same-address store.
+            let fwd = (0..i).rev().find_map(|j| match code[j] {
+                Instr::Store { addr: a, value } if a == addr && state.masks[t] & (1 << j) == 0 => {
+                    Some(Value::from(value))
+                }
+                _ => None,
+            });
+            let v = fwd.unwrap_or(next.memory[addr.index()]);
+            next.rf.record(OpId::new(Tid(t as u32), i as u32), v);
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_isa::litmus;
+
+    fn sb_relaxed(rf: &ReadsFrom) -> bool {
+        rf.iter().all(|(_, v)| v.is_init())
+    }
+
+    #[test]
+    fn sc_sb_has_three_outcomes() {
+        let t = litmus::store_buffering();
+        let outcomes = enumerate_outcomes(&t.program, Mcm::Sc, 100_000).unwrap();
+        // (r0,r1) in {(0,1),(1,0),(1,1)} under SC: 3 outcomes.
+        assert_eq!(outcomes.len(), 3);
+        assert!(!outcomes.iter().any(sb_relaxed));
+    }
+
+    #[test]
+    fn tso_sb_adds_the_relaxed_outcome() {
+        let t = litmus::store_buffering();
+        let outcomes = enumerate_outcomes(&t.program, Mcm::Tso, 100_000).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().any(sb_relaxed));
+    }
+
+    #[test]
+    fn fenced_sb_is_sc_again_everywhere() {
+        let t = litmus::store_buffering_fenced();
+        for mcm in Mcm::ALL {
+            let outcomes = enumerate_outcomes(&t.program, mcm, 100_000).unwrap();
+            assert!(!outcomes.iter().any(sb_relaxed), "{mcm} shows relaxed SB");
+        }
+    }
+
+    #[test]
+    fn weak_mp_shows_stale_data() {
+        let t = litmus::message_passing();
+        let stale = |outcomes: &BTreeSet<ReadsFrom>| {
+            outcomes.iter().any(|rf| {
+                let flag = rf.value_of(OpId::new(Tid(1), 0)).unwrap();
+                let data = rf.value_of(OpId::new(Tid(1), 1)).unwrap();
+                !flag.is_init() && data.is_init()
+            })
+        };
+        let weak = enumerate_outcomes(&t.program, Mcm::Weak, 100_000).unwrap();
+        assert!(stale(&weak));
+        let tso = enumerate_outcomes(&t.program, Mcm::Tso, 100_000).unwrap();
+        assert!(!stale(&tso));
+        assert!(weak.len() > tso.len());
+    }
+
+    #[test]
+    fn corr_never_reads_backwards() {
+        let t = litmus::corr();
+        for mcm in Mcm::ALL {
+            let outcomes = enumerate_outcomes(&t.program, mcm, 100_000).unwrap();
+            for rf in &outcomes {
+                let first = rf.value_of(OpId::new(Tid(1), 0)).unwrap();
+                let second = rf.value_of(OpId::new(Tid(1), 1)).unwrap();
+                assert!(
+                    !(first == Value(1) && second.is_init()),
+                    "{mcm} allows anti-coherent read pair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_bound_is_enforced() {
+        let t = litmus::iriw();
+        assert!(matches!(
+            enumerate_outcomes(&t.program, Mcm::Weak, 3),
+            Err(ExhaustError::StateSpaceTooLarge { max_states: 3 })
+        ));
+    }
+
+    #[test]
+    fn long_threads_are_rejected() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 2, 100, 8).with_seed(0));
+        assert!(matches!(
+            enumerate_outcomes(&p, Mcm::Sc, 10),
+            Err(ExhaustError::ThreadTooLong { len: 100, .. })
+        ));
+    }
+}

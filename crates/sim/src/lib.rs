@@ -1,0 +1,64 @@
+//! Multi-core memory-subsystem simulator — MTraceCheck's execution
+//! substrate.
+//!
+//! The paper validates silicon (an x86-TSO desktop and a weakly-ordered
+//! ARMv7 SoC, Table 1) plus gem5 for bug injection. This crate stands in
+//! for both: an operational simulator that produces exactly the executions
+//! the configured [`Mcm`](mtc_isa::Mcm) allows, with silicon-flavoured
+//! non-determinism:
+//!
+//! * **Commit-order semantics** — at each step one thread commits one
+//!   operation; an operation is ready once everything the MCM orders before
+//!   it has committed. Loads forward from the pending store buffer.
+//! * **Scheduler models** — bursty switching, an LSQ-like out-of-order
+//!   commit window, cache-line contention boosts (false sharing), OS
+//!   preemption, and the §4.1 uniform-random SC reference machine.
+//! * **Private caches** — an MSI model supplying hit/miss/coherence
+//!   latencies, S→M upgrade windows, and dirty writebacks.
+//! * **Bug injection** (§7) — two load→load violation bugs realized through
+//!   unsquashed speculative loads, and a coherence-protocol race that
+//!   crashes the run.
+//! * **Exhaustive oracle** — [`enumerate_outcomes`] lists every allowed
+//!   execution of litmus-sized programs, grounding conformance tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mtc_isa::litmus;
+//! use mtc_sim::{Simulator, SystemConfig};
+//!
+//! // Run the store-buffering litmus test on the TSO desktop many times:
+//! // the non-deterministic scheduler surfaces several distinct outcomes.
+//! let sb = litmus::store_buffering();
+//! let mut sim = Simulator::new(&sb.program, SystemConfig::x86_desktop());
+//! let mut distinct = std::collections::BTreeSet::new();
+//! for seed in 0..500 {
+//!     distinct.insert(sim.run(seed)?.reads_from);
+//! }
+//! assert!(distinct.len() >= 2);
+//! # Ok::<(), mtc_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bugs;
+mod cache;
+mod config;
+mod engine;
+mod error;
+mod exhaustive;
+mod memory;
+mod timing;
+
+pub use bugs::BugKind;
+pub use cache::{AccessOutcome, CacheModel, LineState};
+pub use config::{
+    CacheConfig, OsConfig, SchedulerConfig, SchedulerKind, StoreAtomicity, SystemConfig,
+    TimingConfig,
+};
+pub use engine::{ExecStats, Execution, Simulator};
+pub use error::SimError;
+pub use exhaustive::{enumerate_outcomes, ExhaustError};
+pub use memory::SimMemory;
+pub use timing::BranchPredictor;

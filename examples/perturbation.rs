@@ -1,0 +1,55 @@
+//! Perturbation comparison: how much memory traffic unrelated to the test
+//! does each observability technique add? Register flushing (TSOtool-style)
+//! stores every loaded value; MTraceCheck stores only the final signature
+//! words (Figure 11), at the price of larger code (Figure 12).
+//!
+//! Run with: `cargo run --example perturbation --release`
+
+use mtracecheck::instr::{
+    analyze, CodeSizeModel, IntrusivenessReport, SignatureSchema, SourcePruning,
+};
+use mtracecheck::isa::IsaKind;
+use mtracecheck::testgen::{generate, TestConfig};
+
+fn main() {
+    let configs = [
+        TestConfig::new(IsaKind::Arm, 2, 50, 32),
+        TestConfig::new(IsaKind::Arm, 4, 100, 64),
+        TestConfig::new(IsaKind::Arm, 7, 200, 64),
+        TestConfig::new(IsaKind::X86, 2, 50, 32),
+        TestConfig::new(IsaKind::X86, 4, 200, 64),
+    ];
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "config", "sig bytes", "flush bytes", "normalized", "code x", "L1 fit"
+    );
+    let mut normalized_sum = 0.0;
+    for base in &configs {
+        let test = base.clone().with_seed(5);
+        let program = generate(&test);
+        let analysis = analyze(&program, &SourcePruning::none());
+        let schema = SignatureSchema::build(&program, &analysis, test.isa.register_bits());
+        let intr = IntrusivenessReport::measure(&program, &schema);
+        let code = CodeSizeModel::new(test.isa).measure(&program, &schema);
+        normalized_sum += intr.normalized();
+        println!(
+            "{:<16} {:>10} {:>12} {:>11.1}% {:>9.2}x {:>10}",
+            test.name(),
+            intr.signature_bytes,
+            intr.flush_bytes,
+            100.0 * intr.normalized(),
+            code.ratio(),
+            if code.fits_in_l1(32 * 1024) {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    let mean = normalized_sum / configs.len() as f64;
+    println!(
+        "\nmean unrelated traffic vs register flushing: {:.1}% (a {:.0}% reduction)",
+        100.0 * mean,
+        100.0 * (1.0 - mean)
+    );
+}

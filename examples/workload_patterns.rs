@@ -1,0 +1,56 @@
+//! Structured workloads: validate producer/consumer, hot-spot, and ring
+//! sharing patterns — the communication shapes real parallel software uses —
+//! and compare their interleaving diversity and signature footprints with
+//! a uniform-random test of the same size.
+//!
+//! Run with: `cargo run --example workload_patterns --release`
+
+use mtracecheck::isa::{IsaKind, Program};
+use mtracecheck::testgen::{generate, patterns, TestConfig};
+use mtracecheck::{Campaign, CampaignConfig};
+
+fn validate(name: &str, program: &Program, campaign: &Campaign) {
+    let report = campaign.run_test(program);
+    println!(
+        "{name:<20} {:>6} unique interleavings  {:>4} B signature  {:>5.1}% flush traffic  {}",
+        report.unique_signatures,
+        report.signature_bytes,
+        100.0 * report.intrusiveness.normalized(),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        },
+    );
+    assert!(report.is_clean(), "correct hardware must validate clean");
+}
+
+fn main() {
+    let iterations = 2048;
+    let threads = 4;
+    let ops = 40;
+    println!("{threads} threads x {ops} ops, {iterations} iterations each\n");
+
+    let campaign = Campaign::new(CampaignConfig::new(
+        TestConfig::new(IsaKind::Arm, threads, ops, 8),
+        iterations,
+    ));
+    validate(
+        "uniform random",
+        &generate(&TestConfig::new(IsaKind::Arm, threads, ops, 8).with_seed(7)),
+        &campaign,
+    );
+    validate(
+        "producer/consumer",
+        &patterns::producer_consumer(threads, ops, 8, 7),
+        &campaign,
+    );
+    validate("hot spot", &patterns::hotspot(threads, ops, 7), &campaign);
+    validate("ring", &patterns::ring(threads, ops, 7), &campaign);
+
+    println!(
+        "\nhot-spot contention maximizes per-load candidate sets (largest signatures\n\
+         and flush traffic); all structured patterns validate as cleanly as uniform\n\
+         random tests."
+    );
+}

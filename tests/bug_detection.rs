@@ -1,0 +1,125 @@
+//! The §7 bug-injection campaigns (Table 3), scaled to CI-friendly sizes:
+//! every injected bug must be exposed, and the same campaigns on correct
+//! hardware must come back clean.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::sim::{BugKind, CacheConfig, SystemConfig};
+use mtracecheck::{Campaign, CampaignConfig, ConfigReport, TestConfig};
+
+fn hunting_system(bug: BugKind, tiny_cache: bool) -> SystemConfig {
+    let mut system = SystemConfig::gem5_x86()
+        .with_bug(bug)
+        .with_aggressive_interleaving();
+    if tiny_cache {
+        system = system.with_cache(CacheConfig::l1_1k());
+    }
+    system
+}
+
+fn campaign(test: TestConfig, system: SystemConfig, tests: u64, iters: u64) -> ConfigReport {
+    Campaign::new(
+        CampaignConfig::new(test, iters)
+            .with_system(system)
+            .with_tests(tests),
+    )
+    .run()
+}
+
+#[test]
+fn bug1_load_load_coherence_is_exposed() {
+    // Table 3 row 1: x86-4-50-8, 4 words/line, tiny cache. The paper found
+    // it in 1 of 101 tests; we run a handful with an energetic scheduler.
+    let test = TestConfig::new(IsaKind::X86, 4, 50, 8)
+        .with_words_per_line(4)
+        .with_seed(1);
+    let report = campaign(
+        test,
+        hunting_system(BugKind::LoadLoadCoherence, true),
+        8,
+        1024,
+    );
+    assert!(
+        report.failing_tests() > 0,
+        "bug 1 escaped an 8-test campaign"
+    );
+    // Load->load violations manifest as cyclic graphs, not crashes.
+    assert_eq!(report.tests.iter().map(|t| t.crashes).sum::<u64>(), 0);
+}
+
+#[test]
+fn bug2_lsq_invalidation_is_exposed() {
+    // Table 3 row 2: x86-7-200-32, 16 words/line.
+    let test = TestConfig::new(IsaKind::X86, 7, 200, 32)
+        .with_words_per_line(16)
+        .with_seed(2);
+    let report = campaign(test, hunting_system(BugKind::LoadLoadLsq, false), 3, 512);
+    assert!(
+        report.failing_tests() > 0,
+        "bug 2 escaped a 3-test campaign"
+    );
+    let cyclic: usize = report.total_violations();
+    assert!(cyclic > 0, "bug 2 must produce violating signatures");
+}
+
+#[test]
+fn bug3_protocol_race_crashes_tests() {
+    // Table 3 row 3: x86-7-200-64, 4 words/line; "all tests (crash)".
+    let test = TestConfig::new(IsaKind::X86, 7, 200, 64)
+        .with_words_per_line(4)
+        .with_seed(3);
+    let report = campaign(
+        test,
+        hunting_system(BugKind::ProtocolRace { prob: 0.02 }, true),
+        3,
+        256,
+    );
+    for (i, t) in report.tests.iter().enumerate() {
+        assert!(t.crashes > 0, "bug 3 never crashed test {i}");
+    }
+}
+
+#[test]
+fn correct_hardware_stays_clean_under_the_same_campaigns() {
+    for (test, tiny) in [
+        (
+            TestConfig::new(IsaKind::X86, 4, 50, 8)
+                .with_words_per_line(4)
+                .with_seed(1),
+            true,
+        ),
+        (
+            TestConfig::new(IsaKind::X86, 7, 100, 32)
+                .with_words_per_line(16)
+                .with_seed(2),
+            false,
+        ),
+    ] {
+        let report = campaign(test.clone(), hunting_system(BugKind::None, tiny), 3, 512);
+        assert_eq!(
+            report.failing_tests(),
+            0,
+            "{}: correct hardware flagged",
+            test.name()
+        );
+        assert_eq!(report.tests.iter().map(|t| t.crashes).sum::<u64>(), 0);
+    }
+}
+
+#[test]
+fn detection_reports_carry_diagnosable_cycles() {
+    let test = TestConfig::new(IsaKind::X86, 4, 50, 4)
+        .with_words_per_line(4)
+        .with_seed(5);
+    let report = campaign(test, hunting_system(BugKind::LoadLoadLsq, false), 4, 2000);
+    let Some(record) = report
+        .tests
+        .iter()
+        .flat_map(|t| t.violations.iter())
+        .find(|v| v.violation.is_some())
+    else {
+        panic!("no violation with a cycle was recorded");
+    };
+    let cycle = &record.violation.as_ref().expect("filtered").cycle;
+    assert!(cycle.len() >= 2, "cycles involve at least two ops");
+    assert!(record.occurrences >= 1);
+}
