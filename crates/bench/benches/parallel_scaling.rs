@@ -1,0 +1,82 @@
+//! Scaling of the sharded campaign pipeline over pool workers.
+//!
+//! The acceptance scenario: a 4-thread / 30-op / 800-iteration campaign,
+//! collected at 1, 2 and 4 workers. On a multi-core host the 4-worker run
+//! should finish in well under 2/3 the serial wall-clock (>1.5x speedup);
+//! on a single hardware thread the worker pool degrades to a slightly
+//! noisier serial loop. Each worker count is its own deterministic
+//! computation (the shard plan is part of the seed schedule), so the
+//! benchmark also exercises the merge path end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mtracecheck::isa::IsaKind;
+use mtracecheck::testgen::generate;
+use mtracecheck::{Campaign, CampaignConfig, TestConfig};
+
+const ITERATIONS: u64 = 800;
+
+fn campaign(workers: usize) -> Campaign {
+    let test = TestConfig::new(IsaKind::Arm, 4, 30, 8).with_seed(42);
+    Campaign::new(
+        CampaignConfig::new(test, ITERATIONS)
+            .with_tests(1)
+            .with_workers(workers),
+    )
+}
+
+fn bench_collect_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/collect");
+    group.throughput(Throughput::Elements(ITERATIONS));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let campaign = campaign(workers);
+        let program = generate(&campaign.config().test);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| campaign.collect(&program))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/run_test");
+    group.throughput(Throughput::Elements(ITERATIONS));
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let campaign = campaign(workers);
+        let program = generate(&campaign.config().test);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| campaign.run_test(&program))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunked_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/chunked_check");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let test = TestConfig::new(IsaKind::Arm, 4, 30, 8).with_seed(42);
+        let mut config = CampaignConfig::new(test, ITERATIONS)
+            .with_tests(1)
+            .with_workers(workers);
+        if workers > 1 {
+            config = config.with_chunked_checking();
+        }
+        let campaign = Campaign::new(config);
+        let program = generate(&campaign.config().test);
+        let log = campaign.collect(&program);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| campaign.check_log(&log))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collect_scaling,
+    bench_full_pipeline_scaling,
+    bench_chunked_checking
+);
+criterion_main!(benches);

@@ -31,7 +31,9 @@ fn main() {
         test.name()
     );
     // One collection at the maximum count gives every prefix point.
-    let campaign = Campaign::new(CampaignConfig::new(test.clone(), scale.iterations));
+    let campaign = Campaign::new(
+        CampaignConfig::new(test.clone(), scale.iterations).with_workers(scale.workers),
+    );
     let program = generate(&test);
     let log = campaign.collect(&program);
     let mut table = Table::new([

@@ -21,9 +21,9 @@ struct Fig8Row {
     os: f64,
 }
 
-fn mean_unique(test: TestConfig, iters: u64, tests: u64, os: bool) -> f64 {
-    let mut config = CampaignConfig::new(test, iters)
-        .with_tests(tests)
+fn mean_unique(test: TestConfig, scale: mtc_bench::RunScale, os: bool) -> f64 {
+    let mut config = scale
+        .configure(CampaignConfig::new(test, scale.iterations))
         .with_parallel();
     if os {
         config.system.scheduler.os = Some(mtracecheck::sim::OsConfig::default());
@@ -41,20 +41,10 @@ fn main() {
     let mut rows = Vec::new();
     for base in paper_configs() {
         progress(&base.name());
-        let bare = mean_unique(base.clone(), scale.iterations, scale.tests, false);
-        let words4 = mean_unique(
-            base.clone().with_words_per_line(4),
-            scale.iterations,
-            scale.tests,
-            false,
-        );
-        let words16 = mean_unique(
-            base.clone().with_words_per_line(16),
-            scale.iterations,
-            scale.tests,
-            false,
-        );
-        let os = mean_unique(base.clone(), scale.iterations, scale.tests, true);
+        let bare = mean_unique(base.clone(), scale, false);
+        let words4 = mean_unique(base.clone().with_words_per_line(4), scale, false);
+        let words16 = mean_unique(base.clone().with_words_per_line(16), scale, false);
+        let os = mean_unique(base.clone(), scale, true);
         table.row([
             base.name(),
             format!("{bare:.1}"),

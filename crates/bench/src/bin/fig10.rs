@@ -49,8 +49,8 @@ fn main() {
     {
         progress(&test.name());
         let report = Campaign::new(
-            CampaignConfig::new(test.clone(), scale.iterations)
-                .with_tests(scale.tests)
+            scale
+                .configure(CampaignConfig::new(test.clone(), scale.iterations))
                 .with_parallel(),
         )
         .run();

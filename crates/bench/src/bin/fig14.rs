@@ -41,8 +41,8 @@ fn main() {
     for test in paper_configs() {
         progress(&test.name());
         let report = Campaign::new(
-            CampaignConfig::new(test.clone(), scale.iterations)
-                .with_tests(scale.tests)
+            scale
+                .configure(CampaignConfig::new(test.clone(), scale.iterations))
                 .with_parallel(),
         )
         .run();

@@ -62,9 +62,12 @@ fn main() {
     for (label, test, system) in cases {
         progress(label);
         let report = Campaign::new(
-            CampaignConfig::new(test.clone().with_seed(7), scale.iterations)
-                .with_system(system)
-                .with_tests(scale.tests),
+            scale
+                .configure(CampaignConfig::new(
+                    test.clone().with_seed(7),
+                    scale.iterations,
+                ))
+                .with_system(system),
         )
         .run();
         let crashed = report.tests.iter().filter(|t| t.crashes > 0).count();

@@ -21,10 +21,23 @@ pub struct RunScale {
     pub iterations: u64,
     /// Distinct tests per configuration (`--tests`, paper: 10).
     pub tests: u64,
+    /// Iteration shards / pool workers per test (`--workers`, default 1 —
+    /// the paper-faithful serial loop; 0 = all host threads). Note the
+    /// shard plan is part of the computation: results are deterministic per
+    /// `workers` value but differ across values.
+    pub workers: usize,
 }
 
-/// Parses `--iters N` and `--tests N` from `std::env::args`, with
-/// binary-specific defaults.
+impl RunScale {
+    /// Applies the scale to a campaign configuration: test count plus the
+    /// worker-pool width for iteration sharding.
+    pub fn configure(&self, config: mtracecheck::CampaignConfig) -> mtracecheck::CampaignConfig {
+        config.with_tests(self.tests).with_workers(self.workers)
+    }
+}
+
+/// Parses `--iters N`, `--tests N` and `--workers N` from
+/// `std::env::args`, with binary-specific defaults.
 pub fn parse_scale(default_iters: u64, default_tests: u64) -> RunScale {
     let args: Vec<String> = std::env::args().collect();
     let grab = |flag: &str, default: u64| -> u64 {
@@ -37,6 +50,7 @@ pub fn parse_scale(default_iters: u64, default_tests: u64) -> RunScale {
     RunScale {
         iterations: grab("--iters", default_iters),
         tests: grab("--tests", default_tests),
+        workers: grab("--workers", 1) as usize,
     }
 }
 
@@ -140,5 +154,23 @@ mod tests {
         let s = parse_scale(1234, 5);
         assert_eq!(s.iterations, 1234);
         assert_eq!(s.tests, 5);
+        assert_eq!(s.workers, 1, "serial by default");
+    }
+
+    #[test]
+    fn configure_applies_tests_and_workers() {
+        use mtracecheck::isa::IsaKind;
+        use mtracecheck::{CampaignConfig, TestConfig};
+        let scale = RunScale {
+            iterations: 100,
+            tests: 4,
+            workers: 3,
+        };
+        let config = scale.configure(CampaignConfig::new(
+            TestConfig::new(IsaKind::Arm, 2, 10, 8),
+            100,
+        ));
+        assert_eq!(config.tests, 4);
+        assert_eq!(config.workers, 3);
     }
 }

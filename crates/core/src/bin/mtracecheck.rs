@@ -73,6 +73,11 @@ fn usage() -> &'static str {
        mtracecheck campaign --isa <arm|x86> --threads T --ops O --addrs A\n\
                    [--iters N] [--tests N] [--words-per-line W] [--seed S]\n\
                    [--os] [--bug <1|2|3>] [--split-windows] [--compare]\n\
+                   [--workers N] [--parallel] [--chunked-check]\n\
+                                      --workers N shards each test's iterations over N\n\
+                                      pool workers (0 = all host threads); --parallel\n\
+                                      also fans tests out over the pool; --chunked-check\n\
+                                      checks collective chunks in parallel\n\
        mtracecheck collect  (campaign flags) --out DIR\n\
                                       device side only: write signature logs as JSON\n\
        mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
@@ -110,6 +115,15 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     }
     if args.has("split-windows") {
         config = config.with_split_windows();
+    }
+    if args.has("workers") {
+        config = config.with_workers(args.num("workers", 0usize)?);
+    }
+    if args.has("parallel") {
+        config = config.with_parallel();
+    }
+    if args.has("chunked-check") {
+        config = config.with_chunked_checking();
     }
     if args.has("os") {
         config.system.scheduler.os = Some(mtracecheck::sim::OsConfig::default());
@@ -154,7 +168,11 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     let tests = args.num("tests", 10u64)?;
     let out = args.get("out").unwrap_or("signature-logs");
     std::fs::create_dir_all(out).map_err(|e| format!("--out {out}: {e}"))?;
-    let campaign = Campaign::new(CampaignConfig::new(test.clone(), iterations).with_tests(tests));
+    let mut config = CampaignConfig::new(test.clone(), iterations).with_tests(tests);
+    if args.has("workers") {
+        config = config.with_workers(args.num("workers", 0usize)?);
+    }
+    let campaign = Campaign::new(config);
     for (i, program) in generate_suite(&test, tests).iter().enumerate() {
         let log = campaign.collect(program);
         let path = format!("{out}/{}-test{i}.json", test.name().replace(' ', "_"));

@@ -9,8 +9,9 @@
 use crate::{CoverageTracker, SignatureLog};
 use mtc_gen::{generate_suite, TestConfig};
 use mtc_graph::{
-    check_collective, check_collective_split, check_conventional, CheckOptions, CheckStats,
-    CollectiveStats, TestGraphSpec, Violation,
+    check_collective, check_collective_chunked, check_collective_split,
+    check_collective_with_boundaries, check_conventional, even_chunk_lengths, CheckOptions,
+    CheckStats, CollectiveStats, TestGraphSpec, Violation,
 };
 use mtc_instr::{
     analyze, CodeSize, CodeSizeModel, EncodeError, ExecutionSignature, IntrusivenessReport,
@@ -49,6 +50,19 @@ pub struct CampaignConfig {
     /// simulation and checking are independent; results are identical to a
     /// sequential run.
     pub parallel: bool,
+    /// Iteration shards per test (and the worker-pool width used to execute
+    /// them). The shard plan is part of the logical computation: each shard
+    /// starts from a fresh clone of the instrumented simulator, so the
+    /// result for a given `workers` value is identical whether the shards
+    /// run threaded ([`Campaign::run`]) or serially
+    /// ([`Campaign::run_serial`]). `1` (the default) is the paper-faithful
+    /// single warm simulator loop.
+    pub workers: usize,
+    /// Check collective chunks in parallel (one complete re-seeding sort
+    /// per chunk). Verdicts are unchanged; [`CollectiveStats`] legitimately
+    /// records more complete sorts, so this is opt-in and independent of
+    /// the `workers` equivalence guarantee.
+    pub chunked_check: bool,
 }
 
 impl CampaignConfig {
@@ -70,6 +84,8 @@ impl CampaignConfig {
             compare_conventional: false,
             split_windows: false,
             parallel: false,
+            workers: 1,
+            chunked_check: false,
         }
     }
 
@@ -110,6 +126,58 @@ impl CampaignConfig {
         self.parallel = true;
         self
     }
+
+    /// Returns the configuration sharding each test's iterations across
+    /// `workers` pool workers. `0` resolves to the host's available
+    /// parallelism *now*, so the stored configuration is concrete and the
+    /// run reproducible. See [`CampaignConfig::workers`] for the
+    /// equivalence contract.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = crate::pool::resolve_workers(workers);
+        self
+    }
+
+    /// Returns the configuration checking collective chunks in parallel
+    /// (see [`CampaignConfig::chunked_check`]).
+    pub fn with_chunked_checking(mut self) -> Self {
+        self.chunked_check = true;
+        self
+    }
+
+    /// The host-thread budget for per-test fan-out in [`Campaign::run`]:
+    /// the explicit worker count when one was configured, otherwise the
+    /// host's available parallelism.
+    fn test_pool_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.workers > 1 {
+            self.workers
+        } else {
+            crate::pool::resolve_workers(0)
+        }
+    }
+}
+
+/// Merges per-worker signature multisets into one, summing the counts of
+/// signatures seen by several workers.
+///
+/// This is the reduction step of the sharded collection pipeline
+/// ([`Campaign::collect`]): each iteration shard accumulates its own
+/// `signature -> occurrences` map, and the merge is associative and
+/// commutative with the empty map as identity, so any shard grouping yields
+/// the same total multiset.
+pub fn merge_signature_maps<I>(maps: I) -> BTreeMap<ExecutionSignature, u64>
+where
+    I: IntoIterator<Item = BTreeMap<ExecutionSignature, u64>>,
+{
+    let mut merged = BTreeMap::new();
+    for map in maps {
+        for (sig, count) in map {
+            *merged.entry(sig).or_insert(0) += count;
+        }
+    }
+    merged
 }
 
 /// Device-side cycle breakdown per test — the Figure 10 components.
@@ -161,7 +229,7 @@ pub struct ViolationRecord {
 }
 
 /// Results of validating one test program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TestReport {
     /// Iterations executed.
     pub iterations: u64,
@@ -209,7 +277,7 @@ impl TestReport {
 }
 
 /// Aggregated results over all tests of one configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConfigReport {
     /// The configuration's paper-style name.
     pub name: String,
@@ -272,22 +340,39 @@ impl Campaign {
 
     /// Generates the configured number of tests and validates each,
     /// mirroring the paper's per-configuration runs.
+    ///
+    /// With [`CampaignConfig::with_parallel`] the tests fan out over a
+    /// bounded worker pool (never more threads than tests, and sized by
+    /// [`CampaignConfig::with_workers`] or the host's available
+    /// parallelism); within each test, iterations shard across the same
+    /// worker budget. The report equals [`Campaign::run_serial`]'s output
+    /// field for field.
     pub fn run(&self) -> ConfigReport {
+        self.run_impl(true)
+    }
+
+    /// Runs the identical campaign — same shard plan, same seeds — entirely
+    /// on the calling thread. This is the reference side of the
+    /// determinism-equivalence contract: for any configuration,
+    /// `run() == run_serial()`.
+    pub fn run_serial(&self) -> ConfigReport {
+        self.run_impl(false)
+    }
+
+    fn run_impl(&self, threaded: bool) -> ConfigReport {
         let programs = generate_suite(&self.config.test, self.config.tests);
-        let tests = if self.config.parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = programs
-                    .iter()
-                    .map(|p| scope.spawn(move || self.run_test(p)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("campaign worker panicked"))
-                    .collect()
-            })
+        let threads = if threaded {
+            self.config.test_pool_threads()
         } else {
-            programs.iter().map(|p| self.run_test(p)).collect()
+            1
         };
+        let tests = crate::pool::bounded_map(programs.iter().collect(), threads, |_, p| {
+            if threaded {
+                self.run_test(p)
+            } else {
+                self.run_test_serial(p)
+            }
+        });
         ConfigReport {
             name: self.config.test.name(),
             tests,
@@ -298,6 +383,12 @@ impl Campaign {
     /// device-side collection followed by host-side checking.
     pub fn run_test(&self, program: &Program) -> TestReport {
         self.check_log(&self.collect(program))
+    }
+
+    /// Single-threaded variant of [`Campaign::run_test`]; executes the same
+    /// shard plan serially and returns an identical report.
+    pub fn run_test_serial(&self, program: &Program) -> TestReport {
+        self.check_log_impl(&self.collect_serial(program), false)
     }
 
     /// The device side of the pipeline (Figure 1 steps 2–3): instrument the
@@ -318,12 +409,34 @@ impl Campaign {
     /// assert!(report.is_clean());
     /// ```
     pub fn collect(&self, program: &Program) -> SignatureLog {
+        self.collect_impl(program, true)
+    }
+
+    /// Single-threaded variant of [`Campaign::collect`]: executes the same
+    /// iteration shards — fresh simulator clone per shard, identical seed
+    /// slices — one after the other on the calling thread, and returns a
+    /// log equal to the threaded one field for field.
+    pub fn collect_serial(&self, program: &Program) -> SignatureLog {
+        self.collect_impl(program, false)
+    }
+
+    fn collect_impl(&self, program: &Program, threaded: bool) -> SignatureLog {
         let config = &self.config;
         let analysis = analyze(program, &config.pruning);
         let schema = SignatureSchema::build(program, &analysis, config.test.isa.register_bits());
         let mut sim = Simulator::new(program, config.system.clone());
         sim.instrument(&schema);
-        let mut signatures: BTreeMap<ExecutionSignature, u64> = BTreeMap::new();
+
+        // The shard plan is a pure function of (iterations, workers): each
+        // shard runs a contiguous slice of the per-iteration seed sequence
+        // on its own clone of the freshly instrumented simulator. With one
+        // shard this is exactly the paper-faithful serial loop.
+        let shards = shard_ranges(config.iterations, config.workers);
+        let pool_width = if threaded { config.workers } else { 1 };
+        let runs = crate::pool::bounded_map(shards, pool_width, |_, range| {
+            run_shard(&sim, program, &schema, config, range)
+        });
+
         let mut log = SignatureLog {
             program: program.clone(),
             register_bits: config.test.isa.register_bits(),
@@ -335,46 +448,29 @@ impl Campaign {
             coverage: crate::CoverageCurve::default(),
             signatures: Vec::new(),
         };
-        // Per-iteration fixed costs the paper's loop body pays besides the
-        // generated accesses: the sense-reversal barrier and the shared-
-        // memory re-initialization (§5).
-        let barrier_cycles = 150u64;
-        let init_cycles = 2 * program.num_addrs() as u64;
+        // Deterministic reduction: counters are additive; the discovery
+        // curve and the on-device sorting cost are replayed from the
+        // concatenated signature streams in shard order, so they do not
+        // depend on which thread finished first.
+        let mut seen: std::collections::BTreeSet<&ExecutionSignature> = Default::default();
         let mut sort_comparisons = 0u64;
         let mut coverage = CoverageTracker::new();
-        for iter in 0..config.iterations {
-            let seed = config
-                .test
-                .seed
-                .wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            match sim.run(seed) {
-                Err(SimError::ProtocolDeadlock { .. }) | Err(SimError::Livelock { .. }) => {
-                    log.crashes += 1;
-                }
-                Ok(exec) => {
-                    log.timing.test_cycles += exec.test_cycles + barrier_cycles + init_cycles;
-                    log.timing.signature_cycles += exec.instr_cycles;
-                    match schema.encode(&exec.reads_from) {
-                        Ok(sig) => {
-                            // Balanced-tree insertion cost of on-device
-                            // signature sorting: ~log2 of the current
-                            // unique-set size comparisons.
-                            sort_comparisons +=
-                                (signatures.len().max(1) as f64).log2().ceil() as u64 + 1;
-                            let count = signatures.entry(sig).or_insert(0);
-                            coverage.record(*count == 0);
-                            *count += 1;
-                        }
-                        Err(EncodeError::UnexpectedValue { .. }) => {
-                            log.assertion_failures += 1;
-                        }
-                        Err(EncodeError::MissingLoad { .. }) => {
-                            unreachable!("complete executions observe every load")
-                        }
-                    }
-                }
+        for shard in &runs {
+            log.crashes += shard.crashes;
+            log.assertion_failures += shard.assertion_failures;
+            log.timing.test_cycles += shard.test_cycles;
+            log.timing.signature_cycles += shard.signature_cycles;
+            for sig in &shard.encoded {
+                // Balanced-tree insertion cost of on-device signature
+                // sorting: ~log2 of the current unique-set size comparisons.
+                sort_comparisons += (seen.len().max(1) as f64).log2().ceil() as u64 + 1;
+                coverage.record(seen.insert(sig));
             }
         }
+        let seen_unique = seen.len();
+        drop(seen);
+        let signatures = merge_signature_maps(runs.into_iter().map(|shard| shard.counts));
+        debug_assert_eq!(signatures.len(), seen_unique);
         let words = schema.total_words() as u64;
         log.timing.sort_cycles = sort_comparisons * (6 + 2 * words);
         let singletons = signatures.values().filter(|&&c| c == 1).count() as u64;
@@ -387,6 +483,10 @@ impl Campaign {
     /// instrumentation schema, decode the unique signatures, and check the
     /// constraint graphs collectively.
     pub fn check_log(&self, log: &SignatureLog) -> TestReport {
+        self.check_log_impl(log, true)
+    }
+
+    fn check_log_impl(&self, log: &SignatureLog, threaded: bool) -> TestReport {
         let config = &self.config;
         let program = &log.program;
         let analysis = analyze(program, &log.pruning);
@@ -418,7 +518,19 @@ impl Campaign {
                 obs
             })
             .collect();
-        let collective = if config.split_windows {
+        let collective = if config.chunked_check && config.workers > 1 {
+            if threaded {
+                check_collective_chunked(&spec, &observations, config.workers, config.split_windows)
+            } else {
+                let lengths = even_chunk_lengths(observations.len(), config.workers);
+                check_collective_with_boundaries(
+                    &spec,
+                    &observations,
+                    &lengths,
+                    config.split_windows,
+                )
+            }
+        } else if config.split_windows {
             check_collective_split(&spec, &observations)
         } else {
             check_collective(&spec, &observations)
@@ -444,6 +556,89 @@ impl Campaign {
         }
         report
     }
+}
+
+/// What one iteration shard produced, before the deterministic reduction.
+struct ShardRun {
+    crashes: u64,
+    assertion_failures: u64,
+    test_cycles: u64,
+    signature_cycles: u64,
+    /// Successfully encoded signatures in iteration order — replayed in
+    /// shard order to rebuild the discovery curve and sorting cost.
+    encoded: Vec<ExecutionSignature>,
+    /// The shard's private signature multiset, merged across shards with
+    /// [`merge_signature_maps`].
+    counts: BTreeMap<ExecutionSignature, u64>,
+}
+
+/// Splits `0..iterations` into at most `workers` contiguous, near-equal,
+/// non-empty ranges (earlier shards take the remainder).
+fn shard_ranges(iterations: u64, workers: usize) -> Vec<std::ops::Range<u64>> {
+    let shards = (workers.max(1) as u64).min(iterations.max(1));
+    let base = iterations / shards;
+    let remainder = iterations % shards;
+    let mut ranges = Vec::with_capacity(shards as usize);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + u64::from(i < remainder);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Executes one shard's iterations on a fresh clone of the instrumented
+/// simulator, preserving the campaign's per-iteration seed sequence.
+fn run_shard(
+    sim: &Simulator<'_>,
+    program: &Program,
+    schema: &SignatureSchema,
+    config: &CampaignConfig,
+    range: std::ops::Range<u64>,
+) -> ShardRun {
+    let mut sim = sim.clone();
+    // Per-iteration fixed costs the paper's loop body pays besides the
+    // generated accesses: the sense-reversal barrier and the shared-
+    // memory re-initialization (§5).
+    let barrier_cycles = 150u64;
+    let init_cycles = 2 * program.num_addrs() as u64;
+    let mut shard = ShardRun {
+        crashes: 0,
+        assertion_failures: 0,
+        test_cycles: 0,
+        signature_cycles: 0,
+        encoded: Vec::new(),
+        counts: BTreeMap::new(),
+    };
+    for iter in range {
+        let seed = config
+            .test
+            .seed
+            .wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match sim.run(seed) {
+            Err(SimError::ProtocolDeadlock { .. }) | Err(SimError::Livelock { .. }) => {
+                shard.crashes += 1;
+            }
+            Ok(exec) => {
+                shard.test_cycles += exec.test_cycles + barrier_cycles + init_cycles;
+                shard.signature_cycles += exec.instr_cycles;
+                match schema.encode(&exec.reads_from) {
+                    Ok(sig) => {
+                        *shard.counts.entry(sig.clone()).or_insert(0) += 1;
+                        shard.encoded.push(sig);
+                    }
+                    Err(EncodeError::UnexpectedValue { .. }) => {
+                        shard.assertion_failures += 1;
+                    }
+                    Err(EncodeError::MissingLoad { .. }) => {
+                        unreachable!("complete executions observe every load")
+                    }
+                }
+            }
+        }
+    }
+    shard
 }
 
 #[cfg(test)]
@@ -549,6 +744,90 @@ mod tests {
         for (a, b) in single.tests.iter().zip(split.tests.iter()) {
             assert_eq!(a.unique_signatures, b.unique_signatures);
             assert!(b.collective.resorted_vertices <= a.collective.resorted_vertices);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_iteration_space() {
+        for (iters, workers) in [(0u64, 4usize), (1, 4), (7, 3), (100, 1), (100, 7)] {
+            let ranges = shard_ranges(iters, workers);
+            assert!(ranges.len() <= workers.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "shards must be contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, iters, "shards must cover every iteration");
+            let lens: Vec<u64> = ranges.iter().map(|r| r.end - r.start).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "shards must be near-equal: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_collection_equals_serial_collection() {
+        let test = TestConfig::new(IsaKind::Arm, 3, 25, 8).with_seed(11);
+        for workers in [1usize, 2, 4] {
+            let campaign = Campaign::new(
+                CampaignConfig::new(test.clone(), 240)
+                    .with_tests(1)
+                    .with_workers(workers),
+            );
+            let program = crate::testgen::generate(&test);
+            let threaded = campaign.collect(&program);
+            let serial = campaign.collect_serial(&program);
+            assert_eq!(threaded, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn with_workers_zero_resolves_to_host_parallelism() {
+        let test = TestConfig::new(IsaKind::Arm, 2, 10, 8);
+        let config = CampaignConfig::new(test, 10).with_workers(0);
+        assert!(config.workers >= 1, "0 must resolve to a concrete count");
+    }
+
+    #[test]
+    fn chunked_checking_keeps_verdicts_and_the_figure14_identity() {
+        use mtc_sim::BugKind;
+        let test = TestConfig::new(IsaKind::X86, 4, 50, 4)
+            .with_words_per_line(4)
+            .with_seed(7);
+        let system = mtc_sim::SystemConfig::gem5_x86()
+            .with_bug(BugKind::LoadLoadLsq)
+            .with_aggressive_interleaving();
+        // Same shard plan (workers = 4) both times; only the checking mode
+        // differs, so the signature sets are identical by construction.
+        let plain = Campaign::new(
+            CampaignConfig::new(test.clone(), 1200)
+                .with_system(system.clone())
+                .with_tests(1)
+                .with_workers(4),
+        )
+        .run();
+        let chunked = Campaign::new(
+            CampaignConfig::new(test, 1200)
+                .with_system(system)
+                .with_tests(1)
+                .with_workers(4)
+                .with_chunked_checking(),
+        )
+        .run();
+        for (a, b) in plain.tests.iter().zip(chunked.tests.iter()) {
+            assert_eq!(
+                a.violations
+                    .iter()
+                    .map(|v| &v.signature)
+                    .collect::<Vec<_>>(),
+                b.violations
+                    .iter()
+                    .map(|v| &v.signature)
+                    .collect::<Vec<_>>(),
+                "chunking must not change which signatures violate"
+            );
+            let s = b.collective;
+            assert_eq!(s.complete + s.no_resort + s.incremental, s.graphs);
+            assert!(s.complete >= a.collective.complete);
         }
     }
 

@@ -44,10 +44,12 @@
 mod campaign;
 mod coverage;
 mod log;
+pub mod pool;
 mod report;
 
 pub use campaign::{
-    Campaign, CampaignConfig, ConfigReport, TestReport, TimingBreakdown, ViolationRecord,
+    merge_signature_maps, Campaign, CampaignConfig, ConfigReport, TestReport, TimingBreakdown,
+    ViolationRecord,
 };
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
 pub use log::{LogError, SignatureLog};

@@ -1,0 +1,123 @@
+//! A bounded worker pool for deterministic fan-out.
+//!
+//! The campaign pipeline parallelizes at two levels — across tests and
+//! across iteration shards within one test — and both levels must produce
+//! results that are byte-identical to a serial run. [`bounded_map`] gives
+//! exactly that contract: items are claimed from a shared index by a fixed
+//! number of scoped worker threads, each result lands in the slot of its
+//! item, and the output order equals the input order no matter how the
+//! threads interleave. Thread count is an execution detail; the values
+//! computed are a pure function of the inputs.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means "one worker per available
+/// hardware thread" (`std::thread::available_parallelism`), any other value
+/// is taken as-is.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on at most `workers` scoped threads, preserving
+/// input order in the output.
+///
+/// `f` receives each item's index alongside the item, so position-dependent
+/// work (e.g. a shard's seed range) needs no side channel. With
+/// `workers <= 1` — or a single item — everything runs on the calling
+/// thread; the results are identical either way, only wall-clock time
+/// changes.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads are joined.
+pub fn bounded_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("pool item lock")
+                    .take()
+                    .expect("each index is claimed once");
+                *slots[i].lock().expect("pool slot lock") = Some(f(i, item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool slot lock")
+                .expect("every claimed item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = bounded_map((0..37).collect(), workers, |i, x: i32| {
+                assert_eq!(i as i32, x);
+                x * 10
+            });
+            assert_eq!(out, (0..37).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = bounded_map(Vec::<u32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = bounded_map(vec![1u64, 2], 16, |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn serial_and_threaded_agree() {
+        let serial = bounded_map((0..50u64).collect(), 1, |i, x| x.wrapping_mul(i as u64 + 1));
+        let threaded = bounded_map((0..50u64).collect(), 4, |i, x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn resolve_zero_uses_available_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

@@ -45,6 +45,26 @@ pub struct CollectiveStats {
 }
 
 impl CollectiveStats {
+    /// Sums two stats breakdowns field for field.
+    ///
+    /// Every counter is additive, and each independently checked span of
+    /// graphs satisfies the Figure 14 identity
+    /// `complete + no_resort + incremental == graphs` on its own — so the
+    /// merged stats satisfy it too. This is the reduction step of
+    /// [`check_collective_chunked`].
+    pub fn merge(&self, other: &CollectiveStats) -> CollectiveStats {
+        CollectiveStats {
+            graphs: self.graphs + other.graphs,
+            complete: self.complete + other.complete,
+            no_resort: self.no_resort + other.no_resort,
+            incremental: self.incremental + other.incremental,
+            resorted_vertices: self.resorted_vertices + other.resorted_vertices,
+            incremental_vertices: self.incremental_vertices + other.incremental_vertices,
+            violations: self.violations + other.violations,
+            work: self.work + other.work,
+        }
+    }
+
     /// Fraction of incremental graphs' vertices that needed re-sorting.
     pub fn affected_vertex_fraction(&self) -> f64 {
         if self.incremental_vertices == 0 {
@@ -107,6 +127,97 @@ pub fn check_collective_split(
     observations: &[ObservedEdges],
 ) -> CollectiveOutcome {
     check_collective_with(spec, observations, true)
+}
+
+/// Splits `len` items into at most `chunks` contiguous, near-equal,
+/// non-empty chunk lengths (earlier chunks take the remainder). This is the
+/// chunk plan [`check_collective_chunked`] uses; it is exposed so callers
+/// can reproduce the identical plan serially via
+/// [`check_collective_with_boundaries`].
+pub fn even_chunk_lengths(len: usize, chunks: usize) -> Vec<usize> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let remainder = len % chunks;
+    (0..chunks)
+        .map(|i| base + usize::from(i < remainder))
+        .collect()
+}
+
+/// Collective checking over explicit contiguous chunks, serially.
+///
+/// Each chunk is checked independently — its first graph re-seeds the
+/// checker with a complete topological sort — and the per-chunk stats are
+/// summed with [`CollectiveStats::merge`]. Per-graph verdicts are *exactly*
+/// those of the unchunked checker for any boundary placement: a graph's
+/// verdict depends only on its own constraint graph, never on the checker's
+/// incremental state. Only the stats breakdown shifts (one extra `complete`
+/// sort per extra chunk).
+///
+/// # Panics
+///
+/// Panics when `lengths` does not sum to `observations.len()`.
+pub fn check_collective_with_boundaries(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    lengths: &[usize],
+    split_windows: bool,
+) -> CollectiveOutcome {
+    assert_eq!(
+        lengths.iter().sum::<usize>(),
+        observations.len(),
+        "chunk lengths must partition the observations"
+    );
+    let mut outcome = CollectiveOutcome::default();
+    let mut start = 0;
+    for &len in lengths {
+        let chunk = check_collective_with(spec, &observations[start..start + len], split_windows);
+        outcome.results.extend(chunk.results);
+        outcome.stats = outcome.stats.merge(&chunk.stats);
+        start += len;
+    }
+    outcome
+}
+
+/// Collective checking sharded into `chunks` contiguous near-equal chunks,
+/// one scoped host thread per chunk.
+///
+/// Equal to [`check_collective_with_boundaries`] over
+/// [`even_chunk_lengths`]`(observations.len(), chunks)` — results in input
+/// order, stats summed — regardless of thread scheduling. Callers bound
+/// `chunks` by their worker budget; the function never spawns more threads
+/// than chunks.
+pub fn check_collective_chunked(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    chunks: usize,
+    split_windows: bool,
+) -> CollectiveOutcome {
+    let lengths = even_chunk_lengths(observations.len(), chunks);
+    if lengths.len() <= 1 {
+        return check_collective_with(spec, observations, split_windows);
+    }
+    let mut slices = Vec::with_capacity(lengths.len());
+    let mut start = 0;
+    for &len in &lengths {
+        slices.push(&observations[start..start + len]);
+        start += len;
+    }
+    let chunk_outcomes: Vec<CollectiveOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .map(|slice| scope.spawn(move || check_collective_with(spec, slice, split_windows)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("collective chunk worker panicked"))
+            .collect()
+    });
+    let mut outcome = CollectiveOutcome::default();
+    for chunk in chunk_outcomes {
+        outcome.results.extend(chunk.results);
+        outcome.stats = outcome.stats.merge(&chunk.stats);
+    }
+    outcome
 }
 
 fn check_collective_with(
@@ -495,6 +606,130 @@ mod tests {
             assert_eq!(a.is_ok(), b.is_ok());
         }
         assert!(split.stats.resorted_vertices <= single.stats.resorted_vertices);
+    }
+
+    /// The four observable outcomes of the CoRR litmus test (one violating).
+    fn corr_outcomes(p: &Program, spec: &TestGraphSpec) -> Vec<ObservedEdges> {
+        vec![
+            obs(p, spec, &[(1, 0, 0), (1, 1, 0)]),
+            obs(p, spec, &[(1, 0, 0), (1, 1, 1)]),
+            obs(p, spec, &[(1, 0, 1), (1, 1, 1)]),
+            obs(p, spec, &[(1, 0, 1), (1, 1, 0)]), // anti-coherent
+        ]
+    }
+
+    #[test]
+    fn chunked_matches_boundaries_on_the_even_plan() {
+        let (p, spec) = corr();
+        let outcomes = corr_outcomes(&p, &spec);
+        let seq: Vec<ObservedEdges> = (0..17).map(|i| outcomes[i % 4].clone()).collect();
+        for chunks in [1, 2, 3, 4, 8] {
+            let lengths = even_chunk_lengths(seq.len(), chunks);
+            let parallel = check_collective_chunked(&spec, &seq, chunks, false);
+            let serial = check_collective_with_boundaries(&spec, &seq, &lengths, false);
+            assert_eq!(parallel.results, serial.results, "{chunks} chunks");
+            assert_eq!(parallel.stats, serial.stats, "{chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn chunking_accounts_extra_complete_sorts() {
+        let (p, spec) = corr();
+        let outcomes = corr_outcomes(&p, &spec);
+        let seq: Vec<ObservedEdges> = (0..12).map(|i| outcomes[i % 3].clone()).collect();
+        let whole = check_collective(&spec, &seq);
+        let chunked = check_collective_chunked(&spec, &seq, 4, false);
+        // Verdicts identical; each chunk re-seeds with one complete sort.
+        for (a, b) in whole.results.iter().zip(chunked.results.iter()) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        assert_eq!(chunked.stats.complete, whole.stats.complete + 3);
+        assert_eq!(
+            chunked.stats.complete + chunked.stats.no_resort + chunked.stats.incremental,
+            chunked.stats.graphs,
+            "Figure 14 identity must survive chunking"
+        );
+    }
+
+    #[test]
+    fn even_chunk_lengths_partition() {
+        assert_eq!(even_chunk_lengths(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(even_chunk_lengths(3, 8), vec![1, 1, 1]);
+        assert_eq!(even_chunk_lengths(0, 4), vec![0]);
+        assert_eq!(even_chunk_lengths(5, 1), vec![5]);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let a = CollectiveStats {
+            graphs: 3,
+            complete: 1,
+            no_resort: 1,
+            incremental: 1,
+            resorted_vertices: 4,
+            incremental_vertices: 8,
+            violations: 1,
+            work: 20,
+        };
+        let b = CollectiveStats {
+            graphs: 2,
+            complete: 1,
+            no_resort: 1,
+            incremental: 0,
+            resorted_vertices: 0,
+            incremental_vertices: 0,
+            violations: 0,
+            work: 5,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.graphs, 5);
+        assert_eq!(m.complete + m.no_resort + m.incremental, m.graphs);
+        assert_eq!(m.work, 25);
+        assert_eq!(a.merge(&CollectiveStats::default()), a, "identity");
+        assert_eq!(a.merge(&b), b.merge(&a), "commutative");
+    }
+
+    mod chunk_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary chunk boundaries never change any graph's verdict,
+            /// and the merged stats keep the Figure 14 identity.
+            #[test]
+            fn boundaries_do_not_change_verdicts(
+                picks in prop::collection::vec(0usize..4, 1..40),
+                cuts in prop::collection::vec(any::<usize>(), 0..6),
+            ) {
+                let (p, spec) = corr();
+                let outcomes = corr_outcomes(&p, &spec);
+                let seq: Vec<ObservedEdges> =
+                    picks.iter().map(|&i| outcomes[i].clone()).collect();
+                let mut bounds: Vec<usize> =
+                    cuts.iter().map(|&c| c % (seq.len() + 1)).collect();
+                bounds.push(0);
+                bounds.push(seq.len());
+                bounds.sort_unstable();
+                bounds.dedup();
+                let lengths: Vec<usize> =
+                    bounds.windows(2).map(|w| w[1] - w[0]).collect();
+
+                let whole = check_collective(&spec, &seq);
+                let chunked =
+                    check_collective_with_boundaries(&spec, &seq, &lengths, false);
+                prop_assert_eq!(whole.results.len(), chunked.results.len());
+                for (a, b) in whole.results.iter().zip(chunked.results.iter()) {
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                }
+                let s = chunked.stats;
+                prop_assert_eq!(
+                    s.complete + s.no_resort + s.incremental,
+                    s.graphs
+                );
+                prop_assert_eq!(s.graphs, seq.len());
+                prop_assert_eq!(s.violations, whole.stats.violations);
+            }
+        }
     }
 
     #[test]

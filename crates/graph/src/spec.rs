@@ -12,8 +12,7 @@ use mtc_isa::{FenceKind, Instr, Mcm, OpId, Program, ReadsFrom, Tid};
 use serde::{Deserialize, Serialize};
 
 /// Options controlling observed-edge construction.
-#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Serialize, Deserialize, Default)]
 pub struct CheckOptions {
     /// Include intra-thread reads-from edges. The paper disables these
     /// (footnote 4): a load satisfied by store-buffer forwarding completes
@@ -22,7 +21,6 @@ pub struct CheckOptions {
     /// atomicity.
     pub intra_thread_rf: bool,
 }
-
 
 /// The shared, static part of every constraint graph of one test program
 /// under one MCM.

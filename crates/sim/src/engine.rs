@@ -666,6 +666,32 @@ mod tests {
         config.with_aggressive_interleaving()
     }
 
+    #[test]
+    fn simulator_is_send_and_clonable_for_worker_pools() {
+        // The campaign shards iterations across scoped threads by cloning
+        // the instrumented simulator once per shard; both bounds are load-
+        // bearing and must not regress.
+        fn assert_send<T: Send>() {}
+        fn assert_clone<T: Clone>() {}
+        assert_send::<Simulator<'static>>();
+        assert_clone::<Simulator<'static>>();
+    }
+
+    #[test]
+    fn cloned_simulator_replays_identically() {
+        use mtc_gen::{generate, TestConfig};
+        use mtc_isa::IsaKind;
+        let p = generate(&TestConfig::new(IsaKind::Arm, 2, 30, 16).with_seed(5));
+        let mut original = Simulator::new(&p, SystemConfig::arm_soc());
+        let mut clone = original.clone();
+        for seed in 0..50 {
+            let a = original.run(seed).unwrap();
+            let b = clone.run(seed).unwrap();
+            assert_eq!(a.reads_from, b.reads_from, "clone diverged at {seed}");
+            assert_eq!(a.test_cycles, b.test_cycles);
+        }
+    }
+
     fn outcomes(
         program: &Program,
         config: SystemConfig,

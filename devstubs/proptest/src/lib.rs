@@ -1,0 +1,282 @@
+//! Offline stub for `proptest`: each property runs a handful of
+//! deterministic cases. A smoke test, not a property search.
+//! See devstubs/README.md.
+
+/// Deterministic case-sampling rng (splitmix64).
+#[derive(Clone, Debug)]
+pub struct StubRng(u64);
+
+impl StubRng {
+    /// Creates the sampler.
+    pub fn new(seed: u64) -> Self {
+        StubRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Next 64 sample bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Stub strategy: something that can produce sample values.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+    /// Draws one sample.
+    fn sample(&self, rng: &mut StubRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StubRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StubRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StubRng) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StubRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// `any::<T>()` support.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StubRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StubRng) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StubRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StubRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StubRng) -> T {
+        T::arbitrary(_rng)
+    }
+}
+
+/// Arbitrary-value strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Test-runner configuration (stub: caps cases at 4 for speed).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Requested number of cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases (stub caps the actual count).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 4 }
+    }
+}
+
+/// Strategy combinators.
+pub mod strategy_mods {
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, StubRng};
+
+        /// Strategy picking one element of a vector.
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StubRng) -> T {
+                self.0[rng.next_u64() as usize % self.0.len()].clone()
+            }
+        }
+
+        /// Picks uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of empty vec");
+            Select(options)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, StubRng};
+
+        /// Vec length specification (a fixed size or a range).
+        pub struct SizeRange(usize, usize);
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange(n, n + 1)
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                SizeRange(r.start, r.end)
+            }
+        }
+
+        /// Strategy generating vectors of samples.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StubRng) -> Vec<S::Value> {
+                let SizeRange(lo, hi) = self.size;
+                assert!(lo < hi, "empty size range");
+                let len = lo + (rng.next_u64() as usize) % (hi - lo);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Vector strategy of `element` samples with `size` entries.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::strategy_mods as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Stub `proptest!` macro: runs each property over a few deterministic
+/// samples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut sampler = $crate::StubRng::new(0x5EED_0000 ^ 0u64);
+                for case in 0..4u64 {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut sampler);)*
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!("stub proptest case {case} of {}: {message}",
+                               stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Stub `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Stub `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(
+                ::std::format!("{:?} != {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}

@@ -1,0 +1,145 @@
+//! Offline stub for `serde` — the trait skeleton only. Derived impls
+//! typecheck but error at runtime. See devstubs/README.md.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub serialization trait.
+pub trait Serialize {
+    /// Serializes `self` (stub: always errors).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Stub serializer trait.
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+}
+
+/// Stub deserialization trait.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value (stub: always errors).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Stub deserializer trait.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+macro_rules! impl_stub_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                Err(ser::Error::custom("devstub serde"))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                Err(de::Error::custom("devstub serde"))
+            }
+        }
+    )*};
+}
+impl_stub_serialize!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom("devstub serde"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom("devstub serde"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom("devstub serde"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom("devstub serde"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom("devstub serde"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom("devstub serde"))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom("devstub serde"))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom("devstub serde"))
+    }
+}
+
+macro_rules! impl_stub_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                Err(ser::Error::custom("devstub serde"))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                Err(de::Error::custom("devstub serde"))
+            }
+        }
+    };
+}
+impl_stub_tuple!(A);
+impl_stub_tuple!(A, B);
+impl_stub_tuple!(A, B, C);
+impl_stub_tuple!(A, B, C, Z);
+
+/// Serialization error plumbing.
+pub mod ser {
+    /// Error constructor used by generated impls.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    /// Error constructor used by generated impls.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Owned deserialization marker.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}

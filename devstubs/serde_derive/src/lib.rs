@@ -1,0 +1,65 @@
+//! Offline stub for `serde_derive`: emits impls that typecheck and fail
+//! at runtime. Handles non-generic structs and enums (all this workspace
+//! derives serde on). See devstubs/README.md.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "stub serde_derive: generic type `{name}` not supported; \
+                                     extend devstubs/serde_derive"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("stub serde_derive: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("stub serde_derive: no struct/enum found in derive input");
+}
+
+/// Stub `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, _s: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 ::core::result::Result::Err(\n\
+                     <S::Error as ::serde::ser::Error>::custom(\"devstub serde\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub serde_derive: generated impl parses")
+}
+
+/// Stub `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_d: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(\n\
+                     <D::Error as ::serde::de::Error>::custom(\"devstub serde\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub serde_derive: generated impl parses")
+}

@@ -1,0 +1,67 @@
+//! Offline stub for `serde_json`: correct signatures, runtime errors.
+//! See devstubs/README.md.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stub JSON error.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+fn stub<T>() -> Result<T, Error> {
+    Err(Error("devstub serde_json: no real JSON support offline".into()))
+}
+
+/// Stub `to_string` (always errors).
+pub fn to_string<T: ?Sized + Serialize>(_value: &T) -> Result<String, Error> {
+    stub()
+}
+
+/// Stub `to_string_pretty` (always errors).
+pub fn to_string_pretty<T: ?Sized + Serialize>(_value: &T) -> Result<String, Error> {
+    stub()
+}
+
+/// Stub `to_writer` (always errors).
+pub fn to_writer<W: std::io::Write, T: ?Sized + Serialize>(
+    _writer: W,
+    _value: &T,
+) -> Result<(), Error> {
+    stub()
+}
+
+/// Stub `from_str` (always errors).
+pub fn from_str<'a, T: Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    stub()
+}
+
+/// Stub `from_reader` (always errors).
+pub fn from_reader<R: std::io::Read, T: DeserializeOwned>(_reader: R) -> Result<T, Error> {
+    stub()
+}

@@ -261,7 +261,98 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merging per-worker signature multisets is associative, commutative,
+    /// and count-preserving — the algebra the sharded campaign reduction
+    /// relies on.
+    #[test]
+    fn signature_map_merge_algebra(
+        raw in prop::collection::vec((0u64..12, 1u64..5), 0..24),
+        split_a in any::<u64>(),
+        split_b in any::<u64>(),
+    ) {
+        use mtracecheck::instr::ExecutionSignature;
+        use mtracecheck::merge_signature_maps;
+
+        // Distribute the same observations into three worker maps two
+        // different ways.
+        let entry = |w: u64| ExecutionSignature::from_words(vec![w, w ^ 0xABCD]);
+        let total: u64 = raw.iter().map(|&(_, c)| c).sum();
+        let mut plan_a: Vec<BTreeMap<ExecutionSignature, u64>> = vec![BTreeMap::new(); 3];
+        let mut plan_b: Vec<BTreeMap<ExecutionSignature, u64>> = vec![BTreeMap::new(); 3];
+        for (i, &(word, count)) in raw.iter().enumerate() {
+            let a = ((split_a >> (i % 32)) % 3) as usize;
+            let b = ((split_b >> (i % 32)) % 3) as usize;
+            *plan_a[a].entry(entry(word)).or_insert(0) += count;
+            *plan_b[b].entry(entry(word)).or_insert(0) += count;
+        }
+
+        // Same multiset regardless of how workers partitioned the stream.
+        let merged_a = merge_signature_maps(plan_a.clone());
+        let merged_b = merge_signature_maps(plan_b.clone());
+        prop_assert_eq!(&merged_a, &merged_b);
+        prop_assert_eq!(merged_a.values().sum::<u64>(), total);
+
+        // Commutative: reversed worker order.
+        let mut reversed = plan_a.clone();
+        reversed.reverse();
+        prop_assert_eq!(&merge_signature_maps(reversed), &merged_a);
+
+        // Associative: pre-merging any prefix changes nothing.
+        let prefix = merge_signature_maps(plan_a[..2].to_vec());
+        let regrouped = merge_signature_maps(vec![prefix, plan_a[2].clone()]);
+        prop_assert_eq!(&regrouped, &merged_a);
+
+        // Identity: empty maps are invisible.
+        let mut padded = plan_a;
+        padded.push(BTreeMap::new());
+        prop_assert_eq!(&merge_signature_maps(padded), &merged_a);
+    }
+
+    /// The singleton set handed to the coverage tracker — signatures whose
+    /// final count is exactly one — is independent of how the iteration
+    /// stream was split across workers.
+    #[test]
+    fn singletons_survive_any_split(
+        raw in prop::collection::vec((0u64..10, 1u64..4), 1..20),
+        split in any::<u64>(),
+    ) {
+        use mtracecheck::instr::ExecutionSignature;
+        use mtracecheck::merge_signature_maps;
+
+        let entry = |w: u64| ExecutionSignature::from_words(vec![w]);
+        let mut whole: BTreeMap<ExecutionSignature, u64> = BTreeMap::new();
+        let mut shards: Vec<BTreeMap<ExecutionSignature, u64>> = vec![BTreeMap::new(); 4];
+        for (i, &(word, count)) in raw.iter().enumerate() {
+            *whole.entry(entry(word)).or_insert(0) += count;
+            *shards[((split >> (i % 48)) % 4) as usize]
+                .entry(entry(word))
+                .or_insert(0) += count;
+        }
+        let merged = merge_signature_maps(shards);
+        let singletons = |m: &BTreeMap<ExecutionSignature, u64>| -> Vec<ExecutionSignature> {
+            m.iter()
+                .filter(|&(_, &c)| c == 1)
+                .map(|(s, _)| s.clone())
+                .collect()
+        };
+        prop_assert_eq!(singletons(&merged), singletons(&whole));
+
+        // Feeding the discovery stream to CoverageTracker in shard order
+        // ends at the same (iterations, unique, singleton-count) totals.
+        use mtracecheck::CoverageTracker;
+        let mut tracker = CoverageTracker::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (sig, count) in &merged {
+            for _ in 0..*count {
+                tracker.record(seen.insert(sig.clone()));
+            }
+        }
+        let curve = tracker.finish(singletons(&merged).len() as u64);
+        prop_assert_eq!(curve.iterations(), whole.values().sum::<u64>());
+        prop_assert_eq!(curve.unique(), whole.len() as u64);
+    }
 
     /// Differential testing against the exhaustive oracle on random small
     /// programs (not just litmus shapes): every outcome the randomized

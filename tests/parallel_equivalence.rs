@@ -1,0 +1,150 @@
+//! Determinism-equivalence harness for the parallel campaign pipeline.
+//!
+//! The contract under test: for any configuration, [`Campaign::run`]
+//! (bounded worker pool — iteration shards and tests on host threads) and
+//! [`Campaign::run_serial`] (the identical shard plan executed on one
+//! thread) produce [`ConfigReport`]s that are equal field for field —
+//! unique signatures, per-signature counts, violations, coverage curves,
+//! crash counts, and the modeled sort/timing cycles. Thread scheduling must
+//! be unobservable in the results.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{Campaign, CampaignConfig, ConfigReport, TestConfig};
+
+fn assert_reports_equal(parallel: &ConfigReport, serial: &ConfigReport, label: &str) {
+    assert_eq!(parallel.name, serial.name, "{label}: name");
+    assert_eq!(
+        parallel.tests.len(),
+        serial.tests.len(),
+        "{label}: test count"
+    );
+    for (i, (p, s)) in parallel.tests.iter().zip(serial.tests.iter()).enumerate() {
+        assert_eq!(p.iterations, s.iterations, "{label}: test {i} iterations");
+        assert_eq!(p.crashes, s.crashes, "{label}: test {i} crashes");
+        assert_eq!(
+            p.assertion_failures, s.assertion_failures,
+            "{label}: test {i} assertion failures"
+        );
+        assert_eq!(
+            p.unique_signatures, s.unique_signatures,
+            "{label}: test {i} unique signatures"
+        );
+        assert_eq!(p.violations, s.violations, "{label}: test {i} violations");
+        assert_eq!(p.collective, s.collective, "{label}: test {i} collective");
+        assert_eq!(
+            p.conventional, s.conventional,
+            "{label}: test {i} conventional"
+        );
+        assert_eq!(p.timing, s.timing, "{label}: test {i} timing");
+        assert_eq!(
+            p.intrusiveness, s.intrusiveness,
+            "{label}: test {i} intrusiveness"
+        );
+        assert_eq!(p.code_size, s.code_size, "{label}: test {i} code size");
+        assert_eq!(
+            p.signature_bytes, s.signature_bytes,
+            "{label}: test {i} signature bytes"
+        );
+        assert_eq!(p.coverage, s.coverage, "{label}: test {i} coverage curve");
+    }
+    // Field-by-field above pinpoints a divergence; whole-report equality
+    // backstops any field added later and forgotten here.
+    assert_eq!(parallel, serial, "{label}: whole report");
+}
+
+fn grid_case(isa: IsaKind, threads: u32, ops: u32, workers: usize, iterations: u64) {
+    let label = format!("{isa:?}-{threads}t-{ops}op-w{workers}");
+    let test = TestConfig::new(isa, threads, ops, 8).with_seed(17);
+    let config = CampaignConfig::new(test, iterations)
+        .with_tests(2)
+        .with_workers(workers)
+        .with_conventional_comparison()
+        .with_parallel();
+    let campaign = Campaign::new(config);
+    let parallel = campaign.run();
+    let serial = campaign.run_serial();
+    assert_reports_equal(&parallel, &serial, &label);
+}
+
+#[test]
+fn arm_grid_is_equivalent_at_1_2_4_workers() {
+    for workers in [1, 2, 4] {
+        grid_case(IsaKind::Arm, 2, 15, workers, 120);
+        grid_case(IsaKind::Arm, 4, 30, workers, 160);
+    }
+}
+
+#[test]
+fn x86_grid_is_equivalent_at_1_2_4_workers() {
+    for workers in [1, 2, 4] {
+        grid_case(IsaKind::X86, 2, 15, workers, 120);
+        grid_case(IsaKind::X86, 3, 25, workers, 160);
+    }
+}
+
+#[test]
+fn buggy_platform_equivalence_including_violations() {
+    use mtracecheck::sim::{BugKind, SystemConfig};
+    let test = TestConfig::new(IsaKind::X86, 4, 50, 4)
+        .with_words_per_line(4)
+        .with_seed(7);
+    let system = SystemConfig::gem5_x86()
+        .with_bug(BugKind::LoadLoadLsq)
+        .with_aggressive_interleaving();
+    for workers in [1, 2, 4] {
+        let campaign = Campaign::new(
+            CampaignConfig::new(test.clone(), 800)
+                .with_system(system.clone())
+                .with_tests(2)
+                .with_workers(workers)
+                .with_parallel(),
+        );
+        let parallel = campaign.run();
+        let serial = campaign.run_serial();
+        assert_reports_equal(&parallel, &serial, &format!("buggy-w{workers}"));
+    }
+}
+
+#[test]
+fn crashing_platform_equivalence_counts_crashes_identically() {
+    use mtracecheck::sim::{BugKind, CacheConfig, SystemConfig};
+    let test = TestConfig::new(IsaKind::Arm, 3, 30, 8).with_seed(23);
+    let system = SystemConfig::arm_soc()
+        .with_bug(BugKind::ProtocolRace { prob: 0.05 })
+        .with_cache(CacheConfig::l1_1k());
+    for workers in [1, 2, 4] {
+        let campaign = Campaign::new(
+            CampaignConfig::new(test.clone(), 400)
+                .with_system(system.clone())
+                .with_tests(1)
+                .with_workers(workers),
+        );
+        let parallel = campaign.run();
+        let serial = campaign.run_serial();
+        assert_reports_equal(&parallel, &serial, &format!("crashy-w{workers}"));
+    }
+}
+
+#[test]
+fn chunked_checking_equivalence_and_stats_identity() {
+    let test = TestConfig::new(IsaKind::Arm, 4, 30, 8).with_seed(3);
+    for workers in [2, 4] {
+        let campaign = Campaign::new(
+            CampaignConfig::new(test.clone(), 400)
+                .with_tests(1)
+                .with_workers(workers)
+                .with_chunked_checking(),
+        );
+        let parallel = campaign.run();
+        let serial = campaign.run_serial();
+        assert_reports_equal(&parallel, &serial, &format!("chunked-w{workers}"));
+        for t in &parallel.tests {
+            let s = t.collective;
+            assert_eq!(
+                s.complete + s.no_resort + s.incremental,
+                s.graphs,
+                "Figure 14 identity under chunked checking"
+            );
+        }
+    }
+}

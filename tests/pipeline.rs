@@ -259,7 +259,11 @@ fn nmca_platform_validates_clean_on_generated_tests() {
             .with_system(mtracecheck::sim::SystemConfig::arm_soc_nmca()),
     )
     .run();
-    assert_eq!(report.failing_tests(), 0, "nMCA + fence-free must check clean");
+    assert_eq!(
+        report.failing_tests(),
+        0,
+        "nMCA + fence-free must check clean"
+    );
     for t in &report.tests {
         assert!(t.unique_signatures >= 1);
     }
