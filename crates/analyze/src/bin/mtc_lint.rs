@@ -1,0 +1,240 @@
+//! `mtc-lint` — static test-program analysis before a single cycle is
+//! simulated.
+//!
+//! ```text
+//! mtc-lint [--isa arm|x86] [--threads T] [--ops O] [--addrs A] [--seed S]
+//!          [--tests N] [--mcm sc|tso|weak] [--load-fraction F]
+//!          [--fence-fraction F] [--lsq-window W] [--l1-bytes B]
+//!          [--enum-limit N] [--json] [--deny info|warnings|errors]
+//! mtc-lint --suite [--tests N] [--json] [--deny SEV]
+//! ```
+//!
+//! Exit status: 0 when nothing reaches the `--deny` gate, 1 when a gated
+//! finding exists, 2 on usage errors.
+
+use args::Args;
+use mtc_analyze::{lint_suite, LintOptions, LintReport, Severity};
+use mtc_instr::SourcePruning;
+use mtc_isa::{IsaKind, Mcm};
+use std::process::ExitCode;
+
+// The arg-parsing idiom shared with the `mtracecheck` CLI, inlined as a tiny
+// module so the lint binary stays dependency-free.
+mod args {
+    pub struct Args {
+        flags: Vec<(String, Option<String>)>,
+    }
+
+    impl Args {
+        pub fn parse() -> Result<Self, String> {
+            let mut flags = Vec::new();
+            let mut iter = std::env::args().skip(1).peekable();
+            while let Some(arg) = iter.next() {
+                if let Some(name) = arg.strip_prefix("--") {
+                    let value = iter
+                        .peek()
+                        .filter(|v| !v.starts_with("--"))
+                        .cloned()
+                        .inspect(|_| {
+                            iter.next();
+                        });
+                    flags.push((name.to_owned(), value));
+                } else {
+                    return Err(format!("unexpected positional argument `{arg}`"));
+                }
+            }
+            Ok(Args { flags })
+        }
+
+        pub fn get(&self, name: &str) -> Option<&str> {
+            self.flags
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.as_deref())
+        }
+
+        pub fn has(&self, name: &str) -> bool {
+            self.flags.iter().any(|(n, _)| n == name)
+        }
+
+        pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+            match self.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+            }
+        }
+
+        /// Every flag name this binary understands; anything else is a
+        /// usage error rather than a silent no-op.
+        pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+            for (name, _) in &self.flags {
+                if !known.contains(&name.as_str()) {
+                    return Err(format!("unknown flag `--{name}`"));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+const KNOWN_FLAGS: &[&str] = &[
+    "isa",
+    "threads",
+    "ops",
+    "addrs",
+    "seed",
+    "tests",
+    "mcm",
+    "load-fraction",
+    "fence-fraction",
+    "words-per-line",
+    "lsq-window",
+    "l1-bytes",
+    "enum-limit",
+    "suite",
+    "json",
+    "deny",
+    "help",
+];
+
+fn usage() -> &'static str {
+    "mtc-lint — static analysis of generated MTraceCheck test programs\n\
+     \n\
+     Prunes degenerate tests before a single cycle is simulated: zero-entropy\n\
+     loads, dead stores, signature-capacity spills and L1 overflows, no-op\n\
+     fences, and (for small programs) a schema-soundness/feasibility\n\
+     cross-check against the axiomatic MCM.\n\
+     \n\
+     USAGE:\n\
+       mtc-lint [--isa <arm|x86>] [--threads T] [--ops O] [--addrs A]\n\
+                [--seed S] [--tests N] [--mcm <sc|tso|weak>]\n\
+                [--load-fraction F] [--fence-fraction F] [--words-per-line W]\n\
+                [--lsq-window W] [--l1-bytes B] [--enum-limit N]\n\
+                [--json] [--deny <info|warnings|errors>]\n\
+       mtc-lint --suite [--tests N] [--json] [--deny SEV]\n\
+                lint every paper configuration (Figure 8's 21 suites)\n\
+     \n\
+     EXIT STATUS: 0 clean at the gate, 1 gated findings exist, 2 usage error\n"
+}
+
+fn parse_mcm(s: &str) -> Result<Mcm, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sc" => Ok(Mcm::Sc),
+        "tso" => Ok(Mcm::Tso),
+        "weak" => Ok(Mcm::Weak),
+        other => Err(format!("--mcm: unknown model `{other}` (sc, tso or weak)")),
+    }
+}
+
+struct Run {
+    reports: Vec<LintReport>,
+    json: bool,
+    deny: Option<Severity>,
+}
+
+fn run(args: &Args) -> Result<Run, String> {
+    args.reject_unknown(KNOWN_FLAGS)?;
+    let json = args.has("json");
+    let deny = match args.get("deny") {
+        None => None,
+        Some(s) => Some(s.parse::<Severity>().map_err(|e| format!("--deny: {e}"))?),
+    };
+    let tests = args.num("tests", 1u64)?;
+    let pruning = match args.get("lsq-window") {
+        None => SourcePruning::none(),
+        Some(w) => SourcePruning::with_lsq_window(
+            w.parse()
+                .map_err(|_| format!("--lsq-window: cannot parse `{w}`"))?,
+        ),
+    };
+
+    let mut configs = Vec::new();
+    if args.has("suite") {
+        configs = mtc_gen::paper_configs();
+    } else {
+        let isa: IsaKind = args
+            .get("isa")
+            .unwrap_or("arm")
+            .parse()
+            .map_err(|e| format!("--isa: {e}"))?;
+        let mut config = mtc_gen::TestConfig::new(
+            isa,
+            args.num("threads", 2u32)?,
+            args.num("ops", 50u32)?,
+            args.num("addrs", 32u32)?,
+        )
+        .with_seed(args.num("seed", 0u64)?)
+        .with_load_fraction(args.num("load-fraction", 0.5f64)?)
+        .with_fence_fraction(args.num("fence-fraction", 0.0f64)?)
+        .with_words_per_line(args.num("words-per-line", 1u32)?);
+        if let Some(mcm) = args.get("mcm") {
+            config = config.with_mcm(parse_mcm(mcm)?);
+        }
+        configs.push(config);
+    }
+
+    let mut reports = Vec::new();
+    for config in &configs {
+        let mut options = LintOptions::for_test(config)
+            .with_pruning(pruning)
+            .with_l1_bytes(args.num("l1-bytes", mtc_analyze::DEFAULT_L1_BYTES)?)
+            .with_enumeration_limit(
+                args.num("enum-limit", mtc_analyze::DEFAULT_ENUMERATION_LIMIT)?,
+            );
+        if let Some(mcm) = args.get("mcm") {
+            options = options.with_mcm(parse_mcm(mcm)?);
+        }
+        reports.extend(lint_suite(config, tests, &options));
+    }
+    Ok(Run {
+        reports,
+        json,
+        deny,
+    })
+}
+
+fn main() -> ExitCode {
+    let parsed = Args::parse();
+    if parsed.as_ref().is_ok_and(|args| args.has("help")) {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let run = match parsed.and_then(|args| run(&args)) {
+        Ok(run) => run,
+        Err(message) => {
+            eprintln!("{message}");
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if run.json {
+        println!("[");
+        for (i, report) in run.reports.iter().enumerate() {
+            let comma = if i + 1 < run.reports.len() { "," } else { "" };
+            println!("{}{comma}", report.to_json());
+        }
+        println!("]");
+    } else {
+        for report in &run.reports {
+            print!("{report}");
+        }
+    }
+    let gated: usize = match run.deny {
+        None => 0,
+        Some(gate) => run.reports.iter().map(|r| r.count_at_least(gate)).sum(),
+    };
+    let total: usize = run.reports.iter().map(|r| r.findings.len()).sum();
+    if !run.json {
+        println!(
+            "{} report(s), {total} finding(s), {gated} at or above the deny gate",
+            run.reports.len()
+        );
+    }
+    if gated == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,466 @@
+//! `mtc-lint`: static analysis of generated test programs, run before a
+//! single cycle is simulated.
+//!
+//! MTraceCheck's efficiency hinges on what is decided statically: the §3.1
+//! candidate analysis sizes the mixed-radix signature, and §8 shows that
+//! pruning invalid interleavings shrinks signatures and instrumented code.
+//! This crate turns those static views into a multi-pass linter over
+//! [`Program`]s and their [`SignatureSchema`]s:
+//!
+//! 1. **zero-entropy loads** — singleton candidate sets that inflate code
+//!    size but never vary the signature;
+//! 2. **dead stores** — stores no load on any thread can observe;
+//! 3. **signature-capacity diagnostics** — per-thread radix products, word
+//!    spills (§3.2) and a [`CodeSizeModel`](mtc_instr::CodeSizeModel)-based
+//!    L1-fit check;
+//! 4. **fence lints** — trailing or redundant fences that are no-ops under
+//!    the configured MCM;
+//! 5. **schema soundness cross-check** — for small programs, every
+//!    encodable signature is decoded back (Algorithm 1) and classified
+//!    feasible/infeasible against the axiomatic MCM via constraint-graph
+//!    cycle checking, yielding the §8 invalid-interleaving fraction.
+//!
+//! Findings carry a three-level [`Severity`]; [`LintPolicy`] lets a
+//! campaign report, filter, or regenerate degenerate tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mtc_analyze::{lint_program, LintKind, LintOptions};
+//! use mtc_isa::{Addr, IsaKind, MemoryLayout, ProgramBuilder};
+//!
+//! // Thread 0's first load can only ever observe thread 0's own store.
+//! let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+//! b.thread(0).store(Addr(0)).load(Addr(0)).load(Addr(1));
+//! b.thread(1).store(Addr(1));
+//! let program = b.build()?;
+//!
+//! let report = lint_program(&program, &LintOptions::new(IsaKind::Arm));
+//! assert_eq!(report.count(LintKind::ZeroEntropyLoad), 1);
+//! # Ok::<(), mtc_isa::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod feasibility;
+mod json;
+mod passes;
+mod policy;
+mod report;
+
+pub use policy::{LintAction, LintPolicy};
+pub use report::{
+    CapacityDiagnostics, FeasibilityDiagnostics, Finding, LintKind, LintReport, Severity,
+    SeverityParseError, ThreadCapacity,
+};
+
+use mtc_gen::TestConfig;
+use mtc_instr::{analyze, SignatureSchema, SourcePruning};
+use mtc_isa::{IsaKind, Mcm, Program};
+use serde::{Deserialize, Serialize};
+
+/// Default L1 instruction-cache budget: 32 kB, the size on both paper
+/// platforms (§6.3).
+pub const DEFAULT_L1_BYTES: u64 = 32 * 1024;
+
+/// Default ceiling on the signature-space size the feasibility cross-check
+/// will enumerate. Paper-scale programs exceed it and skip the pass
+/// automatically.
+pub const DEFAULT_ENUMERATION_LIMIT: u64 = 4096;
+
+/// Parameters of one lint run.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct LintOptions {
+    /// Name used in the resulting [`LintReport`].
+    pub name: String,
+    /// ISA flavour: sets the signature register width and the code-size
+    /// model.
+    pub isa: IsaKind,
+    /// Memory consistency model the fence and feasibility passes check
+    /// against.
+    pub mcm: Mcm,
+    /// Static candidate pruning applied before analysis (§8).
+    pub pruning: SourcePruning,
+    /// L1 instruction-cache budget for the overflow check.
+    pub l1_bytes: u64,
+    /// Signature-space ceiling for the feasibility cross-check.
+    pub enumeration_limit: u64,
+}
+
+impl LintOptions {
+    /// Options for `isa` with its native MCM and the default knobs.
+    pub fn new(isa: IsaKind) -> Self {
+        LintOptions {
+            name: "program".to_owned(),
+            isa,
+            mcm: isa.default_mcm(),
+            pruning: SourcePruning::none(),
+            l1_bytes: DEFAULT_L1_BYTES,
+            enumeration_limit: DEFAULT_ENUMERATION_LIMIT,
+        }
+    }
+
+    /// Options matching a generation configuration (ISA, MCM, name).
+    pub fn for_test(config: &TestConfig) -> Self {
+        Self::new(config.isa)
+            .with_mcm(config.mcm)
+            .with_name(config.name())
+    }
+
+    /// Returns the options with a different report name.
+    pub fn with_name(mut self, name: String) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Returns the options with an explicit MCM.
+    pub fn with_mcm(mut self, mcm: Mcm) -> Self {
+        self.mcm = mcm;
+        self
+    }
+
+    /// Returns the options with static candidate pruning.
+    pub fn with_pruning(mut self, pruning: SourcePruning) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Returns the options with an L1 budget of `l1_bytes`.
+    pub fn with_l1_bytes(mut self, l1_bytes: u64) -> Self {
+        self.l1_bytes = l1_bytes;
+        self
+    }
+
+    /// Returns the options with a feasibility enumeration ceiling.
+    pub fn with_enumeration_limit(mut self, limit: u64) -> Self {
+        self.enumeration_limit = limit;
+        self
+    }
+}
+
+/// Runs every pass over `program` and returns the combined report.
+///
+/// Findings are ordered errors-first, then by anchoring instruction, so the
+/// output is deterministic and the most actionable line is the first one.
+pub fn lint_program(program: &Program, options: &LintOptions) -> LintReport {
+    let analysis = analyze(program, &options.pruning);
+    let schema = SignatureSchema::build(program, &analysis, options.isa.register_bits());
+    let mut findings = passes::entropy(&analysis);
+    findings.extend(passes::dead_stores(program, &analysis));
+    let (capacity, capacity_findings) = passes::capacity(program, &schema, options);
+    findings.extend(capacity_findings);
+    findings.extend(passes::fences(program, options.mcm));
+    let (feasibility, soundness_findings) =
+        feasibility::cross_check(program, &analysis, &schema, options);
+    findings.extend(soundness_findings);
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.op.cmp(&b.op))
+            .then_with(|| a.kind.cmp(&b.kind))
+    });
+    LintReport {
+        name: options.name.clone(),
+        findings,
+        capacity,
+        feasibility,
+    }
+}
+
+/// Generates `tests` programs from `config` (the same suite a campaign
+/// runs, seeded identically) and lints each; report `i` is named
+/// `{options.name}#{i}`.
+pub fn lint_suite(config: &TestConfig, tests: u64, options: &LintOptions) -> Vec<LintReport> {
+    mtc_gen::generate_suite(config, tests)
+        .iter()
+        .enumerate()
+        .map(|(i, program)| {
+            let named = options.clone().with_name(format!("{}#{i}", options.name));
+            lint_program(program, &named)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_gen::paper_configs;
+    use mtc_isa::{litmus, Addr, MemoryLayout, OpId, ProgramBuilder, Tid};
+
+    fn arm_options() -> LintOptions {
+        LintOptions::new(IsaKind::Arm)
+    }
+
+    /// Acceptance: a hand-built program with one singleton-candidate load
+    /// produces exactly one finding, of the right kind.
+    #[test]
+    fn singleton_candidate_load_is_the_only_finding() {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(0)).load(Addr(1));
+        b.thread(1).store(Addr(1));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert_eq!(report.findings[0].kind, LintKind::ZeroEntropyLoad);
+        assert_eq!(report.findings[0].severity, Severity::Info);
+        assert_eq!(report.findings[0].op, Some(OpId::new(Tid(0), 1)));
+        assert_eq!(report.max_severity(), Some(Severity::Info));
+        assert!(report.is_clean_at(Severity::Warning));
+    }
+
+    /// Acceptance: a hand-built program with one unobservable store
+    /// produces exactly one finding, of the right kind.
+    #[test]
+    fn dead_store_is_the_only_finding() {
+        // T0's first store is shadowed by its second before the only load;
+        // no other thread loads the address.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).store(Addr(0)).load(Addr(0));
+        b.thread(1).store(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert_eq!(report.findings[0].kind, LintKind::DeadStore);
+        assert_eq!(report.findings[0].op, Some(OpId::new(Tid(0), 0)));
+    }
+
+    /// Acceptance: a hand-built program with one fence that is a no-op
+    /// under TSO produces exactly one finding, of the right kind.
+    #[test]
+    fn redundant_fence_is_the_only_finding() {
+        // TSO already orders store->store, so a full fence between two
+        // stores changes no memory-pair ordering.
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).fence().store(Addr(1));
+        b.thread(1).load(Addr(0)).load(Addr(1));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options().with_mcm(Mcm::Tso));
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert_eq!(report.findings[0].kind, LintKind::RedundantFence);
+        assert_eq!(report.findings[0].op, Some(OpId::new(Tid(0), 1)));
+        // Under Weak the same fence is load-visible (it orders st->st to
+        // *different* addresses, which Weak relaxes): no finding.
+        let weak = lint_program(&p, &arm_options().with_mcm(Mcm::Weak));
+        assert_eq!(weak.count(LintKind::RedundantFence), 0, "{weak}");
+    }
+
+    #[test]
+    fn trailing_fences_are_positional() {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(1)).fence();
+        b.thread(1).store(Addr(1)).load(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.count(LintKind::TrailingFence), 1, "{report}");
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .find(|f| f.kind == LintKind::TrailingFence)
+                .and_then(|f| f.op),
+            Some(OpId::new(Tid(0), 2))
+        );
+    }
+
+    #[test]
+    fn partial_fence_coverage_is_kind_aware() {
+        // A store-store barrier with stores only before it orders nothing,
+        // even though loads follow it.
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0)
+            .store(Addr(0))
+            .fence_of(mtc_isa::FenceKind::StoreStore)
+            .load(Addr(1));
+        b.thread(1).store(Addr(1)).load(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.count(LintKind::TrailingFence), 1, "{report}");
+    }
+
+    #[test]
+    fn effective_fences_produce_no_fence_findings() {
+        let t = litmus::store_buffering_fenced();
+        let report = lint_program(&t.program, &arm_options().with_mcm(Mcm::Weak));
+        assert_eq!(report.count(LintKind::TrailingFence), 0, "{report}");
+        assert_eq!(report.count(LintKind::RedundantFence), 0, "{report}");
+    }
+
+    #[test]
+    fn degenerate_programs_warn() {
+        // No loads at all.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).store(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.count(LintKind::DegenerateTest), 1);
+        assert_eq!(report.max_severity(), Some(Severity::Warning));
+        assert!(!report.is_clean_at(Severity::Warning));
+
+        // Loads exist but every candidate set is a singleton.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(0)).load(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.count(LintKind::DegenerateTest), 1);
+        assert_eq!(report.count(LintKind::ZeroEntropyLoad), 2);
+    }
+
+    #[test]
+    fn word_spills_are_reported_with_capacity_numbers() {
+        // Twelve 8-candidate loads need 36 bits > ARM's 32-bit register.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        let mut t0 = b.thread(0);
+        for _ in 0..12 {
+            t0 = t0.load(Addr(0));
+        }
+        let mut t1 = b.thread(1);
+        for _ in 0..7 {
+            t1 = t1.store(Addr(0));
+        }
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options());
+        assert_eq!(report.count(LintKind::WordSpill), 1, "{report}");
+        assert_eq!(report.capacity.register_bits, 32);
+        assert_eq!(report.capacity.word_spills, 1);
+        assert_eq!(report.capacity.per_thread[0].num_words, 2);
+        assert!((report.capacity.per_thread[0].radix_bits - 36.0).abs() < 1e-9);
+        assert_eq!(report.capacity.per_thread[1].num_words, 1);
+        assert_eq!(report.capacity.total_words, 3);
+    }
+
+    #[test]
+    fn l1_overflow_is_an_error() {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(1));
+        b.thread(1).store(Addr(1)).load(Addr(0));
+        let p = b.build().unwrap();
+        let report = lint_program(&p, &arm_options().with_l1_bytes(16));
+        assert_eq!(report.count(LintKind::L1Overflow), 1);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert!(!report.is_clean_at(Severity::Error));
+        // Errors sort first.
+        assert_eq!(report.findings[0].kind, LintKind::L1Overflow);
+    }
+
+    #[test]
+    fn feasibility_matches_litmus_ground_truth() {
+        // SB has 2x2 = 4 encodable signatures; both-loads-read-init is the
+        // single infeasible one under SC and feasible under TSO.
+        let t = litmus::store_buffering();
+        let sc = lint_program(&t.program, &arm_options().with_mcm(Mcm::Sc));
+        let feas = sc.feasibility.expect("4 combos are enumerable");
+        assert_eq!(feas.encodable, 4);
+        assert_eq!(feas.infeasible, 1);
+        assert_eq!(feas.feasible, 3);
+        assert!((feas.invalid_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(sc.count(LintKind::SchemaUnsound), 0);
+
+        let tso = lint_program(&t.program, &arm_options().with_mcm(Mcm::Tso));
+        let feas = tso.feasibility.expect("4 combos are enumerable");
+        assert_eq!(feas.infeasible, 0);
+        assert_eq!(feas.feasible, 4);
+    }
+
+    #[test]
+    fn feasibility_skips_oversized_spaces() {
+        let t = litmus::store_buffering();
+        let report = lint_program(&t.program, &arm_options().with_enumeration_limit(2));
+        assert!(report.feasibility.is_none());
+        assert_eq!(report.count(LintKind::SchemaUnsound), 0);
+    }
+
+    /// Acceptance: the default `paper_configs()` suite carries zero
+    /// error-severity findings.
+    #[test]
+    fn paper_configs_have_no_error_findings() {
+        for config in paper_configs() {
+            for report in lint_suite(&config, 1, &LintOptions::for_test(&config)) {
+                assert_eq!(report.count_at_least(Severity::Error), 0, "{report}");
+                // fence_fraction is 0 in every paper config: no fence lints.
+                assert_eq!(report.count(LintKind::TrailingFence), 0);
+                assert_eq!(report.count(LintKind::RedundantFence), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_flows_into_the_candidate_analysis() {
+        // One load at index 0; the other thread's 4 stores sit at indices
+        // 0..4. A window of 0 admits only the store at index 0.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0));
+        b.thread(1)
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0));
+        let p = b.build().unwrap();
+        let unpruned = lint_program(&p, &arm_options());
+        assert_eq!(unpruned.count(LintKind::DeadStore), 0);
+        let pruned = lint_program(
+            &p,
+            &arm_options().with_pruning(SourcePruning::with_lsq_window(0)),
+        );
+        assert_eq!(
+            pruned.count(LintKind::DeadStore),
+            3,
+            "stores past the window become unobservable: {pruned}"
+        );
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_complete() {
+        let t = litmus::store_buffering();
+        let report = lint_program(
+            &t.program,
+            &arm_options().with_mcm(Mcm::Sc).with_name("SB".to_owned()),
+        );
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"name\":\"SB\"",
+            "\"max_severity\":null",
+            "\"findings\":[]",
+            "\"register_bits\":32",
+            "\"per_thread\":",
+            "\"feasibility\":{",
+            "\"invalid_fraction\":0.25",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Findings and escaping appear when present.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(0));
+        let p = b.build().unwrap();
+        let dirty = lint_program(&p, &arm_options().with_name("q\"uote".to_owned()));
+        let json = dirty.to_json();
+        assert!(json.contains("\"name\":\"q\\\"uote\""));
+        assert!(json.contains("\"kind\":\"zero-entropy-load\""));
+        assert!(json.contains("\"op\":\"T0.1\""));
+    }
+
+    #[test]
+    fn severity_parses_and_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!("info".parse::<Severity>().unwrap(), Severity::Info);
+        assert_eq!("warnings".parse::<Severity>().unwrap(), Severity::Warning);
+        assert_eq!("ERROR".parse::<Severity>().unwrap(), Severity::Error);
+        assert!("fatal".parse::<Severity>().is_err());
+        for kind in LintKind::ALL {
+            assert!(!kind.code().is_empty());
+            assert_eq!(kind.to_string(), kind.code());
+        }
+    }
+
+    #[test]
+    fn suite_reports_are_named_by_index() {
+        let config = TestConfig::new(IsaKind::Arm, 2, 10, 4).with_seed(3);
+        let reports = lint_suite(&config, 3, &LintOptions::for_test(&config));
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.name, format!("ARM-2-10-4#{i}"));
+        }
+    }
+}

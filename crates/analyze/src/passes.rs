@@ -1,0 +1,245 @@
+//! Lint passes 1–4: entropy, dead stores, capacity, and fence analysis.
+
+use crate::report::{CapacityDiagnostics, Finding, LintKind, ThreadCapacity};
+use crate::LintOptions;
+use mtc_instr::{CandidateAnalysis, CodeSizeModel, SignatureSchema};
+use mtc_isa::{FenceKind, Instr, Mcm, OpId, Program, Tid, Value};
+use std::collections::BTreeSet;
+
+/// Pass 1: zero-entropy loads and whole-program signature degeneracy.
+///
+/// A load with a singleton candidate set still pays its full branch-chain
+/// code cost but contributes radix 1 to the signature — it can never vary
+/// it. When *every* load is singleton (or there are no loads at all) the
+/// program has exactly one reachable signature and the test is useless.
+pub(crate) fn entropy(analysis: &CandidateAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut singletons = 0usize;
+    for (op, cands) in analysis.iter() {
+        if cands.len() == 1 {
+            singletons += 1;
+            findings.push(Finding::new(
+                LintKind::ZeroEntropyLoad,
+                Some(op),
+                format!(
+                    "load can only observe {}; its branch chain adds code but never varies the signature",
+                    cands[0]
+                ),
+            ));
+        }
+    }
+    if analysis.is_empty() {
+        findings.push(Finding::new(
+            LintKind::DegenerateTest,
+            None,
+            "program has no loads; every execution yields the same signature".to_owned(),
+        ));
+    } else if singletons == analysis.len() {
+        findings.push(Finding::new(
+            LintKind::DegenerateTest,
+            None,
+            format!(
+                "all {singletons} loads have singleton candidate sets; the signature space has exactly one point"
+            ),
+        ));
+    }
+    findings
+}
+
+/// Pass 2: stores outside every load's candidate set.
+///
+/// With pruning disabled these are stores to addresses no load reads (or
+/// own-thread stores shadowed before any same-address load); with an LSQ
+/// window they also include stores pruned out of every window.
+pub(crate) fn dead_stores(program: &Program, analysis: &CandidateAnalysis) -> Vec<Finding> {
+    let observable: BTreeSet<Value> = analysis
+        .iter()
+        .flat_map(|(_, cands)| cands.iter().copied())
+        .collect();
+    program
+        .stores()
+        .filter(|&(_, id)| !observable.contains(&Value::from(id)))
+        .map(|(op, id)| {
+            Finding::new(
+                LintKind::DeadStore,
+                Some(op),
+                format!(
+                    "store {id} is outside every load's candidate set; no execution can observe it"
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Pass 3: per-thread radix products, word spills, and the L1-fit check.
+pub(crate) fn capacity(
+    program: &Program,
+    schema: &SignatureSchema,
+    options: &LintOptions,
+) -> (CapacityDiagnostics, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut per_thread = Vec::with_capacity(schema.threads().len());
+    let mut word_spills = 0usize;
+    for thread in schema.threads() {
+        let radix_bits: f64 = thread
+            .loads
+            .iter()
+            .map(|slot| (slot.cardinality() as f64).log2())
+            .sum();
+        if thread.num_words > 1 {
+            word_spills += thread.num_words - 1;
+            let anchor = thread.loads.iter().find(|s| s.word > 0).map(|s| s.op);
+            findings.push(Finding::new(
+                LintKind::WordSpill,
+                anchor,
+                format!(
+                    "thread {} radix product needs {radix_bits:.1} bits > {} available; the signature spills into {} words",
+                    thread.tid,
+                    schema.register_bits(),
+                    thread.num_words
+                ),
+            ));
+        }
+        per_thread.push(ThreadCapacity {
+            tid: thread.tid,
+            radix_bits,
+            num_words: thread.num_words,
+        });
+    }
+    let code = CodeSizeModel::new(options.isa).measure(program, schema);
+    if !code.fits_in_l1(options.l1_bytes) {
+        findings.push(Finding::new(
+            LintKind::L1Overflow,
+            None,
+            format!(
+                "largest instrumented thread is {} B, exceeding the {} B L1 instruction cache; the test would thrash instead of stressing the memory system",
+                code.max_thread_instrumented_bytes, options.l1_bytes
+            ),
+        ));
+    }
+    (
+        CapacityDiagnostics {
+            register_bits: schema.register_bits(),
+            total_words: schema.total_words(),
+            signature_bytes: schema.signature_bytes(),
+            word_spills,
+            per_thread,
+            code,
+        },
+        findings,
+    )
+}
+
+/// Pass 4: fences that order nothing under the configured MCM.
+///
+/// A fence is *trailing* when no memory operation its kind covers exists on
+/// one side of it within the thread, and *redundant* when removing it
+/// leaves the transitive closure of [`Mcm::orders`] over the thread's
+/// memory-operation pairs unchanged (the same closure the constraint
+/// graph's static edges realize, so a redundant fence provably changes no
+/// verdict).
+pub(crate) fn fences(program: &Program, mcm: Mcm) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (t, code) in program.threads().iter().enumerate() {
+        if !code.iter().any(Instr::is_fence) {
+            continue;
+        }
+        let full = order_closure(code, mcm, None);
+        for (j, instr) in code.iter().enumerate() {
+            let Instr::Fence(kind) = *instr else { continue };
+            let op = OpId::new(Tid(t as u32), j as u32);
+            let covered = match kind {
+                FenceKind::Full => "memory",
+                FenceKind::StoreStore => "store",
+                FenceKind::LoadLoad => "load",
+            };
+            let before = code[..j]
+                .iter()
+                .any(|i| i.is_memory() && kind.orders_with(i));
+            let after = code[j + 1..]
+                .iter()
+                .any(|i| i.is_memory() && kind.orders_with(i));
+            if !(before && after) {
+                let side = match (before, after) {
+                    (false, false) => "on either side of",
+                    (false, true) => "before",
+                    _ => "after",
+                };
+                findings.push(Finding::new(
+                    LintKind::TrailingFence,
+                    Some(op),
+                    format!("{instr} has no {covered} operation {side} it in the thread; it orders nothing"),
+                ));
+                continue;
+            }
+            let without = order_closure(code, mcm, Some(j));
+            if memory_orders_equal(code, &full, &without) {
+                findings.push(Finding::new(
+                    LintKind::RedundantFence,
+                    Some(op),
+                    format!(
+                        "removing this {instr} leaves the {mcm} program-order closure unchanged; it is a no-op"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Transitive closure of the pairwise [`Mcm::orders`] predicate over one
+/// thread's instructions, optionally treating index `skip` as absent.
+///
+/// Program order is already topological (edges only go forward), so a plain
+/// Floyd–Warshall closure over the direct edges suffices.
+fn order_closure(code: &[Instr], mcm: Mcm, skip: Option<usize>) -> Vec<Vec<bool>> {
+    let n = code.len();
+    let mut reach = vec![vec![false; n]; n];
+    for i in 0..n {
+        if Some(i) == skip {
+            continue;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in (i + 1)..n {
+            if Some(j) == skip {
+                continue;
+            }
+            if mcm.orders(&code[i], &code[j]) {
+                reach[i][j] = true;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Compares two order closures restricted to memory-operation pairs — the
+/// only pairs whose ordering the constraint graph's static edges realize
+/// (fence vertices are ordering devices, not observable operations).
+fn memory_orders_equal(code: &[Instr], a: &[Vec<bool>], b: &[Vec<bool>]) -> bool {
+    for (i, row_a) in a.iter().enumerate() {
+        if !code[i].is_memory() {
+            continue;
+        }
+        for (j, &reach_a) in row_a.iter().enumerate() {
+            if !code[j].is_memory() {
+                continue;
+            }
+            if reach_a != b[i][j] {
+                return false;
+            }
+        }
+    }
+    true
+}

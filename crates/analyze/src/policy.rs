@@ -1,0 +1,130 @@
+//! Campaign-facing lint policy: what severity gates a test and what happens
+//! to tests that breach the gate.
+
+use crate::{LintOptions, LintReport, Severity, DEFAULT_ENUMERATION_LIMIT, DEFAULT_L1_BYTES};
+use mtc_gen::TestConfig;
+use mtc_instr::SourcePruning;
+use serde::{Deserialize, Serialize};
+
+/// What a campaign does with a generated test whose lint report reaches the
+/// policy's gate severity.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub enum LintAction {
+    /// Keep the test and surface its report — observation only.
+    Report,
+    /// Drop the test from the suite before a single cycle is simulated.
+    Filter,
+    /// Replace the test by regenerating with perturbed seeds, up to
+    /// `max_attempts` times; drop it if every attempt is still gated.
+    Regenerate {
+        /// Maximum regeneration attempts per gated test.
+        max_attempts: u32,
+    },
+}
+
+/// Lint gating configuration for
+/// [`CampaignConfig::with_lint`](https://docs.rs/mtracecheck): every
+/// generated test is linted before instrumentation/simulation, and tests
+/// whose report reaches `gate` are handled per `action`.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct LintPolicy {
+    /// Findings at or above this severity gate the test.
+    pub gate: Severity,
+    /// What to do with gated tests.
+    pub action: LintAction,
+    /// L1 instruction-cache budget for the overflow check.
+    pub l1_bytes: u64,
+    /// Signature-space ceiling for the feasibility cross-check.
+    pub enumeration_limit: u64,
+}
+
+impl LintPolicy {
+    /// A policy with the given gate and action and the default capacity
+    /// knobs.
+    pub fn new(gate: Severity, action: LintAction) -> Self {
+        LintPolicy {
+            gate,
+            action,
+            l1_bytes: DEFAULT_L1_BYTES,
+            enumeration_limit: DEFAULT_ENUMERATION_LIMIT,
+        }
+    }
+
+    /// Observation-only: lint every test at the warning gate, gate nothing.
+    pub fn report() -> Self {
+        Self::new(Severity::Warning, LintAction::Report)
+    }
+
+    /// Drop tests reaching `gate` from the suite.
+    pub fn filter(gate: Severity) -> Self {
+        Self::new(gate, LintAction::Filter)
+    }
+
+    /// Regenerate tests reaching `gate` with perturbed seeds, dropping them
+    /// after `max_attempts` dirty retries.
+    pub fn regenerate(gate: Severity, max_attempts: u32) -> Self {
+        Self::new(gate, LintAction::Regenerate { max_attempts })
+    }
+
+    /// The [`LintOptions`] this policy implies for one test configuration.
+    pub fn options_for(&self, config: &TestConfig, pruning: SourcePruning) -> LintOptions {
+        LintOptions::for_test(config)
+            .with_pruning(pruning)
+            .with_l1_bytes(self.l1_bytes)
+            .with_enumeration_limit(self.enumeration_limit)
+    }
+
+    /// Returns `true` when `report` stays below the gate (the test is kept
+    /// as-is regardless of action).
+    pub fn admits(&self, report: &LintReport) -> bool {
+        report.is_clean_at(self.gate)
+    }
+}
+
+impl Default for LintPolicy {
+    fn default() -> Self {
+        Self::report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintKind;
+
+    #[test]
+    fn constructors_set_gate_and_action() {
+        let p = LintPolicy::report();
+        assert_eq!(p.gate, Severity::Warning);
+        assert_eq!(p.action, LintAction::Report);
+        assert_eq!(p, LintPolicy::default());
+        let p = LintPolicy::filter(Severity::Error);
+        assert_eq!(p.action, LintAction::Filter);
+        let p = LintPolicy::regenerate(Severity::Warning, 3);
+        assert_eq!(p.action, LintAction::Regenerate { max_attempts: 3 });
+        assert_eq!(p.l1_bytes, DEFAULT_L1_BYTES);
+        assert_eq!(p.enumeration_limit, DEFAULT_ENUMERATION_LIMIT);
+    }
+
+    #[test]
+    fn admits_compares_against_the_gate() {
+        let mut report = LintReport {
+            name: "t".to_owned(),
+            ..LintReport::default()
+        };
+        let policy = LintPolicy::filter(Severity::Warning);
+        assert!(policy.admits(&report));
+        report.findings.push(crate::Finding::new(
+            LintKind::ZeroEntropyLoad,
+            None,
+            "info-level".to_owned(),
+        ));
+        assert!(policy.admits(&report), "info stays below a warning gate");
+        report.findings.push(crate::Finding::new(
+            LintKind::DegenerateTest,
+            None,
+            "warning-level".to_owned(),
+        ));
+        assert!(!policy.admits(&report));
+    }
+}

@@ -1,0 +1,405 @@
+//! Finding, severity, and per-program report types for the static analyzer.
+
+use crate::json;
+use mtc_instr::CodeSize;
+use mtc_isa::{OpId, Tid};
+use serde::{Deserialize, Serialize};
+use std::fmt::{self, Write as _};
+use std::str::FromStr;
+
+/// How serious a lint finding is.
+///
+/// The model mirrors what each phenomenon costs the campaign:
+///
+/// * [`Severity::Info`] — per-operation waste that is *expected* in
+///   constrained-random tests (a singleton-candidate load, an unobservable
+///   store, a multi-word signature). Worth reporting, never worth rejecting
+///   a test for.
+/// * [`Severity::Warning`] — program-level degeneracy: the whole test
+///   contributes little or nothing (every load singleton, fences that order
+///   nothing under the target MCM). Gating candidates.
+/// * [`Severity::Error`] — the test is unusable or the toolchain is unsound
+///   (instrumentation overflows the L1 model, or an encodable signature
+///   fails to decode back to its interleaving).
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Expected per-operation waste; diagnostic only.
+    Info,
+    /// Program-level degeneracy; a reasonable gate for pruning.
+    Warning,
+    /// Unusable test or unsound schema; always worth failing on.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case name (`info`, `warning`, `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing a [`Severity`] from a string fails.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SeverityParseError {
+    input: String,
+}
+
+impl fmt::Display for SeverityParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown severity `{}` (expected `info`, `warning` or `error`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for SeverityParseError {}
+
+impl FromStr for Severity {
+    type Err = SeverityParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "info" => Ok(Severity::Info),
+            "warning" | "warnings" | "warn" => Ok(Severity::Warning),
+            "error" | "errors" => Ok(Severity::Error),
+            _ => Err(SeverityParseError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// The distinct phenomena the analyzer's passes detect.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub enum LintKind {
+    /// A load whose static candidate set (§3.1) is a singleton: its branch
+    /// chain inflates code size but the load can never vary the signature.
+    ZeroEntropyLoad,
+    /// A store outside every load's candidate set: no execution can observe
+    /// it, so it adds ordering vertices without ever adding information.
+    DeadStore,
+    /// A thread whose candidate-cardinality product overflows one signature
+    /// register, forcing a multi-word signature (§3.2). Normal for
+    /// high-contention tests; reported so capacity surprises surface before
+    /// simulation.
+    WordSpill,
+    /// The whole program is signature-degenerate: it has no loads, or every
+    /// load is zero-entropy, so exactly one signature is reachable.
+    DegenerateTest,
+    /// A fence with no covered memory operation on one side: it orders
+    /// nothing in any execution.
+    TrailingFence,
+    /// A fence whose removal leaves the MCM's program-order closure over
+    /// memory operations unchanged — a no-op under the configured model.
+    RedundantFence,
+    /// The instrumented code of some thread exceeds the modeled L1
+    /// instruction cache; the test would thrash instead of stressing the
+    /// memory system.
+    L1Overflow,
+    /// An encodable signature failed to decode back to the reads-from
+    /// outcome that produced it: the §3.1 1:1 signature/interleaving map is
+    /// broken for this program.
+    SchemaUnsound,
+}
+
+impl LintKind {
+    /// Every kind, in pass order.
+    pub const ALL: [LintKind; 8] = [
+        LintKind::ZeroEntropyLoad,
+        LintKind::DeadStore,
+        LintKind::WordSpill,
+        LintKind::DegenerateTest,
+        LintKind::TrailingFence,
+        LintKind::RedundantFence,
+        LintKind::L1Overflow,
+        LintKind::SchemaUnsound,
+    ];
+
+    /// The severity every finding of this kind carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::ZeroEntropyLoad | LintKind::DeadStore | LintKind::WordSpill => Severity::Info,
+            LintKind::DegenerateTest | LintKind::TrailingFence | LintKind::RedundantFence => {
+                Severity::Warning
+            }
+            LintKind::L1Overflow | LintKind::SchemaUnsound => Severity::Error,
+        }
+    }
+
+    /// Stable kebab-case code used in human and JSON output.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::ZeroEntropyLoad => "zero-entropy-load",
+            LintKind::DeadStore => "dead-store",
+            LintKind::WordSpill => "word-spill",
+            LintKind::DegenerateTest => "degenerate-test",
+            LintKind::TrailingFence => "trailing-fence",
+            LintKind::RedundantFence => "redundant-fence",
+            LintKind::L1Overflow => "l1-overflow",
+            LintKind::SchemaUnsound => "schema-unsound",
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What was detected.
+    pub kind: LintKind,
+    /// Severity (always [`LintKind::severity`] of `kind`).
+    pub severity: Severity,
+    /// The instruction the finding anchors to, when one exists.
+    pub op: Option<OpId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding with the kind's canonical severity.
+    pub fn new(kind: LintKind, op: Option<OpId>, message: String) -> Self {
+        Finding {
+            kind,
+            severity: kind.severity(),
+            op,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "{}[{}] {op}: {}", self.severity, self.kind, self.message),
+            None => write!(f, "{}[{}]: {}", self.severity, self.kind, self.message),
+        }
+    }
+}
+
+/// Per-thread signature-capacity numbers from pass 3.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThreadCapacity {
+    /// The thread.
+    pub tid: Tid,
+    /// Information content of the thread's signature: `Σ log₂(cardinality)`
+    /// over its loads — the measured form of the §3.2 estimate.
+    pub radix_bits: f64,
+    /// Signature words the schema assigned the thread.
+    pub num_words: usize,
+}
+
+/// Signature- and code-capacity diagnostics (pass 3), reported on every
+/// program regardless of findings.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CapacityDiagnostics {
+    /// Signature register width the schema targets.
+    pub register_bits: u32,
+    /// Total signature words across threads.
+    pub total_words: usize,
+    /// Execution-signature size in bytes.
+    pub signature_bytes: usize,
+    /// Extra words beyond one per thread (`Σ (num_words − 1)`).
+    pub word_spills: usize,
+    /// Per-thread radix products and word counts.
+    pub per_thread: Vec<ThreadCapacity>,
+    /// The [`mtc_instr::CodeSizeModel`] measurement used for the L1 check.
+    pub code: CodeSize,
+}
+
+/// The §8-style schema-soundness / feasibility cross-check result (pass 5):
+/// how many encodable signatures exist and how many decode to reads-from
+/// outcomes the axiomatic MCM actually allows.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityDiagnostics {
+    /// Distinct encodable signatures (the product of candidate
+    /// cardinalities).
+    pub encodable: u64,
+    /// Signatures whose constraint graph is acyclic under the MCM.
+    pub feasible: u64,
+    /// Signatures whose constraint graph is cyclic — encodable but
+    /// unreachable interleavings whose branch-chain links §8 would prune.
+    pub infeasible: u64,
+}
+
+impl FeasibilityDiagnostics {
+    /// The invalid-interleaving fraction: `infeasible / encodable`.
+    pub fn invalid_fraction(&self) -> f64 {
+        if self.encodable == 0 {
+            return 0.0;
+        }
+        self.infeasible as f64 / self.encodable as f64
+    }
+}
+
+/// Everything the analyzer learned about one program.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Name of the linted program (configuration name plus test index for
+    /// generated suites).
+    pub name: String,
+    /// All findings, errors first, in deterministic order.
+    pub findings: Vec<Finding>,
+    /// Capacity diagnostics (always computed).
+    pub capacity: CapacityDiagnostics,
+    /// Feasibility cross-check, when the signature space was small enough
+    /// to enumerate.
+    pub feasibility: Option<FeasibilityDiagnostics>,
+}
+
+impl LintReport {
+    /// The most severe finding, or `None` for a finding-free report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Number of findings of `kind`.
+    pub fn count(&self, kind: LintKind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Number of findings at or above `severity`.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= severity)
+            .count()
+    }
+
+    /// Returns `true` when no finding reaches `gate`.
+    pub fn is_clean_at(&self, gate: Severity) -> bool {
+        self.count_at_least(gate) == 0
+    }
+
+    /// Serializes the report as a single JSON object.
+    ///
+    /// The encoder is hand-rolled (plain string assembly) so the `mtc-lint`
+    /// CLI needs no serialization framework at runtime.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        let _ = write!(out, "\"name\":\"{}\"", json::escape(&self.name));
+        match self.max_severity() {
+            Some(s) => {
+                let _ = write!(out, ",\"max_severity\":\"{s}\"");
+            }
+            None => out.push_str(",\"max_severity\":null"),
+        }
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"severity\":\"{}\",",
+                f.kind, f.severity
+            );
+            match f.op {
+                Some(op) => {
+                    let _ = write!(out, "\"op\":\"{op}\",");
+                }
+                None => out.push_str("\"op\":null,"),
+            }
+            let _ = write!(out, "\"message\":\"{}\"}}", json::escape(&f.message));
+        }
+        out.push_str("],\"capacity\":{");
+        let c = &self.capacity;
+        let _ = write!(
+            out,
+            "\"register_bits\":{},\"total_words\":{},\"signature_bytes\":{},\"word_spills\":{}",
+            c.register_bits, c.total_words, c.signature_bytes, c.word_spills
+        );
+        out.push_str(",\"per_thread\":[");
+        for (i, t) in c.per_thread.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tid\":{},\"radix_bits\":{},\"num_words\":{}}}",
+                t.tid.0, t.radix_bits, t.num_words
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"original_bytes\":{},\"instrumented_bytes\":{},\
+             \"max_thread_instrumented_bytes\":{},\"code_ratio\":{}}}",
+            c.code.original_bytes,
+            c.code.instrumented_bytes,
+            c.code.max_thread_instrumented_bytes,
+            c.code.ratio()
+        );
+        match self.feasibility {
+            Some(f) => {
+                let _ = write!(
+                    out,
+                    ",\"feasibility\":{{\"encodable\":{},\"feasible\":{},\
+                     \"infeasible\":{},\"invalid_fraction\":{}}}",
+                    f.encodable,
+                    f.feasible,
+                    f.infeasible,
+                    f.invalid_fraction()
+                );
+            }
+            None => out.push_str(",\"feasibility\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max_severity() {
+            Some(s) => writeln!(
+                f,
+                "lint {}: {} findings (max {s})",
+                self.name,
+                self.findings.len()
+            )?,
+            None => writeln!(f, "lint {}: clean", self.name)?,
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        writeln!(
+            f,
+            "  signature: {} words x {} bits ({} B), {} spill(s); code {} B -> {} B ({:.2}x)",
+            self.capacity.total_words,
+            self.capacity.register_bits,
+            self.capacity.signature_bytes,
+            self.capacity.word_spills,
+            self.capacity.code.original_bytes,
+            self.capacity.code.instrumented_bytes,
+            self.capacity.code.ratio()
+        )?;
+        if let Some(feas) = self.feasibility {
+            writeln!(
+                f,
+                "  feasibility: {} encodable, {} feasible, {} invalid ({:.1}%)",
+                feas.encodable,
+                feas.feasible,
+                feas.infeasible,
+                feas.invalid_fraction() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -32,7 +32,7 @@ fn bench_graphs(c: &mut Criterion) {
     for (name, test) in &cases {
         let program = generate(test);
         group.bench_with_input(BenchmarkId::new("build_spec", name), &program, |b, p| {
-            b.iter(|| TestGraphSpec::new(p, Mcm::Weak))
+            b.iter(|| TestGraphSpec::new(p, Mcm::Weak));
         });
         let (program, rfs) = executions(test, 64);
         let spec = TestGraphSpec::new(&program, test.mcm);
@@ -42,7 +42,7 @@ fn bench_graphs(c: &mut Criterion) {
                 rfs.iter()
                     .map(|rf| spec.observe(&program, rf, &CheckOptions::default()).len())
                     .sum::<usize>()
-            })
+            });
         });
         let observations: Vec<_> = rfs
             .iter()
@@ -53,7 +53,7 @@ fn bench_graphs(c: &mut Criterion) {
                 obs.windows(2)
                     .map(|w| w[1].difference(&w[0]).count())
                     .sum::<usize>()
-            })
+            });
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_graphs(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmedoids");
     for k in [3usize, 10, 30] {
         group.bench_with_input(BenchmarkId::new("cluster", k), &rfs, |b, rfs| {
-            b.iter(|| k_medoids(rfs, k, 2017, 20).total_distance)
+            b.iter(|| k_medoids(rfs, k, 2017, 20).total_distance);
         });
     }
     group.finish();

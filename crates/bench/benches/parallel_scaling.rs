@@ -32,7 +32,7 @@ fn bench_collect_scaling(c: &mut Criterion) {
         let campaign = campaign(workers);
         let program = generate(&campaign.config().test);
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
-            b.iter(|| campaign.collect(&program))
+            b.iter(|| campaign.collect(&program));
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_full_pipeline_scaling(c: &mut Criterion) {
         let campaign = campaign(workers);
         let program = generate(&campaign.config().test);
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
-            b.iter(|| campaign.run_test(&program))
+            b.iter(|| campaign.run_test(&program));
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn bench_chunked_checking(c: &mut Criterion) {
         let program = generate(&campaign.config().test);
         let log = campaign.collect(&program);
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
-            b.iter(|| campaign.check_log(&log))
+            b.iter(|| campaign.check_log(&log));
         });
     }
     group.finish();

@@ -48,14 +48,14 @@ fn bench_signatures(c: &mut Criterion) {
                 for rf in rfs {
                     criterion::black_box(schema.encode(rf).expect("legal"));
                 }
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("decode", name), &sigs, |b, sigs| {
             b.iter(|| {
                 for sig in sigs {
                     criterion::black_box(schema.decode(sig).expect("own signature"));
                 }
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("sort", name), &sigs, |b, sigs| {
             b.iter(|| {
@@ -63,7 +63,7 @@ fn bench_signatures(c: &mut Criterion) {
                 copy.sort_unstable();
                 copy.dedup();
                 copy.len()
-            })
+            });
         });
     }
     group.finish();

@@ -35,7 +35,7 @@ fn bench_simulation(c: &mut Criterion) {
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 sim.run(seed).expect("correct hardware")
-            })
+            });
         });
         group.bench_with_input(
             BenchmarkId::new("run_instrumented", name),
@@ -49,7 +49,7 @@ fn bench_simulation(c: &mut Criterion) {
                 b.iter(|| {
                     seed = seed.wrapping_add(1);
                     sim.run(seed).expect("correct hardware")
-                })
+                });
             },
         );
     }

@@ -15,7 +15,10 @@ use mtracecheck::isa::{litmus, parse_program, IsaKind, Mcm};
 use mtracecheck::sim::{enumerate_outcomes, BugKind, CacheConfig};
 use mtracecheck::sim::{Simulator, SystemConfig};
 use mtracecheck::testgen::{generate, generate_suite};
-use mtracecheck::{paper_configs, Campaign, CampaignConfig, SignatureLog, TestConfig};
+use mtracecheck::{
+    paper_configs, Campaign, CampaignConfig, LintAction, LintPolicy, Severity, SignatureLog,
+    TestConfig,
+};
 use std::process::ExitCode;
 
 struct Args {
@@ -74,10 +77,14 @@ fn usage() -> &'static str {
                    [--iters N] [--tests N] [--words-per-line W] [--seed S]\n\
                    [--os] [--bug <1|2|3>] [--split-windows] [--compare]\n\
                    [--workers N] [--parallel] [--chunked-check]\n\
+                   [--lint <report|filter|regenerate>] [--lint-gate <info|warnings|errors>]\n\
                                       --workers N shards each test's iterations over N\n\
                                       pool workers (0 = all host threads); --parallel\n\
                                       also fans tests out over the pool; --chunked-check\n\
-                                      checks collective chunks in parallel\n\
+                                      checks collective chunks in parallel; --lint runs\n\
+                                      mtc-lint's static passes on every generated test\n\
+                                      before simulation, gating at --lint-gate\n\
+                                      (default: warnings)\n\
        mtracecheck collect  (campaign flags) --out DIR\n\
                                       device side only: write signature logs as JSON\n\
        mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
@@ -124,6 +131,24 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     }
     if args.has("chunked-check") {
         config = config.with_chunked_checking();
+    }
+    if let Some(action) = args.get("lint") {
+        let gate: Severity = args
+            .get("lint-gate")
+            .unwrap_or("warnings")
+            .parse()
+            .map_err(|e| format!("--lint-gate: {e}"))?;
+        let action = match action {
+            "report" => LintAction::Report,
+            "filter" => LintAction::Filter,
+            "regenerate" => LintAction::Regenerate { max_attempts: 3 },
+            other => {
+                return Err(format!(
+                    "--lint: unknown action `{other}` (report, filter or regenerate)"
+                ))
+            }
+        };
+        config = config.with_lint(LintPolicy::new(gate, action));
     }
     if args.has("os") {
         config.system.scheduler.os = Some(mtracecheck::sim::OsConfig::default());

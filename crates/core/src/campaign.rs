@@ -7,7 +7,8 @@
 //! collectively check the unique signatures' constraint graphs.
 
 use crate::{CoverageTracker, SignatureLog};
-use mtc_gen::{generate_suite, TestConfig};
+use mtc_analyze::{lint_program, LintAction, LintPolicy, LintReport};
+use mtc_gen::{generate, generate_suite, TestConfig};
 use mtc_graph::{
     check_collective, check_collective_chunked, check_collective_split,
     check_collective_with_boundaries, check_conventional, even_chunk_lengths, CheckOptions,
@@ -63,6 +64,10 @@ pub struct CampaignConfig {
     /// records more complete sorts, so this is opt-in and independent of
     /// the `workers` equivalence guarantee.
     pub chunked_check: bool,
+    /// Static lint gating (§8 extension): when set, every generated test is
+    /// linted *before* instrumentation or simulation and handled per the
+    /// policy's [`LintAction`]. `None` (the default) skips linting entirely.
+    pub lint: Option<LintPolicy>,
 }
 
 impl CampaignConfig {
@@ -86,6 +91,7 @@ impl CampaignConfig {
             parallel: false,
             workers: 1,
             chunked_check: false,
+            lint: None,
         }
     }
 
@@ -141,6 +147,16 @@ impl CampaignConfig {
     /// (see [`CampaignConfig::chunked_check`]).
     pub fn with_chunked_checking(mut self) -> Self {
         self.chunked_check = true;
+        self
+    }
+
+    /// Returns the configuration linting every generated test before any
+    /// cycle is simulated, handling gated tests per `policy`. Composes with
+    /// [`CampaignConfig::with_workers`]: the lint gate runs once, up front,
+    /// on the generation order, so the surviving suite — and therefore every
+    /// downstream verdict — is identical for any worker count.
+    pub fn with_lint(mut self, policy: LintPolicy) -> Self {
+        self.lint = Some(policy);
         self
     }
 
@@ -257,6 +273,9 @@ pub struct TestReport {
     pub signature_bytes: usize,
     /// Discovery curve and saturation estimate (§6.1).
     pub coverage: crate::CoverageCurve,
+    /// Static lint report, when the campaign ran with
+    /// [`CampaignConfig::with_lint`].
+    pub lint: Option<LintReport>,
 }
 
 impl TestReport {
@@ -283,6 +302,11 @@ pub struct ConfigReport {
     pub name: String,
     /// Per-test reports.
     pub tests: Vec<TestReport>,
+    /// Tests dropped by the lint gate before simulation (filtered outright,
+    /// or regenerated past the attempt budget without coming clean).
+    pub lint_pruned: u64,
+    /// Gated tests successfully replaced by a clean regeneration.
+    pub lint_regenerated: u64,
 }
 
 impl ConfigReport {
@@ -360,23 +384,98 @@ impl Campaign {
     }
 
     fn run_impl(&self, threaded: bool) -> ConfigReport {
-        let programs = generate_suite(&self.config.test, self.config.tests);
+        let suite = self.lint_gate(generate_suite(&self.config.test, self.config.tests));
         let threads = if threaded {
             self.config.test_pool_threads()
         } else {
             1
         };
-        let tests = crate::pool::bounded_map(programs.iter().collect(), threads, |_, p| {
-            if threaded {
-                self.run_test(p)
-            } else {
-                self.run_test_serial(p)
-            }
-        });
+        let mut tests =
+            crate::pool::bounded_map(suite.programs.iter().collect(), threads, |_, p| {
+                if threaded {
+                    self.run_test(p)
+                } else {
+                    self.run_test_serial(p)
+                }
+            });
+        for (test, lint) in tests.iter_mut().zip(suite.reports) {
+            test.lint = lint;
+        }
         ConfigReport {
             name: self.config.test.name(),
             tests,
+            lint_pruned: suite.pruned,
+            lint_regenerated: suite.regenerated,
         }
+    }
+
+    /// Applies the configured [`LintPolicy`] to the freshly generated suite,
+    /// before any instrumentation or simulation.
+    ///
+    /// The gate is a pure function of the generated programs and the policy:
+    /// it runs on the calling thread in generation order, so the surviving
+    /// suite is the same whether the campaign itself then runs threaded or
+    /// serially. Regeneration attempt `a` for suite slot `i` reuses the
+    /// campaign's seed-perturbation constant on a per-slot offset, keeping
+    /// replacement seeds disjoint from the original suite's
+    /// `seed + i` sequence.
+    fn lint_gate(&self, programs: Vec<Program>) -> LintedSuite {
+        let Some(policy) = self.config.lint else {
+            let reports = vec![None; programs.len()];
+            return LintedSuite {
+                programs,
+                reports,
+                pruned: 0,
+                regenerated: 0,
+            };
+        };
+        let options = policy.options_for(&self.config.test, self.config.pruning);
+        let base = self.config.test.name();
+        let mut suite = LintedSuite {
+            programs: Vec::new(),
+            reports: Vec::new(),
+            pruned: 0,
+            regenerated: 0,
+        };
+        for (i, program) in programs.into_iter().enumerate() {
+            let named = options.clone().with_name(format!("{base}#{i}"));
+            let report = lint_program(&program, &named);
+            if policy.admits(&report) {
+                suite.programs.push(program);
+                suite.reports.push(Some(report));
+                continue;
+            }
+            match policy.action {
+                LintAction::Report => {
+                    suite.programs.push(program);
+                    suite.reports.push(Some(report));
+                }
+                LintAction::Filter => suite.pruned += 1,
+                LintAction::Regenerate { max_attempts } => {
+                    let mut replaced = false;
+                    for attempt in 1..=max_attempts {
+                        let seed =
+                            self.config.test.seed.wrapping_add(i as u64).wrapping_add(
+                                u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                        let candidate = generate(&self.config.test.clone().with_seed(seed));
+                        let renamed = named.clone().with_name(format!("{base}#{i}.r{attempt}"));
+                        let report = lint_program(&candidate, &renamed);
+                        if policy.admits(&report) {
+                            suite.programs.push(candidate);
+                            suite.reports.push(Some(report));
+                            suite.regenerated += 1;
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if !replaced {
+                        suite.pruned += 1;
+                    }
+                }
+            }
+        }
+        suite
     }
 
     /// Validates one (externally supplied) test program end to end —
@@ -558,6 +657,15 @@ impl Campaign {
     }
 }
 
+/// The suite that survives the pre-simulation lint gate, with per-slot
+/// reports aligned to the kept programs.
+struct LintedSuite {
+    programs: Vec<Program>,
+    reports: Vec<Option<LintReport>>,
+    pruned: u64,
+    regenerated: u64,
+}
+
 /// What one iteration shard produced, before the deterministic reduction.
 struct ShardRun {
     crashes: u64,
@@ -617,7 +725,7 @@ fn run_shard(
             .seed
             .wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         match sim.run(seed) {
-            Err(SimError::ProtocolDeadlock { .. }) | Err(SimError::Livelock { .. }) => {
+            Err(SimError::ProtocolDeadlock { .. } | SimError::Livelock { .. }) => {
                 shard.crashes += 1;
             }
             Ok(exec) => {

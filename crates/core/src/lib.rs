@@ -35,8 +35,9 @@
 //!
 //! The crate re-exports its building blocks as modules: [`isa`]
 //! (programs/MCMs), [`testgen`] (constrained-random generation), [`instr`]
-//! (signatures), [`sim`] (the platform simulator), and [`graph`]
-//! (constraint-graph checking).
+//! (signatures), [`sim`] (the platform simulator), [`graph`]
+//! (constraint-graph checking), and [`analyze`] (static test-program
+//! linting; see [`CampaignConfig::with_lint`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,8 +55,11 @@ pub use campaign::{
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
 pub use log::{LogError, SignatureLog};
 
+pub use mtc_analyze::{LintAction, LintPolicy, LintReport, Severity};
 pub use mtc_gen::{paper_configs, TestConfig};
 
+/// Static test-program analysis and lint gating ([`mtc_analyze`]).
+pub use mtc_analyze as analyze;
 /// Constrained-random test generation ([`mtc_gen`]).
 pub use mtc_gen as testgen;
 /// Constraint graphs and collective checking ([`mtc_graph`]).

@@ -18,9 +18,7 @@ use std::sync::Mutex;
 /// is taken as-is.
 pub fn resolve_workers(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
     } else {
         requested
     }

@@ -20,7 +20,7 @@ impl fmt::Display for TestReport {
             self.violations.len()
         )?;
         if let Some(ratio) = self.checking_work_ratio() {
-            writeln!(f, "collective/conventional work ratio: {:.3}", ratio)?;
+            writeln!(f, "collective/conventional work ratio: {ratio:.3}")?;
         }
         writeln!(
             f,
@@ -39,6 +39,16 @@ impl fmt::Display for TestReport {
             self.signature_bytes,
             self.code_size.ratio()
         )?;
+        if let Some(lint) = &self.lint {
+            match lint.max_severity() {
+                Some(severity) => writeln!(
+                    f,
+                    "lint: {} finding(s), max severity {severity}",
+                    lint.findings.len()
+                )?,
+                None => writeln!(f, "lint: clean")?,
+            }
+        }
         for v in &self.violations {
             write!(
                 f,
@@ -64,6 +74,13 @@ impl fmt::Display for ConfigReport {
             self.failing_tests(),
             self.total_violations()
         )?;
+        if self.lint_pruned > 0 || self.lint_regenerated > 0 {
+            writeln!(
+                f,
+                "lint gate: {} test(s) pruned, {} regenerated",
+                self.lint_pruned, self.lint_regenerated
+            )?;
+        }
         for (i, t) in self.tests.iter().enumerate() {
             writeln!(f, "--- test {i} ---")?;
             write!(f, "{t}")?;

@@ -562,8 +562,7 @@ mod tests {
             .map(|l| {
                 let v = p
                     .last_own_store_before(l)
-                    .map(|(_, id)| Value::from(id))
-                    .unwrap_or(Value::INIT);
+                    .map_or(Value::INIT, |(_, id)| Value::from(id));
                 (l, v)
             })
             .collect();

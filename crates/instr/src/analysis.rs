@@ -44,6 +44,14 @@ impl SourcePruning {
         }
     }
 
+    /// Whether another thread's store at program-order `store_idx` stays a
+    /// candidate for a load at `load_idx`.
+    ///
+    /// The window bound is **inclusive**: a store at exactly
+    /// `load_idx + window` is still admitted; the first pruned store is at
+    /// `load_idx + window + 1`. The sum saturates at `u32::MAX`, so windows
+    /// near the index ceiling degrade to no pruning rather than wrapping
+    /// around and pruning everything.
     fn admits(&self, load_idx: u32, store_idx: u32) -> bool {
         match self.lsq_window {
             None => true,
@@ -108,7 +116,7 @@ pub fn analyze(program: &Program, pruning: &SourcePruning) -> CandidateAnalysis 
     for load in program.loads() {
         let addr = program
             .instr(load)
-            .and_then(|i| i.addr())
+            .and_then(mtc_isa::Instr::addr)
             .expect("loads always carry an address");
         let mut candidates = Vec::new();
         // Own-thread candidate: latest earlier same-address store, else the
@@ -212,6 +220,58 @@ mod tests {
         // Load index 0 admits stores at index <= 1: init + stores 0 and 1.
         assert_eq!(pruned.candidates(OpId::new(Tid(0), 0)).unwrap().len(), 3);
         assert!(pruned.mean_candidates() < unpruned.mean_candidates());
+    }
+
+    #[test]
+    fn admits_window_bound_is_inclusive() {
+        let pruning = SourcePruning::with_lsq_window(3);
+        // Exactly load_idx + window is the last admitted index...
+        assert!(pruning.admits(2, 2 + 3));
+        // ...and one past it is the first pruned index.
+        assert!(!pruning.admits(2, 2 + 3 + 1));
+        // A zero window admits only stores at or before the load's index.
+        let zero = SourcePruning::with_lsq_window(0);
+        assert!(zero.admits(4, 4));
+        assert!(!zero.admits(4, 5));
+        // No pruning admits everything, including the extremes.
+        assert!(SourcePruning::none().admits(0, u32::MAX));
+    }
+
+    #[test]
+    fn admits_saturates_instead_of_wrapping() {
+        // load_idx + window overflows u32; saturation must admit every
+        // store index rather than wrapping to a tiny bound that would
+        // silently prune valid candidates.
+        let pruning = SourcePruning::with_lsq_window(u32::MAX);
+        assert!(pruning.admits(u32::MAX, u32::MAX));
+        assert!(pruning.admits(1, u32::MAX));
+        let pruning = SourcePruning::with_lsq_window(2);
+        assert!(pruning.admits(u32::MAX - 1, u32::MAX));
+        assert!(pruning.admits(u32::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn analysis_keeps_the_store_at_the_exact_window_boundary() {
+        // One load at index 0 against four stores at indices 0..4: with
+        // window 2 the boundary store (index 2) is kept and index 3 is the
+        // first dropped, mirroring the inclusive `admits` bound end to end.
+        let mut b = ProgramBuilder::new(1, MemoryLayout::no_false_sharing());
+        b.thread(0).load(Addr(0));
+        b.thread(1)
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0))
+            .store(Addr(0));
+        let p = b.build().unwrap();
+        let pruned = analyze(&p, &SourcePruning::with_lsq_window(2));
+        let candidates = pruned.candidates(OpId::new(Tid(0), 0)).unwrap();
+        // init + stores at indices 0, 1 and 2 (StoreIds 1..=3); store 4 is
+        // past the window.
+        assert_eq!(
+            candidates,
+            &[Value::INIT, Value(1), Value(2), Value(3)],
+            "the store at load_idx + window must survive pruning"
+        );
     }
 
     #[test]

@@ -602,6 +602,66 @@ mod tests {
             }
         }
 
+        /// §3.2's closed form is a sound upper bound, not just an estimate:
+        /// with the worst-case contention assumption (one shared address,
+        /// `T = 2` so *every* other-thread store counts), each load's
+        /// cardinality is at most `1 + S_other`, so a thread's measured
+        /// information content `Σ log₂(cardᵢ)` never exceeds
+        /// `estimated_signature_bits(2, S_other, L, 1)`. The word count the
+        /// builder actually allocates is bounded by the same quantity: every
+        /// word it closes already holds more than
+        /// `register_bits − log₂(C_max)` bits.
+        #[test]
+        fn estimate_upper_bounds_built_schema_bits(
+            seed in any::<u64>(),
+            threads in 1u32..6,
+            ops in 4u32..60,
+            addrs in 1u32..32,
+            bits in prop::sample::select(vec![16u32, 32, 64]),
+        ) {
+            use mtc_gen::{generate, TestConfig};
+            use mtc_isa::IsaKind;
+            let p = generate(&TestConfig::new(IsaKind::Arm, threads, ops, addrs).with_seed(seed));
+            let analysis = analyze(&p, &SourcePruning::none());
+            let schema = SignatureSchema::build(&p, &analysis, bits);
+            for thread in schema.threads() {
+                let measured: f64 = thread
+                    .loads
+                    .iter()
+                    .map(|s| (s.cardinality() as f64).log2())
+                    .sum();
+                let other_stores = p.stores().filter(|(op, _)| op.tid != thread.tid).count();
+                let bound = estimated_signature_bits(
+                    2,
+                    other_stores as f64,
+                    thread.loads.len() as f64,
+                    1.0,
+                );
+                prop_assert!(
+                    measured <= bound + 1e-9,
+                    "{}: measured {measured:.2} bits > bound {bound:.2}",
+                    thread.tid
+                );
+                // Packing: W-1 words were closed by the overflow check, each
+                // already carrying > bits - log2(C_max) bits of content, so
+                // the allocation is within the measured information too.
+                let cmax = thread
+                    .loads
+                    .iter()
+                    .map(LoadSlot::cardinality)
+                    .max()
+                    .unwrap_or(1) as f64;
+                let full_word_bits = f64::from(bits) - cmax.log2();
+                prop_assert!(full_word_bits > 0.0, "cardinality exceeds a register");
+                prop_assert!(
+                    (thread.num_words as f64 - 1.0) * full_word_bits <= measured + 1e-9,
+                    "{}: {} words over {measured:.2} measured bits",
+                    thread.tid,
+                    thread.num_words
+                );
+            }
+        }
+
         /// The core §3.1 guarantee: signatures and interleavings are 1:1 —
         /// encode/decode round-trips for arbitrary candidate choices, and
         /// distinct choices yield distinct signatures.

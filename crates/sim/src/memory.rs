@@ -70,8 +70,7 @@ impl SimMemory {
                 .iter()
                 .rev()
                 .find(|s| s.arrival[core] <= now)
-                .map(|s| s.value)
-                .unwrap_or(Value::INIT),
+                .map_or(Value::INIT, |s| s.value),
         }
     }
 

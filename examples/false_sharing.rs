@@ -18,7 +18,7 @@ fn main() {
             .with_seed(11);
         let report = Campaign::new(CampaignConfig::new(test, iterations).with_tests(3)).run();
         let unique = report.mean_unique_signatures();
-        println!("{:<14} {:>24.1}", words_per_line, unique);
+        println!("{words_per_line:<14} {unique:>24.1}");
         assert!(
             report.failing_tests() == 0,
             "correct hardware must check clean"

@@ -1,0 +1,152 @@
+//! End-to-end tests of the `mtc-lint` command-line tool, driving the
+//! compiled binary as a user would.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mtc-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_exits_clean() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = run(&["--deny", "fatal"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown severity"));
+}
+
+#[test]
+fn lints_one_generated_config() {
+    let out = run(&[
+        "--isa",
+        "arm",
+        "--threads",
+        "2",
+        "--ops",
+        "20",
+        "--addrs",
+        "4",
+        "--tests",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("lint ARM-2-20-4#0"), "{text}");
+    assert!(text.contains("3 report(s)"), "{text}");
+    assert!(text.contains("signature:"), "{text}");
+}
+
+#[test]
+fn deny_gate_controls_the_exit_status() {
+    // Random ARM-2-20-4 tests inevitably contain info-level findings
+    // (zero-entropy loads / dead stores), so an info gate fails...
+    let args = [
+        "--isa",
+        "arm",
+        "--threads",
+        "2",
+        "--ops",
+        "20",
+        "--addrs",
+        "4",
+        "--tests",
+        "3",
+    ];
+    let strict: Vec<&str> = args.iter().copied().chain(["--deny", "info"]).collect();
+    let out = run(&strict);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+
+    // ...while a warnings gate passes: program-level degeneracy does not
+    // occur at this size.
+    let lenient: Vec<&str> = args.iter().copied().chain(["--deny", "warnings"]).collect();
+    let out = run(&lenient);
+    assert!(out.status.success(), "{}", stdout(&out));
+}
+
+#[test]
+fn json_output_is_a_well_formed_array() {
+    let out = run(&[
+        "--isa",
+        "x86",
+        "--threads",
+        "2",
+        "--ops",
+        "10",
+        "--addrs",
+        "4",
+        "--tests",
+        "2",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{text}");
+    assert_eq!(text.matches("\"name\":\"x86-2-10-4#").count(), 2, "{text}");
+    assert!(text.contains("\"capacity\":{"), "{text}");
+    assert!(text.contains("\"register_bits\":64"), "{text}");
+    // Human summary line is suppressed in JSON mode.
+    assert!(!text.contains("report(s)"), "{text}");
+}
+
+#[test]
+fn suite_lints_all_paper_configs_clean_of_warnings() {
+    let out = run(&["--suite", "--tests", "1", "--deny", "warnings"]);
+    assert!(
+        out.status.success(),
+        "paper configs must stay below the warning gate:\n{}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("21 report(s)"), "{text}");
+}
+
+#[test]
+fn mcm_flag_changes_fence_lints() {
+    // With fences injected everywhere, a weak model uses them, while SC
+    // makes every fence redundant — the deny gate then fails.
+    let args = [
+        "--isa",
+        "arm",
+        "--threads",
+        "2",
+        "--ops",
+        "12",
+        "--addrs",
+        "2",
+        "--fence-fraction",
+        "0.8",
+        "--deny",
+        "warnings",
+    ];
+    let sc: Vec<&str> = args.iter().copied().chain(["--mcm", "sc"]).collect();
+    let out = run(&sc);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "under SC every fence is a no-op:\n{}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).contains("redundant-fence"), "{}", stdout(&out));
+}

@@ -1,0 +1,146 @@
+//! Campaign-level lint gating: `CampaignConfig::with_lint` must prune
+//! degenerate tests *before* simulation without perturbing any verdict on
+//! the tests that survive.
+//!
+//! The acceptance contract (ISSUE): a campaign run with lint gating
+//! produces bit-identical verdicts — violations, unique-signature counts —
+//! on the lint-clean tests compared against the same campaign with the
+//! gate disabled.
+
+use mtracecheck::analyze::lint_program;
+use mtracecheck::isa::IsaKind;
+use mtracecheck::testgen::generate_suite;
+use mtracecheck::{Campaign, CampaignConfig, LintPolicy, Severity, TestConfig, TestReport};
+
+const TESTS: u64 = 6;
+
+fn base_config(test: TestConfig) -> CampaignConfig {
+    CampaignConfig::new(test, 120).with_tests(TESTS)
+}
+
+/// The suite indices a filter policy would keep, computed independently of
+/// the campaign by linting the same generated suite.
+fn admitted_indices(config: &CampaignConfig, policy: &LintPolicy) -> Vec<usize> {
+    let options = policy.options_for(&config.test, config.pruning);
+    generate_suite(&config.test, config.tests)
+        .iter()
+        .enumerate()
+        .filter(|(_, program)| policy.admits(&lint_program(program, &options)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// A report with its lint annotation stripped, for bit-identical comparison
+/// against a run that never linted.
+fn without_lint(report: &TestReport) -> TestReport {
+    let mut report = report.clone();
+    report.lint = None;
+    report
+}
+
+#[test]
+fn filtered_campaign_matches_ungated_verdicts_bit_for_bit() {
+    let test = TestConfig::new(IsaKind::Arm, 2, 20, 4).with_seed(5);
+    let policy = LintPolicy::filter(Severity::Info);
+    let kept = admitted_indices(&base_config(test.clone()), &policy);
+
+    let baseline = Campaign::new(base_config(test.clone())).run();
+    let gated = Campaign::new(base_config(test).with_lint(policy)).run();
+
+    assert_eq!(
+        gated.tests.len(),
+        kept.len(),
+        "gate keeps exactly the admitted tests"
+    );
+    assert_eq!(gated.lint_pruned, TESTS - kept.len() as u64);
+    assert_eq!(gated.lint_regenerated, 0, "filter never regenerates");
+    for (survivor, &i) in gated.tests.iter().zip(&kept) {
+        assert_eq!(
+            without_lint(survivor),
+            baseline.tests[i],
+            "suite slot {i} must validate identically with and without the gate"
+        );
+        let lint = survivor.lint.as_ref().expect("gated runs attach reports");
+        assert!(
+            lint.name.ends_with(&format!("#{i}")),
+            "reports keep suite indices: {}",
+            lint.name
+        );
+    }
+}
+
+#[test]
+fn report_action_observes_without_changing_anything() {
+    let test = TestConfig::new(IsaKind::Arm, 2, 20, 4).with_seed(7);
+    let baseline = Campaign::new(base_config(test.clone())).run();
+    let observed = Campaign::new(base_config(test).with_lint(LintPolicy::report())).run();
+
+    assert_eq!(observed.tests.len(), baseline.tests.len());
+    assert_eq!(observed.lint_pruned, 0);
+    assert_eq!(observed.lint_regenerated, 0);
+    for (a, b) in observed.tests.iter().zip(baseline.tests.iter()) {
+        assert!(a.lint.is_some(), "report action still lints every test");
+        assert_eq!(&without_lint(a), b);
+    }
+}
+
+#[test]
+fn single_thread_suites_are_deterministically_degenerate() {
+    // One thread means every load has a unique producer — zero entropy by
+    // construction, so every generated test earns a DegenerateTest warning
+    // regardless of the random stream.
+    let test = TestConfig::new(IsaKind::Arm, 1, 10, 4).with_seed(1);
+    let gated =
+        Campaign::new(base_config(test).with_lint(LintPolicy::filter(Severity::Warning))).run();
+    assert!(
+        gated.tests.is_empty(),
+        "no single-thread test can pass the gate"
+    );
+    assert_eq!(gated.lint_pruned, TESTS);
+
+    // Regeneration cannot help either: the degeneracy is structural, not a
+    // property of the seed, so every retry is gated and the slot is dropped.
+    let test = TestConfig::new(IsaKind::Arm, 1, 10, 4).with_seed(2);
+    let regen =
+        Campaign::new(base_config(test).with_lint(LintPolicy::regenerate(Severity::Warning, 2)))
+            .run();
+    assert!(regen.tests.is_empty());
+    assert_eq!(regen.lint_pruned, TESTS);
+    assert_eq!(regen.lint_regenerated, 0);
+}
+
+#[test]
+fn lint_gate_composes_with_parallel_workers() {
+    // with_lint runs once, up front, on the generation order — so the
+    // threaded and serial runs of the same gated campaign stay equal field
+    // for field, preserving the workers determinism contract.
+    let test = TestConfig::new(IsaKind::Arm, 3, 20, 8).with_seed(9);
+    let config = base_config(test)
+        .with_lint(LintPolicy::filter(Severity::Info))
+        .with_parallel()
+        .with_workers(2);
+    let campaign = Campaign::new(config);
+    let threaded = campaign.run();
+    let serial = campaign.run_serial();
+    assert_eq!(threaded, serial);
+}
+
+#[test]
+fn regeneration_counts_balance_the_suite() {
+    // A warning-level gate on small two-thread tests occasionally trips
+    // (program-level degeneracy is rare but possible); whatever happens,
+    // the bookkeeping must balance: every original slot is either kept
+    // as-is, replaced by a clean regeneration, or pruned.
+    let test = TestConfig::new(IsaKind::Arm, 2, 8, 2).with_seed(3);
+    let policy = LintPolicy::regenerate(Severity::Warning, 3);
+    let gated = Campaign::new(base_config(test).with_lint(policy)).run();
+    assert_eq!(gated.tests.len() as u64 + gated.lint_pruned, TESTS);
+    assert!(gated.lint_regenerated <= gated.tests.len() as u64);
+    for t in &gated.tests {
+        let lint = t.lint.as_ref().expect("gated runs attach reports");
+        assert!(
+            lint.is_clean_at(Severity::Warning),
+            "kept tests must be clean at the gate: {lint}"
+        );
+    }
+}
