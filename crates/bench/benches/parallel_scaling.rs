@@ -67,7 +67,7 @@ fn bench_chunked_checking(c: &mut Criterion) {
         let program = generate(&campaign.config().test);
         let log = campaign.collect(&program);
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
-            b.iter(|| campaign.check_log(&log));
+            b.iter(|| campaign.check_log(&log).expect("fresh logs decode"));
         });
     }
     group.finish();

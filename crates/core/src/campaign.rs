@@ -6,6 +6,12 @@
 //! simulated platform, collect and sort the execution signatures, and
 //! collectively check the unique signatures' constraint graphs.
 
+use crate::journal::{CampaignJournal, ReplayEntry};
+#[cfg(feature = "fault-inject")]
+use crate::supervisor::FaultPlan;
+use crate::supervisor::{
+    attempt_seed_offset, AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy,
+};
 use crate::{CoverageTracker, SignatureLog};
 use mtc_analyze::{lint_program, LintAction, LintPolicy, LintReport};
 use mtc_gen::{generate, generate_suite, TestConfig};
@@ -68,6 +74,15 @@ pub struct CampaignConfig {
     /// linted *before* instrumentation or simulation and handled per the
     /// policy's [`LintAction`]. `None` (the default) skips linting entirely.
     pub lint: Option<LintPolicy>,
+    /// Supervisor retry policy: how often a crashing, corrupting, or
+    /// over-budget test is re-attempted (under deterministic seed
+    /// perturbation with exponential backoff) before quarantine. The
+    /// default is a single attempt — fail-fast into quarantine.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan for supervisor tests (only with
+    /// the `fault-inject` feature; see [`FaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub faults: FaultPlan,
 }
 
 impl CampaignConfig {
@@ -92,6 +107,9 @@ impl CampaignConfig {
             workers: 1,
             chunked_check: false,
             lint: None,
+            retry: RetryPolicy::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: FaultPlan::default(),
         }
     }
 
@@ -157,6 +175,22 @@ impl CampaignConfig {
     /// downstream verdict — is identical for any worker count.
     pub fn with_lint(mut self, policy: LintPolicy) -> Self {
         self.lint = Some(policy);
+        self
+    }
+
+    /// Returns the configuration with a supervisor retry policy. Attempt 1
+    /// always runs unperturbed, so a healthy test's verdict is identical
+    /// with or without retries configured.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns the configuration with a deterministic fault-injection plan
+    /// (supervisor test harness; `fault-inject` feature only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -245,8 +279,18 @@ pub struct ViolationRecord {
 }
 
 /// Results of validating one test program.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TestReport {
+    /// Suite index of the test (0 for a standalone
+    /// [`Campaign::check_log`] invocation).
+    pub index: u64,
+    /// Supervisor attempts this verdict took (1 = clean first try; higher
+    /// means earlier attempts failed and were retried — see
+    /// [`TestReport::retry_failures`]).
+    pub attempts: u32,
+    /// Failure history of the attempts *before* the one that produced this
+    /// verdict (empty for a clean first try).
+    pub retry_failures: Vec<AttemptFailure>,
     /// Iterations executed.
     pub iterations: u64,
     /// Iterations that crashed the platform (injected bug 3).
@@ -296,20 +340,41 @@ impl TestReport {
 }
 
 /// Aggregated results over all tests of one configuration.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConfigReport {
     /// The configuration's paper-style name.
     pub name: String,
-    /// Per-test reports.
+    /// Per-test reports of the tests that produced verdicts, in suite
+    /// order (each carries its [`TestReport::index`]; quarantined suite
+    /// slots are absent here and listed in
+    /// [`ConfigReport::quarantined`]).
     pub tests: Vec<TestReport>,
     /// Tests dropped by the lint gate before simulation (filtered outright,
     /// or regenerated past the attempt budget without coming clean).
     pub lint_pruned: u64,
     /// Gated tests successfully replaced by a clean regeneration.
     pub lint_regenerated: u64,
+    /// Tests the supervisor gave up on, with their failure histories. A
+    /// non-empty quarantine means the run is degraded: the campaign
+    /// completed, but its verdicts are partial.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Tests replayed from a campaign journal instead of executed
+    /// ([`Campaign::run_with_journal`] resume).
+    pub resumed_tests: u64,
+    /// The campaign journal lost at least one record (I/O failure); a
+    /// resume will re-run the unrecorded tests.
+    pub journal_degraded: bool,
 }
 
 impl ConfigReport {
+    /// Returns `true` when the run completed with partial verdicts — some
+    /// tests quarantined or the journal incomplete. A degraded run's
+    /// existing verdicts are still exact; coverage, not soundness, is what
+    /// suffered.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty() || self.journal_degraded
+    }
+
     /// Mean unique signatures per test.
     pub fn mean_unique_signatures(&self) -> f64 {
         if self.tests.is_empty() {
@@ -384,29 +449,175 @@ impl Campaign {
     }
 
     fn run_impl(&self, threaded: bool) -> ConfigReport {
+        self.run_supervised(threaded, None)
+    }
+
+    /// Runs the campaign with a durable checkpoint journal: every completed
+    /// test (validated or quarantined) is appended to the journal as it
+    /// finishes, and suite indices already present in the journal — a
+    /// resumed run — are replayed verbatim without simulating a single
+    /// iteration. An interrupted-then-resumed campaign's final report
+    /// equals an uninterrupted run's.
+    pub fn run_with_journal(&self, journal: &CampaignJournal) -> ConfigReport {
+        self.run_supervised(true, Some(journal))
+    }
+
+    fn run_supervised(&self, threaded: bool, journal: Option<&CampaignJournal>) -> ConfigReport {
         let suite = self.lint_gate(generate_suite(&self.config.test, self.config.tests));
         let threads = if threaded {
             self.config.test_pool_threads()
         } else {
             1
         };
-        let mut tests =
-            crate::pool::bounded_map(suite.programs.iter().collect(), threads, |_, p| {
-                if threaded {
-                    self.run_test(p)
-                } else {
-                    self.run_test_serial(p)
+        let items: Vec<(usize, &Program, Option<LintReport>)> = suite
+            .programs
+            .iter()
+            .zip(suite.reports)
+            .enumerate()
+            .map(|(i, (program, lint))| (i, program, lint))
+            .collect();
+        let outcomes = crate::pool::bounded_try_map(items, threads, |_, (i, program, lint)| {
+            let index = i as u64;
+            if let Some(entry) = journal.and_then(|j| j.replay_entry(index)) {
+                return SupervisedOutcome::Replayed(entry.clone());
+            }
+            let outcome = self.run_test_supervised(index, program, lint, threaded);
+            if let Some(j) = journal {
+                match &outcome {
+                    Ok(report) => self.journal_test(j, index, report),
+                    Err(record) => self.journal_quarantine(j, record),
                 }
-            });
-        for (test, lint) in tests.iter_mut().zip(suite.reports) {
-            test.lint = lint;
-        }
-        ConfigReport {
+            }
+            SupervisedOutcome::Fresh(outcome.map(Box::new))
+        });
+
+        let mut report = ConfigReport {
             name: self.config.test.name(),
-            tests,
             lint_pruned: suite.pruned,
             lint_regenerated: suite.regenerated,
+            ..ConfigReport::default()
+        };
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(SupervisedOutcome::Replayed(ReplayEntry::Test(test))) => {
+                    report.resumed_tests += 1;
+                    report.tests.push(*test);
+                }
+                Ok(SupervisedOutcome::Replayed(ReplayEntry::Quarantine(record))) => {
+                    report.resumed_tests += 1;
+                    report.quarantined.push(record);
+                }
+                Ok(SupervisedOutcome::Fresh(Ok(test))) => report.tests.push(*test),
+                Ok(SupervisedOutcome::Fresh(Err(record))) => report.quarantined.push(record),
+                // Pool-level backstop: a panic that escaped the supervised
+                // attempt loop still costs only its own test slot.
+                Err(e) => {
+                    let record = QuarantineRecord {
+                        index: index as u64,
+                        attempts: vec![AttemptFailure {
+                            attempt: 0,
+                            seed_offset: 0,
+                            cause: FailureCause::Panic { payload: e.payload },
+                        }],
+                    };
+                    if let Some(j) = journal {
+                        self.journal_quarantine(j, &record);
+                    }
+                    report.quarantined.push(record);
+                }
+            }
         }
+        report.journal_degraded = journal.is_some_and(CampaignJournal::is_degraded);
+        report
+    }
+
+    /// Validates one suite slot under the supervisor: bounded attempts with
+    /// deterministic seed perturbation and exponential backoff, classifying
+    /// every failure, until a verdict lands or the retry budget runs out.
+    /// Attempt 1 always runs with a zero seed offset, so a healthy test's
+    /// verdict is bit-identical to an unsupervised run's.
+    fn run_test_supervised(
+        &self,
+        index: u64,
+        program: &Program,
+        lint: Option<LintReport>,
+        threaded: bool,
+    ) -> Result<TestReport, QuarantineRecord> {
+        let policy = self.config.retry;
+        let mut failures: Vec<AttemptFailure> = Vec::new();
+        for attempt in 1..=policy.max_attempts.max(1) {
+            let backoff = policy.backoff_before(attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            let seed_offset = attempt_seed_offset(attempt);
+            let started = std::time::Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                self.config.faults.on_attempt(index, attempt);
+                let log = self.collect_impl(program, threaded, seed_offset);
+                self.check_log_impl(&log, threaded)
+            }));
+            let cause = match outcome {
+                Err(payload) => FailureCause::Panic {
+                    payload: crate::pool::panic_message(payload.as_ref()),
+                },
+                Ok(Err(e)) => FailureCause::Decode {
+                    signature_index: e.signature_index,
+                    error: e.source.to_string(),
+                },
+                Ok(Ok(mut report)) => {
+                    let elapsed = started.elapsed();
+                    match policy.time_budget {
+                        Some(budget) if elapsed > budget => FailureCause::Timeout {
+                            elapsed_ms: elapsed.as_millis() as u64,
+                            budget_ms: budget.as_millis() as u64,
+                        },
+                        _ => {
+                            report.index = index;
+                            report.attempts = attempt;
+                            report.retry_failures = std::mem::take(&mut failures);
+                            report.lint = lint;
+                            return Ok(report);
+                        }
+                    }
+                }
+            };
+            failures.push(AttemptFailure {
+                attempt,
+                seed_offset,
+                cause,
+            });
+        }
+        Err(QuarantineRecord {
+            index,
+            attempts: failures,
+        })
+    }
+
+    /// Journals a validated test — or, under an injected journal fault,
+    /// drops the record and degrades the journal, as a real I/O error
+    /// would.
+    fn journal_test(&self, journal: &CampaignJournal, index: u64, report: &TestReport) {
+        #[cfg(feature = "fault-inject")]
+        if self.config.faults.breaks_journal(index) {
+            journal.mark_degraded(&format!("injected journal I/O error at test {index}"));
+            return;
+        }
+        journal.record_test(index, report);
+    }
+
+    /// Journals a quarantined test; see [`Campaign::journal_test`].
+    fn journal_quarantine(&self, journal: &CampaignJournal, record: &QuarantineRecord) {
+        #[cfg(feature = "fault-inject")]
+        if self.config.faults.breaks_journal(record.index) {
+            journal.mark_degraded(&format!(
+                "injected journal I/O error at test {}",
+                record.index
+            ));
+            return;
+        }
+        journal.record_quarantine(record);
     }
 
     /// Applies the configured [`LintPolicy`] to the freshly generated suite,
@@ -481,13 +692,17 @@ impl Campaign {
     /// Validates one (externally supplied) test program end to end —
     /// device-side collection followed by host-side checking.
     pub fn run_test(&self, program: &Program) -> TestReport {
+        // Collect and check share the schema built from the same program,
+        // so the decode error surfaced by `check_log` is unreachable here.
         self.check_log(&self.collect(program))
+            .expect("logs produced by collect decode under the same schema")
     }
 
     /// Single-threaded variant of [`Campaign::run_test`]; executes the same
     /// shard plan serially and returns an identical report.
     pub fn run_test_serial(&self, program: &Program) -> TestReport {
         self.check_log_impl(&self.collect_serial(program), false)
+            .expect("logs produced by collect decode under the same schema")
     }
 
     /// The device side of the pipeline (Figure 1 steps 2–3): instrument the
@@ -504,11 +719,11 @@ impl Campaign {
     /// ));
     /// let program = mtracecheck::testgen::generate(&campaign.config().test);
     /// let log = campaign.collect(&program);          // on the device
-    /// let report = campaign.check_log(&log);         // on the host
+    /// let report = campaign.check_log(&log).expect("fresh logs decode");
     /// assert!(report.is_clean());
     /// ```
     pub fn collect(&self, program: &Program) -> SignatureLog {
-        self.collect_impl(program, true)
+        self.collect_impl(program, true, 0)
     }
 
     /// Single-threaded variant of [`Campaign::collect`]: executes the same
@@ -516,10 +731,13 @@ impl Campaign {
     /// slices — one after the other on the calling thread, and returns a
     /// log equal to the threaded one field for field.
     pub fn collect_serial(&self, program: &Program) -> SignatureLog {
-        self.collect_impl(program, false)
+        self.collect_impl(program, false, 0)
     }
 
-    fn collect_impl(&self, program: &Program, threaded: bool) -> SignatureLog {
+    /// `seed_offset` is the supervisor's deterministic retry perturbation
+    /// ([`attempt_seed_offset`]); `0` — the public entry points — is the
+    /// unperturbed stream.
+    fn collect_impl(&self, program: &Program, threaded: bool, seed_offset: u64) -> SignatureLog {
         let config = &self.config;
         let analysis = analyze(program, &config.pruning);
         let schema = SignatureSchema::build(program, &analysis, config.test.isa.register_bits());
@@ -533,7 +751,7 @@ impl Campaign {
         let shards = shard_ranges(config.iterations, config.workers);
         let pool_width = if threaded { config.workers } else { 1 };
         let runs = crate::pool::bounded_map(shards, pool_width, |_, range| {
-            run_shard(&sim, program, &schema, config, range)
+            run_shard(&sim, program, &schema, config, seed_offset, range)
         });
 
         let mut log = SignatureLog {
@@ -581,16 +799,28 @@ impl Campaign {
     /// The host side of the pipeline (Figure 1 step 4): rebuild the
     /// instrumentation schema, decode the unique signatures, and check the
     /// constraint graphs collectively.
-    pub fn check_log(&self, log: &SignatureLog) -> TestReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckLogError`] when a signature in the log fails schema decoding —
+    /// a corrupt entry (bit-flipped transfer, truncated record) or a log
+    /// that belongs to a different program. The supervisor classifies this
+    /// as [`FailureCause::Decode`] and quarantines only the affected test.
+    pub fn check_log(&self, log: &SignatureLog) -> Result<TestReport, CheckLogError> {
         self.check_log_impl(log, true)
     }
 
-    fn check_log_impl(&self, log: &SignatureLog, threaded: bool) -> TestReport {
+    fn check_log_impl(
+        &self,
+        log: &SignatureLog,
+        threaded: bool,
+    ) -> Result<TestReport, CheckLogError> {
         let config = &self.config;
         let program = &log.program;
         let analysis = analyze(program, &log.pruning);
         let schema = SignatureSchema::build(program, &analysis, log.register_bits);
         let mut report = TestReport {
+            attempts: 1,
             iterations: log.iterations,
             crashes: log.crashes,
             assertion_failures: log.assertion_failures,
@@ -605,18 +835,15 @@ impl Campaign {
 
         let spec = TestGraphSpec::new(program, config.system.mcm);
         let mut decoded = Vec::with_capacity(log.signatures.len());
-        let observations: Vec<_> = log
-            .signatures
-            .iter()
-            .map(|(sig, _)| {
-                let rf = schema
-                    .decode(sig)
-                    .expect("signature logs carry schema-valid signatures");
-                let obs = spec.observe(program, &rf, &config.check);
-                decoded.push(rf);
-                obs
-            })
-            .collect();
+        let mut observations = Vec::with_capacity(log.signatures.len());
+        for (signature_index, (sig, _)) in log.signatures.iter().enumerate() {
+            let rf = schema.decode(sig).map_err(|source| CheckLogError {
+                signature_index,
+                source,
+            })?;
+            observations.push(spec.observe(program, &rf, &config.check));
+            decoded.push(rf);
+        }
         let collective = if config.chunked_check && config.workers > 1 {
             if threaded {
                 check_collective_chunked(&spec, &observations, config.workers, config.split_windows)
@@ -653,8 +880,44 @@ impl Campaign {
         if config.compare_conventional {
             report.conventional = Some(check_conventional(&spec, &observations).stats);
         }
-        report
+        Ok(report)
     }
+}
+
+/// A signature in a [`SignatureLog`] failed schema decoding during
+/// [`Campaign::check_log`] — a corrupt entry, or a log recorded for a
+/// different program/schema.
+#[derive(Debug)]
+pub struct CheckLogError {
+    /// Position of the corrupt signature in the log's sorted unique set.
+    pub signature_index: usize,
+    /// The underlying decode failure.
+    pub source: mtc_instr::DecodeError,
+}
+
+impl std::fmt::Display for CheckLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "signature {} failed to decode: {}",
+            self.signature_index, self.source
+        )
+    }
+}
+
+impl std::error::Error for CheckLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What one supervised suite slot produced.
+enum SupervisedOutcome {
+    /// Replayed from the journal; no simulation ran.
+    Replayed(ReplayEntry),
+    /// Freshly executed: a verdict, or quarantine after exhausted retries.
+    /// Boxed: a report dwarfs the other variants.
+    Fresh(Result<Box<TestReport>, QuarantineRecord>),
 }
 
 /// The suite that survives the pre-simulation lint gate, with per-slot
@@ -703,6 +966,7 @@ fn run_shard(
     program: &Program,
     schema: &SignatureSchema,
     config: &CampaignConfig,
+    seed_offset: u64,
     range: std::ops::Range<u64>,
 ) -> ShardRun {
     let mut sim = sim.clone();
@@ -723,6 +987,7 @@ fn run_shard(
         let seed = config
             .test
             .seed
+            .wrapping_add(seed_offset)
             .wrapping_add(iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         match sim.run(seed) {
             Err(SimError::ProtocolDeadlock { .. } | SimError::Livelock { .. }) => {

@@ -1,0 +1,320 @@
+//! Durable campaign journaling: checkpoint every completed test, resume a
+//! killed campaign where it left off.
+//!
+//! A journal is a JSON-lines file: one header record identifying the
+//! campaign, then one record per completed test — a full [`TestReport`] for
+//! a validated test or a [`QuarantineRecord`] for one the supervisor gave
+//! up on. Records are appended and flushed as tests finish, so a campaign
+//! killed mid-run (power cut, wedged platform, operator ctrl-C) keeps every
+//! verdict it already earned. Resuming replays the journal, skips the
+//! recorded suite indices without simulating a single iteration, and the
+//! final [`ConfigReport`](crate::ConfigReport) equals an uninterrupted
+//! run's byte for byte — test generation is deterministic, so only the
+//! missing indices are executed.
+//!
+//! Replay is deliberately forgiving: a truncated final line (the usual
+//! scar of a mid-write kill) or a corrupt record is skipped with a counter,
+//! costing at most a re-run of the affected tests, never the campaign.
+
+use crate::supervisor::QuarantineRecord;
+use crate::{CampaignConfig, TestReport};
+use mtc_gen::TestConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Journal format version; bumped on incompatible record changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The identity of the campaign a journal belongs to. Resume refuses a
+/// journal whose header does not match the resuming configuration — the
+/// recorded verdicts would describe different tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Journal format version.
+    pub version: u32,
+    /// Full test-generation configuration (ISA, threads, ops, addresses,
+    /// seed, fractions — everything that decides which programs exist).
+    pub test: TestConfig,
+    /// Loop iterations per test.
+    pub iterations: u64,
+    /// Suite size.
+    pub tests: u64,
+}
+
+impl JournalHeader {
+    fn of(config: &CampaignConfig) -> Self {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            test: config.test.clone(),
+            iterations: config.iterations,
+            tests: config.tests,
+        }
+    }
+}
+
+/// One journal line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+enum JournalRecord {
+    /// First line: campaign identity.
+    Header(JournalHeader),
+    /// A validated test.
+    Test {
+        /// Suite index.
+        index: u64,
+        /// The full verdict (boxed: a report dwarfs the other variants).
+        report: Box<TestReport>,
+    },
+    /// A test the supervisor quarantined.
+    Quarantine(QuarantineRecord),
+}
+
+/// A completed entry replayed from a journal.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum ReplayEntry {
+    /// The test validated; reuse its report verbatim.
+    Test(Box<TestReport>),
+    /// The test was quarantined; do not retry it on resume.
+    Quarantine(QuarantineRecord),
+}
+
+/// Append-only campaign checkpoint log with resume replay.
+///
+/// Shared by the campaign's worker threads (`&self` append methods — the
+/// writer is internally locked), so records land as tests complete, in
+/// completion order; indices in the records restore suite order on replay.
+/// Write failures never kill the campaign: the journal marks itself
+/// degraded, the run continues, and the report carries the marker.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    path: PathBuf,
+    writer: Mutex<File>,
+    replay: BTreeMap<u64, ReplayEntry>,
+    /// Unparseable (corrupt or truncated) lines skipped during replay.
+    skipped_lines: u64,
+    /// A record failed to persist; the journal is incomplete.
+    degraded: AtomicBool,
+}
+
+impl CampaignJournal {
+    /// Creates (truncating) a fresh journal for `config` and writes its
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failure creating the file or writing the
+    /// header.
+    pub fn create(path: impl AsRef<Path>, config: &CampaignConfig) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_owned();
+        let file = File::create(&path)?;
+        let journal = CampaignJournal {
+            path,
+            writer: Mutex::new(file),
+            replay: BTreeMap::new(),
+            skipped_lines: 0,
+            degraded: AtomicBool::new(false),
+        };
+        journal.append(&JournalRecord::Header(JournalHeader::of(config)))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resume — or creates a fresh one if
+    /// `path` does not exist yet, so `--resume` is safe on a first run.
+    ///
+    /// Replays every parseable record; corrupt or truncated lines are
+    /// counted and skipped (their tests simply run again).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, an unreadable or missing header, or a header recorded
+    /// for a different campaign ([`JournalError::Mismatch`]).
+    pub fn resume(path: impl AsRef<Path>, config: &CampaignConfig) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Self::create(path, config);
+        }
+        let reader = BufReader::new(File::open(path)?);
+        let mut lines = reader.lines();
+        let header: JournalHeader = match lines.next() {
+            Some(line) => match serde_json::from_str(&line?) {
+                Ok(JournalRecord::Header(header)) => header,
+                Ok(_) => return Err(JournalError::MissingHeader),
+                Err(e) => return Err(JournalError::Format(e)),
+            },
+            None => return Err(JournalError::MissingHeader),
+        };
+        let expected = JournalHeader::of(config);
+        if header != expected {
+            return Err(JournalError::Mismatch {
+                expected: Box::new(expected),
+                found: Box::new(header),
+            });
+        }
+        let mut replay = BTreeMap::new();
+        let mut skipped = 0u64;
+        for line in lines {
+            let line = line?;
+            match serde_json::from_str(&line) {
+                Ok(JournalRecord::Test { index, report }) => {
+                    replay.insert(index, ReplayEntry::Test(report));
+                }
+                Ok(JournalRecord::Quarantine(record)) => {
+                    replay.insert(record.index, ReplayEntry::Quarantine(record));
+                }
+                // A second header is as corrupt as an unparseable line.
+                Ok(JournalRecord::Header(_)) | Err(_) => skipped += 1,
+            }
+        }
+        let writer = OpenOptions::new().append(true).open(path)?;
+        Ok(CampaignJournal {
+            path: path.to_owned(),
+            writer: Mutex::new(writer),
+            replay,
+            skipped_lines: skipped,
+            degraded: AtomicBool::new(false),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Completed entries replayed from the file (0 for a fresh journal).
+    pub fn replayed(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Corrupt or truncated lines skipped during replay.
+    pub fn skipped_lines(&self) -> u64 {
+        self.skipped_lines
+    }
+
+    /// Whether any record failed to persist.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn replay_entry(&self, index: u64) -> Option<&ReplayEntry> {
+        self.replay.get(&index)
+    }
+
+    /// Appends one record: a single line, flushed immediately so a kill
+    /// loses at most the record being written.
+    fn append(&self, record: &JournalRecord) -> Result<(), JournalError> {
+        let line = serde_json::to_string(record)?;
+        let mut writer = self.writer.lock().expect("journal writer lock");
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    fn append_or_degrade(&self, record: &JournalRecord, what: &str) {
+        if let Err(e) = self.append(record) {
+            self.mark_degraded(&format!("{what}: {e}"));
+        }
+    }
+
+    /// Records a completed test. Failures degrade the journal instead of
+    /// propagating — losing a checkpoint must never lose the campaign.
+    pub(crate) fn record_test(&self, index: u64, report: &TestReport) {
+        self.append_or_degrade(
+            &JournalRecord::Test {
+                index,
+                report: Box::new(report.clone()),
+            },
+            &format!("journal write for test {index} failed"),
+        );
+    }
+
+    /// Records a quarantined test; failures degrade the journal.
+    pub(crate) fn record_quarantine(&self, record: &QuarantineRecord) {
+        self.append_or_degrade(
+            &JournalRecord::Quarantine(record.clone()),
+            &format!("journal write for quarantined test {} failed", record.index),
+        );
+    }
+
+    /// Marks the journal incomplete and says so once on stderr.
+    pub(crate) fn mark_degraded(&self, reason: &str) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: campaign journal {} is incomplete ({reason}); \
+                 resume will re-run the unrecorded tests",
+                self.path.display()
+            );
+        } else {
+            eprintln!("warning: {reason}");
+        }
+    }
+}
+
+/// Error creating or resuming a [`CampaignJournal`].
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A record could not be (de)serialized.
+    Format(serde_json::Error),
+    /// The file's first line is not a journal header.
+    MissingHeader,
+    /// The journal belongs to a different campaign.
+    Mismatch {
+        /// Header the resuming configuration implies.
+        expected: Box<JournalHeader>,
+        /// Header found in the file.
+        found: Box<JournalHeader>,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Format(e) => write!(f, "journal format error: {e}"),
+            JournalError::MissingHeader => {
+                write!(f, "journal has no header line (not a campaign journal?)")
+            }
+            JournalError::Mismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different campaign: found {} seed {} \
+                 ({} iterations x {} tests), expected {} seed {} ({} iterations x {} tests)",
+                found.test.name(),
+                found.test.seed,
+                found.iterations,
+                found.tests,
+                expected.test.name(),
+                expected.test.seed,
+                expected.iterations,
+                expected.tests,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for JournalError {
+    fn from(e: serde_json::Error) -> Self {
+        JournalError::Format(e)
+    }
+}

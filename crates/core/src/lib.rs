@@ -44,16 +44,25 @@
 
 mod campaign;
 mod coverage;
+mod journal;
 mod log;
 pub mod pool;
 mod report;
+mod supervisor;
 
 pub use campaign::{
-    merge_signature_maps, Campaign, CampaignConfig, ConfigReport, TestReport, TimingBreakdown,
-    ViolationRecord,
+    merge_signature_maps, Campaign, CampaignConfig, CheckLogError, ConfigReport, TestReport,
+    TimingBreakdown, ViolationRecord,
 };
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
+pub use journal::{CampaignJournal, JournalError, JournalHeader, JOURNAL_VERSION};
 pub use log::{LogError, SignatureLog};
+#[cfg(feature = "fault-inject")]
+pub use supervisor::FaultPlan;
+pub use supervisor::{
+    attempt_seed_offset, AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy,
+    RETRY_SEED_STRIDE,
+};
 
 pub use mtc_analyze::{LintAction, LintPolicy, LintReport, Severity};
 pub use mtc_gen::{paper_configs, TestConfig};

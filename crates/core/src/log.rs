@@ -148,7 +148,7 @@ mod tests {
 
         // Host-side checking of the loaded log matches direct validation.
         let direct = campaign.run_test(&program);
-        let from_log = campaign.check_log(&loaded);
+        let from_log = campaign.check_log(&loaded).expect("saved logs decode");
         assert_eq!(direct.unique_signatures, from_log.unique_signatures);
         assert_eq!(direct.violations, from_log.violations);
         assert_eq!(direct.timing, from_log.timing);

@@ -8,19 +8,74 @@
 //! item, and the output order equals the input order no matter how the
 //! threads interleave. Thread count is an execution detail; the values
 //! computed are a pure function of the inputs.
+//!
+//! [`bounded_try_map`] is the crash-isolated variant the campaign
+//! supervisor builds on: each item's closure runs under
+//! [`std::panic::catch_unwind`], so a panicking worker poisons only its own
+//! slot (as a [`JobError`] carrying the panic payload) while every other
+//! item still completes and keeps its deterministic position.
 
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Over-subscription cap: the largest worker count honoured, as a multiple
+/// of the host's available parallelism. Requests beyond it are clamped —
+/// thousands of simulator threads only thrash the scheduler.
+pub const MAX_OVERSUBSCRIPTION: usize = 4;
+
 /// Resolves a requested worker count: `0` means "one worker per available
 /// hardware thread" (`std::thread::available_parallelism`), any other value
-/// is taken as-is.
+/// is taken as-is up to [`MAX_OVERSUBSCRIPTION`]× the available
+/// parallelism. Absurd requests are clamped to that cap with a warning on
+/// stderr instead of silently spawning thousands of threads.
 pub fn resolve_workers(requested: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     if requested == 0 {
-        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        return available;
+    }
+    let cap = available.saturating_mul(MAX_OVERSUBSCRIPTION);
+    if requested > cap {
+        eprintln!(
+            "warning: {requested} workers requested but only {available} hardware threads \
+             are available; clamping to {cap} ({MAX_OVERSUBSCRIPTION}x oversubscription)"
+        );
+        cap
     } else {
         requested
+    }
+}
+
+/// A worker job that panicked instead of producing a result.
+///
+/// The payload is the stringified panic message (`&str` and `String`
+/// payloads verbatim, anything else a placeholder), captured so the
+/// supervisor can quarantine the item with a useful failure history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// Input-order index of the item whose job panicked.
+    pub index: usize,
+    /// Stringified panic payload.
+    pub payload: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Stringifies a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -35,23 +90,58 @@ pub fn resolve_workers(requested: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first worker panic after all threads are joined.
+/// Propagates the first (in input order) worker panic after every other
+/// item has still run to completion.
 pub fn bounded_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(usize, T) -> U + Sync,
 {
+    bounded_try_map(items, workers, f)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(value) => value,
+            Err(err) => std::panic::resume_unwind(Box::new(err.payload)),
+        })
+        .collect()
+}
+
+/// Crash-isolated [`bounded_map`]: every item's closure runs under
+/// `catch_unwind`, and a panic becomes that item's [`JobError`] instead of
+/// aborting the whole map.
+///
+/// The deterministic-ordering contract is unchanged — slot `i` of the
+/// output always describes item `i` of the input, whether it succeeded or
+/// panicked, for any worker count. A panicking item costs its own slot and
+/// nothing else: the worker thread that caught it keeps claiming further
+/// items.
+pub fn bounded_try_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<U, JobError>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let run_one = |i: usize, item: T| {
+        // The closure owns this item alone and the shared `f` is only
+        // observed through `&F`; a panic can leave no torn state behind
+        // that a later item could see, so unwind safety is asserted.
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| JobError {
+            index: i,
+            payload: panic_message(payload.as_ref()),
+        })
+    };
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| run_one(i, x))
             .collect();
     }
     let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<U, JobError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -65,7 +155,7 @@ where
                     .expect("pool item lock")
                     .take()
                     .expect("each index is claimed once");
-                *slots[i].lock().expect("pool slot lock") = Some(f(i, item));
+                *slots[i].lock().expect("pool slot lock") = Some(run_one(i, item));
             });
         }
     });
@@ -117,5 +207,69 @@ mod tests {
     fn resolve_zero_uses_available_parallelism() {
         assert!(resolve_workers(0) >= 1);
         assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn resolve_clamps_absurd_requests() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cap = available * MAX_OVERSUBSCRIPTION;
+        assert_eq!(resolve_workers(cap), cap, "the cap itself is honoured");
+        assert_eq!(resolve_workers(cap + 1), cap);
+        assert_eq!(resolve_workers(100_000), cap);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_item() {
+        for workers in [1, 2, 4, 8] {
+            let out = bounded_try_map((0..23u32).collect(), workers, |i, x| {
+                assert!(x % 7 != 3 || i % 7 == 3, "index tracks item");
+                assert!(x % 7 != 3, "injected panic at {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), 23, "workers={workers}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let err = slot.as_ref().expect_err("item panicked");
+                    assert_eq!(err.index, i);
+                    assert!(err.payload.contains("injected panic"), "{err}");
+                } else {
+                    assert_eq!(*slot.as_ref().expect("item succeeded"), i as u32 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_serial_and_threaded_agree_with_faults() {
+        let run = |workers| {
+            bounded_try_map((0..31u32).collect(), workers, |_, x| {
+                assert!(x != 5 && x != 17, "boom {x}");
+                x + 1
+            })
+        };
+        let serial = run(1);
+        for workers in [2, 4] {
+            assert_eq!(serial, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_still_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            bounded_map(vec![1u32, 2, 3], 2, |_, x| {
+                assert!(x != 2, "hard failure");
+                x
+            })
+        });
+        assert!(caught.is_err(), "bounded_map keeps its panicking contract");
+    }
+
+    #[test]
+    fn job_error_displays_index_and_payload() {
+        let err = JobError {
+            index: 4,
+            payload: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "job 4 panicked: boom");
     }
 }

@@ -39,6 +39,17 @@ impl fmt::Display for TestReport {
             self.signature_bytes,
             self.code_size.ratio()
         )?;
+        if self.attempts > 1 {
+            writeln!(
+                f,
+                "supervisor: verdict on attempt {} after {} failed attempt(s)",
+                self.attempts,
+                self.retry_failures.len()
+            )?;
+            for failure in &self.retry_failures {
+                writeln!(f, "  {failure}")?;
+            }
+        }
         if let Some(lint) = &self.lint {
             match lint.max_severity() {
                 Some(severity) => writeln!(
@@ -81,9 +92,31 @@ impl fmt::Display for ConfigReport {
                 self.lint_pruned, self.lint_regenerated
             )?;
         }
-        for (i, t) in self.tests.iter().enumerate() {
-            writeln!(f, "--- test {i} ---")?;
+        if self.resumed_tests > 0 {
+            writeln!(
+                f,
+                "journal: {} test(s) replayed without re-execution",
+                self.resumed_tests
+            )?;
+        }
+        if self.is_degraded() {
+            writeln!(
+                f,
+                "DEGRADED RUN: {} test(s) quarantined{}; verdicts below are partial",
+                self.quarantined.len(),
+                if self.journal_degraded {
+                    ", journal incomplete"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        for t in &self.tests {
+            writeln!(f, "--- test {} ---", t.index)?;
             write!(f, "{t}")?;
+        }
+        for q in &self.quarantined {
+            write!(f, "QUARANTINED: {q}")?;
         }
         Ok(())
     }

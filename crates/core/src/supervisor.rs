@@ -1,0 +1,301 @@
+//! The fault-tolerant campaign supervisor: retry policy, failure
+//! classification, and quarantine records.
+//!
+//! Post-silicon validation platforms crash, hang, and wedge mid-campaign —
+//! the paper's §7 bug-3 study reports that *every* injected-bug-3 run
+//! crashed the platform. A campaign that dies with its first sick test
+//! loses all the verdicts it already earned. The supervisor keeps a
+//! campaign alive instead:
+//!
+//! 1. **Crash isolation** — every test runs under
+//!    [`bounded_try_map`](crate::pool::bounded_try_map), so a panicking
+//!    worker poisons only its own test slot.
+//! 2. **Watchdog retries** — each failed attempt is classified into a
+//!    [`FailureCause`] and retried under the campaign's [`RetryPolicy`]:
+//!    deterministic seed perturbation (so a wedging interleaving is not
+//!    replayed verbatim) and exponential backoff between attempts.
+//! 3. **Quarantine** — a test that exhausts its attempts lands in the
+//!    report's quarantine section as a [`QuarantineRecord`] carrying its
+//!    full failure history, and the campaign completes with partial
+//!    verdicts instead of crashing. The run is marked *degraded*.
+//!
+//! The first attempt of every test always runs with a zero seed offset, so
+//! a supervised run's verdicts on healthy tests are bit-identical to an
+//! unsupervised run's.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Seed-perturbation stride between retry attempts — deliberately a
+/// different odd constant from the per-iteration stride in the collection
+/// loop, so retry seed streams never alias iteration seed streams.
+pub const RETRY_SEED_STRIDE: u64 = 0xA076_1D64_78BD_642F;
+
+/// The deterministic seed offset applied to attempt `attempt` (1-based).
+/// Attempt 1 is always unperturbed, preserving bit-identity with an
+/// unsupervised run for tests that succeed first try.
+pub fn attempt_seed_offset(attempt: u32) -> u64 {
+    u64::from(attempt.saturating_sub(1)).wrapping_mul(RETRY_SEED_STRIDE)
+}
+
+/// How the supervisor retries failing tests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per test, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Base backoff slept before the second attempt; attempt `k` waits
+    /// `backoff * 2^(k-2)`. [`Duration::ZERO`] (the default) never sleeps.
+    pub backoff: Duration,
+    /// Per-attempt wall-clock budget. An attempt that finishes past the
+    /// budget is discarded as [`FailureCause::Timeout`] and retried —
+    /// the supervisor-level watchdog above the engine's in-simulation
+    /// step budget ([`mtc_sim::SystemConfig::max_steps_per_op`]).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            time_budget: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` retries after the first attempt and no
+    /// backoff or time budget.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Returns the policy with a base backoff between attempts.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Returns the policy with a per-attempt wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// The backoff slept before (1-based) attempt `attempt`: zero for the
+    /// first attempt, then `backoff * 2^(attempt - 2)`, saturating.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(20);
+        self.backoff.saturating_mul(1u32 << exp)
+    }
+}
+
+/// Why one attempt at validating a test failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// The worker panicked (stringified payload). Covers both genuine
+    /// defects and the fault-injection harness's synthetic crashes.
+    Panic {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A signature in the collected log failed schema decoding — the
+    /// post-silicon analogue of a corrupted result transfer.
+    Decode {
+        /// Position of the corrupt signature in the sorted unique set.
+        signature_index: usize,
+        /// Stringified [`mtc_instr::DecodeError`].
+        error: String,
+    },
+    /// The attempt finished but blew through the policy's wall-clock
+    /// budget (livelock/deadlock watchdog at supervisor granularity).
+    Timeout {
+        /// Observed attempt duration in milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Panic { payload } => write!(f, "worker panic: {payload}"),
+            FailureCause::Decode {
+                signature_index,
+                error,
+            } => write!(f, "signature {signature_index} failed to decode: {error}"),
+            FailureCause::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => write!(f, "attempt took {elapsed_ms} ms (budget {budget_ms} ms)"),
+        }
+    }
+}
+
+/// One failed attempt in a test's supervision history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttemptFailure {
+    /// 1-based attempt number (`0` marks a failure caught by the pool-level
+    /// backstop outside any attempt scope).
+    pub attempt: u32,
+    /// Deterministic seed offset the attempt ran under.
+    pub seed_offset: u64,
+    /// The classified failure.
+    pub cause: FailureCause,
+}
+
+impl fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attempt {}: {}", self.attempt, self.cause)
+    }
+}
+
+/// A test that exhausted its retry budget, with its full failure history.
+///
+/// Quarantined tests produce no verdict; the campaign's other tests still
+/// do, and the whole report carries an explicit degraded-run marker.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Suite index of the quarantined test.
+    pub index: u64,
+    /// Every failed attempt, in order.
+    pub attempts: Vec<AttemptFailure>,
+}
+
+impl fmt::Display for QuarantineRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "test {} quarantined after {} attempt(s):",
+            self.index,
+            self.attempts.len()
+        )?;
+        for failure in &self.attempts {
+            writeln!(f, "  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic fault-injection plan for supervisor end-to-end tests
+/// (compiled only with the `fault-inject` feature).
+///
+/// Faults are keyed by suite index (and attempt, where it matters) so a
+/// test can prove precise properties: "panics injected into tests 1 and 3
+/// quarantine exactly those two and leave every other verdict bit-identical
+/// to a clean run".
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Panic the worker at `(test index, attempt)`.
+    pub panic_at: Vec<(u64, u32)>,
+    /// Sleep this many milliseconds at the start of `(test index, attempt)`
+    /// — an artificial stall that trips the wall-clock watchdog.
+    pub stall_ms_at: Vec<(u64, u32, u64)>,
+    /// Drop the journal write for these test indices and mark the journal
+    /// degraded, as an injected journal I/O error would.
+    pub journal_error_at: Vec<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultPlan {
+    /// A plan that panics the listed `(index, attempt)` pairs.
+    pub fn panicking(at: impl IntoIterator<Item = (u64, u32)>) -> Self {
+        FaultPlan {
+            panic_at: at.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fires at the start of an attempt: stalls, then panics, as planned.
+    pub(crate) fn on_attempt(&self, index: u64, attempt: u32) {
+        if let Some((_, _, ms)) = self
+            .stall_ms_at
+            .iter()
+            .find(|&&(i, a, _)| i == index && a == attempt)
+        {
+            std::thread::sleep(Duration::from_millis(*ms));
+        }
+        assert!(
+            !self.panic_at.contains(&(index, attempt)),
+            "injected fault: worker panic at test {index} attempt {attempt}"
+        );
+    }
+
+    /// Whether the journal write for test `index` should be dropped.
+    pub(crate) fn breaks_journal(&self, index: u64) -> bool {
+        self.journal_error_at.contains(&index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_unperturbed() {
+        assert_eq!(attempt_seed_offset(1), 0);
+        assert_eq!(attempt_seed_offset(2), RETRY_SEED_STRIDE);
+        assert_ne!(attempt_seed_offset(2), attempt_seed_offset(3));
+    }
+
+    #[test]
+    fn default_policy_is_one_attempt_no_waiting() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.max_attempts, 1);
+        assert_eq!(policy.backoff_before(1), Duration::ZERO);
+        assert_eq!(policy.backoff_before(5), Duration::ZERO);
+        assert!(policy.time_budget.is_none());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let policy = RetryPolicy::with_retries(3).with_backoff(Duration::from_millis(10));
+        assert_eq!(policy.max_attempts, 4);
+        assert_eq!(policy.backoff_before(1), Duration::ZERO);
+        assert_eq!(policy.backoff_before(2), Duration::from_millis(10));
+        assert_eq!(policy.backoff_before(3), Duration::from_millis(20));
+        assert_eq!(policy.backoff_before(4), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn causes_and_records_render() {
+        let record = QuarantineRecord {
+            index: 3,
+            attempts: vec![
+                AttemptFailure {
+                    attempt: 1,
+                    seed_offset: 0,
+                    cause: FailureCause::Panic {
+                        payload: "boom".into(),
+                    },
+                },
+                AttemptFailure {
+                    attempt: 2,
+                    seed_offset: attempt_seed_offset(2),
+                    cause: FailureCause::Timeout {
+                        elapsed_ms: 120,
+                        budget_ms: 100,
+                    },
+                },
+            ],
+        };
+        let text = record.to_string();
+        assert!(text.contains("test 3 quarantined after 2 attempt(s)"));
+        assert!(text.contains("attempt 1: worker panic: boom"));
+        assert!(text.contains("attempt 2: attempt took 120 ms (budget 100 ms)"));
+        let decode = FailureCause::Decode {
+            signature_index: 7,
+            error: "wrong length".into(),
+        };
+        assert!(decode.to_string().contains("signature 7"));
+    }
+}

@@ -264,7 +264,7 @@ impl<'p> Simulator<'p> {
         let mut last_thread = usize::MAX;
         let mut step = 0u64;
         let mut done = 0usize;
-        let max_steps = (total as u64 + 1) * 1_000;
+        let max_steps = (total as u64 + 1).saturating_mul(self.config.max_steps_per_op);
 
         while done < total {
             step += 1;
@@ -675,6 +675,24 @@ mod tests {
         fn assert_clone<T: Clone>() {}
         assert_send::<Simulator<'static>>();
         assert_clone::<Simulator<'static>>();
+    }
+
+    #[test]
+    fn exhausted_step_budget_reports_livelock() {
+        // The livelock guard is the engine-level watchdog: with a zeroed
+        // budget every run must fail fast with `SimError::Livelock` instead
+        // of committing a single operation, for any seed.
+        let t = litmus::message_passing();
+        let mut sim = Simulator::new(&t.program, SystemConfig::arm_soc().with_step_budget(0));
+        for seed in 0..10 {
+            match sim.run(seed) {
+                Err(SimError::Livelock { step }) => assert_eq!(step, 1),
+                other => panic!("expected livelock, got {other:?}"),
+            }
+        }
+        // A sane budget on the same simulator state completes normally.
+        let mut sim = Simulator::new(&t.program, SystemConfig::arm_soc());
+        assert!(sim.run(0).is_ok());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use bugs::BugKind;
 pub use cache::{AccessOutcome, CacheModel, LineState};
 pub use config::{
     CacheConfig, OsConfig, SchedulerConfig, SchedulerKind, StoreAtomicity, SystemConfig,
-    TimingConfig,
+    TimingConfig, DEFAULT_MAX_STEPS_PER_OP,
 };
 pub use engine::{ExecStats, Execution, Simulator};
 pub use error::SimError;

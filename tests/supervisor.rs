@@ -1,0 +1,170 @@
+//! Supervisor behavior that holds without fault injection: retry policy
+//! wiring, journal checkpoint/resume, and degraded-run reporting.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{Campaign, CampaignConfig, CampaignJournal, RetryPolicy, TestConfig};
+use proptest::prelude::*;
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 15, 8).with_seed(21), 120).with_tests(3)
+}
+
+/// Whether the serde stubs used for offline development are active; JSON
+/// round-trips cannot work under them, so journal tests skip.
+fn serde_is_stubbed() -> bool {
+    serde_json::to_string(&0u32).is_err()
+}
+
+#[test]
+fn retries_leave_healthy_verdicts_bit_identical() {
+    let plain = Campaign::new(small_config()).run();
+    let retried = Campaign::new(small_config().with_retry(RetryPolicy::with_retries(3))).run();
+    assert_eq!(plain, retried, "attempt 1 must be unperturbed");
+    assert!(!retried.is_degraded());
+    for t in &retried.tests {
+        assert_eq!(t.attempts, 1);
+        assert!(t.retry_failures.is_empty());
+    }
+}
+
+#[test]
+fn journal_run_matches_plain_run_and_resume_skips_all() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    let campaign = Campaign::new(small_config());
+    let plain = campaign.run();
+
+    let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+    let journaled = campaign.run_with_journal(&journal);
+    assert_eq!(journaled.resumed_tests, 0);
+    assert!(!journaled.journal_degraded);
+    // The journal is transparent: same verdicts as an unjournaled run.
+    let mut expected = plain.clone();
+    expected.resumed_tests = journaled.resumed_tests;
+    assert_eq!(journaled, expected);
+
+    // A resume of the completed journal replays everything and simulates
+    // nothing; only the resumed counter differs from the original report.
+    let resumed_journal = CampaignJournal::resume(&path, campaign.config()).unwrap();
+    assert_eq!(resumed_journal.replayed(), 3);
+    assert_eq!(resumed_journal.skipped_lines(), 0);
+    let resumed = campaign.run_with_journal(&resumed_journal);
+    assert_eq!(resumed.resumed_tests, 3);
+    let mut expected = journaled.clone();
+    expected.resumed_tests = 3;
+    assert_eq!(resumed, expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn exhausted_step_budget_iterations_classify_as_crashes() {
+    // The engine's configurable watchdog (`SystemConfig::with_step_budget`)
+    // reports `SimError::Livelock`; the campaign books every such iteration
+    // as a platform crash, exactly like the paper's bug-3 runs.
+    let test = TestConfig::new(IsaKind::Arm, 2, 10, 8).with_seed(5);
+    let wedged = mtracecheck::sim::SystemConfig::arm_soc().with_step_budget(0);
+    let report = Campaign::new(
+        CampaignConfig::new(test, 50)
+            .with_tests(1)
+            .with_system(wedged),
+    )
+    .run();
+    assert_eq!(report.tests[0].crashes, 50, "every iteration wedges");
+    assert_eq!(report.tests[0].unique_signatures, 0);
+    assert!(!report.tests[0].is_clean());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Journal replay is idempotent: resuming a fully-completed journal
+    /// reproduces the original report byte for byte (modulo the resumed
+    /// counter) for arbitrary campaign shapes, and a second resume of the
+    /// journal it appended nothing to does so again.
+    #[test]
+    fn journal_replay_is_idempotent(seed in 0u64..64, tests in 1u64..4) {
+        if serde_is_stubbed() {
+            eprintln!("skipping: serde stubs cannot serialize journal records");
+            return Ok(());
+        }
+        let dir = std::env::temp_dir().join("mtracecheck-supervisor-idempotent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("journal-{seed}-{tests}.jsonl"));
+        let config = CampaignConfig::new(
+            TestConfig::new(IsaKind::Arm, 2, 12, 8).with_seed(seed),
+            60,
+        )
+        .with_tests(tests);
+        let campaign = Campaign::new(config);
+        let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+        let original = campaign.run_with_journal(&journal);
+        drop(journal);
+
+        for _ in 0..2 {
+            let resumed_journal = CampaignJournal::resume(&path, campaign.config()).unwrap();
+            prop_assert_eq!(resumed_journal.replayed() as u64, tests);
+            let resumed = campaign.run_with_journal(&resumed_journal);
+            prop_assert_eq!(resumed.resumed_tests, tests);
+            let mut expected = original.clone();
+            expected.resumed_tests = tests;
+            prop_assert_eq!(resumed, expected);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_campaign() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let campaign = Campaign::new(small_config());
+    CampaignJournal::create(&path, campaign.config()).unwrap();
+
+    let other = small_config().with_tests(7);
+    let err = CampaignJournal::resume(&path, &other).expect_err("mismatched identity");
+    assert!(err.to_string().contains("different campaign"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_journal_line_is_skipped_not_fatal() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-truncated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let campaign = Campaign::new(small_config());
+    let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+    campaign.run_with_journal(&journal);
+    drop(journal);
+
+    // Chop the final record in half, as a mid-write kill would.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let keep = contents.len() - contents.lines().last().unwrap().len() / 2 - 1;
+    std::fs::write(&path, &contents[..keep]).unwrap();
+
+    let resumed = CampaignJournal::resume(&path, campaign.config()).unwrap();
+    assert_eq!(resumed.replayed(), 2, "two intact records survive");
+    assert_eq!(resumed.skipped_lines(), 1, "the torn line is counted");
+    // The resumed run re-executes only the torn test and still matches an
+    // uninterrupted campaign.
+    let report = campaign.run_with_journal(&resumed);
+    assert_eq!(report.resumed_tests, 2);
+    let mut expected = Campaign::new(small_config()).run();
+    expected.resumed_tests = 2;
+    assert_eq!(report, expected);
+    std::fs::remove_file(&path).ok();
+}

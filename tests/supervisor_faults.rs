@@ -1,0 +1,216 @@
+//! Fault-injection end-to-end tests for the campaign supervisor
+//! (`--features fault-inject`): injected worker panics, stalls, and journal
+//! I/O errors must cost exactly the faulted tests and nothing else.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{
+    Campaign, CampaignConfig, CampaignJournal, FailureCause, FaultPlan, RetryPolicy, TestConfig,
+};
+use std::time::Duration;
+
+fn config() -> CampaignConfig {
+    CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 15, 8).with_seed(33), 120).with_tests(6)
+}
+
+fn serde_is_stubbed() -> bool {
+    serde_json::to_string(&0u32).is_err()
+}
+
+#[test]
+fn injected_panics_quarantine_exactly_the_faulted_tests() {
+    // The acceptance scenario: panics injected into 2 of 6 tests. For every
+    // worker count the quarantine holds exactly those two (with attempt
+    // histories) and every other verdict is bit-identical to an unfaulted
+    // serial run of the same shard plan (the plan is part of the logical
+    // computation; see `CampaignConfig::workers`).
+    for workers in [1usize, 2, 4] {
+        let clean = Campaign::new(config().with_workers(workers)).run_serial();
+        let faulted = Campaign::new(
+            config()
+                .with_parallel()
+                .with_workers(workers)
+                .with_faults(FaultPlan::panicking([(1, 1), (3, 1)])),
+        )
+        .run();
+        assert!(faulted.is_degraded(), "workers={workers}");
+        assert!(!faulted.journal_degraded);
+        let quarantined: Vec<u64> = faulted.quarantined.iter().map(|q| q.index).collect();
+        assert_eq!(quarantined, vec![1, 3], "workers={workers}");
+        for record in &faulted.quarantined {
+            assert_eq!(record.attempts.len(), 1, "default policy: one attempt");
+            let failure = &record.attempts[0];
+            assert_eq!(failure.attempt, 1);
+            assert_eq!(failure.seed_offset, 0);
+            match &failure.cause {
+                FailureCause::Panic { payload } => {
+                    assert!(payload.contains("injected fault"), "{payload}");
+                }
+                other => panic!("expected a panic cause, got {other}"),
+            }
+        }
+        assert_eq!(faulted.tests.len(), 4, "workers={workers}");
+        for t in &faulted.tests {
+            assert_eq!(
+                t, &clean.tests[t.index as usize],
+                "non-faulted test {} must be bit-identical (workers={workers})",
+                t.index
+            );
+        }
+    }
+}
+
+#[test]
+fn retries_recover_transient_panics_with_history() {
+    // A panic on attempt 1 only: the retry (perturbed seed, attempt 2)
+    // succeeds, and the verdict carries the failure history.
+    let report = Campaign::new(
+        config()
+            .with_retry(RetryPolicy::with_retries(2))
+            .with_faults(FaultPlan::panicking([(0, 1)])),
+    )
+    .run();
+    assert!(report.quarantined.is_empty());
+    assert!(!report.is_degraded());
+    let recovered = &report.tests[0];
+    assert_eq!(recovered.attempts, 2);
+    assert_eq!(recovered.retry_failures.len(), 1);
+    assert_eq!(recovered.retry_failures[0].attempt, 1);
+    assert!(matches!(
+        recovered.retry_failures[0].cause,
+        FailureCause::Panic { .. }
+    ));
+    for t in &report.tests[1..] {
+        assert_eq!(t.attempts, 1, "only the faulted test retried");
+        assert!(t.retry_failures.is_empty());
+    }
+}
+
+#[test]
+fn stalls_trip_the_wall_clock_watchdog() {
+    let stalled = |retries: u32| {
+        Campaign::new(
+            CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 10, 8).with_seed(34), 40)
+                .with_tests(2)
+                .with_retry(
+                    RetryPolicy::with_retries(retries).with_time_budget(Duration::from_millis(200)),
+                )
+                .with_faults(FaultPlan {
+                    stall_ms_at: vec![(0, 1, 400)],
+                    ..FaultPlan::default()
+                }),
+        )
+        .run()
+    };
+    // No retries: the stalled attempt exceeds the budget and quarantines.
+    let report = stalled(0);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].index, 0);
+    assert!(matches!(
+        report.quarantined[0].attempts[0].cause,
+        FailureCause::Timeout { .. }
+    ));
+    // One retry: the stall was planned for attempt 1 only, so attempt 2
+    // comes in under budget and the test recovers.
+    let report = stalled(1);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.tests[0].attempts, 2);
+    assert!(matches!(
+        report.tests[0].retry_failures[0].cause,
+        FailureCause::Timeout { .. }
+    ));
+}
+
+#[test]
+fn journal_faults_degrade_the_run_and_resume_repairs_it() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-journal-fault");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let faulty = Campaign::new(config().with_faults(FaultPlan {
+        journal_error_at: vec![1, 4],
+        ..FaultPlan::default()
+    }));
+    let journal = CampaignJournal::create(&path, faulty.config()).unwrap();
+    let degraded = faulty.run_with_journal(&journal);
+    drop(journal);
+    // The run itself loses nothing — only its checkpoint log is incomplete.
+    assert!(degraded.journal_degraded);
+    assert!(degraded.is_degraded());
+    assert_eq!(degraded.tests.len(), 6);
+    assert!(degraded.quarantined.is_empty());
+
+    // Resume with a healthy campaign: the two unrecorded tests re-run, the
+    // rest replay, and the final report equals an uninterrupted clean run.
+    let clean = Campaign::new(config());
+    let resumed_journal = CampaignJournal::resume(&path, clean.config()).unwrap();
+    assert_eq!(resumed_journal.replayed(), 4);
+    let resumed = clean.run_with_journal(&resumed_journal);
+    assert_eq!(resumed.resumed_tests, 4);
+    assert!(!resumed.journal_degraded);
+    let mut expected = Campaign::new(config()).run();
+    expected.resumed_tests = 4;
+    assert_eq!(resumed, expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resuming_a_complete_journal_simulates_nothing() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-zero-sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let campaign = Campaign::new(config());
+    let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+    let original = campaign.run_with_journal(&journal);
+    drop(journal);
+
+    // Resume under a plan that panics the first attempt of every test: if
+    // the replay executed even one test, it would land in quarantine. A
+    // clean, bit-identical report is proof of zero simulations.
+    let poisoned =
+        Campaign::new(config().with_faults(FaultPlan::panicking((0..6).map(|i| (i, 1)))));
+    let resumed_journal = CampaignJournal::resume(&path, poisoned.config()).unwrap();
+    assert_eq!(resumed_journal.replayed(), 6);
+    let resumed = poisoned.run_with_journal(&resumed_journal);
+    assert!(resumed.quarantined.is_empty(), "no test may have executed");
+    let mut expected = original;
+    expected.resumed_tests = 6;
+    assert_eq!(resumed, expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_report() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-supervisor-kill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let campaign = Campaign::new(config());
+    let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+    let uninterrupted = campaign.run_with_journal(&journal);
+    drop(journal);
+
+    // Simulate a kill after the third test by dropping every record past
+    // the header + 3, then resume.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let kept: Vec<&str> = contents.lines().take(4).collect();
+    std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+    let resumed_journal = CampaignJournal::resume(&path, campaign.config()).unwrap();
+    assert_eq!(resumed_journal.replayed(), 3, "three checkpoints survive");
+    let resumed = campaign.run_with_journal(&resumed_journal);
+    assert_eq!(resumed.resumed_tests, 3);
+    let mut expected = uninterrupted;
+    expected.resumed_tests = 3;
+    assert_eq!(resumed, expected, "resume must reproduce the full report");
+    std::fs::remove_file(&path).ok();
+}
