@@ -93,6 +93,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "lsq-window",
     "l1-bytes",
     "enum-limit",
+    "mem-budget",
     "suite",
     "json",
     "deny",
@@ -112,11 +113,31 @@ fn usage() -> &'static str {
                 [--seed S] [--tests N] [--mcm <sc|tso|weak>]\n\
                 [--load-fraction F] [--fence-fraction F] [--words-per-line W]\n\
                 [--lsq-window W] [--l1-bytes B] [--enum-limit N]\n\
-                [--json] [--deny <info|warnings|errors>]\n\
+                [--mem-budget BYTES[k|m|g]] [--json]\n\
+                [--deny <info|warnings|errors>]\n\
        mtc-lint --suite [--tests N] [--json] [--deny SEV]\n\
                 lint every paper configuration (Figure 8's 21 suites)\n\
      \n\
      EXIT STATUS: 0 clean at the gate, 1 gated findings exist, 2 usage error\n"
+}
+
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, scale) = match s.to_ascii_lowercase().strip_suffix(['k', 'm', 'g']) {
+        Some(prefix) => {
+            let scale = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (prefix.to_owned(), scale)
+        }
+        None => (s.to_owned(), 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(scale))
+        .ok_or_else(|| format!("cannot parse byte count `{s}` (expected N, Nk, Nm or Ng)"))
 }
 
 fn parse_mcm(s: &str) -> Result<Mcm, String> {
@@ -183,6 +204,10 @@ fn run(args: &Args) -> Result<Run, String> {
             .with_enumeration_limit(
                 args.num("enum-limit", mtc_analyze::DEFAULT_ENUMERATION_LIMIT)?,
             );
+        if let Some(budget) = args.get("mem-budget") {
+            options = options
+                .with_mem_budget(parse_bytes(budget).map_err(|e| format!("--mem-budget: {e}"))?);
+        }
         if let Some(mcm) = args.get("mcm") {
             options = options.with_mcm(parse_mcm(mcm)?);
         }

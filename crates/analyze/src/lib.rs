@@ -86,6 +86,9 @@ pub struct LintOptions {
     pub l1_bytes: u64,
     /// Signature-space ceiling for the feasibility cross-check.
     pub enumeration_limit: u64,
+    /// Campaign memory budget for unique-signature deduplication, when one
+    /// is declared; `None` (the default) skips the footprint pass.
+    pub mem_budget_bytes: Option<u64>,
 }
 
 impl LintOptions {
@@ -98,6 +101,7 @@ impl LintOptions {
             pruning: SourcePruning::none(),
             l1_bytes: DEFAULT_L1_BYTES,
             enumeration_limit: DEFAULT_ENUMERATION_LIMIT,
+            mem_budget_bytes: None,
         }
     }
 
@@ -137,6 +141,12 @@ impl LintOptions {
         self.enumeration_limit = limit;
         self
     }
+
+    /// Returns the options with a memory budget for the footprint pass.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget_bytes = Some(bytes);
+        self
+    }
 }
 
 /// Runs every pass over `program` and returns the combined report.
@@ -150,6 +160,7 @@ pub fn lint_program(program: &Program, options: &LintOptions) -> LintReport {
     findings.extend(passes::dead_stores(program, &analysis));
     let (capacity, capacity_findings) = passes::capacity(program, &schema, options);
     findings.extend(capacity_findings);
+    findings.extend(passes::memory_footprint(&capacity, options));
     findings.extend(passes::fences(program, options.mcm));
     let (feasibility, soundness_findings) =
         feasibility::cross_check(program, &analysis, &schema, options);
@@ -368,6 +379,30 @@ mod tests {
         let report = lint_program(&t.program, &arm_options().with_enumeration_limit(2));
         assert!(report.feasibility.is_none());
         assert_eq!(report.count(LintKind::SchemaUnsound), 0);
+    }
+
+    /// Acceptance: the footprint pass only runs under a declared budget,
+    /// warns when the §3.2 worst case exceeds it, and stays silent when the
+    /// signature space fits.
+    #[test]
+    fn memory_footprint_warns_only_over_budget() {
+        let t = litmus::store_buffering();
+        // No budget declared: pass skipped entirely.
+        let silent = lint_program(&t.program, &arm_options());
+        assert_eq!(silent.count(LintKind::MemoryFootprint), 0);
+        // SB has 4 encodable signatures x (4 B + overhead) << 1 MiB.
+        let roomy = lint_program(&t.program, &arm_options().with_mem_budget(1 << 20));
+        assert_eq!(roomy.count(LintKind::MemoryFootprint), 0, "{roomy}");
+        // A 16-byte budget cannot hold even one dedup entry.
+        let tight = lint_program(&t.program, &arm_options().with_mem_budget(16));
+        assert_eq!(tight.count(LintKind::MemoryFootprint), 1, "{tight}");
+        assert_eq!(tight.max_severity(), Some(Severity::Warning));
+        let finding = tight
+            .findings
+            .iter()
+            .find(|f| f.kind == LintKind::MemoryFootprint)
+            .unwrap();
+        assert!(finding.message.contains("spill"), "{}", finding.message);
     }
 
     /// Acceptance: the default `paper_configs()` suite carries zero

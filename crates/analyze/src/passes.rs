@@ -130,6 +130,45 @@ pub(crate) fn capacity(
     )
 }
 
+/// Per-entry bookkeeping cost of deduplicating one unique signature in
+/// memory (map node, occurrence counter, first-seen position) — kept in
+/// sync with the signature store's budget accounting in the core crate.
+const DEDUP_ENTRY_OVERHEAD_BYTES: u64 = 48;
+
+/// Pass 3b: worst-case unique-signature-set memory footprint (§3.2).
+///
+/// The signature space has `2^Σ radix_bits` points; deduplicating every one
+/// of them in memory costs `signature_bytes + overhead` each. When the
+/// campaign declares a memory budget and the worst case exceeds it, the
+/// test is flagged so the operator enables spill-to-disk (or accepts that
+/// the resident set stays bounded only because iterations do).
+pub(crate) fn memory_footprint(
+    capacity: &CapacityDiagnostics,
+    options: &LintOptions,
+) -> Vec<Finding> {
+    let Some(budget) = options.mem_budget_bytes else {
+        return Vec::new();
+    };
+    let total_radix_bits: f64 = capacity.per_thread.iter().map(|t| t.radix_bits).sum();
+    let per_entry = capacity.signature_bytes as u64 + DEDUP_ENTRY_OVERHEAD_BYTES;
+    // 2^53 unique signatures already dwarf any real budget; clamping the
+    // exponent keeps the estimate finite and exactly representable.
+    let unique = 2f64.powf(total_radix_bits.min(53.0));
+    let estimate = unique * per_entry as f64;
+    if estimate <= budget as f64 {
+        return Vec::new();
+    }
+    vec![Finding::new(
+        LintKind::MemoryFootprint,
+        None,
+        format!(
+            "worst-case unique-signature set is 2^{total_radix_bits:.1} entries x {per_entry} B \
+             ~ {estimate:.1e} B, exceeding the {budget} B memory budget; \
+             run with a spill directory so deduplication can page to disk"
+        ),
+    )]
+}
+
 /// Pass 4: fences that order nothing under the configured MCM.
 ///
 /// A fence is *trailing* when no memory operation its kind covers exists on

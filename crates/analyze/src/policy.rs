@@ -36,6 +36,10 @@ pub struct LintPolicy {
     pub l1_bytes: u64,
     /// Signature-space ceiling for the feasibility cross-check.
     pub enumeration_limit: u64,
+    /// Memory budget for the unique-signature footprint pass; campaigns
+    /// with a bounded [`MemoryBudget`](https://docs.rs/mtracecheck) inject
+    /// theirs automatically. `None` skips the pass.
+    pub mem_budget_bytes: Option<u64>,
 }
 
 impl LintPolicy {
@@ -47,6 +51,7 @@ impl LintPolicy {
             action,
             l1_bytes: DEFAULT_L1_BYTES,
             enumeration_limit: DEFAULT_ENUMERATION_LIMIT,
+            mem_budget_bytes: None,
         }
     }
 
@@ -66,12 +71,22 @@ impl LintPolicy {
         Self::new(gate, LintAction::Regenerate { max_attempts })
     }
 
+    /// Returns the policy with a memory budget for the footprint pass.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget_bytes = Some(bytes);
+        self
+    }
+
     /// The [`LintOptions`] this policy implies for one test configuration.
     pub fn options_for(&self, config: &TestConfig, pruning: SourcePruning) -> LintOptions {
-        LintOptions::for_test(config)
+        let options = LintOptions::for_test(config)
             .with_pruning(pruning)
             .with_l1_bytes(self.l1_bytes)
-            .with_enumeration_limit(self.enumeration_limit)
+            .with_enumeration_limit(self.enumeration_limit);
+        match self.mem_budget_bytes {
+            Some(bytes) => options.with_mem_budget(bytes),
+            None => options,
+        }
     }
 
     /// Returns `true` when `report` stays below the gate (the test is kept

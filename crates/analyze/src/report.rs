@@ -112,11 +112,15 @@ pub enum LintKind {
     /// outcome that produced it: the §3.1 1:1 signature/interleaving map is
     /// broken for this program.
     SchemaUnsound,
+    /// The §3.2 worst-case unique-signature set of this program does not
+    /// fit the campaign's memory budget: deduplication would exhaust the
+    /// host unless signatures spill to disk.
+    MemoryFootprint,
 }
 
 impl LintKind {
     /// Every kind, in pass order.
-    pub const ALL: [LintKind; 8] = [
+    pub const ALL: [LintKind; 9] = [
         LintKind::ZeroEntropyLoad,
         LintKind::DeadStore,
         LintKind::WordSpill,
@@ -125,15 +129,17 @@ impl LintKind {
         LintKind::RedundantFence,
         LintKind::L1Overflow,
         LintKind::SchemaUnsound,
+        LintKind::MemoryFootprint,
     ];
 
     /// The severity every finding of this kind carries.
     pub fn severity(self) -> Severity {
         match self {
             LintKind::ZeroEntropyLoad | LintKind::DeadStore | LintKind::WordSpill => Severity::Info,
-            LintKind::DegenerateTest | LintKind::TrailingFence | LintKind::RedundantFence => {
-                Severity::Warning
-            }
+            LintKind::DegenerateTest
+            | LintKind::TrailingFence
+            | LintKind::RedundantFence
+            | LintKind::MemoryFootprint => Severity::Warning,
             LintKind::L1Overflow | LintKind::SchemaUnsound => Severity::Error,
         }
     }
@@ -149,6 +155,7 @@ impl LintKind {
             LintKind::RedundantFence => "redundant-fence",
             LintKind::L1Overflow => "l1-overflow",
             LintKind::SchemaUnsound => "schema-unsound",
+            LintKind::MemoryFootprint => "memory-footprint",
         }
     }
 }

@@ -17,6 +17,9 @@ use mtracecheck::testgen::{generate, TestConfig};
 use serde::Serialize;
 use std::collections::BTreeSet;
 
+// Fields feed the derived `Serialize` impl; the offline serde stub's
+// derive does not read them, so rustc cannot see the use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig6Row {
     test: String,

@@ -12,6 +12,9 @@ use mtc_bench::{parse_scale, progress, write_json, Table};
 use mtracecheck::{paper_configs, Campaign, CampaignConfig, TestConfig};
 use serde::Serialize;
 
+// Fields feed the derived `Serialize` impl; the offline serde stub's
+// derive does not read them, so rustc cannot see the use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig8Row {
     config: String,

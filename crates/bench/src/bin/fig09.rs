@@ -23,6 +23,9 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+// Fields feed the derived `Serialize` impl; the offline serde stub's
+// derive does not read them, so rustc cannot see the use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig9Row {
     config: String,

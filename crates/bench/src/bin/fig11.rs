@@ -13,6 +13,9 @@ use mtracecheck::paper_configs;
 use mtracecheck::testgen::generate_suite;
 use serde::Serialize;
 
+// Fields feed the derived `Serialize` impl; the offline serde stub's
+// derive does not read them, so rustc cannot see the use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig11Row {
     config: String,

@@ -13,6 +13,9 @@ use mtc_bench::{parse_scale, progress, write_json, Table};
 use mtracecheck::{paper_configs, Campaign, CampaignConfig};
 use serde::Serialize;
 
+// Fields feed the derived `Serialize` impl; the offline serde stub's
+// derive does not read them, so rustc cannot see the use.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig14Row {
     config: String,

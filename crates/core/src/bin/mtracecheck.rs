@@ -81,6 +81,7 @@ fn usage() -> &'static str {
                    [--lint <report|filter|regenerate>] [--lint-gate <info|warnings|errors>]\n\
                    [--retries N] [--retry-backoff-ms MS] [--time-budget-ms MS]\n\
                    [--step-budget N] [--journal FILE] [--resume]\n\
+                   [--mem-budget BYTES[k|m|g]] [--spill-dir DIR]\n\
                                       --workers N shards each test's iterations over N\n\
                                       pool workers (0 = all host threads); --parallel\n\
                                       also fans tests out over the pool; --chunked-check\n\
@@ -96,7 +97,11 @@ fn usage() -> &'static str {
                                       wall clock; --step-budget caps simulator steps\n\
                                       per op (livelock watchdog); --journal checkpoints\n\
                                       every completed test to FILE and --resume replays\n\
-                                      it, skipping already-validated tests\n\
+                                      it, skipping already-validated tests;\n\
+                                      --mem-budget bounds the resident unique-signature\n\
+                                      set (suffix k/m/g), spilling sorted runs to\n\
+                                      --spill-dir (default: a temp directory) and\n\
+                                      merging them back losslessly\n\
        mtracecheck collect  (campaign flags) --out DIR\n\
                                       device side only: write signature logs as JSON\n\
        mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
@@ -105,6 +110,41 @@ fn usage() -> &'static str {
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
        mtracecheck render --isa <arm|x86> [--threads T --ops O --addrs A --seed S]\n\
        mtracecheck configs            list the paper's 21 configurations\n"
+}
+
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, scale) = match s.as_bytes().last().map(u8::to_ascii_lowercase) {
+        Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(scale))
+        .ok_or_else(|| format!("cannot parse byte count `{s}` (expected N, Nk, Nm or Ng)"))
+}
+
+/// Applies `--mem-budget`/`--spill-dir` to a campaign configuration.
+fn apply_memory_budget(args: &Args, mut config: CampaignConfig) -> Result<CampaignConfig, String> {
+    match (args.get("mem-budget"), args.get("spill-dir")) {
+        (Some(budget), dir) => {
+            let bytes = parse_bytes(budget).map_err(|e| format!("--mem-budget: {e}"))?;
+            let dir = dir.map_or_else(
+                || std::env::temp_dir().join("mtracecheck-spill"),
+                std::path::PathBuf::from,
+            );
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("--spill-dir {}: {e}", dir.display()))?;
+            config = config.with_memory_budget(bytes, dir);
+        }
+        (None, Some(_)) => {
+            return Err("--spill-dir requires --mem-budget BYTES".to_owned());
+        }
+        (None, None) => {}
+    }
+    Ok(config)
 }
 
 fn build_test(args: &Args) -> Result<TestConfig, String> {
@@ -128,7 +168,8 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let test = build_test(args)?;
     let iterations = args.num("iters", 4096u64)?;
     let tests = args.num("tests", 10u64)?;
-    let mut config = CampaignConfig::new(test, iterations).with_tests(tests);
+    let mut config =
+        apply_memory_budget(args, CampaignConfig::new(test, iterations))?.with_tests(tests);
     if args.has("compare") {
         config = config.with_conventional_comparison();
     }
@@ -254,13 +295,16 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
     let tests = args.num("tests", 10u64)?;
     let out = args.get("out").unwrap_or("signature-logs");
     std::fs::create_dir_all(out).map_err(|e| format!("--out {out}: {e}"))?;
-    let mut config = CampaignConfig::new(test.clone(), iterations).with_tests(tests);
+    let mut config =
+        apply_memory_budget(args, CampaignConfig::new(test.clone(), iterations))?.with_tests(tests);
     if args.has("workers") {
         config = config.with_workers(args.num("workers", 0usize)?);
     }
     let campaign = Campaign::new(config);
     for (i, program) in generate_suite(&test, tests).iter().enumerate() {
-        let log = campaign.collect(program);
+        let log = campaign
+            .try_collect(program)
+            .map_err(|e| format!("test {i}: signature collection failed: {e}"))?;
         let path = format!("{out}/{}-test{i}.json", test.name().replace(' ', "_"));
         log.save_json(&path).map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: {log}");

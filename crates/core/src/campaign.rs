@@ -7,6 +7,7 @@
 //! collectively check the unique signatures' constraint graphs.
 
 use crate::journal::{CampaignJournal, ReplayEntry};
+use crate::store::{FirstSeen, MemoryBudget, SignatureStore, SpillError};
 #[cfg(feature = "fault-inject")]
 use crate::supervisor::FaultPlan;
 use crate::supervisor::{
@@ -16,9 +17,9 @@ use crate::{CoverageTracker, SignatureLog};
 use mtc_analyze::{lint_program, LintAction, LintPolicy, LintReport};
 use mtc_gen::{generate, generate_suite, TestConfig};
 use mtc_graph::{
-    check_collective, check_collective_chunked, check_collective_split,
-    check_collective_with_boundaries, check_conventional, even_chunk_lengths, CheckOptions,
-    CheckStats, CollectiveStats, TestGraphSpec, Violation,
+    check_collective_chunked, check_collective_with_boundaries, check_conventional,
+    even_chunk_lengths, CheckError, CheckOptions, CheckStats, CollectiveChecker, CollectiveStats,
+    TestGraphSpec, Violation,
 };
 use mtc_instr::{
     analyze, CodeSize, CodeSizeModel, EncodeError, ExecutionSignature, IntrusivenessReport,
@@ -28,6 +29,8 @@ use mtc_isa::Program;
 use mtc_sim::{SimError, Simulator, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Everything a validation campaign needs to run.
 #[derive(Clone, Debug)]
@@ -79,6 +82,13 @@ pub struct CampaignConfig {
     /// perturbation with exponential backoff) before quarantine. The
     /// default is a single attempt — fail-fast into quarantine.
     pub retry: RetryPolicy,
+    /// Memory budget for each test's unique-signature set. Bounded budgets
+    /// dedup in a capped buffer and spill sorted runs to disk; the merged
+    /// result — and every downstream verdict, stat, and journal record —
+    /// is bit-identical to the unbounded run's (see
+    /// [`crate::SignatureStore`]). A host-resource policy, not part of the
+    /// campaign's logical identity: journals resume across budget changes.
+    pub memory: MemoryBudget,
     /// Deterministic fault-injection plan for supervisor tests (only with
     /// the `fault-inject` feature; see [`FaultPlan`]).
     #[cfg(feature = "fault-inject")]
@@ -108,6 +118,7 @@ impl CampaignConfig {
             chunked_check: false,
             lint: None,
             retry: RetryPolicy::default(),
+            memory: MemoryBudget::Unbounded,
             #[cfg(feature = "fault-inject")]
             faults: FaultPlan::default(),
         }
@@ -191,6 +202,19 @@ impl CampaignConfig {
     #[cfg(feature = "fault-inject")]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns the configuration capping each test's resident
+    /// unique-signature buffer at roughly `bytes`, spilling sorted runs
+    /// into `spill_dir` beyond it. Workers block on the shared store while
+    /// a run spills (backpressure), and the merged signature stream — hence
+    /// every verdict — is bit-identical to the unbounded run's.
+    pub fn with_memory_budget(mut self, bytes: u64, spill_dir: impl Into<PathBuf>) -> Self {
+        self.memory = MemoryBudget::Bounded {
+            bytes,
+            spill_dir: spill_dir.into(),
+        };
         self
     }
 
@@ -527,6 +551,12 @@ impl Campaign {
                 }
             }
         }
+        // Compact the journal into its canonical suite-order checkpoint
+        // (temp file + fsync + atomic rename, so a kill mid-checkpoint can
+        // never truncate the journal). Failures degrade, never abort.
+        if let Some(j) = journal {
+            j.finalize_or_degrade();
+        }
         report.journal_degraded = journal.is_some_and(CampaignJournal::is_degraded);
         report
     }
@@ -555,17 +585,36 @@ impl Campaign {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-inject")]
                 self.config.faults.on_attempt(index, attempt);
-                let log = self.collect_impl(program, threaded, seed_offset);
+                #[cfg(feature = "fault-inject")]
+                let fail_spill = self.config.faults.breaks_spill(index, attempt);
+                #[cfg(not(feature = "fault-inject"))]
+                let fail_spill = false;
+                let log = self
+                    .collect_impl(program, threaded, seed_offset, fail_spill)
+                    .map_err(AttemptError::Spill)?;
                 self.check_log_impl(&log, threaded)
+                    .map_err(AttemptError::Check)
             }));
             let cause = match outcome {
                 Err(payload) => FailureCause::Panic {
                     payload: crate::pool::panic_message(payload.as_ref()),
                 },
-                Ok(Err(e)) => FailureCause::Decode {
-                    signature_index: e.signature_index,
-                    error: e.source.to_string(),
+                Ok(Err(AttemptError::Spill(e))) => FailureCause::SpillIo {
+                    error: e.to_string(),
                 },
+                Ok(Err(AttemptError::Check(CheckLogError::Decode {
+                    signature_index,
+                    source,
+                }))) => FailureCause::Decode {
+                    signature_index,
+                    error: source.to_string(),
+                },
+                // A panicking chunk checker is contained by
+                // `CheckError::WorkerPanic` and classified like any other
+                // worker panic: retried, then quarantined.
+                Ok(Err(AttemptError::Check(CheckLogError::CheckerPanic { payload }))) => {
+                    FailureCause::Panic { payload }
+                }
                 Ok(Ok(mut report)) => {
                     let elapsed = started.elapsed();
                     match policy.time_budget {
@@ -631,7 +680,7 @@ impl Campaign {
     /// replacement seeds disjoint from the original suite's
     /// `seed + i` sequence.
     fn lint_gate(&self, programs: Vec<Program>) -> LintedSuite {
-        let Some(policy) = self.config.lint else {
+        let Some(mut policy) = self.config.lint else {
             let reports = vec![None; programs.len()];
             return LintedSuite {
                 programs,
@@ -640,6 +689,13 @@ impl Campaign {
                 regenerated: 0,
             };
         };
+        // A campaign that declared a memory budget lints against it too, so
+        // footprint warnings surface before a single cycle is simulated.
+        if policy.mem_budget_bytes.is_none() {
+            if let MemoryBudget::Bounded { bytes, .. } = &self.config.memory {
+                policy = policy.with_mem_budget(*bytes);
+            }
+        }
         let options = policy.options_for(&self.config.test, self.config.pruning);
         let base = self.config.test.name();
         let mut suite = LintedSuite {
@@ -723,7 +779,8 @@ impl Campaign {
     /// assert!(report.is_clean());
     /// ```
     pub fn collect(&self, program: &Program) -> SignatureLog {
-        self.collect_impl(program, true, 0)
+        self.try_collect(program)
+            .unwrap_or_else(|e| panic!("signature collection failed: {e}"))
     }
 
     /// Single-threaded variant of [`Campaign::collect`]: executes the same
@@ -731,13 +788,42 @@ impl Campaign {
     /// slices — one after the other on the calling thread, and returns a
     /// log equal to the threaded one field for field.
     pub fn collect_serial(&self, program: &Program) -> SignatureLog {
-        self.collect_impl(program, false, 0)
+        self.try_collect_serial(program)
+            .unwrap_or_else(|e| panic!("signature collection failed: {e}"))
+    }
+
+    /// Fallible form of [`Campaign::collect`] for campaigns with a bounded
+    /// [`CampaignConfig::memory`] budget, where spill-file I/O can fail.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when writing or merging a spill run failed. Without a
+    /// memory budget no spill happens and the call is infallible.
+    pub fn try_collect(&self, program: &Program) -> Result<SignatureLog, SpillError> {
+        self.collect_impl(program, true, 0, false)
+    }
+
+    /// Single-threaded variant of [`Campaign::try_collect`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`], as for [`Campaign::try_collect`].
+    pub fn try_collect_serial(&self, program: &Program) -> Result<SignatureLog, SpillError> {
+        self.collect_impl(program, false, 0, false)
     }
 
     /// `seed_offset` is the supervisor's deterministic retry perturbation
     /// ([`attempt_seed_offset`]); `0` — the public entry points — is the
-    /// unperturbed stream.
-    fn collect_impl(&self, program: &Program, threaded: bool, seed_offset: u64) -> SignatureLog {
+    /// unperturbed stream. `fail_spill` makes every spill fail (the
+    /// fault-inject harness's synthetic disk failure; always `false` in
+    /// production builds).
+    fn collect_impl(
+        &self,
+        program: &Program,
+        threaded: bool,
+        seed_offset: u64,
+        fail_spill: bool,
+    ) -> Result<SignatureLog, SpillError> {
         let config = &self.config;
         let analysis = analyze(program, &config.pruning);
         let schema = SignatureSchema::build(program, &analysis, config.test.isa.register_bits());
@@ -748,10 +834,34 @@ impl Campaign {
         // shard runs a contiguous slice of the per-iteration seed sequence
         // on its own clone of the freshly instrumented simulator. With one
         // shard this is exactly the paper-faithful serial loop.
+        //
+        // All shards dedup into one shared, budget-capped store. The mutex
+        // is the backpressure: while one worker spills a sorted run, the
+        // others block on their next insert instead of growing the heap.
         let shards = shard_ranges(config.iterations, config.workers);
         let pool_width = if threaded { config.workers } else { 1 };
-        let runs = crate::pool::bounded_map(shards, pool_width, |_, range| {
-            run_shard(&sim, program, &schema, config, seed_offset, range)
+        let store = {
+            #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+            let mut store = SignatureStore::new(&config.memory, schema.signature_bytes());
+            #[cfg(feature = "fault-inject")]
+            if fail_spill {
+                store.inject_spill_errors();
+            }
+            #[cfg(not(feature = "fault-inject"))]
+            let _ = fail_spill;
+            Mutex::new(store)
+        };
+        let runs = crate::pool::bounded_map(shards, pool_width, |shard_index, range| {
+            run_shard(
+                &sim,
+                program,
+                &schema,
+                config,
+                seed_offset,
+                shard_index as u32,
+                range,
+                &store,
+            )
         });
 
         let mut log = SignatureLog {
@@ -765,35 +875,67 @@ impl Campaign {
             coverage: crate::CoverageCurve::default(),
             signatures: Vec::new(),
         };
-        // Deterministic reduction: counters are additive; the discovery
-        // curve and the on-device sorting cost are replayed from the
-        // concatenated signature streams in shard order, so they do not
-        // depend on which thread finished first.
-        let mut seen: std::collections::BTreeSet<&ExecutionSignature> = Default::default();
-        let mut sort_comparisons = 0u64;
-        let mut coverage = CoverageTracker::new();
-        for shard in &runs {
+        // Deterministic reduction: counters are additive, and the global
+        // stream offset of each shard is its prefix sum in shard order —
+        // independent of which thread finished first. A spill failure in
+        // any shard fails the whole collection (first shard in shard order
+        // wins, deterministically).
+        let mut shard_runs = Vec::with_capacity(runs.len());
+        let mut prefix = Vec::with_capacity(runs.len());
+        let mut total_encoded = 0u64;
+        for run in runs {
+            let shard = run?;
             log.crashes += shard.crashes;
             log.assertion_failures += shard.assertion_failures;
             log.timing.test_cycles += shard.test_cycles;
             log.timing.signature_cycles += shard.signature_cycles;
-            for sig in &shard.encoded {
-                // Balanced-tree insertion cost of on-device signature
-                // sorting: ~log2 of the current unique-set size comparisons.
-                sort_comparisons += (seen.len().max(1) as f64).log2().ceil() as u64 + 1;
-                coverage.record(seen.insert(sig));
-            }
+            prefix.push(total_encoded);
+            total_encoded += shard.encoded;
+            shard_runs.push(shard);
         }
-        let seen_unique = seen.len();
-        drop(seen);
-        let signatures = merge_signature_maps(runs.into_iter().map(|shard| shard.counts));
-        debug_assert_eq!(signatures.len(), seen_unique);
+
+        // Merge the store (resident buffer + any spilled runs) into the
+        // ascending unique-signature stream. The stream's counts and
+        // earliest-occurrence positions are exactly those of the unbounded
+        // in-memory map, so everything derived below is budget-invariant.
+        let store = store.into_inner().expect("signature store lock");
+        let mut stream = store.finish()?;
+        let mut signatures: Vec<(ExecutionSignature, u64)> = Vec::new();
+        let mut first_positions: Vec<u64> = Vec::new();
+        let mut singletons = 0u64;
+        while let Some(entry) = stream.next_entry()? {
+            if entry.count == 1 {
+                singletons += 1;
+            }
+            first_positions.push(prefix[entry.first.shard as usize] + entry.first.pos);
+            signatures.push((entry.signature, entry.count));
+        }
+        drop(stream);
+
+        // Replay the on-device insertion order: position `p` of the
+        // concatenated shard streams discovers a new signature exactly when
+        // it is some signature's earliest occurrence. This reproduces the
+        // discovery curve and the balanced-tree sorting cost (~log2 of the
+        // current unique-set size per insertion) without retaining any
+        // per-iteration signature.
+        first_positions.sort_unstable();
+        let mut coverage = CoverageTracker::new();
+        let mut sort_comparisons = 0u64;
+        let mut discovered = 0usize;
+        for p in 0..total_encoded {
+            sort_comparisons += (discovered.max(1) as f64).log2().ceil() as u64 + 1;
+            let new_signature = first_positions.get(discovered) == Some(&p);
+            if new_signature {
+                discovered += 1;
+            }
+            coverage.record(new_signature);
+        }
+        debug_assert_eq!(discovered, signatures.len());
         let words = schema.total_words() as u64;
         log.timing.sort_cycles = sort_comparisons * (6 + 2 * words);
-        let singletons = signatures.values().filter(|&&c| c == 1).count() as u64;
         log.coverage = coverage.finish(singletons);
-        log.signatures = signatures.into_iter().collect();
-        log
+        log.signatures = signatures;
+        Ok(log)
     }
 
     /// The host side of the pipeline (Figure 1 step 4): rebuild the
@@ -834,81 +976,157 @@ impl Campaign {
         };
 
         let spec = TestGraphSpec::new(program, config.system.mcm);
-        let mut decoded = Vec::with_capacity(log.signatures.len());
-        let mut observations = Vec::with_capacity(log.signatures.len());
-        for (signature_index, (sig, _)) in log.signatures.iter().enumerate() {
-            let rf = schema.decode(sig).map_err(|source| CheckLogError {
-                signature_index,
-                source,
-            })?;
-            observations.push(spec.observe(program, &rf, &config.check));
-            decoded.push(rf);
-        }
-        let collective = if config.chunked_check && config.workers > 1 {
-            if threaded {
-                check_collective_chunked(&spec, &observations, config.workers, config.split_windows)
+        // Checking modes that genuinely need the whole observation sequence
+        // at once: the conventional-checker comparison re-walks every graph,
+        // and chunked checking needs slice boundaries. Everything else
+        // streams below in O(test size) memory.
+        let materialize =
+            config.compare_conventional || (config.chunked_check && config.workers > 1);
+        if materialize {
+            let mut decoded = Vec::with_capacity(log.signatures.len());
+            let mut observations = Vec::with_capacity(log.signatures.len());
+            for (signature_index, (sig, _)) in log.signatures.iter().enumerate() {
+                let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
+                    signature_index,
+                    source,
+                })?;
+                observations.push(spec.observe(program, &rf, &config.check));
+                decoded.push(rf);
+            }
+            let collective = if config.chunked_check && config.workers > 1 {
+                if threaded {
+                    check_collective_chunked(
+                        &spec,
+                        &observations,
+                        config.workers,
+                        config.split_windows,
+                    )
+                    .map_err(|CheckError::WorkerPanic { payload }| {
+                        CheckLogError::CheckerPanic { payload }
+                    })?
+                } else {
+                    let lengths = even_chunk_lengths(observations.len(), config.workers);
+                    check_collective_with_boundaries(
+                        &spec,
+                        &observations,
+                        &lengths,
+                        config.split_windows,
+                    )
+                }
             } else {
-                let lengths = even_chunk_lengths(observations.len(), config.workers);
-                check_collective_with_boundaries(
+                let mut results = Vec::with_capacity(observations.len());
+                let stats = mtc_graph::check_collective_iter(
                     &spec,
                     &observations,
-                    &lengths,
                     config.split_windows,
-                )
+                    |_, result| results.push(result),
+                );
+                mtc_graph::CollectiveOutcome { results, stats }
+            };
+            for (((sig, count), rf), result) in log
+                .signatures
+                .iter()
+                .zip(decoded.iter())
+                .zip(collective.results.iter())
+            {
+                if let Err(violation) = result {
+                    report.violations.push(ViolationRecord {
+                        signature: sig.clone(),
+                        occurrences: *count,
+                        violation: Some(violation.clone()),
+                        reads_from: rf.clone(),
+                    });
+                }
             }
-        } else if config.split_windows {
-            check_collective_split(&spec, &observations)
+            report.collective = collective.stats;
+            if config.compare_conventional {
+                report.conventional = Some(check_conventional(&spec, &observations).stats);
+            }
         } else {
-            check_collective(&spec, &observations)
-        };
-        for (((sig, count), rf), result) in log
-            .signatures
-            .iter()
-            .zip(decoded.iter())
-            .zip(collective.results.iter())
-        {
-            if let Err(violation) = result {
-                report.violations.push(ViolationRecord {
-                    signature: sig.clone(),
-                    occurrences: *count,
-                    violation: Some(violation.clone()),
-                    reads_from: rf.clone(),
-                });
+            // Streaming path: decode, observe and check one signature at a
+            // time, retaining only the checker's windowed re-sort state and
+            // any violation records — never the full observation sequence.
+            // The checker is the same `CollectiveChecker` the batch entry
+            // points are built on, so verdicts and Figure-14 stats are
+            // identical by construction.
+            let mut checker = CollectiveChecker::new(&spec);
+            if config.split_windows {
+                checker = checker.with_split_windows();
             }
-        }
-        report.collective = collective.stats;
-        if config.compare_conventional {
-            report.conventional = Some(check_conventional(&spec, &observations).stats);
+            for (signature_index, (sig, count)) in log.signatures.iter().enumerate() {
+                let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
+                    signature_index,
+                    source,
+                })?;
+                let obs = spec.observe(program, &rf, &config.check);
+                if let Err(violation) = checker.push(&obs) {
+                    report.violations.push(ViolationRecord {
+                        signature: sig.clone(),
+                        occurrences: *count,
+                        violation: Some(violation),
+                        reads_from: rf,
+                    });
+                }
+            }
+            report.collective = *checker.stats();
         }
         Ok(report)
     }
 }
 
-/// A signature in a [`SignatureLog`] failed schema decoding during
-/// [`Campaign::check_log`] — a corrupt entry, or a log recorded for a
-/// different program/schema.
+/// Host-side checking of a [`SignatureLog`] failed during
+/// [`Campaign::check_log`]; no verdict was produced for the test.
 #[derive(Debug)]
-pub struct CheckLogError {
-    /// Position of the corrupt signature in the log's sorted unique set.
-    pub signature_index: usize,
-    /// The underlying decode failure.
-    pub source: mtc_instr::DecodeError,
+pub enum CheckLogError {
+    /// A signature failed schema decoding — a corrupt entry (bit-flipped
+    /// transfer, truncated record) or a log recorded for a different
+    /// program/schema.
+    Decode {
+        /// Position of the corrupt signature in the log's sorted unique
+        /// set.
+        signature_index: usize,
+        /// The underlying decode failure.
+        source: mtc_instr::DecodeError,
+    },
+    /// A parallel chunk checker panicked
+    /// ([`mtc_graph::CheckError::WorkerPanic`]); the panic was contained to
+    /// the checking call instead of aborting the process.
+    CheckerPanic {
+        /// Stringified panic payload.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for CheckLogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "signature {} failed to decode: {}",
-            self.signature_index, self.source
-        )
+        match self {
+            CheckLogError::Decode {
+                signature_index,
+                source,
+            } => write!(f, "signature {signature_index} failed to decode: {source}"),
+            CheckLogError::CheckerPanic { payload } => {
+                write!(f, "collective chunk worker panicked: {payload}")
+            }
+        }
     }
 }
 
 impl std::error::Error for CheckLogError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
+        match self {
+            CheckLogError::Decode { source, .. } => Some(source),
+            CheckLogError::CheckerPanic { .. } => None,
+        }
     }
+}
+
+/// Why one supervised attempt produced no verdict (internal classification
+/// bridging [`SpillError`] and [`CheckLogError`] into [`FailureCause`]).
+enum AttemptError {
+    /// Spill-file I/O failed during collection.
+    Spill(SpillError),
+    /// Host-side checking failed.
+    Check(CheckLogError),
 }
 
 /// What one supervised suite slot produced.
@@ -930,17 +1148,16 @@ struct LintedSuite {
 }
 
 /// What one iteration shard produced, before the deterministic reduction.
+/// Signatures themselves go straight into the shared budget-capped
+/// [`SignatureStore`]; the shard keeps only additive counters.
 struct ShardRun {
     crashes: u64,
     assertion_failures: u64,
     test_cycles: u64,
     signature_cycles: u64,
-    /// Successfully encoded signatures in iteration order — replayed in
-    /// shard order to rebuild the discovery curve and sorting cost.
-    encoded: Vec<ExecutionSignature>,
-    /// The shard's private signature multiset, merged across shards with
-    /// [`merge_signature_maps`].
-    counts: BTreeMap<ExecutionSignature, u64>,
+    /// Successfully encoded signatures (the length of this shard's encoded
+    /// stream; per-occurrence positions are recorded in the store).
+    encoded: u64,
 }
 
 /// Splits `0..iterations` into at most `workers` contiguous, near-equal,
@@ -961,14 +1178,19 @@ fn shard_ranges(iterations: u64, workers: usize) -> Vec<std::ops::Range<u64>> {
 
 /// Executes one shard's iterations on a fresh clone of the instrumented
 /// simulator, preserving the campaign's per-iteration seed sequence.
+/// Encoded signatures dedup into the shared budget-capped store; a spill
+/// failure stops the shard and propagates.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     sim: &Simulator<'_>,
     program: &Program,
     schema: &SignatureSchema,
     config: &CampaignConfig,
     seed_offset: u64,
+    shard_index: u32,
     range: std::ops::Range<u64>,
-) -> ShardRun {
+    store: &Mutex<SignatureStore>,
+) -> Result<ShardRun, SpillError> {
     let mut sim = sim.clone();
     // Per-iteration fixed costs the paper's loop body pays besides the
     // generated accesses: the sense-reversal barrier and the shared-
@@ -980,8 +1202,7 @@ fn run_shard(
         assertion_failures: 0,
         test_cycles: 0,
         signature_cycles: 0,
-        encoded: Vec::new(),
-        counts: BTreeMap::new(),
+        encoded: 0,
     };
     for iter in range {
         let seed = config
@@ -998,8 +1219,15 @@ fn run_shard(
                 shard.signature_cycles += exec.instr_cycles;
                 match schema.encode(&exec.reads_from) {
                     Ok(sig) => {
-                        *shard.counts.entry(sig.clone()).or_insert(0) += 1;
-                        shard.encoded.push(sig);
+                        let first = FirstSeen {
+                            shard: shard_index,
+                            pos: shard.encoded,
+                        };
+                        shard.encoded += 1;
+                        store
+                            .lock()
+                            .expect("signature store lock")
+                            .insert(&sig, first)?;
                     }
                     Err(EncodeError::UnexpectedValue { .. }) => {
                         shard.assertion_failures += 1;
@@ -1011,7 +1239,7 @@ fn run_shard(
             }
         }
     }
-    shard
+    Ok(shard)
 }
 
 #[cfg(test)]

@@ -102,8 +102,12 @@ pub struct CampaignJournal {
 }
 
 impl CampaignJournal {
-    /// Creates (truncating) a fresh journal for `config` and writes its
-    /// header.
+    /// Creates a fresh journal for `config` and writes its header.
+    ///
+    /// The header is written to a temp file, fsynced, and atomically
+    /// renamed over `path`: a kill at any instant leaves either the old
+    /// journal intact or the new one complete — never a truncated file
+    /// (the old `File::create` truncated first and wrote second).
     ///
     /// # Errors
     ///
@@ -111,16 +115,16 @@ impl CampaignJournal {
     /// header.
     pub fn create(path: impl AsRef<Path>, config: &CampaignConfig) -> Result<Self, JournalError> {
         let path = path.as_ref().to_owned();
-        let file = File::create(&path)?;
-        let journal = CampaignJournal {
+        let header = serde_json::to_string(&JournalRecord::Header(JournalHeader::of(config)))?;
+        write_atomically(&path, |file| writeln!(file, "{header}"))?;
+        let writer = OpenOptions::new().append(true).open(&path)?;
+        Ok(CampaignJournal {
             path,
-            writer: Mutex::new(file),
+            writer: Mutex::new(writer),
             replay: BTreeMap::new(),
             skipped_lines: 0,
             degraded: AtomicBool::new(false),
-        };
-        journal.append(&JournalRecord::Header(JournalHeader::of(config)))?;
-        Ok(journal)
+        })
     }
 
     /// Opens an existing journal for resume — or creates a fresh one if
@@ -240,6 +244,64 @@ impl CampaignJournal {
         );
     }
 
+    /// Compacts the journal into its canonical checkpoint form: the header
+    /// followed by one record per completed suite index, in suite order,
+    /// with corrupt lines and superseded duplicates dropped. The compacted
+    /// file is written to a temp sibling, fsynced, and atomically renamed
+    /// over the journal, so a kill during checkpoint finalization can never
+    /// truncate the existing journal — the old append-order file survives
+    /// intact until the rename commits.
+    ///
+    /// Two campaigns that completed the same suite finalize to byte-
+    /// identical journals even when their tests finished (and were
+    /// appended) in different thread orders.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading or rewriting the journal, or a journal whose
+    /// header is no longer parseable.
+    pub fn finalize(&self) -> Result<(), JournalError> {
+        let mut writer = self.writer.lock().expect("journal writer lock");
+        writer.flush()?;
+        let reader = BufReader::new(File::open(&self.path)?);
+        let mut header: Option<String> = None;
+        let mut records: BTreeMap<u64, String> = BTreeMap::new();
+        for line in reader.lines() {
+            let line = line?;
+            match serde_json::from_str::<JournalRecord>(&line) {
+                Ok(JournalRecord::Header(_)) if header.is_none() => header = Some(line),
+                Ok(JournalRecord::Test { index, .. }) => {
+                    records.insert(index, line);
+                }
+                Ok(JournalRecord::Quarantine(record)) => {
+                    records.insert(record.index, line);
+                }
+                // Corrupt lines and duplicate headers are dropped by the
+                // checkpoint; their tests are simply absent, as after a
+                // forgiving replay.
+                Ok(JournalRecord::Header(_)) | Err(_) => {}
+            }
+        }
+        let header = header.ok_or(JournalError::MissingHeader)?;
+        write_atomically(&self.path, |file| {
+            writeln!(file, "{header}")?;
+            for line in records.values() {
+                writeln!(file, "{line}")?;
+            }
+            Ok(())
+        })?;
+        *writer = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// Finalizes the checkpoint; on failure the journal degrades (the
+    /// append-order file is still a valid journal) instead of propagating.
+    pub(crate) fn finalize_or_degrade(&self) {
+        if let Err(e) = self.finalize() {
+            self.mark_degraded(&format!("journal checkpoint finalization failed: {e}"));
+        }
+    }
+
     /// Marks the journal incomplete and says so once on stderr.
     pub(crate) fn mark_degraded(&self, reason: &str) {
         if !self.degraded.swap(true, Ordering::Relaxed) {
@@ -252,6 +314,29 @@ impl CampaignJournal {
             eprintln!("warning: {reason}");
         }
     }
+}
+
+/// Writes a file via a temp sibling + fsync + atomic rename: at every
+/// instant `path` holds either its previous complete contents or the new
+/// complete contents, never a prefix.
+fn write_atomically(
+    path: &Path,
+    write: impl FnOnce(&mut File) -> std::io::Result<()>,
+) -> Result<(), JournalError> {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("journal"), ToOwned::to_owned);
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let mut file = File::create(&tmp)?;
+    let written = write(&mut file).and_then(|()| file.sync_all());
+    drop(file);
+    let result = written.and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
 }
 
 /// Error creating or resuming a [`CampaignJournal`].

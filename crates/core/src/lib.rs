@@ -48,6 +48,7 @@ mod journal;
 mod log;
 pub mod pool;
 mod report;
+mod store;
 mod supervisor;
 
 pub use campaign::{
@@ -57,6 +58,7 @@ pub use campaign::{
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
 pub use journal::{CampaignJournal, JournalError, JournalHeader, JOURNAL_VERSION};
 pub use log::{LogError, SignatureLog};
+pub use store::{FirstSeen, MemoryBudget, SignatureStore, SignatureStream, SpillError, StoreEntry};
 #[cfg(feature = "fault-inject")]
 pub use supervisor::FaultPlan;
 pub use supervisor::{

@@ -1,0 +1,718 @@
+//! Bounded-memory signature storage: in-memory dedup with spill-to-disk
+//! sorted runs and an external k-way merge.
+//!
+//! The paper's premise (§3) is that signatures compress execution logs so
+//! campaigns can scale to huge run counts — but a campaign big enough to
+//! matter can still outgrow RAM while deduplicating its unique-signature
+//! set. [`SignatureStore`] keeps the collection pipeline alive under a
+//! [`MemoryBudget`]: signatures dedup into a bounded [`BTreeMap`] buffer
+//! and, on reaching the budget, the buffer — already in ascending signature
+//! order — is written out as one sorted *run* file. [`SignatureStore::finish`]
+//! merges all runs plus the final resident buffer with a streaming k-way
+//! merge, summing per-signature occurrence counts and taking the earliest
+//! first-occurrence position, so the merged stream is **identical** to what
+//! the unbounded in-memory map would have produced — same ascending order,
+//! same counts, same discovery positions — no matter how the entries were
+//! split across runs.
+//!
+//! Backpressure is the caller's insertion path itself: the campaign's shard
+//! workers share one store behind a mutex, so while one worker spills a run
+//! the others block on the lock instead of growing the heap.
+//!
+//! Spill-file I/O failures surface as [`SpillError`]; the campaign
+//! supervisor classifies them like any other per-test fault (quarantine the
+//! test, mark the run DEGRADED, keep the campaign alive).
+
+use mtc_instr::ExecutionSignature;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes opening every spill run file.
+const SPILL_MAGIC: &[u8; 8] = b"MTCSPILL";
+/// Spill run format version; bumped on incompatible layout changes.
+const SPILL_VERSION: u32 = 1;
+/// Estimated per-entry bookkeeping bytes beyond the raw signature words
+/// (tree node, count, first-occurrence position). Used to translate a byte
+/// budget into a resident-entry cap.
+const ENTRY_OVERHEAD_BYTES: u64 = 48;
+
+/// Distinguishes the spill directories of concurrently live stores within
+/// one process (one store per in-flight test attempt).
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How much heap the signature-collection pipeline may use for its
+/// unique-signature set.
+///
+/// This is a *host resource* policy, not part of the logical computation:
+/// verdicts, Figure-14 stats, coverage curves and journal contents are
+/// bit-identical for any budget (see [`SignatureStore`]). It therefore
+/// lives in the campaign configuration but outside the journal header — a
+/// journal written under one budget resumes cleanly under another.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum MemoryBudget {
+    /// No cap: the paper-faithful fully resident unique-signature map.
+    #[default]
+    Unbounded,
+    /// Cap the resident dedup buffer at roughly `bytes` and spill sorted
+    /// runs into `spill_dir` beyond it.
+    Bounded {
+        /// Approximate resident-buffer budget in bytes.
+        bytes: u64,
+        /// Directory receiving spill run files (created on first spill;
+        /// run files are deleted after the merge).
+        spill_dir: PathBuf,
+    },
+}
+
+impl MemoryBudget {
+    /// Whether this budget can trigger spills.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, MemoryBudget::Bounded { .. })
+    }
+
+    /// The resident-entry cap a `bytes` budget implies for signatures of
+    /// `signature_bytes` each (at least one entry, so progress is always
+    /// possible).
+    pub fn resident_cap(&self, signature_bytes: usize) -> Option<usize> {
+        match self {
+            MemoryBudget::Unbounded => None,
+            MemoryBudget::Bounded { bytes, .. } => {
+                let entry = signature_bytes as u64 + ENTRY_OVERHEAD_BYTES;
+                Some((bytes / entry).max(1) as usize)
+            }
+        }
+    }
+}
+
+/// Where a signature was first observed: `(shard, position within the
+/// shard's encoded stream)`. Shards are contiguous iteration ranges, so the
+/// lexicographic minimum over a signature's occurrences is its first
+/// occurrence in the campaign's canonical shard-order concatenation.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Ord, PartialOrd)]
+pub struct FirstSeen {
+    /// Index of the iteration shard that produced the occurrence.
+    pub shard: u32,
+    /// Position in that shard's successfully encoded signature stream.
+    pub pos: u64,
+}
+
+/// One merged entry of the sorted unique-signature stream.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct StoreEntry {
+    /// The unique signature.
+    pub signature: ExecutionSignature,
+    /// Total occurrences across all shards and runs.
+    pub count: u64,
+    /// Earliest occurrence (minimum [`FirstSeen`] over all occurrences).
+    pub first: FirstSeen,
+}
+
+/// A deduplicating signature accumulator with an optional spill-to-disk
+/// memory budget. See the [module docs](self) for the equivalence argument.
+#[derive(Debug)]
+pub struct SignatureStore {
+    resident: BTreeMap<ExecutionSignature, (u64, FirstSeen)>,
+    resident_cap: Option<usize>,
+    spill_dir: Option<PathBuf>,
+    runs: Vec<PathBuf>,
+    run_seq: u64,
+    store_id: u64,
+    spilled_entries: u64,
+    #[cfg(feature = "fault-inject")]
+    inject_spill_error: bool,
+}
+
+impl SignatureStore {
+    /// Creates a store honouring `budget` for signatures of
+    /// `signature_bytes` each.
+    pub fn new(budget: &MemoryBudget, signature_bytes: usize) -> Self {
+        let spill_dir = match budget {
+            MemoryBudget::Unbounded => None,
+            MemoryBudget::Bounded { spill_dir, .. } => Some(spill_dir.clone()),
+        };
+        SignatureStore {
+            resident: BTreeMap::new(),
+            resident_cap: budget.resident_cap(signature_bytes),
+            spill_dir,
+            runs: Vec::new(),
+            run_seq: 0,
+            store_id: STORE_SEQ.fetch_add(1, Ordering::Relaxed),
+            spilled_entries: 0,
+            #[cfg(feature = "fault-inject")]
+            inject_spill_error: false,
+        }
+    }
+
+    /// An unbounded store (never spills; all inserts are infallible in
+    /// practice).
+    pub fn unbounded() -> Self {
+        SignatureStore::new(&MemoryBudget::Unbounded, 0)
+    }
+
+    /// Makes every subsequent spill fail with a synthetic I/O error —
+    /// the deterministic stand-in for a full or failing spill disk.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_spill_errors(&mut self) {
+        self.inject_spill_error = true;
+    }
+
+    /// Sorted runs spilled to disk so far.
+    pub fn spilled_runs(&self) -> u64 {
+        self.runs.len() as u64
+    }
+
+    /// Entries written to spill runs so far (duplicates across runs count
+    /// separately until the merge collapses them).
+    pub fn spilled_entries(&self) -> u64 {
+        self.spilled_entries
+    }
+
+    /// Unique signatures currently resident in memory.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Records one occurrence of `signature` first observed at `first`.
+    /// Duplicate occurrences sum counts and keep the minimum `first`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when the insert filled the resident buffer to its
+    /// budget and writing the spill run failed.
+    pub fn insert(
+        &mut self,
+        signature: &ExecutionSignature,
+        first: FirstSeen,
+    ) -> Result<(), SpillError> {
+        if let Some((count, seen)) = self.resident.get_mut(signature) {
+            *count += 1;
+            if first < *seen {
+                *seen = first;
+            }
+            return Ok(());
+        }
+        self.resident.insert(signature.clone(), (1, first));
+        if self
+            .resident_cap
+            .is_some_and(|cap| self.resident.len() >= cap)
+        {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the resident buffer — already in ascending signature order —
+    /// as one sorted run file and clears it.
+    fn spill_run(&mut self) -> Result<(), SpillError> {
+        let dir = self
+            .spill_dir
+            .clone()
+            .expect("bounded stores always carry a spill directory");
+        #[cfg(feature = "fault-inject")]
+        if self.inject_spill_error {
+            return Err(SpillError::Io {
+                path: dir,
+                source: io::Error::other("injected spill I/O error"),
+            });
+        }
+        let at = |source: io::Error, path: &Path| SpillError::Io {
+            path: path.to_owned(),
+            source,
+        };
+        fs::create_dir_all(&dir).map_err(|e| at(e, &dir))?;
+        let path = dir.join(format!(
+            "mtc-{}-{}-{}.run",
+            std::process::id(),
+            self.store_id,
+            self.run_seq
+        ));
+        self.run_seq += 1;
+        let file = File::create(&path).map_err(|e| at(e, &path))?;
+        let mut writer = BufWriter::new(file);
+        let write = |writer: &mut BufWriter<File>,
+                     resident: &BTreeMap<ExecutionSignature, (u64, FirstSeen)>|
+         -> io::Result<()> {
+            writer.write_all(SPILL_MAGIC)?;
+            writer.write_all(&SPILL_VERSION.to_le_bytes())?;
+            writer.write_all(&(resident.len() as u64).to_le_bytes())?;
+            for (sig, &(count, first)) in resident {
+                writer.write_all(&(sig.words().len() as u32).to_le_bytes())?;
+                for word in sig.words() {
+                    writer.write_all(&word.to_le_bytes())?;
+                }
+                writer.write_all(&count.to_le_bytes())?;
+                writer.write_all(&first.shard.to_le_bytes())?;
+                writer.write_all(&first.pos.to_le_bytes())?;
+            }
+            Ok(())
+        };
+        let result = write(&mut writer, &self.resident)
+            .and_then(|()| writer.into_inner().map_err(io::IntoInnerError::into_error))
+            // fsync: a spilled run the merge will rely on must actually be
+            // on disk before the resident buffer is discarded.
+            .and_then(|file| file.sync_all());
+        if let Err(e) = result {
+            let _ = fs::remove_file(&path);
+            return Err(at(e, &path));
+        }
+        self.spilled_entries += self.resident.len() as u64;
+        self.runs.push(path);
+        self.resident.clear();
+        Ok(())
+    }
+
+    /// Consumes the store into the merged, ascending, deduplicated
+    /// signature stream.
+    ///
+    /// With no spilled runs this drains the resident map directly; with
+    /// runs it opens a streaming k-way merge over every run plus the
+    /// resident remainder. Either way the yielded sequence is the same.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when a spilled run cannot be reopened or fails
+    /// validation.
+    pub fn finish(mut self) -> Result<SignatureStream, SpillError> {
+        let runs = std::mem::take(&mut self.runs);
+        let resident = std::mem::take(&mut self.resident);
+        let mut sources = Vec::with_capacity(runs.len() + 1);
+        for path in runs {
+            sources.push(MergeSource::Run(RunReader::open(path)?));
+        }
+        sources.push(MergeSource::Resident(resident.into_iter()));
+        let mut stream = SignatureStream {
+            heap: BinaryHeap::with_capacity(sources.len()),
+            sources,
+        };
+        for src in 0..stream.sources.len() {
+            stream.refill(src)?;
+        }
+        Ok(stream)
+    }
+}
+
+impl Drop for SignatureStore {
+    /// Best-effort cleanup of any runs not consumed by
+    /// [`SignatureStore::finish`] (error or panic paths).
+    fn drop(&mut self) {
+        for path in &self.runs {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// The merged output of a [`SignatureStore`]: unique signatures in
+/// ascending order with summed counts and earliest first-occurrence.
+///
+/// Holds one buffered reader per spilled run and at most one pending entry
+/// per source — O(runs), never the full signature set. Run files are
+/// deleted as the stream is dropped.
+#[derive(Debug)]
+pub struct SignatureStream {
+    sources: Vec<MergeSource>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl SignatureStream {
+    /// The next merged entry, or `None` when the stream is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when reading a spilled run fails mid-stream.
+    pub fn next_entry(&mut self) -> Result<Option<StoreEntry>, SpillError> {
+        let Some(Reverse(head)) = self.heap.pop() else {
+            return Ok(None);
+        };
+        self.refill(head.src)?;
+        let mut entry = StoreEntry {
+            signature: head.signature,
+            count: head.count,
+            first: head.first,
+        };
+        // Collapse equal signatures from other sources: counts are summed
+        // and the first occurrence minimized, so the merged entry does not
+        // depend on how occurrences were split across runs.
+        while let Some(Reverse(peek)) = self.heap.peek() {
+            if peek.signature != entry.signature {
+                break;
+            }
+            let Reverse(dup) = self.heap.pop().expect("peeked entry exists");
+            entry.count += dup.count;
+            entry.first = entry.first.min(dup.first);
+            self.refill(dup.src)?;
+        }
+        Ok(Some(entry))
+    }
+
+    fn refill(&mut self, src: usize) -> Result<(), SpillError> {
+        if let Some((signature, count, first)) = self.sources[src].next()? {
+            self.heap.push(Reverse(HeapEntry {
+                signature,
+                count,
+                first,
+                src,
+            }));
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for SignatureStream {
+    type Item = Result<StoreEntry, SpillError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_entry().transpose()
+    }
+}
+
+/// One source feeding the k-way merge.
+#[derive(Debug)]
+enum MergeSource {
+    Run(RunReader),
+    Resident(std::collections::btree_map::IntoIter<ExecutionSignature, (u64, FirstSeen)>),
+}
+
+impl MergeSource {
+    fn next(&mut self) -> Result<Option<(ExecutionSignature, u64, FirstSeen)>, SpillError> {
+        match self {
+            MergeSource::Run(reader) => reader.next(),
+            MergeSource::Resident(iter) => {
+                Ok(iter.next().map(|(sig, (count, first))| (sig, count, first)))
+            }
+        }
+    }
+}
+
+/// Min-heap key: `(signature, source)`. Each source contributes at most one
+/// pending entry, so the key is unique and the pop order — and therefore
+/// the merge — is deterministic.
+#[derive(Debug, Eq, PartialEq)]
+struct HeapEntry {
+    signature: ExecutionSignature,
+    count: u64,
+    first: FirstSeen,
+    src: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.signature
+            .cmp(&other.signature)
+            .then(self.src.cmp(&other.src))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming reader over one spill run file; validates the header on open
+/// and deletes the file when dropped.
+#[derive(Debug)]
+struct RunReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    remaining: u64,
+}
+
+impl RunReader {
+    fn open(path: PathBuf) -> Result<Self, SpillError> {
+        let file = File::open(&path).map_err(|source| SpillError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let mut reader = RunReader {
+            reader: BufReader::new(file),
+            path,
+            remaining: 0,
+        };
+        let magic: [u8; 8] = reader.read_array()?;
+        if &magic != SPILL_MAGIC {
+            return Err(reader.corrupt("bad magic (not a spill run file)"));
+        }
+        let version = u32::from_le_bytes(reader.read_array()?);
+        if version != SPILL_VERSION {
+            return Err(reader.corrupt(&format!(
+                "unsupported spill format version {version} (expected {SPILL_VERSION})"
+            )));
+        }
+        reader.remaining = u64::from_le_bytes(reader.read_array()?);
+        Ok(reader)
+    }
+
+    fn next(&mut self) -> Result<Option<(ExecutionSignature, u64, FirstSeen)>, SpillError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let word_count = u32::from_le_bytes(self.read_array()?);
+        let mut words = Vec::with_capacity(word_count as usize);
+        for _ in 0..word_count {
+            words.push(u64::from_le_bytes(self.read_array()?));
+        }
+        let count = u64::from_le_bytes(self.read_array()?);
+        let shard = u32::from_le_bytes(self.read_array()?);
+        let pos = u64::from_le_bytes(self.read_array()?);
+        Ok(Some((
+            ExecutionSignature::from_words(words),
+            count,
+            FirstSeen { shard, pos },
+        )))
+    }
+
+    fn read_array<const N: usize>(&mut self) -> Result<[u8; N], SpillError> {
+        let mut buf = [0u8; N];
+        self.reader
+            .read_exact(&mut buf)
+            .map_err(|source| match source.kind() {
+                io::ErrorKind::UnexpectedEof => self.corrupt("truncated spill run"),
+                _ => SpillError::Io {
+                    path: self.path.clone(),
+                    source,
+                },
+            })?;
+        Ok(buf)
+    }
+
+    fn corrupt(&self, detail: &str) -> SpillError {
+        SpillError::Corrupt {
+            path: self.path.clone(),
+            detail: detail.to_owned(),
+        }
+    }
+}
+
+impl Drop for RunReader {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// A spill-to-disk operation failed. The campaign supervisor treats this
+/// like any other per-test fault: the affected test is retried or
+/// quarantined and the run marked DEGRADED — never an abort.
+#[derive(Debug)]
+pub enum SpillError {
+    /// Reading or writing a spill run (or its directory) failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// A spill run file failed validation (bad magic, version, or a
+    /// truncated entry).
+    Corrupt {
+        /// The offending run file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillError::Io { path, source } => {
+                write!(f, "spill I/O error at {}: {source}", path.display())
+            }
+            SpillError::Corrupt { path, detail } => {
+                write!(f, "corrupt spill run {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io { source, .. } => Some(source),
+            SpillError::Corrupt { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mtc-store-test-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sig(a: u64, b: u64) -> ExecutionSignature {
+        ExecutionSignature::from_words(vec![a, b])
+    }
+
+    /// A deterministic pseudo-random occurrence stream with many repeats.
+    fn occurrences(n: u64) -> Vec<ExecutionSignature> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                sig(state >> 56, (state >> 48) & 0xf)
+            })
+            .collect()
+    }
+
+    fn drain(stream: SignatureStream) -> Vec<StoreEntry> {
+        stream
+            .collect::<Result<Vec<_>, _>>()
+            .expect("stream reads back")
+    }
+
+    #[test]
+    fn unbounded_store_matches_a_plain_btreemap() {
+        let mut store = SignatureStore::unbounded();
+        let mut reference: BTreeMap<ExecutionSignature, u64> = BTreeMap::new();
+        for (pos, s) in occurrences(500).iter().enumerate() {
+            store
+                .insert(
+                    s,
+                    FirstSeen {
+                        shard: 0,
+                        pos: pos as u64,
+                    },
+                )
+                .expect("unbounded stores never spill");
+            *reference.entry(s.clone()).or_insert(0) += 1;
+        }
+        assert_eq!(store.spilled_runs(), 0);
+        let merged = drain(store.finish().expect("finish"));
+        let expected: Vec<(ExecutionSignature, u64)> = reference.into_iter().collect();
+        assert_eq!(
+            merged
+                .iter()
+                .map(|e| (e.signature.clone(), e.count))
+                .collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn spilled_store_merges_back_to_the_in_memory_stream() {
+        let dir = temp_dir("equiv");
+        let occurrences = occurrences(800);
+        let mut unbounded = SignatureStore::unbounded();
+        // A budget of ~6 entries for 16-byte signatures: many runs.
+        let budget = MemoryBudget::Bounded {
+            bytes: 6 * (16 + ENTRY_OVERHEAD_BYTES),
+            spill_dir: dir.clone(),
+        };
+        let mut bounded = SignatureStore::new(&budget, 16);
+        for (pos, s) in occurrences.iter().enumerate() {
+            let first = FirstSeen {
+                shard: 0,
+                pos: pos as u64,
+            };
+            unbounded.insert(s, first).expect("no spill");
+            bounded.insert(s, first).expect("spill dir is writable");
+        }
+        assert!(
+            bounded.spilled_runs() >= 2,
+            "budget too large to exercise spilling"
+        );
+        let reference = drain(unbounded.finish().expect("finish"));
+        let merged = drain(bounded.finish().expect("finish"));
+        assert_eq!(merged, reference);
+        // Run files are cleaned up with the stream.
+        let leftovers = fs::read_dir(&dir).expect("dir").count();
+        assert_eq!(leftovers, 0, "spill runs must be deleted after the merge");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_seen_takes_the_minimum_across_shards() {
+        let dir = temp_dir("first");
+        let budget = MemoryBudget::Bounded {
+            bytes: 1, // cap of one entry: spill on every insert
+            spill_dir: dir.clone(),
+        };
+        let mut store = SignatureStore::new(&budget, 16);
+        let s = sig(1, 2);
+        store.insert(&s, FirstSeen { shard: 2, pos: 0 }).unwrap();
+        store.insert(&s, FirstSeen { shard: 0, pos: 7 }).unwrap();
+        store.insert(&s, FirstSeen { shard: 1, pos: 3 }).unwrap();
+        assert_eq!(store.spilled_runs(), 3);
+        let merged = drain(store.finish().expect("finish"));
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].count, 3);
+        assert_eq!(merged[0].first, FirstSeen { shard: 0, pos: 7 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_run_is_detected_not_trusted() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("bogus.run");
+        fs::write(&path, b"NOTMAGIC\x01\x00\x00\x00").expect("write bogus run");
+        let err = RunReader::open(path).expect_err("bad magic must fail validation");
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("bad magic"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_run_is_reported_as_corrupt() {
+        let dir = temp_dir("truncated");
+        let budget = MemoryBudget::Bounded {
+            bytes: 1,
+            spill_dir: dir.clone(),
+        };
+        let mut store = SignatureStore::new(&budget, 16);
+        store
+            .insert(&sig(3, 4), FirstSeen { shard: 0, pos: 0 })
+            .unwrap();
+        let run = store.runs[0].clone();
+        let bytes = fs::read(&run).expect("read run");
+        fs::write(&run, &bytes[..bytes.len() - 4]).expect("truncate run");
+        // The merge pre-fills one pending entry per source, so the
+        // truncation surfaces either at finish() or on the first read.
+        let err = match store.finish() {
+            Err(e) => e,
+            Ok(mut stream) => stream.next_entry().expect_err("truncated entry must error"),
+        };
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_spill_errors_fail_the_insert() {
+        let dir = temp_dir("inject");
+        let budget = MemoryBudget::Bounded {
+            bytes: 1,
+            spill_dir: dir.clone(),
+        };
+        let mut store = SignatureStore::new(&budget, 16);
+        store.inject_spill_errors();
+        let err = store
+            .insert(&sig(9, 9), FirstSeen { shard: 0, pos: 0 })
+            .expect_err("injected error must surface");
+        assert!(err.to_string().contains("injected spill I/O error"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_cap_is_at_least_one_entry() {
+        let tiny = MemoryBudget::Bounded {
+            bytes: 0,
+            spill_dir: PathBuf::from("unused"),
+        };
+        assert_eq!(tiny.resident_cap(1 << 20), Some(1));
+        assert_eq!(MemoryBudget::Unbounded.resident_cap(8), None);
+        assert!(tiny.is_bounded());
+        assert!(!MemoryBudget::default().is_bounded());
+    }
+}

@@ -122,6 +122,13 @@ pub enum FailureCause {
         /// The configured budget in milliseconds.
         budget_ms: u64,
     },
+    /// Writing or merging a signature spill run failed under a bounded
+    /// memory budget — a full, failing, or unwritable spill disk. The test
+    /// is retried and then quarantined; the campaign never aborts.
+    SpillIo {
+        /// Stringified [`crate::SpillError`].
+        error: String,
+    },
 }
 
 impl fmt::Display for FailureCause {
@@ -136,6 +143,7 @@ impl fmt::Display for FailureCause {
                 elapsed_ms,
                 budget_ms,
             } => write!(f, "attempt took {elapsed_ms} ms (budget {budget_ms} ms)"),
+            FailureCause::SpillIo { error } => write!(f, "spill failure: {error}"),
         }
     }
 }
@@ -203,6 +211,10 @@ pub struct FaultPlan {
     /// Drop the journal write for these test indices and mark the journal
     /// degraded, as an injected journal I/O error would.
     pub journal_error_at: Vec<u64>,
+    /// Fail every signature spill at `(test index, attempt)` with a
+    /// synthetic I/O error — only observable when the campaign runs with a
+    /// bounded [`crate::MemoryBudget`] small enough to spill.
+    pub spill_error_at: Vec<(u64, u32)>,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -233,6 +245,11 @@ impl FaultPlan {
     /// Whether the journal write for test `index` should be dropped.
     pub(crate) fn breaks_journal(&self, index: u64) -> bool {
         self.journal_error_at.contains(&index)
+    }
+
+    /// Whether spills should fail for `(index, attempt)`.
+    pub(crate) fn breaks_spill(&self, index: u64, attempt: u32) -> bool {
+        self.spill_error_at.contains(&(index, attempt))
     }
 }
 

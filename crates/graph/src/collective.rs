@@ -16,8 +16,10 @@
 use crate::topo::{extract_cycle, full_sort, violation_from_cycle};
 use crate::{ObservedEdges, TestGraphSpec, Violation};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Breakdown of how much re-sorting the collective checker performed —
 /// the data behind Figure 14.
@@ -186,15 +188,21 @@ pub fn check_collective_with_boundaries(
 /// order, stats summed — regardless of thread scheduling. Callers bound
 /// `chunks` by their worker budget; the function never spawns more threads
 /// than chunks.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerPanic`] when a chunk worker panics: the panic is
+/// contained to this call instead of aborting the process, so the caller
+/// can degrade (retry, quarantine) the affected test.
 pub fn check_collective_chunked(
     spec: &TestGraphSpec,
     observations: &[ObservedEdges],
     chunks: usize,
     split_windows: bool,
-) -> CollectiveOutcome {
+) -> Result<CollectiveOutcome, CheckError> {
     let lengths = even_chunk_lengths(observations.len(), chunks);
     if lengths.len() <= 1 {
-        return check_collective_with(spec, observations, split_windows);
+        return Ok(check_collective_with(spec, observations, split_windows));
     }
     let mut slices = Vec::with_capacity(lengths.len());
     let mut start = 0;
@@ -209,15 +217,85 @@ pub fn check_collective_chunked(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("collective chunk worker panicked"))
-            .collect()
-    });
+            .map(|h| {
+                h.join().map_err(|payload| CheckError::WorkerPanic {
+                    payload: panic_payload(payload.as_ref()),
+                })
+            })
+            .collect::<Result<Vec<_>, CheckError>>()
+    })?;
     let mut outcome = CollectiveOutcome::default();
     for chunk in chunk_outcomes {
         outcome.results.extend(chunk.results);
         outcome.stats = outcome.stats.merge(&chunk.stats);
     }
-    outcome
+    Ok(outcome)
+}
+
+/// A collective checking pass failed for a reason outside the memory model
+/// — the graphs themselves are neither valid nor violating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A chunk worker thread panicked. The panic is contained to the
+    /// checking call so the campaign can degrade the affected test instead
+    /// of aborting the process.
+    WorkerPanic {
+        /// Stringified panic payload.
+        payload: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::WorkerPanic { payload } => {
+                write!(f, "collective chunk worker panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Collective checking over a streaming iterator of observations.
+///
+/// This is the bounded-memory form of [`check_collective`]: the checker
+/// holds only its windowed re-sort state (the last valid topological order
+/// and the previous observation), never the full observation sequence, so
+/// an externally merged signature stream of any length can be checked in
+/// O(test size) memory. Per-graph verdicts are delivered to `on_result`
+/// in input order; the returned [`CollectiveStats`] — and every verdict —
+/// are identical to the slice-based checkers', which are themselves built
+/// on this path.
+pub fn check_collective_iter<I, F>(
+    spec: &TestGraphSpec,
+    observations: I,
+    split_windows: bool,
+    mut on_result: F,
+) -> CollectiveStats
+where
+    I: IntoIterator,
+    I::Item: Borrow<ObservedEdges>,
+    F: FnMut(usize, Result<(), Violation>),
+{
+    let mut checker = CollectiveChecker::new(spec);
+    if split_windows {
+        checker = checker.with_split_windows();
+    }
+    for (i, obs) in observations.into_iter().enumerate() {
+        on_result(i, checker.push(obs.borrow()));
+    }
+    *checker.stats()
 }
 
 fn check_collective_with(
@@ -225,15 +303,13 @@ fn check_collective_with(
     observations: &[ObservedEdges],
     split_windows: bool,
 ) -> CollectiveOutcome {
-    let mut checker = CollectiveChecker::new(spec);
-    if split_windows {
-        checker = checker.with_split_windows();
-    }
-    let mut outcome = CollectiveOutcome::default();
-    for obs in observations {
-        outcome.results.push(checker.push(obs));
-    }
-    outcome.stats = *checker.stats();
+    let mut outcome = CollectiveOutcome {
+        results: Vec::with_capacity(observations.len()),
+        ..CollectiveOutcome::default()
+    };
+    outcome.stats = check_collective_iter(spec, observations, split_windows, |_, result| {
+        outcome.results.push(result);
+    });
     outcome
 }
 
@@ -625,7 +701,8 @@ mod tests {
         let seq: Vec<ObservedEdges> = (0..17).map(|i| outcomes[i % 4].clone()).collect();
         for chunks in [1, 2, 3, 4, 8] {
             let lengths = even_chunk_lengths(seq.len(), chunks);
-            let parallel = check_collective_chunked(&spec, &seq, chunks, false);
+            let parallel =
+                check_collective_chunked(&spec, &seq, chunks, false).expect("no worker panics");
             let serial = check_collective_with_boundaries(&spec, &seq, &lengths, false);
             assert_eq!(parallel.results, serial.results, "{chunks} chunks");
             assert_eq!(parallel.stats, serial.stats, "{chunks} chunks");
@@ -638,7 +715,7 @@ mod tests {
         let outcomes = corr_outcomes(&p, &spec);
         let seq: Vec<ObservedEdges> = (0..12).map(|i| outcomes[i % 3].clone()).collect();
         let whole = check_collective(&spec, &seq);
-        let chunked = check_collective_chunked(&spec, &seq, 4, false);
+        let chunked = check_collective_chunked(&spec, &seq, 4, false).expect("no worker panics");
         // Verdicts identical; each chunk re-seeds with one complete sort.
         for (a, b) in whole.results.iter().zip(chunked.results.iter()) {
             assert_eq!(a.is_ok(), b.is_ok());

@@ -50,9 +50,9 @@ mod spec;
 mod topo;
 
 pub use collective::{
-    check_collective, check_collective_chunked, check_collective_split,
-    check_collective_with_boundaries, compare_checkers, even_chunk_lengths, CollectiveChecker,
-    CollectiveOutcome, CollectiveStats,
+    check_collective, check_collective_chunked, check_collective_iter, check_collective_split,
+    check_collective_with_boundaries, compare_checkers, even_chunk_lengths, CheckError,
+    CollectiveChecker, CollectiveOutcome, CollectiveStats,
 };
 pub use diagnose::{classify_cycle, explain_violation, EdgeReason, ExplainedEdge};
 pub use dot::render_dot;

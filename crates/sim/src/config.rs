@@ -200,6 +200,9 @@ pub enum StoreAtomicity {
 /// hard-coded livelock guard.
 pub const DEFAULT_MAX_STEPS_PER_OP: u64 = 1_000;
 
+// Referenced from `#[serde(default = "...")]` below; the offline serde
+// stub's derive does not expand that attribute, so rustc cannot see the use.
+#[allow(dead_code)]
 fn default_max_steps_per_op() -> u64 {
     DEFAULT_MAX_STEPS_PER_OP
 }

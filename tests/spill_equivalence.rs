@@ -1,0 +1,196 @@
+//! Spill-equivalence harness for the bounded-memory signature pipeline.
+//!
+//! The contract under test: a campaign running under any
+//! [`MemoryBudget`] — including one tiny enough to spill a sorted run to
+//! disk for every unique signature — produces verdicts, Figure-14 stats,
+//! coverage curves, and journal contents bit-identical to an unbounded
+//! in-memory run, at every worker count. Spilling is an implementation
+//! detail of *where* the dedup map lives, never of *what* it computes.
+
+use mtracecheck::instr::ExecutionSignature;
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{
+    Campaign, CampaignConfig, CampaignJournal, FirstSeen, MemoryBudget, SignatureStore, TestConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn serde_is_stubbed() -> bool {
+    serde_json::to_string(&0u32).is_err()
+}
+
+fn spill_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtracecheck-spill-eqv-{label}"));
+    std::fs::create_dir_all(&dir).expect("spill dir");
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 15, 8).with_seed(71), 300).with_tests(4)
+}
+
+/// Drains a store into `(signature, count, first)` triples.
+fn drain(store: SignatureStore) -> Vec<(ExecutionSignature, u64, FirstSeen)> {
+    let mut stream = store.finish().expect("merge");
+    let mut out = Vec::new();
+    while let Some(entry) = stream.next_entry().expect("stream") {
+        out.push((entry.signature, entry.count, entry.first));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Store-level equivalence: for any insertion sequence (duplicates,
+    /// shard interleavings, multi-word signatures) a store small enough to
+    /// spill at least two sorted runs merges back to exactly the stream the
+    /// unbounded store yields — same order, same counts, same first-seen
+    /// positions.
+    #[test]
+    fn spilled_merge_equals_in_memory(
+        seed in any::<u64>(),
+        inserts in 8usize..60,
+        words in 1usize..3,
+        spread in 1u64..12,
+    ) {
+        let dir = spill_dir("prop");
+        let budget = MemoryBudget::Bounded { bytes: 1, spill_dir: dir };
+        let mut bounded = SignatureStore::new(&budget, words * 8);
+        let mut unbounded = SignatureStore::unbounded();
+        let mut state = seed;
+        for i in 0..inserts {
+            // splitmix-ish stream of duplicate-heavy signatures.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let base = state % spread;
+            let sig = ExecutionSignature::from_words(
+                (0..words as u64).map(|w| base.wrapping_add(w)).collect(),
+            );
+            let first = FirstSeen { shard: (i % 3) as u32, pos: (i / 3) as u64 };
+            bounded.insert(&sig, first).expect("bounded insert");
+            unbounded.insert(&sig, first).expect("unbounded insert");
+        }
+        if inserts > 2 {
+            prop_assert!(bounded.spilled_runs() >= 2, "cap 1 spills once per insert");
+        }
+        prop_assert_eq!(drain(bounded), drain(unbounded));
+    }
+}
+
+#[test]
+fn first_seen_merges_to_the_global_minimum() {
+    // The same signature arriving from three shards keeps the smallest
+    // (shard, pos) across run boundaries — the property the coverage-curve
+    // replay depends on.
+    let dir = spill_dir("first-seen");
+    let budget = MemoryBudget::Bounded {
+        bytes: 1,
+        spill_dir: dir,
+    };
+    let mut store = SignatureStore::new(&budget, 8);
+    let sig = ExecutionSignature::from_words(vec![42]);
+    for (shard, pos) in [(2u32, 0u64), (0, 7), (1, 3), (0, 2)] {
+        store.insert(&sig, FirstSeen { shard, pos }).unwrap();
+    }
+    let entries = drain(store);
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].1, 4, "all four occurrences counted");
+    assert_eq!(entries[0].2, FirstSeen { shard: 0, pos: 2 });
+}
+
+/// The acceptance scenario: a budget of one resident entry forces a spill
+/// run per unique signature (hundreds per test, far beyond the required
+/// two), and the whole campaign report — verdicts, Figure-14 collective
+/// stats, coverage, timing — is bit-identical to the unbounded run at
+/// every worker count.
+#[test]
+fn bounded_campaign_report_is_bit_identical() {
+    for workers in [1usize, 2, 4] {
+        let unbounded = Campaign::new(config().with_workers(workers).with_parallel()).run();
+        let dir = spill_dir(&format!("campaign-w{workers}"));
+        let bounded = Campaign::new(
+            config()
+                .with_workers(workers)
+                .with_parallel()
+                .with_memory_budget(1, dir.clone()),
+        )
+        .run();
+        assert_eq!(bounded, unbounded, "workers={workers}");
+        let leftovers = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(
+            leftovers, 0,
+            "workers={workers}: run files must be cleaned up"
+        );
+    }
+}
+
+#[test]
+fn moderate_budgets_and_split_windows_stay_identical() {
+    // A budget that holds a few dozen entries (partial spilling: some
+    // signatures merge from disk, some straight from the resident map)
+    // exercises the mixed path; split windows change the checking plan and
+    // must be equally budget-invariant.
+    let base = || {
+        config()
+            .with_split_windows()
+            .with_workers(2)
+            .with_parallel()
+    };
+    let unbounded = Campaign::new(base()).run();
+    let bounded = Campaign::new(base().with_memory_budget(2048, spill_dir("moderate"))).run();
+    assert_eq!(bounded, unbounded);
+}
+
+#[test]
+fn journals_are_bit_identical_across_budgets_and_workers() {
+    if serde_is_stubbed() {
+        eprintln!("skipping: serde stubs cannot serialize journal records");
+        return;
+    }
+    let dir = std::env::temp_dir().join("mtracecheck-spill-eqv-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut baseline: Option<String> = None;
+    for workers in [1usize, 2, 4] {
+        for budget in [None, Some(1u64)] {
+            let label = format!("w{workers}-b{budget:?}");
+            let mut cfg = config().with_workers(workers).with_parallel();
+            if let Some(bytes) = budget {
+                cfg = cfg.with_memory_budget(bytes, spill_dir(&format!("journal-{workers}")));
+            }
+            let campaign = Campaign::new(cfg);
+            let path = dir.join(format!("{label}.jsonl"));
+            let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
+            campaign.run_with_journal(&journal);
+            drop(journal);
+            let contents = std::fs::read_to_string(&path).unwrap();
+            match &baseline {
+                None => baseline = Some(contents),
+                Some(expected) => assert_eq!(&contents, expected, "{label}"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn collect_surfaces_spill_statistics_consistently() {
+    // `try_collect` under a budget must agree with the unbounded log on
+    // every field — signatures, counts, coverage, cycles — not just on the
+    // campaign-level report.
+    let campaign = Campaign::new(config());
+    let program = mtracecheck::testgen::generate_suite(&config().test, 1)
+        .pop()
+        .unwrap();
+    let unbounded = campaign.try_collect(&program).unwrap();
+    let bounded_campaign = Campaign::new(config().with_memory_budget(1, spill_dir("collect")));
+    let bounded = bounded_campaign.try_collect(&program).unwrap();
+    assert_eq!(bounded, unbounded);
+
+    // And the per-signature map survives the round trip: counts match a
+    // plain dedup of the same signatures.
+    let mut expected: BTreeMap<&ExecutionSignature, u64> = BTreeMap::new();
+    for (sig, count) in &unbounded.signatures {
+        *expected.entry(sig).or_default() += count;
+    }
+    assert_eq!(expected.len(), bounded.signatures.len());
+}

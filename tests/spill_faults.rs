@@ -1,0 +1,105 @@
+//! Fault-injection tests for graceful degradation under spill I/O errors
+//! (`--features fault-inject`): a failing spill disk must cost exactly the
+//! affected tests — quarantined with a [`FailureCause::SpillIo`] history —
+//! while the campaign completes DEGRADED with every other verdict
+//! bit-identical to a clean run.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{Campaign, CampaignConfig, FailureCause, FaultPlan, RetryPolicy, TestConfig};
+
+fn spill_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtracecheck-spill-fault-{label}"));
+    std::fs::create_dir_all(&dir).expect("spill dir");
+    dir
+}
+
+fn config(label: &str) -> CampaignConfig {
+    CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 15, 8).with_seed(33), 120)
+        .with_tests(6)
+        // One resident entry: every test spills constantly, so an injected
+        // spill error is guaranteed to fire on its planned attempt.
+        .with_memory_budget(1, spill_dir(label))
+}
+
+fn spill_faults(at: impl IntoIterator<Item = (u64, u32)>) -> FaultPlan {
+    FaultPlan {
+        spill_error_at: at.into_iter().collect(),
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn spill_errors_quarantine_only_the_affected_tests() {
+    // Tests 1 and 4 lose their spill disk on every attempt; the campaign
+    // must complete DEGRADED with exactly those two quarantined and the
+    // other four bit-identical to a clean bounded run, at 1/2/4 workers.
+    for workers in [1usize, 2, 4] {
+        let clean = Campaign::new(config("clean").with_workers(workers)).run();
+        let faulted = Campaign::new(
+            config("faulted")
+                .with_workers(workers)
+                .with_parallel()
+                .with_faults(spill_faults([(1, 1), (4, 1)])),
+        )
+        .run();
+        assert!(faulted.is_degraded(), "workers={workers}");
+        let quarantined: Vec<u64> = faulted.quarantined.iter().map(|q| q.index).collect();
+        assert_eq!(quarantined, vec![1, 4], "workers={workers}");
+        for record in &faulted.quarantined {
+            assert_eq!(record.attempts.len(), 1);
+            match &record.attempts[0].cause {
+                FailureCause::SpillIo { error } => {
+                    assert!(error.contains("injected"), "{error}");
+                }
+                other => panic!("expected a spill cause, got {other}"),
+            }
+        }
+        assert_eq!(faulted.tests.len(), 4, "workers={workers}");
+        for t in &faulted.tests {
+            assert_eq!(
+                t, &clean.tests[t.index as usize],
+                "non-faulted test {} must be bit-identical (workers={workers})",
+                t.index
+            );
+        }
+    }
+}
+
+#[test]
+fn retries_recover_a_transient_spill_failure() {
+    // The disk "heals" after attempt 1: the retry succeeds and the verdict
+    // carries the SpillIo failure in its attempt history.
+    let report = Campaign::new(
+        config("transient")
+            .with_retry(RetryPolicy::with_retries(2))
+            .with_faults(spill_faults([(0, 1)])),
+    )
+    .run();
+    assert!(report.quarantined.is_empty());
+    assert!(!report.is_degraded());
+    let recovered = &report.tests[0];
+    assert_eq!(recovered.attempts, 2);
+    assert_eq!(recovered.retry_failures.len(), 1);
+    assert!(matches!(
+        recovered.retry_failures[0].cause,
+        FailureCause::SpillIo { .. }
+    ));
+    for t in &report.tests[1..] {
+        assert_eq!(t.attempts, 1, "only the faulted test retried");
+    }
+}
+
+#[test]
+fn spill_faults_without_a_budget_are_inert() {
+    // The fault plan only bites when spills actually happen: an unbounded
+    // campaign with the same plan runs clean, proving the injection sits in
+    // the spill path rather than in the supervisor.
+    let report = Campaign::new(
+        CampaignConfig::new(TestConfig::new(IsaKind::Arm, 2, 15, 8).with_seed(33), 120)
+            .with_tests(6)
+            .with_faults(spill_faults([(0, 1), (1, 1)])),
+    )
+    .run();
+    assert!(report.quarantined.is_empty());
+    assert!(!report.is_degraded());
+}
