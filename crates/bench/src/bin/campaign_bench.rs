@@ -1,0 +1,127 @@
+//! Campaign perf summary: measures end-to-end campaign throughput, the
+//! wall-clock overhead of enabled telemetry, and per-phase latency medians,
+//! then drops a machine-readable `BENCH_campaign.json` next to the run.
+//!
+//! The JSON is hand-formatted (no serde) so the summary survives offline
+//! builds where the serde stubs cannot serialize. Usage:
+//!
+//! ```text
+//! campaign_bench [--iters N] [--tests N] [--workers N]
+//! ```
+
+use mtc_bench::{parse_scale, progress, Table};
+use mtracecheck::isa::IsaKind;
+use mtracecheck::{Campaign, CampaignConfig, Telemetry, TelemetryConfig, TestConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-N wall time for one campaign run; returns (best µs, report).
+fn time_runs<F: FnMut() -> mtracecheck::ConfigReport>(
+    runs: usize,
+    mut run: F,
+) -> (u64, mtracecheck::ConfigReport) {
+    let mut best_us = u64::MAX;
+    let mut report = None;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let r = run();
+        best_us = best_us.min(started.elapsed().as_micros() as u64);
+        report = Some(r);
+    }
+    (best_us, report.expect("runs >= 1"))
+}
+
+fn main() {
+    let scale = parse_scale(1500, 6);
+    let config = || {
+        scale
+            .configure(CampaignConfig::new(
+                TestConfig::new(IsaKind::Arm, 2, 20, 16).with_seed(9),
+                scale.iterations,
+            ))
+            .with_parallel()
+    };
+
+    progress("warming up");
+    let _ = Campaign::new(config()).run();
+
+    progress("timing the baseline (telemetry off)");
+    let (baseline_us, plain) = time_runs(3, || Campaign::new(config()).run());
+
+    progress("timing with trace + metrics sinks attached");
+    let dir = std::env::temp_dir().join(format!("mtc-campaign-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let mut last_telemetry = None;
+    let (traced_us, traced) = time_runs(3, || {
+        let telemetry = Telemetry::new(TelemetryConfig {
+            trace_path: Some(dir.join("trace.jsonl")),
+            chrome_path: None,
+            metrics_path: Some(dir.join("metrics.prom")),
+            progress: false,
+        });
+        let report = Campaign::new(config())
+            .with_telemetry(telemetry.clone())
+            .run();
+        telemetry.finish().expect("telemetry sinks written");
+        last_telemetry = Some(telemetry);
+        report
+    });
+    let snapshot = last_telemetry
+        .as_ref()
+        .and_then(Telemetry::snapshot)
+        .expect("enabled telemetry has a snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(traced, plain, "telemetry must not change the report");
+
+    let total_iterations = scale.iterations * scale.tests;
+    let iterations_per_sec = total_iterations as f64 / (traced_us.max(1) as f64 / 1e6);
+    let overhead_pct = 100.0 * (traced_us as f64 - baseline_us as f64) / baseline_us.max(1) as f64;
+
+    let mut table = Table::new(["phase", "ops", "total us", "p50 us"]);
+    let mut phases_json = String::new();
+    for phase in snapshot.phases.iter().filter(|p| p.count > 0) {
+        let p50 = phase.quantile(0.5).unwrap_or(0);
+        table.row([
+            phase.phase.to_owned(),
+            phase.count.to_string(),
+            phase.sum_us.to_string(),
+            p50.to_string(),
+        ]);
+        if !phases_json.is_empty() {
+            phases_json.push_str(",\n    ");
+        }
+        let _ = write!(
+            phases_json,
+            "{{\"phase\":\"{}\",\"count\":{},\"total_us\":{},\"p50_us\":{}}}",
+            phase.phase, phase.count, phase.sum_us, p50
+        );
+    }
+    println!(
+        "campaign bench: {} iterations x {} tests, {} worker(s)",
+        scale.iterations, scale.tests, scale.workers
+    );
+    println!(
+        "baseline {:.3} s, with telemetry {:.3} s ({overhead_pct:+.2}% overhead)",
+        baseline_us as f64 / 1e6,
+        traced_us as f64 / 1e6
+    );
+    println!("throughput: {iterations_per_sec:.0} iterations/sec (telemetry on)");
+    table.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"iterations\": {},\n  \"tests\": {},\n  \
+         \"workers\": {},\n  \"baseline_wall_us\": {baseline_us},\n  \
+         \"telemetry_wall_us\": {traced_us},\n  \
+         \"telemetry_overhead_pct\": {overhead_pct:.2},\n  \
+         \"iterations_per_sec\": {iterations_per_sec:.1},\n  \
+         \"retries\": {},\n  \"spill_runs\": {},\n  \"phases\": [\n    {phases_json}\n  ]\n}}\n",
+        scale.iterations,
+        scale.tests,
+        scale.workers,
+        snapshot.counter("retries"),
+        snapshot.counter("spill_runs"),
+    );
+    let path = "BENCH_campaign.json";
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
+    eprintln!("(wrote {path})");
+}

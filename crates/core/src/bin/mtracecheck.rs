@@ -14,10 +14,11 @@ use mtracecheck::instr::{analyze, render_instrumented, SignatureSchema, SourcePr
 use mtracecheck::isa::{litmus, parse_program, IsaKind, Mcm};
 use mtracecheck::sim::{enumerate_outcomes, BugKind, CacheConfig};
 use mtracecheck::sim::{Simulator, SystemConfig};
+use mtracecheck::telemetry::{logger, validate_metrics_text, validate_trace_text};
 use mtracecheck::testgen::{generate, generate_suite};
 use mtracecheck::{
     paper_configs, Campaign, CampaignConfig, CampaignJournal, LintAction, LintPolicy, RetryPolicy,
-    Severity, SignatureLog, TestConfig,
+    Severity, SignatureLog, Telemetry, TelemetryConfig, TestConfig,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,10 +34,16 @@ impl Args {
         let mut flags = Vec::new();
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
+            if arg == "-q" {
+                // The one short flag; it takes no value.
+                flags.push(("quiet".to_owned(), None));
+            } else if let Some(name) = arg.strip_prefix("--") {
+                // Verbosity and progress flags never take a value, so a
+                // following positional (e.g. the subcommand) stays one.
+                let takes_value = !matches!(name, "quiet" | "verbose" | "progress");
                 let value = iter
                     .peek()
-                    .filter(|v| !v.starts_with("--"))
+                    .filter(|v| takes_value && !v.starts_with("--"))
                     .cloned()
                     .inspect(|_| {
                         iter.next();
@@ -82,6 +89,8 @@ fn usage() -> &'static str {
                    [--retries N] [--retry-backoff-ms MS] [--time-budget-ms MS]\n\
                    [--step-budget N] [--journal FILE] [--resume]\n\
                    [--mem-budget BYTES[k|m|g]] [--spill-dir DIR]\n\
+                   [--trace FILE] [--chrome-trace FILE] [--metrics FILE]\n\
+                   [--progress]\n\
                                       --workers N shards each test's iterations over N\n\
                                       pool workers (0 = all host threads); --parallel\n\
                                       also fans tests out over the pool; --chunked-check\n\
@@ -102,6 +111,14 @@ fn usage() -> &'static str {
                                       set (suffix k/m/g), spilling sorted runs to\n\
                                       --spill-dir (default: a temp directory) and\n\
                                       merging them back losslessly\n\
+                                      telemetry (provably inert — identical verdicts\n\
+                                      on or off): --trace writes a deterministic JSONL\n\
+                                      trace of phase spans and retry/quarantine/spill\n\
+                                      events; --chrome-trace writes the same trace in\n\
+                                      Chrome trace-event JSON (chrome://tracing);\n\
+                                      --metrics writes Prometheus-text latency\n\
+                                      histograms and counters; --progress prints a\n\
+                                      throttled heartbeat on stderr\n\
        mtracecheck collect  (campaign flags) --out DIR\n\
                                       device side only: write signature logs as JSON\n\
        mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
@@ -109,7 +126,15 @@ fn usage() -> &'static str {
        mtracecheck program FILE [--mcm <sc|tso|weak>] [--iters N] [--enumerate]\n\
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
        mtracecheck render --isa <arm|x86> [--threads T --ops O --addrs A --seed S]\n\
-       mtracecheck configs            list the paper's 21 configurations\n"
+       mtracecheck configs            list the paper's 21 configurations\n\
+       mtracecheck validate-trace FILE [--metrics FILE]\n\
+                                      schema-check a --trace JSONL file (and\n\
+                                      optionally a --metrics snapshot)\n\
+     \n\
+     GLOBAL FLAGS:\n\
+       -q | --quiet                   errors only on stderr\n\
+       --verbose                      harness-debugging detail on stderr\n\
+       (stdout — reports and RESULT lines — is never affected)\n"
 }
 
 fn parse_bytes(s: &str) -> Result<u64, String> {
@@ -238,12 +263,18 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     if args.has("resume") && !args.has("journal") {
         return Err("--resume requires --journal FILE".to_owned());
     }
-    println!(
+    let telemetry = Telemetry::new(TelemetryConfig {
+        trace_path: args.get("trace").map(std::path::PathBuf::from),
+        chrome_path: args.get("chrome-trace").map(std::path::PathBuf::from),
+        metrics_path: args.get("metrics").map(std::path::PathBuf::from),
+        progress: args.has("progress"),
+    });
+    logger::info(format_args!(
         "validating {} on `{}` ({iterations} iterations x {tests} tests)...\n",
         config.test.name(),
         config.system.name
-    );
-    let campaign = Campaign::new(config);
+    ));
+    let campaign = Campaign::new(config).with_telemetry(telemetry.clone());
     let report = match args.get("journal") {
         Some(path) => {
             let journal = if args.has("resume") {
@@ -253,15 +284,19 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             }
             .map_err(|e| format!("--journal {path}: {e}"))?;
             if journal.replayed() > 0 {
-                println!(
+                logger::info(format_args!(
                     "resuming: {} completed test(s) replayed from {path}",
                     journal.replayed()
-                );
+                ));
             }
             campaign.run_with_journal(&journal)
         }
         None => campaign.run(),
     };
+    // Telemetry failures are logged, never promoted to a campaign verdict.
+    if let Err(e) = telemetry.finish() {
+        logger::warn(format_args!("warning: could not write telemetry: {e}"));
+    }
     println!("{report}");
     if report.failing_tests() > 0 {
         return Err(format!(
@@ -468,6 +503,26 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_validate_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("validate-trace: missing FILE argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = validate_trace_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid trace ({} spans, {} events)",
+        summary.spans, summary.events
+    );
+    if let Some(metrics_path) = args.get("metrics") {
+        let text =
+            std::fs::read_to_string(metrics_path).map_err(|e| format!("{metrics_path}: {e}"))?;
+        let samples = validate_metrics_text(&text).map_err(|e| format!("{metrics_path}: {e}"))?;
+        println!("{metrics_path}: valid metrics ({samples} samples)");
+    }
+    Ok(())
+}
+
 fn cmd_configs() {
     println!("the paper's 21 test configurations (Figure 8):");
     for c in paper_configs() {
@@ -484,6 +539,11 @@ fn cmd_configs() {
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    if args.has("quiet") {
+        logger::set_level(logger::Level::Error);
+    } else if args.has("verbose") {
+        logger::set_level(logger::Level::Debug);
+    }
     let result = match args.positional.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args),
         Some("collect") => cmd_collect(&args),
@@ -491,6 +551,7 @@ fn main() -> ExitCode {
         Some("litmus") => cmd_litmus(&args),
         Some("program") => cmd_program(&args),
         Some("render") => cmd_render(&args),
+        Some("validate-trace") => cmd_validate_trace(&args),
         Some("configs") => {
             cmd_configs();
             Ok(())
@@ -503,7 +564,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("{message}");
+            logger::error(message);
             ExitCode::FAILURE
         }
     }

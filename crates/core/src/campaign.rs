@@ -6,13 +6,14 @@
 //! simulated platform, collect and sort the execution signatures, and
 //! collectively check the unique signatures' constraint graphs.
 
-use crate::journal::{CampaignJournal, ReplayEntry};
-use crate::store::{FirstSeen, MemoryBudget, SignatureStore, SpillError};
+use crate::journal::{CampaignJournal, JournalFooter, ReplayEntry};
+use crate::store::{FirstSeen, MemoryBudget, SignatureStore, SpillError, SpillStats};
 #[cfg(feature = "fault-inject")]
 use crate::supervisor::FaultPlan;
 use crate::supervisor::{
     attempt_seed_offset, AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy,
 };
+use crate::telemetry::{Ids, Phase, Telemetry};
 use crate::{CoverageTracker, SignatureLog};
 use mtc_analyze::{lint_program, LintAction, LintPolicy, LintReport};
 use mtc_gen::{generate, generate_suite, TestConfig};
@@ -363,8 +364,80 @@ impl TestReport {
     }
 }
 
+/// Aggregate spill statistics across a campaign's tests, for the report
+/// and the journal footer.
+///
+/// Host-resource observability only: under parallel collection the shard
+/// interleaving decides when the resident buffer fills, so these numbers
+/// legitimately vary across worker counts while every verdict stays
+/// bit-identical. They are therefore excluded from [`ConfigReport`]
+/// equality.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillSummary {
+    /// Tests whose collection spilled at least one run.
+    pub tests_spilled: u64,
+    /// Sorted runs written to disk across all tests.
+    pub runs_spilled: u64,
+    /// Entries written across all runs (pre-merge).
+    pub entries_spilled: u64,
+    /// Bytes written across all runs.
+    pub bytes_spilled: u64,
+    /// Largest per-test peak of resident unique signatures.
+    pub peak_resident: u64,
+    /// Largest per-test k-way merge fan-in (runs + resident remainder).
+    pub merge_fan_in: u64,
+}
+
+impl SpillSummary {
+    /// Folds one test's spill statistics into the campaign aggregate.
+    pub fn absorb(&mut self, stats: &SpillStats) {
+        if stats.runs_spilled > 0 {
+            self.tests_spilled += 1;
+        }
+        self.runs_spilled += stats.runs_spilled;
+        self.entries_spilled += stats.entries_spilled;
+        self.bytes_spilled += stats.bytes_spilled;
+        self.peak_resident = self.peak_resident.max(stats.peak_resident);
+        self.merge_fan_in = self.merge_fan_in.max(stats.merge_fan_in);
+    }
+}
+
+/// Post-run profile summary, populated when the campaign ran with
+/// telemetry enabled ([`Campaign::with_telemetry`]). Wall-clock data, so —
+/// like [`SpillSummary`] — excluded from report equality.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignProfile {
+    /// Campaign wall time, microseconds.
+    pub wall_us: u64,
+    /// Per-phase totals (phases with at least one observation), in
+    /// pipeline order.
+    pub phases: Vec<PhaseProfile>,
+    /// The slowest freshly-executed tests, slowest first (top 5).
+    pub slowest_tests: Vec<TestTiming>,
+}
+
+/// One phase's aggregate in a [`CampaignProfile`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Total time across observations, microseconds.
+    pub total_us: u64,
+}
+
+/// Wall time of one freshly-executed test (all supervised attempts).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TestTiming {
+    /// Suite index.
+    pub index: u64,
+    /// Wall time, microseconds.
+    pub elapsed_us: u64,
+}
+
 /// Aggregated results over all tests of one configuration.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ConfigReport {
     /// The configuration's paper-style name.
     pub name: String,
@@ -388,6 +461,32 @@ pub struct ConfigReport {
     /// The campaign journal lost at least one record (I/O failure); a
     /// resume will re-run the unrecorded tests.
     pub journal_degraded: bool,
+    /// Aggregate spill statistics (host-resource observability; excluded
+    /// from equality — see [`SpillSummary`]).
+    #[serde(skip)]
+    pub spill: SpillSummary,
+    /// Post-run profile, when the campaign ran with telemetry enabled
+    /// (wall-clock observability; excluded from equality).
+    #[serde(skip)]
+    pub profile: Option<CampaignProfile>,
+}
+
+/// Equality covers the campaign's *logical* results only — verdicts,
+/// counts, lint/quarantine/journal bookkeeping. The observability fields
+/// ([`ConfigReport::spill`], [`ConfigReport::profile`]) describe
+/// host-resource behaviour that varies across worker counts and wall
+/// clocks, and are deliberately excluded; this is what lets the telemetry
+/// equivalence suite assert `traced_report == plain_report`.
+impl PartialEq for ConfigReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.tests == other.tests
+            && self.lint_pruned == other.lint_pruned
+            && self.lint_regenerated == other.lint_regenerated
+            && self.quarantined == other.quarantined
+            && self.resumed_tests == other.resumed_tests
+            && self.journal_degraded == other.journal_degraded
+    }
 }
 
 impl ConfigReport {
@@ -438,12 +537,30 @@ impl ConfigReport {
 #[derive(Clone, Debug)]
 pub struct Campaign {
     config: CampaignConfig,
+    telemetry: Telemetry,
 }
 
 impl Campaign {
-    /// Creates a campaign.
+    /// Creates a campaign (telemetry disabled).
     pub fn new(config: CampaignConfig) -> Self {
-        Campaign { config }
+        Campaign {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Returns the campaign with observability sinks attached. Telemetry
+    /// is provably inert: reports, journals, and every Figure-14 stat are
+    /// byte-identical with or without it (see [`crate::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The campaign's telemetry handle (disabled unless
+    /// [`Campaign::with_telemetry`] attached one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The campaign configuration.
@@ -487,7 +604,29 @@ impl Campaign {
     }
 
     fn run_supervised(&self, threaded: bool, journal: Option<&CampaignJournal>) -> ConfigReport {
-        let suite = self.lint_gate(generate_suite(&self.config.test, self.config.tests));
+        let mut root = self.telemetry.scope(Ids::none());
+        let wall_started = root.start();
+        let generate_started = root.start();
+        let programs = generate_suite(&self.config.test, self.config.tests);
+        root.span(
+            Phase::Generate,
+            generate_started,
+            &[("tests", programs.len() as u64)],
+        );
+        let lint_started = root.start();
+        let suite = self.lint_gate(programs);
+        root.span(
+            Phase::Lint,
+            lint_started,
+            &[
+                ("kept", suite.programs.len() as u64),
+                ("pruned", suite.pruned),
+                ("regenerated", suite.regenerated),
+            ],
+        );
+        drop(root);
+        self.telemetry
+            .progress_tests_total(suite.programs.len() as u64);
         let threads = if threaded {
             self.config.test_pool_threads()
         } else {
@@ -505,14 +644,17 @@ impl Campaign {
             if let Some(entry) = journal.and_then(|j| j.replay_entry(index)) {
                 return SupervisedOutcome::Replayed(entry.clone());
             }
-            let outcome = self.run_test_supervised(index, program, lint, threaded);
+            let (outcome, diag) = self.run_test_supervised(index, program, lint, threaded);
             if let Some(j) = journal {
                 match &outcome {
                     Ok(report) => self.journal_test(j, index, report),
                     Err(record) => self.journal_quarantine(j, record),
                 }
             }
-            SupervisedOutcome::Fresh(outcome.map(Box::new))
+            SupervisedOutcome::Fresh {
+                result: outcome.map(Box::new),
+                diag,
+            }
         });
 
         let mut report = ConfigReport {
@@ -521,6 +663,7 @@ impl Campaign {
             lint_regenerated: suite.regenerated,
             ..ConfigReport::default()
         };
+        let mut timings: Vec<TestTiming> = Vec::new();
         for (index, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(SupervisedOutcome::Replayed(ReplayEntry::Test(test))) => {
@@ -531,8 +674,17 @@ impl Campaign {
                     report.resumed_tests += 1;
                     report.quarantined.push(record);
                 }
-                Ok(SupervisedOutcome::Fresh(Ok(test))) => report.tests.push(*test),
-                Ok(SupervisedOutcome::Fresh(Err(record))) => report.quarantined.push(record),
+                Ok(SupervisedOutcome::Fresh { result, diag }) => {
+                    report.spill.absorb(&diag.spill);
+                    timings.push(TestTiming {
+                        index: index as u64,
+                        elapsed_us: diag.elapsed_us,
+                    });
+                    match result {
+                        Ok(test) => report.tests.push(*test),
+                        Err(record) => report.quarantined.push(record),
+                    }
+                }
                 // Pool-level backstop: a panic that escaped the supervised
                 // attempt loop still costs only its own test slot.
                 Err(e) => {
@@ -551,11 +703,34 @@ impl Campaign {
                 }
             }
         }
+        if let Some(snapshot) = self.telemetry.snapshot() {
+            timings.sort_by(|a, b| b.elapsed_us.cmp(&a.elapsed_us).then(a.index.cmp(&b.index)));
+            timings.truncate(5);
+            report.profile = Some(CampaignProfile {
+                wall_us: wall_started.map_or(0, |w| w.elapsed().as_micros() as u64),
+                phases: snapshot
+                    .phases
+                    .iter()
+                    .filter(|p| p.count > 0)
+                    .map(|p| PhaseProfile {
+                        phase: p.phase.to_owned(),
+                        count: p.count,
+                        total_us: p.sum_us,
+                    })
+                    .collect(),
+                slowest_tests: timings,
+            });
+        }
         // Compact the journal into its canonical suite-order checkpoint
         // (temp file + fsync + atomic rename, so a kill mid-checkpoint can
         // never truncate the journal). Failures degrade, never abort.
         if let Some(j) = journal {
-            j.finalize_or_degrade();
+            let footer = JournalFooter {
+                tests: report.tests.len() as u64,
+                quarantined: report.quarantined.len() as u64,
+                spill: report.spill.clone(),
+            };
+            j.finalize_or_degrade(Some(&footer));
         }
         report.journal_degraded = journal.is_some_and(CampaignJournal::is_degraded);
         report
@@ -566,22 +741,31 @@ impl Campaign {
     /// every failure, until a verdict lands or the retry budget runs out.
     /// Attempt 1 always runs with a zero seed offset, so a healthy test's
     /// verdict is bit-identical to an unsupervised run's.
+    ///
+    /// The second return value carries per-test observability (wall time,
+    /// spill statistics) the campaign aggregates outside the verdict.
     fn run_test_supervised(
         &self,
         index: u64,
         program: &Program,
         lint: Option<LintReport>,
         threaded: bool,
-    ) -> Result<TestReport, QuarantineRecord> {
+    ) -> (Result<TestReport, QuarantineRecord>, TestDiagnostics) {
         let policy = self.config.retry;
         let mut failures: Vec<AttemptFailure> = Vec::new();
-        for attempt in 1..=policy.max_attempts.max(1) {
+        let mut diag = TestDiagnostics::default();
+        let max_attempts = policy.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
             let backoff = policy.backoff_before(attempt);
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
             let seed_offset = attempt_seed_offset(attempt);
+            let ids = Ids::test(index, attempt);
+            let mut scope = self.telemetry.scope(ids);
+            let attempt_span = scope.start();
             let started = std::time::Instant::now();
+            let mut attempt_spill = SpillStats::default();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-inject")]
                 self.config.faults.on_attempt(index, attempt);
@@ -589,12 +773,16 @@ impl Campaign {
                 let fail_spill = self.config.faults.breaks_spill(index, attempt);
                 #[cfg(not(feature = "fault-inject"))]
                 let fail_spill = false;
-                let log = self
-                    .collect_impl(program, threaded, seed_offset, fail_spill)
+                let (log, spill) = self
+                    .collect_impl(program, threaded, seed_offset, fail_spill, ids)
                     .map_err(AttemptError::Spill)?;
-                self.check_log_impl(&log, threaded)
+                attempt_spill = spill;
+                self.check_log_impl(&log, threaded, ids)
                     .map_err(AttemptError::Check)
             }));
+            let elapsed = started.elapsed();
+            diag.elapsed_us += elapsed.as_micros() as u64;
+            scope.span(Phase::Attempt, attempt_span, &[]);
             let cause = match outcome {
                 Err(payload) => FailureCause::Panic {
                     payload: crate::pool::panic_message(payload.as_ref()),
@@ -615,33 +803,49 @@ impl Campaign {
                 Ok(Err(AttemptError::Check(CheckLogError::CheckerPanic { payload }))) => {
                     FailureCause::Panic { payload }
                 }
-                Ok(Ok(mut report)) => {
-                    let elapsed = started.elapsed();
-                    match policy.time_budget {
-                        Some(budget) if elapsed > budget => FailureCause::Timeout {
-                            elapsed_ms: elapsed.as_millis() as u64,
-                            budget_ms: budget.as_millis() as u64,
-                        },
-                        _ => {
-                            report.index = index;
-                            report.attempts = attempt;
-                            report.retry_failures = std::mem::take(&mut failures);
-                            report.lint = lint;
-                            return Ok(report);
-                        }
+                Ok(Ok(mut report)) => match policy.time_budget {
+                    Some(budget) if elapsed > budget => FailureCause::Timeout {
+                        elapsed_ms: elapsed.as_millis() as u64,
+                        budget_ms: budget.as_millis() as u64,
+                    },
+                    _ => {
+                        report.index = index;
+                        report.attempts = attempt;
+                        report.retry_failures = std::mem::take(&mut failures);
+                        report.lint = lint;
+                        diag.spill = attempt_spill;
+                        drop(scope);
+                        self.telemetry
+                            .progress_test_done(report.unique_signatures as u64);
+                        return (Ok(report), diag);
                     }
-                }
+                },
             };
+            let cause_text = cause.to_string();
+            if attempt < max_attempts {
+                scope.event("retry", &[], &[("cause", &cause_text)]);
+                scope.count("retries", 1);
+                drop(scope);
+                self.telemetry.progress_retry();
+            } else {
+                scope.event("quarantine", &[], &[("cause", &cause_text)]);
+                scope.count("quarantines", 1);
+                drop(scope);
+                self.telemetry.progress_quarantine();
+            }
             failures.push(AttemptFailure {
                 attempt,
                 seed_offset,
                 cause,
             });
         }
-        Err(QuarantineRecord {
-            index,
-            attempts: failures,
-        })
+        (
+            Err(QuarantineRecord {
+                index,
+                attempts: failures,
+            }),
+            diag,
+        )
     }
 
     /// Journals a validated test — or, under an injected journal fault,
@@ -757,7 +961,7 @@ impl Campaign {
     /// Single-threaded variant of [`Campaign::run_test`]; executes the same
     /// shard plan serially and returns an identical report.
     pub fn run_test_serial(&self, program: &Program) -> TestReport {
-        self.check_log_impl(&self.collect_serial(program), false)
+        self.check_log_impl(&self.collect_serial(program), false, Ids::test(0, 1))
             .expect("logs produced by collect decode under the same schema")
     }
 
@@ -800,7 +1004,8 @@ impl Campaign {
     /// [`SpillError`] when writing or merging a spill run failed. Without a
     /// memory budget no spill happens and the call is infallible.
     pub fn try_collect(&self, program: &Program) -> Result<SignatureLog, SpillError> {
-        self.collect_impl(program, true, 0, false)
+        self.collect_impl(program, true, 0, false, Ids::test(0, 1))
+            .map(|(log, _)| log)
     }
 
     /// Single-threaded variant of [`Campaign::try_collect`].
@@ -809,26 +1014,36 @@ impl Campaign {
     ///
     /// [`SpillError`], as for [`Campaign::try_collect`].
     pub fn try_collect_serial(&self, program: &Program) -> Result<SignatureLog, SpillError> {
-        self.collect_impl(program, false, 0, false)
+        self.collect_impl(program, false, 0, false, Ids::test(0, 1))
+            .map(|(log, _)| log)
     }
 
     /// `seed_offset` is the supervisor's deterministic retry perturbation
     /// ([`attempt_seed_offset`]); `0` — the public entry points — is the
     /// unperturbed stream. `fail_spill` makes every spill fail (the
     /// fault-inject harness's synthetic disk failure; always `false` in
-    /// production builds).
+    /// production builds). `ids` tag this collection's telemetry; the
+    /// returned [`SpillStats`] snapshot the store just before the merge.
     fn collect_impl(
         &self,
         program: &Program,
         threaded: bool,
         seed_offset: u64,
         fail_spill: bool,
-    ) -> Result<SignatureLog, SpillError> {
+        ids: Ids,
+    ) -> Result<(SignatureLog, SpillStats), SpillError> {
         let config = &self.config;
+        let mut scope = self.telemetry.scope(ids);
+        let instrument_started = scope.start();
         let analysis = analyze(program, &config.pruning);
         let schema = SignatureSchema::build(program, &analysis, config.test.isa.register_bits());
         let mut sim = Simulator::new(program, config.system.clone());
         sim.instrument(&schema);
+        scope.span(
+            Phase::Instrument,
+            instrument_started,
+            &[("signature_bytes", schema.signature_bytes() as u64)],
+        );
 
         // The shard plan is a pure function of (iterations, workers): each
         // shard runs a contiguous slice of the per-iteration seed sequence
@@ -852,7 +1067,10 @@ impl Campaign {
             Mutex::new(store)
         };
         let runs = crate::pool::bounded_map(shards, pool_width, |shard_index, range| {
-            run_shard(
+            let mut shard_scope = self.telemetry.scope(ids.with_worker(shard_index as u32));
+            let simulate_started = shard_scope.start();
+            let iterations = range.end - range.start;
+            let run = run_shard(
                 &sim,
                 program,
                 &schema,
@@ -861,7 +1079,20 @@ impl Campaign {
                 shard_index as u32,
                 range,
                 &store,
-            )
+                &self.telemetry,
+            );
+            if let Ok(shard) = &run {
+                shard_scope.span(
+                    Phase::Simulate,
+                    simulate_started,
+                    &[
+                        ("iterations", iterations),
+                        ("encoded", shard.encoded),
+                        ("crashes", shard.crashes),
+                    ],
+                );
+            }
+            run
         });
 
         let mut log = SignatureLog {
@@ -899,6 +1130,24 @@ impl Campaign {
         // earliest-occurrence positions are exactly those of the unbounded
         // in-memory map, so everything derived below is budget-invariant.
         let store = store.into_inner().expect("signature store lock");
+        let spill_stats = store.stats();
+        for run in store.spill_run_log() {
+            scope.event(
+                "spill",
+                &[
+                    ("entries", run.entries),
+                    ("bytes", run.bytes),
+                    ("dur_us", run.dur_us),
+                ],
+                &[],
+            );
+            scope.sample_us(Phase::SpillWrite, run.dur_us);
+        }
+        if spill_stats.runs_spilled > 0 {
+            scope.count("spill_runs", spill_stats.runs_spilled);
+            self.telemetry.progress_spills(spill_stats.runs_spilled);
+        }
+        let merge_started = scope.start();
         let mut stream = store.finish()?;
         let mut signatures: Vec<(ExecutionSignature, u64)> = Vec::new();
         let mut first_positions: Vec<u64> = Vec::new();
@@ -911,6 +1160,14 @@ impl Campaign {
             signatures.push((entry.signature, entry.count));
         }
         drop(stream);
+        scope.span(
+            Phase::Merge,
+            merge_started,
+            &[
+                ("unique", signatures.len() as u64),
+                ("fan_in", spill_stats.merge_fan_in),
+            ],
+        );
 
         // Replay the on-device insertion order: position `p` of the
         // concatenated shard streams discovers a new signature exactly when
@@ -935,7 +1192,7 @@ impl Campaign {
         log.timing.sort_cycles = sort_comparisons * (6 + 2 * words);
         log.coverage = coverage.finish(singletons);
         log.signatures = signatures;
-        Ok(log)
+        Ok((log, spill_stats))
     }
 
     /// The host side of the pipeline (Figure 1 step 4): rebuild the
@@ -949,15 +1206,17 @@ impl Campaign {
     /// that belongs to a different program. The supervisor classifies this
     /// as [`FailureCause::Decode`] and quarantines only the affected test.
     pub fn check_log(&self, log: &SignatureLog) -> Result<TestReport, CheckLogError> {
-        self.check_log_impl(log, true)
+        self.check_log_impl(log, true, Ids::test(0, 1))
     }
 
     fn check_log_impl(
         &self,
         log: &SignatureLog,
         threaded: bool,
+        ids: Ids,
     ) -> Result<TestReport, CheckLogError> {
         let config = &self.config;
+        let mut scope = self.telemetry.scope(ids);
         let program = &log.program;
         let analysis = analyze(program, &log.pruning);
         let schema = SignatureSchema::build(program, &analysis, log.register_bits);
@@ -986,13 +1245,16 @@ impl Campaign {
             let mut decoded = Vec::with_capacity(log.signatures.len());
             let mut observations = Vec::with_capacity(log.signatures.len());
             for (signature_index, (sig, _)) in log.signatures.iter().enumerate() {
+                let decode_started = scope.start();
                 let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
                     signature_index,
                     source,
                 })?;
+                scope.sample(Phase::Decode, decode_started);
                 observations.push(spec.observe(program, &rf, &config.check));
                 decoded.push(rf);
             }
+            let check_started = scope.start();
             let collective = if config.chunked_check && config.workers > 1 {
                 if threaded {
                     check_collective_chunked(
@@ -1038,6 +1300,15 @@ impl Campaign {
                     });
                 }
             }
+            scope.span(
+                Phase::Check,
+                check_started,
+                &[
+                    ("graphs", collective.stats.graphs as u64),
+                    ("incremental", collective.stats.incremental as u64),
+                    ("resorted_vertices", collective.stats.resorted_vertices),
+                ],
+            );
             report.collective = collective.stats;
             if config.compare_conventional {
                 report.conventional = Some(check_conventional(&spec, &observations).stats);
@@ -1053,13 +1324,32 @@ impl Campaign {
             if config.split_windows {
                 checker = checker.with_split_windows();
             }
+            let telemetry_on = self.telemetry.enabled();
+            let check_started = scope.start();
             for (signature_index, (sig, count)) in log.signatures.iter().enumerate() {
+                let decode_started = scope.start();
                 let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
                     signature_index,
                     source,
                 })?;
+                scope.sample(Phase::Decode, decode_started);
                 let obs = spec.observe(program, &rf, &config.check);
-                if let Err(violation) = checker.push(&obs) {
+                let push_started = scope.start();
+                let incremental_before = if telemetry_on {
+                    checker.stats().incremental
+                } else {
+                    0
+                };
+                let push = checker.push(&obs);
+                // A push that grew the incremental counter re-sorted part of
+                // the previous topological order — histogram it separately
+                // from the no-resort fast path (Figure 14's split).
+                if telemetry_on && checker.stats().incremental > incremental_before {
+                    scope.sample(Phase::Resort, push_started);
+                } else {
+                    scope.sample(Phase::Check, push_started);
+                }
+                if let Err(violation) = push {
                     report.violations.push(ViolationRecord {
                         signature: sig.clone(),
                         occurrences: *count,
@@ -1069,6 +1359,18 @@ impl Campaign {
                 }
             }
             report.collective = *checker.stats();
+            // Umbrella span for the whole streaming check; the per-push
+            // samples above already populated the histograms, so this is a
+            // trace record only (no double counting).
+            scope.span_only(
+                Phase::Check,
+                check_started,
+                &[
+                    ("graphs", report.collective.graphs as u64),
+                    ("incremental", report.collective.incremental as u64),
+                    ("resorted_vertices", report.collective.resorted_vertices),
+                ],
+            );
         }
         Ok(report)
     }
@@ -1135,7 +1437,24 @@ enum SupervisedOutcome {
     Replayed(ReplayEntry),
     /// Freshly executed: a verdict, or quarantine after exhausted retries.
     /// Boxed: a report dwarfs the other variants.
-    Fresh(Result<Box<TestReport>, QuarantineRecord>),
+    Fresh {
+        /// The verdict (or quarantine record).
+        result: Result<Box<TestReport>, QuarantineRecord>,
+        /// Observability sidecar, aggregated outside the verdict.
+        diag: TestDiagnostics,
+    },
+}
+
+/// Per-test observability the supervisor returns alongside the verdict:
+/// wall time across all attempts and the verdict attempt's spill
+/// statistics. Kept out of [`TestReport`] so the report stays a pure
+/// function of the logical computation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TestDiagnostics {
+    /// Wall time across every attempt, microseconds.
+    pub(crate) elapsed_us: u64,
+    /// Spill statistics of the attempt that produced the verdict.
+    pub(crate) spill: SpillStats,
 }
 
 /// The suite that survives the pre-simulation lint gate, with per-slot
@@ -1190,8 +1509,13 @@ fn run_shard(
     shard_index: u32,
     range: std::ops::Range<u64>,
     store: &Mutex<SignatureStore>,
+    telemetry: &Telemetry,
 ) -> Result<ShardRun, SpillError> {
+    /// Iterations between progress-heartbeat flushes: one relaxed atomic
+    /// add per batch keeps the hot loop contention-free.
+    const PROGRESS_BATCH: u64 = 256;
     let mut sim = sim.clone();
+    let mut pending_progress = 0u64;
     // Per-iteration fixed costs the paper's loop body pays besides the
     // generated accesses: the sense-reversal barrier and the shared-
     // memory re-initialization (§5).
@@ -1205,6 +1529,11 @@ fn run_shard(
         encoded: 0,
     };
     for iter in range {
+        pending_progress += 1;
+        if pending_progress == PROGRESS_BATCH {
+            telemetry.progress_iterations(PROGRESS_BATCH);
+            pending_progress = 0;
+        }
         let seed = config
             .test
             .seed
@@ -1238,6 +1567,9 @@ fn run_shard(
                 }
             }
         }
+    }
+    if pending_progress > 0 {
+        telemetry.progress_iterations(pending_progress);
     }
     Ok(shard)
 }

@@ -16,7 +16,9 @@
 //! scar of a mid-write kill) or a corrupt record is skipped with a counter,
 //! costing at most a re-run of the affected tests, never the campaign.
 
+use crate::campaign::SpillSummary;
 use crate::supervisor::QuarantineRecord;
+use crate::telemetry::logger;
 use crate::{CampaignConfig, TestReport};
 use mtc_gen::TestConfig;
 use serde::{Deserialize, Serialize};
@@ -72,6 +74,22 @@ enum JournalRecord {
     },
     /// A test the supervisor quarantined.
     Quarantine(QuarantineRecord),
+    /// Run-level summary appended by checkpoint finalization.
+    Footer(JournalFooter),
+}
+
+/// Run-level summary written as the journal's last line when a campaign
+/// finalizes its checkpoint. Purely informational: resume ignores footers
+/// (their statistics describe host-resource behaviour of the *previous*
+/// process, and spill counts are not deterministic across worker counts).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JournalFooter {
+    /// Tests recorded in the journal (validated).
+    pub tests: u64,
+    /// Tests recorded as quarantined.
+    pub quarantined: u64,
+    /// Aggregate spill statistics across the campaign's tests.
+    pub spill: SpillSummary,
 }
 
 /// A completed entry replayed from a journal.
@@ -170,6 +188,8 @@ impl CampaignJournal {
                 Ok(JournalRecord::Quarantine(record)) => {
                     replay.insert(record.index, ReplayEntry::Quarantine(record));
                 }
+                // Footers are informational; a resumed run writes its own.
+                Ok(JournalRecord::Footer(_)) => {}
                 // A second header is as corrupt as an unparseable line.
                 Ok(JournalRecord::Header(_)) | Err(_) => skipped += 1,
             }
@@ -254,13 +274,15 @@ impl CampaignJournal {
     ///
     /// Two campaigns that completed the same suite finalize to byte-
     /// identical journals even when their tests finished (and were
-    /// appended) in different thread orders.
+    /// appended) in different thread orders. (The optional `footer`, which
+    /// carries host-resource statistics that *do* vary across worker
+    /// counts, is the one exception — cross-run byte comparisons strip it.)
     ///
     /// # Errors
     ///
     /// I/O failure reading or rewriting the journal, or a journal whose
     /// header is no longer parseable.
-    pub fn finalize(&self) -> Result<(), JournalError> {
+    pub fn finalize(&self, footer: Option<&JournalFooter>) -> Result<(), JournalError> {
         let mut writer = self.writer.lock().expect("journal writer lock");
         writer.flush()?;
         let reader = BufReader::new(File::open(&self.path)?);
@@ -276,16 +298,22 @@ impl CampaignJournal {
                 Ok(JournalRecord::Quarantine(record)) => {
                     records.insert(record.index, line);
                 }
-                // Corrupt lines and duplicate headers are dropped by the
-                // checkpoint; their tests are simply absent, as after a
-                // forgiving replay.
-                Ok(JournalRecord::Header(_)) | Err(_) => {}
+                // Corrupt lines, duplicate headers, and stale footers are
+                // dropped by the checkpoint; the current run appends its
+                // own footer below.
+                Ok(JournalRecord::Header(_) | JournalRecord::Footer(_)) | Err(_) => {}
             }
         }
         let header = header.ok_or(JournalError::MissingHeader)?;
+        let footer_line = footer
+            .map(|f| serde_json::to_string(&JournalRecord::Footer(f.clone())))
+            .transpose()?;
         write_atomically(&self.path, |file| {
             writeln!(file, "{header}")?;
             for line in records.values() {
+                writeln!(file, "{line}")?;
+            }
+            if let Some(line) = &footer_line {
                 writeln!(file, "{line}")?;
             }
             Ok(())
@@ -296,8 +324,8 @@ impl CampaignJournal {
 
     /// Finalizes the checkpoint; on failure the journal degrades (the
     /// append-order file is still a valid journal) instead of propagating.
-    pub(crate) fn finalize_or_degrade(&self) {
-        if let Err(e) = self.finalize() {
+    pub(crate) fn finalize_or_degrade(&self, footer: Option<&JournalFooter>) {
+        if let Err(e) = self.finalize(footer) {
             self.mark_degraded(&format!("journal checkpoint finalization failed: {e}"));
         }
     }
@@ -305,13 +333,13 @@ impl CampaignJournal {
     /// Marks the journal incomplete and says so once on stderr.
     pub(crate) fn mark_degraded(&self, reason: &str) {
         if !self.degraded.swap(true, Ordering::Relaxed) {
-            eprintln!(
+            logger::warn(format_args!(
                 "warning: campaign journal {} is incomplete ({reason}); \
                  resume will re-run the unrecorded tests",
                 self.path.display()
-            );
+            ));
         } else {
-            eprintln!("warning: {reason}");
+            logger::warn(format_args!("warning: {reason}"));
         }
     }
 }

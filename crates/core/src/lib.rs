@@ -50,21 +50,26 @@ pub mod pool;
 mod report;
 mod store;
 mod supervisor;
+pub mod telemetry;
 
 pub use campaign::{
-    merge_signature_maps, Campaign, CampaignConfig, CheckLogError, ConfigReport, TestReport,
-    TimingBreakdown, ViolationRecord,
+    merge_signature_maps, Campaign, CampaignConfig, CampaignProfile, CheckLogError, ConfigReport,
+    PhaseProfile, SpillSummary, TestReport, TestTiming, TimingBreakdown, ViolationRecord,
 };
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
-pub use journal::{CampaignJournal, JournalError, JournalHeader, JOURNAL_VERSION};
+pub use journal::{CampaignJournal, JournalError, JournalFooter, JournalHeader, JOURNAL_VERSION};
 pub use log::{LogError, SignatureLog};
-pub use store::{FirstSeen, MemoryBudget, SignatureStore, SignatureStream, SpillError, StoreEntry};
+pub use store::{
+    FirstSeen, MemoryBudget, SignatureStore, SignatureStream, SpillError, SpillRunRecord,
+    SpillStats, StoreEntry,
+};
 #[cfg(feature = "fault-inject")]
 pub use supervisor::FaultPlan;
 pub use supervisor::{
     attempt_seed_offset, AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy,
     RETRY_SEED_STRIDE,
 };
+pub use telemetry::{Ids, MetricsSnapshot, Phase, PhaseSnapshot, Telemetry, TelemetryConfig};
 
 pub use mtc_analyze::{LintAction, LintPolicy, LintReport, Severity};
 pub use mtc_gen::{paper_configs, TestConfig};

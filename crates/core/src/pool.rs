@@ -37,10 +37,10 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
     let cap = available.saturating_mul(MAX_OVERSUBSCRIPTION);
     if requested > cap {
-        eprintln!(
+        crate::telemetry::logger::warn(format_args!(
             "warning: {requested} workers requested but only {available} hardware threads \
              are available; clamping to {cap} ({MAX_OVERSUBSCRIPTION}x oversubscription)"
-        );
+        ));
         cap
     } else {
         requested

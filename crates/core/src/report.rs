@@ -99,6 +99,19 @@ impl fmt::Display for ConfigReport {
                 self.resumed_tests
             )?;
         }
+        if self.spill.runs_spilled > 0 {
+            writeln!(
+                f,
+                "spill: {} test(s) spilled {} run(s), {} entries / {} B written; \
+                 peak resident {}, merge fan-in {}",
+                self.spill.tests_spilled,
+                self.spill.runs_spilled,
+                self.spill.entries_spilled,
+                self.spill.bytes_spilled,
+                self.spill.peak_resident,
+                self.spill.merge_fan_in
+            )?;
+        }
         if self.is_degraded() {
             writeln!(
                 f,
@@ -117,6 +130,27 @@ impl fmt::Display for ConfigReport {
         }
         for q in &self.quarantined {
             write!(f, "QUARANTINED: {q}")?;
+        }
+        if let Some(profile) = &self.profile {
+            writeln!(
+                f,
+                "profile: wall {:.3} s over {} phase(s)",
+                profile.wall_us as f64 / 1e6,
+                profile.phases.len()
+            )?;
+            for phase in &profile.phases {
+                writeln!(
+                    f,
+                    "  {:<12} {:>8} ops  {:>12} us total",
+                    phase.phase, phase.count, phase.total_us
+                )?;
+            }
+            if !profile.slowest_tests.is_empty() {
+                writeln!(f, "slowest tests:")?;
+                for timing in &profile.slowest_tests {
+                    writeln!(f, "  test {:<4} {:>12} us", timing.index, timing.elapsed_us)?;
+                }
+            }
         }
         Ok(())
     }

@@ -24,6 +24,7 @@
 //! test, mark the run DEGRADED, keep the campaign alive).
 
 use mtc_instr::ExecutionSignature;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
@@ -112,6 +113,41 @@ pub struct StoreEntry {
     pub first: FirstSeen,
 }
 
+/// Resource-usage statistics for one store's lifetime, surfaced in
+/// campaign reports and the journal footer.
+///
+/// These describe *host-resource* behaviour, not the logical computation:
+/// under parallel collection the shard interleaving (and therefore spill
+/// timing) varies run to run, so spill statistics are deliberately excluded
+/// from report equality and journal byte-identity checks.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillStats {
+    /// Sorted runs written to disk.
+    pub runs_spilled: u64,
+    /// Entries written across all runs (pre-merge, duplicates included).
+    pub entries_spilled: u64,
+    /// Bytes written across all runs.
+    pub bytes_spilled: u64,
+    /// Peak unique signatures resident in memory at once.
+    pub peak_resident: u64,
+    /// Sources feeding the final k-way merge (runs + the resident
+    /// remainder); 0 when nothing spilled.
+    pub merge_fan_in: u64,
+    /// Total wall time spent writing spill runs, microseconds.
+    pub spill_write_us: u64,
+}
+
+/// One spilled run's size and write latency, for telemetry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpillRunRecord {
+    /// Entries in the run.
+    pub entries: u64,
+    /// Bytes written (header + entries).
+    pub bytes: u64,
+    /// Wall time of the write + fsync, microseconds.
+    pub dur_us: u64,
+}
+
 /// A deduplicating signature accumulator with an optional spill-to-disk
 /// memory budget. See the [module docs](self) for the equivalence argument.
 #[derive(Debug)]
@@ -123,6 +159,10 @@ pub struct SignatureStore {
     run_seq: u64,
     store_id: u64,
     spilled_entries: u64,
+    bytes_spilled: u64,
+    peak_resident: u64,
+    spill_write_us: u64,
+    run_log: Vec<SpillRunRecord>,
     #[cfg(feature = "fault-inject")]
     inject_spill_error: bool,
 }
@@ -143,6 +183,10 @@ impl SignatureStore {
             run_seq: 0,
             store_id: STORE_SEQ.fetch_add(1, Ordering::Relaxed),
             spilled_entries: 0,
+            bytes_spilled: 0,
+            peak_resident: 0,
+            spill_write_us: 0,
+            run_log: Vec::new(),
             #[cfg(feature = "fault-inject")]
             inject_spill_error: false,
         }
@@ -177,6 +221,28 @@ impl SignatureStore {
         self.resident.len()
     }
 
+    /// A snapshot of this store's resource-usage statistics. Take it just
+    /// before [`SignatureStore::finish`] for end-of-collection totals.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            runs_spilled: self.runs.len() as u64,
+            entries_spilled: self.spilled_entries,
+            bytes_spilled: self.bytes_spilled,
+            peak_resident: self.peak_resident,
+            merge_fan_in: if self.runs.is_empty() {
+                0
+            } else {
+                self.runs.len() as u64 + 1
+            },
+            spill_write_us: self.spill_write_us,
+        }
+    }
+
+    /// Per-run size and latency records, for telemetry spill events.
+    pub fn spill_run_log(&self) -> &[SpillRunRecord] {
+        &self.run_log
+    }
+
     /// Records one occurrence of `signature` first observed at `first`.
     /// Duplicate occurrences sum counts and keep the minimum `first`.
     ///
@@ -197,6 +263,7 @@ impl SignatureStore {
             return Ok(());
         }
         self.resident.insert(signature.clone(), (1, first));
+        self.peak_resident = self.peak_resident.max(self.resident.len() as u64);
         if self
             .resident_cap
             .is_some_and(|cap| self.resident.len() >= cap)
@@ -232,6 +299,7 @@ impl SignatureStore {
             self.run_seq
         ));
         self.run_seq += 1;
+        let write_started = std::time::Instant::now();
         let file = File::create(&path).map_err(|e| at(e, &path))?;
         let mut writer = BufWriter::new(file);
         let write = |writer: &mut BufWriter<File>,
@@ -260,7 +328,24 @@ impl SignatureStore {
             let _ = fs::remove_file(&path);
             return Err(at(e, &path));
         }
-        self.spilled_entries += self.resident.len() as u64;
+        let entries = self.resident.len() as u64;
+        // Header (magic + version + count) plus each entry's length prefix,
+        // words, count, and first-seen coordinates — mirrors the writer.
+        let bytes: u64 = 20
+            + self
+                .resident
+                .keys()
+                .map(|sig| 24 + 8 * sig.words().len() as u64)
+                .sum::<u64>();
+        let dur_us = write_started.elapsed().as_micros() as u64;
+        self.spilled_entries += entries;
+        self.bytes_spilled += bytes;
+        self.spill_write_us += dur_us;
+        self.run_log.push(SpillRunRecord {
+            entries,
+            bytes,
+            dur_us,
+        });
         self.runs.push(path);
         self.resident.clear();
         Ok(())
@@ -623,6 +708,29 @@ mod tests {
             bounded.spilled_runs() >= 2,
             "budget too large to exercise spilling"
         );
+        let stats = bounded.stats();
+        assert_eq!(stats.runs_spilled, bounded.spilled_runs());
+        assert_eq!(stats.entries_spilled, bounded.spilled_entries());
+        assert_eq!(stats.merge_fan_in, stats.runs_spilled + 1);
+        assert!(stats.peak_resident >= 1);
+        // Every run is header (20) + entries * (24 + 8 * 2 words).
+        assert_eq!(
+            stats.bytes_spilled,
+            20 * stats.runs_spilled + 40 * stats.entries_spilled
+        );
+        assert_eq!(
+            bounded
+                .spill_run_log()
+                .iter()
+                .map(|r| r.entries)
+                .sum::<u64>(),
+            stats.entries_spilled
+        );
+        let unbounded_stats = unbounded.stats();
+        assert_eq!(unbounded_stats.runs_spilled, 0);
+        assert_eq!(unbounded_stats.bytes_spilled, 0);
+        assert_eq!(unbounded_stats.merge_fan_in, 0);
+        assert!(unbounded_stats.peak_resident >= stats.peak_resident);
         let reference = drain(unbounded.finish().expect("finish"));
         let merged = drain(bounded.finish().expect("finish"));
         assert_eq!(merged, reference);

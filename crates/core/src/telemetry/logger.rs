@@ -1,0 +1,114 @@
+//! A minimal leveled stderr logger for harness diagnostics.
+//!
+//! The CLI and library used to sprinkle bare `eprintln!` calls for
+//! operator-facing notes (worker-clamp warnings, degraded-journal notices,
+//! campaign banners). Those all route through here now, so `-q` can silence
+//! them and `--verbose` can add detail — while stdout stays machine-stable
+//! for the CLI's report and `RESULT:` lines.
+//!
+//! The level is a process-global atomic: no locks, no allocation when a
+//! message is filtered out, and safe to query from worker threads.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Diagnostic verbosity, in increasing order of chattiness.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing at all, not even errors (reserved; `-q` maps to `Error`).
+    Quiet = 0,
+    /// Fatal diagnostics only.
+    Error = 1,
+    /// Warnings an operator should see (default threshold includes these).
+    Warn = 2,
+    /// Informational notes: banners, resume summaries. The default.
+    Info = 3,
+    /// Extra detail for debugging the harness itself (`--verbose`).
+    Debug = 4,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Quiet,
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// Default: informational and below — matches the CLI's historical output.
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global stderr verbosity threshold.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global stderr verbosity threshold.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+fn emit(at: Level, message: fmt::Arguments<'_>) {
+    if at <= level() {
+        eprintln!("{message}");
+    }
+}
+
+/// Logs a fatal diagnostic (shown unless the level is [`Level::Quiet`]).
+pub fn error(message: impl fmt::Display) {
+    emit(Level::Error, format_args!("{message}"));
+}
+
+/// Logs a warning (shown at the default level and above).
+pub fn warn(message: impl fmt::Display) {
+    emit(Level::Warn, format_args!("{message}"));
+}
+
+/// Logs an informational note (shown at the default level and above).
+pub fn info(message: impl fmt::Display) {
+    emit(Level::Info, format_args!("{message}"));
+}
+
+/// Logs harness-debugging detail (shown only with `--verbose`).
+pub fn debug(message: impl fmt::Display) {
+    emit(Level::Debug, format_args!("{message}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_roundtrip() {
+        assert!(Level::Quiet < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for l in [
+            Level::Quiet,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+    }
+
+    #[test]
+    fn set_level_is_observable() {
+        let before = level();
+        set_level(Level::Error);
+        assert_eq!(level(), Level::Error);
+        // Filtered-out calls must be no-ops, not panics.
+        warn("suppressed");
+        info("suppressed");
+        debug("suppressed");
+        set_level(before);
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-phase counters and log-bucketed latency histograms, with a
+//! Prometheus-style text exposition.
+//!
+//! Workers record into private [`Registry`] deltas (no shared state on the
+//! hot path) that are merged into the shared registry at the existing
+//! deterministic reduction points — see the [module docs](super) for the
+//! inertness argument. Rendering is deterministic: phases in declaration
+//! order, counters in name order.
+
+use super::Phase;
+use std::collections::BTreeMap;
+
+/// Histogram bucket upper bounds in microseconds: `1, 2, 4, …, 2^20`,
+/// plus an implicit `+Inf` overflow bucket. Latencies from sub-microsecond
+/// signature decodes to ~1 s phase spans land in distinct buckets.
+pub(crate) const FINITE_BUCKETS: usize = 21;
+
+/// One phase's latency histogram: counts per log2 bucket plus sum/count.
+#[derive(Copy, Clone, Debug, Default)]
+struct PhaseCell {
+    count: u64,
+    sum_us: u64,
+    /// `buckets[i]` counts observations `<= 2^i` µs; the last slot is the
+    /// `+Inf` overflow.
+    buckets: [u64; FINITE_BUCKETS + 1],
+}
+
+impl PhaseCell {
+    fn record(&mut self, dur_us: u64) {
+        self.count += 1;
+        self.sum_us += dur_us;
+        let slot = (0..FINITE_BUCKETS)
+            .find(|i| dur_us <= 1u64 << i)
+            .unwrap_or(FINITE_BUCKETS);
+        self.buckets[slot] += 1;
+    }
+
+    fn merge(&mut self, other: &PhaseCell) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A metrics accumulator: one histogram per [`Phase`] plus named event
+/// counters. Used both as the shared sink and as each scope's private
+/// delta (the two merge associatively).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Registry {
+    phases: [PhaseCell; Phase::ALL.len()],
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Registry {
+    pub(crate) fn record(&mut self, phase: Phase, dur_us: u64) {
+        self.phases[phase.index()].record(dur_us);
+    }
+
+    pub(crate) fn count(&mut self, event: &'static str, n: u64) {
+        *self.counters.entry(event).or_insert(0) += n;
+    }
+
+    pub(crate) fn merge(&mut self, other: &Registry) {
+        for (cell, delta) in self.phases.iter_mut().zip(other.phases.iter()) {
+            cell.merge(delta);
+        }
+        for (event, n) in &other.counters {
+            *self.counters.entry(event).or_insert(0) += n;
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub(crate) fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP mtracecheck_phase_duration_microseconds Per-phase operation latency.\n\
+             # TYPE mtracecheck_phase_duration_microseconds histogram\n",
+        );
+        for phase in Phase::ALL {
+            let cell = &self.phases[phase.index()];
+            let mut cumulative = 0u64;
+            for (i, n) in cell.buckets.iter().enumerate() {
+                cumulative += n;
+                let le = if i < FINITE_BUCKETS {
+                    (1u64 << i).to_string()
+                } else {
+                    "+Inf".to_owned()
+                };
+                out.push_str(&format!(
+                    "mtracecheck_phase_duration_microseconds_bucket{{phase=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                    phase.name()
+                ));
+            }
+            out.push_str(&format!(
+                "mtracecheck_phase_duration_microseconds_sum{{phase=\"{}\"}} {}\n",
+                phase.name(),
+                cell.sum_us
+            ));
+            out.push_str(&format!(
+                "mtracecheck_phase_duration_microseconds_count{{phase=\"{}\"}} {}\n",
+                phase.name(),
+                cell.count
+            ));
+        }
+        out.push_str(
+            "# HELP mtracecheck_events_total Counted pipeline events.\n\
+             # TYPE mtracecheck_events_total counter\n",
+        );
+        for (event, n) in &self.counters {
+            out.push_str(&format!(
+                "mtracecheck_events_total{{event=\"{event}\"}} {n}\n"
+            ));
+        }
+        out
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            phases: Phase::ALL
+                .iter()
+                .map(|&phase| {
+                    let cell = &self.phases[phase.index()];
+                    PhaseSnapshot {
+                        phase: phase.name(),
+                        count: cell.count,
+                        sum_us: cell.sum_us,
+                        buckets: cell
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &n)| {
+                                let le = if i < FINITE_BUCKETS {
+                                    1u64 << i
+                                } else {
+                                    u64::MAX
+                                };
+                                (le, n)
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| ((*k).to_owned(), v))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the metrics registry, for profile summaries and
+/// the campaign bench harness.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Per-phase histograms, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Named event counters, in name order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot for `phase`, if it exists.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSnapshot> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// The value of a named counter (0 when never counted).
+    pub fn counter(&self, event: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == event)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// One phase's histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct PhaseSnapshot {
+    /// Phase name (see [`Phase::name`]).
+    pub phase: &'static str,
+    /// Observations recorded.
+    pub count: u64,
+    /// Total duration across observations, microseconds.
+    pub sum_us: u64,
+    /// `(upper bound in µs, observations in bucket)` pairs; the last
+    /// bucket's bound is `u64::MAX` (the `+Inf` overflow).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl PhaseSnapshot {
+    /// Estimates the `q`-quantile (0.0–1.0) as the upper bound of the
+    /// bucket holding that rank — an upper estimate within one power of
+    /// two. Returns `None` with no observations.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut last_finite = 1u64;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if le != u64::MAX {
+                last_finite = le;
+            }
+            if seen >= rank {
+                return Some(if le == u64::MAX { last_finite * 2 } else { le });
+            }
+        }
+        Some(last_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_cumulative_in_the_rendering() {
+        let mut r = Registry::default();
+        r.record(Phase::Simulate, 0);
+        r.record(Phase::Simulate, 3);
+        r.record(Phase::Simulate, 1 << 30); // overflow bucket
+        r.count("retries", 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("phase=\"simulate\",le=\"1\"} 1"));
+        assert!(text.contains("phase=\"simulate\",le=\"4\"} 2"));
+        assert!(text.contains("phase=\"simulate\",le=\"+Inf\"} 3"));
+        assert!(
+            text.contains("mtracecheck_phase_duration_microseconds_count{phase=\"simulate\"} 3")
+        );
+        assert!(text.contains("mtracecheck_events_total{event=\"retries\"} 2"));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Registry::default();
+        let mut b = Registry::default();
+        a.record(Phase::Decode, 5);
+        b.record(Phase::Decode, 7);
+        b.count("spill_runs", 1);
+        a.merge(&b);
+        let snap = a.snapshot();
+        let decode = snap.phase("decode").expect("decode phase exists");
+        assert_eq!(decode.count, 2);
+        assert_eq!(decode.sum_us, 12);
+        assert_eq!(snap.counter("spill_runs"), 1);
+        assert_eq!(snap.counter("never"), 0);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_rank_bucket() {
+        let mut r = Registry::default();
+        for us in [1u64, 2, 3, 100, 1000] {
+            r.record(Phase::Check, us);
+        }
+        let snap = r.snapshot();
+        let check = snap.phase("check").expect("check phase exists");
+        let p50 = check.quantile(0.5).expect("has observations");
+        assert!((4..=128).contains(&p50), "median estimate {p50}");
+        assert!(check.quantile(1.0).expect("max") >= 1000);
+        assert!(snap.phase("generate").unwrap().quantile(0.5).is_none());
+    }
+}

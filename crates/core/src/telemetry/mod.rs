@@ -1,0 +1,554 @@
+//! Deterministic, provably-inert observability for the campaign pipeline.
+//!
+//! Three sinks, all opt-in and all dependency-free:
+//!
+//! * **Tracing** — phase spans and point events (retry, quarantine, spill)
+//!   tagged with `(test, attempt, worker)` correlation ids, written as
+//!   JSONL (`--trace`) and optionally as a Chrome trace-event file
+//!   (`--chrome-trace`).
+//! * **Metrics** — per-phase log-bucketed latency histograms and event
+//!   counters, rendered in the Prometheus text format (`--metrics`).
+//! * **Progress** — a throttled stderr heartbeat (`--progress`).
+//!
+//! # Inertness
+//!
+//! Telemetry must never change what the pipeline computes. That is
+//! enforced structurally, not by discipline at call sites:
+//!
+//! * When disabled (the default), [`Telemetry::scope`] returns a scope
+//!   whose every method is an early-return no-op — no clocks are read, no
+//!   allocation happens, nothing is buffered.
+//! * When enabled, workers write only into their private [`Scope`] buffer.
+//!   Buffers drain into the shared sinks when the scope drops — which the
+//!   campaign arranges to happen at its existing deterministic reduction
+//!   points — taking each mutex once per scope, never per sample.
+//! * No telemetry state feeds back into scheduling, seeding, dedup, or
+//!   checking; sinks are append-only from the pipeline's perspective.
+//! * Trace files are canonically ordered by correlation id (never by
+//!   wall-clock), so two runs of the same configuration produce
+//!   structurally identical traces.
+//!
+//! `tests/telemetry_equivalence.rs` checks the contract end to end:
+//! reports and journals are byte-identical with telemetry on and off, at
+//! any worker count, including under fault-injected retries.
+
+pub mod logger;
+mod metrics;
+mod progress;
+mod trace;
+
+pub use metrics::{MetricsSnapshot, PhaseSnapshot};
+pub use trace::{validate_metrics_text, validate_trace_text, TraceSummary, TRACE_VERSION};
+
+use progress::Progress;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trace::TraceRecord;
+
+/// Pipeline phases instrumented with spans and latency histograms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Random test-program generation.
+    Generate,
+    /// Static lint gate over generated programs.
+    Lint,
+    /// Signature-schema construction and instrumentation.
+    Instrument,
+    /// One shard's worth of simulated iterations.
+    Simulate,
+    /// Writing one sorted spill run to disk.
+    SpillWrite,
+    /// K-way merge and stream drain of the signature store.
+    Merge,
+    /// Decoding one signature back into per-load observations.
+    Decode,
+    /// One collective-checker push that needed no re-sort.
+    Check,
+    /// One collective-checker push that triggered a window re-sort.
+    Resort,
+    /// One full supervised attempt at a test (collect + check).
+    Attempt,
+}
+
+impl Phase {
+    /// Every phase, in declaration order (also the metrics/report order).
+    pub const ALL: [Phase; 10] = [
+        Phase::Generate,
+        Phase::Lint,
+        Phase::Instrument,
+        Phase::Simulate,
+        Phase::SpillWrite,
+        Phase::Merge,
+        Phase::Decode,
+        Phase::Check,
+        Phase::Resort,
+        Phase::Attempt,
+    ];
+
+    /// Stable lowercase name used in traces, metrics labels, and profiles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Generate => "generate",
+            Phase::Lint => "lint",
+            Phase::Instrument => "instrument",
+            Phase::Simulate => "simulate",
+            Phase::SpillWrite => "spill_write",
+            Phase::Merge => "merge",
+            Phase::Decode => "decode",
+            Phase::Check => "check",
+            Phase::Resort => "resort",
+            Phase::Attempt => "attempt",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("every phase is in ALL")
+    }
+}
+
+/// Correlation ids attached to every span and event a scope emits.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ids {
+    /// Suite-order test index.
+    pub test: Option<u64>,
+    /// 1-based supervised attempt number.
+    pub attempt: Option<u32>,
+    /// Worker/shard index within a parallel stage.
+    pub worker: Option<u32>,
+}
+
+impl Ids {
+    /// No correlation — campaign-level spans (generate, lint).
+    pub fn none() -> Ids {
+        Ids::default()
+    }
+
+    /// Scoped to one attempt at one test.
+    pub fn test(test: u64, attempt: u32) -> Ids {
+        Ids {
+            test: Some(test),
+            attempt: Some(attempt),
+            worker: None,
+        }
+    }
+
+    /// The same ids, additionally tagged with a worker index.
+    pub fn with_worker(mut self, worker: u32) -> Ids {
+        self.worker = Some(worker);
+        self
+    }
+}
+
+/// Which sinks to enable; all off by default.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// Write a JSONL trace here at the end of the run.
+    pub trace_path: Option<PathBuf>,
+    /// Write a Chrome trace-event JSON file here at the end of the run.
+    pub chrome_path: Option<PathBuf>,
+    /// Write a Prometheus-style metrics snapshot here at the end of the run.
+    pub metrics_path: Option<PathBuf>,
+    /// Emit the throttled stderr heartbeat during the run.
+    pub progress: bool,
+}
+
+impl TelemetryConfig {
+    /// True when any sink is requested.
+    pub fn is_enabled(&self) -> bool {
+        self.trace_path.is_some()
+            || self.chrome_path.is_some()
+            || self.metrics_path.is_some()
+            || self.progress
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: TelemetryConfig,
+    epoch: Instant,
+    trace: Mutex<Vec<TraceRecord>>,
+    metrics: Mutex<metrics::Registry>,
+    progress: Option<Progress>,
+}
+
+/// Handle to the telemetry sinks; cheap to clone and share across workers.
+///
+/// A disabled handle (the default) costs one `Option` check per call site
+/// and reads no clocks. See the [module docs](self) for the inertness
+/// contract.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The inert no-op handle.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Builds a handle for `config`; inert if no sink is requested.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        if !config.is_enabled() {
+            return Telemetry::disabled();
+        }
+        let epoch = Instant::now();
+        let progress = config.progress.then(|| Progress::new(epoch));
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                config,
+                epoch,
+                trace: Mutex::new(Vec::new()),
+                metrics: Mutex::new(metrics::Registry::default()),
+                progress,
+            })),
+        }
+    }
+
+    /// True when any sink is active.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a buffering scope tagged with `ids`. Samples accumulate
+    /// privately and drain into the shared sinks when the scope drops.
+    pub fn scope(&self, ids: Ids) -> Scope<'_> {
+        Scope {
+            inner: self.inner.as_deref(),
+            ids,
+            seq: 0,
+            records: Vec::new(),
+            delta: metrics::Registry::default(),
+        }
+    }
+
+    /// A copy of the accumulated metrics (enabled handles only).
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let inner = self.inner.as_deref()?;
+        Some(inner.metrics.lock().expect("metrics lock").snapshot())
+    }
+
+    /// Announces the suite size to the progress heartbeat.
+    pub fn progress_tests_total(&self, total: u64) {
+        if let Some(p) = self.progress() {
+            p.set_tests_total(total);
+        }
+    }
+
+    /// Adds a batch of simulated iterations to the progress heartbeat.
+    pub fn progress_iterations(&self, n: u64) {
+        if let Some(p) = self.progress() {
+            p.add_iterations(n);
+        }
+    }
+
+    /// Records a finished test (and its signature yield) for progress.
+    pub fn progress_test_done(&self, unique_signatures: u64) {
+        if let Some(p) = self.progress() {
+            p.test_done(unique_signatures);
+        }
+    }
+
+    /// Records spill pressure for the progress heartbeat.
+    pub fn progress_spills(&self, runs: u64) {
+        if let Some(p) = self.progress() {
+            p.add_spilled_runs(runs);
+        }
+    }
+
+    /// Records a supervised retry for the progress heartbeat.
+    pub fn progress_retry(&self) {
+        if let Some(p) = self.progress() {
+            p.add_retry();
+        }
+    }
+
+    /// Records a quarantined test for the progress heartbeat.
+    pub fn progress_quarantine(&self) {
+        if let Some(p) = self.progress() {
+            p.add_quarantine();
+        }
+    }
+
+    fn progress(&self) -> Option<&Progress> {
+        self.inner.as_deref().and_then(|i| i.progress.as_ref())
+    }
+
+    /// Flushes every requested sink to disk and emits the final progress
+    /// line. Call once, after the campaign returns; a disabled handle is a
+    /// no-op. Failures here never affect the campaign verdict — the caller
+    /// should log and continue.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error hit while writing a sink file.
+    pub fn finish(&self) -> io::Result<()> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Ok(());
+        };
+        if let Some(progress) = &inner.progress {
+            progress.emit_final();
+        }
+        let mut records = inner.trace.lock().expect("trace lock");
+        if let Some(path) = &inner.config.trace_path {
+            write_file(path, &trace::render_jsonl(&mut records))?;
+        }
+        if let Some(path) = &inner.config.chrome_path {
+            write_file(path, &trace::render_chrome(&mut records))?;
+        }
+        drop(records);
+        if let Some(path) = &inner.config.metrics_path {
+            let text = inner
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .render_prometheus();
+            write_file(path, &text)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_file(path: &std::path::Path, text: &str) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(text.as_bytes())?;
+    file.flush()
+}
+
+/// A per-worker telemetry buffer. Every method is a no-op early return on
+/// a disabled handle; on an enabled handle, samples stay private until the
+/// scope drops (one lock acquisition per sink, at the drain point).
+#[derive(Debug)]
+pub struct Scope<'a> {
+    inner: Option<&'a Inner>,
+    ids: Ids,
+    seq: u64,
+    records: Vec<TraceRecord>,
+    delta: metrics::Registry,
+}
+
+impl Scope<'_> {
+    /// Reads the clock iff telemetry is enabled. Pass the result to
+    /// [`span`](Scope::span)/[`sample`](Scope::sample); `None` keeps the
+    /// disabled path free of `Instant::now` calls.
+    pub fn start(&self) -> Option<Instant> {
+        self.inner.map(|_| Instant::now())
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    fn now_us(&self, inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a completed span: a trace record plus a histogram sample.
+    pub fn span(&mut self, phase: Phase, started: Option<Instant>, detail: &[(&'static str, u64)]) {
+        let Some(inner) = self.inner else { return };
+        let Some(started) = started else { return };
+        let dur_us = started.elapsed().as_micros() as u64;
+        let start_us = (started - inner.epoch).as_micros() as u64;
+        let seq = self.next_seq();
+        self.records.push(TraceRecord::Span {
+            phase: phase.name(),
+            ids: self.ids,
+            seq,
+            start_us,
+            dur_us,
+            detail: detail.to_vec(),
+        });
+        self.delta.record(phase, dur_us);
+    }
+
+    /// Records a span in the trace only — no histogram sample. Used for
+    /// umbrella spans whose interior operations are sampled individually,
+    /// so the histogram doesn't double-count.
+    pub fn span_only(
+        &mut self,
+        phase: Phase,
+        started: Option<Instant>,
+        detail: &[(&'static str, u64)],
+    ) {
+        let Some(inner) = self.inner else { return };
+        let Some(started) = started else { return };
+        let dur_us = started.elapsed().as_micros() as u64;
+        let start_us = (started - inner.epoch).as_micros() as u64;
+        let seq = self.next_seq();
+        self.records.push(TraceRecord::Span {
+            phase: phase.name(),
+            ids: self.ids,
+            seq,
+            start_us,
+            dur_us,
+            detail: detail.to_vec(),
+        });
+    }
+
+    /// Records a histogram sample only — no trace record. For per-item
+    /// operations (decode, check pushes) too numerous to trace.
+    pub fn sample(&mut self, phase: Phase, started: Option<Instant>) {
+        if self.inner.is_none() {
+            return;
+        }
+        let Some(started) = started else { return };
+        self.delta
+            .record(phase, started.elapsed().as_micros() as u64);
+    }
+
+    /// Records a pre-measured histogram sample (e.g. spill-write durations
+    /// carried out of the store).
+    pub fn sample_us(&mut self, phase: Phase, dur_us: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.delta.record(phase, dur_us);
+    }
+
+    /// Records a point event with numeric and string details.
+    pub fn event(
+        &mut self,
+        name: &'static str,
+        detail: &[(&'static str, u64)],
+        text: &[(&'static str, &str)],
+    ) {
+        let Some(inner) = self.inner else { return };
+        let at_us = self.now_us(inner);
+        let seq = self.next_seq();
+        self.records.push(TraceRecord::Event {
+            name,
+            ids: self.ids,
+            seq,
+            at_us,
+            detail: detail.to_vec(),
+            text: text.iter().map(|(k, v)| (*k, (*v).to_owned())).collect(),
+        });
+    }
+
+    /// Bumps a named event counter in the metrics registry.
+    pub fn count(&mut self, event: &'static str, n: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.delta.count(event, n);
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner else { return };
+        if !self.records.is_empty() {
+            inner
+                .trace
+                .lock()
+                .expect("trace lock")
+                .append(&mut self.records);
+        }
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .merge(&self.delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert!(t.snapshot().is_none());
+        let mut scope = t.scope(Ids::test(0, 1));
+        assert!(scope.start().is_none(), "no clock reads when disabled");
+        scope.span(Phase::Simulate, None, &[]);
+        scope.sample_us(Phase::Decode, 5);
+        scope.event("retry", &[], &[]);
+        scope.count("retries", 1);
+        drop(scope);
+        assert!(t.finish().is_ok());
+    }
+
+    #[test]
+    fn config_without_sinks_stays_disabled() {
+        assert!(!TelemetryConfig::default().is_enabled());
+        assert!(!Telemetry::new(TelemetryConfig::default()).enabled());
+        let progress_only = TelemetryConfig {
+            progress: true,
+            ..TelemetryConfig::default()
+        };
+        assert!(progress_only.is_enabled());
+    }
+
+    #[test]
+    fn scopes_drain_into_shared_sinks() {
+        let dir = std::env::temp_dir().join(format!(
+            "mtc-telemetry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let trace_path = dir.join("trace.jsonl");
+        let metrics_path = dir.join("metrics.prom");
+        let t = Telemetry::new(TelemetryConfig {
+            trace_path: Some(trace_path.clone()),
+            chrome_path: None,
+            metrics_path: Some(metrics_path.clone()),
+            progress: false,
+        });
+        assert!(t.enabled());
+
+        {
+            let mut scope = t.scope(Ids::test(3, 1).with_worker(0));
+            let started = scope.start();
+            assert!(started.is_some());
+            scope.span(Phase::Simulate, started, &[("iterations", 64)]);
+            scope.event("spill", &[("bytes", 4096)], &[]);
+            scope.count("spill_runs", 1);
+        }
+        {
+            let mut scope = t.scope(Ids::test(1, 2));
+            scope.sample_us(Phase::Decode, 7);
+        }
+
+        let snap = t.snapshot().expect("enabled snapshot");
+        assert_eq!(snap.phase("simulate").unwrap().count, 1);
+        assert_eq!(snap.phase("decode").unwrap().count, 1);
+        assert_eq!(snap.counter("spill_runs"), 1);
+
+        t.finish().expect("finish writes sinks");
+        let trace = std::fs::read_to_string(&trace_path).expect("trace file");
+        let summary = validate_trace_text(&trace).expect("trace validates");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+        // Test 1 emitted only a histogram sample, so just test 3 is traced.
+        assert!(trace.contains("\"test\":3"));
+        assert!(!trace.contains("\"test\":1"));
+
+        let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file");
+        validate_metrics_text(&metrics).expect("metrics validate");
+        assert!(metrics.contains("event=\"spill_runs\"} 1"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_indexed() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+    }
+}

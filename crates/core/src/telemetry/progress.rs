@@ -1,0 +1,145 @@
+//! Throttled stderr progress heartbeat for long campaigns.
+//!
+//! All counters are process-wide atomics bumped from worker threads in
+//! batches (never per-iteration), so the hot path stays contention-free.
+//! Rendering is time-throttled through a `try_lock` — a worker that loses
+//! the race simply skips the heartbeat instead of blocking.
+//!
+//! Progress writes only to stderr and reads nothing back, so it cannot
+//! perturb reports, journals, or any other machine-readable output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Minimum interval between heartbeat lines.
+const THROTTLE_MS: u128 = 200;
+
+/// Shared progress state; one per enabled [`Telemetry`](super::Telemetry).
+#[derive(Debug)]
+pub(crate) struct Progress {
+    epoch: Instant,
+    iterations: AtomicU64,
+    unique_signatures: AtomicU64,
+    tests_done: AtomicU64,
+    tests_total: AtomicU64,
+    retries: AtomicU64,
+    quarantines: AtomicU64,
+    spilled_runs: AtomicU64,
+    last_emit: Mutex<Instant>,
+}
+
+impl Progress {
+    pub(crate) fn new(epoch: Instant) -> Progress {
+        Progress {
+            epoch,
+            iterations: AtomicU64::new(0),
+            unique_signatures: AtomicU64::new(0),
+            tests_done: AtomicU64::new(0),
+            tests_total: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            spilled_runs: AtomicU64::new(0),
+            last_emit: Mutex::new(epoch),
+        }
+    }
+
+    pub(crate) fn set_tests_total(&self, total: u64) {
+        self.tests_total.store(total, Ordering::Relaxed);
+    }
+
+    /// Adds a batch of simulated iterations and maybe emits a heartbeat.
+    pub(crate) fn add_iterations(&self, n: u64) {
+        self.iterations.fetch_add(n, Ordering::Relaxed);
+        self.maybe_emit();
+    }
+
+    /// Records a finished test and its unique-signature yield.
+    pub(crate) fn test_done(&self, unique_signatures: u64) {
+        self.tests_done.fetch_add(1, Ordering::Relaxed);
+        self.unique_signatures
+            .fetch_add(unique_signatures, Ordering::Relaxed);
+        self.maybe_emit();
+    }
+
+    pub(crate) fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_spilled_runs(&self, n: u64) {
+        self.spilled_runs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn maybe_emit(&self) {
+        // try_lock: contention means someone else just emitted (or is about
+        // to); dropping the heartbeat is always safe.
+        let Ok(mut last) = self.last_emit.try_lock() else {
+            return;
+        };
+        if last.elapsed().as_millis() < THROTTLE_MS {
+            return;
+        }
+        *last = Instant::now();
+        eprintln!("{}", self.render());
+    }
+
+    /// Emits one final unthrottled heartbeat (called from `finish`).
+    pub(crate) fn emit_final(&self) {
+        eprintln!("{}", self.render());
+    }
+
+    fn render(&self) -> String {
+        let iterations = self.iterations.load(Ordering::Relaxed);
+        let elapsed = self.epoch.elapsed().as_secs_f64().max(1e-6);
+        let rate = iterations as f64 / elapsed;
+        let mut line = format!(
+            "progress: {}/{} tests, {iterations} iterations ({rate:.0}/s), {} unique signatures",
+            self.tests_done.load(Ordering::Relaxed),
+            self.tests_total.load(Ordering::Relaxed),
+            self.unique_signatures.load(Ordering::Relaxed),
+        );
+        let retries = self.retries.load(Ordering::Relaxed);
+        if retries > 0 {
+            line.push_str(&format!(", {retries} retries"));
+        }
+        let quarantines = self.quarantines.load(Ordering::Relaxed);
+        if quarantines > 0 {
+            line.push_str(&format!(", {quarantines} quarantined"));
+        }
+        let spilled = self.spilled_runs.load(Ordering::Relaxed);
+        if spilled > 0 {
+            line.push_str(&format!(", {spilled} spill runs"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reflects_counters() {
+        let p = Progress::new(Instant::now());
+        p.set_tests_total(4);
+        p.iterations.store(1000, Ordering::Relaxed);
+        p.tests_done.store(2, Ordering::Relaxed);
+        p.unique_signatures.store(37, Ordering::Relaxed);
+        let line = p.render();
+        assert!(line.starts_with("progress: 2/4 tests, 1000 iterations"));
+        assert!(line.contains("37 unique signatures"));
+        assert!(!line.contains("retries"), "zero counters stay hidden");
+
+        p.add_retry();
+        p.add_quarantine();
+        p.add_spilled_runs(3);
+        let line = p.render();
+        assert!(line.contains("1 retries"));
+        assert!(line.contains("1 quarantined"));
+        assert!(line.contains("3 spill runs"));
+    }
+}

@@ -1,0 +1,602 @@
+//! Structured trace records: JSONL emission, Chrome trace-event export,
+//! and a dependency-free schema validator.
+//!
+//! Records are buffered in memory during the run (appended under a mutex
+//! only at scope-drain points, never per-iteration) and written at
+//! [`Telemetry::finish`](super::Telemetry::finish) in a canonical order:
+//! sorted by correlation ids `(test, attempt, worker)`, then record kind,
+//! label, and per-scope sequence number. Timestamps vary run to run, but
+//! the *structure* of the trace — which spans and events exist, with which
+//! ids and logical details — is deterministic for a given campaign
+//! configuration.
+//!
+//! All JSON here is hand-formatted: the devstubs environment ships a
+//! non-functional `serde`, and telemetry must work (and be testable)
+//! offline.
+
+use super::Ids;
+use std::fmt::Write as _;
+
+/// Trace schema version, stamped into the leading `meta` record.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One buffered trace record.
+#[derive(Clone, Debug)]
+pub(crate) enum TraceRecord {
+    /// A timed span of one pipeline phase.
+    Span {
+        /// Phase name (see [`super::Phase::name`]).
+        phase: &'static str,
+        ids: Ids,
+        /// Per-scope emission sequence, for a stable canonical order.
+        seq: u64,
+        /// Start, microseconds since the telemetry epoch.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+        /// Extra numeric details, inlined as JSON fields.
+        detail: Vec<(&'static str, u64)>,
+    },
+    /// A point event (retry, quarantine, spill, …).
+    Event {
+        name: &'static str,
+        ids: Ids,
+        seq: u64,
+        /// Emission time, microseconds since the telemetry epoch.
+        at_us: u64,
+        detail: Vec<(&'static str, u64)>,
+        /// String details (e.g. a failure cause), JSON-escaped on write.
+        text: Vec<(&'static str, String)>,
+    },
+}
+
+impl TraceRecord {
+    /// Canonical sort key: ids first (absent ids order last), then spans
+    /// before events, then label and per-scope sequence. Deliberately
+    /// excludes every timestamp, so the order is deterministic.
+    fn sort_key(&self) -> (u64, u64, u64, u8, &'static str, u64) {
+        let (ids, kind, label, seq) = match self {
+            TraceRecord::Span {
+                phase, ids, seq, ..
+            } => (ids, 0u8, *phase, *seq),
+            TraceRecord::Event { name, ids, seq, .. } => (ids, 1u8, *name, *seq),
+        };
+        (
+            ids.test.unwrap_or(u64::MAX),
+            ids.attempt.map_or(u64::MAX, u64::from),
+            ids.worker.map_or(u64::MAX, u64::from),
+            kind,
+            label,
+            seq,
+        )
+    }
+
+    fn write_jsonl(&self, out: &mut String) {
+        match self {
+            TraceRecord::Span {
+                phase,
+                ids,
+                seq,
+                start_us,
+                dur_us,
+                detail,
+            } => {
+                out.push_str(&format!("{{\"type\":\"span\",\"phase\":\"{phase}\""));
+                write_ids(out, ids);
+                let _ = write!(
+                    out,
+                    ",\"seq\":{seq},\"start_us\":{start_us},\"dur_us\":{dur_us}"
+                );
+                for (key, value) in detail {
+                    let _ = write!(out, ",\"{key}\":{value}");
+                }
+                out.push_str("}\n");
+            }
+            TraceRecord::Event {
+                name,
+                ids,
+                seq,
+                at_us,
+                detail,
+                text,
+            } => {
+                out.push_str(&format!("{{\"type\":\"event\",\"name\":\"{name}\""));
+                write_ids(out, ids);
+                let _ = write!(out, ",\"seq\":{seq},\"at_us\":{at_us}");
+                for (key, value) in detail {
+                    let _ = write!(out, ",\"{key}\":{value}");
+                }
+                for (key, value) in text {
+                    let _ = write!(out, ",\"{key}\":\"{}\"", escape_json(value));
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn write_ids(out: &mut String, ids: &Ids) {
+    if let Some(test) = ids.test {
+        let _ = write!(out, ",\"test\":{test}");
+    }
+    if let Some(attempt) = ids.attempt {
+        let _ = write!(out, ",\"attempt\":{attempt}");
+    }
+    if let Some(worker) = ids.worker {
+        let _ = write!(out, ",\"worker\":{worker}");
+    }
+}
+
+/// Renders the buffered records as JSONL, in canonical order, preceded by
+/// one `meta` record.
+pub(crate) fn render_jsonl(records: &mut [TraceRecord]) -> String {
+    records.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"tool\":\"mtracecheck\",\"version\":{TRACE_VERSION}}}"
+    );
+    for record in records {
+        record.write_jsonl(&mut out);
+    }
+    out
+}
+
+/// Renders the buffered records in the Chrome trace-event JSON array format
+/// (load via `chrome://tracing` or Perfetto). Spans become complete (`X`)
+/// events on `tid` = worker; point events become instants (`i`).
+pub(crate) fn render_chrome(records: &mut [TraceRecord]) -> String {
+    records.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let mut out = String::from("[");
+    let mut first = true;
+    for record in records.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match record {
+            TraceRecord::Span {
+                phase,
+                ids,
+                start_us,
+                dur_us,
+                detail,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{phase}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{start_us},\"dur\":{dur_us},\"args\":{{",
+                    ids.worker.unwrap_or(0)
+                );
+                write_chrome_args(&mut out, ids, detail, &[]);
+                out.push_str("}}");
+            }
+            TraceRecord::Event {
+                name,
+                ids,
+                at_us,
+                detail,
+                text,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{},\"ts\":{at_us},\"args\":{{",
+                    ids.worker.unwrap_or(0)
+                );
+                write_chrome_args(&mut out, ids, detail, text);
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn write_chrome_args(
+    out: &mut String,
+    ids: &Ids,
+    detail: &[(&'static str, u64)],
+    text: &[(&'static str, String)],
+) {
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    if let Some(test) = ids.test {
+        sep(out);
+        let _ = write!(out, "\"test\":{test}");
+    }
+    if let Some(attempt) = ids.attempt {
+        sep(out);
+        let _ = write!(out, "\"attempt\":{attempt}");
+    }
+    for (key, value) in detail {
+        sep(out);
+        let _ = write!(out, "\"{key}\":{value}");
+    }
+    for (key, value) in text {
+        sep(out);
+        let _ = write!(out, "\"{key}\":\"{}\"", escape_json(value));
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation (dependency-free: a minimal JSON object scanner).
+// ---------------------------------------------------------------------------
+
+/// Counts of schema-valid records in a trace file.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `meta` records (exactly one expected, first).
+    pub meta: u64,
+    /// `span` records.
+    pub spans: u64,
+    /// `event` records.
+    pub events: u64,
+}
+
+/// Validates a whole JSONL trace file against the schema written by
+/// [`Telemetry::finish`](super::Telemetry::finish).
+///
+/// # Errors
+///
+/// A human-readable description naming the first offending line.
+pub fn validate_trace_text(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = match fields.iter().find(|(k, _)| k == "type") {
+            Some((_, JsonValue::Str(s))) => s.clone(),
+            Some(_) => return Err(format!("line {}: `type` must be a string", lineno + 1)),
+            None => return Err(format!("line {}: missing `type` field", lineno + 1)),
+        };
+        let require_num = |name: &str| -> Result<(), String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Num(_))) => Ok(()),
+                Some(_) => Err(format!("line {}: `{name}` must be a number", lineno + 1)),
+                None => Err(format!(
+                    "line {}: {kind} record missing `{name}`",
+                    lineno + 1
+                )),
+            }
+        };
+        let require_str = |name: &str| -> Result<(), String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Str(_))) => Ok(()),
+                Some(_) => Err(format!("line {}: `{name}` must be a string", lineno + 1)),
+                None => Err(format!(
+                    "line {}: {kind} record missing `{name}`",
+                    lineno + 1
+                )),
+            }
+        };
+        match kind.as_str() {
+            "meta" => {
+                if summary.meta > 0 || summary.spans > 0 || summary.events > 0 {
+                    return Err(format!(
+                        "line {}: `meta` must be the single first record",
+                        lineno + 1
+                    ));
+                }
+                require_num("version")?;
+                summary.meta += 1;
+            }
+            "span" => {
+                require_str("phase")?;
+                require_num("seq")?;
+                require_num("start_us")?;
+                require_num("dur_us")?;
+                summary.spans += 1;
+            }
+            "event" => {
+                require_str("name")?;
+                require_num("seq")?;
+                require_num("at_us")?;
+                summary.events += 1;
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown record type `{other}`",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if summary.meta != 1 {
+        return Err("trace must open with exactly one `meta` record".to_owned());
+    }
+    Ok(summary)
+}
+
+/// Validates a Prometheus-style metrics snapshot: every non-comment line
+/// must be `name{labels} value` or `name value` with a numeric value.
+///
+/// # Errors
+///
+/// A description naming the first offending line.
+pub fn validate_metrics_text(text: &str) -> Result<u64, String> {
+    let mut samples = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: expected `name value`", lineno + 1))?;
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!(
+                "line {}: sample value `{value_part}` is not numeric",
+                lineno + 1
+            ));
+        }
+        let name = name_part.split('{').next().unwrap_or("");
+        let valid_name = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid_name {
+            return Err(format!("line {}: invalid metric name `{name}`", lineno + 1));
+        }
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("line {}: unterminated label set", lineno + 1));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("metrics snapshot contains no samples".to_owned());
+    }
+    Ok(samples)
+}
+
+/// A parsed scalar value in a flat trace record.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only — the
+/// full trace schema) into key/value pairs. Rejects nesting, trailing
+/// garbage, and malformed literals.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected `{`".to_owned());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            _ => return Err("expected `\"` opening a key".to_owned()),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected `:` after key `{key}`"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some('t' | 'f') => {
+                let word: String = chars
+                    .by_ref()
+                    .take_while(char::is_ascii_alphabetic)
+                    .collect();
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    other => return Err(format!("bad literal `{other}`")),
+                }
+            }
+            Some('n') => {
+                let word: String = chars
+                    .by_ref()
+                    .take_while(char::is_ascii_alphabetic)
+                    .collect();
+                if word != "null" {
+                    return Err(format!("bad literal `{word}`"));
+                }
+                JsonValue::Null
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Num(
+                    num.parse::<f64>()
+                        .map_err(|_| format!("bad number `{num}`"))?,
+                )
+            }
+            _ => return Err(format!("unsupported value for key `{key}`")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            _ => return Err("expected `,` or `}`".to_owned()),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing garbage after object".to_owned());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(char::is_ascii_whitespace) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected `\"`".to_owned());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(phase: &'static str, test: u64, seq: u64) -> TraceRecord {
+        TraceRecord::Span {
+            phase,
+            ids: Ids {
+                test: Some(test),
+                attempt: Some(1),
+                worker: None,
+            },
+            seq,
+            start_us: 10,
+            dur_us: 5,
+            detail: vec![("iterations", 100)],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_the_validator() {
+        let mut records = vec![
+            span("simulate", 1, 0),
+            span("instrument", 0, 0),
+            TraceRecord::Event {
+                name: "retry",
+                ids: Ids {
+                    test: Some(1),
+                    attempt: Some(1),
+                    worker: None,
+                },
+                seq: 1,
+                at_us: 42,
+                detail: vec![],
+                text: vec![("cause", "worker panic: \"boom\"\n".to_owned())],
+            },
+        ];
+        let text = render_jsonl(&mut records);
+        let summary = validate_trace_text(&text).expect("self-produced trace validates");
+        assert_eq!(
+            summary,
+            TraceSummary {
+                meta: 1,
+                spans: 2,
+                events: 1
+            }
+        );
+        // Canonical order: test 0 before test 1, spans before events.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("\"test\":0"));
+        assert!(lines[2].contains("\"phase\":\"simulate\""));
+        assert!(lines[3].contains("\"name\":\"retry\""));
+        assert!(lines[3].contains("\\\"boom\\\"\\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_trace_text("not json").is_err());
+        assert!(validate_trace_text("{\"type\":\"mystery\"}").is_err());
+        assert!(
+            validate_trace_text("{\"type\":\"span\",\"phase\":\"x\",\"seq\":0,\"start_us\":1}")
+                .is_err(),
+            "span without dur_us must fail"
+        );
+        assert!(
+            validate_trace_text(
+                "{\"type\":\"meta\",\"version\":1}\n{\"type\":\"meta\",\"version\":1}"
+            )
+            .is_err(),
+            "duplicate meta must fail"
+        );
+        let ok = "{\"type\":\"meta\",\"version\":1}\n\
+                  {\"type\":\"event\",\"name\":\"spill\",\"seq\":0,\"at_us\":3,\"bytes\":128}";
+        assert!(validate_trace_text(ok).is_ok());
+    }
+
+    #[test]
+    fn chrome_export_is_a_json_array() {
+        let mut records = vec![span("merge", 2, 0)];
+        let text = render_chrome(&mut records);
+        assert!(text.starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"merge\""));
+    }
+
+    #[test]
+    fn metrics_validator_accepts_prometheus_text() {
+        let text = "# HELP x y\n# TYPE x histogram\nx_bucket{phase=\"a\",le=\"+Inf\"} 3\nx_sum{phase=\"a\"} 12\n";
+        assert_eq!(validate_metrics_text(text), Ok(2));
+        assert!(validate_metrics_text("").is_err());
+        assert!(validate_metrics_text("x notanumber").is_err());
+        assert!(validate_metrics_text("bad name{ 3").is_err());
+    }
+}

@@ -162,7 +162,14 @@ fn journals_are_bit_identical_across_budgets_and_workers() {
             let journal = CampaignJournal::create(&path, campaign.config()).unwrap();
             campaign.run_with_journal(&journal);
             drop(journal);
-            let contents = std::fs::read_to_string(&path).unwrap();
+            // The footer's spill statistics legitimately vary with budget
+            // and shard interleaving; every validated-test record must not.
+            let contents: String = std::fs::read_to_string(&path)
+                .unwrap()
+                .lines()
+                .filter(|line| !line.starts_with("{\"Footer\""))
+                .map(|line| format!("{line}\n"))
+                .collect();
             match &baseline {
                 None => baseline = Some(contents),
                 Some(expected) => assert_eq!(&contents, expected, "{label}"),
