@@ -6,12 +6,18 @@
 //! builds where the serde stubs cannot serialize. Usage:
 //!
 //! ```text
-//! campaign_bench [--iters N] [--tests N] [--workers N]
+//! campaign_bench [--iters N] [--tests N] [--workers N] [--gate BASELINE.json]
 //! ```
+//!
+//! `--gate` reads a previously committed `BENCH_campaign.json` and exits
+//! non-zero when the direct check-phase p50 regresses more than 3x against
+//! it — the CI guardrail for the checking hot path.
 
 use mtc_bench::{parse_scale, progress, Table};
 use mtracecheck::isa::IsaKind;
-use mtracecheck::{Campaign, CampaignConfig, Telemetry, TelemetryConfig, TestConfig};
+use mtracecheck::{
+    paper_configs, Campaign, CampaignConfig, Telemetry, TelemetryConfig, TestConfig,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -29,6 +35,64 @@ fn time_runs<F: FnMut() -> mtracecheck::ConfigReport>(
         report = Some(r);
     }
     (best_us, report.expect("runs >= 1"))
+}
+
+/// Iterations collected per paper configuration for the direct check-phase
+/// measurement. Fixed (not `--iters`) so numbers are comparable across
+/// bench runs and against the committed baseline.
+const CHECK_BENCH_ITERS: u64 = 1000;
+
+/// One paper configuration's direct check-phase measurement.
+struct CheckTiming {
+    name: String,
+    unique: usize,
+    best_us: u64,
+}
+
+/// Directly times the host-side check phase — signature decode, observed
+/// edges, collective constraint-graph check — over the paper's 21
+/// configurations: one collected log per config, best-of-3 `check_log`
+/// wall time. The telemetry histograms above bucket per-push samples at
+/// log2 microsecond resolution, which saturates at the bottom bucket for
+/// fast pushes; this is the exact end-to-end number regression gating
+/// needs.
+fn check_phase_bench() -> Vec<CheckTiming> {
+    paper_configs()
+        .into_iter()
+        .map(|test| {
+            let campaign = Campaign::new(CampaignConfig::new(test, CHECK_BENCH_ITERS));
+            let program = mtracecheck::testgen::generate(&campaign.config().test);
+            let log = campaign.collect_serial(&program);
+            let mut best_us = u64::MAX;
+            let mut unique = 0;
+            for _ in 0..3 {
+                let started = Instant::now();
+                let report = campaign.check_log(&log).expect("fresh logs decode");
+                best_us = best_us.min(started.elapsed().as_micros() as u64);
+                unique = report.unique_signatures;
+            }
+            CheckTiming {
+                name: campaign.config().test.name(),
+                unique,
+                best_us,
+            }
+        })
+        .collect()
+}
+
+/// Pulls the `check_p50_us` field out of a previously written
+/// `BENCH_campaign.json` (hand-parsed; the serde stubs cannot
+/// deserialize).
+fn read_baseline_check_p50(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"check_p50_us\":";
+    let at = text.find(key)?;
+    let digits: String = text[at + key.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 fn main() {
@@ -108,20 +172,79 @@ fn main() {
     println!("throughput: {iterations_per_sec:.0} iterations/sec (telemetry on)");
     table.print();
 
+    progress("timing the check phase over the 21 paper configurations");
+    let check = check_phase_bench();
+    let mut sorted_us: Vec<u64> = check.iter().map(|c| c.best_us).collect();
+    sorted_us.sort_unstable();
+    let check_p50_us = sorted_us[sorted_us.len() / 2];
+    let check_total_us: u64 = sorted_us.iter().sum();
+    let mut check_table = Table::new(["config", "unique sigs", "check us"]);
+    let mut check_json = String::new();
+    for c in &check {
+        check_table.row([c.name.clone(), c.unique.to_string(), c.best_us.to_string()]);
+        if !check_json.is_empty() {
+            check_json.push_str(",\n    ");
+        }
+        let _ = write!(
+            check_json,
+            "{{\"config\":\"{}\",\"unique\":{},\"check_us\":{}}}",
+            c.name, c.unique, c.best_us
+        );
+    }
+    check_table.print();
+    println!(
+        "check phase ({CHECK_BENCH_ITERS} iters/config): p50 {check_p50_us} us, \
+         total {check_total_us} us over {} configs",
+        check.len()
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"iterations\": {},\n  \"tests\": {},\n  \
          \"workers\": {},\n  \"baseline_wall_us\": {baseline_us},\n  \
          \"telemetry_wall_us\": {traced_us},\n  \
          \"telemetry_overhead_pct\": {overhead_pct:.2},\n  \
          \"iterations_per_sec\": {iterations_per_sec:.1},\n  \
-         \"retries\": {},\n  \"spill_runs\": {},\n  \"phases\": [\n    {phases_json}\n  ]\n}}\n",
+         \"retries\": {},\n  \"spill_runs\": {},\n  \
+         \"check_bench_iters\": {CHECK_BENCH_ITERS},\n  \
+         \"check_p50_us\": {check_p50_us},\n  \
+         \"check_total_us\": {check_total_us},\n  \
+         \"check_configs\": [\n    {check_json}\n  ],\n  \
+         \"phases\": [\n    {phases_json}\n  ]\n}}\n",
         scale.iterations,
         scale.tests,
         scale.workers,
         snapshot.counter("retries"),
         snapshot.counter("spill_runs"),
     );
+    // Regression gate: compare the measured check-phase p50 against a
+    // committed baseline summary. 3x headroom absorbs shared-runner noise
+    // while still catching a hot-path regression outright. The baseline is
+    // read before the results file is rewritten — the gate path and the
+    // output path are usually the same file.
+    let args: Vec<String> = std::env::args().collect();
+    let gate = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
+    let gate_baseline = gate.map(|path| read_baseline_check_p50(path));
+
     let path = "BENCH_campaign.json";
     std::fs::write(path, json).expect("write BENCH_campaign.json");
     eprintln!("(wrote {path})");
+
+    if let Some(gate) = gate {
+        let Some(Some(baseline)) = gate_baseline else {
+            eprintln!("gate: no check_p50_us in {gate}");
+            std::process::exit(1);
+        };
+        let limit = baseline.saturating_mul(3);
+        if check_p50_us > limit {
+            eprintln!(
+                "gate: check-phase p50 {check_p50_us} us exceeds 3x the \
+                 committed baseline ({baseline} us) — hot-path regression"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: check-phase p50 {check_p50_us} us within 3x of baseline {baseline} us");
+    }
 }

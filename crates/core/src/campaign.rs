@@ -1235,6 +1235,15 @@ impl Campaign {
         };
 
         let spec = TestGraphSpec::new(program, config.system.mcm);
+        // Decode→observe fusion: candidate indices go straight to
+        // precomputed edge lists, so the per-signature hot loop never
+        // materializes a `ReadsFrom` map. Reads-from observations are
+        // reconstructed (via the slow decode) only for the rare violating
+        // signatures that need them in their diagnostic records.
+        let table = ObserveTable::build(program, &schema, &spec, &config.check);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut raw_edges: Vec<(u32, u32)> = Vec::new();
+        let mut edge_scratch = mtc_graph::EdgeScratch::default();
         // Checking modes that genuinely need the whole observation sequence
         // at once: the conventional-checker comparison re-walks every graph,
         // and chunked checking needs slice boundaries. Everything else
@@ -1242,17 +1251,20 @@ impl Campaign {
         let materialize =
             config.compare_conventional || (config.chunked_check && config.workers > 1);
         if materialize {
-            let mut decoded = Vec::with_capacity(log.signatures.len());
             let mut observations = Vec::with_capacity(log.signatures.len());
             for (signature_index, (sig, _)) in log.signatures.iter().enumerate() {
                 let decode_started = scope.start();
-                let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
-                    signature_index,
-                    source,
+                schema.decode_indices(sig, &mut indices).map_err(|source| {
+                    CheckLogError::Decode {
+                        signature_index,
+                        source,
+                    }
                 })?;
                 scope.sample(Phase::Decode, decode_started);
-                observations.push(spec.observe(program, &rf, &config.check));
-                decoded.push(rf);
+                table.extend_edges(&indices, &mut raw_edges);
+                let mut obs = mtc_graph::ObservedEdges::default();
+                obs.assign_from_raw_bucketed(&raw_edges, spec.num_vertices(), &mut edge_scratch);
+                observations.push(obs);
             }
             let check_started = scope.start();
             let collective = if config.chunked_check && config.workers > 1 {
@@ -1285,18 +1297,15 @@ impl Campaign {
                 );
                 mtc_graph::CollectiveOutcome { results, stats }
             };
-            for (((sig, count), rf), result) in log
-                .signatures
-                .iter()
-                .zip(decoded.iter())
-                .zip(collective.results.iter())
-            {
+            for ((sig, count), result) in log.signatures.iter().zip(collective.results.iter()) {
                 if let Err(violation) = result {
                     report.violations.push(ViolationRecord {
                         signature: sig.clone(),
                         occurrences: *count,
                         violation: Some(violation.clone()),
-                        reads_from: rf.clone(),
+                        reads_from: schema
+                            .decode(sig)
+                            .expect("signature already decoded via decode_indices"),
                     });
                 }
             }
@@ -1326,21 +1335,113 @@ impl Campaign {
             }
             let telemetry_on = self.telemetry.enabled();
             let check_started = scope.start();
+            // Delta checking: ascending-signature neighbours differ in few
+            // load slots, and each slot contributes a fixed edge bundle —
+            // so instead of rebuilding the edge set per signature, patch
+            // the changed slots' bundles in and out of a refcounted set and
+            // let the checker consume the net diff directly.
+            let mut delta = mtc_graph::DeltaObservations::new(spec.num_vertices());
+            // Intern the distinct table edges in sorted order, then mirror
+            // the table's (slot, candidate) runs as dense-id bundles
+            // (self-loops dropped — they never contribute an edge). Sorted
+            // interning makes id order match edge order, so the merge-walk
+            // below compares ids directly; refcount updates become flat
+            // array ops instead of per-source scans.
+            let mut uniq: Vec<(u32, u32)> = table
+                .edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| u != v)
+                .collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for &(u, v) in &uniq {
+                delta.intern(u, v);
+            }
+            let mut id_offsets: Vec<u32> = Vec::with_capacity(table.cand_offsets.len());
+            let mut ids: Vec<u32> = Vec::with_capacity(table.edges.len());
+            for at in 0..table.cand_offsets.len() - 1 {
+                id_offsets.push(ids.len() as u32);
+                let lo = table.cand_offsets[at] as usize;
+                let hi = table.cand_offsets[at + 1] as usize;
+                for &(u, v) in &table.edges[lo..hi] {
+                    if u != v {
+                        ids.push(delta.intern(u, v));
+                    }
+                }
+            }
+            id_offsets.push(ids.len() as u32);
+            let ids_for = |slot: usize, index: u32| -> &[u32] {
+                let at = table.slot_bases[slot] as usize + index as usize;
+                &ids[id_offsets[at] as usize..id_offsets[at + 1] as usize]
+            };
+            let mut changed: Vec<(u32, u32)> = Vec::new();
+            let mut prev_sig: Option<&mtc_instr::ExecutionSignature> = None;
             for (signature_index, (sig, count)) in log.signatures.iter().enumerate() {
                 let decode_started = scope.start();
-                let rf = schema.decode(sig).map_err(|source| CheckLogError::Decode {
+                // Consecutive ascending signatures share most raw words, so
+                // after the first signature decode only the words that
+                // differ — the delta decode reports exactly the slots whose
+                // candidate index moved.
+                match prev_sig {
+                    Some(prev) => {
+                        schema.decode_indices_delta(sig, prev, &mut indices, &mut changed)
+                    }
+                    None => schema.decode_indices(sig, &mut indices),
+                }
+                .map_err(|source| CheckLogError::Decode {
                     signature_index,
                     source,
                 })?;
                 scope.sample(Phase::Decode, decode_started);
-                let obs = spec.observe(program, &rf, &config.check);
+                delta.begin();
+                if prev_sig.is_none() {
+                    for (slot, &index) in indices.iter().enumerate() {
+                        for &id in ids_for(slot, index) {
+                            delta.add_id(id);
+                        }
+                    }
+                } else {
+                    for &(slot, old) in &changed {
+                        let slot = slot as usize;
+                        // Bundles are sorted at table build; merge-walk them
+                        // so edges the old and new candidate share are never
+                        // touched (a remove+add of the same edge is a no-op).
+                        let olds = ids_for(slot, old);
+                        let news = ids_for(slot, indices[slot]);
+                        let (mut i, mut j) = (0, 0);
+                        while i < olds.len() && j < news.len() {
+                            match olds[i].cmp(&news[j]) {
+                                std::cmp::Ordering::Less => {
+                                    delta.remove_id(olds[i]);
+                                    i += 1;
+                                }
+                                std::cmp::Ordering::Greater => {
+                                    delta.add_id(news[j]);
+                                    j += 1;
+                                }
+                                std::cmp::Ordering::Equal => {
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                        for &id in &olds[i..] {
+                            delta.remove_id(id);
+                        }
+                        for &id in &news[j..] {
+                            delta.add_id(id);
+                        }
+                    }
+                }
+                prev_sig = Some(sig);
                 let push_started = scope.start();
                 let incremental_before = if telemetry_on {
                     checker.stats().incremental
                 } else {
                     0
                 };
-                let push = checker.push(&obs);
+                let push = checker.push_delta(&delta);
                 // A push that grew the incremental counter re-sorted part of
                 // the previous topological order — histogram it separately
                 // from the no-resort fast path (Figure 14's split).
@@ -1354,7 +1455,9 @@ impl Campaign {
                         signature: sig.clone(),
                         occurrences: *count,
                         violation: Some(violation),
-                        reads_from: rf,
+                        reads_from: schema
+                            .decode(sig)
+                            .expect("signature already decoded via decode_indices"),
                     });
                 }
             }
@@ -1373,6 +1476,80 @@ impl Campaign {
             );
         }
         Ok(report)
+    }
+}
+
+/// Precomputed decode→observe fusion table: for every signature load slot
+/// (in schema order) and every candidate value the slot can observe, the
+/// observed-edge list that choice contributes to the constraint graph.
+///
+/// The per-(slot, candidate) edge set is fixed by the graph spec and the
+/// check options, so the per-signature hot loop reduces to an index decode
+/// ([`SignatureSchema::decode_indices`]) plus table lookups — no
+/// `ReadsFrom` map is ever materialized while checking.
+struct ObserveTable {
+    /// Index into `cand_offsets` of each slot's first candidate.
+    slot_bases: Vec<u32>,
+    /// Start of each (slot, candidate) edge run in `edges`, in build order,
+    /// with a final sentinel; runs are contiguous, so a run's end is the
+    /// next entry.
+    cand_offsets: Vec<u32>,
+    /// All per-candidate raw `(from, to)` edge bundles, concatenated.
+    edges: Vec<(u32, u32)>,
+}
+
+impl ObserveTable {
+    fn build(
+        program: &Program,
+        schema: &SignatureSchema,
+        spec: &TestGraphSpec,
+        options: &CheckOptions,
+    ) -> Self {
+        let mut table = ObserveTable {
+            slot_bases: Vec::with_capacity(schema.total_loads()),
+            cand_offsets: Vec::new(),
+            edges: Vec::new(),
+        };
+        for thread in schema.threads() {
+            for slot in &thread.loads {
+                let addr = program
+                    .instr(slot.op)
+                    .and_then(mtc_isa::Instr::addr)
+                    .expect("schema slots are loads");
+                table.slot_bases.push(table.cand_offsets.len() as u32);
+                for &value in &slot.candidates {
+                    let start = table.edges.len();
+                    table.cand_offsets.push(start as u32);
+                    spec.append_load_edges(slot.op, addr, value, options, &mut table.edges);
+                    // Sorted bundles let the delta path merge-walk a slot's
+                    // old and new bundle and skip their common edges; edge
+                    // order within a bundle is otherwise immaterial (the
+                    // canonicalized set and the windowing intervals are
+                    // order-insensitive).
+                    table.edges[start..].sort_unstable();
+                }
+            }
+        }
+        table.cand_offsets.push(table.edges.len() as u32);
+        table
+    }
+
+    /// The edge bundle slot `slot` contributes when observing its candidate
+    /// `index`.
+    fn edges_for(&self, slot: usize, index: u32) -> &[(u32, u32)] {
+        let at = self.slot_bases[slot] as usize + index as usize;
+        let lo = self.cand_offsets[at] as usize;
+        let hi = self.cand_offsets[at + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Replaces `out` with the raw edge union of every slot observing its
+    /// decoded candidate `indices[slot]`.
+    fn extend_edges(&self, indices: &[u32], out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        for (slot, &index) in indices.iter().enumerate() {
+            out.extend_from_slice(self.edges_for(slot, index));
+        }
     }
 }
 

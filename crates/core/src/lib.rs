@@ -47,6 +47,7 @@ mod coverage;
 mod journal;
 mod log;
 pub mod pool;
+pub mod radix;
 mod report;
 mod store;
 mod supervisor;

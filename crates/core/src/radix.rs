@@ -1,0 +1,192 @@
+//! LSD radix sorting for the §4.1 ascending-signature order.
+//!
+//! The signature store needs its unique signatures in ascending order at
+//! every spill and at the final merge. Signatures compare like `Vec<u64>`
+//! (lexicographic by word, a strict prefix sorting first), so instead of a
+//! comparison sort — `O(n log n)` comparisons, each touching up to every
+//! word — the order is recovered with a least-significant-digit radix
+//! sort: one stable counting pass over the key length (the prefix
+//! tie-break), then one per byte position from the last word's low byte up
+//! to word 0's high byte. Keys shorter than the longest are treated as
+//! zero-padded, which together with the length pass reproduces the derived
+//! `Ord` exactly.
+//!
+//! Every pass counts first and skips its scatter when all keys share the
+//! digit, so the common population — one schema, hence one word count, and
+//! high word locality — costs far fewer permutations than the worst case.
+//! All passes permute a `u32` index array; the items themselves move once,
+//! at the end.
+
+/// Sorts `items` ascending by the `u64`-word key that `key` extracts,
+/// matching the derived lexicographic `Ord` of `Vec<u64>` (a strict prefix
+/// sorts before its extensions). The sort is stable: items with equal keys
+/// keep their input order.
+pub fn sort_by_u64_words<T, K: Fn(&T) -> &[u64]>(items: &mut Vec<T>, key: K) {
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let max_words = items.iter().map(|it| key(it).len()).max().unwrap_or(0);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<u32> = Vec::new();
+    // Least-significant pass first: key length breaks prefix ties.
+    if items.iter().any(|it| key(it).len() != max_words) {
+        counting_pass(&mut idx, &mut tmp, max_words + 1, items, |it| key(it).len());
+    }
+    for w in (0..max_words).rev() {
+        for byte in 0..8 {
+            let shift = 8 * byte;
+            counting_pass(&mut idx, &mut tmp, 256, items, |it| {
+                ((key(it).get(w).copied().unwrap_or(0) >> shift) & 0xff) as usize
+            });
+        }
+    }
+    let mut src: Vec<Option<T>> = items.drain(..).map(Some).collect();
+    items.extend(idx.iter().map(|&i| {
+        src[i as usize]
+            .take()
+            .expect("a permutation visits each index exactly once")
+    }));
+}
+
+/// One stable counting-sort pass of the index permutation by `digit`.
+/// Skips the scatter when every key shares the digit.
+fn counting_pass<T>(
+    idx: &mut Vec<u32>,
+    tmp: &mut Vec<u32>,
+    buckets: usize,
+    items: &[T],
+    digit: impl Fn(&T) -> usize,
+) {
+    let mut counts = vec![0u32; buckets + 1];
+    for &i in idx.iter() {
+        counts[digit(&items[i as usize]) + 1] += 1;
+    }
+    if counts[1..].iter().any(|&c| c as usize == idx.len()) {
+        return;
+    }
+    for b in 1..counts.len() {
+        counts[b] += counts[b - 1];
+    }
+    tmp.clear();
+    tmp.resize(idx.len(), 0);
+    for &i in idx.iter() {
+        let d = digit(&items[i as usize]);
+        tmp[counts[d] as usize] = i;
+        counts[d] += 1;
+    }
+    std::mem::swap(idx, tmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference order: the derived `Ord` of `Vec<u64>`, applied stably.
+    fn reference_sort(items: &mut [(Vec<u64>, usize)]) {
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    fn radix_sort(items: &mut Vec<(Vec<u64>, usize)>) {
+        sort_by_u64_words(items, |it| &it.0);
+    }
+
+    #[test]
+    fn prefixes_sort_before_extensions() {
+        let mut items: Vec<(Vec<u64>, usize)> = [
+            vec![1, 5],
+            vec![],
+            vec![1],
+            vec![2],
+            vec![1, 0],
+            vec![1, 0, 0],
+            vec![0, u64::MAX],
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+        radix_sort(&mut items);
+        let keys: Vec<&Vec<u64>> = items.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            [
+                &vec![],
+                &vec![0, u64::MAX],
+                &vec![1],
+                &vec![1, 0],
+                &vec![1, 0, 0],
+                &vec![1, 5],
+                &vec![2],
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_keys_keep_input_order() {
+        let mut items: Vec<(Vec<u64>, usize)> =
+            [vec![7, 7], vec![3], vec![7, 7], vec![3], vec![7, 7]]
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| (k, i))
+                .collect();
+        radix_sort(&mut items);
+        let tags: Vec<usize> = items.iter().map(|(_, i)| *i).collect();
+        assert_eq!(tags, [1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_no_ops() {
+        let mut empty: Vec<(Vec<u64>, usize)> = Vec::new();
+        radix_sort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![(vec![9u64], 0usize)];
+        radix_sort(&mut one);
+        assert_eq!(one[0].0, [9]);
+    }
+
+    #[test]
+    fn high_bytes_order_across_word_boundaries() {
+        // Keys differing only in word 0's top byte, and only in word 1's
+        // low byte — both must be honoured with word 0 most significant.
+        let mut items: Vec<(Vec<u64>, usize)> =
+            [vec![1u64 << 56, 1], vec![1u64 << 56, 0], vec![0, u64::MAX]]
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| (k, i))
+                .collect();
+        radix_sort(&mut items);
+        let mut expected: Vec<(Vec<u64>, usize)> = items.clone();
+        reference_sort(&mut expected);
+        assert_eq!(items, expected);
+        assert_eq!(items[0].0, [0, u64::MAX]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Radix order equals the derived `Vec<u64>` order (stably) on
+        /// arbitrary mixed-length word vectors with duplicates.
+        #[test]
+        fn agrees_with_comparison_sort(
+            seed in any::<u64>(),
+            n in 0usize..60,
+            max_len in 1usize..4,
+        ) {
+            let mut rng = proptest::StubRng::new(seed);
+            let mut items: Vec<(Vec<u64>, usize)> = (0..n)
+                .map(|i| {
+                    let len = rng.next_u64() as usize % (max_len + 1);
+                    // Small byte alphabet forces collisions in every digit.
+                    let words = (0..len).map(|_| rng.next_u64() % 3).collect();
+                    (words, i)
+                })
+                .collect();
+            let mut expected = items.clone();
+            reference_sort(&mut expected);
+            radix_sort(&mut items);
+            prop_assert_eq!(items, expected);
+        }
+    }
+}

@@ -5,9 +5,11 @@
 //! campaigns can scale to huge run counts — but a campaign big enough to
 //! matter can still outgrow RAM while deduplicating its unique-signature
 //! set. [`SignatureStore`] keeps the collection pipeline alive under a
-//! [`MemoryBudget`]: signatures dedup into a bounded [`BTreeMap`] buffer
-//! and, on reaching the budget, the buffer — already in ascending signature
-//! order — is written out as one sorted *run* file. [`SignatureStore::finish`]
+//! [`MemoryBudget`]: signatures dedup into a bounded hash-map buffer
+//! (O(1) per occurrence on the hot insert path) and, on reaching the
+//! budget, the buffer is put into ascending signature order with an LSD
+//! radix sort ([`crate::radix`]) and written out as one sorted *run* file.
+//! [`SignatureStore::finish`]
 //! merges all runs plus the final resident buffer with a streaming k-way
 //! merge, summing per-signature occurrence counts and taking the earliest
 //! first-occurrence position, so the merged stream is **identical** to what
@@ -23,10 +25,11 @@
 //! supervisor classifies them like any other per-test fault (quarantine the
 //! test, mark the run DEGRADED, keep the campaign alive).
 
+use crate::radix::sort_by_u64_words;
 use mtc_instr::ExecutionSignature;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -152,7 +155,7 @@ pub struct SpillRunRecord {
 /// memory budget. See the [module docs](self) for the equivalence argument.
 #[derive(Debug)]
 pub struct SignatureStore {
-    resident: BTreeMap<ExecutionSignature, (u64, FirstSeen)>,
+    resident: HashMap<ExecutionSignature, (u64, FirstSeen)>,
     resident_cap: Option<usize>,
     spill_dir: Option<PathBuf>,
     runs: Vec<PathBuf>,
@@ -176,7 +179,7 @@ impl SignatureStore {
             MemoryBudget::Bounded { spill_dir, .. } => Some(spill_dir.clone()),
         };
         SignatureStore {
-            resident: BTreeMap::new(),
+            resident: HashMap::new(),
             resident_cap: budget.resident_cap(signature_bytes),
             spill_dir,
             runs: Vec::new(),
@@ -273,8 +276,8 @@ impl SignatureStore {
         Ok(())
     }
 
-    /// Writes the resident buffer — already in ascending signature order —
-    /// as one sorted run file and clears it.
+    /// Writes the resident buffer — radix-sorted into ascending signature
+    /// order — as one sorted run file and clears it.
     fn spill_run(&mut self) -> Result<(), SpillError> {
         let dir = self
             .spill_dir
@@ -300,15 +303,21 @@ impl SignatureStore {
         ));
         self.run_seq += 1;
         let write_started = std::time::Instant::now();
+        // Recover ascending signature order from the hash map; the run
+        // format (and the k-way merge that reads it back) requires it. Map
+        // keys are unique, so the order is fully determined by the sort.
+        let mut sorted: Vec<(&ExecutionSignature, &(u64, FirstSeen))> =
+            self.resident.iter().collect();
+        sort_by_u64_words(&mut sorted, |(sig, _)| sig.words());
         let file = File::create(&path).map_err(|e| at(e, &path))?;
         let mut writer = BufWriter::new(file);
         let write = |writer: &mut BufWriter<File>,
-                     resident: &BTreeMap<ExecutionSignature, (u64, FirstSeen)>|
+                     sorted: &[(&ExecutionSignature, &(u64, FirstSeen))]|
          -> io::Result<()> {
             writer.write_all(SPILL_MAGIC)?;
             writer.write_all(&SPILL_VERSION.to_le_bytes())?;
-            writer.write_all(&(resident.len() as u64).to_le_bytes())?;
-            for (sig, &(count, first)) in resident {
+            writer.write_all(&(sorted.len() as u64).to_le_bytes())?;
+            for &(sig, &(count, first)) in sorted {
                 writer.write_all(&(sig.words().len() as u32).to_le_bytes())?;
                 for word in sig.words() {
                     writer.write_all(&word.to_le_bytes())?;
@@ -319,7 +328,7 @@ impl SignatureStore {
             }
             Ok(())
         };
-        let result = write(&mut writer, &self.resident)
+        let result = write(&mut writer, &sorted)
             .and_then(|()| writer.into_inner().map_err(io::IntoInnerError::into_error))
             // fsync: a spilled run the merge will rely on must actually be
             // on disk before the resident buffer is discarded.
@@ -364,7 +373,9 @@ impl SignatureStore {
     /// validation.
     pub fn finish(mut self) -> Result<SignatureStream, SpillError> {
         let runs = std::mem::take(&mut self.runs);
-        let resident = std::mem::take(&mut self.resident);
+        let mut resident: Vec<(ExecutionSignature, (u64, FirstSeen))> =
+            std::mem::take(&mut self.resident).into_iter().collect();
+        sort_by_u64_words(&mut resident, |(sig, _)| sig.words());
         let mut sources = Vec::with_capacity(runs.len() + 1);
         for path in runs {
             sources.push(MergeSource::Run(RunReader::open(path)?));
@@ -459,7 +470,7 @@ impl Iterator for SignatureStream {
 #[derive(Debug)]
 enum MergeSource {
     Run(RunReader),
-    Resident(std::collections::btree_map::IntoIter<ExecutionSignature, (u64, FirstSeen)>),
+    Resident(std::vec::IntoIter<(ExecutionSignature, (u64, FirstSeen))>),
 }
 
 impl MergeSource {
@@ -627,6 +638,7 @@ impl std::error::Error for SpillError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("mtc-store-test-{}-{tag}", std::process::id()));

@@ -13,12 +13,10 @@
 //! a cycle moves strictly forward in the old order, so it cannot leave the
 //! window.
 
-use crate::topo::{extract_cycle, full_sort, violation_from_cycle};
-use crate::{ObservedEdges, TestGraphSpec, Violation};
+use crate::topo::{extract_cycle, full_sort_into, violation_from_cycle, ObsAdj, SortScratch};
+use crate::{DeltaObservations, ObservedEdges, TestGraphSpec, Violation};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Breakdown of how much re-sorting the collective checker performed —
@@ -343,9 +341,128 @@ pub struct CollectiveChecker<'s> {
     /// Current topological order and its inverse, valid for `base`.
     order: Vec<u32>,
     pos: Vec<u32>,
-    /// The last observation the current order validates.
-    base: Option<ObservedEdges>,
+    /// The last observation the current order validates. Owned and
+    /// overwritten in place (`clone_from`) so the per-push hot path never
+    /// allocates; `has_base` distinguishes "empty base" from "no base".
+    /// Unused in delta mode, where the caller's [`DeltaObservations`] *is*
+    /// the base.
+    base: ObservedEdges,
+    has_base: bool,
+    /// Whether the current base was established by [`push_delta`]
+    /// (`CollectiveChecker::push_delta`); the two entry points must not be
+    /// interleaved while a base is live.
+    delta_base: bool,
+    /// CSR view of the current observation, rebuilt per incremental
+    /// [`push`](CollectiveChecker::push).
+    obs_csr: ObsCsr,
+    /// Reusable buffers for complete sorts and window re-sorts.
+    sort_scratch: SortScratch,
+    window_scratch: WindowScratch,
     stats: CollectiveStats,
+}
+
+/// Reusable buffers for the incremental path of [`CollectiveChecker`]:
+/// backward-edge intervals, merged windows, and the local Kahn state of
+/// [`resort_window`]. Kept across pushes so steady-state checking is
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+struct WindowScratch {
+    intervals: Vec<(u32, u32)>,
+    merged: Vec<(u32, u32)>,
+    indegree: Vec<u32>,
+    ready_stores: ReadyBitset,
+    ready_others: ReadyBitset,
+    sub_order: Vec<u32>,
+}
+
+/// A pop-min set over local window indices, backed by a bitset. Equivalent
+/// to a `BinaryHeap<Reverse<usize>>` that only ever holds each index once —
+/// which the Kahn ready sets guarantee (a vertex's in-degree reaches zero
+/// exactly once) — but with O(1) inserts and near-O(1) amortized pops
+/// instead of heap sift-downs on the re-sort hot path.
+#[derive(Clone, Debug, Default)]
+struct ReadyBitset {
+    words: Vec<u64>,
+    /// No set bit lives below this word (maintained by inserts and pops).
+    min_word: usize,
+    len: usize,
+}
+
+impl ReadyBitset {
+    fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+        self.min_word = 0;
+        self.len = 0;
+    }
+
+    fn insert(&mut self, i: usize) {
+        let w = i >> 6;
+        self.words[w] |= 1u64 << (i & 63);
+        self.min_word = self.min_word.min(w);
+        self.len += 1;
+    }
+
+    fn pop_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut w = self.min_word;
+        while self.words[w] == 0 {
+            w += 1;
+        }
+        self.min_word = w;
+        let bit = self.words[w].trailing_zeros() as usize;
+        self.words[w] &= self.words[w] - 1;
+        self.len -= 1;
+        Some((w << 6) | bit)
+    }
+}
+
+/// A CSR view of one observation's edges, rebuilt per incremental push so
+/// the window re-sort reads each vertex's observed successors as a
+/// contiguous slice instead of binary-searching the edge list per vertex.
+/// The edge list is already sorted by source, so building the view is a
+/// single counting pass plus a target copy.
+#[derive(Clone, Debug, Default)]
+struct ObsCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl ObsCsr {
+    fn build(&mut self, obs: &ObservedEdges, num_vertices: usize) {
+        self.offsets.clear();
+        self.offsets.resize(num_vertices + 1, 0);
+        for &(u, _) in obs.edges() {
+            self.offsets[u as usize + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        self.targets.clear();
+        self.targets.extend(obs.edges().iter().map(|&(_, w)| w));
+    }
+
+    fn successors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+impl ObsAdj for ObsCsr {
+    fn for_successors<F: FnMut(u32)>(&self, v: u32, mut f: F) {
+        for &w in self.successors(v) {
+            f(w);
+        }
+    }
+
+    fn bump_indegrees(&self, indegree: &mut [u32]) {
+        for &w in &self.targets {
+            indegree[w as usize] += 1;
+        }
+    }
 }
 
 impl<'s> CollectiveChecker<'s> {
@@ -356,7 +473,12 @@ impl<'s> CollectiveChecker<'s> {
             split_windows: false,
             order: Vec::new(),
             pos: vec![0; spec.num_vertices()],
-            base: None,
+            base: ObservedEdges::default(),
+            has_base: false,
+            delta_base: false,
+            obs_csr: ObsCsr::default(),
+            sort_scratch: SortScratch::default(),
+            window_scratch: WindowScratch::default(),
             stats: CollectiveStats::default(),
         }
     }
@@ -381,183 +503,333 @@ impl<'s> CollectiveChecker<'s> {
     /// graph is cyclic; the checker recovers on the next push with a
     /// complete sort.
     pub fn push(&mut self, obs: &ObservedEdges) -> Result<(), Violation> {
+        assert!(
+            !(self.has_base && self.delta_base),
+            "CollectiveChecker::push must not follow push_delta while a base is live"
+        );
         self.stats.graphs += 1;
-        match self.base.take() {
-            None => {
-                // First graph (or recovery): complete conventional sort.
-                self.stats.complete += 1;
-                match full_sort(self.spec, obs, &mut self.stats.work) {
-                    Ok(order) => {
-                        for (p, &v) in order.iter().enumerate() {
-                            self.pos[v as usize] = p as u32;
-                        }
-                        self.order = order;
-                        self.base = Some(obs.clone());
-                        Ok(())
+        if !self.has_base {
+            // First graph (or recovery): complete conventional sort.
+            self.stats.complete += 1;
+            return match full_sort_into(
+                self.spec,
+                obs,
+                &mut self.stats.work,
+                &mut self.sort_scratch,
+            ) {
+                Ok(()) => {
+                    self.order.clone_from(&self.sort_scratch.order);
+                    for (p, &v) in self.order.iter().enumerate() {
+                        self.pos[v as usize] = p as u32;
                     }
-                    Err(cycle) => {
-                        self.stats.violations += 1;
-                        Err(violation_from_cycle(self.spec, cycle))
-                    }
+                    self.base.clone_from(obs);
+                    self.has_base = true;
+                    self.delta_base = false;
+                    Ok(())
                 }
-            }
-            Some(prev) => {
-                // Diff against the last valid observation; only new edges
-                // can point backwards under a valid order.
-                let mut intervals: Vec<(u32, u32)> = Vec::new();
-                for (u, v) in obs.difference(&prev) {
-                    self.stats.work += 1;
-                    if self.pos[u as usize] > self.pos[v as usize] {
-                        intervals.push((self.pos[v as usize], self.pos[u as usize]));
-                    }
+                Err(remaining) => {
+                    self.stats.violations += 1;
+                    let cycle = extract_cycle(self.spec, obs, &remaining);
+                    Err(violation_from_cycle(self.spec, cycle))
                 }
-                if intervals.is_empty() {
-                    self.stats.no_resort += 1;
-                    self.base = Some(obs.clone());
-                    return Ok(());
-                }
-                self.stats.incremental += 1;
-                self.stats.incremental_vertices += self.spec.num_vertices() as u64;
-                if self.split_windows {
-                    intervals.sort_unstable();
-                    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
-                    for (lo, hi) in intervals {
-                        match merged.last_mut() {
-                            Some((_, end)) if lo <= *end => *end = (*end).max(hi),
-                            _ => merged.push((lo, hi)),
-                        }
-                    }
-                    intervals = merged;
-                } else {
-                    // Paper-faithful: one window from the leading to the
-                    // trailing boundary.
-                    let lead = intervals
-                        .iter()
-                        .map(|&(lo, _)| lo)
-                        .min()
-                        .expect("non-empty");
-                    let trail = intervals
-                        .iter()
-                        .map(|&(_, hi)| hi)
-                        .max()
-                        .expect("non-empty");
-                    intervals = vec![(lead, trail)];
-                }
-                for (lead, trail) in intervals {
-                    if let Err(violation) = resort_window(
-                        self.spec,
-                        obs,
-                        &mut self.order,
-                        &mut self.pos,
-                        lead as usize,
-                        trail as usize,
-                        &mut self.stats,
-                    ) {
-                        self.stats.violations += 1;
-                        // The order no longer matches any valid graph;
-                        // recover with a complete sort on the next push
-                        // (base stays empty).
-                        return Err(violation);
-                    }
-                }
-                self.base = Some(obs.clone());
-                Ok(())
+            };
+        }
+        // Diff against the last valid observation; only new edges can
+        // point backwards under a valid order.
+        let mut intervals = std::mem::take(&mut self.window_scratch.intervals);
+        intervals.clear();
+        for (u, v) in obs.difference(&self.base) {
+            self.stats.work += 1;
+            if self.pos[u as usize] > self.pos[v as usize] {
+                intervals.push((self.pos[v as usize], self.pos[u as usize]));
             }
         }
+        if intervals.is_empty() {
+            self.window_scratch.intervals = intervals;
+            self.stats.no_resort += 1;
+            self.base.clone_from(obs);
+            return Ok(());
+        }
+        self.stats.incremental += 1;
+        self.stats.incremental_vertices += self.spec.num_vertices() as u64;
+        self.obs_csr.build(obs, self.spec.num_vertices());
+        let mut merged = std::mem::take(&mut self.window_scratch.merged);
+        merged.clear();
+        if self.split_windows {
+            intervals.sort_unstable();
+            for &(lo, hi) in &intervals {
+                match merged.last_mut() {
+                    Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+        } else {
+            // Paper-faithful: one window from the leading to the trailing
+            // boundary.
+            let lead = intervals
+                .iter()
+                .map(|&(lo, _)| lo)
+                .min()
+                .expect("non-empty");
+            let trail = intervals
+                .iter()
+                .map(|&(_, hi)| hi)
+                .max()
+                .expect("non-empty");
+            merged.push((lead, trail));
+        }
+        self.window_scratch.intervals = intervals;
+        let mut result = Ok(());
+        for &(lead, trail) in &merged {
+            if let Err(remaining) = resort_window(
+                self.spec,
+                &self.obs_csr,
+                &mut self.order,
+                &mut self.pos,
+                lead as usize,
+                trail as usize,
+                &mut self.stats,
+                &mut self.window_scratch,
+            ) {
+                self.stats.violations += 1;
+                // The order no longer matches any valid graph; recover
+                // with a complete sort on the next push (no base).
+                self.has_base = false;
+                let cycle = extract_cycle(self.spec, obs, &remaining);
+                result = Err(violation_from_cycle(self.spec, cycle));
+                break;
+            }
+        }
+        self.window_scratch.merged = merged;
+        if result.is_ok() {
+            self.base.clone_from(obs);
+        }
+        result
+    }
+
+    /// Checks one more execution presented as a running delta.
+    ///
+    /// `set` must hold the execution's complete observed-edge multiset,
+    /// maintained by the caller: [`DeltaObservations::begin`] once per
+    /// execution, then [`add`](DeltaObservations::add) /
+    /// [`remove`](DeltaObservations::remove) for the edge contributions that
+    /// changed since the previous execution. This skips re-canonicalizing
+    /// and re-diffing the full edge list per graph — the delta *is* the
+    /// diff — and produces verdicts, cycles, and [`CollectiveStats`]
+    /// identical to feeding the materialized sets through
+    /// [`push`](CollectiveChecker::push).
+    ///
+    /// Do not interleave with [`push`](CollectiveChecker::push) while a
+    /// base order is live (either entry point may seed a fresh checker or
+    /// take over after a violation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the dependency [`Violation`] when the execution's constraint
+    /// graph is cyclic; the checker recovers on the next push with a
+    /// complete sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called while a base established by
+    /// [`push`](CollectiveChecker::push) is live.
+    pub fn push_delta(&mut self, set: &DeltaObservations) -> Result<(), Violation> {
+        assert!(
+            !self.has_base || self.delta_base,
+            "CollectiveChecker::push_delta must not follow push while a base is live"
+        );
+        self.stats.graphs += 1;
+        if !self.has_base {
+            self.stats.complete += 1;
+            return match full_sort_into(
+                self.spec,
+                set,
+                &mut self.stats.work,
+                &mut self.sort_scratch,
+            ) {
+                Ok(()) => {
+                    self.order.clone_from(&self.sort_scratch.order);
+                    for (p, &v) in self.order.iter().enumerate() {
+                        self.pos[v as usize] = p as u32;
+                    }
+                    self.has_base = true;
+                    self.delta_base = true;
+                    Ok(())
+                }
+                Err(remaining) => {
+                    self.stats.violations += 1;
+                    let cycle = extract_cycle(self.spec, set, &remaining);
+                    Err(violation_from_cycle(self.spec, cycle))
+                }
+            };
+        }
+        // The caller's updates since the last push are the diff: edges with
+        // a net absent-to-present transition are exactly `obs \ base`.
+        let mut intervals = std::mem::take(&mut self.window_scratch.intervals);
+        intervals.clear();
+        for (u, v) in set.new_edges() {
+            self.stats.work += 1;
+            if self.pos[u as usize] > self.pos[v as usize] {
+                intervals.push((self.pos[v as usize], self.pos[u as usize]));
+            }
+        }
+        if intervals.is_empty() {
+            self.window_scratch.intervals = intervals;
+            self.stats.no_resort += 1;
+            return Ok(());
+        }
+        self.stats.incremental += 1;
+        self.stats.incremental_vertices += self.spec.num_vertices() as u64;
+        let mut merged = std::mem::take(&mut self.window_scratch.merged);
+        merged.clear();
+        if self.split_windows {
+            intervals.sort_unstable();
+            for &(lo, hi) in &intervals {
+                match merged.last_mut() {
+                    Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+        } else {
+            let lead = intervals
+                .iter()
+                .map(|&(lo, _)| lo)
+                .min()
+                .expect("non-empty");
+            let trail = intervals
+                .iter()
+                .map(|&(_, hi)| hi)
+                .max()
+                .expect("non-empty");
+            merged.push((lead, trail));
+        }
+        self.window_scratch.intervals = intervals;
+        let mut result = Ok(());
+        for &(lead, trail) in &merged {
+            if let Err(remaining) = resort_window(
+                self.spec,
+                set,
+                &mut self.order,
+                &mut self.pos,
+                lead as usize,
+                trail as usize,
+                &mut self.stats,
+                &mut self.window_scratch,
+            ) {
+                self.stats.violations += 1;
+                self.has_base = false;
+                let cycle = extract_cycle(self.spec, set, &remaining);
+                result = Err(violation_from_cycle(self.spec, cycle));
+                break;
+            }
+        }
+        self.window_scratch.merged = merged;
+        result
     }
 }
 
 /// Re-sorts `order[lead..=trail]` against all current edges among the
 /// window's vertices. On success the window is spliced back and `pos`
-/// updated; on failure the containing cycle is extracted.
+/// updated; on failure the vertices Kahn could not place are returned for
+/// the caller to extract a cycle from (keeping this hot path free of the
+/// cold extraction machinery). All working state lives in `scratch`,
+/// reused across windows and pushes.
 #[allow(clippy::too_many_arguments)]
-fn resort_window(
+fn resort_window<A: ObsAdj>(
     spec: &TestGraphSpec,
-    obs: &ObservedEdges,
+    obs: &A,
     order: &mut [u32],
     pos: &mut [u32],
     lead: usize,
     trail: usize,
     stats: &mut CollectiveStats,
-) -> Result<(), Violation> {
+    scratch: &mut WindowScratch,
+) -> Result<(), Vec<u32>> {
     let window = &order[lead..=trail];
     let w = window.len();
     stats.resorted_vertices += w as u64;
     // The window is contiguous in positions, so membership is a range check
     // on `pos` (still valid for the pre-splice order) and the local index
-    // of vertex v is `pos[v] - lead`.
-    let in_window = |v: u32| -> Option<usize> {
-        let p = pos[v as usize] as usize;
-        (lead..=trail).contains(&p).then(|| p - lead)
-    };
-    let mut indegree = vec![0u32; w];
+    // of vertex v is `pos[v] - lead`: one compare, with positions below
+    // `lead` wrapping around to huge offsets. Whether a successor is inside
+    // the window is data-dependent and branch-hostile, so both passes remap
+    // out-of-window edges to a sentinel in-degree slot (index `w`) instead
+    // of branching: the bump pass increments it harmlessly, and it starts
+    // far enough from zero that the relax pass can never drain it into the
+    // ready sets.
+    let width = (trail - lead) as u32;
+    let indegree = &mut scratch.indegree;
+    indegree.clear();
+    indegree.resize(w + 1, 0);
+    indegree[w] = u32::MAX / 2;
     for &v in window {
-        for wv in successors(spec, obs, v) {
-            if let Some(j) = in_window(wv) {
-                indegree[j] += 1;
-            }
+        let mut bump = |wv: u32| {
+            let off = pos[wv as usize].wrapping_sub(lead as u32);
+            let j = if off <= width { off as usize } else { w };
+            indegree[j] += 1;
+        };
+        for &wv in spec.static_successors(v) {
+            bump(wv);
         }
+        obs.for_successors(v, bump);
     }
     // Store-first tie-break on the old position (= local index), keeping
     // the new suborder close to the old one.
-    let mut ready_stores = BinaryHeap::new();
-    let mut ready_others = BinaryHeap::new();
+    let ready_stores = &mut scratch.ready_stores;
+    let ready_others = &mut scratch.ready_others;
+    ready_stores.reset(w);
+    ready_others.reset(w);
     for (i, &v) in window.iter().enumerate() {
         if indegree[i] == 0 {
             if spec.is_store(v) {
-                ready_stores.push(Reverse(i));
+                ready_stores.insert(i);
             } else {
-                ready_others.push(Reverse(i));
+                ready_others.insert(i);
             }
         }
     }
-    let mut sub_order: Vec<u32> = Vec::with_capacity(w);
-    while let Some(Reverse(i)) = ready_stores.pop().or_else(|| ready_others.pop()) {
+    let sub_order = &mut scratch.sub_order;
+    sub_order.clear();
+    sub_order.reserve(w);
+    while let Some(i) = ready_stores.pop_min().or_else(|| ready_others.pop_min()) {
         let v = window[i];
         sub_order.push(v);
         stats.work += 1;
-        for wv in successors(spec, obs, v) {
-            if let Some(j) = in_window(wv) {
+        let mut relax = |wv: u32| {
+            let off = pos[wv as usize].wrapping_sub(lead as u32);
+            if off <= width {
+                let j = off as usize;
                 stats.work += 1;
                 indegree[j] -= 1;
                 if indegree[j] == 0 {
                     if spec.is_store(wv) {
-                        ready_stores.push(Reverse(j));
+                        ready_stores.insert(j);
                     } else {
-                        ready_others.push(Reverse(j));
+                        ready_others.insert(j);
                     }
                 }
             }
+        };
+        for &wv in spec.static_successors(v) {
+            relax(wv);
         }
+        obs.for_successors(v, relax);
     }
     if sub_order.len() < w {
-        let remaining: Vec<u32> = window
+        // Only window vertices can remain unplaced (cycles never leave the
+        // window), which also restricts the caller's cycle extraction.
+        return Err(window
             .iter()
             .enumerate()
             .filter(|&(i, _)| indegree[i] > 0)
             .map(|(_, &v)| v)
-            .collect();
-        // Restrict cycle extraction to the window by keeping only window
-        // vertices in `remaining` (cycles never leave the window).
-        let cycle = extract_cycle(spec, obs, &remaining);
-        return Err(violation_from_cycle(spec, cycle));
+            .collect());
     }
     for (offset, &v) in sub_order.iter().enumerate() {
         order[lead + offset] = v;
         pos[v as usize] = (lead + offset) as u32;
     }
     Ok(())
-}
-
-fn successors<'a>(
-    spec: &'a TestGraphSpec,
-    obs: &'a ObservedEdges,
-    v: u32,
-) -> impl Iterator<Item = u32> + 'a {
-    spec.static_successors(v)
-        .iter()
-        .copied()
-        .chain(obs.successors(v))
 }
 
 /// Convenience: checks the same observations both ways and reports the
@@ -692,6 +964,53 @@ mod tests {
             obs(p, spec, &[(1, 0, 1), (1, 1, 1)]),
             obs(p, spec, &[(1, 0, 1), (1, 1, 0)]), // anti-coherent
         ]
+    }
+
+    #[test]
+    fn push_delta_matches_push() {
+        let (p, spec) = corr();
+        let outcomes = corr_outcomes(&p, &spec);
+        // Include the violating outcome mid-sequence so the delta path also
+        // exercises complete-sort recovery.
+        let seq: Vec<ObservedEdges> = [0, 1, 3, 2, 0, 3, 1, 1, 2]
+            .iter()
+            .map(|&i| outcomes[i].clone())
+            .collect();
+        let mut reference = CollectiveChecker::new(&spec);
+        let mut delta_checker = CollectiveChecker::new(&spec);
+        let mut set = DeltaObservations::new(spec.num_vertices());
+        let mut prev = ObservedEdges::default();
+        for (i, o) in seq.iter().enumerate() {
+            set.begin();
+            for (u, v) in prev.difference(o) {
+                set.remove(u, v);
+            }
+            for (u, v) in o.difference(&prev) {
+                set.add(u, v);
+            }
+            prev.clone_from(o);
+            assert_eq!(
+                reference.push(o),
+                delta_checker.push_delta(&set),
+                "graph {i}"
+            );
+        }
+        assert_eq!(reference.stats(), delta_checker.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not follow push_delta")]
+    fn mixing_push_kinds_panics() {
+        let (p, spec) = corr();
+        let o = obs(&p, &spec, &[(1, 0, 1), (1, 1, 1)]);
+        let mut checker = CollectiveChecker::new(&spec);
+        let mut set = DeltaObservations::new(spec.num_vertices());
+        set.begin();
+        for (u, v) in o.difference(&ObservedEdges::default()) {
+            set.add(u, v);
+        }
+        checker.push_delta(&set).unwrap();
+        let _ = checker.push(&o);
     }
 
     #[test]

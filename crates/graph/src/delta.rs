@@ -1,0 +1,381 @@
+//! A reference-counted observed-edge set maintained as a running delta.
+//!
+//! Consecutive signatures differ in a handful of load outcomes, but each
+//! outcome slot contributes a small fixed bundle of rf/fr edges. Rebuilding
+//! and re-canonicalizing the full edge list per signature — then diffing it
+//! against the previous one — costs Θ(E) per graph even when almost nothing
+//! changed. [`DeltaObservations`] keeps the edge multiset live across
+//! signatures instead: the checker's caller adds the changed slots' new
+//! edge bundles and removes the old ones, and the set tracks which edges
+//! made a net absent-to-present transition — exactly the `obs \ base` diff
+//! the collective checker's windowing needs (§4.2), in O(changed edges).
+//!
+//! The universe of edges a test can ever contribute is fixed and small, so
+//! callers on the hot path [`intern`](DeltaObservations::intern) each pair
+//! once up front and update by dense id ([`add_id`](DeltaObservations::add_id)
+//! / [`remove_id`](DeltaObservations::remove_id)): a refcount bump is then
+//! three flat array accesses, no per-source scan. The pair-keyed
+//! [`add`](DeltaObservations::add)/[`remove`](DeltaObservations::remove)
+//! remain as a convenience that interns on first sight.
+
+use crate::topo::ObsAdj;
+use crate::ObservedEdges;
+
+/// An observed-edge multiset updated in place between graphs.
+///
+/// The live edge set (edges with positive count) always equals the
+/// canonical [`ObservedEdges`] of the current contributions, and
+/// [`new_edges`](DeltaObservations::new_edges) reports the edges present
+/// now but absent when [`begin`](DeltaObservations::begin) was last called
+/// — including edges removed and re-added within one epoch, which are
+/// correctly *not* new.
+///
+/// Feed it to [`CollectiveChecker::push_delta`](crate::CollectiveChecker::push_delta):
+///
+/// ```
+/// use mtc_graph::DeltaObservations;
+///
+/// let mut set = DeltaObservations::new(4);
+/// set.begin();
+/// set.add(0, 2);
+/// set.add(0, 2); // second contribution: refcount 2, still one edge
+/// set.add(1, 3);
+/// assert_eq!(set.new_edges().collect::<Vec<_>>(), vec![(0, 2), (1, 3)]);
+/// set.begin();
+/// set.remove(0, 2);
+/// set.add(2, 0);
+/// assert_eq!(set.new_edges().collect::<Vec<_>>(), vec![(2, 0)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaObservations {
+    /// Interned edge endpoints, indexed by id.
+    ends: Vec<(u32, u32)>,
+    /// How many live contributions currently assert each edge, by id.
+    counts: Vec<u32>,
+    /// `epoch << 1 | present_at_epoch` per edge id: the last epoch the edge
+    /// was touched, and whether `count > 0` held when it was first touched
+    /// in that epoch — the "was it in the base?" half of the diff.
+    eps: Vec<u32>,
+    /// Per-source `(target, id)` pairs, for interning lookups only.
+    pairs: Vec<Vec<(u32, u32)>>,
+    /// Per-source targets with positive count, ascending — the live graph,
+    /// read directly by the sorting routines. Stored as a fixed-stride
+    /// arena (`live[u * stride..u * stride + live_len[u]]`) so a window
+    /// re-sort's successor scans touch one short cache run per vertex
+    /// instead of chasing a `Vec<Vec<_>>` header and its far heap block;
+    /// the stride doubles (rare) when any source outgrows it.
+    live: Vec<u32>,
+    /// Live out-degree per source.
+    live_len: Vec<u32>,
+    /// Target capacity per source in `live`.
+    stride: usize,
+    epoch: u32,
+    /// Edge ids first touched in the current epoch.
+    touched: Vec<u32>,
+}
+
+impl DeltaObservations {
+    /// Creates an empty set over `num_vertices` graph vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        let stride = 4;
+        DeltaObservations {
+            ends: Vec::new(),
+            counts: Vec::new(),
+            eps: Vec::new(),
+            pairs: vec![Vec::new(); num_vertices],
+            live: vec![0; num_vertices * stride],
+            live_len: vec![0; num_vertices],
+            stride,
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Registers edge `u -> v` and returns its dense id; the same pair
+    /// always maps to the same id. Callers that intern pairs in sorted
+    /// order get ids whose order matches the pairs' lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops — they never contribute an edge (canonical
+    /// observation sets drop them), so callers filter them out.
+    pub fn intern(&mut self, u: u32, v: u32) -> u32 {
+        assert_ne!(
+            u, v,
+            "self-loops contribute no edge; filter before interning"
+        );
+        let list = &mut self.pairs[u as usize];
+        if let Some(&(_, id)) = list.iter().find(|&&(t, _)| t == v) {
+            return id;
+        }
+        let id = self.ends.len() as u32;
+        list.push((v, id));
+        self.ends.push((u, v));
+        self.counts.push(0);
+        self.eps.push(0);
+        id
+    }
+
+    /// Starts the next graph's updates; call once before the `add`/`remove`
+    /// calls for each graph, including the first.
+    pub fn begin(&mut self) {
+        self.epoch += 1;
+        assert!(self.epoch < u32::MAX >> 1, "epoch counter exhausted");
+        self.touched.clear();
+    }
+
+    /// Stamps `id` into the current epoch, recording its pre-epoch presence
+    /// on first touch.
+    #[inline]
+    fn touch_id(&mut self, id: u32) {
+        let ep = &mut self.eps[id as usize];
+        if *ep >> 1 != self.epoch {
+            *ep = (self.epoch << 1) | u32::from(self.counts[id as usize] > 0);
+            self.touched.push(id);
+        }
+    }
+
+    /// Records one more contribution asserting the interned edge `id`.
+    #[inline]
+    pub fn add_id(&mut self, id: u32) {
+        self.touch_id(id);
+        let count = &mut self.counts[id as usize];
+        *count += 1;
+        if *count == 1 {
+            let (u, v) = self.ends[id as usize];
+            self.live_insert(u, v);
+        }
+    }
+
+    /// Retracts one contribution asserting the interned edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the edge has no live contribution.
+    #[inline]
+    pub fn remove_id(&mut self, id: u32) {
+        self.touch_id(id);
+        let count = &mut self.counts[id as usize];
+        debug_assert!(*count > 0, "removing edge id {id} with no contribution");
+        *count -= 1;
+        if *count == 0 {
+            let (u, v) = self.ends[id as usize];
+            self.live_remove(u, v);
+        }
+    }
+
+    /// Records one more contribution asserting edge `u -> v`. Self-loops
+    /// are ignored, mirroring canonicalization.
+    pub fn add(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        let id = self.intern(u, v);
+        self.add_id(id);
+    }
+
+    /// Retracts one contribution asserting edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the edge has no live contribution.
+    pub fn remove(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        let id = self.intern(u, v);
+        self.remove_id(id);
+    }
+
+    /// Edges present now but absent at the last [`begin`], in touch order.
+    pub fn new_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.touched
+            .iter()
+            .filter(|&&id| self.counts[id as usize] > 0 && self.eps[id as usize] & 1 == 0)
+            .map(|&id| self.ends[id as usize])
+    }
+
+    /// Materializes the live edge set as canonical [`ObservedEdges`].
+    pub fn to_observed(&self) -> ObservedEdges {
+        let mut raw = Vec::new();
+        for u in 0..self.live_len.len() {
+            for &v in self.live_targets(u as u32) {
+                raw.push((u as u32, v));
+            }
+        }
+        ObservedEdges::from_raw(raw)
+    }
+
+    /// The ascending live targets of `u`.
+    #[inline]
+    fn live_targets(&self, u: u32) -> &[u32] {
+        let base = u as usize * self.stride;
+        &self.live[base..base + self.live_len[u as usize] as usize]
+    }
+
+    /// Inserts `v` into `u`'s ascending live run, doubling the stride when
+    /// the run is full.
+    fn live_insert(&mut self, u: u32, v: u32) {
+        if self.live_len[u as usize] as usize == self.stride {
+            self.grow_stride();
+        }
+        let base = u as usize * self.stride;
+        let len = self.live_len[u as usize] as usize;
+        let run = &mut self.live[base..base + len + 1];
+        let at = run[..len].partition_point(|&t| t < v);
+        run.copy_within(at..len, at + 1);
+        run[at] = v;
+        self.live_len[u as usize] += 1;
+    }
+
+    /// Removes `v` from `u`'s live run.
+    fn live_remove(&mut self, u: u32, v: u32) {
+        let base = u as usize * self.stride;
+        let len = self.live_len[u as usize] as usize;
+        let run = &mut self.live[base..base + len];
+        let at = run.partition_point(|&t| t < v);
+        debug_assert_eq!(run.get(at), Some(&v));
+        run.copy_within(at + 1..len, at);
+        self.live_len[u as usize] -= 1;
+    }
+
+    #[cold]
+    fn grow_stride(&mut self) {
+        let new_stride = self.stride * 2;
+        let mut next = vec![0u32; self.live_len.len() * new_stride];
+        for (u, &len) in self.live_len.iter().enumerate() {
+            let old = u * self.stride;
+            let new = u * new_stride;
+            next[new..new + len as usize].copy_from_slice(&self.live[old..old + len as usize]);
+        }
+        self.live = next;
+        self.stride = new_stride;
+    }
+}
+
+impl ObsAdj for DeltaObservations {
+    fn for_successors<F: FnMut(u32)>(&self, v: u32, mut f: F) {
+        for &w in self.live_targets(v) {
+            f(w);
+        }
+    }
+
+    fn bump_indegrees(&self, indegree: &mut [u32]) {
+        for u in 0..self.live_len.len() {
+            for &w in self.live_targets(u as u32) {
+                indegree[w as usize] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_edges(set: &DeltaObservations) -> Vec<(u32, u32)> {
+        set.to_observed().edges().to_vec()
+    }
+
+    #[test]
+    fn refcounts_collapse_to_a_set() {
+        let mut set = DeltaObservations::new(4);
+        set.begin();
+        set.add(0, 1);
+        set.add(0, 1);
+        set.add(0, 3);
+        set.add(2, 2); // self-loop: dropped
+        assert_eq!(live_edges(&set), vec![(0, 1), (0, 3)]);
+        set.begin();
+        set.remove(0, 1);
+        assert_eq!(
+            live_edges(&set),
+            vec![(0, 1), (0, 3)],
+            "one contribution left"
+        );
+        set.remove(0, 1);
+        assert_eq!(live_edges(&set), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn new_edges_are_net_transitions() {
+        let mut set = DeltaObservations::new(4);
+        set.begin();
+        set.add(0, 1);
+        set.add(1, 2);
+        assert_eq!(set.new_edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+
+        // Remove then re-add within one epoch: present before, present
+        // after — not new.
+        set.begin();
+        set.remove(0, 1);
+        set.add(0, 1);
+        assert_eq!(set.new_edges().count(), 0);
+
+        // A second contribution to an existing edge is not new either.
+        set.begin();
+        set.add(1, 2);
+        assert_eq!(set.new_edges().count(), 0);
+
+        // Add then remove within one epoch: absent before, absent after.
+        set.begin();
+        set.add(3, 0);
+        set.remove(3, 0);
+        assert_eq!(set.new_edges().count(), 0);
+
+        // Dead edges resurrect as new.
+        set.begin();
+        set.remove(1, 2);
+        set.remove(1, 2);
+        set.begin();
+        set.add(1, 2);
+        assert_eq!(set.new_edges().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_equivalent() {
+        let mut by_pair = DeltaObservations::new(4);
+        let mut by_id = DeltaObservations::new(4);
+        let a = by_id.intern(0, 1);
+        let b = by_id.intern(1, 2);
+        assert_eq!(by_id.intern(0, 1), a, "re-interning returns the same id");
+        by_pair.begin();
+        by_id.begin();
+        by_pair.add(0, 1);
+        by_pair.add(1, 2);
+        by_pair.add(0, 1);
+        by_id.add_id(a);
+        by_id.add_id(b);
+        by_id.add_id(a);
+        assert_eq!(live_edges(&by_pair), live_edges(&by_id));
+        assert_eq!(
+            by_pair.new_edges().collect::<Vec<_>>(),
+            by_id.new_edges().collect::<Vec<_>>()
+        );
+        by_pair.begin();
+        by_id.begin();
+        by_pair.remove(0, 1);
+        by_pair.remove(0, 1);
+        by_id.remove_id(a);
+        by_id.remove_id(a);
+        assert_eq!(live_edges(&by_pair), live_edges(&by_id));
+        assert_eq!(live_edges(&by_id), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn successors_stay_sorted_across_stride_growth() {
+        let mut set = DeltaObservations::new(12);
+        set.begin();
+        // More targets than the initial stride holds, inserted unsorted.
+        for &v in &[3, 1, 2, 7, 5, 11, 4, 6, 8] {
+            set.add(0, v);
+        }
+        let mut seen = Vec::new();
+        set.for_successors(0, |w| seen.push(w));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7, 8, 11]);
+        let mut indegree = vec![0u32; 12];
+        set.bump_indegrees(&mut indegree);
+        assert_eq!(indegree.iter().sum::<u32>(), 9);
+        assert_eq!(indegree[0], 0);
+    }
+}

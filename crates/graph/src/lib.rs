@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod collective;
+mod delta;
 mod diagnose;
 mod dot;
 mod kmedoids;
@@ -54,8 +55,9 @@ pub use collective::{
     check_collective_with_boundaries, compare_checkers, even_chunk_lengths, CheckError,
     CollectiveChecker, CollectiveOutcome, CollectiveStats,
 };
+pub use delta::DeltaObservations;
 pub use diagnose::{classify_cycle, explain_violation, EdgeReason, ExplainedEdge};
 pub use dot::render_dot;
 pub use kmedoids::{k_medoids, KMedoidsResult};
-pub use spec::{CheckOptions, ObservedEdges, TestGraphSpec};
+pub use spec::{CheckOptions, EdgeScratch, ObservedEdges, TestGraphSpec};
 pub use topo::{check_conventional, CheckOutcome, CheckStats, Violation};

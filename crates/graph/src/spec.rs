@@ -24,6 +24,12 @@ pub struct CheckOptions {
 
 /// The shared, static part of every constraint graph of one test program
 /// under one MCM.
+///
+/// Static adjacency is stored in CSR (compressed sparse row) form: one
+/// flat `static_targets` array of successor vertex ids, indexed by the
+/// prefix-offset array `static_offsets` (`len == num_vertices + 1`), so
+/// `static_successors(v)` is a contiguous slice and a whole-graph sweep
+/// touches one cache-friendly allocation instead of one `Vec` per vertex.
 #[derive(Clone, Debug)]
 pub struct TestGraphSpec {
     /// Dense vertex id for `(tid, idx)`: `thread_base[tid] + idx`.
@@ -32,10 +38,14 @@ pub struct TestGraphSpec {
     ops: Vec<OpId>,
     /// `true` for store vertices (the tsort-like tie-break prefers them).
     is_store: Vec<bool>,
-    /// Static adjacency (program order + fence + write-serialization
-    /// chains), deduplicated.
-    static_adj: Vec<Vec<u32>>,
-    static_edge_count: usize,
+    /// CSR offsets into `static_targets`; `num_vertices + 1` entries.
+    static_offsets: Vec<u32>,
+    /// CSR successor array (program order + fence + write-serialization
+    /// chains), per-vertex sorted and deduplicated.
+    static_targets: Vec<u32>,
+    /// In-degree of each vertex counting static edges only — the fixed
+    /// starting point every Kahn sort copies instead of recounting.
+    static_indegree: Vec<u32>,
     /// For each load vertex: `(addr, own-thread candidate information)` is
     /// implicit; what we need at observe time:
     /// first store to each address per thread (for reads-init fr edges).
@@ -134,17 +144,27 @@ impl TestGraphSpec {
             prev_store[a][t] = Some(id);
         }
 
+        // Flatten the per-vertex builder lists into CSR form.
+        let mut static_offsets = Vec::with_capacity(n + 1);
+        let mut static_targets = Vec::with_capacity(static_adj.iter().map(Vec::len).sum());
+        static_offsets.push(0u32);
         for adj in &mut static_adj {
             adj.sort_unstable();
             adj.dedup();
+            static_targets.extend_from_slice(adj);
+            static_offsets.push(static_targets.len() as u32);
         }
-        let static_edge_count = static_adj.iter().map(Vec::len).sum();
+        let mut static_indegree = vec![0u32; n];
+        for &w in &static_targets {
+            static_indegree[w as usize] += 1;
+        }
         TestGraphSpec {
             thread_base,
             ops,
             is_store,
-            static_adj,
-            static_edge_count,
+            static_offsets,
+            static_targets,
+            static_indegree,
             first_store_per_addr_thread,
             ws_successor,
             store_vertex,
@@ -159,7 +179,7 @@ impl TestGraphSpec {
 
     /// Number of static edges.
     pub fn num_static_edges(&self) -> usize {
-        self.static_edge_count
+        self.static_targets.len()
     }
 
     /// The MCM the static edges encode.
@@ -182,9 +202,16 @@ impl TestGraphSpec {
         self.is_store[v as usize]
     }
 
-    /// Static out-neighbours of `v`.
+    /// Static out-neighbours of `v` (a contiguous CSR slice).
     pub fn static_successors(&self, v: u32) -> &[u32] {
-        &self.static_adj[v as usize]
+        let lo = self.static_offsets[v as usize] as usize;
+        let hi = self.static_offsets[v as usize + 1] as usize;
+        &self.static_targets[lo..hi]
+    }
+
+    /// Per-vertex in-degrees over the static edges alone.
+    pub(crate) fn static_indegree(&self) -> &[u32] {
+        &self.static_indegree
     }
 
     /// Builds the observed (rf + fr) edges for one execution.
@@ -203,40 +230,51 @@ impl TestGraphSpec {
     ) -> ObservedEdges {
         let mut edges = Vec::with_capacity(rf.len() * 2);
         for (load, value) in rf.iter() {
-            let lv = self.vertex(load);
             let addr = program
                 .instr(load)
                 .and_then(Instr::addr)
                 .expect("reads-from keys are loads");
-            match value.store_id() {
-                None => {
-                    // Read the initial value: fr to every thread's first
-                    // store on this address.
-                    for first in self.first_store_per_addr_thread[addr.index()]
-                        .iter()
-                        .flatten()
-                    {
-                        edges.push((lv, *first));
-                    }
+            self.append_load_edges(load, addr, value, options, &mut edges);
+        }
+        ObservedEdges::from_raw(edges)
+    }
+
+    /// Appends the observed edges one `(load, value)` observation
+    /// contributes (see [`observe`](Self::observe)) to `out`. The edge set
+    /// for a given pair is fixed by the spec, which lets callers
+    /// precompute per-candidate edge lists and skip `ReadsFrom`
+    /// materialization on the decode hot path.
+    pub fn append_load_edges(
+        &self,
+        load: OpId,
+        addr: mtc_isa::Addr,
+        value: mtc_isa::Value,
+        options: &CheckOptions,
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        let lv = self.vertex(load);
+        match value.store_id() {
+            None => {
+                // Read the initial value: fr to every thread's first
+                // store on this address.
+                for first in self.first_store_per_addr_thread[addr.index()]
+                    .iter()
+                    .flatten()
+                {
+                    out.push((lv, *first));
                 }
-                Some(id) => {
-                    let sv = self.store_vertex[id.0 as usize];
-                    let store_op = self.op(sv);
-                    if store_op.tid != load.tid || options.intra_thread_rf {
-                        edges.push((sv, lv));
-                    }
-                    if let Some(succ) = self.ws_successor[id.0 as usize] {
-                        edges.push((lv, succ));
-                    }
+            }
+            Some(id) => {
+                let sv = self.store_vertex[id.0 as usize];
+                let store_op = self.op(sv);
+                if store_op.tid != load.tid || options.intra_thread_rf {
+                    out.push((sv, lv));
+                }
+                if let Some(succ) = self.ws_successor[id.0 as usize] {
+                    out.push((lv, succ));
                 }
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
-        // Drop self-loops that intra-thread options could create (a store
-        // can never be its own successor, but stay defensive).
-        edges.retain(|&(u, v)| u != v);
-        ObservedEdges { edges }
     }
 }
 
@@ -375,6 +413,80 @@ pub struct ObservedEdges {
 }
 
 impl ObservedEdges {
+    /// Canonicalizes raw observation pairs: sorted, deduplicated, and with
+    /// self-loops dropped (a store can never be its own successor, but
+    /// stay defensive against intra-thread options).
+    fn canonicalize(edges: &mut Vec<(u32, u32)>) {
+        edges.sort_unstable();
+        edges.dedup();
+        edges.retain(|&(u, v)| u != v);
+    }
+
+    /// Builds the set from raw (possibly duplicated, unsorted) pairs as
+    /// produced by [`TestGraphSpec::append_load_edges`].
+    pub fn from_raw(mut edges: Vec<(u32, u32)>) -> Self {
+        Self::canonicalize(&mut edges);
+        ObservedEdges { edges }
+    }
+
+    /// Replaces this set's contents with the canonicalized `raw` pairs,
+    /// reusing both allocations — the per-signature path of the collective
+    /// checker rebuilds one `ObservedEdges` millions of times.
+    pub fn assign_from_raw(&mut self, raw: &mut Vec<(u32, u32)>) {
+        Self::canonicalize(raw);
+        self.edges.clear();
+        self.edges.extend_from_slice(raw);
+    }
+
+    /// [`assign_from_raw`](Self::assign_from_raw) by bucketed counting sort:
+    /// pairs are scattered into per-source buckets (`O(V + E)`), each tiny
+    /// bucket sorted by target, then written out deduplicated and without
+    /// self-loops — the same canonical form as the comparison-sort path,
+    /// without its `O(E log E)` cost. All working memory lives in `scratch`,
+    /// so per-signature checking stays allocation-free.
+    pub fn assign_from_raw_bucketed(
+        &mut self,
+        raw: &[(u32, u32)],
+        num_vertices: usize,
+        scratch: &mut EdgeScratch,
+    ) {
+        let offsets = &mut scratch.offsets;
+        offsets.clear();
+        offsets.resize(num_vertices, 0);
+        for &(u, _) in raw {
+            offsets[u as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for slot in offsets.iter_mut() {
+            let count = *slot;
+            *slot = sum;
+            sum += count;
+        }
+        let tmp = &mut scratch.tmp;
+        tmp.clear();
+        tmp.resize(raw.len(), (0, 0));
+        for &edge in raw {
+            let slot = &mut offsets[edge.0 as usize];
+            tmp[*slot as usize] = edge;
+            *slot += 1;
+        }
+        // After the scatter `offsets[u]` is the *end* of bucket `u`.
+        self.edges.clear();
+        let mut start = 0usize;
+        for &end in offsets.iter() {
+            let bucket = &mut tmp[start..end as usize];
+            bucket.sort_unstable_by_key(|&(_, v)| v);
+            let mut prev = None;
+            for &edge in bucket.iter() {
+                if edge.0 != edge.1 && prev != Some(edge) {
+                    self.edges.push(edge);
+                    prev = Some(edge);
+                }
+            }
+            start = end as usize;
+        }
+    }
+
     /// The sorted `(from, to)` vertex pairs.
     pub fn edges(&self) -> &[(u32, u32)] {
         &self.edges
@@ -412,6 +524,14 @@ impl ObservedEdges {
             !(oi < other.edges.len() && other.edges[oi] == *e)
         })
     }
+}
+
+/// Reusable buffers for [`ObservedEdges::assign_from_raw_bucketed`]: the
+/// per-source bucket offsets and the scatter target.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeScratch {
+    offsets: Vec<u32>,
+    tmp: Vec<(u32, u32)>,
 }
 
 impl FromIterator<(u32, u32)> for ObservedEdges {
@@ -571,6 +691,26 @@ mod tests {
         assert_eq!(a, b, "observe must be deterministic");
         // Observed edges stay compact: at most (threads + 1) per load.
         assert!(a.len() <= p.num_loads() * (p.num_threads() + 1));
+    }
+
+    #[test]
+    fn bucketed_canonicalization_matches_sorting() {
+        let cases: &[&[(u32, u32)]] = &[
+            &[],
+            &[(0, 0)],
+            &[(3, 1), (3, 1), (0, 2), (3, 0), (1, 1), (2, 3), (0, 2)],
+            &[(5, 4), (5, 6), (5, 4), (4, 5), (0, 5), (6, 6), (0, 1)],
+        ];
+        let mut scratch = EdgeScratch::default();
+        for raw in cases {
+            let expected = ObservedEdges::from_raw(raw.to_vec());
+            let mut bucketed = ObservedEdges::default();
+            bucketed.assign_from_raw_bucketed(raw, 7, &mut scratch);
+            assert_eq!(bucketed, expected, "raw {raw:?}");
+            // Scratch reuse must not leak state between calls.
+            bucketed.assign_from_raw_bucketed(raw, 7, &mut scratch);
+            assert_eq!(bucketed, expected, "raw {raw:?} (reused scratch)");
+        }
     }
 
     #[test]

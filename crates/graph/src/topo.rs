@@ -68,28 +68,68 @@ impl CheckOutcome {
     }
 }
 
-/// Performs a complete Kahn sort of static + observed edges.
-///
-/// Returns the topological order, or the vertices of a dependency cycle.
-/// `work` is incremented by the vertices visited and edges traversed.
-pub(crate) fn full_sort(
-    spec: &TestGraphSpec,
-    obs: &ObservedEdges,
-    work: &mut u64,
-) -> Result<Vec<u32>, Vec<u32>> {
-    let n = spec.num_vertices();
-    let mut indegree = vec![0u32; n];
-    for v in 0..n as u32 {
-        for &w in spec.static_successors(v) {
+/// Read access to one execution's observed out-edges, abstracted so the
+/// sorting routines run unchanged over a canonical [`ObservedEdges`] list,
+/// a per-push CSR view, or the refcounted delta set — all of which present
+/// each vertex's observed successors in ascending order, keeping every
+/// traversal (and therefore every verdict, stat, and extracted cycle)
+/// identical across representations.
+pub(crate) trait ObsAdj {
+    /// Calls `f` once per observed successor of `v`, ascending.
+    fn for_successors<F: FnMut(u32)>(&self, v: u32, f: F);
+    /// Adds each observed edge's contribution to per-vertex in-degrees.
+    fn bump_indegrees(&self, indegree: &mut [u32]);
+}
+
+impl ObsAdj for ObservedEdges {
+    fn for_successors<F: FnMut(u32)>(&self, v: u32, mut f: F) {
+        for w in self.successors(v) {
+            f(w);
+        }
+    }
+
+    fn bump_indegrees(&self, indegree: &mut [u32]) {
+        for &(_, w) in self.edges() {
             indegree[w as usize] += 1;
         }
     }
-    for &(_, w) in obs.edges() {
-        indegree[w as usize] += 1;
-    }
+}
+
+/// Reusable buffers for repeated Kahn sorts over the same spec. The
+/// collective checker sorts millions of near-identical graphs; keeping the
+/// in-degree array, the two ready heaps and the order buffer alive across
+/// sorts removes every per-sort allocation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SortScratch {
+    indegree: Vec<u32>,
+    ready_stores: BinaryHeap<Reverse<u32>>,
+    ready_others: BinaryHeap<Reverse<u32>>,
+    /// The produced topological order (valid after a successful sort).
+    pub(crate) order: Vec<u32>,
+}
+
+/// Performs a complete Kahn sort of static + observed edges into
+/// `scratch.order`.
+///
+/// Returns the vertices Kahn could not place on failure (every one lies on
+/// or leads into a cycle — pass them to [`extract_cycle`]). `work` is
+/// incremented by the vertices visited and edges traversed.
+pub(crate) fn full_sort_into<A: ObsAdj>(
+    spec: &TestGraphSpec,
+    obs: &A,
+    work: &mut u64,
+    scratch: &mut SortScratch,
+) -> Result<(), Vec<u32>> {
+    let n = spec.num_vertices();
+    let indegree = &mut scratch.indegree;
+    indegree.clear();
+    indegree.extend_from_slice(spec.static_indegree());
+    obs.bump_indegrees(indegree);
     // Store-first tie-break, then lowest vertex id: two min-heaps.
-    let mut ready_stores = BinaryHeap::new();
-    let mut ready_others = BinaryHeap::new();
+    let ready_stores = &mut scratch.ready_stores;
+    let ready_others = &mut scratch.ready_others;
+    ready_stores.clear();
+    ready_others.clear();
     for v in 0..n as u32 {
         if indegree[v as usize] == 0 {
             if spec.is_store(v) {
@@ -99,7 +139,9 @@ pub(crate) fn full_sort(
             }
         }
     }
-    let mut order = Vec::with_capacity(n);
+    let order = &mut scratch.order;
+    order.clear();
+    order.reserve(n);
     while let Some(Reverse(v)) = ready_stores.pop().or_else(|| ready_others.pop()) {
         order.push(v);
         *work += 1;
@@ -117,73 +159,76 @@ pub(crate) fn full_sort(
         for &w in spec.static_successors(v) {
             relax(w);
         }
-        for w in obs.successors(v) {
-            relax(w);
-        }
+        obs.for_successors(v, relax);
     }
     if order.len() == n {
-        Ok(order)
+        Ok(())
     } else {
-        let remaining: Vec<u32> = (0..n as u32)
+        Err((0..n as u32)
             .filter(|&v| indegree[v as usize] > 0)
-            .collect();
-        Err(extract_cycle(spec, obs, &remaining))
+            .collect())
     }
 }
 
 /// Finds one cycle within `remaining` (vertices that Kahn could not place;
 /// every such vertex lies on or leads into a cycle).
-pub(crate) fn extract_cycle(
+///
+/// This is the cold path — it only runs on violating graphs — but its DFS
+/// order is pinned by the golden vectors: vertices start in `remaining`
+/// order and children are visited static-successors-first, ascending.
+pub(crate) fn extract_cycle<A: ObsAdj>(
     spec: &TestGraphSpec,
-    obs: &ObservedEdges,
+    obs: &A,
     remaining: &[u32],
 ) -> Vec<u32> {
     debug_assert!(!remaining.is_empty());
-    use std::collections::{HashMap, HashSet};
-    let in_remaining: HashSet<u32> = remaining.iter().copied().collect();
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = spec.num_vertices();
+    let mut in_remaining = vec![false; n];
+    for &v in remaining {
+        in_remaining[v as usize] = true;
+    }
+    let mut colour = vec![WHITE; n];
     let succs = |v: u32| -> Vec<u32> {
-        spec.static_successors(v)
-            .iter()
-            .copied()
-            .chain(obs.successors(v))
-            .filter(|w| in_remaining.contains(w))
-            .collect()
+        let mut out = spec.static_successors(v).to_vec();
+        obs.for_successors(v, |w| out.push(w));
+        out.retain(|&w| in_remaining[w as usize]);
+        out
     };
     // Iterative three-colour DFS: a back edge to a grey vertex closes the
     // cycle. The unplaced subgraph always contains one.
-    const GREY: u8 = 1;
-    const BLACK: u8 = 2;
-    let mut colour: HashMap<u32, u8> = HashMap::new();
     for &start in remaining {
-        if colour.contains_key(&start) {
+        if colour[start as usize] != WHITE {
             continue;
         }
         let mut stack: Vec<(u32, Vec<u32>, usize)> = vec![(start, succs(start), 0)];
-        colour.insert(start, GREY);
+        colour[start as usize] = GREY;
         let mut path = vec![start];
         while let Some((_, children, next)) = stack.last_mut() {
             if *next >= children.len() {
                 let (v, _, _) = stack.pop().expect("stack is non-empty");
-                colour.insert(v, BLACK);
+                colour[v as usize] = BLACK;
                 path.pop();
                 continue;
             }
             let w = children[*next];
             *next += 1;
-            match colour.get(&w) {
-                Some(&GREY) => {
+            match colour[w as usize] {
+                GREY => {
                     let at = path
                         .iter()
                         .position(|&u| u == w)
                         .expect("grey vertices are on the path");
                     return path[at..].to_vec();
                 }
-                Some(_) => {}
-                None => {
-                    colour.insert(w, GREY);
+                WHITE => {
+                    colour[w as usize] = GREY;
                     path.push(w);
                     stack.push((w, succs(w), 0));
                 }
+                _ => {}
             }
         }
     }
@@ -201,11 +246,13 @@ pub(crate) fn violation_from_cycle(spec: &TestGraphSpec, cycle: Vec<u32>) -> Vio
 /// checking is measured against (Figure 9).
 pub fn check_conventional(spec: &TestGraphSpec, observations: &[ObservedEdges]) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
+    let mut scratch = SortScratch::default();
     for obs in observations {
-        let result = match full_sort(spec, obs, &mut outcome.stats.work) {
-            Ok(_) => Ok(()),
-            Err(cycle) => {
+        let result = match full_sort_into(spec, obs, &mut outcome.stats.work, &mut scratch) {
+            Ok(()) => Ok(()),
+            Err(remaining) => {
                 outcome.stats.violations += 1;
+                let cycle = extract_cycle(spec, obs, &remaining);
                 Err(violation_from_cycle(spec, cycle))
             }
         };
@@ -269,7 +316,9 @@ mod tests {
         // first (the tsort-like behaviour §8 relies on).
         let o = obs(&t.program, &spec, &[(0, 1, 2), (1, 1, 1)]);
         let mut work = 0;
-        let order = full_sort(&spec, &o, &mut work).unwrap();
+        let mut scratch = SortScratch::default();
+        full_sort_into(&spec, &o, &mut work, &mut scratch).unwrap();
+        let order = &scratch.order;
         assert!(spec.is_store(order[0]));
         assert!(spec.is_store(order[1]));
     }

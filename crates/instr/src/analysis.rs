@@ -112,25 +112,40 @@ impl CandidateAnalysis {
 /// Every load receives at least one candidate (its own-thread value), so the
 /// result is total over the program's loads.
 pub fn analyze(program: &Program, pruning: &SourcePruning) -> CandidateAnalysis {
-    let mut per_load = BTreeMap::new();
-    for load in program.loads() {
-        let addr = program
-            .instr(load)
-            .and_then(mtc_isa::Instr::addr)
-            .expect("loads always carry an address");
-        let mut candidates = Vec::new();
-        // Own-thread candidate: latest earlier same-address store, else the
-        // initial value. Per-location coherence makes older own values
-        // unobservable.
-        match program.last_own_store_before(load) {
-            Some((_, id)) => candidates.push(Value::from(id)),
-            None => candidates.push(Value::INIT),
+    // One pass over the program builds per-address store lists (already in
+    // the canonical `(thread, program-order)` order `iter_ops` walks) and
+    // each load's own-thread candidate — the latest earlier same-address
+    // store, tracked as the walk passes it, else the initial value
+    // (per-location coherence makes older own values unobservable). This
+    // replaces a per-load rescan of the whole program with work
+    // proportional to the program plus the candidates produced.
+    let num_addrs = program.num_addrs() as usize;
+    let mut stores_by_addr: Vec<Vec<(OpId, Value)>> = vec![Vec::new(); num_addrs];
+    let mut loads: Vec<(OpId, mtc_isa::Addr, Value)> = Vec::new();
+    let mut last_own: Vec<Option<Value>> = vec![None; num_addrs];
+    let mut current_tid = None;
+    for (op, instr) in program.iter_ops() {
+        if current_tid != Some(op.tid) {
+            current_tid = Some(op.tid);
+            last_own.iter_mut().for_each(|slot| *slot = None);
         }
+        if let mtc_isa::Instr::Store { addr, value } = *instr {
+            stores_by_addr[addr.0 as usize].push((op, Value::from(value)));
+            last_own[addr.0 as usize] = Some(Value::from(value));
+        } else if instr.is_load() {
+            let addr = instr.addr().expect("loads always carry an address");
+            let own = last_own[addr.0 as usize].unwrap_or(Value::INIT);
+            loads.push((op, addr, own));
+        }
+    }
+    let mut per_load = BTreeMap::new();
+    for (load, addr, own) in loads {
+        let mut candidates = vec![own];
         // Every other thread's stores to the same address, in canonical
         // order.
-        for (op, id) in program.stores_to(addr) {
+        for &(op, value) in &stores_by_addr[addr.0 as usize] {
             if op.tid != load.tid && pruning.admits(load.idx, op.idx) {
-                candidates.push(Value::from(id));
+                candidates.push(value);
             }
         }
         per_load.insert(load, candidates);

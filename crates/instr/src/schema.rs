@@ -59,6 +59,47 @@ pub struct ThreadSchema {
 pub struct SignatureSchema {
     threads: Vec<ThreadSchema>,
     register_bits: u32,
+    /// Global load-slot range of every signature word: word `k`'s slots are
+    /// `word_load_start[k]..word_load_start[k + 1]` in thread-major slot
+    /// order. Derived from `threads` at build time (absent after
+    /// deserialization; [`decode_indices_delta`](Self::decode_indices_delta)
+    /// falls back to scanning `loads` when empty).
+    #[serde(skip)]
+    word_load_start: Vec<u32>,
+    /// Per-slot `ceil(2^64 / multiplier)` reciprocals (0 for multiplier 1),
+    /// thread-major, populated only when `register_bits <= 32`: with
+    /// remainders below 2^32 the shifted 128-bit product reproduces the
+    /// quotient exactly, replacing the serial division chain with pipelined
+    /// multiplies. Empty (division fallback) otherwise and after
+    /// deserialization.
+    #[serde(skip)]
+    slot_magic: Vec<u64>,
+}
+
+/// Peels one load's candidate index off `rem` — `(q, rem) = (rem / mult,
+/// rem % mult)` — using the precomputed reciprocal when available.
+#[inline(always)]
+fn decode_slot(rem: &mut u64, mult: u64, magic: u64) -> u64 {
+    if magic != 0 {
+        // Exact for rem < 2^32: the rounded-up reciprocal's error term
+        // stays below 1/mult (Granlund & Montgomery). Corrupt words can
+        // exceed 2^32; there the estimate only overshoots — the word's top
+        // slot still trips the caller's out-of-range flag (its true index
+        // already exceeds the cardinality) and the error is re-derived by
+        // the exact cold path, so wrapping garbage in `rem` is never
+        // observed.
+        let q = ((u128::from(*rem) * u128::from(magic)) >> 64) as u64;
+        *rem = rem.wrapping_sub(q.wrapping_mul(mult));
+        q
+    } else if mult == 1 {
+        let q = *rem;
+        *rem = 0;
+        q
+    } else {
+        let q = *rem / mult;
+        *rem %= mult;
+        q
+    }
 }
 
 /// Error raised while encoding an observation — the runtime equivalent is
@@ -210,9 +251,37 @@ impl SignatureSchema {
                 num_words: word + 1,
             });
         }
+        let mut word_load_start = Vec::new();
+        let mut load_base = 0u32;
+        for thread in &threads {
+            let mut i = 0u32;
+            for w in 0..thread.num_words {
+                word_load_start.push(load_base + i);
+                while (i as usize) < thread.loads.len() && thread.loads[i as usize].word == w {
+                    i += 1;
+                }
+            }
+            load_base += thread.loads.len() as u32;
+        }
+        word_load_start.push(load_base);
+        let mut slot_magic = Vec::new();
+        if register_bits <= 32 {
+            for thread in &threads {
+                for slot in &thread.loads {
+                    slot_magic.push(if slot.multiplier == 1 {
+                        0
+                    } else {
+                        let d = u128::from(slot.multiplier);
+                        (1u128 << 64).div_ceil(d) as u64
+                    });
+                }
+            }
+        }
         SignatureSchema {
             threads,
             register_bits,
+            word_load_start,
+            slot_magic,
         }
     }
 
@@ -267,6 +336,11 @@ impl SignatureSchema {
         Ok(ExecutionSignature { words })
     }
 
+    /// Total number of load slots across all threads.
+    pub fn total_loads(&self) -> usize {
+        self.threads.iter().map(|t| t.loads.len()).sum()
+    }
+
     /// Decodes an execution signature back into the reads-from outcome it
     /// encodes (Algorithm 1: walk loads last-to-first, divide by the
     /// multiplier, keep the remainder).
@@ -276,13 +350,181 @@ impl SignatureSchema {
     /// Returns [`DecodeError`] when the signature could not have been
     /// produced under this schema.
     pub fn decode(&self, signature: &ExecutionSignature) -> Result<ReadsFrom, DecodeError> {
+        let mut indices = Vec::with_capacity(self.total_loads());
+        self.decode_indices(signature, &mut indices)?;
+        let mut observed = ReadsFrom::new();
+        let mut pos = 0usize;
+        for thread in &self.threads {
+            for slot in &thread.loads {
+                observed.record(slot.op, slot.candidates[indices[pos] as usize]);
+                pos += 1;
+            }
+        }
+        Ok(observed)
+    }
+
+    /// Decodes the candidate *index* of every load into `out`, in
+    /// thread-major program order (the order [`threads`](Self::threads)
+    /// lists slots). This is the checking hot path: the branch-free inner
+    /// loop OR-accumulates an out-of-range flag and the residual bits
+    /// instead of testing per load, and only falls back to the branchy
+    /// walk (to recover the exact first error, in the order the original
+    /// per-load checks would report it) when the flags trip.
+    ///
+    /// `out` is cleared first; reusing one buffer across calls makes
+    /// steady-state decoding allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`DecodeError`] values as [`decode`](Self::decode).
+    pub fn decode_indices(
+        &self,
+        signature: &ExecutionSignature,
+        out: &mut Vec<u32>,
+    ) -> Result<(), DecodeError> {
         if signature.words.len() != self.total_words() {
             return Err(DecodeError::WrongLength {
                 expected: self.total_words(),
                 found: signature.words.len(),
             });
         }
-        let mut observed = ReadsFrom::new();
+        out.clear();
+        out.resize(self.total_loads(), 0);
+        let mut oob = 0u64;
+        let mut residual = 0u64;
+        let mut word_base = 0usize;
+        let mut load_base = 0usize;
+        for thread in &self.threads {
+            // Loads are in program order and `word` is monotone, so each
+            // word's slots form a contiguous run; consuming words last to
+            // first and slots last to first within each word visits loads
+            // in exactly Algorithm 1's reverse order.
+            let mut i = thread.loads.len();
+            for w in (0..thread.num_words).rev() {
+                let mut rem = signature.words[word_base + w];
+                while i > 0 && thread.loads[i - 1].word == w {
+                    i -= 1;
+                    let slot = &thread.loads[i];
+                    let at = load_base + i;
+                    let magic = self.slot_magic.get(at).copied().unwrap_or(0);
+                    let index = decode_slot(&mut rem, slot.multiplier, magic);
+                    oob |= u64::from(index >= slot.candidates.len() as u64);
+                    out[at] = index as u32;
+                }
+                residual |= rem;
+            }
+            word_base += thread.num_words;
+            load_base += thread.loads.len();
+        }
+        if oob | residual != 0 {
+            return Err(self.exact_decode_error(signature));
+        }
+        Ok(())
+    }
+
+    /// Like [`decode_indices`](Self::decode_indices), but decodes
+    /// `signature` *against* `prev`, assuming `out` already holds `prev`'s
+    /// decoded indices. Raw signature words equal to `prev`'s are skipped
+    /// outright — their slots cannot have changed and their validity was
+    /// established when `prev` decoded — so the cost is proportional to the
+    /// words that differ, which for ascending-sorted neighbours is a small
+    /// fraction of the signature. Every slot whose index changed is
+    /// appended to `changed` as a `(slot, previous_index)` pair (the new
+    /// index is in `out[slot]`), letting callers patch downstream state
+    /// incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`DecodeError`] values as
+    /// [`decode_indices`](Self::decode_indices). On error `out` may hold a
+    /// mix of old and new indices; callers must re-seed with a full decode
+    /// before the next delta call.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `prev` has the schema's word count and that `out`
+    /// holds exactly [`total_loads`](Self::total_loads) entries — i.e. that
+    /// `prev` actually decoded cleanly into `out` beforehand.
+    pub fn decode_indices_delta(
+        &self,
+        signature: &ExecutionSignature,
+        prev: &ExecutionSignature,
+        out: &mut [u32],
+        changed: &mut Vec<(u32, u32)>,
+    ) -> Result<(), DecodeError> {
+        if signature.words.len() != self.total_words() {
+            return Err(DecodeError::WrongLength {
+                expected: self.total_words(),
+                found: signature.words.len(),
+            });
+        }
+        debug_assert_eq!(prev.words.len(), self.total_words());
+        debug_assert_eq!(out.len(), self.total_loads());
+        changed.clear();
+        let mut oob = 0u64;
+        let mut residual = 0u64;
+        let mut word_base = 0usize;
+        let mut load_base = 0usize;
+        let ranges = &self.word_load_start;
+        let have_ranges = ranges.len() == self.total_words() + 1;
+        for thread in &self.threads {
+            let mut i = thread.loads.len();
+            for w in (0..thread.num_words).rev() {
+                let gw = word_base + w;
+                let word = signature.words[gw];
+                if word == prev.words[gw] {
+                    // Unchanged word: identical slots, already validated.
+                    // Nothing to touch when the range table is present; the
+                    // fallback walks the slots to keep its cursor aligned.
+                    if !have_ranges {
+                        while i > 0 && thread.loads[i - 1].word == w {
+                            i -= 1;
+                        }
+                    }
+                    continue;
+                }
+                let mut rem = word;
+                if have_ranges {
+                    for at in (ranges[gw] as usize..ranges[gw + 1] as usize).rev() {
+                        let slot = &thread.loads[at - load_base];
+                        let magic = self.slot_magic.get(at).copied().unwrap_or(0);
+                        let index = decode_slot(&mut rem, slot.multiplier, magic);
+                        oob |= u64::from(index >= slot.candidates.len() as u64);
+                        if out[at] != index as u32 {
+                            changed.push((at as u32, out[at]));
+                            out[at] = index as u32;
+                        }
+                    }
+                } else {
+                    while i > 0 && thread.loads[i - 1].word == w {
+                        i -= 1;
+                        let slot = &thread.loads[i];
+                        let at = load_base + i;
+                        let magic = self.slot_magic.get(at).copied().unwrap_or(0);
+                        let index = decode_slot(&mut rem, slot.multiplier, magic);
+                        oob |= u64::from(index >= slot.candidates.len() as u64);
+                        if out[at] != index as u32 {
+                            changed.push((at as u32, out[at]));
+                            out[at] = index as u32;
+                        }
+                    }
+                }
+                residual |= rem;
+            }
+            word_base += thread.num_words;
+            load_base += thread.loads.len();
+        }
+        if oob | residual != 0 {
+            return Err(self.exact_decode_error(signature));
+        }
+        Ok(())
+    }
+
+    /// Cold path behind [`decode_indices`](Self::decode_indices): re-runs
+    /// the original branchy Algorithm-1 walk to find the first error in
+    /// per-load check order.
+    #[cold]
+    fn exact_decode_error(&self, signature: &ExecutionSignature) -> DecodeError {
         let mut base = 0usize;
         for thread in &self.threads {
             let mut words = signature.words[base..base + thread.num_words].to_vec();
@@ -291,24 +533,23 @@ impl SignatureSchema {
                 let index = *word / slot.multiplier;
                 *word %= slot.multiplier;
                 if index >= slot.candidates.len() as u64 {
-                    return Err(DecodeError::IndexOutOfRange {
+                    return DecodeError::IndexOutOfRange {
                         load: slot.op,
                         index,
-                    });
+                    };
                 }
-                observed.record(slot.op, slot.candidates[index as usize]);
             }
             for (w, &word) in words.iter().enumerate() {
                 if word != 0 {
-                    return Err(DecodeError::ResidualBits {
+                    return DecodeError::ResidualBits {
                         tid: thread.tid,
                         word: w,
-                    });
+                    };
                 }
             }
             base += thread.num_words;
         }
-        Ok(observed)
+        unreachable!("exact_decode_error is only called after a flag tripped")
     }
 }
 
@@ -532,6 +773,178 @@ mod tests {
     }
 
     #[test]
+    fn decode_indices_matches_decode_on_valid_and_corrupt_words() {
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        let mut indices = Vec::new();
+        // Valid signature: indices in slot order equal what decode records.
+        let mut rf = ReadsFrom::new();
+        rf.record(OpId::new(Tid(0), 1), Value(1));
+        rf.record(OpId::new(Tid(0), 2), Value(5));
+        rf.record(OpId::new(Tid(1), 2), Value(2));
+        let sig = s.encode(&rf).unwrap();
+        s.decode_indices(&sig, &mut indices).unwrap();
+        let mut pos = 0;
+        for thread in s.threads() {
+            for slot in &thread.loads {
+                assert_eq!(
+                    slot.candidates[indices[pos] as usize],
+                    rf.value_of(slot.op).unwrap()
+                );
+                pos += 1;
+            }
+        }
+        // Errors are byte-identical to the branchy path's.
+        for words in [
+            vec![0u64],
+            vec![600, 0, 0],
+            vec![0, 0, 7],
+            vec![u64::MAX; 3],
+        ] {
+            let sig = ExecutionSignature::from_words(words);
+            assert_eq!(
+                s.decode_indices(&sig, &mut indices).unwrap_err(),
+                s.decode(&sig).unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_indices_delta_matches_full_decode() {
+        // 64-bit words use the division path, 8-bit words split across
+        // words and use the reciprocal (magic) path.
+        for bits in [64, 8] {
+            decode_delta_agrees_at_width(bits);
+        }
+    }
+
+    fn decode_delta_agrees_at_width(bits: u32) {
+        let p = figure3_program();
+        let s = schema_for(&p, bits);
+        // Enumerate every valid signature by walking the index space.
+        let slots: Vec<_> = s.threads().iter().flat_map(|t| t.loads.iter()).collect();
+        let mut sigs = Vec::new();
+        let mut assignment = vec![0usize; slots.len()];
+        loop {
+            let mut rf = ReadsFrom::new();
+            for (slot, &idx) in slots.iter().zip(&assignment) {
+                rf.record(slot.op, slot.candidates[idx]);
+            }
+            sigs.push(s.encode(&rf).unwrap());
+            let mut pos = 0;
+            loop {
+                if pos == slots.len() {
+                    break;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < slots[pos].cardinality() {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+            if pos == slots.len() {
+                break;
+            }
+        }
+        // Every ordered pair: delta-decoding b on top of a's indices must
+        // equal a fresh decode of b, and `changed` must list exactly the
+        // differing slots with their pre-update indices.
+        let mut fresh = Vec::new();
+        let mut delta = Vec::new();
+        let mut changed = Vec::new();
+        for a in &sigs {
+            for b in &sigs {
+                s.decode_indices(a, &mut delta).unwrap();
+                let before = delta.clone();
+                s.decode_indices(b, &mut fresh).unwrap();
+                s.decode_indices_delta(b, a, &mut delta, &mut changed)
+                    .unwrap();
+                assert_eq!(delta, fresh);
+                let mut expect: Vec<(u32, u32)> = before
+                    .iter()
+                    .zip(&fresh)
+                    .enumerate()
+                    .filter(|(_, (o, n))| o != n)
+                    .map(|(i, (&o, _))| (i as u32, o))
+                    .collect();
+                let mut got = changed.clone();
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, expect);
+            }
+        }
+        // The scan fallback (deserialized schemas carry no range table)
+        // decodes identically.
+        let mut bare = s.clone();
+        bare.word_load_start.clear();
+        for a in &sigs {
+            for b in &sigs {
+                s.decode_indices(a, &mut delta).unwrap();
+                s.decode_indices(b, &mut fresh).unwrap();
+                bare.decode_indices_delta(b, a, &mut delta, &mut changed)
+                    .unwrap();
+                assert_eq!(delta, fresh);
+            }
+        }
+        // Corrupt signatures report the same error as the full path.
+        let good = &sigs[0];
+        let mut indices = Vec::new();
+        s.decode_indices(good, &mut indices).unwrap();
+        for words in [vec![600, 0, 0], vec![0, 0, 7], vec![u64::MAX; 3]] {
+            let bad = ExecutionSignature::from_words(words);
+            s.decode_indices(good, &mut indices).unwrap();
+            assert_eq!(
+                s.decode_indices_delta(&bad, good, &mut indices, &mut changed)
+                    .unwrap_err(),
+                s.decode(&bad).unwrap_err()
+            );
+        }
+        let short = ExecutionSignature::from_words(vec![0]);
+        s.decode_indices(good, &mut indices).unwrap();
+        assert_eq!(
+            s.decode_indices_delta(&short, good, &mut indices, &mut changed)
+                .unwrap_err(),
+            s.decode(&short).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn decode_indices_saturated_words_hit_every_boundary() {
+        // The largest valid signature (every load at its top candidate
+        // index) decodes cleanly; one more trips IndexOutOfRange on the
+        // *last* load of the word — the first one Algorithm 1 visits.
+        let p = figure3_program();
+        let s = schema_for(&p, 64);
+        let mut top_words = vec![0u64; s.total_words()];
+        let mut base = 0;
+        for (t, thread) in s.threads().iter().enumerate() {
+            let _ = t;
+            for slot in &thread.loads {
+                top_words[base + slot.word] += (slot.cardinality() as u64 - 1) * slot.multiplier;
+            }
+            base += thread.num_words;
+        }
+        let top = ExecutionSignature::from_words(top_words.clone());
+        let mut indices = Vec::new();
+        s.decode_indices(&top, &mut indices).unwrap();
+        for (i, &idx) in indices.iter().enumerate() {
+            let slot = s
+                .threads()
+                .iter()
+                .flat_map(|t| t.loads.iter())
+                .nth(i)
+                .unwrap();
+            assert_eq!(idx as usize, slot.cardinality() - 1, "slot {i}");
+        }
+        top_words[0] += 1;
+        let over = ExecutionSignature::from_words(top_words);
+        let err = s.decode_indices(&over, &mut indices).unwrap_err();
+        assert_eq!(err, s.decode(&over).unwrap_err());
+        assert!(matches!(err, DecodeError::IndexOutOfRange { .. }));
+    }
+
+    #[test]
     fn signature_bytes_accounts_for_register_width() {
         let p = figure3_program();
         assert_eq!(schema_for(&p, 64).signature_bytes(), 3 * 8);
@@ -595,10 +1008,17 @@ mod tests {
             let p = generate(&TestConfig::new(IsaKind::Arm, 2, 12, 4).with_seed(seed));
             let schema = SignatureSchema::build(&p, &analyze(&p, &SourcePruning::none()), 32);
             let sig = ExecutionSignature::from_words(words);
-            if let Ok(rf) = schema.decode(&sig) {
-                // A lucky valid decode must re-encode to the same
-                // signature (bijectivity on the valid subset).
-                prop_assert_eq!(schema.encode(&rf).expect("decoded rf is valid"), sig);
+            let mut indices = Vec::new();
+            let fast = schema.decode_indices(&sig, &mut indices);
+            match schema.decode(&sig) {
+                Ok(rf) => {
+                    prop_assert_eq!(&fast, &Ok(()));
+                    // A lucky valid decode must re-encode to the same
+                    // signature (bijectivity on the valid subset).
+                    prop_assert_eq!(schema.encode(&rf).expect("decoded rf is valid"), sig);
+                }
+                // The branch-free path reports the identical error.
+                Err(e) => prop_assert_eq!(fast.unwrap_err(), e),
             }
         }
 

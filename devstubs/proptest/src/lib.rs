@@ -218,12 +218,35 @@ pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
+/// Number of cases a property actually runs: the `PROPTEST_CASES`
+/// environment variable wins outright (CI uses it to crank differential
+/// suites to 1024 cases); otherwise the requested count is capped at 4 so
+/// the default `cargo test` stays a fast smoke pass.
+pub fn resolved_cases(requested: u32) -> u64 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(4),
+        Err(_) => u64::from(requested.min(4)),
+    }
+}
+
 /// Stub `proptest!` macro: runs each property over a few deterministic
 /// samples.
 #[macro_export]
 macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
     (
-        $(#![proptest_config($cfg:expr)])?
+        ($cfg:expr)
         $(
             $(#[$meta:meta])*
             fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
@@ -233,7 +256,7 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut sampler = $crate::StubRng::new(0x5EED_0000 ^ 0u64);
-                for case in 0..4u64 {
+                for case in 0..$crate::resolved_cases(($cfg).cases) {
                     $(let $arg = $crate::Strategy::sample(&($strat), &mut sampler);)*
                     let outcome: ::core::result::Result<(), ::std::string::String> =
                         (|| { $body ::core::result::Result::Ok(()) })();

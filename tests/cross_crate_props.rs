@@ -260,6 +260,49 @@ proptest! {
     }
 }
 
+/// Pinned regression: a proptest-shrunk case where an x86 program with
+/// fences once produced a commit trace with a backward constraint edge
+/// (a store buffer drain was recorded behind an already-committed load it
+/// ordered). Folded in from `cross_crate_props.proptest-regressions` so
+/// the case runs by name on every `cargo test`, not only under proptest's
+/// seed-replay machinery.
+#[test]
+fn commit_order_witness_regression_x86_fenced_shrink() {
+    let test = TestConfig::new(IsaKind::X86, 3, 18, 2)
+        .with_seed(61302183897408593)
+        .with_fence_fraction(0.1682557769700789);
+    let program = generate(&test);
+    let spec = TestGraphSpec::new(&program, test.mcm);
+    let mut sim = Simulator::new(&program, system_for(IsaKind::X86));
+    sim.set_trace(true);
+    for run_seed in 0..25u64 {
+        let exec = sim.run(run_seed).expect("no crash");
+        let mut pos = vec![0usize; spec.num_vertices()];
+        for (at, &op) in exec.trace.iter().enumerate() {
+            pos[spec.vertex(op) as usize] = at;
+        }
+        let obs = spec.observe(&program, &exec.reads_from, &CheckOptions::default());
+        for v in 0..spec.num_vertices() as u32 {
+            for &w in spec.static_successors(v) {
+                assert!(
+                    pos[v as usize] < pos[w as usize],
+                    "static edge {} -> {} backward in commit order",
+                    spec.op(v),
+                    spec.op(w)
+                );
+            }
+        }
+        for &(u, v) in obs.edges() {
+            assert!(
+                pos[u as usize] < pos[v as usize],
+                "observed edge {} -> {} backward in commit order",
+                spec.op(u),
+                spec.op(v)
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
