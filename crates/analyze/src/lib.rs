@@ -18,7 +18,11 @@
 //! 5. **schema soundness cross-check** — for small programs, every
 //!    encodable signature is decoded back (Algorithm 1) and classified
 //!    feasible/infeasible against the axiomatic MCM via constraint-graph
-//!    cycle checking, yielding the §8 invalid-interleaving fraction.
+//!    cycle checking, yielding the §8 invalid-interleaving fraction;
+//! 6. **certificate budget** — the worst-case verdict-certificate size
+//!    (topological witness or longest cycle) and observed-edge count are
+//!    bounded statically and checked against the `u32` interning headroom
+//!    of the checker's flat CSR layout.
 //!
 //! Findings carry a three-level [`Severity`]; [`LintPolicy`] lets a
 //! campaign report, filter, or regenerate degenerate tests.
@@ -158,9 +162,14 @@ pub fn lint_program(program: &Program, options: &LintOptions) -> LintReport {
     let schema = SignatureSchema::build(program, &analysis, options.isa.register_bits());
     let mut findings = passes::entropy(&analysis);
     findings.extend(passes::dead_stores(program, &analysis));
-    let (capacity, capacity_findings) = passes::capacity(program, &schema, options);
+    let (mut capacity, capacity_findings) = passes::capacity(program, &schema, options);
     findings.extend(capacity_findings);
     findings.extend(passes::memory_footprint(&capacity, options));
+    let (cert_bytes, edge_bound, cert_findings) =
+        passes::certificate_budget_default(program, &analysis);
+    capacity.certificate_bytes_bound = cert_bytes;
+    capacity.interned_edge_bound = edge_bound;
+    findings.extend(cert_findings);
     findings.extend(passes::fences(program, options.mcm));
     let (feasibility, soundness_findings) =
         feasibility::cross_check(program, &analysis, &schema, options);
@@ -415,6 +424,12 @@ mod tests {
                 // fence_fraction is 0 in every paper config: no fence lints.
                 assert_eq!(report.count(LintKind::TrailingFence), 0);
                 assert_eq!(report.count(LintKind::RedundantFence), 0);
+                // Paper-scale programs sit far below the u32 interning
+                // headroom; the certificate-budget pass must stay silent
+                // while still reporting its bounds.
+                assert_eq!(report.count(LintKind::CertificateBudget), 0);
+                assert!(report.capacity.certificate_bytes_bound > 0);
+                assert!(report.capacity.interned_edge_bound > 0);
             }
         }
     }
@@ -458,6 +473,8 @@ mod tests {
             "\"max_severity\":null",
             "\"findings\":[]",
             "\"register_bits\":32",
+            "\"certificate_bytes_bound\":27",
+            "\"interned_edge_bound\":",
             "\"per_thread\":",
             "\"feasibility\":{",
             "\"invalid_fraction\":0.25",

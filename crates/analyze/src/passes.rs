@@ -124,6 +124,9 @@ pub(crate) fn capacity(
             signature_bytes: schema.signature_bytes(),
             word_spills,
             per_thread,
+            // Filled in by the certificate-budget pass after this one.
+            certificate_bytes_bound: 0,
+            interned_edge_bound: 0,
             code,
         },
         findings,
@@ -167,6 +170,78 @@ pub(crate) fn memory_footprint(
              run with a spill directory so deduplication can page to disk"
         ),
     )]
+}
+
+/// Bytes of the verdict-certificate codec header (magic, version, kind,
+/// payload length) — kept in sync with `mtc-graph`'s `Certificate` format.
+const CERT_HEADER_BYTES: u64 = 11;
+
+/// Id budget of the checker's flat CSR layout: vertices, CSR edge offsets
+/// and interned observed-edge ids are all `u32`.
+const INTERN_HEADROOM: u64 = u32::MAX as u64;
+
+/// Pass 3c: worst-case certificate size and u32 interning headroom.
+///
+/// A PASS certificate carries a full topological witness — one `u32` per
+/// graph vertex — and a FAIL certificate a cycle that visits each vertex at
+/// most once, so the witness bounds both. The observed-edge bound comes
+/// from the candidate analysis: every (load, candidate) pair can intern at
+/// most one reads-from and one from-read edge, and same-address stores at
+/// most one write-serialization pair each. Both bounds must fit the `u32`
+/// ids the checker interns vertices and edges into; a config that cannot is
+/// flagged before a single iteration runs.
+pub(crate) fn certificate_budget(
+    program: &Program,
+    analysis: &CandidateAnalysis,
+    headroom: u64,
+) -> (u64, u64, Vec<Finding>) {
+    let vertices: u64 = program.threads().iter().map(|c| c.len() as u64).sum();
+    let cert_bytes = CERT_HEADER_BYTES + 4 * vertices;
+    let rf_fr: u64 = analysis
+        .iter()
+        .map(|(_, cands)| 2 * cands.len() as u64)
+        .sum();
+    let mut stores_per_addr: std::collections::BTreeMap<mtc_isa::Addr, u64> = Default::default();
+    for code in program.threads() {
+        for instr in code {
+            if let Instr::Store { addr, .. } = *instr {
+                *stores_per_addr.entry(addr).or_insert(0) += 1;
+            }
+        }
+    }
+    let ws: u64 = stores_per_addr.values().map(|&n| n * (n - 1) / 2).sum();
+    let edge_bound = rf_fr + ws;
+    let mut findings = Vec::new();
+    if vertices > headroom {
+        findings.push(Finding::new(
+            LintKind::CertificateBudget,
+            None,
+            format!(
+                "{vertices} graph vertices exceed the checker's u32 vertex-interning \
+                 headroom ({headroom}); certificates and the CSR layout cannot index them"
+            ),
+        ));
+    }
+    if edge_bound > headroom {
+        findings.push(Finding::new(
+            LintKind::CertificateBudget,
+            None,
+            format!(
+                "worst-case observed-edge set is {edge_bound} pairs, exceeding the \
+                 checker's u32 edge-interning headroom ({headroom}); certificates for \
+                 this config could not be replayed"
+            ),
+        ));
+    }
+    (cert_bytes, edge_bound, findings)
+}
+
+/// [`certificate_budget`] at the real `u32` headroom of the CSR layout.
+pub(crate) fn certificate_budget_default(
+    program: &Program,
+    analysis: &CandidateAnalysis,
+) -> (u64, u64, Vec<Finding>) {
+    certificate_budget(program, analysis, INTERN_HEADROOM)
 }
 
 /// Pass 4: fences that order nothing under the configured MCM.
@@ -281,4 +356,53 @@ fn memory_orders_equal(code: &[Instr], a: &[Vec<bool>], b: &[Vec<bool>]) -> bool
         }
     }
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_instr::{analyze, SourcePruning};
+    use mtc_isa::{Addr, MemoryLayout, ProgramBuilder};
+
+    /// SB shape: 2 threads, each store-then-load to crossed addresses.
+    fn crossed_program() -> Program {
+        let mut b = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        b.thread(0).store(Addr(0)).load(Addr(1));
+        b.thread(1).store(Addr(1)).load(Addr(0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certificate_budget_bounds_are_exact_for_crossed_loads() {
+        let p = crossed_program();
+        let analysis = analyze(&p, &SourcePruning::none());
+        let (cert_bytes, edge_bound, findings) = certificate_budget_default(&p, &analysis);
+        // 4 vertices: header + 4 x u32 payload.
+        assert_eq!(cert_bytes, CERT_HEADER_BYTES + 4 * 4);
+        // Each load has 2 candidates (init + other thread's store) -> 2
+        // rf/fr pairs per candidate; one store per address -> no ws pairs.
+        assert_eq!(edge_bound, 2 * 2 + 2 * 2);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn certificate_budget_warns_past_the_interning_headroom() {
+        let p = crossed_program();
+        let analysis = analyze(&p, &SourcePruning::none());
+        // A headroom below both bounds fires the vertex and edge warnings.
+        let (_, _, findings) = certificate_budget(&p, &analysis, 3);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == LintKind::CertificateBudget));
+        assert!(findings
+            .iter()
+            .all(|f| f.severity == crate::Severity::Warning));
+        assert!(findings[0].message.contains("vertex-interning"));
+        assert!(findings[1].message.contains("edge-interning"));
+        // A headroom between the two bounds fires only the edge warning.
+        let (_, _, findings) = certificate_budget(&p, &analysis, 4);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("edge-interning"));
+    }
 }

@@ -116,11 +116,16 @@ pub enum LintKind {
     /// fit the campaign's memory budget: deduplication would exhaust the
     /// host unless signatures spill to disk.
     MemoryFootprint,
+    /// The worst-case verdict certificate (a full topological witness, or a
+    /// cycle visiting every vertex) or the worst-case interned observed-edge
+    /// set would not fit the u32 ids the checker's flat CSR layout interns
+    /// vertices and edges into.
+    CertificateBudget,
 }
 
 impl LintKind {
     /// Every kind, in pass order.
-    pub const ALL: [LintKind; 9] = [
+    pub const ALL: [LintKind; 10] = [
         LintKind::ZeroEntropyLoad,
         LintKind::DeadStore,
         LintKind::WordSpill,
@@ -130,6 +135,7 @@ impl LintKind {
         LintKind::L1Overflow,
         LintKind::SchemaUnsound,
         LintKind::MemoryFootprint,
+        LintKind::CertificateBudget,
     ];
 
     /// The severity every finding of this kind carries.
@@ -139,7 +145,8 @@ impl LintKind {
             LintKind::DegenerateTest
             | LintKind::TrailingFence
             | LintKind::RedundantFence
-            | LintKind::MemoryFootprint => Severity::Warning,
+            | LintKind::MemoryFootprint
+            | LintKind::CertificateBudget => Severity::Warning,
             LintKind::L1Overflow | LintKind::SchemaUnsound => Severity::Error,
         }
     }
@@ -156,6 +163,7 @@ impl LintKind {
             LintKind::L1Overflow => "l1-overflow",
             LintKind::SchemaUnsound => "schema-unsound",
             LintKind::MemoryFootprint => "memory-footprint",
+            LintKind::CertificateBudget => "certificate-budget",
         }
     }
 }
@@ -226,6 +234,17 @@ pub struct CapacityDiagnostics {
     pub word_spills: usize,
     /// Per-thread radix products and word counts.
     pub per_thread: Vec<ThreadCapacity>,
+    /// Worst-case size in bytes of one verdict certificate for this
+    /// program: the codec header plus one u32 per graph vertex (a PASS
+    /// witness lists every vertex; a FAIL cycle never exceeds it).
+    #[serde(default)]
+    pub certificate_bytes_bound: u64,
+    /// Upper bound on distinct observed edges the collective checker can
+    /// ever intern for this program, from the candidate analysis: reads-from
+    /// and from-read edges per (load, candidate) pair plus same-address
+    /// store-order pairs.
+    #[serde(default)]
+    pub interned_edge_bound: u64,
     /// The [`mtc_instr::CodeSizeModel`] measurement used for the L1 check.
     pub code: CodeSize,
 }
@@ -330,8 +349,14 @@ impl LintReport {
         let c = &self.capacity;
         let _ = write!(
             out,
-            "\"register_bits\":{},\"total_words\":{},\"signature_bytes\":{},\"word_spills\":{}",
-            c.register_bits, c.total_words, c.signature_bytes, c.word_spills
+            "\"register_bits\":{},\"total_words\":{},\"signature_bytes\":{},\"word_spills\":{},\
+             \"certificate_bytes_bound\":{},\"interned_edge_bound\":{}",
+            c.register_bits,
+            c.total_words,
+            c.signature_bytes,
+            c.word_spills,
+            c.certificate_bytes_bound,
+            c.interned_edge_bound
         );
         out.push_str(",\"per_thread\":[");
         for (i, t) in c.per_thread.iter().enumerate() {

@@ -89,6 +89,7 @@ fn usage() -> &'static str {
                    [--retries N] [--retry-backoff-ms MS] [--time-budget-ms MS]\n\
                    [--step-budget N] [--journal FILE] [--resume]\n\
                    [--mem-budget BYTES[k|m|g]] [--spill-dir DIR]\n\
+                   [--certificates FILE] [--verdict-cache FILE]\n\
                    [--trace FILE] [--chrome-trace FILE] [--metrics FILE]\n\
                    [--progress]\n\
                                       --workers N shards each test's iterations over N\n\
@@ -122,6 +123,15 @@ fn usage() -> &'static str {
        mtracecheck collect  (campaign flags) --out DIR\n\
                                       device side only: write signature logs as JSON\n\
        mtracecheck check DIR|FILE...  host side only: check previously collected logs\n\
+       mtracecheck verify JOURNAL [--certs FILE]\n\
+                                      independently re-validate every verdict in a\n\
+                                      campaign journal against its certificate sidecar\n\
+                                      (written by --certificates; default FILE is\n\
+                                      JOURNAL.certs) — an O(edges) static pass sharing\n\
+                                      no graph-search code with the checker;\n\
+                                      --verdict-cache FILE reuses verdicts across\n\
+                                      campaigns (reports stay byte-identical; hit/miss\n\
+                                      counters go to stderr and the journal footer)\n\
        mtracecheck litmus [NAME]      explore litmus outcomes under SC/TSO/Weak\n\
        mtracecheck program FILE [--mcm <sc|tso|weak>] [--iters N] [--enumerate]\n\
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
@@ -263,6 +273,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     if args.has("resume") && !args.has("journal") {
         return Err("--resume requires --journal FILE".to_owned());
     }
+    if let Some(path) = args.get("certificates") {
+        config = config.with_certificates(path);
+    }
+    if let Some(path) = args.get("verdict-cache") {
+        config = config.with_verdict_cache(path);
+    }
     let telemetry = Telemetry::new(TelemetryConfig {
         trace_path: args.get("trace").map(std::path::PathBuf::from),
         chrome_path: args.get("chrome-trace").map(std::path::PathBuf::from),
@@ -296,6 +312,18 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     // Telemetry failures are logged, never promoted to a campaign verdict.
     if let Err(e) = telemetry.finish() {
         logger::warn(format_args!("warning: could not write telemetry: {e}"));
+    }
+    // Cache counters go to stderr, never stdout: cached and cold reports
+    // stay byte-identical on stdout (the CI contract).
+    if args.has("verdict-cache") {
+        let c = report.cache;
+        logger::info(format_args!(
+            "verdict cache: {} hits, {} misses ({:.1}% hit rate), {} test(s) served from memo",
+            c.hits,
+            c.misses,
+            100.0 * c.hit_rate(),
+            c.tests_skipped
+        ));
     }
     println!("{report}");
     if report.failing_tests() > 0 {
@@ -395,6 +423,160 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             paths.len()
         ))
     }
+}
+
+/// Per-test expectations the journal contributes beyond the sidecar
+/// itself: the unique-signature count and which signatures violated.
+struct VerifyExpectation {
+    unique_signatures: usize,
+    failing: std::collections::BTreeSet<Vec<u64>>,
+}
+
+/// Verifies one test's certificate records against an independently
+/// rebuilt graph spec. Shares no graph-search code with the checker: the
+/// signature is decoded to its reads-from observation on the slow path and
+/// each certificate is replayed by `mtc-certify`'s O(edges) static pass.
+fn verify_test_records(
+    test_index: u64,
+    program: &mtracecheck::isa::Program,
+    mcm: Mcm,
+    register_bits: u32,
+    recs: &[&mtracecheck::CertRecord],
+    expect: Option<&VerifyExpectation>,
+) -> Result<u64, String> {
+    let analysis = analyze(program, &SourcePruning::none());
+    let schema = SignatureSchema::build(program, &analysis, register_bits);
+    let spec = TestGraphSpec::new(program, mcm);
+    let schema_hash = schema.stable_hash();
+    if let Some(expect) = expect {
+        if recs.len() != expect.unique_signatures {
+            return Err(format!(
+                "test {test_index}: sidecar has {} certificate(s) for {} unique signatures",
+                recs.len(),
+                expect.unique_signatures
+            ));
+        }
+    }
+    let mut verified = 0u64;
+    for rec in recs {
+        if rec.schema_hash != schema_hash {
+            return Err(format!(
+                "test {test_index}: certificate schema hash {:#018x} != rebuilt schema \
+                 {:#018x} (sidecar from a different campaign, or a lint-gated suite?)",
+                rec.schema_hash, schema_hash
+            ));
+        }
+        let sig = mtracecheck::instr::ExecutionSignature::from_words(rec.words.clone());
+        let rf = schema
+            .decode(&sig)
+            .map_err(|e| format!("test {test_index}: signature {sig}: {e}"))?;
+        let obs = spec.observe(program, &rf, &CheckOptions::default());
+        mtracecheck::certify::verify_verdict(&spec, &obs, &rec.certificate, rec.verdict_failed)
+            .map_err(|e| {
+                format!("test {test_index}: signature {sig}: certificate REJECTED: {e}")
+            })?;
+        if let Some(expect) = expect {
+            if rec.verdict_failed != expect.failing.contains(&rec.words) {
+                return Err(format!(
+                    "test {test_index}: signature {sig}: sidecar verdict ({}) contradicts \
+                     the journal",
+                    if rec.verdict_failed { "FAIL" } else { "PASS" }
+                ));
+            }
+        }
+        verified += 1;
+    }
+    Ok(verified)
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("verify: missing JOURNAL (or sidecar) argument")?;
+    // A journal is JSON lines; a bare sidecar leads with the MTCS magic.
+    // Journal mode cross-checks verdicts against the recorded reports;
+    // sidecar mode rebuilds the suite from the campaign flags instead.
+    let is_sidecar = std::fs::read(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .starts_with(b"MTCS");
+    if is_sidecar {
+        let records = mtracecheck::read_certificates(path).map_err(|e| format!("{path}: {e}"))?;
+        let test = build_test(args)?;
+        let tests = args.num("tests", 10u64)?;
+        let programs = generate_suite(&test, tests);
+        let mut verified = 0u64;
+        let mut tested = 0u64;
+        for (index, program) in programs.iter().enumerate() {
+            let recs: Vec<_> = records
+                .iter()
+                .filter(|r| r.test_index == index as u64)
+                .collect();
+            if recs.is_empty() {
+                continue;
+            }
+            tested += 1;
+            verified += verify_test_records(
+                index as u64,
+                program,
+                test.mcm,
+                test.isa.register_bits(),
+                &recs,
+                None,
+            )?;
+        }
+        if verified == 0 {
+            return Err(format!(
+                "{path}: no certificates matched the suite (wrong campaign flags?)"
+            ));
+        }
+        println!(
+            "RESULT: {verified} certificate(s) independently verified across {tested} test(s)"
+        );
+        return Ok(());
+    }
+    let certs_path = args
+        .get("certs")
+        .map_or_else(|| format!("{path}.certs"), str::to_owned);
+    let journal = mtracecheck::read_journal(path).map_err(|e| format!("{path}: {e}"))?;
+    let records =
+        mtracecheck::read_certificates(&certs_path).map_err(|e| format!("{certs_path}: {e}"))?;
+    // The journal header pins the generation config, so the suite — and
+    // each test's schema and graph spec — is rebuilt independently of the
+    // campaign that wrote the journal.
+    let programs = generate_suite(&journal.header.test, journal.header.tests);
+    let register_bits = journal.header.test.isa.register_bits();
+    let mut verified = 0u64;
+    for report in &journal.tests {
+        let program = programs
+            .get(report.index as usize)
+            .ok_or_else(|| format!("test {}: not in the regenerated suite", report.index))?;
+        let expect = VerifyExpectation {
+            unique_signatures: report.unique_signatures,
+            failing: report
+                .violations
+                .iter()
+                .map(|v| v.signature.words().to_vec())
+                .collect(),
+        };
+        let recs: Vec<_> = records
+            .iter()
+            .filter(|r| r.test_index == report.index)
+            .collect();
+        verified += verify_test_records(
+            report.index,
+            program,
+            journal.header.test.mcm,
+            register_bits,
+            &recs,
+            Some(&expect),
+        )?;
+    }
+    println!(
+        "RESULT: {verified} certificate(s) independently verified across {} test(s)",
+        journal.tests.len()
+    );
+    Ok(())
 }
 
 fn cmd_litmus(args: &Args) -> Result<(), String> {
@@ -548,6 +730,7 @@ fn main() -> ExitCode {
         Some("campaign") => cmd_campaign(&args),
         Some("collect") => cmd_collect(&args),
         Some("check") => cmd_check(&args),
+        Some("verify") => cmd_verify(&args),
         Some("litmus") => cmd_litmus(&args),
         Some("program") => cmd_program(&args),
         Some("render") => cmd_render(&args),

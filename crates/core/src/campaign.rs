@@ -6,6 +6,7 @@
 //! simulated platform, collect and sort the execution signatures, and
 //! collectively check the unique signatures' constraint graphs.
 
+use crate::certs::{CacheSummary, CertificateSink, Fnv64, MemoEntry, VerdictCache};
 use crate::journal::{CampaignJournal, JournalFooter, ReplayEntry};
 use crate::store::{FirstSeen, MemoryBudget, SignatureStore, SpillError, SpillStats};
 #[cfg(feature = "fault-inject")]
@@ -18,8 +19,9 @@ use crate::{CoverageTracker, SignatureLog};
 use mtc_analyze::{lint_program, LintAction, LintPolicy, LintReport};
 use mtc_gen::{generate, generate_suite, TestConfig};
 use mtc_graph::{
-    check_collective_chunked, check_collective_with_boundaries, check_conventional,
-    even_chunk_lengths, CheckError, CheckOptions, CheckStats, CollectiveChecker, CollectiveStats,
+    check_collective_chunked, check_collective_chunked_certified, check_collective_with_boundaries,
+    check_collective_with_boundaries_certified, check_conventional, even_chunk_lengths,
+    Certificate, CheckError, CheckOptions, CheckStats, CollectiveChecker, CollectiveStats,
     TestGraphSpec, Violation,
 };
 use mtc_instr::{
@@ -90,6 +92,19 @@ pub struct CampaignConfig {
     /// [`crate::SignatureStore`]). A host-resource policy, not part of the
     /// campaign's logical identity: journals resume across budget changes.
     pub memory: MemoryBudget,
+    /// Write every checked unique signature's verdict certificate —
+    /// topological-order witness for PASS, cycle for FAIL — to this binary
+    /// sidecar file, for independent re-validation by `mtracecheck verify`
+    /// (see [`crate::read_certificates`]). `None` (the default) keeps the
+    /// checker's witness capture off the artifact path entirely; verdicts
+    /// and reports are identical either way.
+    pub certificates: Option<PathBuf>,
+    /// Cross-campaign verdict cache file: signatures checked by a previous
+    /// run under the same schema and checker context are counted as hits,
+    /// and a test whose whole signature sequence was already checked skips
+    /// its check phase, replaying the memoized stats and violations into a
+    /// byte-identical report. `None` (the default) disables caching.
+    pub verdict_cache: Option<PathBuf>,
     /// Deterministic fault-injection plan for supervisor tests (only with
     /// the `fault-inject` feature; see [`FaultPlan`]).
     #[cfg(feature = "fault-inject")]
@@ -120,6 +135,8 @@ impl CampaignConfig {
             lint: None,
             retry: RetryPolicy::default(),
             memory: MemoryBudget::Unbounded,
+            certificates: None,
+            verdict_cache: None,
             #[cfg(feature = "fault-inject")]
             faults: FaultPlan::default(),
         }
@@ -216,6 +233,20 @@ impl CampaignConfig {
             bytes,
             spill_dir: spill_dir.into(),
         };
+        self
+    }
+
+    /// Returns the configuration writing verdict certificates to a binary
+    /// sidecar file (see [`CampaignConfig::certificates`]).
+    pub fn with_certificates(mut self, path: impl Into<PathBuf>) -> Self {
+        self.certificates = Some(path.into());
+        self
+    }
+
+    /// Returns the configuration reusing (and extending) a cross-campaign
+    /// verdict cache (see [`CampaignConfig::verdict_cache`]).
+    pub fn with_verdict_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.verdict_cache = Some(path.into());
         self
     }
 
@@ -469,6 +500,12 @@ pub struct ConfigReport {
     /// (wall-clock observability; excluded from equality).
     #[serde(skip)]
     pub profile: Option<CampaignProfile>,
+    /// Verdict-cache counters, when the campaign ran with
+    /// [`CampaignConfig::verdict_cache`]. Cache observability only —
+    /// excluded from equality and from the report's display, so a
+    /// cache-served run's report is byte-identical to a cold run's.
+    #[serde(skip)]
+    pub cache: CacheSummary,
 }
 
 /// Equality covers the campaign's *logical* results only — verdicts,
@@ -531,6 +568,52 @@ impl ConfigReport {
             .sum::<f64>()
             / self.tests.len() as f64
     }
+}
+
+/// The campaign-wide certificate artifacts, built once per run and shared
+/// by every worker (both are internally synchronized).
+#[derive(Debug, Default)]
+struct RunArtifacts {
+    sink: Option<CertificateSink>,
+    cache: Option<VerdictCache>,
+}
+
+impl RunArtifacts {
+    /// Opens the artifacts a configuration asks for. An unreadable cache
+    /// file degrades to a cold cache (logged) rather than aborting the
+    /// campaign: verdicts never depend on the cache being present.
+    fn prepare(config: &CampaignConfig) -> Self {
+        let sink = config.certificates.clone().map(CertificateSink::new);
+        let cache = config.verdict_cache.clone().map(|path| {
+            VerdictCache::open(path.clone()).unwrap_or_else(|e| {
+                crate::telemetry::logger::warn(format_args!(
+                    "warning: ignoring unreadable verdict cache {}: {e}",
+                    path.display()
+                ));
+                VerdictCache::empty(path)
+            })
+        });
+        RunArtifacts { sink, cache }
+    }
+
+    fn context(&self, test_index: u64) -> Option<CheckContext<'_>> {
+        if self.sink.is_none() && self.cache.is_none() {
+            return None;
+        }
+        Some(CheckContext {
+            test_index,
+            sink: self.sink.as_ref(),
+            cache: self.cache.as_ref(),
+        })
+    }
+}
+
+/// Borrowed view of the artifacts for one test's check phase.
+#[derive(Copy, Clone, Debug)]
+struct CheckContext<'a> {
+    test_index: u64,
+    sink: Option<&'a CertificateSink>,
+    cache: Option<&'a VerdictCache>,
 }
 
 /// One full validation campaign.
@@ -632,6 +715,7 @@ impl Campaign {
         } else {
             1
         };
+        let artifacts = RunArtifacts::prepare(&self.config);
         let items: Vec<(usize, &Program, Option<LintReport>)> = suite
             .programs
             .iter()
@@ -644,7 +728,8 @@ impl Campaign {
             if let Some(entry) = journal.and_then(|j| j.replay_entry(index)) {
                 return SupervisedOutcome::Replayed(entry.clone());
             }
-            let (outcome, diag) = self.run_test_supervised(index, program, lint, threaded);
+            let (outcome, diag) =
+                self.run_test_supervised(index, program, lint, threaded, &artifacts);
             if let Some(j) = journal {
                 match &outcome {
                     Ok(report) => self.journal_test(j, index, report),
@@ -721,6 +806,25 @@ impl Campaign {
                 slowest_tests: timings,
             });
         }
+        // Persist the certificate artifacts before the journal footer so
+        // the footer's cache counters describe a saved cache. Artifact I/O
+        // failures degrade (logged), never abort: the report's verdicts
+        // were computed either way.
+        if let Some(sink) = &artifacts.sink {
+            if let Err(e) = sink.save() {
+                crate::telemetry::logger::warn(format_args!(
+                    "warning: could not write certificate sidecar: {e}"
+                ));
+            }
+        }
+        if let Some(cache) = &artifacts.cache {
+            report.cache = cache.summary();
+            if let Err(e) = cache.save() {
+                crate::telemetry::logger::warn(format_args!(
+                    "warning: could not write verdict cache: {e}"
+                ));
+            }
+        }
         // Compact the journal into its canonical suite-order checkpoint
         // (temp file + fsync + atomic rename, so a kill mid-checkpoint can
         // never truncate the journal). Failures degrade, never abort.
@@ -729,6 +833,7 @@ impl Campaign {
                 tests: report.tests.len() as u64,
                 quarantined: report.quarantined.len() as u64,
                 spill: report.spill.clone(),
+                cache: report.cache,
             };
             j.finalize_or_degrade(Some(&footer));
         }
@@ -750,6 +855,7 @@ impl Campaign {
         program: &Program,
         lint: Option<LintReport>,
         threaded: bool,
+        artifacts: &RunArtifacts,
     ) -> (Result<TestReport, QuarantineRecord>, TestDiagnostics) {
         let policy = self.config.retry;
         let mut failures: Vec<AttemptFailure> = Vec::new();
@@ -777,7 +883,7 @@ impl Campaign {
                     .collect_impl(program, threaded, seed_offset, fail_spill, ids)
                     .map_err(AttemptError::Spill)?;
                 attempt_spill = spill;
-                self.check_log_impl(&log, threaded, ids)
+                self.check_log_impl(&log, threaded, ids, artifacts.context(index))
                     .map_err(AttemptError::Check)
             }));
             let elapsed = started.elapsed();
@@ -961,7 +1067,7 @@ impl Campaign {
     /// Single-threaded variant of [`Campaign::run_test`]; executes the same
     /// shard plan serially and returns an identical report.
     pub fn run_test_serial(&self, program: &Program) -> TestReport {
-        self.check_log_impl(&self.collect_serial(program), false, Ids::test(0, 1))
+        self.check_log_impl(&self.collect_serial(program), false, Ids::test(0, 1), None)
             .expect("logs produced by collect decode under the same schema")
     }
 
@@ -1206,7 +1312,7 @@ impl Campaign {
     /// that belongs to a different program. The supervisor classifies this
     /// as [`FailureCause::Decode`] and quarantines only the affected test.
     pub fn check_log(&self, log: &SignatureLog) -> Result<TestReport, CheckLogError> {
-        self.check_log_impl(log, true, Ids::test(0, 1))
+        self.check_log_impl(log, true, Ids::test(0, 1), None)
     }
 
     fn check_log_impl(
@@ -1214,6 +1320,7 @@ impl Campaign {
         log: &SignatureLog,
         threaded: bool,
         ids: Ids,
+        ctx: Option<CheckContext<'_>>,
     ) -> Result<TestReport, CheckLogError> {
         let config = &self.config;
         let mut scope = self.telemetry.scope(ids);
@@ -1235,6 +1342,114 @@ impl Campaign {
         };
 
         let spec = TestGraphSpec::new(program, config.system.mcm);
+
+        // Certificate artifacts: the context hash content-addresses a
+        // checking context — the schema's logical layout plus every knob
+        // that can change a verdict or a Figure-14 stat for a given
+        // signature sequence (MCM, observation options, windowing, and the
+        // effective chunk count, which legitimately shifts the
+        // complete/incremental split).
+        let arts = ctx.filter(|c| c.sink.is_some() || c.cache.is_some());
+        let effective_chunks = if config.chunked_check && config.workers > 1 {
+            config.workers as u64
+        } else {
+            1
+        };
+        let (schema_hash, ctx_hash) = if arts.is_some() {
+            let schema_hash = schema.stable_hash();
+            let mut h = Fnv64::new();
+            h.write_u64(schema_hash);
+            h.write(&[
+                config.system.mcm as u8,
+                u8::from(config.check.intra_thread_rf),
+                u8::from(config.split_windows),
+            ]);
+            h.write_u64(effective_chunks);
+            (schema_hash, h.finish())
+        } else {
+            (0, 0)
+        };
+        // The sequence hash addresses the test's whole ascending
+        // unique-signature sequence — the memo key for full-test skips.
+        let seq_hash = arts.and_then(|c| c.cache).map(|_| {
+            let mut h = Fnv64::new();
+            for (sig, _) in &log.signatures {
+                h.write_u64(sig.words().len() as u64);
+                for &w in sig.words() {
+                    h.write_u64(w);
+                }
+            }
+            h.finish()
+        });
+
+        // Warm fast path: a memo hit replays the check phase's entire
+        // contribution to the report — collective stats plus violation
+        // records rehydrated from the memoized FAIL certificates — without
+        // decoding or sorting a single graph. Gated off when conventional
+        // comparison is requested (the memo doesn't carry those stats),
+        // and when the sidecar needs certificates the snapshot lacks.
+        if let (Some(c), Some(seq)) = (arts, seq_hash) {
+            if let Some(cache) = c.cache.filter(|_| !config.compare_conventional) {
+                if let Some(memo) = cache.memo(ctx_hash, seq) {
+                    let mut sink_records = Vec::new();
+                    let all_present = c.sink.is_none()
+                        || log.signatures.iter().all(|(sig, _)| {
+                            cache.sig_cert(ctx_hash, sig.words()).is_some_and(
+                                |(verdict_failed, cert)| {
+                                    sink_records.push((
+                                        sig.words().to_vec(),
+                                        verdict_failed,
+                                        cert.to_vec(),
+                                    ));
+                                    true
+                                },
+                            )
+                        });
+                    if all_present {
+                        report.collective = memo.stats;
+                        for (index, cert_bytes) in &memo.violating {
+                            let signature_index = *index as usize;
+                            let (sig, count) = &log.signatures[signature_index];
+                            let (cert, _) = Certificate::from_bytes(cert_bytes)
+                                .expect("verdict cache holds valid certificates");
+                            let Certificate::Fail { cycle } = cert else {
+                                panic!("memoized violating entries are FAIL certificates")
+                            };
+                            report.violations.push(ViolationRecord {
+                                signature: sig.clone(),
+                                occurrences: *count,
+                                violation: Some(Violation::from_cycle(&spec, cycle)),
+                                reads_from: schema.decode(sig).map_err(|source| {
+                                    CheckLogError::Decode {
+                                        signature_index,
+                                        source,
+                                    }
+                                })?,
+                            });
+                        }
+                        if let Some(sink) = c.sink {
+                            for (words, verdict_failed, cert) in sink_records {
+                                sink.record(
+                                    c.test_index,
+                                    schema_hash,
+                                    &words,
+                                    verdict_failed,
+                                    &cert,
+                                );
+                            }
+                        }
+                        cache.note_memo_skip(log.signatures.len() as u64);
+                        scope.count("cache_memo_skips", 1);
+                        scope.count("cache_hits", log.signatures.len() as u64);
+                        return Ok(report);
+                    }
+                }
+            }
+        }
+        // Violating signatures' (index, FAIL certificate) pairs, collected
+        // on either check path below to memoize this sequence.
+        let mut violating: Vec<(u32, Vec<u8>)> = Vec::new();
+
         // Decode→observe fusion: candidate indices go straight to
         // precomputed edge lists, so the per-signature hot loop never
         // materializes a `ReadsFrom` map. Reads-from observations are
@@ -1267,26 +1482,68 @@ impl Campaign {
                 observations.push(obs);
             }
             let check_started = scope.start();
+            let mut certs: Vec<Certificate> = Vec::new();
             let collective = if config.chunked_check && config.workers > 1 {
                 if threaded {
-                    check_collective_chunked(
-                        &spec,
-                        &observations,
-                        config.workers,
-                        config.split_windows,
-                    )
-                    .map_err(|CheckError::WorkerPanic { payload }| {
-                        CheckLogError::CheckerPanic { payload }
-                    })?
+                    if arts.is_some() {
+                        let (outcome, witnesses) = check_collective_chunked_certified(
+                            &spec,
+                            &observations,
+                            config.workers,
+                            config.split_windows,
+                        )
+                        .map_err(
+                            |CheckError::WorkerPanic { payload }| CheckLogError::CheckerPanic {
+                                payload,
+                            },
+                        )?;
+                        certs = witnesses;
+                        outcome
+                    } else {
+                        check_collective_chunked(
+                            &spec,
+                            &observations,
+                            config.workers,
+                            config.split_windows,
+                        )
+                        .map_err(
+                            |CheckError::WorkerPanic { payload }| CheckLogError::CheckerPanic {
+                                payload,
+                            },
+                        )?
+                    }
                 } else {
                     let lengths = even_chunk_lengths(observations.len(), config.workers);
-                    check_collective_with_boundaries(
-                        &spec,
-                        &observations,
-                        &lengths,
-                        config.split_windows,
-                    )
+                    if arts.is_some() {
+                        let (outcome, witnesses) = check_collective_with_boundaries_certified(
+                            &spec,
+                            &observations,
+                            &lengths,
+                            config.split_windows,
+                        );
+                        certs = witnesses;
+                        outcome
+                    } else {
+                        check_collective_with_boundaries(
+                            &spec,
+                            &observations,
+                            &lengths,
+                            config.split_windows,
+                        )
+                    }
                 }
+            } else if arts.is_some() {
+                let mut results = Vec::with_capacity(observations.len());
+                let stats = mtc_graph::check_collective_iter_certified(
+                    &spec,
+                    &observations,
+                    config.split_windows,
+                    |_, result, cert| {
+                        results.push(result);
+                        certs.push(cert);
+                    },
+                );
+                mtc_graph::CollectiveOutcome { results, stats }
             } else {
                 let mut results = Vec::with_capacity(observations.len());
                 let stats = mtc_graph::check_collective_iter(
@@ -1297,7 +1554,30 @@ impl Campaign {
                 );
                 mtc_graph::CollectiveOutcome { results, stats }
             };
-            for ((sig, count), result) in log.signatures.iter().zip(collective.results.iter()) {
+            for (signature_index, ((sig, count), result)) in log
+                .signatures
+                .iter()
+                .zip(collective.results.iter())
+                .enumerate()
+            {
+                if let Some(c) = arts {
+                    let cert_bytes = certs[signature_index].to_bytes();
+                    if result.is_err() {
+                        violating.push((signature_index as u32, cert_bytes.clone()));
+                    }
+                    if let Some(sink) = c.sink {
+                        sink.record(
+                            c.test_index,
+                            schema_hash,
+                            sig.words(),
+                            result.is_err(),
+                            &cert_bytes,
+                        );
+                    }
+                    if let Some(cache) = c.cache {
+                        cache.note_sig(ctx_hash, sig.words(), result.is_err(), &cert_bytes);
+                    }
+                }
                 if let Err(violation) = result {
                     report.violations.push(ViolationRecord {
                         signature: sig.clone(),
@@ -1450,6 +1730,27 @@ impl Campaign {
                 } else {
                     scope.sample(Phase::Check, push_started);
                 }
+                if let Some(c) = arts {
+                    let cert_bytes = checker
+                        .last_certificate()
+                        .expect("a push always records a verdict")
+                        .to_bytes();
+                    if push.is_err() {
+                        violating.push((signature_index as u32, cert_bytes.clone()));
+                    }
+                    if let Some(sink) = c.sink {
+                        sink.record(
+                            c.test_index,
+                            schema_hash,
+                            sig.words(),
+                            push.is_err(),
+                            &cert_bytes,
+                        );
+                    }
+                    if let Some(cache) = c.cache {
+                        cache.note_sig(ctx_hash, sig.words(), push.is_err(), &cert_bytes);
+                    }
+                }
                 if let Err(violation) = push {
                     report.violations.push(ViolationRecord {
                         signature: sig.clone(),
@@ -1474,6 +1775,21 @@ impl Campaign {
                     ("resorted_vertices", report.collective.resorted_vertices),
                 ],
             );
+        }
+        // Memoize this sequence's freshly computed check phase so a repeat
+        // campaign can skip it wholesale. Conventional-comparison runs are
+        // not memoized: their reports carry stats the memo doesn't.
+        if let (Some(c), Some(seq)) = (arts, seq_hash) {
+            if let Some(cache) = c.cache.filter(|_| !config.compare_conventional) {
+                cache.insert_memo(
+                    ctx_hash,
+                    seq,
+                    MemoEntry {
+                        stats: report.collective,
+                        violating,
+                    },
+                );
+            }
         }
         Ok(report)
     }

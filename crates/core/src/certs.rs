@@ -1,0 +1,661 @@
+//! Verdict-certificate artifacts: the sidecar file written by
+//! `--certificates`, and the cross-campaign verdict cache behind
+//! `--verdict-cache`.
+//!
+//! Both artifacts are compact, versioned, byte-stable binary files built
+//! around the self-delimiting [`Certificate`] codec, so repeated runs of
+//! the same campaign produce identical bytes and the files content-address
+//! cleanly.
+//!
+//! * The **sidecar** (`MTCS`) holds one record per checked unique
+//!   signature: `(test index, schema hash, signature words, verdict,
+//!   certificate)`, sorted. `mtracecheck verify` replays it against
+//!   independently rebuilt graph specs via `mtc-certify`.
+//! * The **cache** (`MTCV`) holds two kinds of entries, both keyed under a
+//!   *context hash* (schema content hash plus every checker knob that can
+//!   change a verdict or a Figure-14 stat): per-signature
+//!   `(context, signature) -> (verdict, certificate)` entries, and
+//!   per-test *memos* `(context, sequence hash) -> (collective stats,
+//!   violating certificates)` that let a warm campaign skip a whole
+//!   test's check phase and still reproduce its report byte for byte.
+//!
+//! Lookups go against an immutable snapshot loaded at campaign start;
+//! inserts accumulate separately and are merged at save time. Hit/miss
+//! counters are therefore deterministic for a given cache file, and the
+//! saved file is sorted regardless of worker interleaving.
+
+use mtc_graph::{Certificate, CollectiveStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic prefix of a certificate sidecar file.
+pub const SIDECAR_MAGIC: [u8; 4] = *b"MTCS";
+/// Magic prefix of a verdict-cache file.
+pub const CACHE_MAGIC: [u8; 4] = *b"MTCV";
+/// Format version of both artifact files.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Incremental FNV-1a (64-bit) over little-endian field bytes — the one
+/// hash every artifact key in this module is built from. Not DoS-resistant
+/// and not meant to be: the point is a portable, dependency-free, stable
+/// content address.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Verdict-cache counters for one campaign run.
+///
+/// `hits + misses` equals the unique signatures the campaign checked (or
+/// skipped checking); `tests_skipped` counts tests whose entire check
+/// phase was served from a memo. Observability only — excluded from
+/// report equality and display, like spill statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSummary {
+    /// Unique signatures whose verdict was already in the cache.
+    pub hits: u64,
+    /// Unique signatures checked fresh (and queued for insertion).
+    pub misses: u64,
+    /// Tests whose whole check phase was replayed from a memo entry.
+    pub tests_skipped: u64,
+}
+
+impl CacheSummary {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// An error reading or writing a certificate artifact file.
+#[derive(Debug)]
+pub enum CertsError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file is not a sidecar/cache file or is truncated or corrupt.
+    Format(String),
+}
+
+impl fmt::Display for CertsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertsError::Io(e) => write!(f, "certificate artifact I/O: {e}"),
+            CertsError::Format(m) => write!(f, "certificate artifact format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CertsError {}
+
+impl From<std::io::Error> for CertsError {
+    fn from(e: std::io::Error) -> Self {
+        CertsError::Io(e)
+    }
+}
+
+/// One record of a certificate sidecar file, as read back by
+/// [`read_certificates`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertRecord {
+    /// Suite index of the test the signature belongs to.
+    pub test_index: u64,
+    /// [`SignatureSchema::stable_hash`](mtc_instr::SignatureSchema::stable_hash)
+    /// of the schema the signature decodes under — the verifier's guard
+    /// against replaying certificates into the wrong test.
+    pub schema_hash: u64,
+    /// The unique signature's raw words.
+    pub words: Vec<u64>,
+    /// `true` when the checker's verdict was FAIL (a violation).
+    pub verdict_failed: bool,
+    /// The witness: a topological order for PASS, a cycle for FAIL.
+    pub certificate: Certificate,
+}
+
+// --- little-endian read helpers over an in-memory buffer ---------------
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CertsError> {
+    if buf.len() < n {
+        return Err(CertsError::Format(format!("truncated {what}")));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn read_u8(buf: &mut &[u8], what: &str) -> Result<u8, CertsError> {
+    Ok(take(buf, 1, what)?[0])
+}
+
+fn read_u16(buf: &mut &[u8], what: &str) -> Result<u16, CertsError> {
+    let b = take(buf, 2, what)?;
+    Ok(u16::from_le_bytes([b[0], b[1]]))
+}
+
+fn read_u32(buf: &mut &[u8], what: &str) -> Result<u32, CertsError> {
+    let b = take(buf, 4, what)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn read_u64(buf: &mut &[u8], what: &str) -> Result<u64, CertsError> {
+    let b = take(buf, 8, what)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+}
+
+fn read_cert(buf: &mut &[u8]) -> Result<(Certificate, Vec<u8>), CertsError> {
+    let (cert, used) = Certificate::from_bytes(buf)
+        .map_err(|e| CertsError::Format(format!("embedded certificate: {e}")))?;
+    let raw = buf[..used].to_vec();
+    *buf = &buf[used..];
+    Ok((cert, raw))
+}
+
+fn read_header(buf: &mut &[u8], magic: [u8; 4], kind: &str) -> Result<(), CertsError> {
+    let found = take(buf, 4, "magic")?;
+    if found != magic {
+        return Err(CertsError::Format(format!("not a {kind} file (bad magic)")));
+    }
+    let version = read_u16(buf, "version")?;
+    if version != ARTIFACT_VERSION {
+        return Err(CertsError::Format(format!(
+            "unsupported {kind} version {version} (expected {ARTIFACT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` atomically: temp sibling, flush, rename. A
+/// crash mid-save leaves either the old file or the new one, never a
+/// truncated hybrid.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), CertsError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Accumulates `(test, signature) -> certificate` records during a
+/// campaign and writes them as one sorted `MTCS` sidecar at the end.
+///
+/// Thread-safe: workers record concurrently; the BTreeMap keying makes the
+/// saved bytes independent of completion order (and re-recording a key —
+/// e.g. a supervised retry — is idempotent).
+#[derive(Debug)]
+pub(crate) struct CertificateSink {
+    path: PathBuf,
+    records: Mutex<BTreeMap<(u64, Vec<u64>), SinkRecord>>,
+}
+
+#[derive(Debug)]
+struct SinkRecord {
+    schema_hash: u64,
+    verdict_failed: bool,
+    cert: Vec<u8>,
+}
+
+impl CertificateSink {
+    pub(crate) fn new(path: PathBuf) -> Self {
+        CertificateSink {
+            path,
+            records: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub(crate) fn record(
+        &self,
+        test_index: u64,
+        schema_hash: u64,
+        words: &[u64],
+        verdict_failed: bool,
+        cert_bytes: &[u8],
+    ) {
+        self.records.lock().expect("certificate sink lock").insert(
+            (test_index, words.to_vec()),
+            SinkRecord {
+                schema_hash,
+                verdict_failed,
+                cert: cert_bytes.to_vec(),
+            },
+        );
+    }
+
+    pub(crate) fn save(&self) -> Result<u64, CertsError> {
+        let records = self.records.lock().expect("certificate sink lock");
+        let mut out = Vec::new();
+        out.extend_from_slice(&SIDECAR_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        for ((test_index, words), rec) in records.iter() {
+            out.extend_from_slice(&test_index.to_le_bytes());
+            out.extend_from_slice(&rec.schema_hash.to_le_bytes());
+            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.push(u8::from(rec.verdict_failed));
+            out.extend_from_slice(&rec.cert);
+        }
+        write_atomically(&self.path, &out)?;
+        Ok(records.len() as u64)
+    }
+}
+
+/// Reads a certificate sidecar written via
+/// [`CampaignConfig::certificates`](crate::CampaignConfig::certificates),
+/// sorted by `(test index, signature words)`.
+///
+/// # Errors
+///
+/// [`CertsError`] on I/O failure or a malformed file.
+pub fn read_certificates(path: impl AsRef<Path>) -> Result<Vec<CertRecord>, CertsError> {
+    let bytes = std::fs::read(path)?;
+    let mut buf = bytes.as_slice();
+    read_header(&mut buf, SIDECAR_MAGIC, "certificate sidecar")?;
+    let count = read_u64(&mut buf, "record count")?;
+    let mut records = Vec::new();
+    for _ in 0..count {
+        let test_index = read_u64(&mut buf, "test index")?;
+        let schema_hash = read_u64(&mut buf, "schema hash")?;
+        let num_words = read_u32(&mut buf, "word count")? as usize;
+        let mut words = Vec::with_capacity(num_words);
+        for _ in 0..num_words {
+            words.push(read_u64(&mut buf, "signature word")?);
+        }
+        let verdict_failed = match read_u8(&mut buf, "verdict")? {
+            0 => false,
+            1 => true,
+            other => return Err(CertsError::Format(format!("bad verdict byte {other}"))),
+        };
+        let (certificate, _) = read_cert(&mut buf)?;
+        records.push(CertRecord {
+            test_index,
+            schema_hash,
+            words,
+            verdict_failed,
+            certificate,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(CertsError::Format(format!(
+            "{} trailing bytes after last record",
+            buf.len()
+        )));
+    }
+    Ok(records)
+}
+
+/// A per-test memo: everything the check phase of one test contributes to
+/// its report, keyed by the signature sequence it was computed from.
+#[derive(Clone, Debug)]
+pub(crate) struct MemoEntry {
+    pub(crate) stats: CollectiveStats,
+    /// `(signature index, FAIL certificate bytes)` for each violating
+    /// signature, ascending.
+    pub(crate) violating: Vec<(u32, Vec<u8>)>,
+}
+
+#[derive(Clone, Debug)]
+struct SigEntry {
+    verdict_failed: bool,
+    cert: Vec<u8>,
+}
+
+/// The cross-campaign verdict cache (`MTCV` file).
+///
+/// Opened once per campaign: the file's entries become an immutable
+/// snapshot every lookup goes against, novel verdicts accumulate as
+/// pending inserts, and [`save`](VerdictCache::save) writes the sorted
+/// union back atomically. Because lookups never see same-run inserts, the
+/// hit/miss counters — and the saved bytes — are identical for any worker
+/// count or completion order.
+#[derive(Debug)]
+pub(crate) struct VerdictCache {
+    path: PathBuf,
+    snapshot_sigs: BTreeMap<(u64, Vec<u64>), SigEntry>,
+    snapshot_memos: BTreeMap<(u64, u64), MemoEntry>,
+    pending_sigs: Mutex<BTreeMap<(u64, Vec<u64>), SigEntry>>,
+    pending_memos: Mutex<BTreeMap<(u64, u64), MemoEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    tests_skipped: AtomicU64,
+}
+
+impl VerdictCache {
+    /// A cold cache that will save to `path`.
+    pub(crate) fn empty(path: PathBuf) -> Self {
+        VerdictCache {
+            path,
+            snapshot_sigs: BTreeMap::new(),
+            snapshot_memos: BTreeMap::new(),
+            pending_sigs: Mutex::new(BTreeMap::new()),
+            pending_memos: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tests_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a cache file; a missing file is an empty (cold) cache.
+    pub(crate) fn open(path: PathBuf) -> Result<Self, CertsError> {
+        let mut cache = VerdictCache::empty(path);
+        let bytes = match std::fs::read(&cache.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = bytes.as_slice();
+        read_header(&mut buf, CACHE_MAGIC, "verdict cache")?;
+        let sig_count = read_u64(&mut buf, "signature entry count")?;
+        let memo_count = read_u64(&mut buf, "memo entry count")?;
+        for _ in 0..sig_count {
+            let ctx = read_u64(&mut buf, "context hash")?;
+            let num_words = read_u32(&mut buf, "word count")? as usize;
+            let mut words = Vec::with_capacity(num_words);
+            for _ in 0..num_words {
+                words.push(read_u64(&mut buf, "signature word")?);
+            }
+            let verdict_failed = read_u8(&mut buf, "verdict")? != 0;
+            let (_, cert) = read_cert(&mut buf)?;
+            cache.snapshot_sigs.insert(
+                (ctx, words),
+                SigEntry {
+                    verdict_failed,
+                    cert,
+                },
+            );
+        }
+        for _ in 0..memo_count {
+            let ctx = read_u64(&mut buf, "context hash")?;
+            let seq = read_u64(&mut buf, "sequence hash")?;
+            let stats = CollectiveStats {
+                graphs: read_u64(&mut buf, "stats")? as usize,
+                complete: read_u64(&mut buf, "stats")? as usize,
+                no_resort: read_u64(&mut buf, "stats")? as usize,
+                incremental: read_u64(&mut buf, "stats")? as usize,
+                resorted_vertices: read_u64(&mut buf, "stats")?,
+                incremental_vertices: read_u64(&mut buf, "stats")?,
+                violations: read_u64(&mut buf, "stats")? as usize,
+                work: read_u64(&mut buf, "stats")?,
+            };
+            let violating_count = read_u32(&mut buf, "violating count")? as usize;
+            let mut violating = Vec::with_capacity(violating_count);
+            for _ in 0..violating_count {
+                let index = read_u32(&mut buf, "violating index")?;
+                let (_, cert) = read_cert(&mut buf)?;
+                violating.push((index, cert));
+            }
+            cache
+                .snapshot_memos
+                .insert((ctx, seq), MemoEntry { stats, violating });
+        }
+        if !buf.is_empty() {
+            return Err(CertsError::Format(format!(
+                "{} trailing bytes after last entry",
+                buf.len()
+            )));
+        }
+        Ok(cache)
+    }
+
+    /// Looks up one signature's verdict in the snapshot, counting the hit
+    /// or miss and queueing the fresh verdict for insertion on a miss.
+    pub(crate) fn note_sig(
+        &self,
+        ctx: u64,
+        words: &[u64],
+        verdict_failed: bool,
+        cert_bytes: &[u8],
+    ) {
+        if self.snapshot_sigs.contains_key(&(ctx, words.to_vec())) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.pending_sigs
+            .lock()
+            .expect("verdict cache lock")
+            .insert(
+                (ctx, words.to_vec()),
+                SigEntry {
+                    verdict_failed,
+                    cert: cert_bytes.to_vec(),
+                },
+            );
+    }
+
+    /// A cached signature's certificate, if present (used to populate the
+    /// sidecar on memo-skipped tests without re-checking).
+    pub(crate) fn sig_cert(&self, ctx: u64, words: &[u64]) -> Option<(bool, &[u8])> {
+        self.snapshot_sigs
+            .get(&(ctx, words.to_vec()))
+            .map(|e| (e.verdict_failed, e.cert.as_slice()))
+    }
+
+    /// The memo for a whole test's signature sequence, if present.
+    pub(crate) fn memo(&self, ctx: u64, seq: u64) -> Option<&MemoEntry> {
+        self.snapshot_memos.get(&(ctx, seq))
+    }
+
+    /// Counts a memo-served test: every signature is a hit and the test's
+    /// check phase was skipped.
+    pub(crate) fn note_memo_skip(&self, signatures: u64) {
+        self.hits.fetch_add(signatures, Ordering::Relaxed);
+        self.tests_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queues a freshly computed test memo for insertion.
+    pub(crate) fn insert_memo(&self, ctx: u64, seq: u64, entry: MemoEntry) {
+        if self.snapshot_memos.contains_key(&(ctx, seq)) {
+            return;
+        }
+        self.pending_memos
+            .lock()
+            .expect("verdict cache lock")
+            .insert((ctx, seq), entry);
+    }
+
+    pub(crate) fn summary(&self) -> CacheSummary {
+        CacheSummary {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            tests_skipped: self.tests_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes the sorted union of the snapshot and pending inserts back to
+    /// the cache file, atomically. Snapshot entries win ties, so a cache
+    /// file never churns bytes for verdicts it already holds.
+    pub(crate) fn save(&self) -> Result<(), CertsError> {
+        let mut sigs = self.pending_sigs.lock().expect("verdict cache lock");
+        let mut memos = self.pending_memos.lock().expect("verdict cache lock");
+        let merged_sigs: BTreeMap<_, _> = self
+            .snapshot_sigs
+            .iter()
+            .chain(sigs.iter())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let merged_memos: BTreeMap<_, _> = self
+            .snapshot_memos
+            .iter()
+            .chain(memos.iter())
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        sigs.clear();
+        memos.clear();
+        let mut out = Vec::new();
+        out.extend_from_slice(&CACHE_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(merged_sigs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(merged_memos.len() as u64).to_le_bytes());
+        for ((ctx, words), entry) in &merged_sigs {
+            out.extend_from_slice(&ctx.to_le_bytes());
+            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.push(u8::from(entry.verdict_failed));
+            out.extend_from_slice(&entry.cert);
+        }
+        for ((ctx, seq), entry) in &merged_memos {
+            out.extend_from_slice(&ctx.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            for v in [
+                entry.stats.graphs as u64,
+                entry.stats.complete as u64,
+                entry.stats.no_resort as u64,
+                entry.stats.incremental as u64,
+                entry.stats.resorted_vertices,
+                entry.stats.incremental_vertices,
+                entry.stats.violations as u64,
+                entry.stats.work,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(entry.violating.len() as u32).to_le_bytes());
+            for (index, cert) in &entry.violating {
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(cert);
+            }
+        }
+        write_atomically(&self.path, &out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail_cert_bytes(cycle: Vec<u32>) -> Vec<u8> {
+        Certificate::Fail { cycle }.to_bytes()
+    }
+
+    #[test]
+    fn sidecar_roundtrips_sorted() {
+        let dir = std::env::temp_dir().join("mtc-certs-test-sidecar");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.certs");
+        let sink = CertificateSink::new(path.clone());
+        // Recorded out of order; read back sorted by (test, words).
+        sink.record(1, 77, &[9], true, &fail_cert_bytes(vec![0, 1]));
+        sink.record(
+            0,
+            42,
+            &[5, 6],
+            false,
+            &Certificate::Pass { order: vec![0] }.to_bytes(),
+        );
+        assert_eq!(sink.save().unwrap(), 2);
+        let records = read_certificates(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].test_index, 0);
+        assert_eq!(records[0].schema_hash, 42);
+        assert_eq!(records[0].words, vec![5, 6]);
+        assert!(!records[0].verdict_failed);
+        assert_eq!(
+            records[1].certificate,
+            Certificate::Fail { cycle: vec![0, 1] }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cache_roundtrips_and_snapshot_isolates_lookups() {
+        let dir = std::env::temp_dir().join("mtc-certs-test-cache");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v.cache");
+        let _ = std::fs::remove_file(&path);
+        let cold = VerdictCache::open(path.clone()).unwrap();
+        // Same-run inserts are not visible to lookups: both notes miss.
+        cold.note_sig(
+            1,
+            &[3],
+            false,
+            &Certificate::Pass { order: vec![0] }.to_bytes(),
+        );
+        cold.note_sig(
+            1,
+            &[3],
+            false,
+            &Certificate::Pass { order: vec![0] }.to_bytes(),
+        );
+        cold.insert_memo(
+            1,
+            99,
+            MemoEntry {
+                stats: CollectiveStats {
+                    graphs: 2,
+                    complete: 1,
+                    no_resort: 1,
+                    ..CollectiveStats::default()
+                },
+                violating: vec![(1, fail_cert_bytes(vec![2, 3]))],
+            },
+        );
+        assert_eq!(cold.summary().misses, 2);
+        assert_eq!(cold.summary().hits, 0);
+        cold.save().unwrap();
+
+        let warm = VerdictCache::open(path.clone()).unwrap();
+        warm.note_sig(1, &[3], false, &[]);
+        assert_eq!(warm.summary().hits, 1);
+        assert!(warm.sig_cert(1, &[3]).is_some());
+        assert!(warm.sig_cert(2, &[3]).is_none());
+        let memo = warm.memo(1, 99).expect("memo survives the roundtrip");
+        assert_eq!(memo.stats.graphs, 2);
+        assert_eq!(memo.violating.len(), 1);
+        assert_eq!(memo.violating[0].0, 1);
+        warm.note_memo_skip(5);
+        let s = warm.summary();
+        assert_eq!((s.hits, s.tests_skipped), (6, 1));
+        // Saving a pure-hit run rewrites identical bytes.
+        let before = std::fs::read(&path).unwrap();
+        warm.save().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let dir = std::env::temp_dir().join("mtc-certs-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(read_certificates(&path).is_err());
+        assert!(VerdictCache::open(path.clone()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -90,6 +90,11 @@ pub struct JournalFooter {
     pub quarantined: u64,
     /// Aggregate spill statistics across the campaign's tests.
     pub spill: SpillSummary,
+    /// Verdict-cache counters, when the campaign ran with
+    /// [`CampaignConfig::verdict_cache`] (all zero otherwise; defaulted so
+    /// pre-cache journals still parse).
+    #[serde(default)]
+    pub cache: crate::certs::CacheSummary,
 }
 
 /// A completed entry replayed from a journal.
@@ -342,6 +347,69 @@ impl CampaignJournal {
             logger::warn(format_args!("warning: {reason}"));
         }
     }
+}
+
+/// A journal's parsed contents, as loaded by [`read_journal`] — the
+/// read-only view `mtracecheck verify` replays certificates against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalContents {
+    /// Campaign identity (test configuration, iterations, suite size).
+    pub header: JournalHeader,
+    /// Validated tests' reports, in suite order.
+    pub tests: Vec<TestReport>,
+    /// Quarantined tests, in suite order.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// The run-level footer, when the journal was finalized.
+    pub footer: Option<JournalFooter>,
+}
+
+/// Loads a campaign journal read-only, without resuming it: every
+/// parseable record is returned, corrupt lines are skipped (matching
+/// resume's forgiveness), and later records for a suite index supersede
+/// earlier ones.
+///
+/// # Errors
+///
+/// I/O failure, or a file whose first line is not a journal header.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalError> {
+    let reader = BufReader::new(File::open(path.as_ref())?);
+    let mut lines = reader.lines();
+    let header: JournalHeader = match lines.next() {
+        Some(line) => match serde_json::from_str(&line?) {
+            Ok(JournalRecord::Header(header)) => header,
+            Ok(_) => return Err(JournalError::MissingHeader),
+            Err(e) => return Err(JournalError::Format(e)),
+        },
+        None => return Err(JournalError::MissingHeader),
+    };
+    let mut entries: BTreeMap<u64, ReplayEntry> = BTreeMap::new();
+    let mut footer = None;
+    for line in lines {
+        let line = line?;
+        match serde_json::from_str(&line) {
+            Ok(JournalRecord::Test { index, report }) => {
+                entries.insert(index, ReplayEntry::Test(report));
+            }
+            Ok(JournalRecord::Quarantine(record)) => {
+                entries.insert(record.index, ReplayEntry::Quarantine(record));
+            }
+            Ok(JournalRecord::Footer(f)) => footer = Some(f),
+            Ok(JournalRecord::Header(_)) | Err(_) => {}
+        }
+    }
+    let mut contents = JournalContents {
+        header,
+        tests: Vec::new(),
+        quarantined: Vec::new(),
+        footer,
+    };
+    for entry in entries.into_values() {
+        match entry {
+            ReplayEntry::Test(report) => contents.tests.push(*report),
+            ReplayEntry::Quarantine(record) => contents.quarantined.push(record),
+        }
+    }
+    Ok(contents)
 }
 
 /// Writes a file via a temp sibling + fsync + atomic rename: at every

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod certs;
 mod coverage;
 mod journal;
 mod log;
@@ -57,8 +58,12 @@ pub use campaign::{
     merge_signature_maps, Campaign, CampaignConfig, CampaignProfile, CheckLogError, ConfigReport,
     PhaseProfile, SpillSummary, TestReport, TestTiming, TimingBreakdown, ViolationRecord,
 };
+pub use certs::{read_certificates, CacheSummary, CertRecord, CertsError};
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
-pub use journal::{CampaignJournal, JournalError, JournalFooter, JournalHeader, JOURNAL_VERSION};
+pub use journal::{
+    read_journal, CampaignJournal, JournalContents, JournalError, JournalFooter, JournalHeader,
+    JOURNAL_VERSION,
+};
 pub use log::{LogError, SignatureLog};
 pub use store::{
     FirstSeen, MemoryBudget, SignatureStore, SignatureStream, SpillError, SpillRunRecord,
@@ -77,6 +82,8 @@ pub use mtc_gen::{paper_configs, TestConfig};
 
 /// Static test-program analysis and lint gating ([`mtc_analyze`]).
 pub use mtc_analyze as analyze;
+/// Independent verdict-certificate verification ([`mtc_certify`]).
+pub use mtc_certify as certify;
 /// Constrained-random test generation ([`mtc_gen`]).
 pub use mtc_gen as testgen;
 /// Constraint graphs and collective checking ([`mtc_graph`]).

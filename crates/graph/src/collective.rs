@@ -14,7 +14,7 @@
 //! window.
 
 use crate::topo::{extract_cycle, full_sort_into, violation_from_cycle, ObsAdj, SortScratch};
-use crate::{DeltaObservations, ObservedEdges, TestGraphSpec, Violation};
+use crate::{Certificate, DeltaObservations, ObservedEdges, TestGraphSpec, Violation};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::fmt;
@@ -296,6 +296,139 @@ where
     *checker.stats()
 }
 
+/// Certified form of [`check_collective_iter`]: delivers each graph's
+/// verdict together with the [`Certificate`] witnessing it, in input
+/// order. Verdicts and [`CollectiveStats`] are identical to the
+/// uncertified path by construction — both are the same
+/// [`CollectiveChecker`]; the only extra work is cloning each witness.
+pub fn check_collective_iter_certified<I, F>(
+    spec: &TestGraphSpec,
+    observations: I,
+    split_windows: bool,
+    mut on_result: F,
+) -> CollectiveStats
+where
+    I: IntoIterator,
+    I::Item: Borrow<ObservedEdges>,
+    F: FnMut(usize, Result<(), Violation>, Certificate),
+{
+    let mut checker = CollectiveChecker::new(spec);
+    if split_windows {
+        checker = checker.with_split_windows();
+    }
+    for (i, obs) in observations.into_iter().enumerate() {
+        let result = checker.push(obs.borrow());
+        let cert = checker
+            .last_certificate()
+            .expect("a push always records a verdict");
+        on_result(i, result, cert);
+    }
+    *checker.stats()
+}
+
+/// Certified form of [`check_collective`] / [`check_collective_split`]:
+/// returns the outcome plus one [`Certificate`] per graph, in input order.
+pub fn check_collective_certified(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    split_windows: bool,
+) -> (CollectiveOutcome, Vec<Certificate>) {
+    let mut outcome = CollectiveOutcome {
+        results: Vec::with_capacity(observations.len()),
+        ..CollectiveOutcome::default()
+    };
+    let mut certificates = Vec::with_capacity(observations.len());
+    outcome.stats =
+        check_collective_iter_certified(spec, observations, split_windows, |_, result, cert| {
+            outcome.results.push(result);
+            certificates.push(cert);
+        });
+    (outcome, certificates)
+}
+
+/// Certified form of [`check_collective_with_boundaries`]: identical
+/// verdicts and merged stats, plus one certificate per graph.
+///
+/// # Panics
+///
+/// Panics when `lengths` does not sum to `observations.len()`.
+pub fn check_collective_with_boundaries_certified(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    lengths: &[usize],
+    split_windows: bool,
+) -> (CollectiveOutcome, Vec<Certificate>) {
+    assert_eq!(
+        lengths.iter().sum::<usize>(),
+        observations.len(),
+        "chunk lengths must partition the observations"
+    );
+    let mut outcome = CollectiveOutcome::default();
+    let mut certificates = Vec::with_capacity(observations.len());
+    let mut start = 0;
+    for &len in lengths {
+        let (chunk, certs) =
+            check_collective_certified(spec, &observations[start..start + len], split_windows);
+        outcome.results.extend(chunk.results);
+        certificates.extend(certs);
+        outcome.stats = outcome.stats.merge(&chunk.stats);
+        start += len;
+    }
+    (outcome, certificates)
+}
+
+/// Certified form of [`check_collective_chunked`]: one scoped thread per
+/// chunk, results and certificates in input order, stats merged.
+///
+/// # Errors
+///
+/// [`CheckError::WorkerPanic`] when a chunk worker panics.
+pub fn check_collective_chunked_certified(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+    chunks: usize,
+    split_windows: bool,
+) -> Result<(CollectiveOutcome, Vec<Certificate>), CheckError> {
+    let lengths = even_chunk_lengths(observations.len(), chunks);
+    if lengths.len() <= 1 {
+        return Ok(check_collective_certified(
+            spec,
+            observations,
+            split_windows,
+        ));
+    }
+    let mut slices = Vec::with_capacity(lengths.len());
+    let mut start = 0;
+    for &len in &lengths {
+        slices.push(&observations[start..start + len]);
+        start += len;
+    }
+    let chunk_outcomes: Vec<(CollectiveOutcome, Vec<Certificate>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .map(|slice| {
+                scope.spawn(move || check_collective_certified(spec, slice, split_windows))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|payload| CheckError::WorkerPanic {
+                    payload: panic_payload(payload.as_ref()),
+                })
+            })
+            .collect::<Result<Vec<_>, CheckError>>()
+    })?;
+    let mut outcome = CollectiveOutcome::default();
+    let mut certificates = Vec::with_capacity(observations.len());
+    for (chunk, certs) in chunk_outcomes {
+        outcome.results.extend(chunk.results);
+        certificates.extend(certs);
+        outcome.stats = outcome.stats.merge(&chunk.stats);
+    }
+    Ok((outcome, certificates))
+}
+
 fn check_collective_with(
     spec: &TestGraphSpec,
     observations: &[ObservedEdges],
@@ -358,6 +491,12 @@ pub struct CollectiveChecker<'s> {
     /// Reusable buffers for complete sorts and window re-sorts.
     sort_scratch: SortScratch,
     window_scratch: WindowScratch,
+    /// Raw cycle of the most recent failing push, captured on the
+    /// violation cold path so [`last_certificate`](Self::last_certificate)
+    /// can witness FAIL verdicts without re-running extraction.
+    last_cycle: Vec<u32>,
+    /// Verdict of the most recent push (`None` before the first push).
+    last_verdict: Option<bool>,
     stats: CollectiveStats,
 }
 
@@ -479,6 +618,8 @@ impl<'s> CollectiveChecker<'s> {
             obs_csr: ObsCsr::default(),
             sort_scratch: SortScratch::default(),
             window_scratch: WindowScratch::default(),
+            last_cycle: Vec::new(),
+            last_verdict: None,
             stats: CollectiveStats::default(),
         }
     }
@@ -525,11 +666,14 @@ impl<'s> CollectiveChecker<'s> {
                     self.base.clone_from(obs);
                     self.has_base = true;
                     self.delta_base = false;
+                    self.last_verdict = Some(true);
                     Ok(())
                 }
                 Err(remaining) => {
                     self.stats.violations += 1;
                     let cycle = extract_cycle(self.spec, obs, &remaining);
+                    self.last_cycle.clone_from(&cycle);
+                    self.last_verdict = Some(false);
                     Err(violation_from_cycle(self.spec, cycle))
                 }
             };
@@ -548,6 +692,7 @@ impl<'s> CollectiveChecker<'s> {
             self.window_scratch.intervals = intervals;
             self.stats.no_resort += 1;
             self.base.clone_from(obs);
+            self.last_verdict = Some(true);
             return Ok(());
         }
         self.stats.incremental += 1;
@@ -596,6 +741,7 @@ impl<'s> CollectiveChecker<'s> {
                 // with a complete sort on the next push (no base).
                 self.has_base = false;
                 let cycle = extract_cycle(self.spec, obs, &remaining);
+                self.last_cycle.clone_from(&cycle);
                 result = Err(violation_from_cycle(self.spec, cycle));
                 break;
             }
@@ -604,6 +750,7 @@ impl<'s> CollectiveChecker<'s> {
         if result.is_ok() {
             self.base.clone_from(obs);
         }
+        self.last_verdict = Some(result.is_ok());
         result
     }
 
@@ -654,11 +801,14 @@ impl<'s> CollectiveChecker<'s> {
                     }
                     self.has_base = true;
                     self.delta_base = true;
+                    self.last_verdict = Some(true);
                     Ok(())
                 }
                 Err(remaining) => {
                     self.stats.violations += 1;
                     let cycle = extract_cycle(self.spec, set, &remaining);
+                    self.last_cycle.clone_from(&cycle);
+                    self.last_verdict = Some(false);
                     Err(violation_from_cycle(self.spec, cycle))
                 }
             };
@@ -676,6 +826,7 @@ impl<'s> CollectiveChecker<'s> {
         if intervals.is_empty() {
             self.window_scratch.intervals = intervals;
             self.stats.no_resort += 1;
+            self.last_verdict = Some(true);
             return Ok(());
         }
         self.stats.incremental += 1;
@@ -719,12 +870,35 @@ impl<'s> CollectiveChecker<'s> {
                 self.stats.violations += 1;
                 self.has_base = false;
                 let cycle = extract_cycle(self.spec, set, &remaining);
+                self.last_cycle.clone_from(&cycle);
                 result = Err(violation_from_cycle(self.spec, cycle));
                 break;
             }
         }
         self.window_scratch.merged = merged;
+        self.last_verdict = Some(result.is_ok());
         result
+    }
+
+    /// The certificate witnessing the most recent push's verdict, or
+    /// `None` before any push.
+    ///
+    /// PASS is witnessed by the checker's current topological order — any
+    /// valid topological order proves acyclicity, so the history-dependent
+    /// orders the incremental paths maintain are all sound witnesses. FAIL
+    /// is witnessed by the extracted cycle, captured on the violation cold
+    /// path; the accepting hot path pays only a flag write, and the PASS
+    /// witness is cloned on demand here.
+    pub fn last_certificate(&self) -> Option<Certificate> {
+        match self.last_verdict {
+            None => None,
+            Some(true) => Some(Certificate::Pass {
+                order: self.order.clone(),
+            }),
+            Some(false) => Some(Certificate::Fail {
+                cycle: self.last_cycle.clone(),
+            }),
+        }
     }
 }
 

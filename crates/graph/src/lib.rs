@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certificate;
 mod collective;
 mod delta;
 mod diagnose;
@@ -50,9 +51,12 @@ mod kmedoids;
 mod spec;
 mod topo;
 
+pub use certificate::{Certificate, CertificateError, CERT_HEADER_BYTES, CERT_MAGIC, CERT_VERSION};
 pub use collective::{
-    check_collective, check_collective_chunked, check_collective_iter, check_collective_split,
-    check_collective_with_boundaries, compare_checkers, even_chunk_lengths, CheckError,
+    check_collective, check_collective_certified, check_collective_chunked,
+    check_collective_chunked_certified, check_collective_iter, check_collective_iter_certified,
+    check_collective_split, check_collective_with_boundaries,
+    check_collective_with_boundaries_certified, compare_checkers, even_chunk_lengths, CheckError,
     CollectiveChecker, CollectiveOutcome, CollectiveStats,
 };
 pub use delta::DeltaObservations;
@@ -60,4 +64,6 @@ pub use diagnose::{classify_cycle, explain_violation, EdgeReason, ExplainedEdge}
 pub use dot::render_dot;
 pub use kmedoids::{k_medoids, KMedoidsResult};
 pub use spec::{CheckOptions, EdgeScratch, ObservedEdges, TestGraphSpec};
-pub use topo::{check_conventional, CheckOutcome, CheckStats, Violation};
+pub use topo::{
+    check_conventional, check_conventional_certified, CheckOutcome, CheckStats, Violation,
+};

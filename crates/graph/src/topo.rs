@@ -23,6 +23,16 @@ pub struct Violation {
     pub cycle: Vec<OpId>,
 }
 
+impl Violation {
+    /// Builds the violation record for a raw vertex cycle — the same
+    /// mapping the checkers apply to a freshly extracted cycle, so a FAIL
+    /// [`Certificate`](crate::Certificate) rehydrates into a record
+    /// identical to the one the original check produced.
+    pub fn from_cycle(spec: &TestGraphSpec, cycle: Vec<u32>) -> Self {
+        violation_from_cycle(spec, cycle)
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("cycle: ")?;
@@ -260,6 +270,41 @@ pub fn check_conventional(spec: &TestGraphSpec, observations: &[ObservedEdges]) 
         outcome.stats.graphs += 1;
     }
     outcome
+}
+
+/// Certified form of [`check_conventional`]: identical verdicts, stats and
+/// cycles, plus a [`Certificate`](crate::Certificate) witnessing each
+/// graph's verdict — the produced topological order for PASS (materialized
+/// by every sort anyway, previously discarded) or the extracted cycle for
+/// FAIL.
+pub fn check_conventional_certified(
+    spec: &TestGraphSpec,
+    observations: &[ObservedEdges],
+) -> (CheckOutcome, Vec<crate::Certificate>) {
+    let mut outcome = CheckOutcome::default();
+    let mut certificates = Vec::with_capacity(observations.len());
+    let mut scratch = SortScratch::default();
+    for obs in observations {
+        let result = match full_sort_into(spec, obs, &mut outcome.stats.work, &mut scratch) {
+            Ok(()) => {
+                certificates.push(crate::Certificate::Pass {
+                    order: scratch.order.clone(),
+                });
+                Ok(())
+            }
+            Err(remaining) => {
+                outcome.stats.violations += 1;
+                let cycle = extract_cycle(spec, obs, &remaining);
+                certificates.push(crate::Certificate::Fail {
+                    cycle: cycle.clone(),
+                });
+                Err(violation_from_cycle(spec, cycle))
+            }
+        };
+        outcome.results.push(result);
+        outcome.stats.graphs += 1;
+    }
+    (outcome, certificates)
 }
 
 #[cfg(test)]

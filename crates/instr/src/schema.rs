@@ -341,6 +341,50 @@ impl SignatureSchema {
         self.threads.iter().map(|t| t.loads.len()).sum()
     }
 
+    /// A stable 64-bit content hash of the schema's logical layout.
+    ///
+    /// Hashes exactly what determines signature semantics — per-thread
+    /// slot order, slot ops, candidate lists, word assignments,
+    /// multipliers, word counts, and the register width — via FNV-1a over
+    /// a fixed little-endian field serialization. Derived acceleration
+    /// tables (`word_load_start`, `slot_magic`) are excluded: they are
+    /// recomputed from this content and absent after deserialization.
+    ///
+    /// The hash is independent of process, platform, and build, so it can
+    /// key cross-campaign artifacts (the verdict cache, certificate
+    /// sidecars): two campaigns whose schemas hash alike decode and check
+    /// signatures identically.
+    pub fn stable_hash(&self) -> u64 {
+        /// FNV-1a offset basis and prime (64-bit).
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.register_bits.to_le_bytes());
+        eat(&(self.threads.len() as u64).to_le_bytes());
+        for thread in &self.threads {
+            eat(&thread.tid.0.to_le_bytes());
+            eat(&(thread.num_words as u64).to_le_bytes());
+            eat(&(thread.loads.len() as u64).to_le_bytes());
+            for slot in &thread.loads {
+                eat(&slot.op.tid.0.to_le_bytes());
+                eat(&slot.op.idx.to_le_bytes());
+                eat(&(slot.word as u64).to_le_bytes());
+                eat(&slot.multiplier.to_le_bytes());
+                eat(&(slot.candidates.len() as u64).to_le_bytes());
+                for value in &slot.candidates {
+                    eat(&value.0.to_le_bytes());
+                }
+            }
+        }
+        hash
+    }
+
     /// Decodes an execution signature back into the reads-from outcome it
     /// encodes (Algorithm 1: walk loads last-to-first, divide by the
     /// multiplier, keep the remainder).
@@ -638,6 +682,28 @@ mod tests {
 
     fn schema_for(p: &Program, bits: u32) -> SignatureSchema {
         SignatureSchema::build(p, &analyze(p, &SourcePruning::none()), bits)
+    }
+
+    #[test]
+    fn stable_hash_tracks_logical_content_only() {
+        let p = figure3_program();
+        let a = schema_for(&p, 64);
+        let b = schema_for(&p, 64);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        // Register width participates in the hash.
+        assert_ne!(a.stable_hash(), schema_for(&p, 32).stable_hash());
+        // Deserialization drops the derived acceleration tables
+        // (`#[serde(skip)]`); the hash must not see them.
+        let mut stripped = a.clone();
+        stripped.word_load_start = Vec::new();
+        stripped.slot_magic = Vec::new();
+        assert_eq!(a.stable_hash(), stripped.stable_hash());
+        // A different program layout hashes differently.
+        let mut other = ProgramBuilder::new(2, MemoryLayout::no_false_sharing());
+        other.thread(0).store(Addr(0)).load(Addr(0));
+        other.thread(1).store(Addr(0));
+        let other = other.build().unwrap();
+        assert_ne!(a.stable_hash(), schema_for(&other, 64).stable_hash());
     }
 
     #[test]

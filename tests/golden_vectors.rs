@@ -15,8 +15,9 @@
 //! ```
 
 use mtracecheck::graph::{
-    check_collective, check_collective_chunked, check_collective_split, check_conventional,
-    explain_violation, CheckOptions, CollectiveChecker, TestGraphSpec, Violation,
+    check_collective, check_collective_certified, check_collective_chunked, check_collective_split,
+    check_conventional, check_conventional_certified, explain_violation, CheckOptions,
+    CollectiveChecker, TestGraphSpec, Violation,
 };
 use mtracecheck::isa::{litmus, Mcm, ReadsFrom};
 use mtracecheck::sim::enumerate_outcomes;
@@ -44,6 +45,14 @@ fn corpus_observations(
         .map(|rf| spec.observe(program, rf, &CheckOptions::default()))
         .collect();
     (rfs, observations)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
 }
 
 fn cycle_text(violation: &Violation) -> String {
@@ -137,6 +146,42 @@ fn render_corpus() -> String {
                 .map(|o| if checker.push(o).is_ok() { '.' } else { 'X' })
                 .collect();
             let _ = writeln!(out, "stream: {stream_verdicts}");
+
+            // Byte-pinned verdict certificates from both certified entry
+            // points (their witnesses and extracted cycles may legitimately
+            // differ). Every certificate is replayed through the
+            // independent verifier before it is pinned, so a fixture line
+            // is both a byte-stability pin and a verified witness.
+            let (conv_cert, conv_certs) = check_conventional_certified(&spec, &observations);
+            assert_eq!(
+                conv_cert.results, conventional.results,
+                "certified conventional check must not change verdicts"
+            );
+            for (i, (result, cert)) in conv_cert.results.iter().zip(&conv_certs).enumerate() {
+                mtracecheck::certify::verify_verdict(
+                    &spec,
+                    &observations[i],
+                    cert,
+                    result.is_err(),
+                )
+                .expect("golden conventional certificate verifies");
+                let _ = writeln!(out, "cert-conventional[{i}]: {}", hex(&cert.to_bytes()));
+            }
+            let (coll_cert, coll_certs) = check_collective_certified(&spec, &observations, false);
+            assert_eq!(
+                coll_cert.results, collective.results,
+                "certified collective check must not change verdicts"
+            );
+            for (i, (result, cert)) in coll_cert.results.iter().zip(&coll_certs).enumerate() {
+                mtracecheck::certify::verify_verdict(
+                    &spec,
+                    &observations[i],
+                    cert,
+                    result.is_err(),
+                )
+                .expect("golden collective certificate verifies");
+                let _ = writeln!(out, "cert-collective[{i}]: {}", hex(&cert.to_bytes()));
+            }
 
             // Figure 13-style diagnosis of the first violating graph, from
             // both checkers (their extracted cycles may legitimately
