@@ -124,6 +124,7 @@ fn main() {
             chrome_path: None,
             metrics_path: Some(dir.join("metrics.prom")),
             progress: false,
+            scrape: false,
         });
         let report = Campaign::new(config())
             .with_telemetry(telemetry.clone())

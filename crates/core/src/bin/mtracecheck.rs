@@ -12,6 +12,7 @@
 use mtracecheck::graph::{check_conventional, explain_violation, CheckOptions, TestGraphSpec};
 use mtracecheck::instr::{analyze, render_instrumented, SignatureSchema, SourcePruning};
 use mtracecheck::isa::{litmus, parse_program, IsaKind, Mcm};
+use mtracecheck::service;
 use mtracecheck::sim::{enumerate_outcomes, BugKind, CacheConfig};
 use mtracecheck::sim::{Simulator, SystemConfig};
 use mtracecheck::telemetry::{logger, validate_metrics_text, validate_trace_text};
@@ -22,6 +23,15 @@ use mtracecheck::{
 };
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// How a successfully completed subcommand ended. `Degraded` maps to exit
+/// code 3: the campaign finished and reported, but some tests were
+/// quarantined, so the verdict is partial. Errors and violations stay
+/// exit 1, usage stays exit 2.
+enum CmdOutcome {
+    Clean,
+    Degraded,
+}
 
 struct Args {
     positional: Vec<String>,
@@ -38,9 +48,11 @@ impl Args {
                 // The one short flag; it takes no value.
                 flags.push(("quiet".to_owned(), None));
             } else if let Some(name) = arg.strip_prefix("--") {
-                // Verbosity and progress flags never take a value, so a
-                // following positional (e.g. the subcommand) stays one.
-                let takes_value = !matches!(name, "quiet" | "verbose" | "progress");
+                // Verbosity, progress, and worker-lifetime flags never take
+                // a value, so a following positional (e.g. the subcommand)
+                // stays one.
+                let takes_value =
+                    !matches!(name, "quiet" | "verbose" | "progress" | "exit-when-idle");
                 let value = iter
                     .peek()
                     .filter(|v| takes_value && !v.starts_with("--"))
@@ -132,6 +144,27 @@ fn usage() -> &'static str {
                                       --verdict-cache FILE reuses verdicts across\n\
                                       campaigns (reports stay byte-identical; hit/miss\n\
                                       counters go to stderr and the journal footer)\n\
+       mtracecheck serve [--addr HOST:PORT] [--state-dir DIR] [--lease-ms MS]\n\
+                   [--shard-tests N] [--max-shard-attempts N]\n\
+                                      start the distributed-campaign coordinator:\n\
+                                      submitted jobs shard into suite-slot leases\n\
+                                      claimed by workers; prints `SERVING: ADDR`\n\
+                                      (port 0 picks a free port); --state-dir\n\
+                                      journals the queue so a restarted coordinator\n\
+                                      resumes it; GET /metrics serves Prometheus\n\
+                                      text, GET /healthz liveness\n\
+       mtracecheck worker --coordinator HOST:PORT [--name NAME] [--poll-ms MS]\n\
+                   [--exit-when-idle] [--max-shards N]\n\
+                                      run a campaign worker: claim shards, execute\n\
+                                      them with the single-machine pipeline, ship\n\
+                                      per-test results; safe to kill at any point\n\
+                                      (its leases expire and shards are reassigned)\n\
+       mtracecheck submit --coordinator HOST:PORT (campaign generation flags)\n\
+                   [--deadline-ms MS] [--journal-out FILE]\n\
+                                      submit a campaign as a job, wait for the\n\
+                                      merged verdict, and print a report\n\
+                                      byte-identical to `mtracecheck campaign`;\n\
+                                      --journal-out saves the merged journal\n\
        mtracecheck litmus [NAME]      explore litmus outcomes under SC/TSO/Weak\n\
        mtracecheck program FILE [--mcm <sc|tso|weak>] [--iters N] [--enumerate]\n\
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
@@ -144,7 +177,13 @@ fn usage() -> &'static str {
      GLOBAL FLAGS:\n\
        -q | --quiet                   errors only on stderr\n\
        --verbose                      harness-debugging detail on stderr\n\
-       (stdout — reports and RESULT lines — is never affected)\n"
+       (stdout — reports and RESULT lines — is never affected)\n\
+     \n\
+     EXIT CODES:\n\
+       0  clean — no violations observed\n\
+       1  violations detected, or an error\n\
+       2  usage\n\
+       3  campaign completed DEGRADED (quarantined tests; verdict partial)\n"
 }
 
 fn parse_bytes(s: &str) -> Result<u64, String> {
@@ -199,7 +238,7 @@ fn build_test(args: &Args) -> Result<TestConfig, String> {
     Ok(test)
 }
 
-fn cmd_campaign(args: &Args) -> Result<(), String> {
+fn cmd_campaign(args: &Args) -> Result<CmdOutcome, String> {
     let test = build_test(args)?;
     let iterations = args.num("iters", 4096u64)?;
     let tests = args.num("tests", 10u64)?;
@@ -284,6 +323,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         chrome_path: args.get("chrome-trace").map(std::path::PathBuf::from),
         metrics_path: args.get("metrics").map(std::path::PathBuf::from),
         progress: args.has("progress"),
+        ..TelemetryConfig::default()
     });
     logger::info(format_args!(
         "validating {} on `{}` ({iterations} iterations x {tests} tests)...\n",
@@ -334,8 +374,10 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         ));
     }
     if report.is_degraded() {
-        // Graceful degradation: partial verdicts are reported, loudly, but
-        // a campaign that completed is not an error.
+        // Graceful degradation: partial verdicts are reported, loudly, and
+        // signalled to callers through the dedicated exit code 3 — not an
+        // error (the campaign completed), not success (the verdict is
+        // partial).
         println!(
             "RESULT: no violations in {} validated tests (DEGRADED RUN: {} quarantined{})",
             report.tests.len(),
@@ -346,10 +388,178 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 ""
             }
         );
-    } else {
-        println!("RESULT: no memory consistency violations observed");
+        return Ok(CmdOutcome::Degraded);
     }
+    println!("RESULT: no memory consistency violations observed");
+    Ok(CmdOutcome::Clean)
+}
+
+/// `mtracecheck serve` — run the distributed-campaign coordinator until
+/// killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut options = service::ServeOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7700").to_owned(),
+        state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+        lease: Duration::from_millis(args.num("lease-ms", 30_000u64)?.max(1)),
+        shard_tests: args.num("shard-tests", 1u64)?.max(1),
+        max_shard_attempts: args.num("max-shard-attempts", 3u32)?.max(1),
+        ..service::ServeOptions::default()
+    };
+    if args.has("reassign-backoff-ms") {
+        options.retry = RetryPolicy::with_retries(2).with_backoff(Duration::from_millis(
+            args.num("reassign-backoff-ms", 25u64)?,
+        ));
+    }
+    let server = service::serve(options).map_err(|e| format!("serve: {e}"))?;
+    // The address line is flushed immediately so launcher scripts can read
+    // the bound port (`--addr 127.0.0.1:0` picks a free one) from stdout.
+    println!("SERVING: {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    logger::info(format_args!(
+        "coordinator listening on {} (kill the process to stop)",
+        server.addr()
+    ));
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `mtracecheck worker` — run the claim/execute/submit loop against a
+/// coordinator.
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let mut options = service::WorkerOptions {
+        coordinator: args
+            .get("coordinator")
+            .ok_or("worker: --coordinator HOST:PORT is required")?
+            .to_owned(),
+        exit_when_idle: args.has("exit-when-idle"),
+        poll: Duration::from_millis(args.num("poll-ms", 25u64)?.max(1)),
+        ..service::WorkerOptions::default()
+    };
+    if let Some(name) = args.get("name") {
+        options.name = name.to_owned();
+    }
+    if args.has("max-shards") {
+        options.max_shards = Some(args.num("max-shards", 0u64)?);
+    }
+    #[cfg(feature = "fault-inject")]
+    {
+        options.faults = parse_net_faults(args)?;
+    }
+    let summary = service::run_worker(options).map_err(|e| format!("worker: {e}"))?;
+    println!(
+        "RESULT: worker finished ({} shard(s) completed, {} abandoned)",
+        summary.shards_completed, summary.shards_abandoned
+    );
     Ok(())
+}
+
+/// Parses the worker's injected-network-fault flags (test builds only):
+/// comma-separated submission ordinals, `N:MS` pairs for stalls.
+#[cfg(feature = "fault-inject")]
+fn parse_net_faults(args: &Args) -> Result<service::NetFaultPlan, String> {
+    let ordinals = |name: &str| -> Result<Vec<u64>, String> {
+        args.get(name).map_or(Ok(Vec::new()), |list| {
+            list.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| format!("--{name}: cannot parse `{s}`"))
+                })
+                .collect()
+        })
+    };
+    let mut plan = service::NetFaultPlan::default();
+    for o in ordinals("fault-drop-result")? {
+        plan = plan.drop_result_at(o);
+    }
+    for o in ordinals("fault-partial-result")? {
+        plan = plan.partial_result_at(o);
+    }
+    for o in ordinals("fault-dup-result")? {
+        plan = plan.duplicate_result_at(o);
+    }
+    if let Some(spec) = args.get("fault-stall-result") {
+        for item in spec.split(',').filter(|s| !s.is_empty()) {
+            let (ordinal, ms) = item
+                .split_once(':')
+                .ok_or_else(|| format!("--fault-stall-result: expected N:MS, got `{item}`"))?;
+            let parse = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("--fault-stall-result: cannot parse `{s}`"))
+            };
+            plan = plan.stall_result_at(parse(ordinal)?, parse(ms)?);
+        }
+    }
+    Ok(plan)
+}
+
+/// `mtracecheck submit` — submit a campaign to a coordinator, wait for the
+/// merged verdict, and mirror `campaign`'s stdout/exit-code contract.
+fn cmd_submit(args: &Args) -> Result<CmdOutcome, String> {
+    let coordinator = args
+        .get("coordinator")
+        .ok_or("submit: --coordinator HOST:PORT is required")?;
+    let test = build_test(args)?;
+    let mut spec = service::JobSpec::new(test, args.num("iters", 4096u64)?)
+        .with_tests(args.num("tests", 10u64)?);
+    spec.workers = args.num("workers", 1u64)?.max(1);
+    spec.compare_conventional = args.has("compare");
+    spec.split_windows = args.has("split-windows");
+    spec.chunked_check = args.has("chunked-check");
+    let retries = args.num("retries", 0u32)?;
+    if retries > 0 || args.has("retry-backoff-ms") || args.has("time-budget-ms") {
+        let mut policy = RetryPolicy::with_retries(retries)
+            .with_backoff(Duration::from_millis(args.num("retry-backoff-ms", 0u64)?));
+        if args.has("time-budget-ms") {
+            policy =
+                policy.with_time_budget(Duration::from_millis(args.num("time-budget-ms", 0u64)?));
+        }
+        spec = spec.with_retry(policy);
+    }
+    let timeout = Duration::from_secs(10);
+    let job =
+        service::submit_job(coordinator, &spec, timeout).map_err(|e| format!("submit: {e}"))?;
+    logger::info(format_args!(
+        "submitted job {job} ({} tests x {} iterations) to {coordinator}",
+        spec.tests, spec.iterations
+    ));
+    let deadline = Duration::from_millis(args.num("deadline-ms", 600_000u64)?);
+    let progress = service::wait_for_job(coordinator, job, deadline, Duration::from_millis(50))
+        .map_err(|e| format!("submit: {e}"))?;
+    let report =
+        service::fetch_report(coordinator, job, timeout).map_err(|e| format!("submit: {e}"))?;
+    println!("{report}");
+    if let Some(path) = args.get("journal-out") {
+        match service::fetch_journal(coordinator, job, timeout)
+            .map_err(|e| format!("submit: {e}"))?
+        {
+            Some(bytes) => {
+                std::fs::write(path, bytes).map_err(|e| format!("--journal-out {path}: {e}"))?;
+                logger::info(format_args!("merged journal written to {path}"));
+            }
+            None => logger::warn(format_args!(
+                "coordinator cannot assemble a journal (serde unavailable on a worker); \
+                 {path} not written"
+            )),
+        }
+    }
+    if progress.failing > 0 {
+        return Err(format!(
+            "RESULT: {} of {} tests exposed violations",
+            progress.failing, progress.validated
+        ));
+    }
+    if progress.degraded {
+        println!(
+            "RESULT: no violations in {} validated tests (DEGRADED RUN: {} quarantined)",
+            progress.validated, progress.quarantined
+        );
+        return Ok(CmdOutcome::Degraded);
+    }
+    println!("RESULT: no memory consistency violations observed");
+    Ok(CmdOutcome::Clean)
 }
 
 fn cmd_collect(args: &Args) -> Result<(), String> {
@@ -728,16 +938,19 @@ fn main() -> ExitCode {
     }
     let result = match args.positional.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args),
-        Some("collect") => cmd_collect(&args),
-        Some("check") => cmd_check(&args),
-        Some("verify") => cmd_verify(&args),
-        Some("litmus") => cmd_litmus(&args),
-        Some("program") => cmd_program(&args),
-        Some("render") => cmd_render(&args),
-        Some("validate-trace") => cmd_validate_trace(&args),
+        Some("serve") => cmd_serve(&args).map(|()| CmdOutcome::Clean),
+        Some("worker") => cmd_worker(&args).map(|()| CmdOutcome::Clean),
+        Some("submit") => cmd_submit(&args),
+        Some("collect") => cmd_collect(&args).map(|()| CmdOutcome::Clean),
+        Some("check") => cmd_check(&args).map(|()| CmdOutcome::Clean),
+        Some("verify") => cmd_verify(&args).map(|()| CmdOutcome::Clean),
+        Some("litmus") => cmd_litmus(&args).map(|()| CmdOutcome::Clean),
+        Some("program") => cmd_program(&args).map(|()| CmdOutcome::Clean),
+        Some("render") => cmd_render(&args).map(|()| CmdOutcome::Clean),
+        Some("validate-trace") => cmd_validate_trace(&args).map(|()| CmdOutcome::Clean),
         Some("configs") => {
             cmd_configs();
-            Ok(())
+            Ok(CmdOutcome::Clean)
         }
         _ => {
             eprint!("{}", usage());
@@ -745,7 +958,8 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::Clean) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::Degraded) => ExitCode::from(3),
         Err(message) => {
             logger::error(message);
             ExitCode::FAILURE

@@ -686,6 +686,40 @@ impl Campaign {
         self.run_supervised(true, Some(journal))
     }
 
+    /// Validates only suite slots `range`, generating each slot's program
+    /// from the campaign seed exactly as the full suite would — the shard
+    /// primitive the campaign service's workers execute. Verdicts are
+    /// bit-identical to the corresponding slots of a full run: generation
+    /// is per-slot deterministic (`seed + index`) and the supervisor's
+    /// attempt loop is self-contained per slot.
+    ///
+    /// Callers must not configure a lint policy: linting is a whole-suite
+    /// pass (regeneration seeds depend on which slots were pruned), so a
+    /// shard cannot reproduce it locally. Service jobs never set one.
+    pub(crate) fn run_slots(
+        &self,
+        range: std::ops::Range<u64>,
+    ) -> Vec<(u64, Result<TestReport, QuarantineRecord>)> {
+        assert!(
+            self.config.lint.is_none(),
+            "run_slots cannot reproduce whole-suite lint gating"
+        );
+        let artifacts = RunArtifacts::prepare(&self.config);
+        range
+            .map(|index| {
+                let config = self
+                    .config
+                    .test
+                    .clone()
+                    .with_seed(self.config.test.seed.wrapping_add(index));
+                let program = generate(&config);
+                let (outcome, _diag) =
+                    self.run_test_supervised(index, &program, None, true, &artifacts);
+                (index, outcome)
+            })
+            .collect()
+    }
+
     fn run_supervised(&self, threaded: bool, journal: Option<&CampaignJournal>) -> ConfigReport {
         let mut root = self.telemetry.scope(Ids::none());
         let wall_started = root.start();
@@ -862,7 +896,10 @@ impl Campaign {
         let mut diag = TestDiagnostics::default();
         let max_attempts = policy.max_attempts.max(1);
         for attempt in 1..=max_attempts {
-            let backoff = policy.backoff_before(attempt);
+            // Shared deterministic backoff: the same jitter implementation
+            // the campaign service uses, keyed by suite index so parallel
+            // retries across the pool spread out instead of thundering.
+            let backoff = policy.jittered_backoff(attempt, index);
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
@@ -1973,8 +2010,9 @@ struct ShardRun {
 }
 
 /// Splits `0..iterations` into at most `workers` contiguous, near-equal,
-/// non-empty ranges (earlier shards take the remainder).
-fn shard_ranges(iterations: u64, workers: usize) -> Vec<std::ops::Range<u64>> {
+/// non-empty ranges (earlier shards take the remainder). Also the shard
+/// plan the campaign service's coordinator partitions suite slots with.
+pub(crate) fn shard_ranges(iterations: u64, workers: usize) -> Vec<std::ops::Range<u64>> {
     let shards = (workers.max(1) as u64).min(iterations.max(1));
     let base = iterations / shards;
     let remainder = iterations % shards;

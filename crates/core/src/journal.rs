@@ -412,10 +412,58 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalEr
     Ok(contents)
 }
 
+/// Renders the canonical header line for a campaign — byte-identical to
+/// the first line [`CampaignJournal::create`] writes. The distributed
+/// coordinator uses these per-line renderers to assemble a merged journal
+/// that matches a single-machine run's bytes exactly.
+///
+/// # Errors
+///
+/// Serialization failure (under the offline serde devstub, always).
+pub(crate) fn render_header_line(config: &CampaignConfig) -> Result<String, JournalError> {
+    Ok(serde_json::to_string(&JournalRecord::Header(
+        JournalHeader::of(config),
+    ))?)
+}
+
+/// Renders the canonical record line for a validated test.
+///
+/// # Errors
+///
+/// Serialization failure (under the offline serde devstub, always).
+pub(crate) fn render_test_line(index: u64, report: &TestReport) -> Result<String, JournalError> {
+    Ok(serde_json::to_string(&JournalRecord::Test {
+        index,
+        report: Box::new(report.clone()),
+    })?)
+}
+
+/// Renders the canonical record line for a quarantined test.
+///
+/// # Errors
+///
+/// Serialization failure (under the offline serde devstub, always).
+pub(crate) fn render_quarantine_line(record: &QuarantineRecord) -> Result<String, JournalError> {
+    Ok(serde_json::to_string(&JournalRecord::Quarantine(
+        record.clone(),
+    ))?)
+}
+
+/// Renders the canonical footer line.
+///
+/// # Errors
+///
+/// Serialization failure (under the offline serde devstub, always).
+pub(crate) fn render_footer_line(footer: &JournalFooter) -> Result<String, JournalError> {
+    Ok(serde_json::to_string(&JournalRecord::Footer(
+        footer.clone(),
+    ))?)
+}
+
 /// Writes a file via a temp sibling + fsync + atomic rename: at every
 /// instant `path` holds either its previous complete contents or the new
 /// complete contents, never a prefix.
-fn write_atomically(
+pub(crate) fn write_atomically(
     path: &Path,
     write: impl FnOnce(&mut File) -> std::io::Result<()>,
 ) -> Result<(), JournalError> {

@@ -50,6 +50,7 @@ mod log;
 pub mod pool;
 pub mod radix;
 mod report;
+pub mod service;
 mod store;
 mod supervisor;
 pub mod telemetry;

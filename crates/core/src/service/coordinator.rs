@@ -1,0 +1,1215 @@
+//! The campaign coordinator: job queue, shard leasing, fault recovery,
+//! and the deterministic merge that makes a distributed run byte-identical
+//! to a single-machine campaign.
+//!
+//! # Lease state machine
+//!
+//! Every shard is in exactly one state:
+//!
+//! ```text
+//!            claim                    valid /result
+//! Pending ----------> Leased -----------------------> Done
+//!    ^                  |
+//!    |   lease expiry / corrupt result under lease    |
+//!    +------------------+    (failures < max)         |
+//!                       |                             |
+//!                       +--> Poisoned  (failures >= max_shard_attempts)
+//! ```
+//!
+//! Reassignment backs off deterministically through the *same*
+//! [`RetryPolicy::jittered_backoff`] the supervisor uses, keyed by
+//! `(job, shard)`. A shard whose owners keep dying is poisoned after
+//! `max_shard_attempts` failures: its suite slots are synthesized into
+//! quarantine records (cause classified as [`FailureCause::Panic`] with
+//! the shard's failure history as payload) and the job completes DEGRADED
+//! instead of hanging — exactly the supervisor's contract, lifted one
+//! level up.
+//!
+//! # Determinism
+//!
+//! Shard results are per-slot verdicts computed by
+//! `Campaign::run_slots`, which reproduces the single-machine per-slot
+//! seeds exactly. The merge is therefore pure bookkeeping: envelopes are
+//! keyed by suite index in a `BTreeMap`, duplicates are idempotent
+//! (first result wins — any two valid results for a shard are identical
+//! by construction), and the assembled report and journal equal
+//! `Campaign::new(spec.to_config()).run()`'s output byte for byte.
+
+use super::http;
+use super::json::{parse, Value};
+use super::protocol::{parse_body, JobSpec, ShardAssignment, SlotEnvelope};
+use crate::campaign::shard_ranges;
+use crate::journal::{render_footer_line, render_header_line, render_quarantine_line};
+use crate::supervisor::{AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy};
+use crate::telemetry::{Ids, Telemetry, TelemetryConfig};
+use crate::JournalFooter;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks a free port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Directory for the journal-backed job queue. Every submitted job and
+    /// completed shard is appended to `job-NNNNNN.jsonl` here, and a
+    /// restarted coordinator replays the files: done shards stay done,
+    /// leases (which died with the process) revert to pending.
+    pub state_dir: Option<PathBuf>,
+    /// Lease duration granted per claim; heartbeats extend it. Every wait
+    /// in the system is bounded by this.
+    pub lease: Duration,
+    /// Suite slots per shard (1 = one test per lease, the finest grain).
+    pub shard_tests: u64,
+    /// Distinct owners a shard may kill before it is poisoned and its
+    /// slots quarantined.
+    pub max_shard_attempts: u32,
+    /// Backoff policy for shard *reassignment* (not worker-side retries):
+    /// failure `k` delays the next claim by
+    /// [`RetryPolicy::jittered_backoff`]`(k + 1, job ⊕ shard)`.
+    pub retry: RetryPolicy,
+    /// Telemetry handle; scrape-enabled by default so `/metrics` serves a
+    /// live registry.
+    pub telemetry: Telemetry,
+    /// Socket timeout applied to every accepted connection.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            state_dir: None,
+            lease: Duration::from_secs(30),
+            shard_tests: 1,
+            max_shard_attempts: 3,
+            retry: RetryPolicy::with_retries(2).with_backoff(Duration::from_millis(25)),
+            telemetry: Telemetry::new(TelemetryConfig {
+                scrape: true,
+                ..TelemetryConfig::default()
+            }),
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running coordinator. Dropping (or [`Server::shutdown`]) stops the
+/// accept loop and the lease sweeper; in-flight connection handlers are
+/// bounded by their socket timeouts.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address, e.g. `127.0.0.1:41873`.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// The coordinator's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.options.telemetry
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = http::connect(&self.addr.to_string(), Duration::from_millis(250));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sweeper.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts a coordinator. If [`ServeOptions::state_dir`] is set, previously
+/// journaled jobs are recovered first (completed shards kept, leases
+/// reverted to pending).
+///
+/// # Errors
+///
+/// Binding the listener or reading the state directory fails.
+pub fn serve(options: ServeOptions) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&options.addr)?;
+    let addr = listener.local_addr()?;
+    let mut jobs = Jobs::default();
+    if let Some(dir) = &options.state_dir {
+        std::fs::create_dir_all(dir)?;
+        recover_jobs(dir, &mut jobs, &options)?;
+    }
+    let state = Arc::new(ServiceState {
+        options,
+        jobs: Mutex::new(jobs),
+        shutdown: AtomicBool::new(false),
+        lease_counter: AtomicU64::new(0),
+    });
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+    let sweep_state = Arc::clone(&state);
+    let sweeper = std::thread::spawn(move || sweep_loop(&sweep_state));
+    Ok(Server {
+        addr,
+        state,
+        accept: Some(accept),
+        sweeper: Some(sweeper),
+    })
+}
+
+#[derive(Debug)]
+struct ServiceState {
+    options: ServeOptions,
+    jobs: Mutex<Jobs>,
+    shutdown: AtomicBool,
+    lease_counter: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Jobs {
+    next_id: u64,
+    jobs: BTreeMap<u64, Job>,
+}
+
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    shards: Vec<Shard>,
+    /// Accepted slot results, keyed by suite index — the deterministic
+    /// merge order.
+    entries: BTreeMap<u64, SlotEnvelope>,
+    complete: bool,
+    degraded: bool,
+    report: Option<String>,
+    /// `Ok(bytes)` once assembled; `Err(reason)` when a journal cannot be
+    /// produced (serde unavailable somewhere along the path).
+    journal: Option<Result<String, String>>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    start: u64,
+    end: u64,
+    state: ShardState,
+    failures: Vec<ShardFailure>,
+}
+
+#[derive(Clone, Debug)]
+struct ShardFailure {
+    worker: String,
+    cause: String,
+}
+
+#[derive(Debug)]
+enum ShardState {
+    Pending {
+        not_before: Option<Instant>,
+    },
+    Leased {
+        lease: u64,
+        expires: Instant,
+        /// Claiming worker's name — failure attribution when the lease
+        /// expires (the holder crashed, stalled, or disconnected).
+        holder: String,
+    },
+    Done,
+    Poisoned,
+}
+
+impl Job {
+    fn new(id: u64, spec: JobSpec, plan: &[(u64, u64)]) -> Job {
+        Job {
+            id,
+            spec,
+            shards: plan
+                .iter()
+                .map(|&(start, end)| Shard {
+                    start,
+                    end,
+                    state: ShardState::Pending { not_before: None },
+                    failures: Vec::new(),
+                })
+                .collect(),
+            entries: BTreeMap::new(),
+            complete: false,
+            degraded: false,
+            report: None,
+            journal: None,
+        }
+    }
+}
+
+/// The deterministic shard plan for a suite of `tests` slots.
+fn plan_shards(tests: u64, shard_tests: u64) -> Vec<(u64, u64)> {
+    let per_shard = shard_tests.max(1);
+    let shard_count = usize::try_from(tests.max(1).div_ceil(per_shard)).unwrap_or(usize::MAX);
+    shard_ranges(tests, shard_count)
+        .into_iter()
+        .map(|r| (r.start, r.end))
+        .collect()
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let timeout = state.options.request_timeout;
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            match http::read_request(&mut stream) {
+                Ok(request) => {
+                    let (status, content_type, body) = dispatch(&state, &request);
+                    let _ = http::write_response(&mut stream, status, content_type, &body);
+                }
+                Err(_) => {
+                    // Partial writes and hangups cost one bounded read.
+                    let _ = http::write_response(
+                        &mut stream,
+                        400,
+                        "application/json",
+                        &error_body("malformed request"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+fn sweep_loop(state: &Arc<ServiceState>) {
+    let tick = (state.options.lease / 4)
+        .min(Duration::from_millis(250))
+        .max(Duration::from_millis(5));
+    while !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        expire_leases(state);
+    }
+}
+
+/// Fails every shard whose lease has expired — the recovery path for
+/// crashed, stalled, and disconnected workers alike.
+fn expire_leases(state: &ServiceState) {
+    let now = Instant::now();
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    let mut expired: Vec<(u64, usize, String)> = Vec::new();
+    for job in jobs.jobs.values() {
+        for (index, shard) in job.shards.iter().enumerate() {
+            if let ShardState::Leased {
+                expires, holder, ..
+            } = &shard.state
+            {
+                if *expires <= now {
+                    expired.push((job.id, index, holder.clone()));
+                }
+            }
+        }
+    }
+    for (job_id, shard_index, holder) in expired {
+        state.count("lease_expirations", 1);
+        fail_shard(
+            state,
+            &mut jobs,
+            job_id,
+            shard_index,
+            &holder,
+            "lease expired",
+        );
+    }
+}
+
+impl ServiceState {
+    fn count(&self, event: &'static str, n: u64) {
+        let mut scope = self.options.telemetry.scope(Ids::none());
+        scope.count(event, n);
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Value::obj(vec![("error", Value::str(message))]).render()
+}
+
+type Reply = (u16, &'static str, String);
+
+fn json_reply(status: u16, value: &Value) -> Reply {
+    (status, "application/json", value.render())
+}
+
+fn error_reply(status: u16, message: &str) -> Reply {
+    (status, "application/json", error_body(message))
+}
+
+fn dispatch(state: &ServiceState, request: &http::Request) -> Reply {
+    state.count("requests", 1);
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => json_reply(200, &Value::obj(vec![("ok", Value::Bool(true))])),
+        ("GET", ["metrics"]) => match state.options.telemetry.render_metrics() {
+            Some(text) => (200, "text/plain; version=0.0.4", text),
+            None => error_reply(503, "telemetry disabled on this coordinator"),
+        },
+        ("POST", ["jobs"]) => submit_job(state, &request.body),
+        ("GET", ["jobs"]) => list_jobs(state),
+        ("GET", ["jobs", id]) => with_job_id(id, |id| job_progress(state, id)),
+        ("GET", ["jobs", id, "report"]) => with_job_id(id, |id| job_report(state, id)),
+        ("GET", ["jobs", id, "journal"]) => with_job_id(id, |id| job_journal(state, id)),
+        ("POST", ["claim"]) => claim_shard(state, &request.body),
+        ("POST", ["heartbeat"]) => heartbeat(state, &request.body),
+        ("POST", ["result"]) => submit_result(state, &request.body),
+        ("GET", _) => error_reply(404, "no such endpoint"),
+        _ => error_reply(405, "method not allowed"),
+    }
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(u64) -> Reply) -> Reply {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => error_reply(400, "job id must be an integer"),
+    }
+}
+
+fn submit_job(state: &ServiceState, body: &str) -> Reply {
+    let spec = match parse_body("POST /jobs", body).and_then(|v| JobSpec::decode(&v)) {
+        Ok(spec) => spec,
+        Err(e) => return error_reply(400, &e),
+    };
+    let plan = plan_shards(spec.tests, state.options.shard_tests);
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    let id = jobs.next_id;
+    jobs.next_id += 1;
+    if let Some(dir) = &state.options.state_dir {
+        if let Err(e) = persist_job(dir, id, &spec, &plan) {
+            return error_reply(503, &format!("could not journal job: {e}"));
+        }
+    }
+    jobs.jobs.insert(id, Job::new(id, spec, &plan));
+    state.count("jobs_submitted", 1);
+    json_reply(200, &Value::obj(vec![("job", Value::u64(id))]))
+}
+
+fn list_jobs(state: &ServiceState) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let ids: Vec<Value> = jobs.jobs.keys().map(|&id| Value::u64(id)).collect();
+    json_reply(200, &Value::obj(vec![("jobs", Value::Arr(ids))]))
+}
+
+fn job_progress(state: &ServiceState, id: u64) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get(&id) else {
+        return error_reply(404, "no such job");
+    };
+    let mut pending = 0u64;
+    let mut leased = 0u64;
+    let mut done = 0u64;
+    let mut poisoned = 0u64;
+    for shard in &job.shards {
+        match shard.state {
+            ShardState::Pending { .. } => pending += 1,
+            ShardState::Leased { .. } => leased += 1,
+            ShardState::Done => done += 1,
+            ShardState::Poisoned => poisoned += 1,
+        }
+    }
+    let validated = job.entries.values().filter(|e| !e.quarantined).count() as u64;
+    let quarantined = job.entries.values().filter(|e| e.quarantined).count() as u64;
+    let failing = job
+        .entries
+        .values()
+        .filter(|e| !e.quarantined && !e.clean)
+        .count() as u64;
+    let violations: u64 = job
+        .entries
+        .values()
+        .filter(|e| !e.quarantined)
+        .map(|e| e.violations)
+        .sum();
+    json_reply(
+        200,
+        &Value::obj(vec![
+            ("job", Value::u64(id)),
+            ("tests", Value::u64(job.spec.tests)),
+            ("shards", Value::u64(job.shards.len() as u64)),
+            ("pending", Value::u64(pending)),
+            ("leased", Value::u64(leased)),
+            ("done", Value::u64(done)),
+            ("poisoned", Value::u64(poisoned)),
+            ("validated", Value::u64(validated)),
+            ("quarantined", Value::u64(quarantined)),
+            ("failing", Value::u64(failing)),
+            ("violations", Value::u64(violations)),
+            ("complete", Value::Bool(job.complete)),
+            ("degraded", Value::Bool(job.degraded)),
+        ]),
+    )
+}
+
+fn job_report(state: &ServiceState, id: u64) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get(&id) else {
+        return error_reply(404, "no such job");
+    };
+    match &job.report {
+        Some(text) => (200, "text/plain", text.clone()),
+        None => error_reply(409, "job is not complete yet"),
+    }
+}
+
+fn job_journal(state: &ServiceState, id: u64) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get(&id) else {
+        return error_reply(404, "no such job");
+    };
+    match &job.journal {
+        Some(Ok(text)) => (200, "text/plain", text.clone()),
+        Some(Err(reason)) => error_reply(503, reason),
+        None => error_reply(409, "job is not complete yet"),
+    }
+}
+
+fn claim_shard(state: &ServiceState, body: &str) -> Reply {
+    let worker = match parse_body("POST /claim", body)
+        .and_then(|v| v.req_str("worker").map(ToOwned::to_owned))
+    {
+        Ok(worker) => worker,
+        Err(e) => return error_reply(400, &e),
+    };
+    let now = Instant::now();
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    let mut queue_empty = true;
+    let mut soonest_backoff: Option<Duration> = None;
+    for job in jobs.jobs.values_mut() {
+        for (shard_index, shard) in job.shards.iter_mut().enumerate() {
+            match &shard.state {
+                ShardState::Pending { not_before } => {
+                    queue_empty = false;
+                    if let Some(at) = not_before {
+                        if *at > now {
+                            let wait = *at - now;
+                            soonest_backoff = Some(soonest_backoff.map_or(wait, |s| s.min(wait)));
+                            continue;
+                        }
+                    }
+                    let lease = state.lease_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                    shard.state = ShardState::Leased {
+                        lease,
+                        expires: now + state.options.lease,
+                        holder: worker.clone(),
+                    };
+                    let assignment = ShardAssignment {
+                        job: job.id,
+                        shard: shard_index as u64,
+                        start: shard.start,
+                        end: shard.end,
+                        lease,
+                        lease_ms: state.options.lease.as_millis() as u64,
+                        spec: job.spec.clone(),
+                    };
+                    state.count("shards_claimed", 1);
+                    crate::telemetry::logger::debug(format_args!(
+                        "coordinator: worker {worker} leased job {} shard {shard_index} \
+                         (slots {}..{}, lease {lease})",
+                        job.id, shard.start, shard.end
+                    ));
+                    return json_reply(200, &assignment.encode());
+                }
+                ShardState::Leased { .. } => queue_empty = false,
+                ShardState::Done | ShardState::Poisoned => {}
+            }
+        }
+    }
+    // Nothing claimable right now: back off for the soonest reassignment,
+    // or a lease quarter when only leased shards remain in flight.
+    let retry_after = soonest_backoff
+        .unwrap_or_else(|| (state.options.lease / 4).min(Duration::from_millis(100)))
+        .max(Duration::from_millis(1));
+    json_reply(
+        200,
+        &Value::obj(vec![
+            ("idle", Value::Bool(true)),
+            ("retry_after_ms", Value::u64(retry_after.as_millis() as u64)),
+            ("queue_empty", Value::Bool(queue_empty)),
+        ]),
+    )
+}
+
+fn heartbeat(state: &ServiceState, body: &str) -> Reply {
+    let parsed = parse_body("POST /heartbeat", body)
+        .and_then(|v| Ok((v.req_u64("job")?, v.req_u64("shard")?, v.req_u64("lease")?)));
+    let (job_id, shard_index, lease_id) = match parsed {
+        Ok(t) => t,
+        Err(e) => return error_reply(400, &e),
+    };
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    let Some(shard) = jobs.jobs.get_mut(&job_id).and_then(|j| {
+        j.shards
+            .get_mut(usize::try_from(shard_index).unwrap_or(usize::MAX))
+    }) else {
+        return error_reply(404, "no such job or shard");
+    };
+    match &mut shard.state {
+        ShardState::Leased { lease, expires, .. } if *lease == lease_id => {
+            *expires = Instant::now() + state.options.lease;
+            state.count("heartbeats", 1);
+            json_reply(200, &Value::obj(vec![("ok", Value::Bool(true))]))
+        }
+        // A stale heartbeat tells the worker its lease is gone: stop and
+        // discard rather than racing the replacement.
+        _ => error_reply(409, "lease is no longer held"),
+    }
+}
+
+fn submit_result(state: &ServiceState, body: &str) -> Reply {
+    let value = match parse_body("POST /result", body) {
+        Ok(v) => v,
+        Err(e) => return error_reply(400, &e),
+    };
+    let ids = (|| -> Result<(u64, u64, u64, String), String> {
+        Ok((
+            value.req_u64("job")?,
+            value.req_u64("shard")?,
+            value.req_u64("lease")?,
+            value.req_str("worker")?.to_owned(),
+        ))
+    })();
+    let (job_id, shard_index, lease_id, worker) = match ids {
+        Ok(t) => t,
+        Err(e) => return error_reply(400, &e),
+    };
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get_mut(&job_id) else {
+        return error_reply(404, "no such job");
+    };
+    let Some(shard) = job
+        .shards
+        .get(usize::try_from(shard_index).unwrap_or(usize::MAX))
+    else {
+        return error_reply(404, "no such shard");
+    };
+    let (start, end) = (shard.start, shard.end);
+    match shard.state {
+        // Results are deterministic, so a second delivery carries the
+        // same bytes the first did: acknowledge idempotently.
+        ShardState::Done => {
+            state.count("duplicate_results", 1);
+            return json_reply(200, &Value::obj(vec![("duplicate", Value::Bool(true))]));
+        }
+        ShardState::Poisoned => {
+            return error_reply(409, "shard is poisoned");
+        }
+        ShardState::Pending { .. } | ShardState::Leased { .. } => {}
+    }
+    match decode_entries(&value, start, end) {
+        Ok(entries) => {
+            let shard = &mut job.shards[shard_index as usize];
+            shard.state = ShardState::Done;
+            job.entries
+                .extend(entries.iter().map(|e| (e.index, e.clone())));
+            if let Some(dir) = &state.options.state_dir {
+                if let Err(e) = persist_done(dir, job_id, shard_index, &entries) {
+                    crate::telemetry::logger::warn(format_args!(
+                        "warning: could not journal shard result for job {job_id}: {e}"
+                    ));
+                }
+            }
+            state.count("shard_results", 1);
+            check_completion(state, job);
+            json_reply(200, &Value::obj(vec![("accepted", Value::Bool(true))]))
+        }
+        Err(e) => {
+            // A corrupt body counts against the shard only when it was
+            // submitted under the current lease — stray garbage from an
+            // already-evicted worker cannot sabotage a healthy lease.
+            let held = matches!(
+                job.shards[shard_index as usize].state,
+                ShardState::Leased { lease, .. } if lease == lease_id
+            );
+            state.count("corrupt_results", 1);
+            if held {
+                let cause = format!("corrupt shard result: {e}");
+                fail_shard(
+                    state,
+                    &mut jobs,
+                    job_id,
+                    shard_index as usize,
+                    &worker,
+                    &cause,
+                );
+            }
+            error_reply(400, &format!("corrupt shard result: {e}"))
+        }
+    }
+}
+
+/// Decodes and validates a result's entry list: every suite index in
+/// `start..end`, each exactly once.
+fn decode_entries(value: &Value, start: u64, end: u64) -> Result<Vec<SlotEnvelope>, String> {
+    let raw = value.req_arr("entries")?;
+    let mut entries = Vec::with_capacity(raw.len());
+    for item in raw {
+        entries.push(SlotEnvelope::decode(item)?);
+    }
+    let expected = usize::try_from(end - start).unwrap_or(usize::MAX);
+    if entries.len() != expected {
+        return Err(format!(
+            "expected {expected} entries for slots {start}..{end}, got {}",
+            entries.len()
+        ));
+    }
+    let mut seen: Vec<bool> = vec![false; expected];
+    for entry in &entries {
+        let offset = entry
+            .index
+            .checked_sub(start)
+            .and_then(|o| usize::try_from(o).ok())
+            .filter(|&o| o < expected)
+            .ok_or_else(|| format!("entry index {} outside {start}..{end}", entry.index))?;
+        if seen[offset] {
+            return Err(format!("duplicate entry for suite index {}", entry.index));
+        }
+        seen[offset] = true;
+    }
+    Ok(entries)
+}
+
+/// Records a shard failure and either schedules deterministic
+/// reassignment (with the shared jittered backoff) or poisons the shard.
+fn fail_shard(
+    state: &ServiceState,
+    jobs: &mut Jobs,
+    job_id: u64,
+    shard_index: usize,
+    worker: &str,
+    cause: &str,
+) {
+    let Some(job) = jobs.jobs.get_mut(&job_id) else {
+        return;
+    };
+    let Some(shard) = job.shards.get_mut(shard_index) else {
+        return;
+    };
+    let worker = if worker.is_empty() {
+        "<unknown>"
+    } else {
+        worker
+    };
+    shard.failures.push(ShardFailure {
+        worker: worker.to_owned(),
+        cause: cause.to_owned(),
+    });
+    state.count("shard_failures", 1);
+    let failures = u32::try_from(shard.failures.len()).unwrap_or(u32::MAX);
+    if failures >= state.options.max_shard_attempts {
+        shard.state = ShardState::Poisoned;
+        state.count("shards_poisoned", 1);
+        crate::telemetry::logger::warn(format_args!(
+            "coordinator: job {job_id} shard {shard_index} poisoned after {failures} \
+             failure(s); its slots will be quarantined"
+        ));
+        if let Some(dir) = &state.options.state_dir {
+            let failures = job.shards[shard_index].failures.clone();
+            if let Err(e) = persist_poisoned(dir, job_id, shard_index as u64, &failures) {
+                crate::telemetry::logger::warn(format_args!(
+                    "warning: could not journal poisoned shard for job {job_id}: {e}"
+                ));
+            }
+        }
+        check_completion(state, jobs.jobs.get_mut(&job_id).expect("job exists"));
+    } else {
+        // Deterministic reassignment backoff, shared with the supervisor:
+        // failure k delays the next claim like retry attempt k+1, keyed by
+        // (job, shard) so concurrent recoveries spread out.
+        let key = (job_id << 32) ^ shard_index as u64;
+        let backoff = state.options.retry.jittered_backoff(failures + 1, key);
+        shard.state = ShardState::Pending {
+            not_before: (!backoff.is_zero()).then(|| Instant::now() + backoff),
+        };
+        crate::telemetry::logger::debug(format_args!(
+            "coordinator: job {job_id} shard {shard_index} failed ({cause}, worker \
+             {worker}); reassigning after {} ms",
+            backoff.as_millis()
+        ));
+    }
+}
+
+/// If every shard is terminal (done or poisoned), assembles the job's
+/// final report and journal — the deterministic merge.
+fn check_completion(state: &ServiceState, job: &mut Job) {
+    if job.complete
+        || !job
+            .shards
+            .iter()
+            .all(|s| matches!(s.state, ShardState::Done | ShardState::Poisoned))
+    {
+        return;
+    }
+    // Synthesize quarantine records for every slot of every poisoned
+    // shard: the shard's failure history, classified as worker panics —
+    // the same shape the supervisor produces for an in-process crash.
+    for shard in &job.shards {
+        if !matches!(shard.state, ShardState::Poisoned) {
+            continue;
+        }
+        for index in shard.start..shard.end {
+            let record = QuarantineRecord {
+                index,
+                attempts: shard
+                    .failures
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| AttemptFailure {
+                        attempt: u32::try_from(i + 1).unwrap_or(u32::MAX),
+                        seed_offset: 0,
+                        cause: FailureCause::Panic {
+                            payload: format!("shard owner {}: {}", f.worker, f.cause),
+                        },
+                    })
+                    .collect(),
+            };
+            job.entries.insert(
+                index,
+                SlotEnvelope {
+                    index,
+                    quarantined: true,
+                    clean: false,
+                    unique_signatures: 0,
+                    violations: 0,
+                    text: record.to_string(),
+                    journal_line: render_quarantine_line(&record)
+                        .map_err(|e| e.to_string())
+                        .ok(),
+                },
+            );
+        }
+    }
+    job.complete = true;
+    job.degraded = job.entries.values().any(|e| e.quarantined);
+    job.report = Some(assemble_report(&job.spec, &job.entries));
+    job.journal = Some(assemble_journal(&job.spec, &job.entries));
+    state.count("jobs_completed", 1);
+    if job.degraded {
+        state.count("jobs_degraded", 1);
+    }
+    crate::telemetry::logger::info(format_args!(
+        "coordinator: job {} complete{}",
+        job.id,
+        if job.degraded { " (DEGRADED)" } else { "" }
+    ));
+}
+
+/// Renders the merged [`crate::ConfigReport`] text exactly as the
+/// single-machine campaign's `Display` does: header, summary line,
+/// optional DEGRADED marker, per-test sections in suite order, then
+/// quarantined slots. Service jobs never configure lint, resume, spill
+/// budgets, or profiling, so those conditional lines never apply.
+fn assemble_report(spec: &JobSpec, entries: &BTreeMap<u64, SlotEnvelope>) -> String {
+    use std::fmt::Write as _;
+    let validated: Vec<&SlotEnvelope> = entries.values().filter(|e| !e.quarantined).collect();
+    let quarantined = entries.len() - validated.len();
+    let mean = if validated.is_empty() {
+        0.0
+    } else {
+        validated
+            .iter()
+            .map(|e| e.unique_signatures as f64)
+            .sum::<f64>()
+            / validated.len() as f64
+    };
+    let failing = validated.iter().filter(|e| !e.clean).count();
+    let violations: u64 = validated.iter().map(|e| e.violations).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} ({} tests) ===",
+        spec.test.name(),
+        validated.len()
+    );
+    let _ = writeln!(
+        out,
+        "mean unique signatures {mean:.1}; {failing} failing tests; {violations} violating signatures"
+    );
+    if quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "DEGRADED RUN: {quarantined} test(s) quarantined; verdicts below are partial"
+        );
+    }
+    for entry in &validated {
+        let _ = writeln!(out, "--- test {} ---", entry.index);
+        out.push_str(&entry.text);
+    }
+    for entry in entries.values().filter(|e| e.quarantined) {
+        out.push_str("QUARANTINED: ");
+        out.push_str(&entry.text);
+    }
+    out
+}
+
+/// Reassembles the canonical journal byte stream from per-slot lines:
+/// header, records in suite order, footer — the same layout
+/// [`crate::CampaignJournal::finalize`] writes (footers differ in
+/// host-resource statistics and are stripped by cross-run comparisons).
+fn assemble_journal(
+    spec: &JobSpec,
+    entries: &BTreeMap<u64, SlotEnvelope>,
+) -> Result<String, String> {
+    let config = spec.to_config();
+    let header = render_header_line(&config)
+        .map_err(|e| format!("journal unavailable: header failed to render: {e}"))?;
+    let mut out = header;
+    out.push('\n');
+    let mut tests = 0u64;
+    let mut quarantined = 0u64;
+    for entry in entries.values() {
+        if entry.quarantined {
+            quarantined += 1;
+        } else {
+            tests += 1;
+        }
+        let line = entry.journal_line.as_ref().ok_or_else(|| {
+            format!(
+                "journal unavailable: slot {} shipped no journal line \
+                 (serde unavailable on its worker)",
+                entry.index
+            )
+        })?;
+        out.push_str(line);
+        out.push('\n');
+    }
+    let footer = JournalFooter {
+        tests,
+        quarantined,
+        ..JournalFooter::default()
+    };
+    let line = render_footer_line(&footer)
+        .map_err(|e| format!("journal unavailable: footer failed to render: {e}"))?;
+    out.push_str(&line);
+    out.push('\n');
+    Ok(out)
+}
+
+// --- journal-backed queue persistence -----------------------------------
+
+fn job_file(dir: &std::path::Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id:06}.jsonl"))
+}
+
+fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")?;
+    file.flush()
+}
+
+fn persist_job(
+    dir: &std::path::Path,
+    id: u64,
+    spec: &JobSpec,
+    plan: &[(u64, u64)],
+) -> std::io::Result<()> {
+    let shards: Vec<Value> = plan
+        .iter()
+        .map(|&(s, e)| Value::Arr(vec![Value::u64(s), Value::u64(e)]))
+        .collect();
+    let record = Value::obj(vec![
+        ("kind", Value::str("job")),
+        ("id", Value::u64(id)),
+        ("spec", spec.encode()),
+        ("shards", Value::Arr(shards)),
+    ]);
+    append_line(&job_file(dir, id), &record.render())
+}
+
+fn persist_done(
+    dir: &std::path::Path,
+    id: u64,
+    shard: u64,
+    entries: &[SlotEnvelope],
+) -> std::io::Result<()> {
+    let record = Value::obj(vec![
+        ("kind", Value::str("done")),
+        ("shard", Value::u64(shard)),
+        (
+            "entries",
+            Value::Arr(entries.iter().map(SlotEnvelope::encode).collect()),
+        ),
+    ]);
+    append_line(&job_file(dir, id), &record.render())
+}
+
+fn persist_poisoned(
+    dir: &std::path::Path,
+    id: u64,
+    shard: u64,
+    failures: &[ShardFailure],
+) -> std::io::Result<()> {
+    let record = Value::obj(vec![
+        ("kind", Value::str("poisoned")),
+        ("shard", Value::u64(shard)),
+        (
+            "failures",
+            Value::Arr(
+                failures
+                    .iter()
+                    .map(|f| {
+                        Value::obj(vec![
+                            ("worker", Value::str(f.worker.clone())),
+                            ("cause", Value::str(f.cause.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    append_line(&job_file(dir, id), &record.render())
+}
+
+/// Replays `job-*.jsonl` files into the queue. Leases died with the old
+/// process, so every non-terminal shard restarts pending; corrupt or
+/// truncated lines are skipped with a warning (their shards re-run),
+/// mirroring the campaign journal's forgiving replay.
+fn recover_jobs(
+    dir: &std::path::Path,
+    jobs: &mut Jobs,
+    options: &ServeOptions,
+) -> std::io::Result<()> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("job-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let mut job: Option<Job> = None;
+        let mut skipped = 0u64;
+        for line in text.lines() {
+            match parse(line) {
+                Ok(value) => {
+                    if !replay_record(&value, &mut job) {
+                        skipped += 1;
+                    }
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        if skipped > 0 {
+            crate::telemetry::logger::warn(format_args!(
+                "warning: skipped {skipped} corrupt line(s) recovering {}",
+                path.display()
+            ));
+        }
+        let Some(mut job) = job else { continue };
+        // Re-run the completion check so a job that finished before the
+        // restart re-assembles its report and journal.
+        let placeholder = ServiceState {
+            options: options.clone(),
+            jobs: Mutex::new(Jobs::default()),
+            shutdown: AtomicBool::new(false),
+            lease_counter: AtomicU64::new(0),
+        };
+        check_completion(&placeholder, &mut job);
+        jobs.next_id = jobs.next_id.max(job.id + 1);
+        jobs.jobs.insert(job.id, job);
+    }
+    Ok(())
+}
+
+/// Applies one recovered record; returns `false` for records that cannot
+/// be applied (treated as corrupt).
+fn replay_record(value: &Value, job: &mut Option<Job>) -> bool {
+    match value.get("kind").and_then(Value::as_str) {
+        Some("job") => {
+            let (Ok(id), Some(spec_value), Ok(shards_raw)) = (
+                value.req_u64("id"),
+                value.get("spec"),
+                value.req_arr("shards"),
+            ) else {
+                return false;
+            };
+            let Ok(spec) = JobSpec::decode(spec_value) else {
+                return false;
+            };
+            let mut plan = Vec::with_capacity(shards_raw.len());
+            for item in shards_raw {
+                let Some([s, e]) = item.as_arr().and_then(|a| <&[Value; 2]>::try_from(a).ok())
+                else {
+                    return false;
+                };
+                let (Some(s), Some(e)) = (s.as_u64(), e.as_u64()) else {
+                    return false;
+                };
+                plan.push((s, e));
+            }
+            *job = Some(Job::new(id, spec, &plan));
+            true
+        }
+        Some("done") => {
+            let Some(job) = job.as_mut() else {
+                return false;
+            };
+            let (Ok(shard_index), Ok(raw)) = (value.req_u64("shard"), value.req_arr("entries"))
+            else {
+                return false;
+            };
+            let Some(shard) = job
+                .shards
+                .get_mut(usize::try_from(shard_index).unwrap_or(usize::MAX))
+            else {
+                return false;
+            };
+            let mut entries = Vec::with_capacity(raw.len());
+            for item in raw {
+                let Ok(entry) = SlotEnvelope::decode(item) else {
+                    return false;
+                };
+                entries.push(entry);
+            }
+            shard.state = ShardState::Done;
+            job.entries
+                .extend(entries.into_iter().map(|e| (e.index, e)));
+            true
+        }
+        Some("poisoned") => {
+            let Some(job) = job.as_mut() else {
+                return false;
+            };
+            let (Ok(shard_index), Ok(raw)) = (value.req_u64("shard"), value.req_arr("failures"))
+            else {
+                return false;
+            };
+            let Some(shard) = job
+                .shards
+                .get_mut(usize::try_from(shard_index).unwrap_or(usize::MAX))
+            else {
+                return false;
+            };
+            let mut failures = Vec::with_capacity(raw.len());
+            for item in raw {
+                let (Ok(worker), Ok(cause)) = (item.req_str("worker"), item.req_str("cause"))
+                else {
+                    return false;
+                };
+                failures.push(ShardFailure {
+                    worker: worker.to_owned(),
+                    cause: cause.to_owned(),
+                });
+            }
+            shard.state = ShardState::Poisoned;
+            shard.failures = failures;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plans_cover_the_suite_exactly_once() {
+        for (tests, per_shard) in [(1u64, 1u64), (7, 1), (10, 3), (4, 100), (12, 4)] {
+            let plan = plan_shards(tests, per_shard);
+            assert_eq!(plan.first().map(|&(s, _)| s), Some(0));
+            assert_eq!(plan.last().map(|&(_, e)| e), Some(tests));
+            for pair in plan.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "contiguous shards");
+                assert!(pair[0].0 < pair[0].1, "non-empty shards");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_validation_rejects_gaps_duplicates_and_strays() {
+        let envelope = |index: u64| SlotEnvelope {
+            index,
+            quarantined: false,
+            clean: true,
+            unique_signatures: 1,
+            violations: 0,
+            text: String::new(),
+            journal_line: None,
+        };
+        let body = |indices: &[u64]| {
+            Value::obj(vec![(
+                "entries",
+                Value::Arr(indices.iter().map(|&i| envelope(i).encode()).collect()),
+            )])
+        };
+        assert!(decode_entries(&body(&[2, 3]), 2, 4).is_ok());
+        assert!(decode_entries(&body(&[3, 2]), 2, 4).is_ok(), "order-free");
+        assert!(decode_entries(&body(&[2]), 2, 4).is_err(), "gap");
+        assert!(decode_entries(&body(&[2, 2]), 2, 4).is_err(), "duplicate");
+        assert!(decode_entries(&body(&[2, 5]), 2, 4).is_err(), "stray");
+    }
+
+    #[test]
+    fn degraded_reports_match_the_display_shape() {
+        let spec = JobSpec::new(crate::TestConfig::new(mtc_isa::IsaKind::X86, 2, 10, 8), 16);
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            0,
+            SlotEnvelope {
+                index: 0,
+                quarantined: false,
+                clean: true,
+                unique_signatures: 5,
+                violations: 0,
+                text: "iterations 16\n".to_owned(),
+                journal_line: None,
+            },
+        );
+        entries.insert(
+            1,
+            SlotEnvelope {
+                index: 1,
+                quarantined: true,
+                clean: false,
+                unique_signatures: 0,
+                violations: 0,
+                text: "test 1 quarantined after 1 attempt(s):\n  boom\n".to_owned(),
+                journal_line: None,
+            },
+        );
+        let report = assemble_report(&spec, &entries);
+        assert!(report.contains("(1 tests) ==="));
+        assert!(report.contains("mean unique signatures 5.0; 0 failing tests"));
+        assert!(report.contains("DEGRADED RUN: 1 test(s) quarantined; verdicts below are partial"));
+        assert!(report.contains("--- test 0 ---\niterations 16\n"));
+        assert!(report.contains("QUARANTINED: test 1 quarantined"));
+        // A missing journal line keeps the report but not the journal.
+        assert!(assemble_journal(&spec, &entries).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`, shared by the
+//! coordinator server and the worker/submit clients.
+//!
+//! One request per connection (`Connection: close`), bodies framed by
+//! `Content-Length`, and **every** read and write sits under a socket
+//! timeout — a stalled or half-dead peer costs one bounded wait, never a
+//! hung service. That timeout discipline is part of the recovery
+//! contract: no fault schedule may hang a job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest accepted request or response body. Shard results for big
+/// suites are a few MB of report text; 64 MB is far above any legitimate
+/// message and small enough to starve no host.
+pub(crate) const MAX_BODY_BYTES: u64 = 64 << 20;
+
+/// A parsed request line + body.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Upper-case method (`GET`, `POST`).
+    pub method: String,
+    /// Path with no query parsing — the protocol does not use queries.
+    pub path: String,
+    /// Decoded body (empty for bodyless requests).
+    pub body: String,
+}
+
+/// A client-side response: status code and body.
+#[derive(Debug)]
+pub(crate) struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+/// Reads one request from an accepted connection. The caller is expected
+/// to have applied read/write timeouts to the stream already.
+pub(crate) fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let content_length = read_headers(&mut reader)?;
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads header lines until the blank separator, returning the declared
+/// `Content-Length` (0 when absent).
+fn read_headers<R: BufRead>(reader: &mut R) -> std::io::Result<u64> {
+    let mut content_length = 0u64;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+}
+
+/// Reads exactly `content_length` body bytes (bounded by
+/// [`MAX_BODY_BYTES`]) and decodes them as UTF-8.
+fn read_body<R: BufRead>(reader: &mut R, content_length: u64) -> std::io::Result<String> {
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body exceeds size limit",
+        ));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8"))
+}
+
+/// Writes one response and flushes it. `content_type` is
+/// `application/json` for protocol endpoints and `text/plain` for report,
+/// journal, and metrics bodies.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one client request against `addr` with `timeout` applied to
+/// connect, reads, and writes.
+pub(crate) fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = connect(addr, timeout)?;
+    let header = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Opens a connection to `addr` with every socket timeout applied.
+pub(crate) fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolves to nothing",
+        )
+    })?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+/// Reads a response from a stream `request` (or a fault-injecting caller)
+/// already wrote to.
+pub(crate) fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let content_length = read_headers(&mut reader)?;
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_roundtrips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let req = read_request(&mut stream).expect("read request");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            write_response(&mut stream, 200, "application/json", &req.body)
+                .expect("write response");
+        });
+        let body = "{\"text\":\"héllo\\nworld\"}";
+        let resp = request(&addr, "POST", "/echo", body, Duration::from_secs(5)).expect("request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, body);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let text = format!("content-length: {}\r\n\r\n", u64::MAX);
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(text.into_bytes()));
+        let len = read_headers(&mut reader).expect("headers parse");
+        assert!(read_body(&mut reader, len).is_err());
+    }
+
+    #[test]
+    fn truncated_requests_error_not_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut stream =
+                TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+            // Declare a body, send half of it, and hang up — the partial
+            // write every dropped worker produces.
+            stream
+                .write_all(b"POST /result HTTP/1.1\r\ncontent-length: 100\r\n\r\nhalf")
+                .expect("partial write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        client.join().expect("client thread");
+        assert!(read_request(&mut stream).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The distributed campaign service: a fault-tolerant coordinator/worker
+//! pair that shards a campaign's suite across machines and merges the
+//! results into reports and journals **byte-identical** to a
+//! single-machine run.
+//!
+//! # Architecture
+//!
+//! * [`serve`] starts the coordinator: a job queue over a hand-rolled
+//!   HTTP/JSON protocol on `std::net::TcpListener` (no dependencies, and
+//!   devstub-safe — the wire format never touches `serde`). Jobs are
+//!   partitioned into deterministic suite-slot shards; workers claim
+//!   shards under time-bounded leases with heartbeats.
+//! * [`run_worker`] runs the worker loop: claim, execute the shard's
+//!   slots with the ordinary [`crate::Campaign`] pipeline (per-slot
+//!   seeding makes every verdict independent of *where* it runs), ship
+//!   per-slot envelopes back.
+//! * Recovery is the robustness core (see [`coordinator`]'s lease state
+//!   machine): crashed/stalled/disconnected workers expire their leases
+//!   and the shard is reassigned under the supervisor's shared
+//!   deterministic backoff; shards that keep killing owners are poisoned
+//!   and their slots quarantined, completing the job DEGRADED instead of
+//!   hanging. Every wait is bounded by a lease or a socket timeout.
+//!
+//! # Equivalence contract
+//!
+//! For any [`JobSpec`] `s`, any worker count, and any injected fault
+//! schedule, the coordinator's merged report equals
+//! `Campaign::new(s.to_config()).run().to_string()` and the merged
+//! journal equals a single-machine `run_with_journal` checkpoint, byte
+//! for byte (modulo the host-statistics footer, which cross-run
+//! comparisons strip). `tests/service_distributed.rs`,
+//! `tests/service_worker_loss.rs`, and `tests/service_faults.rs` pin the
+//! contract.
+
+mod coordinator;
+mod http;
+mod json;
+mod protocol;
+mod worker;
+
+pub use coordinator::{serve, ServeOptions, Server};
+pub use protocol::{JobSpec, ShardAssignment, SlotEnvelope};
+#[cfg(feature = "fault-inject")]
+pub use worker::NetFaultPlan;
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};
+
+use json::{parse, Value};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error talking to the campaign service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// A malformed body or response.
+    Protocol(String),
+    /// The coordinator answered with a non-success status.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// Response body (usually `{"error": ...}`).
+        body: String,
+    },
+    /// The coordinator stayed unreachable past the retry budget.
+    Unreachable {
+        /// Address dialled.
+        coordinator: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Last transport error observed.
+        last: String,
+    },
+    /// A wait bounded by `deadline` elapsed.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+            ServiceError::Protocol(e) => write!(f, "service protocol error: {e}"),
+            ServiceError::Http { status, body } => {
+                write!(f, "coordinator answered {status}: {body}")
+            }
+            ServiceError::Unreachable {
+                coordinator,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "coordinator {coordinator} unreachable after {attempts} attempt(s): {last}"
+            ),
+            ServiceError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// A job's shard-level progress, as reported by `GET /jobs/{id}`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Total shards in the job's plan.
+    pub shards: u64,
+    /// Shards waiting (possibly under reassignment backoff).
+    pub pending: u64,
+    /// Shards currently leased to workers.
+    pub leased: u64,
+    /// Shards with accepted results.
+    pub done: u64,
+    /// Shards quarantined after repeated owner failures.
+    pub poisoned: u64,
+    /// Suite slots validated so far.
+    pub validated: u64,
+    /// Suite slots quarantined so far (via poisoned shards or the
+    /// supervisor on a worker).
+    pub quarantined: u64,
+    /// Validated tests whose signatures exposed violations (so far).
+    pub failing: u64,
+    /// Total violating signatures across validated tests (so far).
+    pub violations: u64,
+    /// Every shard is terminal; report and journal are assembled.
+    pub complete: bool,
+    /// The job completed with quarantined slots.
+    pub degraded: bool,
+}
+
+fn expect_status(response: &http::Response) -> Result<&str, ServiceError> {
+    if response.status == 200 {
+        Ok(&response.body)
+    } else {
+        Err(ServiceError::Http {
+            status: response.status,
+            body: response.body.clone(),
+        })
+    }
+}
+
+/// Submits a job to a coordinator, returning its id.
+///
+/// # Errors
+///
+/// Transport failure or a coordinator rejection.
+pub fn submit_job(addr: &str, spec: &JobSpec, timeout: Duration) -> Result<u64, ServiceError> {
+    let response = http::request(addr, "POST", "/jobs", &spec.encode().render(), timeout)?;
+    let body = expect_status(&response)?;
+    parse(body)
+        .map_err(|e| ServiceError::Protocol(format!("bad submit response: {e}")))?
+        .req_u64("job")
+        .map_err(ServiceError::Protocol)
+}
+
+/// Fetches a job's progress snapshot.
+///
+/// # Errors
+///
+/// Transport failure, an unknown job, or an unparseable response.
+pub fn job_progress(addr: &str, job: u64, timeout: Duration) -> Result<JobProgress, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}"), "", timeout)?;
+    let body = expect_status(&response)?;
+    let value =
+        parse(body).map_err(|e| ServiceError::Protocol(format!("bad progress response: {e}")))?;
+    let field = |key: &str| value.req_u64(key).map_err(ServiceError::Protocol);
+    Ok(JobProgress {
+        shards: field("shards")?,
+        pending: field("pending")?,
+        leased: field("leased")?,
+        done: field("done")?,
+        poisoned: field("poisoned")?,
+        validated: field("validated")?,
+        quarantined: field("quarantined")?,
+        failing: field("failing")?,
+        violations: field("violations")?,
+        complete: value.get("complete").and_then(Value::as_bool) == Some(true),
+        degraded: value.get("degraded").and_then(Value::as_bool) == Some(true),
+    })
+}
+
+/// Polls until `job` completes, failing after `deadline`. Completion is
+/// always reached in bounded time — leases expire, reassignments are
+/// bounded, and poison quarantine terminates every shard — so a generous
+/// deadline only matters for genuinely slow campaigns.
+///
+/// # Errors
+///
+/// Transport failure or the deadline elapsing.
+pub fn wait_for_job(
+    addr: &str,
+    job: u64,
+    deadline: Duration,
+    poll: Duration,
+) -> Result<JobProgress, ServiceError> {
+    let started = Instant::now();
+    loop {
+        let progress = job_progress(addr, job, poll.max(Duration::from_secs(1)))?;
+        if progress.complete {
+            return Ok(progress);
+        }
+        if started.elapsed() > deadline {
+            return Err(ServiceError::Timeout {
+                what: format!("job {job} completion"),
+            });
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Fetches a completed job's merged report text.
+///
+/// # Errors
+///
+/// Transport failure, an unknown or incomplete job.
+pub fn fetch_report(addr: &str, job: u64, timeout: Duration) -> Result<String, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}/report"), "", timeout)?;
+    expect_status(&response).map(ToOwned::to_owned)
+}
+
+/// Fetches a completed job's merged journal bytes. `Ok(None)` when the
+/// coordinator cannot produce a journal (serde unavailable along the
+/// path — the offline-devstub analogue of a degraded journal).
+///
+/// # Errors
+///
+/// Transport failure, an unknown or incomplete job.
+pub fn fetch_journal(
+    addr: &str,
+    job: u64,
+    timeout: Duration,
+) -> Result<Option<String>, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}/journal"), "", timeout)?;
+    match response.status {
+        200 => Ok(Some(response.body)),
+        503 => Ok(None),
+        status => Err(ServiceError::Http {
+            status,
+            body: response.body,
+        }),
+    }
+}

@@ -1,0 +1,398 @@
+//! Wire-protocol bodies for the campaign service: the job specification a
+//! client submits, the shard assignment a worker claims, and the per-slot
+//! result envelope a worker ships back.
+//!
+//! Everything here encodes to JSON with the hand-rolled codec in
+//! [`super::json`], so the protocol works with or without a functioning
+//! `serde_json`. The one serde-dependent artifact — the canonical journal
+//! line for a slot — is carried as an *opaque string* rendered on the
+//! worker ([`crate::journal`] helpers) and reassembled byte-for-byte by
+//! the coordinator; when serde cannot serialize (offline devstubs), the
+//! envelope simply omits it and the job's journal degrades, exactly like
+//! a single-machine run whose journal writes fail.
+
+use super::json::{parse, Value};
+use crate::supervisor::RetryPolicy;
+use crate::{CampaignConfig, TestConfig};
+use mtc_isa::{IsaKind, Mcm};
+use std::time::Duration;
+
+/// A submitted campaign, restricted to the deterministic knobs the
+/// service distributes (the full `CampaignConfig` carries host-local
+/// resources — spill directories, cache paths — that make no sense to
+/// ship to remote workers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Test-generation parameters (ISA, MCM, threads, ops, addresses,
+    /// fractions, seed) — the campaign's logical identity.
+    pub test: TestConfig,
+    /// Loop iterations per test.
+    pub iterations: u64,
+    /// Suite size.
+    pub tests: u64,
+    /// Iteration shards per test on each worker (part of the logical
+    /// shard plan, so it must match the single-machine run being
+    /// reproduced; 1 = the paper-faithful warm loop).
+    pub workers: u64,
+    /// Run the conventional checker for comparison.
+    pub compare_conventional: bool,
+    /// Use split-window collective checking.
+    pub split_windows: bool,
+    /// Check collective chunks in parallel.
+    pub chunked_check: bool,
+    /// Supervisor attempts per test (1 = fail-fast into quarantine).
+    pub max_attempts: u32,
+    /// Base supervisor backoff between attempts, milliseconds.
+    pub backoff_ms: u64,
+    /// Per-attempt wall-clock budget, milliseconds (`None` = unbounded;
+    /// `Some(0)` deterministically quarantines every test).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec with the campaign defaults for `test` and `iterations`.
+    pub fn new(test: TestConfig, iterations: u64) -> JobSpec {
+        JobSpec {
+            test,
+            iterations,
+            tests: 10,
+            workers: 1,
+            compare_conventional: false,
+            split_windows: false,
+            chunked_check: false,
+            max_attempts: 1,
+            backoff_ms: 0,
+            time_budget_ms: None,
+        }
+    }
+
+    /// Returns the spec with `tests` suite slots.
+    #[must_use]
+    pub fn with_tests(mut self, tests: u64) -> JobSpec {
+        self.tests = tests;
+        self
+    }
+
+    /// Returns the spec with a supervisor retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> JobSpec {
+        self.max_attempts = policy.max_attempts;
+        self.backoff_ms = policy.backoff.as_millis() as u64;
+        self.time_budget_ms = policy.time_budget.map(|d| d.as_millis() as u64);
+        self
+    }
+
+    /// The single-machine campaign this spec describes. Distributed
+    /// equivalence is *defined* against this configuration: a coordinator
+    /// merge must equal `Campaign::new(spec.to_config()).run()`.
+    pub fn to_config(&self) -> CampaignConfig {
+        let mut config =
+            CampaignConfig::new(self.test.clone(), self.iterations).with_tests(self.tests);
+        config.workers = (self.workers.max(1)) as usize;
+        if self.compare_conventional {
+            config = config.with_conventional_comparison();
+        }
+        if self.split_windows {
+            config = config.with_split_windows();
+        }
+        if self.chunked_check {
+            config = config.with_chunked_checking();
+        }
+        config.with_retry(RetryPolicy {
+            max_attempts: self.max_attempts.max(1),
+            backoff: Duration::from_millis(self.backoff_ms),
+            time_budget: self.time_budget_ms.map(Duration::from_millis),
+        })
+    }
+
+    /// Encodes the spec as a protocol JSON value.
+    pub(crate) fn encode(&self) -> Value {
+        let t = &self.test;
+        Value::obj(vec![
+            ("isa", Value::str(isa_name(t.isa))),
+            ("mcm", Value::str(mcm_name(t.mcm))),
+            ("threads", Value::u64(u64::from(t.threads))),
+            ("ops", Value::u64(u64::from(t.ops_per_thread))),
+            ("addrs", Value::u64(u64::from(t.num_addrs))),
+            ("load_fraction", Value::Float(t.load_fraction)),
+            ("fence_fraction", Value::Float(t.fence_fraction)),
+            ("words_per_line", Value::u64(u64::from(t.words_per_line))),
+            ("seed", Value::u64(t.seed)),
+            ("iterations", Value::u64(self.iterations)),
+            ("tests", Value::u64(self.tests)),
+            ("workers", Value::u64(self.workers)),
+            ("conventional", Value::Bool(self.compare_conventional)),
+            ("split_windows", Value::Bool(self.split_windows)),
+            ("chunked_check", Value::Bool(self.chunked_check)),
+            ("max_attempts", Value::u64(u64::from(self.max_attempts))),
+            ("backoff_ms", Value::u64(self.backoff_ms)),
+            (
+                "time_budget_ms",
+                self.time_budget_ms.map_or(Value::Null, Value::u64),
+            ),
+        ])
+    }
+
+    /// Decodes a spec from a protocol JSON value.
+    pub(crate) fn decode(v: &Value) -> Result<JobSpec, String> {
+        let isa: IsaKind = v
+            .req_str("isa")?
+            .parse()
+            .map_err(|e: mtc_isa::IsaKindParseError| e.to_string())?;
+        let mcm = match v.req_str("mcm")? {
+            "sc" => Mcm::Sc,
+            "tso" => Mcm::Tso,
+            "weak" => Mcm::Weak,
+            other => return Err(format!("unknown mcm `{other}`")),
+        };
+        let small = |key: &str| -> Result<u32, String> {
+            u32::try_from(v.req_u64(key)?).map_err(|_| format!("field `{key}` out of range"))
+        };
+        let mut test = TestConfig::new(isa, small("threads")?, small("ops")?, small("addrs")?)
+            .with_seed(v.req_u64("seed")?)
+            .with_words_per_line(small("words_per_line")?);
+        test.mcm = mcm;
+        test.load_fraction = v
+            .get("load_fraction")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-numeric field `load_fraction`")?;
+        test.fence_fraction = v
+            .get("fence_fraction")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-numeric field `fence_fraction`")?;
+        let time_budget_ms = match v.get("time_budget_ms") {
+            None | Some(Value::Null) => None,
+            Some(other) => Some(
+                other
+                    .as_u64()
+                    .ok_or("field `time_budget_ms` must be an integer or null")?,
+            ),
+        };
+        Ok(JobSpec {
+            test,
+            iterations: v.req_u64("iterations")?,
+            tests: v.req_u64("tests")?,
+            workers: v.req_u64("workers")?.max(1),
+            compare_conventional: bool_field(v, "conventional")?,
+            split_windows: bool_field(v, "split_windows")?,
+            chunked_check: bool_field(v, "chunked_check")?,
+            max_attempts: u32::try_from(v.req_u64("max_attempts")?.max(1))
+                .map_err(|_| "field `max_attempts` out of range".to_owned())?,
+            backoff_ms: v.req_u64("backoff_ms")?,
+            time_budget_ms,
+        })
+    }
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field `{key}`"))
+}
+
+fn isa_name(isa: IsaKind) -> &'static str {
+    match isa {
+        IsaKind::X86 => "x86",
+        IsaKind::Arm => "arm",
+    }
+}
+
+fn mcm_name(mcm: Mcm) -> &'static str {
+    match mcm {
+        Mcm::Sc => "sc",
+        Mcm::Tso => "tso",
+        Mcm::Weak => "weak",
+    }
+}
+
+/// One completed suite slot, as shipped from worker to coordinator.
+///
+/// Everything the coordinator's merge needs is explicit and hand-rolled:
+/// the numeric summary feeds the `ConfigReport` header line, `text` is
+/// the slot's `Display` rendering reused verbatim in the merged report,
+/// and `journal_line` (when serde can serialize) is the slot's canonical
+/// journal record, reassembled byte-for-byte into the job journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotEnvelope {
+    /// Suite index.
+    pub index: u64,
+    /// `false` for a validated test, `true` for a quarantined slot.
+    pub quarantined: bool,
+    /// `TestReport::is_clean` (always `false` for quarantined slots).
+    pub clean: bool,
+    /// Unique signatures observed (0 for quarantined slots).
+    pub unique_signatures: u64,
+    /// Violating unique signatures (0 for quarantined slots).
+    pub violations: u64,
+    /// The slot's `Display` rendering (`TestReport` or
+    /// `QuarantineRecord`).
+    pub text: String,
+    /// The slot's serde-rendered journal line, when available.
+    pub journal_line: Option<String>,
+}
+
+impl SlotEnvelope {
+    /// Encodes the envelope as a protocol JSON value.
+    pub(crate) fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("index", Value::u64(self.index)),
+            ("quarantined", Value::Bool(self.quarantined)),
+            ("clean", Value::Bool(self.clean)),
+            ("unique", Value::u64(self.unique_signatures)),
+            ("violations", Value::u64(self.violations)),
+            ("text", Value::str(self.text.clone())),
+            (
+                "journal_line",
+                self.journal_line.clone().map_or(Value::Null, Value::Str),
+            ),
+        ])
+    }
+
+    /// Decodes an envelope from a protocol JSON value.
+    pub(crate) fn decode(v: &Value) -> Result<SlotEnvelope, String> {
+        let journal_line = match v.get("journal_line") {
+            None | Some(Value::Null) => None,
+            Some(other) => Some(
+                other
+                    .as_str()
+                    .ok_or("field `journal_line` must be a string or null")?
+                    .to_owned(),
+            ),
+        };
+        Ok(SlotEnvelope {
+            index: v.req_u64("index")?,
+            quarantined: bool_field(v, "quarantined")?,
+            clean: bool_field(v, "clean")?,
+            unique_signatures: v.req_u64("unique")?,
+            violations: v.req_u64("violations")?,
+            text: v.req_str("text")?.to_owned(),
+            journal_line,
+        })
+    }
+}
+
+/// A shard lease granted by `POST /claim`: the job spec travels with the
+/// assignment, so workers are stateless and a coordinator restart needs
+/// no worker-side resynchronization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardAssignment {
+    /// Job id.
+    pub job: u64,
+    /// Shard index within the job.
+    pub shard: u64,
+    /// First suite index of the shard.
+    pub start: u64,
+    /// One past the last suite index.
+    pub end: u64,
+    /// Lease id; heartbeats and the result must echo it.
+    pub lease: u64,
+    /// Lease duration granted, milliseconds.
+    pub lease_ms: u64,
+    /// The campaign to execute.
+    pub spec: JobSpec,
+}
+
+impl ShardAssignment {
+    /// Encodes the assignment as a protocol JSON value.
+    pub(crate) fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("job", Value::u64(self.job)),
+            ("shard", Value::u64(self.shard)),
+            ("start", Value::u64(self.start)),
+            ("end", Value::u64(self.end)),
+            ("lease", Value::u64(self.lease)),
+            ("lease_ms", Value::u64(self.lease_ms)),
+            ("spec", self.spec.encode()),
+        ])
+    }
+
+    /// Decodes an assignment from a protocol JSON value.
+    pub(crate) fn decode(v: &Value) -> Result<ShardAssignment, String> {
+        Ok(ShardAssignment {
+            job: v.req_u64("job")?,
+            shard: v.req_u64("shard")?,
+            start: v.req_u64("start")?,
+            end: v.req_u64("end")?,
+            lease: v.req_u64("lease")?,
+            lease_ms: v.req_u64("lease_ms")?,
+            spec: JobSpec::decode(v.get("spec").ok_or("missing field `spec`")?)?,
+        })
+    }
+}
+
+/// Parses a protocol JSON body, labelling errors with the endpoint.
+pub(crate) fn parse_body(endpoint: &str, body: &str) -> Result<Value, String> {
+    parse(body).map_err(|e| format!("{endpoint}: invalid JSON body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        let mut test = TestConfig::new(IsaKind::X86, 4, 50, 64).with_seed(7);
+        test.load_fraction = 0.25;
+        JobSpec::new(test, 128)
+            .with_tests(6)
+            .with_retry(RetryPolicy::with_retries(2).with_backoff(Duration::from_millis(3)))
+    }
+
+    #[test]
+    fn spec_roundtrips_through_the_wire_encoding() {
+        let spec = sample_spec();
+        let decoded = JobSpec::decode(&parse(&spec.encode().render()).unwrap()).unwrap();
+        assert_eq!(decoded, spec);
+        // And the campaign it implies is the campaign it came from.
+        let config = decoded.to_config();
+        assert_eq!(config.test, spec.test);
+        assert_eq!(config.tests, spec.tests);
+        assert_eq!(config.retry.max_attempts, spec.max_attempts);
+    }
+
+    #[test]
+    fn envelope_roundtrips_with_and_without_journal_line() {
+        for journal_line in [None, Some("{\"Test\":{\"index\":3}}".to_owned())] {
+            let env = SlotEnvelope {
+                index: 3,
+                quarantined: false,
+                clean: true,
+                unique_signatures: 17,
+                violations: 0,
+                text: "iterations 128  unique signatures 17\n".to_owned(),
+                journal_line,
+            };
+            let decoded = SlotEnvelope::decode(&parse(&env.encode().render()).unwrap()).unwrap();
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn assignment_roundtrips() {
+        let assignment = ShardAssignment {
+            job: 1,
+            shard: 2,
+            start: 4,
+            end: 6,
+            lease: 99,
+            lease_ms: 30_000,
+            spec: sample_spec(),
+        };
+        let decoded =
+            ShardAssignment::decode(&parse(&assignment.encode().render()).unwrap()).unwrap();
+        assert_eq!(decoded, assignment);
+    }
+
+    #[test]
+    fn corrupt_specs_are_named_errors() {
+        let missing = Value::obj(vec![("isa", Value::str("arm"))]);
+        assert!(JobSpec::decode(&missing).is_err());
+        let bad_isa = {
+            let mut v = sample_spec().encode();
+            if let Value::Obj(fields) = &mut v {
+                fields[0].1 = Value::str("mips");
+            }
+            v
+        };
+        assert!(JobSpec::decode(&bad_isa).unwrap_err().contains("mips"));
+    }
+}

@@ -1,0 +1,425 @@
+//! The campaign worker: claims shards, executes their suite slots with
+//! the single-machine pipeline, heartbeats the lease, and ships per-slot
+//! result envelopes back to the coordinator.
+//!
+//! The worker is stateless by design — the job spec travels inside every
+//! shard assignment — so any number of workers can join, leave, or crash
+//! at any point without coordination. A worker whose heartbeat is
+//! rejected (its lease expired and the shard moved on) discards its
+//! result instead of racing the replacement owner; a worker whose result
+//! submission keeps failing gives the shard up and lets the lease expire.
+//! Either way, correctness never depends on this process surviving:
+//! verdicts are deterministic, so whichever owner eventually lands the
+//! shard produces identical bytes.
+
+use super::http;
+use super::json::{parse, Value};
+use super::protocol::{ShardAssignment, SlotEnvelope};
+use super::ServiceError;
+use crate::journal::{render_quarantine_line, render_test_line};
+use crate::supervisor::RetryPolicy;
+use crate::Campaign;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker configuration.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Coordinator address, e.g. `127.0.0.1:7700`.
+    pub coordinator: String,
+    /// Worker name reported in claims and failure histories.
+    pub name: String,
+    /// Poll interval when the coordinator reports an idle queue.
+    pub poll: Duration,
+    /// Exit cleanly once the coordinator reports an *empty* queue (every
+    /// job terminal) instead of polling forever — how tests and CI runs
+    /// bound a worker's lifetime.
+    pub exit_when_idle: bool,
+    /// Stop after completing this many shards.
+    pub max_shards: Option<u64>,
+    /// Socket timeout for every coordinator request.
+    pub timeout: Duration,
+    /// Network retry policy: transient request failures (connection
+    /// refused mid-restart, dropped sockets) retry under the same
+    /// deterministic jittered backoff the supervisor uses.
+    pub retry: RetryPolicy,
+    /// Injected network faults (tests only).
+    #[cfg(feature = "fault-inject")]
+    pub faults: NetFaultPlan,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            coordinator: "127.0.0.1:7700".to_owned(),
+            name: format!("worker-{}", std::process::id()),
+            poll: Duration::from_millis(25),
+            exit_when_idle: false,
+            max_shards: None,
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy::with_retries(4).with_backoff(Duration::from_millis(10)),
+            #[cfg(feature = "fault-inject")]
+            faults: NetFaultPlan::default(),
+        }
+    }
+}
+
+/// What a worker accomplished before exiting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards whose results the coordinator accepted (including
+    /// idempotent duplicate acknowledgements).
+    pub shards_completed: u64,
+    /// Shards executed but discarded because the lease was lost.
+    pub shards_abandoned: u64,
+}
+
+/// Deterministic network fault plan for service tests (compiled only with
+/// the `fault-inject` feature): faults are keyed by the worker's result
+/// *submission ordinal* — the 0-based count of result-submission attempts
+/// this process has made — so a schedule names exactly which deliveries
+/// misbehave and every run of the same schedule injects identically.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Debug, Default)]
+pub struct NetFaultPlan {
+    drop_result: Vec<u64>,
+    partial_result: Vec<u64>,
+    stall_result: Vec<(u64, u64)>,
+    duplicate_result: Vec<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl NetFaultPlan {
+    /// Drop the connection instead of sending submission `ordinal` (the
+    /// coordinator sees nothing; the worker retries).
+    #[must_use]
+    pub fn drop_result_at(mut self, ordinal: u64) -> Self {
+        self.drop_result.push(ordinal);
+        self
+    }
+
+    /// Send a truncated body for submission `ordinal` and hang up (the
+    /// coordinator reads a partial write; the worker retries).
+    #[must_use]
+    pub fn partial_result_at(mut self, ordinal: u64) -> Self {
+        self.partial_result.push(ordinal);
+        self
+    }
+
+    /// Sleep `ms` milliseconds before submission `ordinal` — long stalls
+    /// push the shard past its lease and exercise reassignment racing a
+    /// late result.
+    #[must_use]
+    pub fn stall_result_at(mut self, ordinal: u64, ms: u64) -> Self {
+        self.stall_result.push((ordinal, ms));
+        self
+    }
+
+    /// Deliver submission `ordinal` twice (the coordinator must treat the
+    /// second as an idempotent duplicate).
+    #[must_use]
+    pub fn duplicate_result_at(mut self, ordinal: u64) -> Self {
+        self.duplicate_result.push(ordinal);
+        self
+    }
+
+    fn stall_ms(&self, ordinal: u64) -> Option<u64> {
+        self.stall_result
+            .iter()
+            .find(|&&(o, _)| o == ordinal)
+            .map(|&(_, ms)| ms)
+    }
+}
+
+/// Runs the worker loop until the queue empties (with
+/// [`WorkerOptions::exit_when_idle`]), the shard budget is reached, or a
+/// non-retryable error occurs.
+///
+/// # Errors
+///
+/// The coordinator stays unreachable past the network retry budget, or
+/// sends an unparseable response.
+pub fn run_worker(options: WorkerOptions) -> Result<WorkerSummary, ServiceError> {
+    let mut summary = WorkerSummary::default();
+    let mut submission_ordinal = 0u64;
+    loop {
+        if let Some(max) = options.max_shards {
+            if summary.shards_completed >= max {
+                return Ok(summary);
+            }
+        }
+        let claim_body = Value::obj(vec![("worker", Value::str(options.name.clone()))]).render();
+        let response = request_with_retry(&options, "POST", "/claim", &claim_body)?;
+        if response.get("idle").and_then(Value::as_bool) == Some(true) {
+            let queue_empty = response.get("queue_empty").and_then(Value::as_bool) == Some(true);
+            if queue_empty && options.exit_when_idle {
+                return Ok(summary);
+            }
+            let wait = response
+                .get("retry_after_ms")
+                .and_then(Value::as_u64)
+                .map_or(options.poll, Duration::from_millis)
+                .max(options.poll.min(Duration::from_millis(5)));
+            std::thread::sleep(wait);
+            continue;
+        }
+        let assignment = ShardAssignment::decode(&response)
+            .map_err(|e| ServiceError::Protocol(format!("bad claim response: {e}")))?;
+        let outcome = execute_shard(&options, &assignment, &mut submission_ordinal)?;
+        match outcome {
+            ShardOutcome::Completed => summary.shards_completed += 1,
+            ShardOutcome::Abandoned => summary.shards_abandoned += 1,
+        }
+    }
+}
+
+enum ShardOutcome {
+    Completed,
+    Abandoned,
+}
+
+/// Executes one leased shard: heartbeat thread + slot execution + result
+/// submission.
+fn execute_shard(
+    options: &WorkerOptions,
+    assignment: &ShardAssignment,
+    submission_ordinal: &mut u64,
+) -> Result<ShardOutcome, ServiceError> {
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let finished = Arc::new(AtomicBool::new(false));
+    let heartbeat = spawn_heartbeat(
+        options,
+        assignment,
+        Arc::clone(&abandoned),
+        Arc::clone(&finished),
+    );
+    let campaign = Campaign::new(assignment.spec.to_config());
+    let slots = campaign.run_slots(assignment.start..assignment.end);
+    finished.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    if abandoned.load(Ordering::SeqCst) {
+        // The lease moved on while we computed; the replacement owner's
+        // identical result will land instead.
+        crate::telemetry::logger::debug(format_args!(
+            "worker {}: abandoning job {} shard {} (lease lost)",
+            options.name, assignment.job, assignment.shard
+        ));
+        return Ok(ShardOutcome::Abandoned);
+    }
+    let entries: Vec<Value> = slots
+        .iter()
+        .map(|(index, outcome)| envelope_for(*index, outcome).encode())
+        .collect();
+    let body = Value::obj(vec![
+        ("job", Value::u64(assignment.job)),
+        ("shard", Value::u64(assignment.shard)),
+        ("lease", Value::u64(assignment.lease)),
+        ("worker", Value::str(options.name.clone())),
+        ("entries", Value::Arr(entries)),
+    ])
+    .render();
+    submit_result(options, &body, submission_ordinal)
+}
+
+/// Builds the wire envelope for one executed slot.
+fn envelope_for(
+    index: u64,
+    outcome: &Result<crate::TestReport, crate::QuarantineRecord>,
+) -> SlotEnvelope {
+    match outcome {
+        Ok(report) => SlotEnvelope {
+            index,
+            quarantined: false,
+            clean: report.is_clean(),
+            unique_signatures: report.unique_signatures as u64,
+            violations: report.violations.len() as u64,
+            text: report.to_string(),
+            journal_line: render_test_line(index, report).ok(),
+        },
+        Err(record) => SlotEnvelope {
+            index,
+            quarantined: true,
+            clean: false,
+            unique_signatures: 0,
+            violations: 0,
+            text: record.to_string(),
+            journal_line: render_quarantine_line(record).ok(),
+        },
+    }
+}
+
+/// Extends the lease every third of its duration until the shard finishes
+/// or the coordinator rejects the lease (then the shard is abandoned).
+fn spawn_heartbeat(
+    options: &WorkerOptions,
+    assignment: &ShardAssignment,
+    abandoned: Arc<AtomicBool>,
+    finished: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let interval = Duration::from_millis((assignment.lease_ms / 3).max(1));
+    let step = interval
+        .min(Duration::from_millis(10))
+        .max(Duration::from_millis(1));
+    let coordinator = options.coordinator.clone();
+    let timeout = options.timeout;
+    let body = Value::obj(vec![
+        ("job", Value::u64(assignment.job)),
+        ("shard", Value::u64(assignment.shard)),
+        ("lease", Value::u64(assignment.lease)),
+    ])
+    .render();
+    std::thread::spawn(move || {
+        let mut since_beat = Duration::ZERO;
+        while !finished.load(Ordering::SeqCst) {
+            std::thread::sleep(step);
+            since_beat += step;
+            if since_beat < interval {
+                continue;
+            }
+            since_beat = Duration::ZERO;
+            match http::request(&coordinator, "POST", "/heartbeat", &body, timeout) {
+                // 409: the lease moved on. 404: the job itself is gone
+                // (a coordinator restarted without its queue journal).
+                Ok(response) if response.status == 409 || response.status == 404 => {
+                    abandoned.store(true, Ordering::SeqCst);
+                    return;
+                }
+                // Transient failures are fine: the lease outlives several
+                // missed beats, and the next beat retries.
+                _ => {}
+            }
+        }
+    })
+}
+
+/// Submits a result with bounded retries, applying any injected network
+/// faults keyed by the submission ordinal.
+fn submit_result(
+    options: &WorkerOptions,
+    body: &str,
+    submission_ordinal: &mut u64,
+) -> Result<ShardOutcome, ServiceError> {
+    let attempts = options.retry.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 1..=attempts {
+        let backoff = options.retry.jittered_backoff(attempt, *submission_ordinal);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        let ordinal = *submission_ordinal;
+        *submission_ordinal += 1;
+        match send_result_once(options, body, ordinal) {
+            Ok(true) => return Ok(ShardOutcome::Completed),
+            Ok(false) => return Ok(ShardOutcome::Abandoned),
+            Err(e) => last_error = e,
+        }
+    }
+    Err(ServiceError::Protocol(format!(
+        "result submission exhausted {attempts} attempt(s): {last_error}"
+    )))
+}
+
+/// One submission attempt. `Ok(true)` = accepted (or duplicate),
+/// `Ok(false)` = the coordinator conclusively rejected this result
+/// (poisoned shard / corrupt verdict) and retrying is pointless,
+/// `Err` = transient failure worth retrying.
+fn send_result_once(options: &WorkerOptions, body: &str, ordinal: u64) -> Result<bool, String> {
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = ordinal;
+    #[cfg(feature = "fault-inject")]
+    {
+        if let Some(ms) = options.faults.stall_ms(ordinal) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if options.faults.drop_result.contains(&ordinal) {
+            // Connect, say nothing, hang up: the abrupt disconnect every
+            // crashed worker produces.
+            let _ = http::connect(&options.coordinator, options.timeout);
+            return Err("injected dropped connection".to_owned());
+        }
+        if options.faults.partial_result.contains(&ordinal) {
+            let _ = send_partial(options, body);
+            return Err("injected partial write".to_owned());
+        }
+    }
+    let response = http::request(
+        &options.coordinator,
+        "POST",
+        "/result",
+        body,
+        options.timeout,
+    )
+    .map_err(|e| format!("result submission failed: {e}"))?;
+    #[cfg(feature = "fault-inject")]
+    if options.faults.duplicate_result.contains(&ordinal) {
+        // Deliver the same bytes again; the coordinator must answer the
+        // replay idempotently.
+        let _ = http::request(
+            &options.coordinator,
+            "POST",
+            "/result",
+            body,
+            options.timeout,
+        );
+    }
+    match response.status {
+        200 => Ok(true),
+        409 | 400 => Ok(false),
+        status => Err(format!("coordinator answered {status}: {}", response.body)),
+    }
+}
+
+/// Writes half a result body and hangs up — the injected partial-write
+/// fault.
+#[cfg(feature = "fault-inject")]
+fn send_partial(options: &WorkerOptions, body: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut stream = http::connect(&options.coordinator, options.timeout)?;
+    let header = format!(
+        "POST /result HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        options.coordinator,
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(&body.as_bytes()[..body.len() / 2])?;
+    stream.flush()
+}
+
+/// Issues one coordinator request with bounded jittered retries on
+/// transport errors — rides out a coordinator restart.
+fn request_with_retry(
+    options: &WorkerOptions,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<Value, ServiceError> {
+    let attempts = options.retry.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 1..=attempts {
+        let backoff = options.retry.jittered_backoff(attempt, 0);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match http::request(&options.coordinator, method, path, body, options.timeout) {
+            Ok(response) if response.status == 200 => {
+                return parse(&response.body).map_err(|e| {
+                    ServiceError::Protocol(format!("unparseable coordinator response: {e}"))
+                });
+            }
+            Ok(response) => {
+                return Err(ServiceError::Http {
+                    status: response.status,
+                    body: response.body,
+                })
+            }
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(ServiceError::Unreachable {
+        coordinator: options.coordinator.clone(),
+        attempts,
+        last,
+    })
+}

@@ -95,6 +95,34 @@ impl RetryPolicy {
         let exp = (attempt - 2).min(20);
         self.backoff.saturating_mul(1u32 << exp)
     }
+
+    /// [`RetryPolicy::backoff_before`] plus deterministic seeded jitter:
+    /// up to a quarter of the base, derived purely from `(attempt, key)`
+    /// through the same [`RETRY_SEED_STRIDE`] perturbation the retry seed
+    /// stream uses. This is the single backoff implementation shared by
+    /// supervisor retries and the campaign service's shard-reassignment
+    /// and network retries — callers pick a `key` that identifies the
+    /// retried unit (test index, shard index, request ordinal) so
+    /// concurrent retries desynchronise without any randomness.
+    pub fn jittered_backoff(&self, attempt: u32, key: u64) -> Duration {
+        let base = self.backoff_before(attempt);
+        if base.is_zero() {
+            return base;
+        }
+        let base_ns = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+        let jitter_ns = splitmix64(key ^ attempt_seed_offset(attempt)) % (base_ns / 4).max(1);
+        base.saturating_add(Duration::from_nanos(jitter_ns))
+    }
+}
+
+/// SplitMix64 finaliser — the standard avalanche mix, used here to turn a
+/// retry key into jitter bits. Pure and allocation-free; deliberately not
+/// a second perturbation constant (the seed stride feeds it).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Why one attempt at validating a test failed.
@@ -281,6 +309,26 @@ mod tests {
         assert_eq!(policy.backoff_before(2), Duration::from_millis(10));
         assert_eq!(policy.backoff_before(3), Duration::from_millis(20));
         assert_eq!(policy.backoff_before(4), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::with_retries(3).with_backoff(Duration::from_millis(10));
+        // Attempt 1 never sleeps, jitter or not.
+        assert_eq!(policy.jittered_backoff(1, 7), Duration::ZERO);
+        for attempt in 2..=4 {
+            let base = policy.backoff_before(attempt);
+            for key in [0u64, 1, 42, u64::MAX] {
+                let jittered = policy.jittered_backoff(attempt, key);
+                assert_eq!(jittered, policy.jittered_backoff(attempt, key));
+                assert!(jittered >= base);
+                assert!(jittered < base + base / 4 + Duration::from_nanos(1));
+            }
+        }
+        // Distinct keys desynchronise: at least two distinct values.
+        let values: std::collections::BTreeSet<Duration> =
+            (0..8).map(|key| policy.jittered_backoff(2, key)).collect();
+        assert!(values.len() > 1);
     }
 
     #[test]

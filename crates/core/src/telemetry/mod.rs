@@ -155,6 +155,10 @@ pub struct TelemetryConfig {
     pub metrics_path: Option<PathBuf>,
     /// Emit the throttled stderr heartbeat during the run.
     pub progress: bool,
+    /// Keep the metrics registry live for on-demand scraping
+    /// ([`Telemetry::render_metrics`]) without any file sink — how the
+    /// campaign service's `/metrics` endpoint runs.
+    pub scrape: bool,
 }
 
 impl TelemetryConfig {
@@ -164,6 +168,7 @@ impl TelemetryConfig {
             || self.chrome_path.is_some()
             || self.metrics_path.is_some()
             || self.progress
+            || self.scrape
     }
 }
 
@@ -231,6 +236,20 @@ impl Telemetry {
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         let inner = self.inner.as_deref()?;
         Some(inner.metrics.lock().expect("metrics lock").snapshot())
+    }
+
+    /// Renders the current metrics registry in the Prometheus text format,
+    /// on demand — the scrape path behind the campaign service's
+    /// `/metrics` endpoint. `None` on a disabled handle.
+    pub fn render_metrics(&self) -> Option<String> {
+        let inner = self.inner.as_deref()?;
+        Some(
+            inner
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .render_prometheus(),
+        )
     }
 
     /// Announces the suite size to the progress heartbeat.
@@ -501,9 +520,8 @@ mod tests {
         let metrics_path = dir.join("metrics.prom");
         let t = Telemetry::new(TelemetryConfig {
             trace_path: Some(trace_path.clone()),
-            chrome_path: None,
             metrics_path: Some(metrics_path.clone()),
-            progress: false,
+            ..TelemetryConfig::default()
         });
         assert!(t.enabled());
 
@@ -539,6 +557,25 @@ mod tests {
         assert!(metrics.contains("event=\"spill_runs\"} 1"));
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrape_mode_renders_metrics_without_file_sinks() {
+        let t = Telemetry::new(TelemetryConfig {
+            scrape: true,
+            ..TelemetryConfig::default()
+        });
+        assert!(t.enabled());
+        {
+            let mut scope = t.scope(Ids::none());
+            scope.count("jobs_submitted", 2);
+        }
+        let text = t.render_metrics().expect("scrape handle renders");
+        validate_metrics_text(&text).expect("scrape text validates");
+        assert!(text.contains("event=\"jobs_submitted\"} 2"));
+        assert!(Telemetry::disabled().render_metrics().is_none());
+        // No file sinks requested: finish has nothing to write.
+        assert!(t.finish().is_ok());
     }
 
     #[test]

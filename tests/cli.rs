@@ -106,6 +106,39 @@ fn campaign_detects_injected_bug3() {
 }
 
 #[test]
+fn campaign_degraded_run_exits_with_code_3() {
+    // A zero wall-clock budget deterministically quarantines every test:
+    // the campaign completes, reports, and signals the partial verdict
+    // through the dedicated exit code (0 clean, 1 violations/error,
+    // 2 usage, 3 degraded).
+    let out = run(&[
+        "campaign",
+        "--isa",
+        "arm",
+        "--threads",
+        "2",
+        "--ops",
+        "10",
+        "--addrs",
+        "8",
+        "--iters",
+        "20",
+        "--tests",
+        "2",
+        "--time-budget-ms",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "degraded completion is distinct from clean (0), failure (1) and usage (2)"
+    );
+    let text = stdout(&out);
+    assert!(text.contains("DEGRADED RUN"), "{text}");
+    assert!(text.contains("2 quarantined"), "{text}");
+}
+
+#[test]
 fn render_emits_instrumented_assembly() {
     let out = run(&[
         "render",

@@ -1,0 +1,84 @@
+//! Injected network faults (dropped connections, partial writes, stalled
+//! and duplicated deliveries) against the campaign service: every
+//! schedule must complete the job with output byte-identical to a
+//! fault-free single-machine run. Compiled only with `fault-inject`.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::service::{
+    fetch_report, run_worker, serve, submit_job, wait_for_job, JobProgress, JobSpec, NetFaultPlan,
+    ServeOptions, WorkerOptions,
+};
+use mtracecheck::{Campaign, TestConfig};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn spec() -> JobSpec {
+    let test = TestConfig::new(IsaKind::Arm, 2, 12, 8).with_seed(5);
+    JobSpec::new(test, 60).with_tests(3)
+}
+
+fn baseline() -> String {
+    Campaign::new(spec().to_config()).run().to_string()
+}
+
+/// Runs one coordinator + one fault-injecting worker to completion and
+/// returns the merged report and final progress.
+fn run_with_faults(faults: NetFaultPlan, options: ServeOptions) -> (String, JobProgress) {
+    let server = serve(options).expect("serve");
+    let addr = server.addr();
+    let job = submit_job(&addr, &spec(), TIMEOUT).expect("submit");
+    run_worker(WorkerOptions {
+        coordinator: addr.clone(),
+        name: "faulty".to_owned(),
+        exit_when_idle: true,
+        faults,
+        ..WorkerOptions::default()
+    })
+    .expect("worker survives its own fault schedule");
+    let progress = wait_for_job(&addr, job, DEADLINE, Duration::from_millis(10)).expect("done");
+    let report = fetch_report(&addr, job, TIMEOUT).expect("report");
+    (report, progress)
+}
+
+#[test]
+fn dropped_partial_and_duplicate_deliveries_do_not_change_the_verdict() {
+    let expected = baseline();
+    let schedules = [
+        ("drop", NetFaultPlan::default().drop_result_at(0)),
+        ("partial", NetFaultPlan::default().partial_result_at(0)),
+        ("duplicate", NetFaultPlan::default().duplicate_result_at(0)),
+        (
+            "mixed",
+            NetFaultPlan::default()
+                .drop_result_at(0)
+                .partial_result_at(2)
+                .duplicate_result_at(3),
+        ),
+    ];
+    for (label, faults) in schedules {
+        let (report, progress) = run_with_faults(faults, ServeOptions::default());
+        assert!(progress.complete, "{label}: job must terminate");
+        assert!(!progress.degraded, "{label}: network faults never degrade");
+        assert_eq!(report, expected, "{label}: report must be byte-identical");
+    }
+}
+
+#[test]
+fn a_result_stalled_past_its_lease_still_merges_identically() {
+    let expected = baseline();
+    // The stall outlives the lease: the sweeper expires it and the shard
+    // goes back to pending, then the late (valid, deterministic) result
+    // arrives and wins — first-result-wins keeps the merge exact.
+    let (report, progress) = run_with_faults(
+        NetFaultPlan::default().stall_result_at(0, 600),
+        ServeOptions {
+            lease: Duration::from_millis(200),
+            ..ServeOptions::default()
+        },
+    );
+    assert!(progress.complete);
+    assert!(!progress.degraded);
+    assert_eq!(report, expected);
+}

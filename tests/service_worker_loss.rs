@@ -1,0 +1,98 @@
+//! Kills a real `mtracecheck worker` process (SIGKILL, no cleanup) while
+//! it holds a shard lease, and asserts the coordinator reassigns the
+//! shard and the merged output is byte-identical to a single-machine run.
+
+use mtracecheck::isa::IsaKind;
+use mtracecheck::service::{
+    fetch_journal, fetch_report, serve, submit_job, wait_for_job, JobSpec, ServeOptions,
+};
+use mtracecheck::{Campaign, CampaignJournal, TestConfig};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn worker_process(addr: &str, name: &str, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_mtracecheck"))
+        .args(["worker", "--coordinator", addr, "--name", name, "-q"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+fn strip_footer(journal: &str) -> String {
+    journal
+        .lines()
+        .filter(|line| !line.contains("\"Footer\""))
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
+#[test]
+fn sigkilled_worker_is_reassigned_and_the_merge_is_byte_identical() {
+    // Enough per-slot work that the victim is very likely mid-shard when
+    // killed; correctness does not depend on the timing either way.
+    let spec =
+        JobSpec::new(TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(11), 600).with_tests(6);
+    let expected = Campaign::new(spec.to_config()).run().to_string();
+
+    let server = serve(ServeOptions {
+        lease: Duration::from_millis(400),
+        ..ServeOptions::default()
+    })
+    .expect("serve");
+    let addr = server.addr();
+    let job = submit_job(&addr, &spec, TIMEOUT).expect("submit");
+
+    // The victim claims work and is SIGKILLed — no result, no lease
+    // release, just an abandoned shard whose lease must expire.
+    let mut victim = worker_process(&addr, "victim", &[]);
+    std::thread::sleep(Duration::from_millis(150));
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+
+    let mut healthy = worker_process(&addr, "healthy", &["--exit-when-idle"]);
+    let progress = wait_for_job(
+        &addr,
+        job,
+        Duration::from_secs(180),
+        Duration::from_millis(20),
+    )
+    .expect("job completes despite the worker loss");
+    assert!(progress.complete);
+    assert!(
+        !progress.degraded,
+        "one crash is far under max_shard_attempts: the shard is retried, not quarantined"
+    );
+
+    let report = fetch_report(&addr, job, TIMEOUT).expect("report");
+    assert_eq!(
+        report, expected,
+        "the merged report must be byte-identical to the single-machine run"
+    );
+
+    if serde_json::to_string(&0u32).is_ok() {
+        let merged = fetch_journal(&addr, job, TIMEOUT)
+            .expect("journal request")
+            .expect("journal available when serde works");
+        let dir = std::env::temp_dir().join(format!("mtc-loss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("baseline.journal");
+        let campaign = Campaign::new(spec.to_config());
+        let journal =
+            CampaignJournal::create(path.to_str().unwrap(), campaign.config()).expect("journal");
+        campaign.run_with_journal(&journal);
+        let baseline = std::fs::read_to_string(&path).expect("baseline journal");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            strip_footer(&merged),
+            strip_footer(&baseline),
+            "the merged journal must be byte-identical modulo the host-statistics footer"
+        );
+    }
+
+    let status = healthy.wait().expect("healthy worker exits");
+    assert!(status.success(), "exit-when-idle worker exits cleanly");
+}

@@ -40,6 +40,7 @@ fn run_traced(cfg: CampaignConfig, label: &str) -> (ConfigReport, String, String
         chrome_path: Some(chrome_path.clone()),
         metrics_path: Some(metrics_path.clone()),
         progress: false,
+        scrape: false,
     });
     let report = Campaign::new(cfg).with_telemetry(telemetry.clone()).run();
     telemetry.finish().expect("telemetry sinks written");
