@@ -31,6 +31,8 @@ use std::time::Duration;
 enum CmdOutcome {
     Clean,
     Degraded,
+    /// A subcommand with its own exit-code vocabulary (`fsck`).
+    Exit(u8),
 }
 
 struct Args {
@@ -51,8 +53,10 @@ impl Args {
                 // Verbosity, progress, and worker-lifetime flags never take
                 // a value, so a following positional (e.g. the subcommand)
                 // stays one.
-                let takes_value =
-                    !matches!(name, "quiet" | "verbose" | "progress" | "exit-when-idle");
+                let takes_value = !matches!(
+                    name,
+                    "quiet" | "verbose" | "progress" | "exit-when-idle" | "repair" | "json"
+                );
                 let value = iter
                     .peek()
                     .filter(|v| takes_value && !v.starts_with("--"))
@@ -165,6 +169,15 @@ fn usage() -> &'static str {
                                       merged verdict, and print a report\n\
                                       byte-identical to `mtracecheck campaign`;\n\
                                       --journal-out saves the merged journal\n\
+       mtracecheck fsck ARTIFACT... [--repair] [--json]\n\
+                                      audit the integrity of any persisted artifact —\n\
+                                      campaign journals, coordinator state dirs, spill\n\
+                                      runs, certificate sidecars, verdict caches —\n\
+                                      via their CRC32C framing; directories are walked\n\
+                                      recursively; --repair compacts line logs and\n\
+                                      verdict caches to their valid records (spill\n\
+                                      runs and sidecars are never rewritten); --json\n\
+                                      prints one machine-readable report object\n\
        mtracecheck litmus [NAME]      explore litmus outcomes under SC/TSO/Weak\n\
        mtracecheck program FILE [--mcm <sc|tso|weak>] [--iters N] [--enumerate]\n\
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
@@ -180,10 +193,12 @@ fn usage() -> &'static str {
        (stdout — reports and RESULT lines — is never affected)\n\
      \n\
      EXIT CODES:\n\
-       0  clean — no violations observed\n\
+       0  clean — no violations observed (fsck: every artifact valid)\n\
        1  violations detected, or an error\n\
        2  usage\n\
-       3  campaign completed DEGRADED (quarantined tests; verdict partial)\n"
+       3  campaign completed DEGRADED (quarantined tests; verdict partial)\n\
+       4  fsck: repairable corruption detected (or repaired under --repair)\n\
+       5  fsck: unrecoverable corruption (regenerate the artifact)\n"
 }
 
 fn parse_bytes(s: &str) -> Result<u64, String> {
@@ -789,6 +804,29 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `mtracecheck fsck` — audit (and with `--repair`, fix) the integrity of
+/// persisted artifacts. See [`mtracecheck::fsck`] for policies and the
+/// exit-code vocabulary (0 clean, 4 corruption detected/repaired, 5
+/// unrecoverable).
+fn cmd_fsck(args: &Args) -> Result<CmdOutcome, String> {
+    if args.positional.len() < 2 {
+        return Err("usage: mtracecheck fsck ARTIFACT... [--repair] [--json]".to_owned());
+    }
+    let paths: Vec<std::path::PathBuf> = args.positional[1..]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    let report = mtracecheck::fsck_paths(&paths, args.has("repair"));
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        for file in &report.files {
+            println!("{}", file.render_text());
+        }
+    }
+    Ok(CmdOutcome::Exit(report.exit_code()))
+}
+
 fn cmd_litmus(args: &Args) -> Result<(), String> {
     let filter = args.positional.get(1).map(String::as_str);
     let mut shown = 0;
@@ -944,6 +982,7 @@ fn main() -> ExitCode {
         Some("collect") => cmd_collect(&args).map(|()| CmdOutcome::Clean),
         Some("check") => cmd_check(&args).map(|()| CmdOutcome::Clean),
         Some("verify") => cmd_verify(&args).map(|()| CmdOutcome::Clean),
+        Some("fsck") => cmd_fsck(&args),
         Some("litmus") => cmd_litmus(&args).map(|()| CmdOutcome::Clean),
         Some("program") => cmd_program(&args).map(|()| CmdOutcome::Clean),
         Some("render") => cmd_render(&args).map(|()| CmdOutcome::Clean),
@@ -960,6 +999,7 @@ fn main() -> ExitCode {
     match result {
         Ok(CmdOutcome::Clean) => ExitCode::SUCCESS,
         Ok(CmdOutcome::Degraded) => ExitCode::from(3),
+        Ok(CmdOutcome::Exit(code)) => ExitCode::from(code),
         Err(message) => {
             logger::error(message);
             ExitCode::FAILURE

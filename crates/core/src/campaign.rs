@@ -109,6 +109,10 @@ pub struct CampaignConfig {
     /// the `fault-inject` feature; see [`FaultPlan`]).
     #[cfg(feature = "fault-inject")]
     pub faults: FaultPlan,
+    /// Deterministic disk-fault plan for durability tests (only with the
+    /// `fault-inject` feature; see [`crate::durable::DiskFaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub disk_faults: crate::durable::DiskFaultPlan,
 }
 
 impl CampaignConfig {
@@ -139,6 +143,8 @@ impl CampaignConfig {
             verdict_cache: None,
             #[cfg(feature = "fault-inject")]
             faults: FaultPlan::default(),
+            #[cfg(feature = "fault-inject")]
+            disk_faults: crate::durable::DiskFaultPlan::default(),
         }
     }
 
@@ -220,6 +226,14 @@ impl CampaignConfig {
     #[cfg(feature = "fault-inject")]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns the configuration with a deterministic disk-fault plan
+    /// (durability test harness; `fault-inject` feature only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_disk_faults(mut self, disk_faults: crate::durable::DiskFaultPlan) -> Self {
+        self.disk_faults = disk_faults;
         self
     }
 
@@ -722,6 +736,19 @@ impl Campaign {
 
     fn run_supervised(&self, threaded: bool, journal: Option<&CampaignJournal>) -> ConfigReport {
         let mut root = self.telemetry.scope(Ids::none());
+        // Corrupt journal lines were already skipped during replay; surface
+        // them here so a damaged journal is loud (stderr + counter), never a
+        // silently shorter resume.
+        if let Some(skipped) = journal
+            .map(CampaignJournal::skipped_lines)
+            .filter(|&n| n > 0)
+        {
+            crate::telemetry::logger::warn(format_args!(
+                "journal: skipped {skipped} corrupt line(s) during replay; affected tests run \
+                 again (audit with `mtracecheck fsck`)"
+            ));
+            root.count("journal_skipped_lines", skipped);
+        }
         let wall_started = root.start();
         let generate_started = root.start();
         let programs = generate_suite(&self.config.test, self.config.tests);
@@ -929,6 +956,9 @@ impl Campaign {
             let cause = match outcome {
                 Err(payload) => FailureCause::Panic {
                     payload: crate::pool::panic_message(payload.as_ref()),
+                },
+                Ok(Err(AttemptError::Spill(e))) if e.is_disk_full() => FailureCause::DiskFull {
+                    error: e.to_string(),
                 },
                 Ok(Err(AttemptError::Spill(e))) => FailureCause::SpillIo {
                     error: e.to_string(),
@@ -1202,8 +1232,11 @@ impl Campaign {
             #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
             let mut store = SignatureStore::new(&config.memory, schema.signature_bytes());
             #[cfg(feature = "fault-inject")]
-            if fail_spill {
-                store.inject_spill_errors();
+            {
+                if fail_spill {
+                    store.inject_spill_errors();
+                }
+                store.set_disk_faults(config.disk_faults.clone());
             }
             #[cfg(not(feature = "fault-inject"))]
             let _ = fail_spill;

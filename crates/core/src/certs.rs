@@ -24,6 +24,7 @@
 //! counters are therefore deterministic for a given cache file, and the
 //! saved file is sorted regardless of worker interleaving.
 
+use crate::durable::crc32c;
 use mtc_graph::{Certificate, CollectiveStats};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -37,8 +38,13 @@ use std::sync::Mutex;
 pub const SIDECAR_MAGIC: [u8; 4] = *b"MTCS";
 /// Magic prefix of a verdict-cache file.
 pub const CACHE_MAGIC: [u8; 4] = *b"MTCV";
-/// Format version of both artifact files.
+/// Format version of the sidecar file. The sidecar's record payloads are
+/// the byte-pinned `MTCC` certificates golden vectors lock, so this format
+/// stays put.
 pub const ARTIFACT_VERSION: u16 = 1;
+/// Format version of the verdict-cache file. Version 2 added the header
+/// and per-entry CRC32C checksums ([`crate::durable`]).
+pub const CACHE_VERSION: u16 = 2;
 
 /// Incremental FNV-1a (64-bit) over little-endian field bytes — the one
 /// hash every artifact key in this module is built from. Not DoS-resistant
@@ -172,6 +178,20 @@ fn read_u64(buf: &mut &[u8], what: &str) -> Result<u64, CertsError> {
     Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
 }
 
+/// Reads a u32 element count and refuses any count that could not fit in
+/// the remaining bytes at `min_elem_bytes` per element: a corrupt length
+/// prefix must fail as a format error, never size an allocation.
+fn read_count(buf: &mut &[u8], what: &str, min_elem_bytes: usize) -> Result<usize, CertsError> {
+    let count = read_u32(buf, what)? as usize;
+    if count > buf.len() / min_elem_bytes {
+        return Err(CertsError::Format(format!(
+            "{what} {count} exceeds the remaining {} bytes",
+            buf.len()
+        )));
+    }
+    Ok(count)
+}
+
 fn read_cert(buf: &mut &[u8]) -> Result<(Certificate, Vec<u8>), CertsError> {
     let (cert, used) = Certificate::from_bytes(buf)
         .map_err(|e| CertsError::Format(format!("embedded certificate: {e}")))?;
@@ -180,32 +200,32 @@ fn read_cert(buf: &mut &[u8]) -> Result<(Certificate, Vec<u8>), CertsError> {
     Ok((cert, raw))
 }
 
-fn read_header(buf: &mut &[u8], magic: [u8; 4], kind: &str) -> Result<(), CertsError> {
+fn read_header(
+    buf: &mut &[u8],
+    magic: [u8; 4],
+    version: u16,
+    kind: &str,
+) -> Result<(), CertsError> {
     let found = take(buf, 4, "magic")?;
     if found != magic {
         return Err(CertsError::Format(format!("not a {kind} file (bad magic)")));
     }
+    let expected = version;
     let version = read_u16(buf, "version")?;
-    if version != ARTIFACT_VERSION {
+    if version != expected {
         return Err(CertsError::Format(format!(
-            "unsupported {kind} version {version} (expected {ARTIFACT_VERSION})"
+            "unsupported {kind} version {version} (expected {expected})"
         )));
     }
     Ok(())
 }
 
-/// Writes `bytes` to `path` atomically: temp sibling, flush, rename. A
+/// Commits `bytes` to `path` through the crate-wide atomic commit helper
+/// ([`crate::durable::commit_atomically`]): temp sibling, fsync, rename. A
 /// crash mid-save leaves either the old file or the new one, never a
 /// truncated hybrid.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), CertsError> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+fn commit_bytes(path: &Path, bytes: &[u8]) -> Result<(), CertsError> {
+    crate::durable::commit_atomically(path, |f| f.write_all(bytes)).map_err(CertsError::Io)
 }
 
 /// Accumulates `(test, signature) -> certificate` records during a
@@ -269,7 +289,7 @@ impl CertificateSink {
             out.push(u8::from(rec.verdict_failed));
             out.extend_from_slice(&rec.cert);
         }
-        write_atomically(&self.path, &out)?;
+        commit_bytes(&self.path, &out)?;
         Ok(records.len() as u64)
     }
 }
@@ -284,13 +304,18 @@ impl CertificateSink {
 pub fn read_certificates(path: impl AsRef<Path>) -> Result<Vec<CertRecord>, CertsError> {
     let bytes = std::fs::read(path)?;
     let mut buf = bytes.as_slice();
-    read_header(&mut buf, SIDECAR_MAGIC, "certificate sidecar")?;
+    read_header(
+        &mut buf,
+        SIDECAR_MAGIC,
+        ARTIFACT_VERSION,
+        "certificate sidecar",
+    )?;
     let count = read_u64(&mut buf, "record count")?;
     let mut records = Vec::new();
     for _ in 0..count {
         let test_index = read_u64(&mut buf, "test index")?;
         let schema_hash = read_u64(&mut buf, "schema hash")?;
-        let num_words = read_u32(&mut buf, "word count")? as usize;
+        let num_words = read_count(&mut buf, "word count", 8)?;
         let mut words = Vec::with_capacity(num_words);
         for _ in 0..num_words {
             words.push(read_u64(&mut buf, "signature word")?);
@@ -334,6 +359,279 @@ struct SigEntry {
     cert: Vec<u8>,
 }
 
+/// The result of walking a verdict-cache file entry by entry, validating
+/// each entry's CRC32C: every valid entry up to the first corruption, and
+/// where (if anywhere) the walk stopped. Shared by [`VerdictCache::open`]
+/// (quarantine-and-rebuild) and `mtracecheck fsck` (audit/repair).
+#[derive(Debug, Default)]
+pub(crate) struct CacheScan {
+    sigs: BTreeMap<(u64, Vec<u64>), SigEntry>,
+    memos: BTreeMap<(u64, u64), MemoEntry>,
+    /// `(byte offset, detail)` of the corruption that stopped the scan;
+    /// `None` for a fully valid file.
+    pub(crate) corrupt: Option<(u64, String)>,
+}
+
+impl CacheScan {
+    /// Valid entries salvaged, `(signature entries, memo entries)`.
+    pub(crate) fn salvaged(&self) -> (u64, u64) {
+        (self.sigs.len() as u64, self.memos.len() as u64)
+    }
+
+    /// Re-encodes the salvaged entries as a fresh, fully valid cache file
+    /// (fsck's `--repair` compaction).
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        encode_cache(&self.sigs, &self.memos)
+    }
+}
+
+/// Walks `bytes` as a verdict-cache file. Bad magic or an unsupported
+/// version is a hard error — the file is not (or no longer) a cache and
+/// must not be silently rebuilt over. Entry-level corruption — a failed
+/// header or entry CRC, a truncated entry, trailing bytes — stops the walk
+/// and is reported in [`CacheScan::corrupt`] with everything salvageable
+/// before it.
+pub(crate) fn scan_cache(bytes: &[u8]) -> Result<CacheScan, CertsError> {
+    let mut buf = bytes;
+    read_header(&mut buf, CACHE_MAGIC, CACHE_VERSION, "verdict cache")?;
+    let offset_of = |buf: &[u8]| (bytes.len() - buf.len()) as u64;
+    let mut scan = CacheScan::default();
+    // Counts and their CRC live in the 26-byte header; any failure here
+    // means nothing past the magic is trustworthy, so nothing is salvaged.
+    // The CRC seals the counts because a bit flip in a count would walk
+    // the file wrong and mis-blame a valid entry.
+    let header = (|| -> Result<(u64, u64), (u64, String)> {
+        let at = offset_of(buf);
+        let detail = |e: CertsError| (at, e.to_string());
+        let sig_count = read_u64(&mut buf, "signature entry count").map_err(detail)?;
+        let memo_count = read_u64(&mut buf, "memo entry count").map_err(detail)?;
+        let stored = read_u32(&mut buf, "header checksum").map_err(detail)?;
+        if stored != crc32c(&bytes[..22]) {
+            return Err((0, "header checksum mismatch".to_owned()));
+        }
+        Ok((sig_count, memo_count))
+    })();
+    let (sig_count, memo_count) = match header {
+        Ok(counts) => counts,
+        Err(corrupt) => {
+            scan.corrupt = Some(corrupt);
+            return Ok(scan);
+        }
+    };
+    for _ in 0..sig_count {
+        let entry_start = offset_of(buf);
+        match read_sig_entry(&mut buf)
+            .map_err(|e| e.to_string())
+            .and_then(|parsed| check_entry_crc(bytes, entry_start, &mut buf).map(|()| parsed))
+        {
+            Ok((key, entry)) => {
+                scan.sigs.insert(key, entry);
+            }
+            Err(detail) => {
+                scan.corrupt = Some((entry_start, detail));
+                return Ok(scan);
+            }
+        }
+    }
+    for _ in 0..memo_count {
+        let entry_start = offset_of(buf);
+        match read_memo_entry(&mut buf)
+            .map_err(|e| e.to_string())
+            .and_then(|parsed| check_entry_crc(bytes, entry_start, &mut buf).map(|()| parsed))
+        {
+            Ok((key, entry)) => {
+                scan.memos.insert(key, entry);
+            }
+            Err(detail) => {
+                scan.corrupt = Some((entry_start, detail));
+                return Ok(scan);
+            }
+        }
+    }
+    if !buf.is_empty() {
+        scan.corrupt = Some((
+            offset_of(buf),
+            format!("{} trailing bytes after last entry", buf.len()),
+        ));
+    }
+    Ok(scan)
+}
+
+/// Validates the CRC32C that seals the entry beginning at `entry_start`
+/// and ending where `buf` now points, consuming the stored CRC.
+fn check_entry_crc(bytes: &[u8], entry_start: u64, buf: &mut &[u8]) -> Result<(), String> {
+    let entry_end = bytes.len() - buf.len();
+    let stored = read_u32(buf, "entry checksum").map_err(|e| e.to_string())?;
+    if stored != crc32c(&bytes[entry_start as usize..entry_end]) {
+        return Err("entry checksum mismatch".to_owned());
+    }
+    Ok(())
+}
+
+fn read_sig_entry(buf: &mut &[u8]) -> Result<((u64, Vec<u64>), SigEntry), CertsError> {
+    let ctx = read_u64(buf, "context hash")?;
+    let num_words = read_count(buf, "word count", 8)?;
+    let mut words = Vec::with_capacity(num_words);
+    for _ in 0..num_words {
+        words.push(read_u64(buf, "signature word")?);
+    }
+    let verdict_failed = match read_u8(buf, "verdict")? {
+        0 => false,
+        1 => true,
+        other => return Err(CertsError::Format(format!("bad verdict byte {other}"))),
+    };
+    let (_, cert) = read_cert(buf)?;
+    Ok((
+        (ctx, words),
+        SigEntry {
+            verdict_failed,
+            cert,
+        },
+    ))
+}
+
+fn read_memo_entry(buf: &mut &[u8]) -> Result<((u64, u64), MemoEntry), CertsError> {
+    let ctx = read_u64(buf, "context hash")?;
+    let seq = read_u64(buf, "sequence hash")?;
+    let stats = CollectiveStats {
+        graphs: read_u64(buf, "stats")? as usize,
+        complete: read_u64(buf, "stats")? as usize,
+        no_resort: read_u64(buf, "stats")? as usize,
+        incremental: read_u64(buf, "stats")? as usize,
+        resorted_vertices: read_u64(buf, "stats")?,
+        incremental_vertices: read_u64(buf, "stats")?,
+        violations: read_u64(buf, "stats")? as usize,
+        work: read_u64(buf, "stats")?,
+    };
+    let violating_count = read_count(buf, "violating count", 4)?;
+    let mut violating = Vec::with_capacity(violating_count);
+    for _ in 0..violating_count {
+        let index = read_u32(buf, "violating index")?;
+        let (_, cert) = read_cert(buf)?;
+        violating.push((index, cert));
+    }
+    Ok(((ctx, seq), MemoEntry { stats, violating }))
+}
+
+/// Encodes the canonical (sorted) cache file: checksummed header, then
+/// every signature entry and memo entry, each sealed by its own CRC32C.
+fn encode_cache(
+    sigs: &BTreeMap<(u64, Vec<u64>), SigEntry>,
+    memos: &BTreeMap<(u64, u64), MemoEntry>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CACHE_MAGIC);
+    out.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sigs.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(memos.len() as u64).to_le_bytes());
+    let header_crc = crc32c(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    let mut entry = Vec::new();
+    for ((ctx, words), e) in sigs {
+        entry.clear();
+        entry.extend_from_slice(&ctx.to_le_bytes());
+        entry.extend_from_slice(&(words.len() as u32).to_le_bytes());
+        for w in words {
+            entry.extend_from_slice(&w.to_le_bytes());
+        }
+        entry.push(u8::from(e.verdict_failed));
+        entry.extend_from_slice(&e.cert);
+        out.extend_from_slice(&entry);
+        out.extend_from_slice(&crc32c(&entry).to_le_bytes());
+    }
+    for ((ctx, seq), e) in memos {
+        entry.clear();
+        entry.extend_from_slice(&ctx.to_le_bytes());
+        entry.extend_from_slice(&seq.to_le_bytes());
+        for v in [
+            e.stats.graphs as u64,
+            e.stats.complete as u64,
+            e.stats.no_resort as u64,
+            e.stats.incremental as u64,
+            e.stats.resorted_vertices,
+            e.stats.incremental_vertices,
+            e.stats.violations as u64,
+            e.stats.work,
+        ] {
+            entry.extend_from_slice(&v.to_le_bytes());
+        }
+        entry.extend_from_slice(&(e.violating.len() as u32).to_le_bytes());
+        for (index, cert) in &e.violating {
+            entry.extend_from_slice(&index.to_le_bytes());
+            entry.extend_from_slice(cert);
+        }
+        out.extend_from_slice(&entry);
+        out.extend_from_slice(&crc32c(&entry).to_le_bytes());
+    }
+    out
+}
+
+/// Walks `bytes` as a certificate sidecar for `mtracecheck fsck`,
+/// returning the records walked and the byte offset and detail of the
+/// first structural damage, if any. The sidecar carries no per-record
+/// checksums — its `MTCC` payloads are byte-pinned by golden vectors, so
+/// the format stays at version 1 — which means damage can only be named,
+/// never repaired, and value-preserving flips inside a payload go
+/// undetected here (the `verify` command's graph replay catches those).
+pub(crate) fn scan_sidecar(bytes: &[u8]) -> (u64, Option<(u64, String)>) {
+    let mut buf = bytes;
+    let offset_of = |buf: &[u8]| (bytes.len() - buf.len()) as u64;
+    if let Err(e) = read_header(
+        &mut buf,
+        SIDECAR_MAGIC,
+        ARTIFACT_VERSION,
+        "certificate sidecar",
+    ) {
+        return (0, Some((0, e.to_string())));
+    }
+    let count_at = offset_of(buf);
+    let count = match read_u64(&mut buf, "record count") {
+        Ok(v) => v,
+        Err(e) => return (0, Some((count_at, e.to_string()))),
+    };
+    let mut valid = 0u64;
+    for _ in 0..count {
+        let record_start = offset_of(buf);
+        let record = (|| -> Result<(), CertsError> {
+            read_u64(&mut buf, "test index")?;
+            read_u64(&mut buf, "schema hash")?;
+            let num_words = read_u32(&mut buf, "word count")? as usize;
+            for _ in 0..num_words {
+                read_u64(&mut buf, "signature word")?;
+            }
+            match read_u8(&mut buf, "verdict")? {
+                0 | 1 => Ok(()),
+                other => Err(CertsError::Format(format!("bad verdict byte {other}"))),
+            }?;
+            read_cert(&mut buf).map(|_| ())
+        })();
+        if let Err(e) = record {
+            return (valid, Some((record_start, e.to_string())));
+        }
+        valid += 1;
+    }
+    if !buf.is_empty() {
+        return (
+            valid,
+            Some((
+                offset_of(buf),
+                format!("{} trailing bytes after last record", buf.len()),
+            )),
+        );
+    }
+    (valid, None)
+}
+
+/// The sibling path a corrupt cache file is quarantined to before the
+/// campaign rebuilds over the original name.
+pub(crate) fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("cache"), ToOwned::to_owned);
+    name.push(".quarantined");
+    path.with_file_name(name)
+}
+
 /// The cross-campaign verdict cache (`MTCV` file).
 ///
 /// Opened once per campaign: the file's entries become an immutable
@@ -370,6 +668,13 @@ impl VerdictCache {
     }
 
     /// Opens a cache file; a missing file is an empty (cold) cache.
+    ///
+    /// Recovery policy: a file with the wrong magic or version is a hard
+    /// error (it is not ours to rebuild over), but entry-level corruption
+    /// is quarantined — the damaged file is renamed to `<name>.quarantined`,
+    /// every entry before the corruption is salvaged into the snapshot, and
+    /// the campaign continues warm. The next [`save`](VerdictCache::save)
+    /// rewrites a fully valid file.
     pub(crate) fn open(path: PathBuf) -> Result<Self, CertsError> {
         let mut cache = VerdictCache::empty(path);
         let bytes = match std::fs::read(&cache.path) {
@@ -377,57 +682,20 @@ impl VerdictCache {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cache),
             Err(e) => return Err(e.into()),
         };
-        let mut buf = bytes.as_slice();
-        read_header(&mut buf, CACHE_MAGIC, "verdict cache")?;
-        let sig_count = read_u64(&mut buf, "signature entry count")?;
-        let memo_count = read_u64(&mut buf, "memo entry count")?;
-        for _ in 0..sig_count {
-            let ctx = read_u64(&mut buf, "context hash")?;
-            let num_words = read_u32(&mut buf, "word count")? as usize;
-            let mut words = Vec::with_capacity(num_words);
-            for _ in 0..num_words {
-                words.push(read_u64(&mut buf, "signature word")?);
-            }
-            let verdict_failed = read_u8(&mut buf, "verdict")? != 0;
-            let (_, cert) = read_cert(&mut buf)?;
-            cache.snapshot_sigs.insert(
-                (ctx, words),
-                SigEntry {
-                    verdict_failed,
-                    cert,
-                },
-            );
+        let scan = scan_cache(&bytes)?;
+        if let Some((offset, detail)) = &scan.corrupt {
+            let quarantine = quarantine_path(&cache.path);
+            std::fs::rename(&cache.path, &quarantine)?;
+            let (sigs, memos) = scan.salvaged();
+            crate::telemetry::logger::warn(format!(
+                "verdict cache {} corrupt at byte {offset} ({detail}); \
+                 quarantined to {} and salvaged {sigs} signature + {memos} memo entries",
+                cache.path.display(),
+                quarantine.display(),
+            ));
         }
-        for _ in 0..memo_count {
-            let ctx = read_u64(&mut buf, "context hash")?;
-            let seq = read_u64(&mut buf, "sequence hash")?;
-            let stats = CollectiveStats {
-                graphs: read_u64(&mut buf, "stats")? as usize,
-                complete: read_u64(&mut buf, "stats")? as usize,
-                no_resort: read_u64(&mut buf, "stats")? as usize,
-                incremental: read_u64(&mut buf, "stats")? as usize,
-                resorted_vertices: read_u64(&mut buf, "stats")?,
-                incremental_vertices: read_u64(&mut buf, "stats")?,
-                violations: read_u64(&mut buf, "stats")? as usize,
-                work: read_u64(&mut buf, "stats")?,
-            };
-            let violating_count = read_u32(&mut buf, "violating count")? as usize;
-            let mut violating = Vec::with_capacity(violating_count);
-            for _ in 0..violating_count {
-                let index = read_u32(&mut buf, "violating index")?;
-                let (_, cert) = read_cert(&mut buf)?;
-                violating.push((index, cert));
-            }
-            cache
-                .snapshot_memos
-                .insert((ctx, seq), MemoEntry { stats, violating });
-        }
-        if !buf.is_empty() {
-            return Err(CertsError::Format(format!(
-                "{} trailing bytes after last entry",
-                buf.len()
-            )));
-        }
+        cache.snapshot_sigs = scan.sigs;
+        cache.snapshot_memos = scan.memos;
         Ok(cache)
     }
 
@@ -516,42 +784,7 @@ impl VerdictCache {
             .collect();
         sigs.clear();
         memos.clear();
-        let mut out = Vec::new();
-        out.extend_from_slice(&CACHE_MAGIC);
-        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(merged_sigs.len() as u64).to_le_bytes());
-        out.extend_from_slice(&(merged_memos.len() as u64).to_le_bytes());
-        for ((ctx, words), entry) in &merged_sigs {
-            out.extend_from_slice(&ctx.to_le_bytes());
-            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
-            for w in words {
-                out.extend_from_slice(&w.to_le_bytes());
-            }
-            out.push(u8::from(entry.verdict_failed));
-            out.extend_from_slice(&entry.cert);
-        }
-        for ((ctx, seq), entry) in &merged_memos {
-            out.extend_from_slice(&ctx.to_le_bytes());
-            out.extend_from_slice(&seq.to_le_bytes());
-            for v in [
-                entry.stats.graphs as u64,
-                entry.stats.complete as u64,
-                entry.stats.no_resort as u64,
-                entry.stats.incremental as u64,
-                entry.stats.resorted_vertices,
-                entry.stats.incremental_vertices,
-                entry.stats.violations as u64,
-                entry.stats.work,
-            ] {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-            out.extend_from_slice(&(entry.violating.len() as u32).to_le_bytes());
-            for (index, cert) in &entry.violating {
-                out.extend_from_slice(&index.to_le_bytes());
-                out.extend_from_slice(cert);
-            }
-        }
-        write_atomically(&self.path, &out)
+        commit_bytes(&self.path, &encode_cache(&merged_sigs, &merged_memos))
     }
 }
 

@@ -1,0 +1,524 @@
+//! `mtracecheck fsck` — audit, and optionally repair, on-disk artifacts.
+//!
+//! Every artifact the pipeline persists carries integrity metadata from
+//! [`crate::durable`]: line logs (campaign journals, coordinator state-dir
+//! files) frame each line with a CRC32C suffix, and the binary artifacts
+//! (spill runs, verdict caches) seal their header and each entry with
+//! CRC32C. This module walks those bytes independently of the subsystems
+//! that write them and classifies each file as clean, corrupt-but-
+//! repairable, or unrecoverable.
+//!
+//! Repair follows each artifact's recovery policy, never a generic one:
+//!
+//! * **Line logs** are compacted to their valid lines (the exact set a
+//!   journal replay would keep), rewritten atomically. Affected tests or
+//!   shards simply run again on resume.
+//! * **Verdict caches** are rewritten from the valid entries before the
+//!   first corruption — the same salvage [`crate::CampaignConfig::
+//!   verdict_cache`] performs at open, minus the quarantine rename.
+//! * **Spill runs** and **certificate sidecars** are never rewritten:
+//!   merging over a doctored spill run could silently change verdicts, and
+//!   sidecar payloads are byte-pinned `MTCC` certificates with no
+//!   per-record checksum to rebuild from. fsck names the damage (file,
+//!   byte offset, detail) and reports the file unrecoverable.
+//!
+//! Exit codes (`FsckReport::exit_code`): `0` all clean, `4` corruption
+//! detected (or repaired under `--repair`), `5` at least one unrecoverable
+//! file, `1` an audit could not run at all (I/O error). Unrecoverable
+//! outranks I/O error outranks repairable corruption.
+
+use crate::certs;
+use crate::durable::{commit_atomically, unframe_line};
+use crate::service::json::Value;
+use crate::store;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Which on-disk format a file was audited as.
+///
+/// Detection is by magic bytes: `MTCSPILL` (spill run), `MTCS`
+/// (certificate sidecar), `MTCV` (verdict cache); anything else is audited
+/// as a CRC-framed line log — the format of campaign journals and
+/// coordinator state-dir files. A file shorter than a full spill magic but
+/// matching its prefix is classified as a (truncated) spill run, never as
+/// a line log, so repair can't mistake a torn binary file for text.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A CRC-framed JSONL log: campaign journal or state-dir job file.
+    LineLog,
+    /// A `MTCSPILL` signature spill run.
+    SpillRun,
+    /// A `MTCS` certificate sidecar.
+    CertSidecar,
+    /// A `MTCV` cross-campaign verdict cache.
+    VerdictCache,
+}
+
+impl ArtifactKind {
+    /// Stable machine-readable name (used in JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::LineLog => "line-log",
+            ArtifactKind::SpillRun => "spill-run",
+            ArtifactKind::CertSidecar => "certificate-sidecar",
+            ArtifactKind::VerdictCache => "verdict-cache",
+        }
+    }
+}
+
+/// Classifies `bytes` by magic (see [`ArtifactKind`]).
+pub fn detect_kind(bytes: &[u8]) -> ArtifactKind {
+    let spill = bytes.starts_with(store::SPILL_MAGIC)
+        || (bytes.len() > certs::SIDECAR_MAGIC.len() && store::SPILL_MAGIC.starts_with(bytes));
+    if spill {
+        ArtifactKind::SpillRun
+    } else if bytes.starts_with(&certs::SIDECAR_MAGIC) {
+        ArtifactKind::CertSidecar
+    } else if bytes.starts_with(&certs::CACHE_MAGIC) {
+        ArtifactKind::VerdictCache
+    } else {
+        ArtifactKind::LineLog
+    }
+}
+
+/// The outcome of auditing one artifact's bytes (no filesystem involved —
+/// the unit the corruption sweeps in `tests/integrity.rs` drive).
+#[derive(Debug)]
+pub struct ByteAudit {
+    /// Valid records (lines or entries) walked before any corruption.
+    pub records: u64,
+    /// Byte offset and description of the first corruption, if any.
+    pub corrupt: Option<(u64, String)>,
+    /// Replacement bytes implementing the artifact's repair policy, when
+    /// it has one (`None` for clean files and unrepairable kinds).
+    pub repaired: Option<Vec<u8>>,
+}
+
+/// Audits `bytes` as `kind`, returning what a repair would write (without
+/// writing anything).
+pub fn audit_bytes(kind: ArtifactKind, bytes: &[u8]) -> ByteAudit {
+    match kind {
+        ArtifactKind::LineLog => audit_line_log(bytes),
+        ArtifactKind::SpillRun => {
+            let (records, corrupt) = store::scan_spill(bytes);
+            ByteAudit {
+                records,
+                corrupt,
+                repaired: None,
+            }
+        }
+        ArtifactKind::CertSidecar => {
+            let (records, corrupt) = certs::scan_sidecar(bytes);
+            ByteAudit {
+                records,
+                corrupt,
+                repaired: None,
+            }
+        }
+        ArtifactKind::VerdictCache => match certs::scan_cache(bytes) {
+            // Bad magic or version: not ours to rebuild over.
+            Err(e) => ByteAudit {
+                records: 0,
+                corrupt: Some((0, e.to_string())),
+                repaired: None,
+            },
+            Ok(scan) => {
+                let (sigs, memos) = scan.salvaged();
+                let repaired = scan.corrupt.is_some().then(|| scan.encode());
+                ByteAudit {
+                    records: sigs + memos,
+                    corrupt: scan.corrupt,
+                    repaired,
+                }
+            }
+        },
+    }
+}
+
+/// Validates every CRC-framed line, collecting the valid ones verbatim —
+/// the compaction a `--repair` writes back. Matches replay semantics
+/// exactly: a valid line after a corrupt one is kept, so repair never
+/// drops a record that a resume would have replayed.
+///
+/// A non-empty file in which *no* line validates is reported unrecoverable
+/// instead: compacting to an empty file is never useful, and a binary
+/// artifact whose magic bytes were damaged is misdetected as a line log —
+/// repair must not erase it.
+fn audit_line_log(bytes: &[u8]) -> ByteAudit {
+    let mut valid: Vec<&str> = Vec::new();
+    let mut corrupt: Option<(u64, String)> = None;
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        let len = rest.iter().position(|&b| b == b'\n').unwrap_or(rest.len());
+        let line = std::str::from_utf8(&rest[..len])
+            .map_err(|_| "line is not valid UTF-8".to_owned())
+            .and_then(|text| unframe_line(text).map(|_| text).map_err(|e| e.to_string()));
+        match line {
+            Ok(text) => valid.push(text),
+            Err(detail) => {
+                if corrupt.is_none() {
+                    corrupt = Some((at as u64, detail));
+                }
+            }
+        }
+        // +1 consumes the newline; a final unterminated line ends the walk.
+        at += len + 1;
+    }
+    let records = valid.len() as u64;
+    let repaired = (corrupt.is_some() && records > 0).then(|| {
+        let mut out = String::new();
+        for line in valid {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.into_bytes()
+    });
+    ByteAudit {
+        records,
+        corrupt,
+        repaired,
+    }
+}
+
+/// What `fsck` concluded about one file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsckStatus {
+    /// Every record validated.
+    Clean,
+    /// Corruption found; the artifact's policy permits repair but
+    /// `--repair` was not given. Nothing was modified.
+    CorruptionDetected {
+        /// Byte offset of the first corruption.
+        offset: u64,
+        /// What failed to validate there.
+        detail: String,
+    },
+    /// Corruption found and the file rewritten per its repair policy.
+    Repaired {
+        /// Byte offset of the first corruption (in the original bytes).
+        offset: u64,
+        /// What failed to validate there.
+        detail: String,
+    },
+    /// Corruption found in an artifact whose policy forbids repair (spill
+    /// runs, sidecars, a cache with bad magic/version). Nothing was
+    /// modified; the file must be regenerated.
+    Unrecoverable {
+        /// Byte offset of the first corruption.
+        offset: u64,
+        /// What failed to validate there.
+        detail: String,
+    },
+    /// The audit itself could not run (I/O failure).
+    Error {
+        /// The underlying failure.
+        detail: String,
+    },
+}
+
+impl FsckStatus {
+    /// Stable machine-readable label (used in JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsckStatus::Clean => "clean",
+            FsckStatus::CorruptionDetected { .. } => "corrupt",
+            FsckStatus::Repaired { .. } => "repaired",
+            FsckStatus::Unrecoverable { .. } => "unrecoverable",
+            FsckStatus::Error { .. } => "error",
+        }
+    }
+
+    fn location(&self) -> Option<(u64, &str)> {
+        match self {
+            FsckStatus::Clean => None,
+            FsckStatus::Error { detail } => Some((0, detail)),
+            FsckStatus::CorruptionDetected { offset, detail }
+            | FsckStatus::Repaired { offset, detail }
+            | FsckStatus::Unrecoverable { offset, detail } => Some((*offset, detail)),
+        }
+    }
+}
+
+/// One audited file: path, detected kind, valid records, verdict.
+#[derive(Debug)]
+pub struct FileAudit {
+    /// The file audited.
+    pub path: PathBuf,
+    /// Detected format, `None` when the file could not be read at all.
+    pub kind: Option<ArtifactKind>,
+    /// Valid records (lines or entries) in the file — after repair, the
+    /// records the repaired file holds.
+    pub records: u64,
+    /// The verdict.
+    pub status: FsckStatus,
+}
+
+impl FileAudit {
+    fn encode(&self) -> Value {
+        let mut fields = vec![
+            ("path", Value::str(self.path.display().to_string())),
+            (
+                "kind",
+                self.kind.map_or(Value::Null, |k| Value::str(k.name())),
+            ),
+            ("status", Value::str(self.status.label())),
+            ("records", Value::u64(self.records)),
+        ];
+        if let Some((offset, detail)) = self.status.location() {
+            if !matches!(self.status, FsckStatus::Error { .. }) {
+                fields.push(("offset", Value::u64(offset)));
+            }
+            fields.push(("detail", Value::str(detail)));
+        }
+        Value::obj(fields)
+    }
+
+    /// One human-readable summary line.
+    pub fn render_text(&self) -> String {
+        let kind = self.kind.map_or("unreadable", ArtifactKind::name);
+        let mut line = format!(
+            "{}: {} ({kind}, {} record(s))",
+            self.status.label(),
+            self.path.display(),
+            self.records
+        );
+        if let Some((offset, detail)) = self.status.location() {
+            if matches!(self.status, FsckStatus::Error { .. }) {
+                line.push_str(&format!(": {detail}"));
+            } else {
+                line.push_str(&format!("; at byte {offset}: {detail}"));
+            }
+        }
+        line
+    }
+}
+
+/// The whole audit: one [`FileAudit`] per file, in path order per
+/// argument.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// Per-file verdicts.
+    pub files: Vec<FileAudit>,
+}
+
+impl FsckReport {
+    /// The process exit code the audit maps to: `0` all clean, `4`
+    /// repairable corruption detected or repaired, `5` at least one
+    /// unrecoverable file, `1` at least one audit failed to run.
+    /// Unrecoverable outranks error outranks repairable.
+    pub fn exit_code(&self) -> u8 {
+        let mut code = 0u8;
+        for file in &self.files {
+            code = code.max(match file.status {
+                FsckStatus::Clean => 0,
+                FsckStatus::CorruptionDetected { .. } | FsckStatus::Repaired { .. } => 2,
+                FsckStatus::Error { .. } => 3,
+                FsckStatus::Unrecoverable { .. } => 4,
+            });
+        }
+        [0, 0, 4, 1, 5][code as usize]
+    }
+
+    /// Machine-readable report: `{"files": [...], "exit": N}`.
+    pub fn to_json(&self) -> String {
+        Value::obj(vec![
+            (
+                "files",
+                Value::Arr(self.files.iter().map(FileAudit::encode).collect()),
+            ),
+            ("exit", Value::u64(u64::from(self.exit_code()))),
+        ])
+        .render()
+    }
+}
+
+/// Audits (and with `repair`, rewrites) a single artifact file.
+pub fn fsck_file(path: &Path, repair: bool) -> FileAudit {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            return FileAudit {
+                path: path.to_owned(),
+                kind: None,
+                records: 0,
+                status: FsckStatus::Error {
+                    detail: e.to_string(),
+                },
+            }
+        }
+    };
+    let kind = detect_kind(&bytes);
+    let audit = audit_bytes(kind, &bytes);
+    let status = match audit.corrupt {
+        None => FsckStatus::Clean,
+        Some((offset, detail)) => match audit.repaired {
+            None => FsckStatus::Unrecoverable { offset, detail },
+            Some(_) if !repair => FsckStatus::CorruptionDetected { offset, detail },
+            Some(fixed) => match commit_atomically(path, |f| f.write_all(&fixed)) {
+                Ok(()) => FsckStatus::Repaired { offset, detail },
+                Err(e) => FsckStatus::Error {
+                    detail: format!("repair failed: {e}"),
+                },
+            },
+        },
+    };
+    FileAudit {
+        path: path.to_owned(),
+        kind: Some(kind),
+        records: audit.records,
+        status,
+    }
+}
+
+/// Audits every path; directories are walked recursively (files in sorted
+/// order), so a spill directory or coordinator state dir audits in one
+/// argument. A path that cannot be read or listed contributes an
+/// [`FsckStatus::Error`] entry rather than aborting the audit.
+pub fn fsck_paths(paths: &[PathBuf], repair: bool) -> FsckReport {
+    let mut files = Vec::new();
+    for path in paths {
+        audit_path(path, repair, &mut files);
+    }
+    FsckReport { files }
+}
+
+fn audit_path(path: &Path, repair: bool, out: &mut Vec<FileAudit>) {
+    if path.is_dir() {
+        let mut children: Vec<PathBuf> = match std::fs::read_dir(path) {
+            Ok(entries) => entries.filter_map(Result::ok).map(|e| e.path()).collect(),
+            Err(e) => {
+                out.push(FileAudit {
+                    path: path.to_owned(),
+                    kind: None,
+                    records: 0,
+                    status: FsckStatus::Error {
+                        detail: e.to_string(),
+                    },
+                });
+                return;
+            }
+        };
+        children.sort();
+        for child in children {
+            audit_path(&child, repair, out);
+        }
+        return;
+    }
+    out.push(fsck_file(path, repair));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::frame_line;
+
+    #[test]
+    fn kind_detection_by_magic() {
+        assert_eq!(detect_kind(b"MTCSPILL rest"), ArtifactKind::SpillRun);
+        assert_eq!(detect_kind(b"MTCSPIL"), ArtifactKind::SpillRun);
+        assert_eq!(detect_kind(b"MTCS\x01\x00"), ArtifactKind::CertSidecar);
+        assert_eq!(detect_kind(b"MTCS"), ArtifactKind::CertSidecar);
+        assert_eq!(detect_kind(b"MTCV\x02\x00"), ArtifactKind::VerdictCache);
+        assert_eq!(detect_kind(b"{\"Header\":1}"), ArtifactKind::LineLog);
+        assert_eq!(detect_kind(b""), ArtifactKind::LineLog);
+    }
+
+    #[test]
+    fn clean_line_log_audits_clean() {
+        let mut log = String::new();
+        for i in 0..4 {
+            log.push_str(&frame_line(&format!("{{\"n\":{i}}}")));
+            log.push('\n');
+        }
+        let audit = audit_line_log(log.as_bytes());
+        assert_eq!(audit.records, 4);
+        assert!(audit.corrupt.is_none());
+        assert!(audit.repaired.is_none());
+    }
+
+    #[test]
+    fn corrupt_line_is_located_and_compacted_away() {
+        let good1 = frame_line("{\"n\":1}");
+        let good2 = frame_line("{\"n\":2}");
+        let log = format!("{good1}\nBROKEN LINE\n{good2}\n");
+        let audit = audit_line_log(log.as_bytes());
+        assert_eq!(audit.records, 2, "valid lines on both sides are kept");
+        let (offset, _) = audit.corrupt.expect("corruption found");
+        assert_eq!(offset, good1.len() as u64 + 1);
+        let repaired = audit.repaired.expect("line logs are repairable");
+        assert_eq!(repaired, format!("{good1}\n{good2}\n").into_bytes());
+        // A repaired log audits clean and is byte-stable.
+        let again = audit_line_log(&repaired);
+        assert!(again.corrupt.is_none());
+        assert_eq!(again.records, 2);
+    }
+
+    #[test]
+    fn torn_final_line_is_repairable() {
+        let good = frame_line("{\"n\":1}");
+        let torn = frame_line("{\"n\":2}");
+        let log = format!("{good}\n{}", &torn[..torn.len() - 3]);
+        let audit = audit_line_log(log.as_bytes());
+        assert_eq!(audit.records, 1);
+        assert_eq!(
+            audit.corrupt.as_ref().map(|c| c.0),
+            Some(good.len() as u64 + 1)
+        );
+        assert_eq!(audit.repaired, Some(format!("{good}\n").into_bytes()));
+    }
+
+    #[test]
+    fn exit_codes_rank_unrecoverable_over_error_over_corrupt() {
+        let audit = |status: FsckStatus| FileAudit {
+            path: PathBuf::from("x"),
+            kind: Some(ArtifactKind::LineLog),
+            records: 0,
+            status,
+        };
+        let corrupt = FsckStatus::CorruptionDetected {
+            offset: 0,
+            detail: String::new(),
+        };
+        let unrecoverable = FsckStatus::Unrecoverable {
+            offset: 0,
+            detail: String::new(),
+        };
+        let error = FsckStatus::Error {
+            detail: String::new(),
+        };
+        let report = |statuses: Vec<FsckStatus>| FsckReport {
+            files: statuses.into_iter().map(&audit).collect(),
+        };
+        assert_eq!(report(vec![]).exit_code(), 0);
+        assert_eq!(report(vec![FsckStatus::Clean]).exit_code(), 0);
+        assert_eq!(
+            report(vec![FsckStatus::Clean, corrupt.clone()]).exit_code(),
+            4
+        );
+        assert_eq!(report(vec![corrupt.clone(), error.clone()]).exit_code(), 1);
+        assert_eq!(report(vec![corrupt, error, unrecoverable]).exit_code(), 5);
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_names_offsets() {
+        let report = FsckReport {
+            files: vec![FileAudit {
+                path: PathBuf::from("a.jsonl"),
+                kind: Some(ArtifactKind::LineLog),
+                records: 7,
+                status: FsckStatus::CorruptionDetected {
+                    offset: 42,
+                    detail: "line checksum mismatch".to_owned(),
+                },
+            }],
+        };
+        let json = report.to_json();
+        let value = crate::service::json::parse(&json).expect("fsck JSON parses");
+        assert_eq!(value.req_u64("exit").unwrap(), 4);
+        let files = value.req_arr("files").unwrap();
+        assert_eq!(files[0].req_str("status").unwrap(), "corrupt");
+        assert_eq!(files[0].req_u64("offset").unwrap(), 42);
+        assert_eq!(files[0].req_u64("records").unwrap(), 7);
+    }
+}

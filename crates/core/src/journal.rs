@@ -15,8 +15,17 @@
 //! Replay is deliberately forgiving: a truncated final line (the usual
 //! scar of a mid-write kill) or a corrupt record is skipped with a counter,
 //! costing at most a re-run of the affected tests, never the campaign.
+//!
+//! Since format version 2 every line carries a CRC32C frame suffix (see
+//! [`crate::durable`]), so replay detects not just unparseable scars but
+//! any single-byte corruption — a bit-flipped verdict that still parses is
+//! skipped (and surfaced), never trusted. `mtracecheck fsck` audits and
+//! repairs journals offline.
 
 use crate::campaign::SpillSummary;
+#[cfg(feature = "fault-inject")]
+use crate::durable::DiskFaultPlan;
+use crate::durable::{commit_atomically, frame_line, unframe_line};
 use crate::supervisor::QuarantineRecord;
 use crate::telemetry::logger;
 use crate::{CampaignConfig, TestReport};
@@ -31,7 +40,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Journal format version; bumped on incompatible record changes.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version 2 added the per-line CRC32C frame suffix.
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// The identity of the campaign a journal belongs to. Resume refuses a
 /// journal whose header does not match the resuming configuration — the
@@ -122,6 +132,9 @@ pub struct CampaignJournal {
     skipped_lines: u64,
     /// A record failed to persist; the journal is incomplete.
     degraded: AtomicBool,
+    /// Injected storage faults (testing only).
+    #[cfg(feature = "fault-inject")]
+    disk_faults: DiskFaultPlan,
 }
 
 impl CampaignJournal {
@@ -138,8 +151,10 @@ impl CampaignJournal {
     /// header.
     pub fn create(path: impl AsRef<Path>, config: &CampaignConfig) -> Result<Self, JournalError> {
         let path = path.as_ref().to_owned();
-        let header = serde_json::to_string(&JournalRecord::Header(JournalHeader::of(config)))?;
-        write_atomically(&path, |file| writeln!(file, "{header}"))?;
+        let header = frame_line(&serde_json::to_string(&JournalRecord::Header(
+            JournalHeader::of(config),
+        ))?);
+        commit_atomically(&path, |file| writeln!(file, "{header}"))?;
         let writer = OpenOptions::new().append(true).open(&path)?;
         Ok(CampaignJournal {
             path,
@@ -147,6 +162,8 @@ impl CampaignJournal {
             replay: BTreeMap::new(),
             skipped_lines: 0,
             degraded: AtomicBool::new(false),
+            #[cfg(feature = "fault-inject")]
+            disk_faults: config.disk_faults.clone(),
         })
     }
 
@@ -168,10 +185,15 @@ impl CampaignJournal {
         let reader = BufReader::new(File::open(path)?);
         let mut lines = reader.lines();
         let header: JournalHeader = match lines.next() {
-            Some(line) => match serde_json::from_str(&line?) {
+            // The header must both frame-validate and parse; a corrupt
+            // first line means nothing in the file can be trusted.
+            Some(line) => match unframe_line(&line?)
+                .map_err(|_| JournalError::MissingHeader)
+                .and_then(|payload| serde_json::from_str(payload).map_err(JournalError::Format))
+            {
                 Ok(JournalRecord::Header(header)) => header,
                 Ok(_) => return Err(JournalError::MissingHeader),
-                Err(e) => return Err(JournalError::Format(e)),
+                Err(e) => return Err(e),
             },
             None => return Err(JournalError::MissingHeader),
         };
@@ -186,7 +208,13 @@ impl CampaignJournal {
         let mut skipped = 0u64;
         for line in lines {
             let line = line?;
-            match serde_json::from_str(&line) {
+            // CRC first: a record whose frame fails is corrupt even when
+            // its JSON still parses (the bit flip changed a value).
+            let Ok(payload) = unframe_line(&line) else {
+                skipped += 1;
+                continue;
+            };
+            match serde_json::from_str(payload) {
                 Ok(JournalRecord::Test { index, report }) => {
                     replay.insert(index, ReplayEntry::Test(report));
                 }
@@ -206,6 +234,8 @@ impl CampaignJournal {
             replay,
             skipped_lines: skipped,
             degraded: AtomicBool::new(false),
+            #[cfg(feature = "fault-inject")]
+            disk_faults: config.disk_faults.clone(),
         })
     }
 
@@ -233,18 +263,44 @@ impl CampaignJournal {
         self.replay.get(&index)
     }
 
-    /// Appends one record: a single line, flushed immediately so a kill
-    /// loses at most the record being written.
-    fn append(&self, record: &JournalRecord) -> Result<(), JournalError> {
-        let line = serde_json::to_string(record)?;
+    /// Appends one record: a single framed line, flushed immediately so a
+    /// kill loses at most the record being written. `index` keys the
+    /// fault-injection plan (unused in production builds).
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+    fn append(&self, index: u64, record: &JournalRecord) -> Result<(), JournalError> {
+        let line = frame_line(&serde_json::to_string(record)?);
         let mut writer = self.writer.lock().expect("journal writer lock");
+        #[cfg(feature = "fault-inject")]
+        {
+            use std::io::Write as _;
+            if self.disk_faults.journal_enospc(index) {
+                return Err(JournalError::Io(crate::durable::enospc()));
+            }
+            if let Some(keep) = self.disk_faults.torn_journal(index) {
+                // A torn write "succeeds": the process never learns the
+                // record (and its newline) did not fully land.
+                writer.write_all(&line.as_bytes()[..keep.min(line.len())])?;
+                writer.flush()?;
+                return Ok(());
+            }
+            if let Some(offset) = self.disk_faults.flip_journal(index) {
+                let mut bytes = line.clone().into_bytes();
+                if let Some(b) = bytes.get_mut(offset) {
+                    *b ^= 0x01;
+                }
+                bytes.push(b'\n');
+                writer.write_all(&bytes)?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
         writeln!(writer, "{line}")?;
         writer.flush()?;
         Ok(())
     }
 
-    fn append_or_degrade(&self, record: &JournalRecord, what: &str) {
-        if let Err(e) = self.append(record) {
+    fn append_or_degrade(&self, index: u64, record: &JournalRecord, what: &str) {
+        if let Err(e) = self.append(index, record) {
             self.mark_degraded(&format!("{what}: {e}"));
         }
     }
@@ -253,6 +309,7 @@ impl CampaignJournal {
     /// propagating — losing a checkpoint must never lose the campaign.
     pub(crate) fn record_test(&self, index: u64, report: &TestReport) {
         self.append_or_degrade(
+            index,
             &JournalRecord::Test {
                 index,
                 report: Box::new(report.clone()),
@@ -264,6 +321,7 @@ impl CampaignJournal {
     /// Records a quarantined test; failures degrade the journal.
     pub(crate) fn record_quarantine(&self, record: &QuarantineRecord) {
         self.append_or_degrade(
+            record.index,
             &JournalRecord::Quarantine(record.clone()),
             &format!("journal write for quarantined test {} failed", record.index),
         );
@@ -290,12 +348,23 @@ impl CampaignJournal {
     pub fn finalize(&self, footer: Option<&JournalFooter>) -> Result<(), JournalError> {
         let mut writer = self.writer.lock().expect("journal writer lock");
         writer.flush()?;
+        #[cfg(feature = "fault-inject")]
+        if self.disk_faults.commit_fsync_fails {
+            return Err(JournalError::Io(std::io::Error::other(
+                "injected fsync failure (checkpoint not committed)",
+            )));
+        }
         let reader = BufReader::new(File::open(&self.path)?);
         let mut header: Option<String> = None;
         let mut records: BTreeMap<u64, String> = BTreeMap::new();
         for line in reader.lines() {
             let line = line?;
-            match serde_json::from_str::<JournalRecord>(&line) {
+            // Framed lines pass through the checkpoint verbatim — the
+            // frame is validated, then the original bytes are kept.
+            let Ok(payload) = unframe_line(&line) else {
+                continue;
+            };
+            match serde_json::from_str::<JournalRecord>(payload) {
                 Ok(JournalRecord::Header(_)) if header.is_none() => header = Some(line),
                 Ok(JournalRecord::Test { index, .. }) => {
                     records.insert(index, line);
@@ -311,9 +380,12 @@ impl CampaignJournal {
         }
         let header = header.ok_or(JournalError::MissingHeader)?;
         let footer_line = footer
-            .map(|f| serde_json::to_string(&JournalRecord::Footer(f.clone())))
+            .map(|f| {
+                serde_json::to_string(&JournalRecord::Footer(f.clone()))
+                    .map(|payload| frame_line(&payload))
+            })
             .transpose()?;
-        write_atomically(&self.path, |file| {
+        commit_atomically(&self.path, |file| {
             writeln!(file, "{header}")?;
             for line in records.values() {
                 writeln!(file, "{line}")?;
@@ -375,10 +447,13 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalEr
     let reader = BufReader::new(File::open(path.as_ref())?);
     let mut lines = reader.lines();
     let header: JournalHeader = match lines.next() {
-        Some(line) => match serde_json::from_str(&line?) {
+        Some(line) => match unframe_line(&line?)
+            .map_err(|_| JournalError::MissingHeader)
+            .and_then(|payload| serde_json::from_str(payload).map_err(JournalError::Format))
+        {
             Ok(JournalRecord::Header(header)) => header,
             Ok(_) => return Err(JournalError::MissingHeader),
-            Err(e) => return Err(JournalError::Format(e)),
+            Err(e) => return Err(e),
         },
         None => return Err(JournalError::MissingHeader),
     };
@@ -386,7 +461,10 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalEr
     let mut footer = None;
     for line in lines {
         let line = line?;
-        match serde_json::from_str(&line) {
+        let Ok(payload) = unframe_line(&line) else {
+            continue;
+        };
+        match serde_json::from_str(payload) {
             Ok(JournalRecord::Test { index, report }) => {
                 entries.insert(index, ReplayEntry::Test(report));
             }
@@ -421,9 +499,9 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalEr
 ///
 /// Serialization failure (under the offline serde devstub, always).
 pub(crate) fn render_header_line(config: &CampaignConfig) -> Result<String, JournalError> {
-    Ok(serde_json::to_string(&JournalRecord::Header(
+    Ok(frame_line(&serde_json::to_string(&JournalRecord::Header(
         JournalHeader::of(config),
-    ))?)
+    ))?))
 }
 
 /// Renders the canonical record line for a validated test.
@@ -432,10 +510,10 @@ pub(crate) fn render_header_line(config: &CampaignConfig) -> Result<String, Jour
 ///
 /// Serialization failure (under the offline serde devstub, always).
 pub(crate) fn render_test_line(index: u64, report: &TestReport) -> Result<String, JournalError> {
-    Ok(serde_json::to_string(&JournalRecord::Test {
+    Ok(frame_line(&serde_json::to_string(&JournalRecord::Test {
         index,
         report: Box::new(report.clone()),
-    })?)
+    })?))
 }
 
 /// Renders the canonical record line for a quarantined test.
@@ -444,9 +522,9 @@ pub(crate) fn render_test_line(index: u64, report: &TestReport) -> Result<String
 ///
 /// Serialization failure (under the offline serde devstub, always).
 pub(crate) fn render_quarantine_line(record: &QuarantineRecord) -> Result<String, JournalError> {
-    Ok(serde_json::to_string(&JournalRecord::Quarantine(
-        record.clone(),
-    ))?)
+    Ok(frame_line(&serde_json::to_string(
+        &JournalRecord::Quarantine(record.clone()),
+    )?))
 }
 
 /// Renders the canonical footer line.
@@ -455,32 +533,9 @@ pub(crate) fn render_quarantine_line(record: &QuarantineRecord) -> Result<String
 ///
 /// Serialization failure (under the offline serde devstub, always).
 pub(crate) fn render_footer_line(footer: &JournalFooter) -> Result<String, JournalError> {
-    Ok(serde_json::to_string(&JournalRecord::Footer(
+    Ok(frame_line(&serde_json::to_string(&JournalRecord::Footer(
         footer.clone(),
-    ))?)
-}
-
-/// Writes a file via a temp sibling + fsync + atomic rename: at every
-/// instant `path` holds either its previous complete contents or the new
-/// complete contents, never a prefix.
-pub(crate) fn write_atomically(
-    path: &Path,
-    write: impl FnOnce(&mut File) -> std::io::Result<()>,
-) -> Result<(), JournalError> {
-    let mut name = path
-        .file_name()
-        .map_or_else(|| std::ffi::OsString::from("journal"), ToOwned::to_owned);
-    name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(name);
-    let mut file = File::create(&tmp)?;
-    let written = write(&mut file).and_then(|()| file.sync_all());
-    drop(file);
-    let result = written.and_then(|()| std::fs::rename(&tmp, path));
-    if let Err(e) = result {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e.into());
-    }
-    Ok(())
+    ))?))
 }
 
 /// Error creating or resuming a [`CampaignJournal`].

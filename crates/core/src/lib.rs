@@ -45,6 +45,8 @@
 mod campaign;
 mod certs;
 mod coverage;
+mod durable;
+pub mod fsck;
 mod journal;
 mod log;
 pub mod pool;
@@ -61,6 +63,10 @@ pub use campaign::{
 };
 pub use certs::{read_certificates, CacheSummary, CertRecord, CertsError};
 pub use coverage::{CoverageCurve, CoveragePoint, CoverageTracker};
+#[cfg(feature = "fault-inject")]
+pub use durable::DiskFaultPlan;
+pub use durable::{frame_line, unframe_line, FrameError};
+pub use fsck::{fsck_file, fsck_paths, ArtifactKind, FileAudit, FsckReport, FsckStatus};
 pub use journal::{
     read_journal, CampaignJournal, JournalContents, JournalError, JournalFooter, JournalHeader,
     JOURNAL_VERSION,

@@ -924,7 +924,7 @@ fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(file, "{line}")?;
+    writeln!(file, "{}", crate::durable::frame_line(line))?;
     file.flush()
 }
 
@@ -1015,7 +1015,14 @@ fn recover_jobs(
         let mut job: Option<Job> = None;
         let mut skipped = 0u64;
         for line in text.lines() {
-            match parse(line) {
+            // The CRC frame is checked before any parse: a torn or bit-
+            // flipped line fails cheaply here regardless of whether the
+            // damage lands in JSON structure or a value.
+            let Ok(payload) = crate::durable::unframe_line(line) else {
+                skipped += 1;
+                continue;
+            };
+            match parse(payload) {
                 Ok(value) => {
                     if !replay_record(&value, &mut job) {
                         skipped += 1;
@@ -1026,9 +1033,14 @@ fn recover_jobs(
         }
         if skipped > 0 {
             crate::telemetry::logger::warn(format_args!(
-                "warning: skipped {skipped} corrupt line(s) recovering {}",
+                "warning: skipped {skipped} corrupt line(s) recovering {}; \
+                 affected shards re-run (audit with `mtracecheck fsck`)",
                 path.display()
             ));
+            options
+                .telemetry
+                .scope(crate::telemetry::Ids::none())
+                .count("state_skipped_lines", skipped);
         }
         let Some(mut job) = job else { continue };
         // Re-run the completion check so a job that finished before the

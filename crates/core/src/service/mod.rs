@@ -34,7 +34,7 @@
 
 mod coordinator;
 mod http;
-mod json;
+pub(crate) mod json;
 mod protocol;
 mod worker;
 

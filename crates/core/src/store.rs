@@ -25,6 +25,9 @@
 //! supervisor classifies them like any other per-test fault (quarantine the
 //! test, mark the run DEGRADED, keep the campaign alive).
 
+use crate::durable::crc32c;
+#[cfg(feature = "fault-inject")]
+use crate::durable::DiskFaultPlan;
 use crate::radix::sort_by_u64_words;
 use mtc_instr::ExecutionSignature;
 use serde::{Deserialize, Serialize};
@@ -37,9 +40,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes opening every spill run file.
-const SPILL_MAGIC: &[u8; 8] = b"MTCSPILL";
+pub(crate) const SPILL_MAGIC: &[u8; 8] = b"MTCSPILL";
 /// Spill run format version; bumped on incompatible layout changes.
-const SPILL_VERSION: u32 = 1;
+/// Version 2 added the header and per-entry CRC32C checksums.
+pub(crate) const SPILL_VERSION: u32 = 2;
+/// Bytes of a v2 run header: magic (8) + version (4) + entry count (8) +
+/// CRC32C over the preceding 20 bytes (4).
+pub(crate) const SPILL_HEADER_BYTES: u64 = 24;
 /// Estimated per-entry bookkeeping bytes beyond the raw signature words
 /// (tree node, count, first-occurrence position). Used to translate a byte
 /// budget into a resident-entry cap.
@@ -168,6 +175,8 @@ pub struct SignatureStore {
     run_log: Vec<SpillRunRecord>,
     #[cfg(feature = "fault-inject")]
     inject_spill_error: bool,
+    #[cfg(feature = "fault-inject")]
+    disk_faults: DiskFaultPlan,
 }
 
 impl SignatureStore {
@@ -192,6 +201,8 @@ impl SignatureStore {
             run_log: Vec::new(),
             #[cfg(feature = "fault-inject")]
             inject_spill_error: false,
+            #[cfg(feature = "fault-inject")]
+            disk_faults: DiskFaultPlan::default(),
         }
     }
 
@@ -208,9 +219,24 @@ impl SignatureStore {
         self.inject_spill_error = true;
     }
 
+    /// Installs a deterministic disk-fault plan (keyed by this store's
+    /// 0-based spill-run ordinal; see [`DiskFaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_disk_faults(&mut self, plan: DiskFaultPlan) {
+        self.disk_faults = plan;
+    }
+
     /// Sorted runs spilled to disk so far.
     pub fn spilled_runs(&self) -> u64 {
         self.runs.len() as u64
+    }
+
+    /// Paths of the run files spilled so far. Run files are owned by the
+    /// store (deleted on merge or drop); tooling and tests that want a
+    /// durable copy — e.g. to audit with `mtracecheck fsck` — must copy
+    /// them before the store is consumed.
+    pub fn run_paths(&self) -> &[PathBuf] {
+        &self.runs
     }
 
     /// Entries written to spill runs so far (duplicates across runs count
@@ -294,6 +320,13 @@ impl SignatureStore {
             path: path.to_owned(),
             source,
         };
+        #[cfg(feature = "fault-inject")]
+        if self.disk_faults.spill_enospc(self.run_seq) {
+            return Err(SpillError::Io {
+                path: dir,
+                source: crate::durable::enospc(),
+            });
+        }
         fs::create_dir_all(&dir).map_err(|e| at(e, &dir))?;
         let path = dir.join(format!(
             "mtc-{}-{}-{}.run",
@@ -301,6 +334,8 @@ impl SignatureStore {
             self.store_id,
             self.run_seq
         ));
+        #[cfg(feature = "fault-inject")]
+        let run_ordinal = self.run_seq;
         self.run_seq += 1;
         let write_started = std::time::Instant::now();
         // Recover ascending signature order from the hash map; the run
@@ -314,17 +349,27 @@ impl SignatureStore {
         let write = |writer: &mut BufWriter<File>,
                      sorted: &[(&ExecutionSignature, &(u64, FirstSeen))]|
          -> io::Result<()> {
-            writer.write_all(SPILL_MAGIC)?;
-            writer.write_all(&SPILL_VERSION.to_le_bytes())?;
-            writer.write_all(&(sorted.len() as u64).to_le_bytes())?;
+            // Header: magic + version + count, sealed by a CRC32C.
+            let mut header = Vec::with_capacity(SPILL_HEADER_BYTES as usize);
+            header.extend_from_slice(SPILL_MAGIC);
+            header.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+            header.extend_from_slice(&(sorted.len() as u64).to_le_bytes());
+            writer.write_all(&header)?;
+            writer.write_all(&crc32c(&header).to_le_bytes())?;
+            // Each entry is likewise sealed: a merge must never trust a
+            // bit-flipped count or signature word.
+            let mut entry = Vec::new();
             for &(sig, &(count, first)) in sorted {
-                writer.write_all(&(sig.words().len() as u32).to_le_bytes())?;
+                entry.clear();
+                entry.extend_from_slice(&(sig.words().len() as u32).to_le_bytes());
                 for word in sig.words() {
-                    writer.write_all(&word.to_le_bytes())?;
+                    entry.extend_from_slice(&word.to_le_bytes());
                 }
-                writer.write_all(&count.to_le_bytes())?;
-                writer.write_all(&first.shard.to_le_bytes())?;
-                writer.write_all(&first.pos.to_le_bytes())?;
+                entry.extend_from_slice(&count.to_le_bytes());
+                entry.extend_from_slice(&first.shard.to_le_bytes());
+                entry.extend_from_slice(&first.pos.to_le_bytes());
+                writer.write_all(&entry)?;
+                writer.write_all(&crc32c(&entry).to_le_bytes())?;
             }
             Ok(())
         };
@@ -337,14 +382,25 @@ impl SignatureStore {
             let _ = fs::remove_file(&path);
             return Err(at(e, &path));
         }
+        #[cfg(feature = "fault-inject")]
+        if let Some(keep) = self.disk_faults.truncate_spill(run_ordinal) {
+            // A short write after a reported-successful fsync: the merge
+            // must detect it, never silently merge a partial run.
+            let file = fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| at(e, &path))?;
+            file.set_len(keep).map_err(|e| at(e, &path))?;
+            file.sync_all().map_err(|e| at(e, &path))?;
+        }
         let entries = self.resident.len() as u64;
-        // Header (magic + version + count) plus each entry's length prefix,
-        // words, count, and first-seen coordinates — mirrors the writer.
-        let bytes: u64 = 20
+        // Checksummed header plus each entry's length prefix, words,
+        // count, first-seen coordinates, and CRC — mirrors the writer.
+        let bytes: u64 = SPILL_HEADER_BYTES
             + self
                 .resident
                 .keys()
-                .map(|sig| 24 + 8 * sig.words().len() as u64)
+                .map(|sig| 28 + 8 * sig.words().len() as u64)
                 .sum::<u64>();
         let dur_us = write_started.elapsed().as_micros() as u64;
         self.spilled_entries += entries;
@@ -509,13 +565,94 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Streaming reader over one spill run file; validates the header on open
-/// and deletes the file when dropped.
+/// Walks `bytes` as a spill run file for `mtracecheck fsck`, returning the
+/// entries validated and the byte offset and detail of the first
+/// corruption, if any. Mirrors [`RunReader`] exactly — same header and
+/// entry CRC checks, same offsets, same messages — plus a trailing-bytes
+/// check the streaming reader never needs (it stops at the header's entry
+/// count). Spill corruption is never repaired: merging over a doctored run
+/// would silently change verdicts, so fsck only names the damage.
+pub(crate) fn scan_spill(bytes: &[u8]) -> (u64, Option<(u64, String)>) {
+    let corrupt = |offset: u64, detail: &str| Some((offset, detail.to_owned()));
+    if bytes.len() < 8 || &bytes[..8] != SPILL_MAGIC {
+        if bytes.is_empty() || !SPILL_MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+            return (0, corrupt(0, "bad magic (not a spill run file)"));
+        }
+        return (0, corrupt(0, "truncated spill run"));
+    }
+    let header_end = SPILL_HEADER_BYTES as usize;
+    if bytes.len() < header_end {
+        return (0, corrupt(bytes.len() as u64, "truncated spill run"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != SPILL_VERSION {
+        return (
+            0,
+            corrupt(
+                8,
+                &format!("unsupported spill format version {version} (expected {SPILL_VERSION})"),
+            ),
+        );
+    }
+    let count = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let stored = u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte slice"));
+    if stored != crc32c(&bytes[..20]) {
+        return (0, corrupt(0, "header checksum mismatch"));
+    }
+    let mut at = header_end;
+    for entry_index in 0..count {
+        let entry_start = at as u64;
+        let Some(word_bytes) = bytes.get(at..at + 4) else {
+            return (
+                entry_index,
+                corrupt(bytes.len() as u64, "truncated spill run"),
+            );
+        };
+        let words = u32::from_le_bytes(word_bytes.try_into().expect("4-byte slice")) as usize;
+        // word_count(4) + words(8w) + count(8) + shard(4) + pos(8)
+        let body = 4 + 8 * words + 20;
+        let Some(entry) = bytes.get(at..at + body) else {
+            return (
+                entry_index,
+                corrupt(bytes.len() as u64, "truncated spill run"),
+            );
+        };
+        let Some(crc_bytes) = bytes.get(at + body..at + body + 4) else {
+            return (
+                entry_index,
+                corrupt(bytes.len() as u64, "truncated spill run"),
+            );
+        };
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if stored != crc32c(entry) {
+            return (entry_index, corrupt(entry_start, "entry checksum mismatch"));
+        }
+        at += body + 4;
+    }
+    if at != bytes.len() {
+        return (
+            count,
+            corrupt(
+                at as u64,
+                &format!("{} trailing bytes after last entry", bytes.len() - at),
+            ),
+        );
+    }
+    (count, None)
+}
+
+/// Streaming reader over one spill run file; validates the header CRC on
+/// open and every entry CRC as it streams, and deletes the file when
+/// dropped. Any validation failure is a hard [`SpillError::Corrupt`]
+/// naming the byte offset — a merge over a doctored run would silently
+/// change verdicts, so there is no salvage policy here.
 #[derive(Debug)]
 struct RunReader {
     path: PathBuf,
     reader: BufReader<File>,
     remaining: u64,
+    /// Bytes consumed so far — the offset corruption reports point at.
+    offset: u64,
 }
 
 impl RunReader {
@@ -528,18 +665,29 @@ impl RunReader {
             reader: BufReader::new(file),
             path,
             remaining: 0,
+            offset: 0,
         };
         let magic: [u8; 8] = reader.read_array()?;
         if &magic != SPILL_MAGIC {
-            return Err(reader.corrupt("bad magic (not a spill run file)"));
+            return Err(reader.corrupt(0, "bad magic (not a spill run file)"));
         }
         let version = u32::from_le_bytes(reader.read_array()?);
         if version != SPILL_VERSION {
-            return Err(reader.corrupt(&format!(
-                "unsupported spill format version {version} (expected {SPILL_VERSION})"
-            )));
+            return Err(reader.corrupt(
+                8,
+                &format!("unsupported spill format version {version} (expected {SPILL_VERSION})"),
+            ));
         }
-        reader.remaining = u64::from_le_bytes(reader.read_array()?);
+        let count = u64::from_le_bytes(reader.read_array()?);
+        let mut header = Vec::with_capacity(20);
+        header.extend_from_slice(&magic);
+        header.extend_from_slice(&version.to_le_bytes());
+        header.extend_from_slice(&count.to_le_bytes());
+        let stored = u32::from_le_bytes(reader.read_array()?);
+        if stored != crc32c(&header) {
+            return Err(reader.corrupt(0, "header checksum mismatch"));
+        }
+        reader.remaining = count;
         Ok(reader)
     }
 
@@ -548,18 +696,34 @@ impl RunReader {
             return Ok(None);
         }
         self.remaining -= 1;
-        let word_count = u32::from_le_bytes(self.read_array()?);
+        let entry_start = self.offset;
+        let word_bytes: [u8; 4] = self.read_array()?;
+        let word_count = u32::from_le_bytes(word_bytes);
+        let mut entry = Vec::with_capacity(4 + 8 * word_count as usize + 20);
+        entry.extend_from_slice(&word_bytes);
         let mut words = Vec::with_capacity(word_count as usize);
         for _ in 0..word_count {
-            words.push(u64::from_le_bytes(self.read_array()?));
+            let bytes: [u8; 8] = self.read_array()?;
+            entry.extend_from_slice(&bytes);
+            words.push(u64::from_le_bytes(bytes));
         }
-        let count = u64::from_le_bytes(self.read_array()?);
-        let shard = u32::from_le_bytes(self.read_array()?);
-        let pos = u64::from_le_bytes(self.read_array()?);
+        let count_bytes: [u8; 8] = self.read_array()?;
+        let shard_bytes: [u8; 4] = self.read_array()?;
+        let pos_bytes: [u8; 8] = self.read_array()?;
+        entry.extend_from_slice(&count_bytes);
+        entry.extend_from_slice(&shard_bytes);
+        entry.extend_from_slice(&pos_bytes);
+        let stored = u32::from_le_bytes(self.read_array()?);
+        if stored != crc32c(&entry) {
+            return Err(self.corrupt(entry_start, "entry checksum mismatch"));
+        }
         Ok(Some((
             ExecutionSignature::from_words(words),
-            count,
-            FirstSeen { shard, pos },
+            u64::from_le_bytes(count_bytes),
+            FirstSeen {
+                shard: u32::from_le_bytes(shard_bytes),
+                pos: u64::from_le_bytes(pos_bytes),
+            },
         )))
     }
 
@@ -568,18 +732,20 @@ impl RunReader {
         self.reader
             .read_exact(&mut buf)
             .map_err(|source| match source.kind() {
-                io::ErrorKind::UnexpectedEof => self.corrupt("truncated spill run"),
+                io::ErrorKind::UnexpectedEof => self.corrupt(self.offset, "truncated spill run"),
                 _ => SpillError::Io {
                     path: self.path.clone(),
                     source,
                 },
             })?;
+        self.offset += N as u64;
         Ok(buf)
     }
 
-    fn corrupt(&self, detail: &str) -> SpillError {
+    fn corrupt(&self, offset: u64, detail: &str) -> SpillError {
         SpillError::Corrupt {
             path: self.path.clone(),
+            offset,
             detail: detail.to_owned(),
         }
     }
@@ -603,14 +769,30 @@ pub enum SpillError {
         /// The underlying I/O failure.
         source: io::Error,
     },
-    /// A spill run file failed validation (bad magic, version, or a
-    /// truncated entry).
+    /// A spill run file failed validation (bad magic, version, checksum
+    /// mismatch, or a truncated entry).
     Corrupt {
         /// The offending run file.
         path: PathBuf,
+        /// Byte offset of the record (or field) that failed validation.
+        offset: u64,
         /// What failed to validate.
         detail: String,
     },
+}
+
+impl SpillError {
+    /// Whether this failure is the disk filling up (`ENOSPC`) — surfaced
+    /// to the supervisor as [`FailureCause::DiskFull`] so a full disk
+    /// degrades the campaign with a named cause.
+    ///
+    /// [`FailureCause::DiskFull`]: crate::FailureCause::DiskFull
+    pub fn is_disk_full(&self) -> bool {
+        match self {
+            SpillError::Io { source, .. } => crate::durable::is_disk_full(source),
+            SpillError::Corrupt { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for SpillError {
@@ -619,8 +801,16 @@ impl fmt::Display for SpillError {
             SpillError::Io { path, source } => {
                 write!(f, "spill I/O error at {}: {source}", path.display())
             }
-            SpillError::Corrupt { path, detail } => {
-                write!(f, "corrupt spill run {}: {detail}", path.display())
+            SpillError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt spill run {} at byte {offset}: {detail}",
+                    path.display()
+                )
             }
         }
     }
@@ -725,10 +915,12 @@ mod tests {
         assert_eq!(stats.entries_spilled, bounded.spilled_entries());
         assert_eq!(stats.merge_fan_in, stats.runs_spilled + 1);
         assert!(stats.peak_resident >= 1);
-        // Every run is header (20) + entries * (24 + 8 * 2 words).
+        // Every run is a checksummed header (24) + entries * (28 + 8 * 2
+        // words), the per-entry 28 covering length, count, first-seen
+        // coordinates, and the entry CRC.
         assert_eq!(
             stats.bytes_spilled,
-            20 * stats.runs_spilled + 40 * stats.entries_spilled
+            SPILL_HEADER_BYTES * stats.runs_spilled + 44 * stats.entries_spilled
         );
         assert_eq!(
             bounded

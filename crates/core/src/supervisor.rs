@@ -151,10 +151,18 @@ pub enum FailureCause {
         budget_ms: u64,
     },
     /// Writing or merging a signature spill run failed under a bounded
-    /// memory budget — a full, failing, or unwritable spill disk. The test
-    /// is retried and then quarantined; the campaign never aborts.
+    /// memory budget — a failing or unwritable spill disk. The test is
+    /// retried and then quarantined; the campaign never aborts.
     SpillIo {
         /// Stringified [`crate::SpillError`].
+        error: String,
+    },
+    /// The disk ran out of space (`ENOSPC`) while writing an artifact.
+    /// Split out from [`FailureCause::SpillIo`] because a full disk is an
+    /// operational condition, not a test defect: retrying cannot help, and
+    /// the campaign degrades (exit 3) rather than aborting mid-artifact.
+    DiskFull {
+        /// Stringified I/O error.
         error: String,
     },
 }
@@ -172,6 +180,7 @@ impl fmt::Display for FailureCause {
                 budget_ms,
             } => write!(f, "attempt took {elapsed_ms} ms (budget {budget_ms} ms)"),
             FailureCause::SpillIo { error } => write!(f, "spill failure: {error}"),
+            FailureCause::DiskFull { error } => write!(f, "disk full: {error}"),
         }
     }
 }
