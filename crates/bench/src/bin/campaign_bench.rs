@@ -82,6 +82,54 @@ fn check_phase_bench() -> Vec<CheckTiming> {
         .collect()
 }
 
+/// Renders the Unix epoch-seconds timestamp as a `YYYY-MM-DD` date
+/// (proleptic Gregorian; Howard Hinnant's `civil_from_days` algorithm) —
+/// the history line's human-readable axis, computed without any date
+/// dependency.
+fn epoch_date(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Appends one `{commit, date, check_p50_us, iterations_per_sec}` line to
+/// `BENCH_history.jsonl` (created if absent) — the longitudinal record
+/// `mtracecheck report` and CI trend plots read. The commit comes from
+/// `BENCH_COMMIT` or `GITHUB_SHA` when set (CI), else `local`.
+fn append_history(check_p50_us: u64, iterations_per_sec: f64) {
+    let commit = std::env::var("BENCH_COMMIT")
+        .or_else(|_| std::env::var("GITHUB_SHA"))
+        .unwrap_or_else(|_| "local".to_owned());
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = format!(
+        "{{\"commit\":\"{}\",\"date\":\"{}\",\"check_p50_us\":{check_p50_us},\
+         \"iterations_per_sec\":{iterations_per_sec:.1}}}\n",
+        commit.replace(['"', '\\'], "_"),
+        epoch_date(secs),
+    );
+    let path = "BENCH_history.jsonl";
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("(appended {path})"),
+        Err(e) => eprintln!("warning: could not append {path}: {e}"),
+    }
+}
+
 /// Pulls the `check_p50_us` field out of a previously written
 /// `BENCH_campaign.json` (hand-parsed; the serde stubs cannot
 /// deserialize).
@@ -121,10 +169,8 @@ fn main() {
     let (traced_us, traced) = time_runs(3, || {
         let telemetry = Telemetry::new(TelemetryConfig {
             trace_path: Some(dir.join("trace.jsonl")),
-            chrome_path: None,
             metrics_path: Some(dir.join("metrics.prom")),
-            progress: false,
-            scrape: false,
+            ..TelemetryConfig::default()
         });
         let report = Campaign::new(config())
             .with_telemetry(telemetry.clone())
@@ -255,6 +301,7 @@ fn main() {
     let path = "BENCH_campaign.json";
     std::fs::write(path, json).expect("write BENCH_campaign.json");
     eprintln!("(wrote {path})");
+    append_history(check_p50_us, iterations_per_sec);
 
     if let Some(gate) = gate {
         let Some(Some(baseline)) = gate_baseline else {

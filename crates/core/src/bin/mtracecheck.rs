@@ -15,7 +15,9 @@ use mtracecheck::isa::{litmus, parse_program, IsaKind, Mcm};
 use mtracecheck::service;
 use mtracecheck::sim::{enumerate_outcomes, BugKind, CacheConfig};
 use mtracecheck::sim::{Simulator, SystemConfig};
-use mtracecheck::telemetry::{logger, validate_metrics_text, validate_trace_text};
+use mtracecheck::telemetry::{
+    logger, validate_events_text, validate_metrics_text, validate_trace_text,
+};
 use mtracecheck::testgen::{generate, generate_suite};
 use mtracecheck::{
     paper_configs, Campaign, CampaignConfig, CampaignJournal, LintAction, LintPolicy, RetryPolicy,
@@ -55,7 +57,13 @@ impl Args {
                 // stays one.
                 let takes_value = !matches!(
                     name,
-                    "quiet" | "verbose" | "progress" | "exit-when-idle" | "repair" | "json"
+                    "quiet"
+                        | "verbose"
+                        | "progress"
+                        | "exit-when-idle"
+                        | "repair"
+                        | "json"
+                        | "once"
                 );
                 let value = iter
                     .peek()
@@ -156,7 +164,10 @@ fn usage() -> &'static str {
                                       (port 0 picks a free port); --state-dir\n\
                                       journals the queue so a restarted coordinator\n\
                                       resumes it; GET /metrics serves Prometheus\n\
-                                      text, GET /healthz liveness\n\
+                                      text (phase histograms, lease/reassignment/\n\
+                                      poison counters), GET /healthz liveness,\n\
+                                      GET /events?job=ID&since=SEQ streams the\n\
+                                      job's progress events as ndjson\n\
        mtracecheck worker --coordinator HOST:PORT [--name NAME] [--poll-ms MS]\n\
                    [--exit-when-idle] [--max-shards N]\n\
                                       run a campaign worker: claim shards, execute\n\
@@ -164,11 +175,37 @@ fn usage() -> &'static str {
                                       per-test results; safe to kill at any point\n\
                                       (its leases expire and shards are reassigned)\n\
        mtracecheck submit --coordinator HOST:PORT (campaign generation flags)\n\
-                   [--deadline-ms MS] [--journal-out FILE]\n\
+                   [--deadline-ms MS] [--journal-out FILE] [--progress]\n\
+                   [--trace FILE] [--chrome-trace FILE]\n\
                                       submit a campaign as a job, wait for the\n\
-                                      merged verdict, and print a report\n\
+                                      merged verdict (streamed from GET /events —\n\
+                                      no polling), and print a report\n\
                                       byte-identical to `mtracecheck campaign`;\n\
-                                      --journal-out saves the merged journal\n\
+                                      --journal-out saves the merged journal;\n\
+                                      --progress narrates shard events on stderr;\n\
+                                      --trace/--chrome-trace request per-shard\n\
+                                      phase tracing on the workers and save the\n\
+                                      coordinator's merged job trace (canonical\n\
+                                      JSONL, byte-identical at any worker count)\n\
+                                      and merged Chrome trace\n\
+       mtracecheck status JOB --coordinator HOST:PORT [--once] [--deadline-ms MS]\n\
+                                      live TTY view of a running job — shard map\n\
+                                      (`.` pending `~` leased `#` done `!`\n\
+                                      poisoned), verdict tallies, retry and\n\
+                                      lease-age counters, ETA — refreshed from\n\
+                                      the /events stream; --once prints one\n\
+                                      snapshot and exits\n\
+       mtracecheck report PATH... [--bench FILE] [--regression-factor F] [--json]\n\
+                                      offline campaign digest: classify each PATH\n\
+                                      (merged/campaign trace, journal, metrics\n\
+                                      snapshot, coordinator state dir), render\n\
+                                      per-phase latency histograms, the shard\n\
+                                      timeline with retries and quarantines,\n\
+                                      verdict-cache hit rates and integrity\n\
+                                      warnings; --bench compares phase medians\n\
+                                      against a BENCH_campaign.json baseline and\n\
+                                      exits 1 when one regresses beyond\n\
+                                      --regression-factor (default 4.0)\n\
        mtracecheck fsck ARTIFACT... [--repair] [--json]\n\
                                       audit the integrity of any persisted artifact —\n\
                                       campaign journals, coordinator state dirs, spill\n\
@@ -183,9 +220,12 @@ fn usage() -> &'static str {
                                       run and check a hand-written test (see mtc_isa::parse_program)\n\
        mtracecheck render --isa <arm|x86> [--threads T --ops O --addrs A --seed S]\n\
        mtracecheck configs            list the paper's 21 configurations\n\
-       mtracecheck validate-trace FILE [--metrics FILE]\n\
-                                      schema-check a --trace JSONL file (and\n\
-                                      optionally a --metrics snapshot)\n\
+       mtracecheck validate-trace FILE [--metrics FILE] [--events FILE]\n\
+                                      schema-check a --trace JSONL file — either\n\
+                                      a single-campaign trace or a merged\n\
+                                      multi-worker job trace — and optionally a\n\
+                                      --metrics snapshot and a captured /events\n\
+                                      stream (monotone seq, one terminal event)\n\
      \n\
      GLOBAL FLAGS:\n\
        -q | --quiet                   errors only on stderr\n\
@@ -533,6 +573,14 @@ fn cmd_submit(args: &Args) -> Result<CmdOutcome, String> {
         }
         spec = spec.with_retry(policy);
     }
+    // Tracing is requested per job: workers capture phase spans and ship
+    // them with each shard result, and the coordinator serves the merged
+    // canonical trace once the job completes.
+    let trace_out = args.get("trace").map(str::to_owned);
+    let chrome_out = args.get("chrome-trace").map(str::to_owned);
+    if trace_out.is_some() || chrome_out.is_some() {
+        spec = spec.with_trace();
+    }
     let timeout = Duration::from_secs(10);
     let job =
         service::submit_job(coordinator, &spec, timeout).map_err(|e| format!("submit: {e}"))?;
@@ -541,8 +589,25 @@ fn cmd_submit(args: &Args) -> Result<CmdOutcome, String> {
         spec.tests, spec.iterations
     ));
     let deadline = Duration::from_millis(args.num("deadline-ms", 600_000u64)?);
-    let progress = service::wait_for_job(coordinator, job, deadline, Duration::from_millis(50))
-        .map_err(|e| format!("submit: {e}"))?;
+    // Completion is event-driven either way: `wait_for_job` consumes the
+    // coordinator's `/events` stream (no polling loop). `--progress` taps
+    // the same stream to narrate each event on stderr — stdout stays
+    // byte-identical to a silent run.
+    let reconnect = Duration::from_millis(50);
+    let progress = if args.has("progress") {
+        use std::io::IsTerminal as _;
+        let tty = std::io::stderr().is_terminal();
+        let streamed = service::stream_events(coordinator, job, 0, deadline, reconnect, |event| {
+            render_event_progress(event, tty);
+        });
+        if tty {
+            eprintln!();
+        }
+        streamed
+    } else {
+        service::wait_for_job(coordinator, job, deadline, reconnect)
+    }
+    .map_err(|e| format!("submit: {e}"))?;
     let report =
         service::fetch_report(coordinator, job, timeout).map_err(|e| format!("submit: {e}"))?;
     println!("{report}");
@@ -560,6 +625,18 @@ fn cmd_submit(args: &Args) -> Result<CmdOutcome, String> {
             )),
         }
     }
+    if let Some(path) = &trace_out {
+        let text = service::fetch_job_trace(coordinator, job, timeout)
+            .map_err(|e| format!("--trace: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("--trace {path}: {e}"))?;
+        logger::info(format_args!("merged job trace written to {path}"));
+    }
+    if let Some(path) = &chrome_out {
+        let text = service::fetch_job_chrome(coordinator, job, timeout)
+            .map_err(|e| format!("--chrome-trace: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("--chrome-trace {path}: {e}"))?;
+        logger::info(format_args!("merged chrome trace written to {path}"));
+    }
     if progress.failing > 0 {
         return Err(format!(
             "RESULT: {} of {} tests exposed violations",
@@ -574,6 +651,163 @@ fn cmd_submit(args: &Args) -> Result<CmdOutcome, String> {
         return Ok(CmdOutcome::Degraded);
     }
     println!("RESULT: no memory consistency violations observed");
+    Ok(CmdOutcome::Clean)
+}
+
+/// Narrates one `/events` entry on stderr for `submit --progress`. On a
+/// TTY the line is rewritten in place; otherwise each event gets a line.
+fn render_event_progress(event: &service::JobEvent, tty: bool) {
+    let text = match &event.progress {
+        Some(p) => format!(
+            "[{}] {}/{} shards done, {} leased | {} validated, {} quarantined, {} failing",
+            event.name, p.done, p.shards, p.leased, p.validated, p.quarantined, p.failing
+        ),
+        None => match event.shard {
+            Some(shard) => format!(
+                "[{}] shard {shard}{}",
+                event.name,
+                event
+                    .cause
+                    .as_deref()
+                    .map(|c| format!(" ({c})"))
+                    .unwrap_or_default()
+            ),
+            None => format!("[{}]", event.name),
+        },
+    };
+    if tty {
+        eprint!("\r\x1b[K{text}");
+    } else {
+        eprintln!("{text}");
+    }
+}
+
+/// Renders one `status` frame: shard map, tallies, retry/lease counters,
+/// and a crude ETA extrapolated from the observed shard completion rate.
+fn render_status_line(job: u64, status: &service::JobStatus, elapsed: Duration, tty: bool) {
+    let p = &status.progress;
+    let finished = p.done + p.poisoned;
+    let eta = if p.complete || finished == 0 || finished >= p.shards {
+        String::new()
+    } else {
+        // Seconds per finished shard so far, times the shards left.
+        let secs = elapsed.as_secs_f64() * ((p.shards - finished) as f64) / (finished as f64);
+        format!(" | eta {secs:.0}s")
+    };
+    let verdict = if p.complete {
+        if p.degraded {
+            " | COMPLETE (degraded)"
+        } else {
+            " | COMPLETE"
+        }
+    } else {
+        ""
+    };
+    let line = format!(
+        "job {job} [{}] {finished}/{} shards ({} leased) | {} validated, {} quarantined, \
+         {} failing | retries {} poisoned {} lease-age {}ms{eta}{verdict}",
+        status.shard_map,
+        p.shards,
+        p.leased,
+        p.validated,
+        p.quarantined,
+        p.failing,
+        status.retries,
+        p.poisoned,
+        status.lease_age_ms,
+    );
+    if tty {
+        print!("\r\x1b[K{line}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    } else {
+        println!("{line}");
+    }
+}
+
+/// `mtracecheck status` — live view of a job's shard map, lease ages and
+/// verdict tallies, refreshed from the coordinator's `/events` stream
+/// (`--once` prints a single snapshot instead).
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let coordinator = args
+        .get("coordinator")
+        .ok_or("status: --coordinator HOST:PORT is required")?;
+    let job: u64 = args
+        .positional
+        .get(1)
+        .ok_or("status: missing JOB argument")?
+        .parse()
+        .map_err(|_| "status: JOB must be a numeric job id".to_owned())?;
+    use std::io::IsTerminal as _;
+    let tty = std::io::stdout().is_terminal();
+    let timeout = Duration::from_secs(10);
+    let started = std::time::Instant::now();
+    let status =
+        service::job_status(coordinator, job, timeout).map_err(|e| format!("status: {e}"))?;
+    render_status_line(job, &status, started.elapsed(), tty);
+    if args.has("once") || status.progress.complete {
+        if tty {
+            println!();
+        }
+        return Ok(());
+    }
+    // Refresh on every event rather than on a poll timer: the stream is
+    // the coordinator's own change feed, so quiet jobs cost nothing.
+    let deadline = Duration::from_millis(args.num("deadline-ms", 600_000u64)?);
+    let addr = coordinator.to_owned();
+    service::stream_events(
+        coordinator,
+        job,
+        0,
+        deadline,
+        Duration::from_millis(250),
+        |_| {
+            if let Ok(status) = service::job_status(&addr, job, timeout) {
+                render_status_line(job, &status, started.elapsed(), tty);
+            }
+        },
+    )
+    .map_err(|e| format!("status: {e}"))?;
+    let status =
+        service::job_status(coordinator, job, timeout).map_err(|e| format!("status: {e}"))?;
+    render_status_line(job, &status, started.elapsed(), tty);
+    if tty {
+        println!();
+    }
+    Ok(())
+}
+
+/// `mtracecheck report` — offline campaign digest over traces, journals,
+/// metrics snapshots and coordinator state directories, optionally gated
+/// against a committed bench baseline.
+fn cmd_report(args: &Args) -> Result<CmdOutcome, String> {
+    if args.positional.len() < 2 {
+        return Err(
+            "usage: mtracecheck report PATH... [--bench FILE] [--regression-factor F] [--json]"
+                .to_owned(),
+        );
+    }
+    let paths: Vec<std::path::PathBuf> = args.positional[1..]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    let mut options = mtracecheck::digest::DigestOptions {
+        bench: args.get("bench").map(std::path::PathBuf::from),
+        ..mtracecheck::digest::DigestOptions::default()
+    };
+    options.regression_factor = args.num("regression-factor", options.regression_factor)?;
+    let digest =
+        mtracecheck::digest::analyze(&paths, &options).map_err(|e| format!("report: {e}"))?;
+    if args.has("json") {
+        print!("{}", digest.render_json());
+    } else {
+        print!("{}", digest.render_text());
+    }
+    if digest.has_regression() {
+        return Err(
+            "RESULT: phase latency regressed against the bench baseline (see digest)".to_owned(),
+        );
+    }
     Ok(CmdOutcome::Clean)
 }
 
@@ -950,6 +1184,12 @@ fn cmd_validate_trace(args: &Args) -> Result<(), String> {
         let samples = validate_metrics_text(&text).map_err(|e| format!("{metrics_path}: {e}"))?;
         println!("{metrics_path}: valid metrics ({samples} samples)");
     }
+    if let Some(events_path) = args.get("events") {
+        let text =
+            std::fs::read_to_string(events_path).map_err(|e| format!("{events_path}: {e}"))?;
+        let count = validate_events_text(&text).map_err(|e| format!("{events_path}: {e}"))?;
+        println!("{events_path}: valid event stream ({count} events)");
+    }
     Ok(())
 }
 
@@ -979,6 +1219,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args).map(|()| CmdOutcome::Clean),
         Some("worker") => cmd_worker(&args).map(|()| CmdOutcome::Clean),
         Some("submit") => cmd_submit(&args),
+        Some("status") => cmd_status(&args).map(|()| CmdOutcome::Clean),
+        Some("report") => cmd_report(&args),
         Some("collect") => cmd_collect(&args).map(|()| CmdOutcome::Clean),
         Some("check") => cmd_check(&args).map(|()| CmdOutcome::Clean),
         Some("verify") => cmd_verify(&args).map(|()| CmdOutcome::Clean),

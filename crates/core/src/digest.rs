@@ -1,0 +1,895 @@
+//! Offline campaign digest analysis — the engine behind
+//! `mtracecheck report`.
+//!
+//! Takes any mix of campaign artifacts — merged job traces (or
+//! single-machine JSONL traces), campaign journals, coordinator
+//! `/metrics` snapshots, and coordinator state directories — classifies
+//! each by content (never by extension), and renders one digest:
+//! per-phase latency medians, the shard timeline with retries,
+//! poisonings and spills, verdict-cache hit rates, and integrity warning
+//! counters. With a committed `BENCH_campaign.json` baseline it also
+//! flags phase-level latency regressions.
+//!
+//! Everything is hand-parsed over [`crate::service::json`] so the digest
+//! works in devstub builds where serde cannot deserialize; the one
+//! serde-backed input (the campaign journal, via [`crate::read_journal`])
+//! degrades to a warning when unavailable.
+
+use crate::service::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Knobs for [`analyze`].
+#[derive(Clone, Debug)]
+pub struct DigestOptions {
+    /// A committed `BENCH_campaign.json` to compare phase medians against.
+    pub bench: Option<PathBuf>,
+    /// A phase regresses when its measured p50 exceeds the baseline p50
+    /// by more than this factor. Metrics-snapshot medians are power-of-two
+    /// bucket upper bounds, so the default leaves one bucket of headroom
+    /// on top of the bench gate's 3x.
+    pub regression_factor: f64,
+}
+
+impl Default for DigestOptions {
+    fn default() -> Self {
+        DigestOptions {
+            bench: None,
+            regression_factor: 4.0,
+        }
+    }
+}
+
+/// One phase's latency summary, from a metrics snapshot's histogram or a
+/// trace's span durations.
+#[derive(Clone, Debug)]
+pub struct PhaseDigest {
+    /// Phase name (the [`crate::Phase`] vocabulary).
+    pub phase: String,
+    /// Observations.
+    pub count: u64,
+    /// Total microseconds.
+    pub sum_us: u64,
+    /// Median estimate in microseconds (bucket upper bound for metrics
+    /// sources, exact for trace sources).
+    pub p50_us: u64,
+}
+
+/// One shard's lifecycle summary, from a merged job trace or a state dir.
+#[derive(Clone, Debug, Default)]
+pub struct ShardDigest {
+    /// Shard index.
+    pub shard: u64,
+    /// Claims granted (attempt count).
+    pub claims: u64,
+    /// Failures (lease expiries, corrupt results).
+    pub failures: u64,
+    /// The shard finished poisoned.
+    pub poisoned: bool,
+    /// The shard delivered an accepted result.
+    pub done: bool,
+    /// Distinct failure causes observed.
+    pub causes: Vec<String>,
+}
+
+/// Merged-trace summary.
+#[derive(Clone, Debug, Default)]
+pub struct TraceDigest {
+    /// Job id, for job-layout traces.
+    pub job: Option<u64>,
+    /// Span records.
+    pub spans: u64,
+    /// Event records.
+    pub events: u64,
+    /// Lifecycle records.
+    pub lifecycle: u64,
+    /// Per-shard lifecycle timeline (job-layout traces).
+    pub shards: Vec<ShardDigest>,
+}
+
+/// Campaign-journal summary (footer statistics).
+#[derive(Clone, Debug, Default)]
+pub struct JournalDigest {
+    /// Validated tests recorded.
+    pub tests: u64,
+    /// Quarantined tests recorded.
+    pub quarantined: u64,
+    /// Verdict-cache hits.
+    pub cache_hits: u64,
+    /// Verdict-cache misses.
+    pub cache_misses: u64,
+    /// Tests skipped whole via the cache.
+    pub cache_tests_skipped: u64,
+    /// hits / (hits + misses), 0 with no lookups.
+    pub cache_hit_rate: f64,
+    /// Tests that spilled at least one run.
+    pub tests_spilled: u64,
+    /// Sorted runs spilled to disk.
+    pub runs_spilled: u64,
+    /// Bytes spilled to disk.
+    pub bytes_spilled: u64,
+    /// The journal carries a finalization footer.
+    pub finalized: bool,
+}
+
+/// Coordinator state-directory summary.
+#[derive(Clone, Debug, Default)]
+pub struct StateDigest {
+    /// Jobs journaled.
+    pub jobs: u64,
+    /// Accepted shard results journaled.
+    pub done_shards: u64,
+    /// Poisoned shards journaled.
+    pub poisoned_shards: u64,
+    /// Progress events journaled.
+    pub events: u64,
+    /// Lifecycle records journaled.
+    pub lifecycle: u64,
+    /// Lines that failed the CRC frame or the parse — the integrity
+    /// warning counter (`mtracecheck fsck` localizes the damage).
+    pub skipped_lines: u64,
+}
+
+/// One phase's baseline-vs-measured comparison.
+#[derive(Clone, Debug)]
+pub struct PhaseRegression {
+    /// Phase name.
+    pub phase: String,
+    /// Baseline p50 from `BENCH_campaign.json`.
+    pub baseline_p50_us: u64,
+    /// Measured p50 from this digest's sources.
+    pub measured_p50_us: u64,
+    /// Measured exceeds baseline by more than the configured factor.
+    pub regressed: bool,
+}
+
+/// The baseline comparison block.
+#[derive(Clone, Debug)]
+pub struct BenchComparison {
+    /// Path the baseline was read from.
+    pub baseline: String,
+    /// Factor in force.
+    pub factor: f64,
+    /// Per-phase comparisons (phases present on both sides).
+    pub phases: Vec<PhaseRegression>,
+}
+
+/// The assembled digest.
+#[derive(Clone, Debug, Default)]
+pub struct Digest {
+    /// Classified inputs, as `<kind>: <path>` strings.
+    pub sources: Vec<String>,
+    /// Per-phase latency, merged across sources (metrics histograms win
+    /// over trace durations for the same phase — they cover the fleet).
+    pub phases: Vec<PhaseDigest>,
+    /// Event counters, merged across sources.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged-trace summary, when a trace was among the inputs.
+    pub trace: Option<TraceDigest>,
+    /// Journal summary, when a journal was among the inputs.
+    pub journal: Option<JournalDigest>,
+    /// State-directory summary, when a directory was among the inputs.
+    pub state: Option<StateDigest>,
+    /// Baseline comparison, when [`DigestOptions::bench`] was given.
+    pub bench: Option<BenchComparison>,
+    /// Non-fatal problems (unreadable or unrecognized inputs).
+    pub warnings: Vec<String>,
+}
+
+impl Digest {
+    /// True when any phase regressed against the baseline — the `report`
+    /// command's exit signal.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        self.bench
+            .as_ref()
+            .is_some_and(|b| b.phases.iter().any(|p| p.regressed))
+    }
+
+    /// Total integrity warnings surfaced by the digest's sources:
+    /// journal/state skipped-line counters plus state-dir skips seen
+    /// directly.
+    #[must_use]
+    pub fn integrity_warnings(&self) -> u64 {
+        let counter = |key: &str| self.counters.get(key).copied().unwrap_or(0);
+        counter("journal_skipped_lines")
+            + counter("state_skipped_lines")
+            + self.state.as_ref().map_or(0, |s| s.skipped_lines)
+    }
+
+    /// Renders the human-readable digest.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== campaign digest ===");
+        for source in &self.sources {
+            let _ = writeln!(out, "source {source}");
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "--- phase latency ---");
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "{:<12} count {:<8} p50 {} us (total {} us)",
+                    p.phase, p.count, p.p50_us, p.sum_us
+                );
+            }
+        }
+        if let Some(trace) = &self.trace {
+            let _ = writeln!(out, "--- merged trace ---");
+            let _ = writeln!(
+                out,
+                "job {} spans {} events {} lifecycle {}",
+                trace.job.map_or_else(|| "-".to_owned(), |j| j.to_string()),
+                trace.spans,
+                trace.events,
+                trace.lifecycle
+            );
+            for shard in &trace.shards {
+                let state = if shard.poisoned {
+                    "poisoned"
+                } else if shard.done {
+                    "done"
+                } else {
+                    "incomplete"
+                };
+                let _ = writeln!(
+                    out,
+                    "shard {:<4} claims {} failures {} -> {state}{}",
+                    shard.shard,
+                    shard.claims,
+                    shard.failures,
+                    if shard.causes.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", shard.causes.join("; "))
+                    }
+                );
+            }
+        }
+        if let Some(journal) = &self.journal {
+            let _ = writeln!(out, "--- journal ---");
+            let _ = writeln!(
+                out,
+                "tests {} quarantined {}{}",
+                journal.tests,
+                journal.quarantined,
+                if journal.finalized {
+                    ""
+                } else {
+                    " (no footer: journal was not finalized)"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "verdict cache: {} hits {} misses ({:.1}% hit rate), {} tests skipped",
+                journal.cache_hits,
+                journal.cache_misses,
+                100.0 * journal.cache_hit_rate,
+                journal.cache_tests_skipped
+            );
+            let _ = writeln!(
+                out,
+                "spill: {} tests spilled {} runs ({} bytes)",
+                journal.tests_spilled, journal.runs_spilled, journal.bytes_spilled
+            );
+        }
+        if let Some(state) = &self.state {
+            let _ = writeln!(out, "--- coordinator state ---");
+            let _ = writeln!(
+                out,
+                "jobs {} done shards {} poisoned {} events {} lifecycle {} skipped lines {}",
+                state.jobs,
+                state.done_shards,
+                state.poisoned_shards,
+                state.events,
+                state.lifecycle,
+                state.skipped_lines
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "--- counters ---");
+            for (event, n) in &self.counters {
+                let _ = writeln!(out, "{event} {n}");
+            }
+        }
+        let _ = writeln!(out, "integrity warnings: {}", self.integrity_warnings());
+        if let Some(bench) = &self.bench {
+            let _ = writeln!(
+                out,
+                "--- baseline comparison ({} at {}x) ---",
+                bench.baseline, bench.factor
+            );
+            for p in &bench.phases {
+                let _ = writeln!(
+                    out,
+                    "{:<12} baseline p50 {:<8} measured p50 {:<8} {}",
+                    p.phase,
+                    p.baseline_p50_us,
+                    p.measured_p50_us,
+                    if p.regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "verdict: {}",
+                if self.has_regression() {
+                    "REGRESSION against baseline"
+                } else {
+                    "no regression against baseline"
+                }
+            );
+        }
+        for warning in &self.warnings {
+            let _ = writeln!(out, "warning: {warning}");
+        }
+        out
+    }
+
+    /// Renders the digest as one JSON object (hand-rolled; devstub-safe).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let phases = Value::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Value::obj(vec![
+                        ("phase", Value::str(p.phase.clone())),
+                        ("count", Value::u64(p.count)),
+                        ("sum_us", Value::u64(p.sum_us)),
+                        ("p50_us", Value::u64(p.p50_us)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::u64(*v)))
+                .collect(),
+        );
+        let mut fields = vec![
+            (
+                "sources",
+                Value::Arr(self.sources.iter().map(Value::str).collect()),
+            ),
+            ("phases", phases),
+            ("counters", counters),
+            ("integrity_warnings", Value::u64(self.integrity_warnings())),
+        ];
+        if let Some(trace) = &self.trace {
+            let shards = Value::Arr(
+                trace
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        Value::obj(vec![
+                            ("shard", Value::u64(s.shard)),
+                            ("claims", Value::u64(s.claims)),
+                            ("failures", Value::u64(s.failures)),
+                            ("poisoned", Value::Bool(s.poisoned)),
+                            ("done", Value::Bool(s.done)),
+                            (
+                                "causes",
+                                Value::Arr(s.causes.iter().map(Value::str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            let mut t = vec![
+                ("spans", Value::u64(trace.spans)),
+                ("events", Value::u64(trace.events)),
+                ("lifecycle", Value::u64(trace.lifecycle)),
+                ("shards", shards),
+            ];
+            if let Some(job) = trace.job {
+                t.insert(0, ("job", Value::u64(job)));
+            }
+            fields.push(("trace", Value::obj(t)));
+        }
+        if let Some(journal) = &self.journal {
+            fields.push((
+                "journal",
+                Value::obj(vec![
+                    ("tests", Value::u64(journal.tests)),
+                    ("quarantined", Value::u64(journal.quarantined)),
+                    ("cache_hits", Value::u64(journal.cache_hits)),
+                    ("cache_misses", Value::u64(journal.cache_misses)),
+                    (
+                        "cache_tests_skipped",
+                        Value::u64(journal.cache_tests_skipped),
+                    ),
+                    ("cache_hit_rate", Value::Float(journal.cache_hit_rate)),
+                    ("tests_spilled", Value::u64(journal.tests_spilled)),
+                    ("runs_spilled", Value::u64(journal.runs_spilled)),
+                    ("bytes_spilled", Value::u64(journal.bytes_spilled)),
+                    ("finalized", Value::Bool(journal.finalized)),
+                ]),
+            ));
+        }
+        if let Some(state) = &self.state {
+            fields.push((
+                "state",
+                Value::obj(vec![
+                    ("jobs", Value::u64(state.jobs)),
+                    ("done_shards", Value::u64(state.done_shards)),
+                    ("poisoned_shards", Value::u64(state.poisoned_shards)),
+                    ("events", Value::u64(state.events)),
+                    ("lifecycle", Value::u64(state.lifecycle)),
+                    ("skipped_lines", Value::u64(state.skipped_lines)),
+                ]),
+            ));
+        }
+        if let Some(bench) = &self.bench {
+            let phases = Value::Arr(
+                bench
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("phase", Value::str(p.phase.clone())),
+                            ("baseline_p50_us", Value::u64(p.baseline_p50_us)),
+                            ("measured_p50_us", Value::u64(p.measured_p50_us)),
+                            ("regressed", Value::Bool(p.regressed)),
+                        ])
+                    })
+                    .collect(),
+            );
+            fields.push((
+                "bench",
+                Value::obj(vec![
+                    ("baseline", Value::str(bench.baseline.clone())),
+                    ("factor", Value::Float(bench.factor)),
+                    ("phases", phases),
+                    ("regression", Value::Bool(self.has_regression())),
+                ]),
+            ));
+        }
+        fields.push((
+            "warnings",
+            Value::Arr(self.warnings.iter().map(Value::str).collect()),
+        ));
+        let mut out = Value::obj(fields).render();
+        out.push('\n');
+        out
+    }
+}
+
+/// In-progress per-phase aggregation, either exact durations (trace
+/// spans) or histogram buckets (metrics snapshot).
+#[derive(Default)]
+struct PhaseAccumulator {
+    /// Exact span durations, for trace sources.
+    durations: Vec<u64>,
+    /// `(le, cumulative)` histogram buckets, for metrics sources.
+    buckets: Vec<(u64, u64)>,
+    sum_us: u64,
+    count: u64,
+}
+
+impl PhaseAccumulator {
+    fn digest(&mut self, phase: &str) -> Option<PhaseDigest> {
+        // Metrics histograms cover the whole fleet; prefer them when both
+        // kinds of source were supplied.
+        if self.count > 0 {
+            let rank = self.count.div_ceil(2).max(1);
+            let p50_us = self
+                .buckets
+                .iter()
+                .find(|&&(_, cumulative)| cumulative >= rank)
+                .map_or(u64::MAX, |&(le, _)| le);
+            return Some(PhaseDigest {
+                phase: phase.to_owned(),
+                count: self.count,
+                sum_us: self.sum_us,
+                p50_us,
+            });
+        }
+        if self.durations.is_empty() {
+            return None;
+        }
+        self.durations.sort_unstable();
+        Some(PhaseDigest {
+            phase: phase.to_owned(),
+            count: self.durations.len() as u64,
+            sum_us: self.durations.iter().sum(),
+            p50_us: self.durations[(self.durations.len() - 1) / 2],
+        })
+    }
+}
+
+/// Analyzes a set of campaign artifacts into one digest. Inputs are
+/// classified by content; unrecognized or unreadable inputs become
+/// warnings, not errors, so a partially damaged campaign still digests.
+///
+/// # Errors
+///
+/// Only an unreadable `--bench` baseline is fatal — it was explicitly
+/// asked for, and a silent skip would report "no regression" untruthfully.
+pub fn analyze(paths: &[PathBuf], options: &DigestOptions) -> Result<Digest, String> {
+    let mut digest = Digest::default();
+    let mut phases: BTreeMap<String, PhaseAccumulator> = BTreeMap::new();
+    for path in paths {
+        if path.is_dir() {
+            analyze_state_dir(path, &mut digest);
+            continue;
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                digest
+                    .warnings
+                    .push(format!("could not read {}: {e}", path.display()));
+                continue;
+            }
+        };
+        if text.starts_with("{\"type\":\"meta\",\"tool\":\"mtracecheck\"") {
+            digest.sources.push(format!("trace: {}", path.display()));
+            analyze_trace(&text, &mut digest, &mut phases);
+        } else if text.contains("mtracecheck_phase_duration_microseconds") {
+            digest.sources.push(format!("metrics: {}", path.display()));
+            analyze_metrics(&text, &mut digest, &mut phases);
+        } else {
+            analyze_journal(path, &mut digest);
+        }
+    }
+    digest.phases = phases
+        .iter_mut()
+        .filter_map(|(phase, acc)| acc.digest(phase))
+        .collect();
+    if let Some(bench) = &options.bench {
+        let text = std::fs::read_to_string(bench)
+            .map_err(|e| format!("could not read baseline {}: {e}", bench.display()))?;
+        digest.bench = Some(compare_bench(
+            &text,
+            &bench.display().to_string(),
+            options.regression_factor,
+            &digest.phases,
+        )?);
+    }
+    Ok(digest)
+}
+
+/// Folds one trace file (single-machine or merged job layout) into the
+/// digest: span durations (when the layout carries timings), record
+/// tallies, and the shard lifecycle timeline.
+fn analyze_trace(text: &str, digest: &mut Digest, phases: &mut BTreeMap<String, PhaseAccumulator>) {
+    let trace = digest.trace.get_or_insert_with(TraceDigest::default);
+    let mut shards: BTreeMap<u64, ShardDigest> = BTreeMap::new();
+    for shard in trace.shards.drain(..) {
+        shards.insert(shard.shard, shard);
+    }
+    for line in text.lines() {
+        let Ok(value) = parse(line) else { continue };
+        match value.get("type").and_then(Value::as_str) {
+            Some("meta") => {
+                trace.job = value.get("job").and_then(Value::as_u64).or(trace.job);
+            }
+            Some("span") => {
+                trace.spans += 1;
+                if let (Some(phase), Some(dur)) = (
+                    value.get("phase").and_then(Value::as_str),
+                    value.get("dur_us").and_then(Value::as_u64),
+                ) {
+                    phases
+                        .entry(phase.to_owned())
+                        .or_default()
+                        .durations
+                        .push(dur);
+                }
+            }
+            Some("event") => {
+                trace.events += 1;
+                if let Some(name) = value.get("name").and_then(Value::as_str) {
+                    *digest.counters.entry(format!("trace_{name}")).or_insert(0) += 1;
+                }
+            }
+            Some("lifecycle") => {
+                trace.lifecycle += 1;
+                let Some(index) = value.get("shard").and_then(Value::as_u64) else {
+                    continue;
+                };
+                let shard = shards.entry(index).or_default();
+                shard.shard = index;
+                match value.get("name").and_then(Value::as_str) {
+                    Some("shard_claimed") => shard.claims += 1,
+                    Some("shard_failed") => shard.failures += 1,
+                    Some("shard_poisoned") => {
+                        shard.failures += 1;
+                        shard.poisoned = true;
+                    }
+                    Some("shard_done") => shard.done = true,
+                    _ => {}
+                }
+                if let Some(cause) = value.get("cause").and_then(Value::as_str) {
+                    if !shard.causes.iter().any(|c| c == cause) {
+                        shard.causes.push(cause.to_owned());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    trace.shards = shards.into_values().collect();
+}
+
+/// Folds one Prometheus metrics snapshot into the digest: histogram
+/// buckets per phase plus the event counters.
+fn analyze_metrics(
+    text: &str,
+    digest: &mut Digest,
+    phases: &mut BTreeMap<String, PhaseAccumulator>,
+) {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name_and_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Some((metric, labels)) = name_and_labels
+            .split_once('{')
+            .map(|(m, l)| (m, l.trim_end_matches('}')))
+        else {
+            continue;
+        };
+        let label = |key: &str| {
+            labels.split(',').find_map(|pair| {
+                let (k, v) = pair.split_once('=')?;
+                (k == key).then(|| v.trim_matches('"').to_owned())
+            })
+        };
+        match metric {
+            "mtracecheck_phase_duration_microseconds_bucket" => {
+                let (Some(phase), Some(le), Ok(cumulative)) =
+                    (label("phase"), label("le"), value.parse::<u64>())
+                else {
+                    continue;
+                };
+                let le = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse().unwrap_or(u64::MAX)
+                };
+                phases
+                    .entry(phase)
+                    .or_default()
+                    .buckets
+                    .push((le, cumulative));
+            }
+            "mtracecheck_phase_duration_microseconds_sum" => {
+                if let (Some(phase), Ok(sum)) = (label("phase"), value.parse::<u64>()) {
+                    phases.entry(phase).or_default().sum_us += sum;
+                }
+            }
+            "mtracecheck_phase_duration_microseconds_count" => {
+                if let (Some(phase), Ok(count)) = (label("phase"), value.parse::<u64>()) {
+                    phases.entry(phase).or_default().count += count;
+                }
+            }
+            "mtracecheck_events_total" => {
+                if let (Some(event), Ok(n)) = (label("event"), value.parse::<u64>()) {
+                    *digest.counters.entry(event).or_insert(0) += n;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Folds one campaign journal into the digest (footer statistics). Needs
+/// a working serde; devstub builds degrade to a warning.
+fn analyze_journal(path: &Path, digest: &mut Digest) {
+    match crate::read_journal(path) {
+        Ok(contents) => {
+            digest.sources.push(format!("journal: {}", path.display()));
+            let mut summary = JournalDigest {
+                tests: contents.tests.len() as u64,
+                quarantined: contents.quarantined.len() as u64,
+                ..JournalDigest::default()
+            };
+            if let Some(footer) = &contents.footer {
+                summary.finalized = true;
+                summary.cache_hits = footer.cache.hits;
+                summary.cache_misses = footer.cache.misses;
+                summary.cache_tests_skipped = footer.cache.tests_skipped;
+                summary.cache_hit_rate = footer.cache.hit_rate();
+                summary.tests_spilled = footer.spill.tests_spilled;
+                summary.runs_spilled = footer.spill.runs_spilled;
+                summary.bytes_spilled = footer.spill.bytes_spilled;
+            }
+            digest.journal = Some(summary);
+        }
+        Err(e) => digest.warnings.push(format!(
+            "{} is not a readable trace, metrics snapshot, or journal: {e}",
+            path.display()
+        )),
+    }
+}
+
+/// Folds a coordinator state directory into the digest: record tallies
+/// per kind plus the skipped-line integrity count.
+fn analyze_state_dir(dir: &Path, digest: &mut Digest) {
+    digest.sources.push(format!("state-dir: {}", dir.display()));
+    let state = digest.state.get_or_insert_with(StateDigest::default);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        digest
+            .warnings
+            .push(format!("could not read state dir {}", dir.display()));
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("job-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            digest
+                .warnings
+                .push(format!("could not read {}", path.display()));
+            continue;
+        };
+        for line in text.lines() {
+            let Ok(payload) = crate::durable::unframe_line(line) else {
+                state.skipped_lines += 1;
+                continue;
+            };
+            let Ok(value) = parse(payload) else {
+                state.skipped_lines += 1;
+                continue;
+            };
+            match value.get("kind").and_then(Value::as_str) {
+                Some("job") => state.jobs += 1,
+                Some("done") => state.done_shards += 1,
+                Some("poisoned") => state.poisoned_shards += 1,
+                Some("event") => state.events += 1,
+                Some("lifecycle") => state.lifecycle += 1,
+                _ => state.skipped_lines += 1,
+            }
+        }
+    }
+}
+
+/// Compares measured phase medians against a committed
+/// `BENCH_campaign.json` baseline.
+fn compare_bench(
+    text: &str,
+    baseline: &str,
+    factor: f64,
+    measured: &[PhaseDigest],
+) -> Result<BenchComparison, String> {
+    let value = parse(text).map_err(|e| format!("baseline {baseline} does not parse: {e}"))?;
+    let mut baseline_p50: BTreeMap<String, u64> = BTreeMap::new();
+    if let Some(Value::Arr(items)) = value.get("phases") {
+        for item in items {
+            if let (Some(phase), Some(p50)) = (
+                item.get("phase").and_then(Value::as_str),
+                item.get("p50_us").and_then(Value::as_u64),
+            ) {
+                baseline_p50.insert(phase.to_owned(), p50);
+            }
+        }
+    }
+    if baseline_p50.is_empty() {
+        return Err(format!("baseline {baseline} carries no phase medians"));
+    }
+    let phases = measured
+        .iter()
+        .filter_map(|m| {
+            let &p50 = baseline_p50.get(&m.phase)?;
+            // A zero baseline (sub-microsecond phase) cannot express a
+            // meaningful ratio; compare against 1 us instead.
+            let limit = (p50.max(1) as f64) * factor;
+            Some(PhaseRegression {
+                phase: m.phase.clone(),
+                baseline_p50_us: p50,
+                measured_p50_us: m.p50_us,
+                regressed: m.count > 0 && (m.p50_us as f64) > limit,
+            })
+        })
+        .collect();
+    Ok(BenchComparison {
+        baseline: baseline.to_owned(),
+        factor,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_snapshots_yield_phase_medians_and_counters() {
+        let text = "\
+# TYPE mtracecheck_phase_duration_microseconds histogram\n\
+mtracecheck_phase_duration_microseconds_bucket{phase=\"check\",le=\"1\"} 0\n\
+mtracecheck_phase_duration_microseconds_bucket{phase=\"check\",le=\"2\"} 1\n\
+mtracecheck_phase_duration_microseconds_bucket{phase=\"check\",le=\"4\"} 3\n\
+mtracecheck_phase_duration_microseconds_bucket{phase=\"check\",le=\"+Inf\"} 3\n\
+mtracecheck_phase_duration_microseconds_sum{phase=\"check\"} 9\n\
+mtracecheck_phase_duration_microseconds_count{phase=\"check\"} 3\n\
+mtracecheck_events_total{event=\"retries\"} 2\n\
+mtracecheck_events_total{event=\"journal_skipped_lines\"} 1\n";
+        let mut digest = Digest::default();
+        let mut phases = BTreeMap::new();
+        analyze_metrics(text, &mut digest, &mut phases);
+        let check = phases.get_mut("check").expect("check phase parsed");
+        let summary = check.digest("check").expect("has observations");
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.sum_us, 9);
+        assert_eq!(summary.p50_us, 4, "rank-2 bucket upper bound");
+        assert_eq!(digest.counters.get("retries"), Some(&2));
+        assert_eq!(digest.integrity_warnings(), 1);
+    }
+
+    #[test]
+    fn job_traces_yield_shard_timelines() {
+        let text = "\
+{\"type\":\"meta\",\"tool\":\"mtracecheck\",\"version\":1,\"layout\":\"job\",\"job\":7,\"tests\":4,\"shards\":2}\n\
+{\"type\":\"lifecycle\",\"name\":\"shard_claimed\",\"shard\":0,\"slot_start\":0,\"slot_end\":2,\"attempt\":1,\"seq\":0}\n\
+{\"type\":\"lifecycle\",\"name\":\"shard_failed\",\"shard\":0,\"slot_start\":0,\"slot_end\":2,\"attempt\":1,\"seq\":1,\"cause\":\"lease expired\"}\n\
+{\"type\":\"lifecycle\",\"name\":\"shard_claimed\",\"shard\":0,\"slot_start\":0,\"slot_end\":2,\"attempt\":2,\"seq\":2}\n\
+{\"type\":\"lifecycle\",\"name\":\"shard_done\",\"shard\":0,\"slot_start\":0,\"slot_end\":2,\"attempt\":2,\"seq\":3}\n\
+{\"type\":\"span\",\"phase\":\"attempt\",\"test\":0,\"attempt\":1,\"seq\":0}\n\
+{\"type\":\"event\",\"name\":\"retry\",\"test\":1,\"seq\":0}\n";
+        let mut digest = Digest::default();
+        let mut phases = BTreeMap::new();
+        analyze_trace(text, &mut digest, &mut phases);
+        let trace = digest.trace.expect("trace digested");
+        assert_eq!(trace.job, Some(7));
+        assert_eq!((trace.spans, trace.events, trace.lifecycle), (1, 1, 4));
+        assert_eq!(trace.shards.len(), 1);
+        let shard = &trace.shards[0];
+        assert_eq!((shard.claims, shard.failures), (2, 1));
+        assert!(shard.done && !shard.poisoned);
+        assert_eq!(shard.causes, ["lease expired"]);
+        assert_eq!(digest.counters.get("trace_retry"), Some(&1));
+        // Structural spans carry no durations — no phony latency rows.
+        assert!(phases
+            .get_mut("attempt")
+            .is_none_or(|a| a.digest("attempt").is_none()));
+    }
+
+    #[test]
+    fn bench_comparison_flags_only_real_regressions() {
+        let baseline = "{\"phases\":[\
+            {\"phase\":\"check\",\"count\":3,\"total_us\":9,\"p50_us\":100},\
+            {\"phase\":\"simulate\",\"count\":3,\"total_us\":9,\"p50_us\":1000}]}";
+        let measured = vec![
+            PhaseDigest {
+                phase: "check".to_owned(),
+                count: 10,
+                sum_us: 9000,
+                p50_us: 900,
+            },
+            PhaseDigest {
+                phase: "simulate".to_owned(),
+                count: 10,
+                sum_us: 9000,
+                p50_us: 2000,
+            },
+        ];
+        let cmp = compare_bench(baseline, "BENCH_campaign.json", 4.0, &measured)
+            .expect("baseline parses");
+        assert_eq!(cmp.phases.len(), 2);
+        assert!(cmp.phases[0].regressed, "900 > 4x100");
+        assert!(!cmp.phases[1].regressed, "2000 <= 4x1000");
+        let digest = Digest {
+            bench: Some(cmp),
+            ..Digest::default()
+        };
+        assert!(digest.has_regression());
+        assert!(digest.render_text().contains("REGRESSED"));
+        assert!(digest.render_json().contains("\"regression\":true"));
+        assert!(compare_bench("{}", "empty.json", 4.0, &measured).is_err());
+    }
+}

@@ -45,6 +45,7 @@
 mod campaign;
 mod certs;
 mod coverage;
+pub mod digest;
 mod durable;
 pub mod fsck;
 mod journal;

@@ -37,15 +37,16 @@
 
 use super::http;
 use super::json::{parse, Value};
+use super::observe::{render_job_chrome, render_job_trace, LifecycleRecord, WireTraceRecord};
 use super::protocol::{parse_body, JobSpec, ShardAssignment, SlotEnvelope};
 use crate::campaign::shard_ranges;
 use crate::journal::{render_footer_line, render_header_line, render_quarantine_line};
 use crate::supervisor::{AttemptFailure, FailureCause, QuarantineRecord, RetryPolicy};
-use crate::telemetry::{Ids, Telemetry, TelemetryConfig};
+use crate::telemetry::{Ids, Phase, Telemetry, TelemetryConfig};
 use crate::JournalFooter;
 use std::collections::BTreeMap;
 use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,6 +80,10 @@ pub struct ServeOptions {
     pub telemetry: Telemetry,
     /// Socket timeout applied to every accepted connection.
     pub request_timeout: Duration,
+    /// Longest a `GET /events` connection stays open before the server
+    /// closes it (bounding handler threads); clients reconnect with
+    /// `since=<last seq>` and lose nothing.
+    pub stream_window: Duration,
 }
 
 impl Default for ServeOptions {
@@ -95,6 +100,7 @@ impl Default for ServeOptions {
                 ..TelemetryConfig::default()
             }),
             request_timeout: Duration::from_secs(10),
+            stream_window: Duration::from_secs(10),
         }
     }
 }
@@ -168,6 +174,23 @@ pub fn serve(options: ServeOptions) -> std::io::Result<Server> {
         shutdown: AtomicBool::new(false),
         lease_counter: AtomicU64::new(0),
     });
+    // Pre-register the fleet-health counters so `/metrics` always renders
+    // them (a zero is an answerable "none", absence is just a gap) —
+    // including the PR-9 recovery counters, which otherwise only surface
+    // when corruption is actually skipped.
+    for counter in [
+        "lease_expirations",
+        "shard_failures",
+        "shards_reassigned",
+        "shards_poisoned",
+        "journal_skipped_lines",
+        "state_skipped_lines",
+        "trace_records",
+        "trace_truncated",
+        "event_streams",
+    ] {
+        state.count(counter, 0);
+    }
     let accept_state = Arc::clone(&state);
     let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
     let sweep_state = Arc::clone(&state);
@@ -208,6 +231,26 @@ struct Job {
     /// `Ok(bytes)` once assembled; `Err(reason)` when a journal cannot be
     /// produced (serde unavailable somewhere along the path).
     journal: Option<Result<String, String>>,
+    /// Shipped trace records from accepted results (traced jobs only),
+    /// tagged with the shard that delivered them.
+    trace: Vec<WireTraceRecord>,
+    /// Coordinator-side shard lifecycle records (traced jobs only).
+    lifecycle: Vec<LifecycleRecord>,
+    /// The job's progress event log, served by `GET /events`. Append-only
+    /// with strictly increasing `seq` (resuming across restarts via the
+    /// state journal), so `since=<seq>` reconnects never duplicate.
+    events: Vec<StoredEvent>,
+    next_event_seq: u64,
+}
+
+#[derive(Debug)]
+struct StoredEvent {
+    seq: u64,
+    /// True for the final `complete` event — closes open streams.
+    terminal: bool,
+    /// The rendered JSON line, stored verbatim so replays and reconnects
+    /// serve byte-identical events.
+    line: String,
 }
 
 #[derive(Debug)]
@@ -232,6 +275,9 @@ enum ShardState {
     Leased {
         lease: u64,
         expires: Instant,
+        /// When the lease was granted (not moved by heartbeats) — the
+        /// `status` view's lease age.
+        granted: Instant,
         /// Claiming worker's name — failure attribution when the lease
         /// expires (the holder crashed, stalled, or disconnected).
         holder: String,
@@ -259,6 +305,10 @@ impl Job {
             degraded: false,
             report: None,
             journal: None,
+            trace: Vec::new(),
+            lifecycle: Vec::new(),
+            events: Vec::new(),
+            next_event_seq: 1,
         }
     }
 }
@@ -286,6 +336,13 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
         std::thread::spawn(move || {
             match http::read_request(&mut stream) {
                 Ok(request) => {
+                    let (path, query) = split_query(&request.path);
+                    if request.method == "GET" && path == "/events" {
+                        // The one streaming endpoint: it writes its own
+                        // (unframed) response and holds the connection.
+                        stream_events(&state, &mut stream, query);
+                        return;
+                    }
                     let (status, content_type, body) = dispatch(&state, &request);
                     let _ = http::write_response(&mut stream, status, content_type, &body);
                 }
@@ -351,6 +408,138 @@ impl ServiceState {
     }
 }
 
+/// Appends one progress event to the job's log (and the state journal,
+/// when persistence is on). The rendered line is stored verbatim so every
+/// `/events` delivery — live, reconnect, or after a restart — serves
+/// byte-identical JSON for a given seq.
+fn emit_event(state: &ServiceState, job: &mut Job, name: &str, fields: Vec<(&str, Value)>) {
+    let seq = job.next_event_seq;
+    job.next_event_seq += 1;
+    let mut all = vec![
+        ("seq", Value::u64(seq)),
+        ("job", Value::u64(job.id)),
+        ("event", Value::str(name)),
+    ];
+    all.extend(fields);
+    let line = Value::obj(all).render();
+    if let Some(dir) = &state.options.state_dir {
+        if let Err(e) = persist_event(dir, job.id, seq, name, &line) {
+            crate::telemetry::logger::warn(format_args!(
+                "warning: could not journal event for job {}: {e}",
+                job.id
+            ));
+        }
+    }
+    job.events.push(StoredEvent {
+        seq,
+        terminal: name == "complete",
+        line,
+    });
+}
+
+/// Records a coordinator-side shard lifecycle transition for a traced
+/// job (no-op otherwise — the inertness contract). `seq` is the shard's
+/// causal ordinal: transitions are serialized under the jobs lock, so it
+/// is deterministic for a given failure history.
+fn record_lifecycle(
+    state: &ServiceState,
+    job: &mut Job,
+    name: &'static str,
+    shard_index: usize,
+    attempt: u64,
+    cause: Option<String>,
+) {
+    if !job.spec.trace {
+        return;
+    }
+    let shard = &job.shards[shard_index];
+    let record = LifecycleRecord {
+        name,
+        shard: shard_index as u64,
+        slot_start: shard.start,
+        slot_end: shard.end,
+        attempt,
+        seq: job
+            .lifecycle
+            .iter()
+            .filter(|l| l.shard == shard_index as u64)
+            .count() as u64,
+        cause,
+    };
+    if let Some(dir) = &state.options.state_dir {
+        if let Err(e) = append_line(&job_file(dir, job.id), &record.encode(job.id).render()) {
+            crate::telemetry::logger::warn(format_args!(
+                "warning: could not journal lifecycle record for job {}: {e}",
+                job.id
+            ));
+        }
+    }
+    job.lifecycle.push(record);
+}
+
+/// Shard-state and verdict tallies shared by `GET /jobs/{id}` and the
+/// progress events.
+struct ProgressCounts {
+    pending: u64,
+    leased: u64,
+    done: u64,
+    poisoned: u64,
+    validated: u64,
+    quarantined: u64,
+    failing: u64,
+    violations: u64,
+}
+
+fn progress_counts(job: &Job) -> ProgressCounts {
+    let mut counts = ProgressCounts {
+        pending: 0,
+        leased: 0,
+        done: 0,
+        poisoned: 0,
+        validated: 0,
+        quarantined: 0,
+        failing: 0,
+        violations: 0,
+    };
+    for shard in &job.shards {
+        match shard.state {
+            ShardState::Pending { .. } => counts.pending += 1,
+            ShardState::Leased { .. } => counts.leased += 1,
+            ShardState::Done => counts.done += 1,
+            ShardState::Poisoned => counts.poisoned += 1,
+        }
+    }
+    for entry in job.entries.values() {
+        if entry.quarantined {
+            counts.quarantined += 1;
+        } else {
+            counts.validated += 1;
+            if !entry.clean {
+                counts.failing += 1;
+            }
+            counts.violations += entry.violations;
+        }
+    }
+    counts
+}
+
+impl ProgressCounts {
+    /// The tally fields, in the stable order both the progress endpoint
+    /// and the event stream use.
+    fn fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("pending", Value::u64(self.pending)),
+            ("leased", Value::u64(self.leased)),
+            ("done", Value::u64(self.done)),
+            ("poisoned", Value::u64(self.poisoned)),
+            ("validated", Value::u64(self.validated)),
+            ("quarantined", Value::u64(self.quarantined)),
+            ("failing", Value::u64(self.failing)),
+            ("violations", Value::u64(self.violations)),
+        ]
+    }
+}
+
 fn error_body(message: &str) -> String {
     Value::obj(vec![("error", Value::str(message))]).render()
 }
@@ -365,9 +554,15 @@ fn error_reply(status: u16, message: &str) -> Reply {
     (status, "application/json", error_body(message))
 }
 
+/// Splits `path?query` into its halves (`query` empty when absent).
+fn split_query(raw: &str) -> (&str, &str) {
+    raw.split_once('?').unwrap_or((raw, ""))
+}
+
 fn dispatch(state: &ServiceState, request: &http::Request) -> Reply {
     state.count("requests", 1);
-    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (path, _query) = split_query(&request.path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => json_reply(200, &Value::obj(vec![("ok", Value::Bool(true))])),
         ("GET", ["metrics"]) => match state.options.telemetry.render_metrics() {
@@ -379,6 +574,8 @@ fn dispatch(state: &ServiceState, request: &http::Request) -> Reply {
         ("GET", ["jobs", id]) => with_job_id(id, |id| job_progress(state, id)),
         ("GET", ["jobs", id, "report"]) => with_job_id(id, |id| job_report(state, id)),
         ("GET", ["jobs", id, "journal"]) => with_job_id(id, |id| job_journal(state, id)),
+        ("GET", ["jobs", id, "trace"]) => with_job_id(id, |id| job_trace(state, id)),
+        ("GET", ["jobs", id, "chrome-trace"]) => with_job_id(id, |id| job_chrome(state, id)),
         ("POST", ["claim"]) => claim_shard(state, &request.body),
         ("POST", ["heartbeat"]) => heartbeat(state, &request.body),
         ("POST", ["result"]) => submit_result(state, &request.body),
@@ -409,6 +606,14 @@ fn submit_job(state: &ServiceState, body: &str) -> Reply {
         }
     }
     jobs.jobs.insert(id, Job::new(id, spec, &plan));
+    let job = jobs.jobs.get_mut(&id).expect("just inserted");
+    let (tests, shards) = (job.spec.tests, job.shards.len() as u64);
+    emit_event(
+        state,
+        job,
+        "submitted",
+        vec![("tests", Value::u64(tests)), ("shards", Value::u64(shards))],
+    );
     state.count("jobs_submitted", 1);
     json_reply(200, &Value::obj(vec![("job", Value::u64(id))]))
 }
@@ -424,49 +629,43 @@ fn job_progress(state: &ServiceState, id: u64) -> Reply {
     let Some(job) = jobs.jobs.get(&id) else {
         return error_reply(404, "no such job");
     };
-    let mut pending = 0u64;
-    let mut leased = 0u64;
-    let mut done = 0u64;
-    let mut poisoned = 0u64;
-    for shard in &job.shards {
-        match shard.state {
-            ShardState::Pending { .. } => pending += 1,
-            ShardState::Leased { .. } => leased += 1,
-            ShardState::Done => done += 1,
-            ShardState::Poisoned => poisoned += 1,
-        }
-    }
-    let validated = job.entries.values().filter(|e| !e.quarantined).count() as u64;
-    let quarantined = job.entries.values().filter(|e| e.quarantined).count() as u64;
-    let failing = job
-        .entries
-        .values()
-        .filter(|e| !e.quarantined && !e.clean)
-        .count() as u64;
-    let violations: u64 = job
-        .entries
-        .values()
-        .filter(|e| !e.quarantined)
-        .map(|e| e.violations)
-        .sum();
-    json_reply(
-        200,
-        &Value::obj(vec![
-            ("job", Value::u64(id)),
-            ("tests", Value::u64(job.spec.tests)),
-            ("shards", Value::u64(job.shards.len() as u64)),
-            ("pending", Value::u64(pending)),
-            ("leased", Value::u64(leased)),
-            ("done", Value::u64(done)),
-            ("poisoned", Value::u64(poisoned)),
-            ("validated", Value::u64(validated)),
-            ("quarantined", Value::u64(quarantined)),
-            ("failing", Value::u64(failing)),
-            ("violations", Value::u64(violations)),
-            ("complete", Value::Bool(job.complete)),
-            ("degraded", Value::Bool(job.degraded)),
-        ]),
-    )
+    let counts = progress_counts(job);
+    // One glyph per shard, in shard order — the `status` view's map.
+    let shard_map: String = job
+        .shards
+        .iter()
+        .map(|s| match s.state {
+            ShardState::Pending { .. } => '.',
+            ShardState::Leased { .. } => '~',
+            ShardState::Done => '#',
+            ShardState::Poisoned => '!',
+        })
+        .collect();
+    let retries: u64 = job.shards.iter().map(|s| s.failures.len() as u64).sum();
+    let now = Instant::now();
+    let lease_age_ms = job
+        .shards
+        .iter()
+        .filter_map(|s| match &s.state {
+            ShardState::Leased { granted, .. } => {
+                Some(now.saturating_duration_since(*granted).as_millis() as u64)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut fields = vec![
+        ("job", Value::u64(id)),
+        ("tests", Value::u64(job.spec.tests)),
+        ("shards", Value::u64(job.shards.len() as u64)),
+    ];
+    fields.extend(counts.fields());
+    fields.push(("complete", Value::Bool(job.complete)));
+    fields.push(("degraded", Value::Bool(job.degraded)));
+    fields.push(("shard_map", Value::str(shard_map)));
+    fields.push(("retries", Value::u64(retries)));
+    fields.push(("lease_age_ms", Value::u64(lease_age_ms)));
+    json_reply(200, &Value::obj(fields))
 }
 
 fn job_report(state: &ServiceState, id: u64) -> Reply {
@@ -492,6 +691,112 @@ fn job_journal(state: &ServiceState, id: u64) -> Reply {
     }
 }
 
+fn job_trace(state: &ServiceState, id: u64) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get(&id) else {
+        return error_reply(404, "no such job");
+    };
+    if !job.spec.trace {
+        return error_reply(409, "job was not submitted with tracing");
+    }
+    if !job.complete {
+        return error_reply(409, "job is not complete yet");
+    }
+    let text = render_job_trace(
+        job.id,
+        job.spec.tests,
+        job.shards.len() as u64,
+        job.trace.clone(),
+        job.lifecycle.clone(),
+    );
+    (200, "application/x-ndjson", text)
+}
+
+fn job_chrome(state: &ServiceState, id: u64) -> Reply {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.jobs.get(&id) else {
+        return error_reply(404, "no such job");
+    };
+    if !job.spec.trace {
+        return error_reply(409, "job was not submitted with tracing");
+    }
+    if !job.complete {
+        return error_reply(409, "job is not complete yet");
+    }
+    (
+        200,
+        "application/json",
+        render_job_chrome(job.trace.clone(), &job.lifecycle),
+    )
+}
+
+/// The `GET /events?job=<id>&since=<seq>` streaming handler. Writes an
+/// unframed ndjson body, flushing each event as it lands, until the job's
+/// terminal event has been delivered, the server shuts down, or the
+/// stream window closes (clients reconnect with `since=<last seq>`).
+fn stream_events(state: &ServiceState, stream: &mut TcpStream, query: &str) {
+    let mut job_id: Option<u64> = None;
+    let mut since = 0u64;
+    for pair in query.split('&') {
+        match pair.split_once('=') {
+            Some(("job", v)) => job_id = v.parse().ok(),
+            Some(("since", v)) => since = v.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    let Some(job_id) = job_id else {
+        let _ = http::write_response(
+            stream,
+            400,
+            "application/json",
+            &error_body("events requires job=<id>"),
+        );
+        return;
+    };
+    if !state
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .jobs
+        .contains_key(&job_id)
+    {
+        let _ = http::write_response(stream, 404, "application/json", &error_body("no such job"));
+        return;
+    }
+    if http::write_stream_header(stream, "application/x-ndjson").is_err() {
+        return;
+    }
+    state.count("event_streams", 1);
+    let deadline = Instant::now() + state.options.stream_window;
+    let mut last = since;
+    loop {
+        let mut batch: Vec<String> = Vec::new();
+        let mut terminal = false;
+        {
+            let jobs = state.jobs.lock().expect("jobs lock");
+            if let Some(job) = jobs.jobs.get(&job_id) {
+                for event in &job.events {
+                    if event.seq <= last {
+                        continue;
+                    }
+                    last = event.seq;
+                    terminal |= event.terminal;
+                    batch.push(event.line.clone());
+                }
+            }
+        }
+        for line in &batch {
+            if http::write_stream_line(stream, line).is_err() {
+                return;
+            }
+        }
+        if terminal || state.shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 fn claim_shard(state: &ServiceState, body: &str) -> Reply {
     let worker = match parse_body("POST /claim", body)
         .and_then(|v| v.req_str("worker").map(ToOwned::to_owned))
@@ -503,8 +808,9 @@ fn claim_shard(state: &ServiceState, body: &str) -> Reply {
     let mut jobs = state.jobs.lock().expect("jobs lock");
     let mut queue_empty = true;
     let mut soonest_backoff: Option<Duration> = None;
-    for job in jobs.jobs.values_mut() {
-        for (shard_index, shard) in job.shards.iter_mut().enumerate() {
+    let mut claim: Option<(u64, usize)> = None;
+    'scan: for job in jobs.jobs.values() {
+        for (shard_index, shard) in job.shards.iter().enumerate() {
             match &shard.state {
                 ShardState::Pending { not_before } => {
                     queue_empty = false;
@@ -515,33 +821,52 @@ fn claim_shard(state: &ServiceState, body: &str) -> Reply {
                             continue;
                         }
                     }
-                    let lease = state.lease_counter.fetch_add(1, Ordering::SeqCst) + 1;
-                    shard.state = ShardState::Leased {
-                        lease,
-                        expires: now + state.options.lease,
-                        holder: worker.clone(),
-                    };
-                    let assignment = ShardAssignment {
-                        job: job.id,
-                        shard: shard_index as u64,
-                        start: shard.start,
-                        end: shard.end,
-                        lease,
-                        lease_ms: state.options.lease.as_millis() as u64,
-                        spec: job.spec.clone(),
-                    };
-                    state.count("shards_claimed", 1);
-                    crate::telemetry::logger::debug(format_args!(
-                        "coordinator: worker {worker} leased job {} shard {shard_index} \
-                         (slots {}..{}, lease {lease})",
-                        job.id, shard.start, shard.end
-                    ));
-                    return json_reply(200, &assignment.encode());
+                    claim = Some((job.id, shard_index));
+                    break 'scan;
                 }
                 ShardState::Leased { .. } => queue_empty = false,
                 ShardState::Done | ShardState::Poisoned => {}
             }
         }
+    }
+    if let Some((job_id, shard_index)) = claim {
+        let job = jobs.jobs.get_mut(&job_id).expect("claimed job exists");
+        let lease = state.lease_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let attempt = job.shards[shard_index].failures.len() as u64 + 1;
+        let shard = &mut job.shards[shard_index];
+        shard.state = ShardState::Leased {
+            lease,
+            expires: now + state.options.lease,
+            granted: now,
+            holder: worker.clone(),
+        };
+        let (start, end) = (shard.start, shard.end);
+        let assignment = ShardAssignment {
+            job: job_id,
+            shard: shard_index as u64,
+            start,
+            end,
+            lease,
+            lease_ms: state.options.lease.as_millis() as u64,
+            spec: job.spec.clone(),
+        };
+        record_lifecycle(state, job, "shard_claimed", shard_index, attempt, None);
+        emit_event(
+            state,
+            job,
+            "claimed",
+            vec![
+                ("shard", Value::u64(shard_index as u64)),
+                ("attempt", Value::u64(attempt)),
+                ("worker", Value::str(worker.clone())),
+            ],
+        );
+        state.count("shards_claimed", 1);
+        crate::telemetry::logger::debug(format_args!(
+            "coordinator: worker {worker} leased job {job_id} shard {shard_index} \
+             (slots {start}..{end}, lease {lease})"
+        ));
+        return json_reply(200, &assignment.encode());
     }
     // Nothing claimable right now: back off for the soonest reassignment,
     // or a lease quarter when only leased shards remain in flight.
@@ -624,20 +949,58 @@ fn submit_result(state: &ServiceState, body: &str) -> Reply {
         }
         ShardState::Pending { .. } | ShardState::Leased { .. } => {}
     }
-    match decode_entries(&value, start, end) {
-        Ok(entries) => {
+    match decode_result(&value, start, end, shard_index) {
+        Ok((entries, trace)) => {
+            let attempt = job.shards[shard_index as usize].failures.len() as u64 + 1;
             let shard = &mut job.shards[shard_index as usize];
             shard.state = ShardState::Done;
             job.entries
                 .extend(entries.iter().map(|e| (e.index, e.clone())));
+            if !trace.is_empty() {
+                state.count("trace_records", trace.len() as u64);
+                // Shipped span timings feed the coordinator's per-phase
+                // histograms — `/metrics` sees the fleet's phase latency.
+                let mut scope = state.options.telemetry.scope(Ids::none());
+                for record in &trace {
+                    if record.span {
+                        if let Some(phase) = Phase::from_name(&record.label) {
+                            scope.sample_us(phase, record.dur_us);
+                        }
+                    }
+                }
+                drop(scope);
+                job.trace.extend(trace.iter().cloned());
+            }
+            if value
+                .get("trace_truncated")
+                .and_then(Value::as_bool)
+                .unwrap_or(false)
+            {
+                state.count("trace_truncated", 1);
+            }
             if let Some(dir) = &state.options.state_dir {
-                if let Err(e) = persist_done(dir, job_id, shard_index, &entries) {
+                if let Err(e) = persist_done(dir, job_id, shard_index, &entries, &trace) {
                     crate::telemetry::logger::warn(format_args!(
                         "warning: could not journal shard result for job {job_id}: {e}"
                     ));
                 }
             }
             state.count("shard_results", 1);
+            record_lifecycle(
+                state,
+                job,
+                "shard_done",
+                shard_index as usize,
+                attempt,
+                None,
+            );
+            let counts = progress_counts(job);
+            let mut fields = vec![
+                ("shard", Value::u64(shard_index)),
+                ("attempt", Value::u64(attempt)),
+            ];
+            fields.extend(counts.fields());
+            emit_event(state, job, "shard_done", fields);
             check_completion(state, job);
             json_reply(200, &Value::obj(vec![("accepted", Value::Bool(true))]))
         }
@@ -664,6 +1027,34 @@ fn submit_result(state: &ServiceState, body: &str) -> Reply {
             error_reply(400, &format!("corrupt shard result: {e}"))
         }
     }
+}
+
+/// Decodes a full `/result` body: the validated entry list plus the
+/// optional shipped trace array, tagged with the delivering shard.
+/// An absent trace is fine (untraced job, or a worker predating trace
+/// shipping); a malformed one makes the whole result corrupt — trace
+/// integrity gets the same treatment as verdict integrity.
+fn decode_result(
+    value: &Value,
+    start: u64,
+    end: u64,
+    shard: u64,
+) -> Result<(Vec<SlotEnvelope>, Vec<WireTraceRecord>), String> {
+    let entries = decode_entries(value, start, end)?;
+    let trace = match value.get("trace") {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => {
+            let mut records = Vec::with_capacity(items.len());
+            for item in items {
+                let mut record = WireTraceRecord::decode(item)?;
+                record.shard = shard;
+                records.push(record);
+            }
+            records
+        }
+        Some(_) => return Err("trace is not an array".to_owned()),
+    };
+    Ok((entries, trace))
 }
 
 /// Decodes and validates a result's entry list: every suite index in
@@ -724,6 +1115,7 @@ fn fail_shard(
     });
     state.count("shard_failures", 1);
     let failures = u32::try_from(shard.failures.len()).unwrap_or(u32::MAX);
+    let attempt = u64::from(failures);
     if failures >= state.options.max_shard_attempts {
         shard.state = ShardState::Poisoned;
         state.count("shards_poisoned", 1);
@@ -739,6 +1131,24 @@ fn fail_shard(
                 ));
             }
         }
+        record_lifecycle(
+            state,
+            job,
+            "shard_poisoned",
+            shard_index,
+            attempt,
+            Some(cause.to_owned()),
+        );
+        emit_event(
+            state,
+            job,
+            "shard_poisoned",
+            vec![
+                ("shard", Value::u64(shard_index as u64)),
+                ("attempt", Value::u64(attempt)),
+                ("cause", Value::str(cause)),
+            ],
+        );
         check_completion(state, jobs.jobs.get_mut(&job_id).expect("job exists"));
     } else {
         // Deterministic reassignment backoff, shared with the supervisor:
@@ -749,6 +1159,26 @@ fn fail_shard(
         shard.state = ShardState::Pending {
             not_before: (!backoff.is_zero()).then(|| Instant::now() + backoff),
         };
+        state.count("shards_reassigned", 1);
+        record_lifecycle(
+            state,
+            job,
+            "shard_failed",
+            shard_index,
+            attempt,
+            Some(cause.to_owned()),
+        );
+        emit_event(
+            state,
+            job,
+            "shard_failed",
+            vec![
+                ("shard", Value::u64(shard_index as u64)),
+                ("attempt", Value::u64(attempt)),
+                ("cause", Value::str(cause)),
+                ("backoff_ms", Value::u64(backoff.as_millis() as u64)),
+            ],
+        );
         crate::telemetry::logger::debug(format_args!(
             "coordinator: job {job_id} shard {shard_index} failed ({cause}, worker \
              {worker}); reassigning after {} ms",
@@ -814,6 +1244,14 @@ fn check_completion(state: &ServiceState, job: &mut Job) {
     state.count("jobs_completed", 1);
     if job.degraded {
         state.count("jobs_degraded", 1);
+    }
+    // Exactly one terminal event per job: recovery replays the persisted
+    // one, so the re-run completion check must not emit a second.
+    if !job.events.iter().any(|e| e.terminal) {
+        let counts = progress_counts(job);
+        let mut fields = counts.fields();
+        fields.push(("degraded", Value::Bool(job.degraded)));
+        emit_event(state, job, "complete", fields);
     }
     crate::telemetry::logger::info(format_args!(
         "coordinator: job {} complete{}",
@@ -952,14 +1390,37 @@ fn persist_done(
     id: u64,
     shard: u64,
     entries: &[SlotEnvelope],
+    trace: &[WireTraceRecord],
 ) -> std::io::Result<()> {
-    let record = Value::obj(vec![
+    let mut fields = vec![
         ("kind", Value::str("done")),
         ("shard", Value::u64(shard)),
         (
             "entries",
             Value::Arr(entries.iter().map(SlotEnvelope::encode).collect()),
         ),
+    ];
+    if !trace.is_empty() {
+        fields.push((
+            "trace",
+            Value::Arr(trace.iter().map(WireTraceRecord::encode).collect()),
+        ));
+    }
+    append_line(&job_file(dir, id), &Value::obj(fields).render())
+}
+
+fn persist_event(
+    dir: &std::path::Path,
+    id: u64,
+    seq: u64,
+    name: &str,
+    line: &str,
+) -> std::io::Result<()> {
+    let record = Value::obj(vec![
+        ("kind", Value::str("event")),
+        ("seq", Value::u64(seq)),
+        ("name", Value::str(name)),
+        ("line", Value::str(line)),
     ]);
     append_line(&job_file(dir, id), &record.render())
 }
@@ -1108,9 +1569,49 @@ fn replay_record(value: &Value, job: &mut Option<Job>) -> bool {
                 };
                 entries.push(entry);
             }
+            let mut trace = Vec::new();
+            if let Some(Value::Arr(items)) = value.get("trace") {
+                for item in items {
+                    let Ok(mut record) = WireTraceRecord::decode(item) else {
+                        return false;
+                    };
+                    record.shard = shard_index;
+                    trace.push(record);
+                }
+            }
             shard.state = ShardState::Done;
             job.entries
                 .extend(entries.into_iter().map(|e| (e.index, e)));
+            job.trace.extend(trace);
+            true
+        }
+        Some("event") => {
+            let Some(job) = job.as_mut() else {
+                return false;
+            };
+            let (Ok(seq), Ok(name), Ok(line)) = (
+                value.req_u64("seq"),
+                value.req_str("name"),
+                value.req_str("line"),
+            ) else {
+                return false;
+            };
+            job.events.push(StoredEvent {
+                seq,
+                terminal: name == "complete",
+                line: line.to_owned(),
+            });
+            job.next_event_seq = job.next_event_seq.max(seq + 1);
+            true
+        }
+        Some("lifecycle") => {
+            let Some(job) = job.as_mut() else {
+                return false;
+            };
+            let Ok(record) = LifecycleRecord::decode(value) else {
+                return false;
+            };
+            job.lifecycle.push(record);
             true
         }
         Some("poisoned") => {

@@ -125,6 +125,71 @@ pub(crate) fn write_response(
     stream.flush()
 }
 
+/// Starts a streaming response: status line + headers with **no**
+/// `Content-Length`, so the body is whatever the server writes until it
+/// closes the connection. The one deliberate departure from the
+/// request/response framing above — used by `GET /events`, whose ndjson
+/// body grows as the job progresses. Clients read lines until EOF.
+pub(crate) fn write_stream_header(
+    stream: &mut TcpStream,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let header =
+        format!("HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\nconnection: close\r\n\r\n");
+    stream.write_all(header.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one body line of a streaming response and flushes it, so the
+/// client observes the event immediately.
+pub(crate) fn write_stream_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// What a streaming GET produced: a line reader for a 200 with unframed
+/// body, or an ordinary framed reply for anything else.
+pub(crate) enum StreamOpen {
+    /// 200: read ndjson lines until EOF (or a read timeout, which a
+    /// streaming client treats as "reconnect with `since=<last seq>`").
+    Stream(BufReader<TcpStream>),
+    /// Any non-200 status, with its framed body.
+    Reply(Response),
+}
+
+/// Opens a streaming GET against `addr`. Timeouts apply to the connect,
+/// the request write, and *each* body read — a silent server costs one
+/// bounded wait per read, never a hang.
+pub(crate) fn open_stream(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<StreamOpen> {
+    let mut stream = connect(addr, timeout)?;
+    let header = format!(
+        "GET {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let content_length = read_headers(&mut reader)?;
+    if status == 200 {
+        return Ok(StreamOpen::Stream(reader));
+    }
+    let body = read_body(&mut reader, content_length)?;
+    Ok(StreamOpen::Reply(Response { status, body }))
+}
+
 /// Performs one client request against `addr` with `timeout` applied to
 /// connect, reads, and writes.
 pub(crate) fn request(

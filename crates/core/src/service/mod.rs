@@ -35,6 +35,7 @@
 mod coordinator;
 mod http;
 pub(crate) mod json;
+pub(crate) mod observe;
 mod protocol;
 mod worker;
 
@@ -167,16 +168,7 @@ pub fn submit_job(addr: &str, spec: &JobSpec, timeout: Duration) -> Result<u64, 
         .map_err(ServiceError::Protocol)
 }
 
-/// Fetches a job's progress snapshot.
-///
-/// # Errors
-///
-/// Transport failure, an unknown job, or an unparseable response.
-pub fn job_progress(addr: &str, job: u64, timeout: Duration) -> Result<JobProgress, ServiceError> {
-    let response = http::request(addr, "GET", &format!("/jobs/{job}"), "", timeout)?;
-    let body = expect_status(&response)?;
-    let value =
-        parse(body).map_err(|e| ServiceError::Protocol(format!("bad progress response: {e}")))?;
+fn parse_progress(value: &Value) -> Result<JobProgress, ServiceError> {
     let field = |key: &str| value.req_u64(key).map_err(ServiceError::Protocol);
     Ok(JobProgress {
         shards: field("shards")?,
@@ -193,10 +185,211 @@ pub fn job_progress(addr: &str, job: u64, timeout: Duration) -> Result<JobProgre
     })
 }
 
-/// Polls until `job` completes, failing after `deadline`. Completion is
-/// always reached in bounded time — leases expire, reassignments are
-/// bounded, and poison quarantine terminates every shard — so a generous
-/// deadline only matters for genuinely slow campaigns.
+/// Fetches a job's progress snapshot.
+///
+/// # Errors
+///
+/// Transport failure, an unknown job, or an unparseable response.
+pub fn job_progress(addr: &str, job: u64, timeout: Duration) -> Result<JobProgress, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}"), "", timeout)?;
+    let body = expect_status(&response)?;
+    let value =
+        parse(body).map_err(|e| ServiceError::Protocol(format!("bad progress response: {e}")))?;
+    parse_progress(&value)
+}
+
+/// A job's live shard-level status: the progress tallies plus the
+/// per-shard map the `mtracecheck status` view renders.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// The shard/verdict tallies.
+    pub progress: JobProgress,
+    /// Total suite slots in the job.
+    pub tests: u64,
+    /// One glyph per shard, in shard order: `.` pending, `~` leased,
+    /// `#` done, `!` poisoned.
+    pub shard_map: String,
+    /// Total shard failures so far (reassignments + poisonings).
+    pub retries: u64,
+    /// Age of the oldest outstanding lease, in milliseconds.
+    pub lease_age_ms: u64,
+}
+
+/// Fetches a job's live status (progress plus shard map and lease ages).
+///
+/// # Errors
+///
+/// Transport failure, an unknown job, or an unparseable response.
+pub fn job_status(addr: &str, job: u64, timeout: Duration) -> Result<JobStatus, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}"), "", timeout)?;
+    let body = expect_status(&response)?;
+    let value =
+        parse(body).map_err(|e| ServiceError::Protocol(format!("bad progress response: {e}")))?;
+    Ok(JobStatus {
+        progress: parse_progress(&value)?,
+        tests: value.req_u64("tests").map_err(ServiceError::Protocol)?,
+        shard_map: value
+            .req_str("shard_map")
+            .map_err(ServiceError::Protocol)?
+            .to_owned(),
+        retries: value.req_u64("retries").map_err(ServiceError::Protocol)?,
+        lease_age_ms: value
+            .req_u64("lease_age_ms")
+            .map_err(ServiceError::Protocol)?,
+    })
+}
+
+/// One progress event from a job's `GET /events` stream.
+#[derive(Clone, Debug)]
+pub struct JobEvent {
+    /// Strictly increasing per-job sequence number; reconnect with
+    /// `since=<last seen>` to resume without duplicates.
+    pub seq: u64,
+    /// Event name: `submitted`, `claimed`, `shard_done`, `shard_failed`,
+    /// `shard_poisoned`, or the terminal `complete`.
+    pub name: String,
+    /// Shard the event concerns, where applicable.
+    pub shard: Option<u64>,
+    /// 1-based shard attempt, where applicable.
+    pub attempt: Option<u64>,
+    /// Worker name, for `claimed` events.
+    pub worker: Option<String>,
+    /// Failure cause, for `shard_failed`/`shard_poisoned` events.
+    pub cause: Option<String>,
+    /// Reassignment backoff, for `shard_failed` events.
+    pub backoff_ms: Option<u64>,
+    /// Cumulative progress tallies, for `shard_done` and `complete`.
+    pub progress: Option<JobProgress>,
+    /// The verbatim event line — byte-stable for a given seq.
+    pub raw: String,
+}
+
+fn parse_event(line: &str) -> Result<JobEvent, ServiceError> {
+    let value = parse(line).map_err(|e| ServiceError::Protocol(format!("bad event line: {e}")))?;
+    let seq = value.req_u64("seq").map_err(ServiceError::Protocol)?;
+    let name = value
+        .req_str("event")
+        .map_err(ServiceError::Protocol)?
+        .to_owned();
+    let num = |key: &str| value.get(key).and_then(Value::as_u64);
+    let text = |key: &str| value.get(key).and_then(Value::as_str).map(str::to_owned);
+    let progress = match (num("pending"), num("leased"), num("done"), num("poisoned")) {
+        (Some(pending), Some(leased), Some(done), Some(poisoned)) => Some(JobProgress {
+            shards: pending + leased + done + poisoned,
+            pending,
+            leased,
+            done,
+            poisoned,
+            validated: num("validated").unwrap_or(0),
+            quarantined: num("quarantined").unwrap_or(0),
+            failing: num("failing").unwrap_or(0),
+            violations: num("violations").unwrap_or(0),
+            complete: name == "complete",
+            degraded: value.get("degraded").and_then(Value::as_bool) == Some(true),
+        }),
+        _ => None,
+    };
+    Ok(JobEvent {
+        seq,
+        name,
+        shard: num("shard"),
+        attempt: num("attempt"),
+        worker: text("worker"),
+        cause: text("cause"),
+        backoff_ms: num("backoff_ms"),
+        progress,
+        raw: line.to_owned(),
+    })
+}
+
+/// Follows a job's `GET /events` stream until its terminal `complete`
+/// event, invoking `on_event` for every event with seq above `since`.
+/// The coordinator closes each stream after its window; this reconnects
+/// with `since=<last seq>` (waiting `reconnect` after a transport
+/// error), so delivery is exactly-once per seq across any number of
+/// reconnects — including across a coordinator restart, because seqs are
+/// journaled and resume monotonically.
+///
+/// # Errors
+///
+/// The deadline elapsing, an unknown job, or a protocol violation.
+pub fn stream_events(
+    addr: &str,
+    job: u64,
+    since: u64,
+    deadline: Duration,
+    reconnect: Duration,
+    mut on_event: impl FnMut(&JobEvent),
+) -> Result<JobProgress, ServiceError> {
+    use std::io::BufRead as _;
+    let started = Instant::now();
+    let mut last = since;
+    let timeout = Duration::from_secs(2);
+    loop {
+        if started.elapsed() > deadline {
+            return Err(ServiceError::Timeout {
+                what: format!("job {job} completion"),
+            });
+        }
+        let path = format!("/events?job={job}&since={last}");
+        let mut reader = match http::open_stream(addr, &path, timeout) {
+            Ok(http::StreamOpen::Stream(reader)) => reader,
+            Ok(http::StreamOpen::Reply(response)) => {
+                return Err(ServiceError::Http {
+                    status: response.status,
+                    body: response.body,
+                });
+            }
+            Err(_) => {
+                // Coordinator briefly unreachable (restart, fault window):
+                // retry under the deadline.
+                std::thread::sleep(reconnect);
+                continue;
+            }
+        };
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // window closed; reconnect
+                Ok(_) => {}
+                Err(_) => break, // read timeout or hangup; reconnect
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let event = parse_event(line)?;
+            if event.seq <= last {
+                continue;
+            }
+            last = event.seq;
+            let terminal = event.name == "complete";
+            let progress = event.progress;
+            on_event(&event);
+            if terminal {
+                // The terminal event carries the full tallies; fall back
+                // to a snapshot only if a future coordinator drops them.
+                return match progress {
+                    Some(progress) => Ok(progress),
+                    None => job_progress(addr, job, timeout),
+                };
+            }
+            if started.elapsed() > deadline {
+                return Err(ServiceError::Timeout {
+                    what: format!("job {job} completion"),
+                });
+            }
+        }
+    }
+}
+
+/// Waits until `job` completes by following its event stream (no
+/// polling: completion arrives as the stream's terminal event).
+/// Completion is always reached in bounded time — leases expire,
+/// reassignments are bounded, and poison quarantine terminates every
+/// shard — so a generous deadline only matters for genuinely slow
+/// campaigns. `reconnect` paces re-dials when the coordinator is briefly
+/// unreachable.
 ///
 /// # Errors
 ///
@@ -205,21 +398,9 @@ pub fn wait_for_job(
     addr: &str,
     job: u64,
     deadline: Duration,
-    poll: Duration,
+    reconnect: Duration,
 ) -> Result<JobProgress, ServiceError> {
-    let started = Instant::now();
-    loop {
-        let progress = job_progress(addr, job, poll.max(Duration::from_secs(1)))?;
-        if progress.complete {
-            return Ok(progress);
-        }
-        if started.elapsed() > deadline {
-            return Err(ServiceError::Timeout {
-                what: format!("job {job} completion"),
-            });
-        }
-        std::thread::sleep(poll);
-    }
+    stream_events(addr, job, 0, deadline, reconnect, |_| {})
 }
 
 /// Fetches a completed job's merged report text.
@@ -253,4 +434,32 @@ pub fn fetch_journal(
             body: response.body,
         }),
     }
+}
+
+/// Fetches a completed traced job's canonical merged trace (JSONL,
+/// structural — byte-identical across worker counts and delivery orders).
+///
+/// # Errors
+///
+/// Transport failure, an unknown/incomplete/untraced job.
+pub fn fetch_job_trace(addr: &str, job: u64, timeout: Duration) -> Result<String, ServiceError> {
+    let response = http::request(addr, "GET", &format!("/jobs/{job}/trace"), "", timeout)?;
+    expect_status(&response).map(ToOwned::to_owned)
+}
+
+/// Fetches a completed traced job's merged Chrome trace (timed; a
+/// visualization artifact, not byte-pinned).
+///
+/// # Errors
+///
+/// Transport failure, an unknown/incomplete/untraced job.
+pub fn fetch_job_chrome(addr: &str, job: u64, timeout: Duration) -> Result<String, ServiceError> {
+    let response = http::request(
+        addr,
+        "GET",
+        &format!("/jobs/{job}/chrome-trace"),
+        "",
+        timeout,
+    )?;
+    expect_status(&response).map(ToOwned::to_owned)
 }

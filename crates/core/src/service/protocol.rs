@@ -47,6 +47,10 @@ pub struct JobSpec {
     /// Per-attempt wall-clock budget, milliseconds (`None` = unbounded;
     /// `Some(0)` deterministically quarantines every test).
     pub time_budget_ms: Option<u64>,
+    /// Ship per-shard telemetry traces with results, for the
+    /// coordinator's merged job trace. Inert for the verdict: reports and
+    /// journals are byte-identical either way.
+    pub trace: bool,
 }
 
 impl JobSpec {
@@ -63,7 +67,15 @@ impl JobSpec {
             max_attempts: 1,
             backoff_ms: 0,
             time_budget_ms: None,
+            trace: false,
         }
+    }
+
+    /// Returns the spec with trace shipping enabled.
+    #[must_use]
+    pub fn with_trace(mut self) -> JobSpec {
+        self.trace = true;
+        self
     }
 
     /// Returns the spec with `tests` suite slots.
@@ -130,6 +142,7 @@ impl JobSpec {
                 "time_budget_ms",
                 self.time_budget_ms.map_or(Value::Null, Value::u64),
             ),
+            ("trace", Value::Bool(self.trace)),
         ])
     }
 
@@ -180,6 +193,8 @@ impl JobSpec {
                 .map_err(|_| "field `max_attempts` out of range".to_owned())?,
             backoff_ms: v.req_u64("backoff_ms")?,
             time_budget_ms,
+            // Absent on specs persisted before trace shipping existed.
+            trace: v.get("trace").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 }
@@ -335,6 +350,20 @@ mod tests {
         JobSpec::new(test, 128)
             .with_tests(6)
             .with_retry(RetryPolicy::with_retries(2).with_backoff(Duration::from_millis(3)))
+    }
+
+    #[test]
+    fn spec_decode_defaults_trace_off_for_old_payloads() {
+        let spec = sample_spec().with_trace();
+        let decoded = JobSpec::decode(&parse(&spec.encode().render()).unwrap()).unwrap();
+        assert!(decoded.trace);
+        // A pre-trace-shipping payload (no `trace` key) decodes with the
+        // flag off, so persisted state files stay readable.
+        let mut v = sample_spec().encode();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "trace");
+        }
+        assert!(!JobSpec::decode(&v).unwrap().trace);
     }
 
     #[test]

@@ -194,7 +194,19 @@ fn execute_shard(
         Arc::clone(&abandoned),
         Arc::clone(&finished),
     );
-    let campaign = Campaign::new(assignment.spec.to_config());
+    // Traced jobs get a capture-mode telemetry handle: the shard's spans
+    // and events buffer in memory and ship with the result. Provably
+    // inert for the verdict — the envelope entries are built from the
+    // same slot outcomes either way.
+    let telemetry = if assignment.spec.trace {
+        crate::Telemetry::new(crate::TelemetryConfig {
+            capture: true,
+            ..crate::TelemetryConfig::default()
+        })
+    } else {
+        crate::Telemetry::disabled()
+    };
+    let campaign = Campaign::new(assignment.spec.to_config()).with_telemetry(telemetry.clone());
     let slots = campaign.run_slots(assignment.start..assignment.end);
     finished.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
@@ -211,14 +223,22 @@ fn execute_shard(
         .iter()
         .map(|(index, outcome)| envelope_for(*index, outcome).encode())
         .collect();
-    let body = Value::obj(vec![
+    let mut fields = vec![
         ("job", Value::u64(assignment.job)),
         ("shard", Value::u64(assignment.shard)),
         ("lease", Value::u64(assignment.lease)),
         ("worker", Value::str(options.name.clone())),
         ("entries", Value::Arr(entries)),
-    ])
-    .render();
+    ];
+    if assignment.spec.trace {
+        let records = telemetry.take_trace_records();
+        let (trace, truncated) = super::observe::encode_shipped_trace(&records);
+        fields.push(("trace", trace));
+        if truncated {
+            fields.push(("trace_truncated", Value::Bool(true)));
+        }
+    }
+    let body = Value::obj(fields).render();
     submit_result(options, &body, submission_ordinal)
 }
 

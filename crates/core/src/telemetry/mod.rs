@@ -35,10 +35,12 @@
 pub mod logger;
 mod metrics;
 mod progress;
-mod trace;
+pub(crate) mod trace;
 
 pub use metrics::{MetricsSnapshot, PhaseSnapshot};
-pub use trace::{validate_metrics_text, validate_trace_text, TraceSummary, TRACE_VERSION};
+pub use trace::{
+    validate_events_text, validate_metrics_text, validate_trace_text, TraceSummary, TRACE_VERSION,
+};
 
 use progress::Progress;
 use std::io::{self, Write as _};
@@ -103,6 +105,13 @@ impl Phase {
         }
     }
 
+    /// The phase whose [`name`](Phase::name) is `name`, if any. Used when
+    /// re-ingesting shipped worker traces on the coordinator, where phase
+    /// names arrive as wire strings.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
     pub(crate) fn index(self) -> usize {
         Phase::ALL
             .iter()
@@ -159,6 +168,10 @@ pub struct TelemetryConfig {
     /// ([`Telemetry::render_metrics`]) without any file sink — how the
     /// campaign service's `/metrics` endpoint runs.
     pub scrape: bool,
+    /// Buffer trace records in memory without any file sink, for a later
+    /// [`Telemetry::take_trace_records`] drain — how a service worker
+    /// captures one shard's spans/events to ship with its result.
+    pub capture: bool,
 }
 
 impl TelemetryConfig {
@@ -169,6 +182,7 @@ impl TelemetryConfig {
             || self.metrics_path.is_some()
             || self.progress
             || self.scrape
+            || self.capture
     }
 }
 
@@ -236,6 +250,18 @@ impl Telemetry {
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         let inner = self.inner.as_deref()?;
         Some(inner.metrics.lock().expect("metrics lock").snapshot())
+    }
+
+    /// Drains every buffered trace record out of the handle, leaving it
+    /// empty. The capture path behind worker-side trace shipping: the
+    /// worker attaches a `capture` handle to one shard's campaign, then
+    /// drains the records into the `/result` envelope. Empty on a
+    /// disabled handle.
+    pub(crate) fn take_trace_records(&self) -> Vec<TraceRecord> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        std::mem::take(&mut *inner.trace.lock().expect("trace lock"))
     }
 
     /// Renders the current metrics registry in the Prometheus text format,

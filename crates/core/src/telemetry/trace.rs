@@ -256,16 +256,23 @@ pub struct TraceSummary {
     pub spans: u64,
     /// `event` records.
     pub events: u64,
+    /// `lifecycle` records (merged job traces only).
+    pub lifecycle: u64,
 }
 
 /// Validates a whole JSONL trace file against the schema written by
-/// [`Telemetry::finish`](super::Telemetry::finish).
+/// [`Telemetry::finish`](super::Telemetry::finish), or — when the `meta`
+/// record carries `"layout":"job"` — against the coordinator's merged
+/// job-trace schema, where spans and events are structural (no
+/// timestamps) and `lifecycle` records (shard claims, lease expiries,
+/// reassignments, poisonings) are interleaved.
 ///
 /// # Errors
 ///
 /// A human-readable description naming the first offending line.
 pub fn validate_trace_text(text: &str) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
+    let mut job_layout = false;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -305,20 +312,34 @@ pub fn validate_trace_text(text: &str) -> Result<TraceSummary, String> {
                     ));
                 }
                 require_num("version")?;
+                job_layout = matches!(
+                    fields.iter().find(|(k, _)| k == "layout"),
+                    Some((_, JsonValue::Str(layout))) if layout == "job"
+                );
                 summary.meta += 1;
             }
             "span" => {
                 require_str("phase")?;
                 require_num("seq")?;
-                require_num("start_us")?;
-                require_num("dur_us")?;
+                if !job_layout {
+                    require_num("start_us")?;
+                    require_num("dur_us")?;
+                }
                 summary.spans += 1;
             }
             "event" => {
                 require_str("name")?;
                 require_num("seq")?;
-                require_num("at_us")?;
+                if !job_layout {
+                    require_num("at_us")?;
+                }
                 summary.events += 1;
+            }
+            "lifecycle" if job_layout => {
+                require_str("name")?;
+                require_num("shard")?;
+                require_num("attempt")?;
+                summary.lifecycle += 1;
             }
             other => {
                 return Err(format!(
@@ -332,6 +353,55 @@ pub fn validate_trace_text(text: &str) -> Result<TraceSummary, String> {
         return Err("trace must open with exactly one `meta` record".to_owned());
     }
     Ok(summary)
+}
+
+/// Validates a captured `/events` stream (JSONL, one event object per
+/// line, possibly concatenated across reconnects): every line needs a
+/// numeric `seq` and a string `event`, sequence numbers must be strictly
+/// increasing (so reconnecting with `since=<last>` never yields a
+/// duplicate), and a terminal `complete` event — if present — must be
+/// unique and last. Returns the number of events.
+///
+/// # Errors
+///
+/// A description naming the first offending line.
+pub fn validate_events_text(text: &str) -> Result<u64, String> {
+    let mut events = 0u64;
+    let mut last_seq: Option<u64> = None;
+    let mut complete = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if complete {
+            return Err(format!(
+                "line {}: events after the terminal `complete` event",
+                lineno + 1
+            ));
+        }
+        let seq = match fields.iter().find(|(k, _)| k == "seq") {
+            Some((_, JsonValue::Num(n))) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+            _ => return Err(format!("line {}: missing or non-integer `seq`", lineno + 1)),
+        };
+        let name = match fields.iter().find(|(k, _)| k == "event") {
+            Some((_, JsonValue::Str(s))) => s.clone(),
+            _ => return Err(format!("line {}: missing string `event`", lineno + 1)),
+        };
+        if let Some(last) = last_seq {
+            if seq <= last {
+                return Err(format!(
+                    "line {}: seq {seq} does not increase past {last} (duplicate or reordered \
+                     event after reconnect)",
+                    lineno + 1
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        complete = name == "complete";
+        events += 1;
+    }
+    Ok(events)
 }
 
 /// Validates a Prometheus-style metrics snapshot: every non-comment line
@@ -411,22 +481,15 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
         skip_ws(&mut chars);
         let value = match chars.peek() {
             Some('"') => JsonValue::Str(parse_string(&mut chars)?),
-            Some('t' | 'f') => {
-                let word: String = chars
-                    .by_ref()
-                    .take_while(char::is_ascii_alphabetic)
-                    .collect();
-                match word.as_str() {
-                    "true" => JsonValue::Bool(true),
-                    "false" => JsonValue::Bool(false),
-                    other => return Err(format!("bad literal `{other}`")),
-                }
-            }
+            // NB: peek-and-advance, not `take_while` — `take_while` would
+            // also consume the `,`/`}` delimiter after the literal.
+            Some('t' | 'f') => match parse_word(&mut chars).as_str() {
+                "true" => JsonValue::Bool(true),
+                "false" => JsonValue::Bool(false),
+                other => return Err(format!("bad literal `{other}`")),
+            },
             Some('n') => {
-                let word: String = chars
-                    .by_ref()
-                    .take_while(char::is_ascii_alphabetic)
-                    .collect();
+                let word = parse_word(&mut chars);
                 if word != "null" {
                     return Err(format!("bad literal `{word}`"));
                 }
@@ -474,6 +537,16 @@ fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
     while chars.peek().is_some_and(char::is_ascii_whitespace) {
         chars.next();
     }
+}
+
+/// Collects an alphabetic literal (`true`/`false`/`null`) without
+/// consuming the delimiter that follows it.
+fn parse_word(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut word = String::new();
+    while chars.peek().is_some_and(char::is_ascii_alphabetic) {
+        word.push(chars.next().expect("peeked"));
+    }
+    word
 }
 
 fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
@@ -549,7 +622,8 @@ mod tests {
             TraceSummary {
                 meta: 1,
                 spans: 2,
-                events: 1
+                events: 1,
+                lifecycle: 0
             }
         );
         // Canonical order: test 0 before test 1, spans before events.
@@ -589,6 +663,59 @@ mod tests {
         assert!(text.trim_end().ends_with(']'));
         assert!(text.contains("\"ph\":\"X\""));
         assert!(text.contains("\"name\":\"merge\""));
+    }
+
+    #[test]
+    fn job_layout_accepts_structural_records_and_lifecycle() {
+        let text =
+            "{\"type\":\"meta\",\"tool\":\"mtracecheck\",\"version\":1,\"layout\":\"job\"}\n\
+                    {\"type\":\"span\",\"phase\":\"attempt\",\"test\":0,\"attempt\":1,\"seq\":0}\n\
+                    {\"type\":\"lifecycle\",\"name\":\"shard_claimed\",\"shard\":0,\"attempt\":1}\n\
+                    {\"type\":\"event\",\"name\":\"retry\",\"test\":1,\"seq\":0,\"cause\":\"x\"}";
+        let summary = validate_trace_text(text).expect("job layout validates");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.lifecycle, 1);
+        // Lifecycle records are a job-layout extension: a plain (timed)
+        // trace must still reject them, and timed spans still need timing.
+        assert!(validate_trace_text(
+            "{\"type\":\"meta\",\"version\":1}\n\
+             {\"type\":\"lifecycle\",\"name\":\"shard_claimed\",\"shard\":0,\"attempt\":1}"
+        )
+        .is_err());
+        assert!(validate_trace_text(
+            "{\"type\":\"meta\",\"version\":1}\n\
+             {\"type\":\"span\",\"phase\":\"attempt\",\"seq\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn events_validator_enforces_monotone_sequencing() {
+        let ok = "{\"seq\":1,\"job\":0,\"event\":\"submitted\"}\n\
+                  {\"seq\":2,\"job\":0,\"event\":\"claimed\",\"shard\":0}\n\
+                  {\"seq\":5,\"job\":0,\"event\":\"complete\"}";
+        assert_eq!(validate_events_text(ok), Ok(3));
+        assert_eq!(validate_events_text(""), Ok(0));
+        assert!(
+            validate_events_text("{\"seq\":2,\"event\":\"a\"}\n{\"seq\":2,\"event\":\"b\"}")
+                .is_err(),
+            "duplicate seq must fail"
+        );
+        assert!(
+            validate_events_text("{\"seq\":3,\"event\":\"a\"}\n{\"seq\":1,\"event\":\"b\"}")
+                .is_err(),
+            "reordered seq must fail"
+        );
+        assert!(
+            validate_events_text(
+                "{\"seq\":1,\"event\":\"complete\"}\n{\"seq\":2,\"event\":\"claimed\"}"
+            )
+            .is_err(),
+            "events after the terminal event must fail"
+        );
+        assert!(validate_events_text("{\"event\":\"a\"}").is_err());
+        assert!(validate_events_text("{\"seq\":1}").is_err());
     }
 
     #[test]

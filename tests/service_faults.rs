@@ -5,9 +5,10 @@
 
 use mtracecheck::isa::IsaKind;
 use mtracecheck::service::{
-    fetch_report, run_worker, serve, submit_job, wait_for_job, JobProgress, JobSpec, NetFaultPlan,
-    ServeOptions, WorkerOptions,
+    fetch_job_trace, fetch_report, run_worker, serve, submit_job, wait_for_job, JobProgress,
+    JobSpec, NetFaultPlan, ServeOptions, WorkerOptions,
 };
+use mtracecheck::telemetry::validate_trace_text;
 use mtracecheck::{Campaign, TestConfig};
 use std::time::Duration;
 
@@ -63,6 +64,54 @@ fn dropped_partial_and_duplicate_deliveries_do_not_change_the_verdict() {
         assert!(!progress.degraded, "{label}: network faults never degrade");
         assert_eq!(report, expected, "{label}: report must be byte-identical");
     }
+}
+
+/// Runs one traced job under `faults` and returns its merged job trace.
+fn traced_run(faults: NetFaultPlan, options: ServeOptions) -> String {
+    let spec = spec().with_trace();
+    let server = serve(options).expect("serve");
+    let addr = server.addr();
+    let job = submit_job(&addr, &spec, TIMEOUT).expect("submit");
+    run_worker(WorkerOptions {
+        coordinator: addr.clone(),
+        name: "faulty".to_owned(),
+        exit_when_idle: true,
+        faults,
+        ..WorkerOptions::default()
+    })
+    .expect("worker");
+    let progress = wait_for_job(&addr, job, DEADLINE, Duration::from_millis(10)).expect("done");
+    assert!(progress.complete && !progress.degraded);
+    fetch_job_trace(&addr, job, TIMEOUT).expect("merged trace")
+}
+
+/// Drops coordinator-side lifecycle records: a faulted run's trace must
+/// equal the clean run's modulo exactly those lines.
+fn strip_lifecycle(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|line| !line.contains("\"type\":\"lifecycle\""))
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
+#[test]
+fn fault_schedules_keep_the_merged_trace_canonical() {
+    let clean = traced_run(NetFaultPlan::default(), ServeOptions::default());
+    validate_trace_text(&clean).expect("clean trace validates");
+    let faulted = traced_run(
+        NetFaultPlan::default()
+            .drop_result_at(0)
+            .partial_result_at(2)
+            .duplicate_result_at(3),
+        ServeOptions::default(),
+    );
+    validate_trace_text(&faulted).expect("faulted trace validates");
+    assert_eq!(
+        strip_lifecycle(&faulted),
+        strip_lifecycle(&clean),
+        "injected network faults must not perturb a single shipped record"
+    );
 }
 
 #[test]

@@ -4,8 +4,10 @@
 
 use mtracecheck::isa::IsaKind;
 use mtracecheck::service::{
-    fetch_journal, fetch_report, serve, submit_job, wait_for_job, JobSpec, ServeOptions,
+    fetch_job_trace, fetch_journal, fetch_report, run_worker, serve, stream_events, submit_job,
+    wait_for_job, JobSpec, ServeOptions, WorkerOptions,
 };
+use mtracecheck::telemetry::{validate_events_text, validate_trace_text};
 use mtracecheck::{Campaign, CampaignJournal, TestConfig};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
@@ -30,13 +32,48 @@ fn strip_footer(journal: &str) -> String {
         .collect()
 }
 
+/// Drops the coordinator-side lifecycle records from a merged job trace.
+/// A faulted run's trace equals a clean run's modulo exactly these lines —
+/// the worker-shipped span/event records are deterministic per slot.
+fn strip_lifecycle(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|line| !line.contains("\"type\":\"lifecycle\""))
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
 #[test]
 fn sigkilled_worker_is_reassigned_and_the_merge_is_byte_identical() {
     // Enough per-slot work that the victim is very likely mid-shard when
-    // killed; correctness does not depend on the timing either way.
-    let spec =
-        JobSpec::new(TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(11), 600).with_tests(6);
+    // killed; correctness does not depend on the timing either way. The
+    // job is traced, so the recovery is also visible in the merged trace.
+    let spec = JobSpec::new(TestConfig::new(IsaKind::Arm, 2, 20, 8).with_seed(11), 600)
+        .with_tests(6)
+        .with_trace();
     let expected = Campaign::new(spec.to_config()).run().to_string();
+
+    // A clean traced run pins the canonical trace's non-lifecycle bytes.
+    let reference_trace = {
+        let server = serve(ServeOptions::default()).expect("serve reference");
+        let addr = server.addr();
+        let job = submit_job(&addr, &spec, TIMEOUT).expect("submit reference");
+        run_worker(WorkerOptions {
+            coordinator: addr.clone(),
+            name: "reference".to_owned(),
+            exit_when_idle: true,
+            ..WorkerOptions::default()
+        })
+        .expect("reference worker");
+        wait_for_job(
+            &addr,
+            job,
+            Duration::from_secs(180),
+            Duration::from_millis(20),
+        )
+        .expect("reference completes");
+        fetch_job_trace(&addr, job, TIMEOUT).expect("reference trace")
+    };
 
     let server = serve(ServeOptions {
         lease: Duration::from_millis(400),
@@ -71,6 +108,43 @@ fn sigkilled_worker_is_reassigned_and_the_merge_is_byte_identical() {
     assert_eq!(
         report, expected,
         "the merged report must be byte-identical to the single-machine run"
+    );
+
+    // The merged trace still validates, covers every shard, and differs
+    // from the clean run only in lifecycle records (the abandoned
+    // attempt, when the kill landed mid-shard, reads in sequence there).
+    let trace = fetch_job_trace(&addr, job, TIMEOUT).expect("merged trace");
+    let summary = validate_trace_text(&trace).expect("trace validates after the SIGKILL");
+    assert!(summary.spans > 0);
+    assert_eq!(
+        trace.matches("\"shard_done\"").count(),
+        6,
+        "every shard's delivery is in the trace: {trace}"
+    );
+    assert_eq!(
+        strip_lifecycle(&trace),
+        strip_lifecycle(&reference_trace),
+        "worker loss must not perturb a single shipped record"
+    );
+
+    // The event history replays cleanly: strictly monotone seq, exactly
+    // one terminal event, and no lost shard_done despite the recovery.
+    let mut lines = String::new();
+    stream_events(&addr, job, 0, TIMEOUT, Duration::from_millis(10), |event| {
+        lines.push_str(&event.raw);
+        lines.push('\n');
+    })
+    .expect("event replay");
+    validate_events_text(&lines).expect("event stream validates");
+    assert_eq!(
+        lines.matches("\"event\":\"shard_done\"").count(),
+        6,
+        "{lines}"
+    );
+    assert_eq!(
+        lines.matches("\"event\":\"complete\"").count(),
+        1,
+        "{lines}"
     );
 
     if serde_json::to_string(&0u32).is_ok() {

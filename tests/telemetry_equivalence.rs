@@ -39,8 +39,7 @@ fn run_traced(cfg: CampaignConfig, label: &str) -> (ConfigReport, String, String
         trace_path: Some(trace_path.clone()),
         chrome_path: Some(chrome_path.clone()),
         metrics_path: Some(metrics_path.clone()),
-        progress: false,
-        scrape: false,
+        ..TelemetryConfig::default()
     });
     let report = Campaign::new(cfg).with_telemetry(telemetry.clone()).run();
     telemetry.finish().expect("telemetry sinks written");
